@@ -1,0 +1,81 @@
+//! EV-engine comparison: exact joint enumeration vs the scoped
+//! Theorem 3.8 engine vs the modular closed form vs Monte Carlo, on a
+//! small workload where all four apply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_claims::{BiasQuery, DupQuery};
+use fc_core::ev::{ev_exact, ev_modular, ev_monte_carlo, modular_benefits, ScopedEv};
+use fc_datasets::workloads::synthetic_uniqueness;
+use fc_datasets::SyntheticKind;
+use fc_uncertain::rng_from_seed;
+use std::hint::black_box;
+
+fn bench_ev_engines(c: &mut Criterion) {
+    // 8 objects, 2 tiled claims: small enough for exact enumeration
+    // (the exact engine walks the full joint support).
+    let w = synthetic_uniqueness(SyntheticKind::Urx, 8, 100.0, 7).unwrap();
+    let cleaned = vec![1usize, 4, 6];
+    let mut group = c.benchmark_group("ev_engines_dup");
+    group.sample_size(20);
+    group.bench_function("exact", |b| {
+        b.iter(|| ev_exact(&w.instance, &w.query, black_box(&cleaned)))
+    });
+    let eng = ScopedEv::new(&w.instance, &w.query);
+    group.bench_function("scoped", |b| {
+        b.iter(|| eng.ev_of(black_box(&cleaned)))
+    });
+    group.bench_function("scoped_incremental_delta", |b| {
+        let st = eng.state_for(&cleaned);
+        b.iter(|| eng.delta(black_box(&st), black_box(7)))
+    });
+    group.bench_function("monte_carlo_200x100", |b| {
+        let mut rng = rng_from_seed(3);
+        b.iter(|| ev_monte_carlo(&w.instance, &w.query, black_box(&cleaned), 200, 100, &mut rng))
+    });
+    group.finish();
+
+    // Modular fast path for the affine bias query on the same data.
+    let bias = BiasQuery::new(w.query.claims().clone(), 100.0);
+    let benefits = modular_benefits(&w.instance, &bias).unwrap();
+    let mut group = c.benchmark_group("ev_engines_bias");
+    group.sample_size(20);
+    group.bench_function("modular", |b| {
+        b.iter(|| ev_modular(black_box(&benefits), black_box(&cleaned)))
+    });
+    group.bench_function("exact", |b| {
+        b.iter(|| ev_exact(&w.instance, &bias, black_box(&cleaned)))
+    });
+    group.finish();
+
+    // Scoped engine build cost vs claim-family size.
+    let mut group = c.benchmark_group("scoped_build");
+    for n in [40usize, 200, 1000] {
+        let w = synthetic_uniqueness(SyntheticKind::Urx, n, 100.0, 7).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                let eng = ScopedEv::new(&w.instance, &w.query);
+                black_box(eng.num_terms())
+            })
+        });
+    }
+    group.finish();
+
+    // Overlapping-scope engine (pair machinery exercised).
+    let w = synthetic_uniqueness(SyntheticKind::Urx, 8, 100.0, 7).unwrap();
+    let q = DupQuery::relative_to_original(w.query.claims().clone());
+    let mut group = c.benchmark_group("scoped_with_pairs");
+    group.bench_function("build", |b| {
+        b.iter(|| {
+            let eng = ScopedEv::new(&w.instance, &q);
+            black_box(eng.num_sharing_pairs())
+        })
+    });
+    let eng = ScopedEv::new(&w.instance, &q);
+    group.bench_function("ev_of", |b| {
+        b.iter(|| eng.ev_of(black_box(&cleaned)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ev_engines);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! GreedyMinVar scaling (the Criterion micro-version of Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_core::algo::greedy_min_var_with_engine;
+use fc_core::ev::ScopedEv;
+use fc_core::Budget;
+use fc_datasets::workloads::scaling_uniqueness;
+use std::hint::black_box;
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_min_var_scaling");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 20_000] {
+        let w = scaling_uniqueness(n, 42).unwrap();
+        let eng = ScopedEv::new(&w.instance, &w.query);
+        let budget = Budget::fraction(w.instance.total_cost(), 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(greedy_min_var_with_engine(&w.instance, &eng, budget).len())
+            })
+        });
+    }
+    group.finish();
+
+    // Budget sensitivity at fixed n (Fig. 10a shape).
+    let w = scaling_uniqueness(5_000, 42).unwrap();
+    let eng = ScopedEv::new(&w.instance, &w.query);
+    let total = w.instance.total_cost();
+    let mut group = c.benchmark_group("greedy_min_var_budget");
+    group.sample_size(10);
+    for pct in [1u64, 10, 30] {
+        let budget = Budget::fraction(total, pct as f64 / 100.0);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
+            b.iter(|| {
+                black_box(greedy_min_var_with_engine(&w.instance, &eng, budget).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Knapsack solver comparison (Lemma 3.2/3.3 machinery): exact DP vs
+//! FPTAS vs the greedy 2-approximation, and the min-cover DP used inside
+//! `Best`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_core::algo::{
+    fptas_max_knapsack, greedy_knapsack, max_knapsack_dp, min_knapsack_cover_dp,
+};
+use fc_uncertain::rng_from_seed;
+use rand::Rng;
+use std::hint::black_box;
+
+fn workload(n: usize, seed: u64) -> (Vec<f64>, Vec<u64>, u64) {
+    let mut rng = rng_from_seed(seed);
+    let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1000.0)).collect();
+    let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..200)).collect();
+    let capacity = costs.iter().sum::<u64>() / 3;
+    (values, costs, capacity)
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    for n in [26usize, 68] {
+        let (values, costs, capacity) = workload(n, 9);
+        let mut group = c.benchmark_group(format!("knapsack_n{n}"));
+        group.bench_function("dp_exact", |b| {
+            b.iter(|| black_box(max_knapsack_dp(&values, &costs, capacity).1))
+        });
+        group.bench_function("greedy_2approx", |b| {
+            b.iter(|| black_box(greedy_knapsack(&values, &costs, capacity).cost()))
+        });
+        for eps in [0.5, 0.1] {
+            group.bench_with_input(
+                BenchmarkId::new("fptas", format!("eps{eps}")),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| black_box(fptas_max_knapsack(&values, &costs, capacity, eps).1))
+                },
+            );
+        }
+        group.bench_function("min_cover_dp", |b| {
+            let required = costs.iter().sum::<u64>() - capacity;
+            b.iter(|| black_box(min_knapsack_cover_dp(&values, &costs, required).1))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_knapsack);
+criterion_main!(benches);

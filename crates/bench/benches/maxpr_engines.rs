@@ -1,0 +1,82 @@
+//! Surprise-probability engine comparison: exact enumeration vs binned
+//! convolution vs Monte Carlo vs the Gaussian closed form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fc_core::maxpr::{
+    surprise_prob_convolution, surprise_prob_exact, surprise_prob_gaussian, surprise_prob_mc,
+};
+use fc_datasets::workloads::{competing_objectives, counters_urx};
+use fc_uncertain::mvn::MvnSemantics;
+use fc_uncertain::rng_from_seed;
+use std::hint::black_box;
+
+fn bench_maxpr(c: &mut Criterion) {
+    let w = counters_urx(7).unwrap();
+    let cleaned: Vec<usize> = (0..6).collect();
+    let tau = w.tau;
+    let mut group = c.benchmark_group("maxpr_discrete");
+    group.sample_size(20);
+    group.bench_function("exact_enumeration", |b| {
+        b.iter(|| {
+            black_box(
+                surprise_prob_exact(&w.instance, &w.query, &cleaned, tau, None).unwrap(),
+            )
+        })
+    });
+    for bins in [1usize << 10, 1 << 14] {
+        group.bench_with_input(
+            BenchmarkId::new("convolution", bins),
+            &bins,
+            |b, &bins| {
+                b.iter(|| {
+                    black_box(
+                        surprise_prob_convolution(
+                            &w.instance,
+                            &w.query,
+                            &cleaned,
+                            tau,
+                            Some(bins),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.bench_function("monte_carlo_10k", |b| {
+        let mut rng = rng_from_seed(5);
+        b.iter(|| {
+            black_box(surprise_prob_mc(
+                &w.instance,
+                &w.query,
+                &cleaned,
+                tau,
+                10_000,
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+
+    let g = competing_objectives(7).unwrap();
+    let cleaned: Vec<usize> = (0..10).collect();
+    let mut group = c.benchmark_group("maxpr_gaussian");
+    for sem in [MvnSemantics::Marginal, MvnSemantics::Conditional] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sem:?}")),
+            &sem,
+            |b, &sem| {
+                b.iter(|| {
+                    black_box(
+                        surprise_prob_gaussian(&g.instance, &g.weights, &cleaned, 25.0, sem)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxpr);
+criterion_main!(benches);

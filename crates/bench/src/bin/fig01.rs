@@ -1,0 +1,106 @@
+//! Fig. 1 — effectiveness of algorithms in reducing uncertainty in
+//! claim *fairness* (modular objectives, §4.1).
+//!
+//! Panels: (a) Adoptions (with Random), (b) zoomed Adoptions without
+//! Random, (c) CDC-firearms, (d) CDC-causes. Each curve is the variance
+//! remaining in the fairness measure after cleaning what the algorithm
+//! chose at the given budget fraction.
+
+use fc_bench::gaussian_algos as ga;
+use fc_bench::{Figure, HarnessCfg, Series};
+use fc_core::algo::{greedy_min_var_gaussian, knapsack_optimum_min_var_gaussian};
+use fc_core::Budget;
+use fc_datasets::workloads::{
+    cdc_causes_fairness, cdc_firearms_fairness, giuliani_fairness, FairnessWorkload,
+};
+use fc_uncertain::seeded::child_rng;
+
+fn panel(id: &str, title: &str, w: &FairnessWorkload, cfg: &HarnessCfg, with_random: bool) {
+    let benefits = ga::benefits(&w.instance, &w.weights);
+    let total = w.instance.total_cost();
+    let mut fig = Figure::new(
+        id,
+        title,
+        "budget_frac",
+        "variance in fairness after cleaning",
+    );
+    let mut random = Series::new("Random");
+    let mut blind = Series::new("GreedyNaiveCostBlind");
+    let mut naive = Series::new("GreedyNaive");
+    let mut gmv = Series::new("GreedyMinVar");
+    let mut opt = Series::new("Optimum");
+    let runs = if cfg.quick { 20 } else { 100 };
+    let mut rng = child_rng(cfg.seed, 0xF1601);
+    for frac in cfg.budget_fracs() {
+        let budget = Budget::fraction(total, frac);
+        if with_random {
+            let avg: f64 = (0..runs)
+                .map(|_| ga::remaining(&benefits, &ga::random(&w.instance, budget, &mut rng)))
+                .sum::<f64>()
+                / runs as f64;
+            random.push(frac, avg);
+        }
+        blind.push(
+            frac,
+            ga::remaining(&benefits, &ga::naive_cost_blind(&w.instance, &w.weights, budget)),
+        );
+        naive.push(
+            frac,
+            ga::remaining(&benefits, &ga::naive(&w.instance, &w.weights, budget)),
+        );
+        gmv.push(
+            frac,
+            ga::remaining(
+                &benefits,
+                &greedy_min_var_gaussian(&w.instance, &w.weights, budget),
+            ),
+        );
+        opt.push(
+            frac,
+            ga::remaining(
+                &benefits,
+                &knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget),
+            ),
+        );
+    }
+    if with_random {
+        fig.series.push(random);
+    }
+    fig.series.extend([blind, naive, gmv, opt]);
+    fig.emit(cfg);
+}
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    let adoptions = giuliani_fairness(cfg.seed).unwrap();
+    panel(
+        "fig01a",
+        "Adoptions — Giuliani window claim (18 perturbations, λ = 1.5)",
+        &adoptions,
+        &cfg,
+        true,
+    );
+    panel(
+        "fig01b",
+        "Adoptions, zoomed (no Random)",
+        &adoptions,
+        &cfg,
+        false,
+    );
+    let firearms = cdc_firearms_fairness(cfg.seed).unwrap();
+    panel(
+        "fig01c",
+        "CDC-firearms — back-to-back 4-year comparison (10 perturbations)",
+        &firearms,
+        &cfg,
+        false,
+    );
+    let causes = cdc_causes_fairness(cfg.seed).unwrap();
+    panel(
+        "fig01d",
+        "CDC-causes — transportation vs 30% of other causes (16 perturbations)",
+        &causes,
+        &cfg,
+        false,
+    );
+}

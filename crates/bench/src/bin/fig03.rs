@@ -1,0 +1,25 @@
+//! Figs. 3 — uniqueness on URx: for each Γ ∈ {50..300}, expected
+//! duplicity variance vs budget for GreedyNaive / GreedyMinVar / Best
+//! (§4.2). The generator can be overridden with a free arg
+//! (`lnx`/`smx`), though `fig04`/`fig05` preset those.
+
+use fc_bench::{synthetic_uniqueness_sweep, HarnessCfg};
+use fc_datasets::SyntheticKind;
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    let kind = std::env::args()
+        .find_map(|a| match a.as_str() {
+            "lnx" => Some(SyntheticKind::Lnx),
+            "smx" => Some(SyntheticKind::Smx),
+            "urx" => Some(SyntheticKind::Urx),
+            _ => None,
+        })
+        .unwrap_or(SyntheticKind::Urx);
+    let fig_no = match kind {
+        SyntheticKind::Urx => 3,
+        SyntheticKind::Lnx => 4,
+        SyntheticKind::Smx => 5,
+    };
+    synthetic_uniqueness_sweep(kind, fig_no, &cfg);
+}

@@ -1,0 +1,9 @@
+//! Fig. 4 — uniqueness on LNx, Γ ∈ {3.0..5.5} (see fig03).
+
+use fc_bench::{synthetic_uniqueness_sweep, HarnessCfg};
+use fc_datasets::SyntheticKind;
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    synthetic_uniqueness_sweep(SyntheticKind::Lnx, 4, &cfg);
+}

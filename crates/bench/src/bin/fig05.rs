@@ -1,0 +1,9 @@
+//! Fig. 5 — uniqueness on SMx, Γ ∈ {50..300} (see fig03).
+
+use fc_bench::{synthetic_uniqueness_sweep, HarnessCfg};
+use fc_datasets::SyntheticKind;
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    synthetic_uniqueness_sweep(SyntheticKind::Smx, 5, &cfg);
+}

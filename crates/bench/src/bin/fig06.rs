@@ -1,0 +1,51 @@
+//! Fig. 6 — *absolute* improvement of GreedyMinVar over GreedyNaive in
+//! expected duplicity variance, as a function of budget, one curve per
+//! Γ: (a) URx, (b) LNx. Larger initial uncertainty ⇒ larger absolute
+//! improvement (§4.2's reading of the figure).
+
+use fc_bench::{Figure, HarnessCfg, Series};
+use fc_core::algo::{greedy_min_var_with_engine, greedy_naive};
+use fc_core::Budget;
+use fc_datasets::workloads::synthetic_uniqueness;
+use fc_datasets::SyntheticKind;
+
+fn panel(id: &str, kind: SyntheticKind, gammas: &[f64], cfg: &HarnessCfg) {
+    let n = if cfg.quick { 20 } else { 40 };
+    let mut fig = Figure::new(
+        id,
+        format!("absolute improvement of GreedyMinVar over GreedyNaive ({})", kind.name()),
+        "budget_frac",
+        "naive_EV - gmv_EV",
+    );
+    for &gamma in gammas {
+        let w = synthetic_uniqueness(kind, n, gamma, cfg.seed).unwrap();
+        let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+        let total = w.instance.total_cost();
+        let mut s = Series::new(format!("Γ={gamma}"));
+        for frac in cfg.budget_fracs() {
+            let budget = Budget::fraction(total, frac);
+            let e_naive = eng.ev_of(greedy_naive(&w.instance, &w.query, budget).objects());
+            let e_gmv =
+                eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects());
+            s.push(frac, (e_naive - e_gmv).max(0.0));
+        }
+        fig.series.push(s);
+    }
+    fig.emit(cfg);
+}
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    panel(
+        "fig06a",
+        SyntheticKind::Urx,
+        &[50.0, 100.0, 150.0, 200.0, 250.0, 300.0],
+        &cfg,
+    );
+    panel(
+        "fig06b",
+        SyntheticKind::Lnx,
+        &[3.0, 3.5, 4.0, 4.5, 5.0, 5.5],
+        &cfg,
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig. 7 — reducing uncertainty in claim *robustness* (frag, §4.2):
+//! (a) CDC-firearms "as high as Γ′"; (b) URx with n = 100, 25
+//! perturbations, Γ′ = 100.
+
+use fc_bench::{Figure, HarnessCfg, Series};
+use fc_core::algo::{
+    best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
+};
+use fc_core::Budget;
+use fc_datasets::workloads::{cdc_firearms_robustness, synthetic_robustness, RobustnessWorkload};
+use fc_datasets::SyntheticKind;
+
+fn panel(id: &str, title: &str, w: &RobustnessWorkload, cfg: &HarnessCfg) {
+    let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+    let total = w.instance.total_cost();
+    let mut fig = Figure::new(id, title, "budget_frac", "expected variance after cleaning");
+    let mut naive = Series::new("GreedyNaive");
+    let mut gmv = Series::new("GreedyMinVar");
+    let mut best = Series::new("Best");
+    for frac in cfg.budget_fracs() {
+        let budget = Budget::fraction(total, frac);
+        naive.push(
+            frac,
+            eng.ev_of(greedy_naive(&w.instance, &w.query, budget).objects()),
+        );
+        gmv.push(
+            frac,
+            eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects()),
+        );
+        best.push(
+            frac,
+            eng.ev_of(
+                best_min_var_with_engine(&w.instance, &eng, budget, BestConfig::default())
+                    .objects(),
+            ),
+        );
+    }
+    fig.series.extend([naive, gmv, best]);
+    fig.emit(cfg);
+}
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    let firearms = cdc_firearms_robustness(cfg.seed).unwrap();
+    panel(
+        "fig07a",
+        "CDC-firearms robustness (8 perturbations)",
+        &firearms,
+        &cfg,
+    );
+    let n = if cfg.quick { 40 } else { 100 };
+    let urx = synthetic_robustness(SyntheticKind::Urx, n, 100.0, cfg.seed).unwrap();
+    panel(
+        "fig07b",
+        "URx robustness, Γ′ = 100 (25 perturbations)",
+        &urx,
+        &cfg,
+    );
+}

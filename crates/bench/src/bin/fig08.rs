@@ -1,0 +1,11 @@
+//! Fig. 8 — "effectiveness in action" on CDC-causes (§4.3): posterior
+//! mean / sd of the duplicity estimate vs budget after revealing hidden
+//! truths for each algorithm's cleaning set.
+
+use fc_bench::{in_action_sweep, HarnessCfg};
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    let w = fc_datasets::workloads::cdc_causes_uniqueness(cfg.seed).unwrap();
+    in_action_sweep(8, "CDC-causes in action", &w, &cfg);
+}

@@ -1,0 +1,12 @@
+//! Fig. 9 — "effectiveness in action" on URx with Γ = 100 (§4.3).
+
+use fc_bench::{in_action_sweep, HarnessCfg};
+use fc_datasets::SyntheticKind;
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    let n = if cfg.quick { 20 } else { 40 };
+    let w = fc_datasets::workloads::synthetic_uniqueness(SyntheticKind::Urx, n, 100.0, cfg.seed)
+        .unwrap();
+    in_action_sweep(9, "URx (Γ = 100) in action", &w, &cfg);
+}

@@ -1,0 +1,73 @@
+//! Fig. 10 — efficiency of GreedyMinVar on the scaling workload (§4.4):
+//! URx with `n` values and `n/4` width-4 perturbations covering all
+//! values, Γ = 100.
+//!
+//! (a) n = 10,000, budget 1%–30% of the total cost;
+//! (b) budget fixed at 5,000, n from 5,000 up to 1,000,000
+//!     (log₁₀ seconds, as in the paper).
+//!
+//! `--quick` shrinks to n = 2,000 / n ≤ 50,000. Times include the greedy
+//! run but not workload generation; the engine build ("preprocessing")
+//! is reported as its own series for transparency.
+
+use fc_bench::{time_it, Figure, HarnessCfg, Series};
+use fc_core::algo::greedy_min_var_with_engine;
+use fc_core::Budget;
+use fc_datasets::workloads::scaling_uniqueness;
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+
+    // (a) fixed n, varying budget.
+    let n = if cfg.quick { 2_000 } else { 10_000 };
+    let w = scaling_uniqueness(n, cfg.seed).unwrap();
+    let (eng, build_s) = time_it(|| fc_core::ev::ScopedEv::new(&w.instance, &w.query));
+    println!("engine build for n = {n}: {build_s:.3}s");
+    let total = w.instance.total_cost();
+    let mut fig_a = Figure::new(
+        "fig10a",
+        format!("GreedyMinVar runtime, n = {n}, varying budget"),
+        "budget_frac",
+        "seconds",
+    );
+    let mut s = Series::new("GreedyMinVar");
+    for pct in [0.01, 0.05, 0.10, 0.20, 0.30] {
+        let budget = Budget::fraction(total, pct);
+        let (sel, secs) = time_it(|| greedy_min_var_with_engine(&w.instance, &eng, budget));
+        println!("  budget {:>5.1}% -> cleaned {:>6} values in {secs:.3}s", pct * 100.0, sel.len());
+        s.push(pct, secs);
+    }
+    fig_a.series.push(s);
+    fig_a.emit(&cfg);
+
+    // (b) fixed budget, varying n.
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![5_000, 10_000, 50_000]
+    } else {
+        vec![5_000, 10_000, 100_000, 500_000, 1_000_000]
+    };
+    let mut fig_b = Figure::new(
+        "fig10b",
+        "GreedyMinVar runtime, budget = 5000, varying n",
+        "n",
+        "seconds",
+    );
+    let mut run_s = Series::new("GreedyMinVar");
+    let mut build_series = Series::new("engine build");
+    let mut log_s = Series::new("log10(seconds)");
+    for n in sizes {
+        let w = scaling_uniqueness(n, cfg.seed).unwrap();
+        let (eng, bsecs) = time_it(|| fc_core::ev::ScopedEv::new(&w.instance, &w.query));
+        let budget = Budget::absolute(5_000);
+        let (sel, secs) = time_it(|| greedy_min_var_with_engine(&w.instance, &eng, budget));
+        println!(
+            "  n = {n:>8}: build {bsecs:.3}s, greedy {secs:.3}s, cleaned {} values",
+            sel.len()
+        );
+        run_s.push(n as f64, secs);
+        build_series.push(n as f64, bsecs);
+        log_s.push(n as f64, secs.max(1e-9).log10());
+    }
+    fig_b.series.extend([run_s, build_series, log_s]);
+    fig_b.emit(&cfg);
+}

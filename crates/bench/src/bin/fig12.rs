@@ -1,0 +1,91 @@
+//! Fig. 12 — competing objectives (§4.6): when the current values are
+//! redrawn from the error model (so Theorem 3.9's centering assumption
+//! fails), Optimum-for-MinVar and GreedyMaxPr pursue different goals.
+//!
+//! (a) both algorithms scored on the MinVar objective (expected
+//!     variance); current values don't matter for it, so one workload
+//!     draw suffices;
+//! (b) both scored on the MaxPr objective (surprise probability),
+//!     averaged over 100 redraws of the current values (10 in --quick).
+
+use fc_bench::{Figure, HarnessCfg, Series};
+use fc_core::algo::{greedy_max_pr, knapsack_optimum_min_var_gaussian};
+use fc_core::ev::ev_gaussian_linear;
+use fc_core::ev::gaussian::MvnSemantics;
+use fc_core::maxpr::surprise_prob_gaussian;
+use fc_core::{Budget, Selection};
+use fc_datasets::workloads::competing_objectives;
+
+fn main() {
+    let cfg = HarnessCfg::from_args();
+    let tau = 25.0;
+    let reps = if cfg.quick { 10 } else { 100 };
+    let fracs = cfg.budget_fracs();
+
+    // (a) MinVar objective, single draw.
+    let w = competing_objectives(cfg.seed).unwrap();
+    let total = w.instance.total_cost();
+    let ev = |sel: &Selection| {
+        ev_gaussian_linear(&w.instance, &w.weights, sel.objects(), MvnSemantics::Marginal)
+            .unwrap()
+    };
+    let mut fig_a = Figure::new(
+        "fig12a",
+        "expected variance (MinVar objective)",
+        "budget_frac",
+        "expected variance",
+    );
+    let mut a_minvar = Series::new("MinVar");
+    let mut a_maxpr = Series::new("MaxPr");
+    for &frac in &fracs {
+        let budget = Budget::fraction(total, frac);
+        let sel_minvar = knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget);
+        let sel_maxpr = greedy_max_pr(&w.instance, &w.weights, budget, tau, MvnSemantics::Marginal);
+        a_minvar.push(frac, ev(&sel_minvar));
+        a_maxpr.push(frac, ev(&sel_maxpr));
+    }
+    fig_a.series.extend([a_minvar, a_maxpr]);
+    fig_a.emit(&cfg);
+
+    // (b) MaxPr objective, averaged over redraws of the current values.
+    let mut fig_b = Figure::new(
+        "fig12b",
+        format!("probability of countering (MaxPr objective, τ = {tau}, {reps} redraws)"),
+        "budget_frac",
+        "probability",
+    );
+    let mut b_minvar = Series::new("MinVar");
+    let mut b_maxpr = Series::new("MaxPr");
+    for &frac in &fracs {
+        let mut p_minvar = 0.0;
+        let mut p_maxpr = 0.0;
+        for rep in 0..reps {
+            let w = competing_objectives(cfg.seed.wrapping_add(rep as u64)).unwrap();
+            let budget = Budget::fraction(w.instance.total_cost(), frac);
+            let sel_minvar =
+                knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget);
+            let sel_maxpr =
+                greedy_max_pr(&w.instance, &w.weights, budget, tau, MvnSemantics::Marginal);
+            p_minvar += surprise_prob_gaussian(
+                &w.instance,
+                &w.weights,
+                sel_minvar.objects(),
+                tau,
+                MvnSemantics::Marginal,
+            )
+            .unwrap();
+            p_maxpr += surprise_prob_gaussian(
+                &w.instance,
+                &w.weights,
+                sel_maxpr.objects(),
+                tau,
+                MvnSemantics::Marginal,
+            )
+            .unwrap();
+        }
+        b_minvar.push(frac, p_minvar / reps as f64);
+        b_maxpr.push(frac, p_maxpr / reps as f64);
+    }
+    fig_b.series.extend([b_minvar, b_maxpr]);
+    fig_b.emit(&cfg);
+}

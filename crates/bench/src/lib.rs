@@ -1,0 +1,497 @@
+//! # fc-bench — the experiment harness
+//!
+//! One binary per figure of the paper's evaluation (`fig01` … `fig12`,
+//! plus `counters` for the §4.3 text results). Each binary prints the
+//! figure's series as an aligned table and writes
+//! `bench_out/<figure>.csv`. Pass `--quick` for a reduced sweep (CI
+//! speed) and `--seed <u64>` to change the workload seed.
+//!
+//! The shared pieces live here: [`Figure`]/[`Series`] (collection +
+//! emission), CLI parsing, gaussian-instance algorithm wrappers used by
+//! the modular figures, and the in-action duplicity posterior used by
+//! Figs. 8/9.
+
+use fc_claims::DupQuery;
+use fc_core::algo::{greedy_static, GreedyConfig};
+use fc_core::ev::modular::modular_benefits_gaussian;
+use fc_core::{Budget, GaussianInstance, Instance, Selection};
+use fc_claims::DecomposableQuery;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One plotted line: label + (x, y) points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (algorithm name, Γ value, …).
+    pub label: String,
+    /// X coordinates (budget fraction, γ, n, …).
+    pub x: Vec<f64>,
+    /// Y values (remaining variance, probability, seconds, …).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+}
+
+/// A figure: id, axis labels, and its series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier (`fig01a`, `fig10b`, …) — also the CSV stem.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Renders an aligned text table (x column + one column per series).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, " {:>16}", truncate(&s.label, 16));
+        }
+        let _ = writeln!(out);
+        let rows = self.series.iter().map(|s| s.x.len()).max().unwrap_or(0);
+        for r in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.x.get(r))
+                .copied()
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "{x:>12.4}");
+            for s in &self.series {
+                match s.y.get(r) {
+                    Some(v) => {
+                        let _ = write!(out, " {v:>16.6}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>16}", "");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv` with header `x,<label...>`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut body = String::new();
+        let _ = write!(body, "{}", self.xlabel.replace(',', ";"));
+        for s in &self.series {
+            let _ = write!(body, ",{}", s.label.replace(',', ";"));
+        }
+        let _ = writeln!(body);
+        let rows = self.series.iter().map(|s| s.x.len()).max().unwrap_or(0);
+        for r in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.x.get(r))
+                .copied()
+                .unwrap_or(f64::NAN);
+            let _ = write!(body, "{x}");
+            for s in &self.series {
+                match s.y.get(r) {
+                    Some(v) => {
+                        let _ = write!(body, ",{v}");
+                    }
+                    None => body.push(','),
+                }
+            }
+            let _ = writeln!(body);
+        }
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+
+    /// Prints the table and writes the CSV, reporting the path.
+    pub fn emit(&self, cfg: &HarnessCfg) {
+        println!("{}", self.render());
+        match self.write_csv(&cfg.out_dir) {
+            Ok(p) => println!("[csv] {}\n", p.display()),
+            Err(e) => eprintln!("[csv] failed: {e}\n"),
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).collect::<String>() + "…"
+    }
+}
+
+/// Harness configuration parsed from argv.
+#[derive(Debug, Clone)]
+pub struct HarnessCfg {
+    /// Reduced sweeps for CI.
+    pub quick: bool,
+    /// Root workload seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessCfg {
+    /// Parses `--quick`, `--seed <u64>`, `--out <dir>` from `std::env`.
+    pub fn from_args() -> Self {
+        let mut cfg = Self {
+            quick: false,
+            seed: 42,
+            out_dir: PathBuf::from("bench_out"),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => cfg.quick = true,
+                "--seed" => {
+                    if let Some(v) = args.next() {
+                        cfg.seed = v.parse().unwrap_or(cfg.seed);
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = args.next() {
+                        cfg.out_dir = PathBuf::from(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// Budget fractions for the x-axis sweeps.
+    pub fn budget_fracs(&self) -> Vec<f64> {
+        if self.quick {
+            vec![0.0, 0.1, 0.25, 0.5, 0.75, 1.0]
+        } else {
+            (0..=20).map(|i| i as f64 / 20.0).collect()
+        }
+    }
+}
+
+/// Gaussian-instance baselines for the modular (fairness) figures.
+/// All return the remaining variance `EV(T) = Σ_{i∉T} wᵢ²σᵢ²`.
+pub mod gaussian_algos {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    /// Remaining fairness variance for a selection.
+    pub fn remaining(benefits: &[f64], sel: &Selection) -> f64 {
+        let total: f64 = benefits.iter().sum();
+        let removed: f64 = sel.objects().iter().map(|&i| benefits[i]).sum();
+        (total - removed).max(0.0)
+    }
+
+    /// `Random` on a Gaussian instance.
+    pub fn random<R: Rng + ?Sized>(
+        inst: &GaussianInstance,
+        budget: Budget,
+        rng: &mut R,
+    ) -> Selection {
+        let mut order: Vec<usize> = (0..inst.len()).collect();
+        order.shuffle(rng);
+        let mut sel = Selection::empty();
+        for i in order {
+            if budget.fits(sel.cost(), inst.cost(i)) {
+                sel.insert(i, inst.cost(i));
+            }
+        }
+        sel
+    }
+
+    /// `GreedyNaiveCostBlind`: descending marginal variance.
+    pub fn naive_cost_blind(
+        inst: &GaussianInstance,
+        weights: &[f64],
+        budget: Budget,
+    ) -> Selection {
+        let mut order: Vec<usize> = (0..inst.len())
+            .filter(|&i| weights[i] != 0.0)
+            .collect();
+        order.sort_by(|&a, &b| inst.variance(b).total_cmp(&inst.variance(a)));
+        let mut sel = Selection::empty();
+        for i in order {
+            if budget.fits(sel.cost(), inst.cost(i)) {
+                sel.insert(i, inst.cost(i));
+            }
+        }
+        sel
+    }
+
+    /// `GreedyNaive`: marginal variance per unit cost.
+    pub fn naive(inst: &GaussianInstance, weights: &[f64], budget: Budget) -> Selection {
+        let benefits: Vec<f64> = (0..inst.len())
+            .map(|i| if weights[i] != 0.0 { inst.variance(i) } else { 0.0 })
+            .collect();
+        greedy_static(&benefits, inst.costs(), budget, GreedyConfig::default())
+    }
+
+    /// The Lemma 3.1 benefits for a linear query.
+    pub fn benefits(inst: &GaussianInstance, weights: &[f64]) -> Vec<f64> {
+        modular_benefits_gaussian(inst, weights)
+    }
+}
+
+/// Posterior mean / standard deviation of the duplicity measure after a
+/// cleaning outcome is revealed (Figs. 8/9): with independent objects
+/// and the revealed ones pinned, `dup = Σ_k Bernoulli(p_k)` with
+/// independent terms whenever claim scopes are disjoint (tiled windows).
+pub fn dup_posterior(
+    instance: &Instance,
+    query: &DupQuery,
+    revealed: &[(usize, f64)],
+) -> (f64, f64) {
+    let mut dists = instance.joint().dists().to_vec();
+    for &(i, v) in revealed {
+        dists[i] = fc_uncertain::DiscreteDist::point(v);
+    }
+    let pinned = fc_uncertain::IndependentJoint::new(dists);
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    for k in 0..query.num_terms() {
+        let scope = query.term_objects(k);
+        let mut p = 0.0;
+        pinned.for_each_outcome(scope, |vals, pr| {
+            if query.eval_term(k, vals) > 0.5 {
+                p += pr;
+            }
+        });
+        mean += p;
+        var += p * (1.0 - p);
+    }
+    (mean, var.sqrt())
+}
+
+
+/// The Γ-sweep shared by Figs. 3/4/5: for each Γ, expected duplicity
+/// variance vs budget for GreedyNaive / GreedyMinVar / Best on the given
+/// synthetic generator.
+pub fn synthetic_uniqueness_sweep(
+    kind: fc_datasets::SyntheticKind,
+    fig_no: u8,
+    cfg: &HarnessCfg,
+) {
+    use fc_core::algo::{
+        best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
+    };
+    use fc_datasets::SyntheticKind;
+    let gammas: Vec<f64> = match kind {
+        SyntheticKind::Lnx => vec![3.0, 3.5, 4.0, 4.5, 5.0, 5.5],
+        _ => vec![50.0, 100.0, 150.0, 200.0, 250.0, 300.0],
+    };
+    let n = if cfg.quick { 20 } else { 40 };
+    for (panel_idx, &gamma) in gammas.iter().enumerate() {
+        let w = fc_datasets::workloads::synthetic_uniqueness(kind, n, gamma, cfg.seed).unwrap();
+        let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+        let total = w.instance.total_cost();
+        let letter = (b'a' + panel_idx as u8) as char;
+        let mut fig = Figure::new(
+            format!("fig{fig_no:02}{letter}"),
+            format!("{} uniqueness, Γ = {gamma}", kind.name()),
+            "budget_frac",
+            "expected variance after cleaning",
+        );
+        let mut naive = Series::new("GreedyNaive");
+        let mut gmv = Series::new("GreedyMinVar");
+        let mut best = Series::new("Best");
+        for frac in cfg.budget_fracs() {
+            let budget = Budget::fraction(total, frac);
+            naive.push(
+                frac,
+                eng.ev_of(greedy_naive(&w.instance, &w.query, budget).objects()),
+            );
+            gmv.push(
+                frac,
+                eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects()),
+            );
+            best.push(
+                frac,
+                eng.ev_of(
+                    best_min_var_with_engine(&w.instance, &eng, budget, BestConfig::default())
+                        .objects(),
+                ),
+            );
+        }
+        fig.series.extend([naive, gmv, best]);
+        fig.emit(cfg);
+    }
+}
+
+
+/// The "effectiveness in action" simulation shared by Figs. 8/9 (§4.3):
+/// fix hidden truths, let each algorithm pick its set per budget, reveal
+/// the truth for the chosen objects, and report the posterior mean /
+/// standard deviation of the duplicity estimate.
+pub fn in_action_sweep(
+    fig_no: u8,
+    title: &str,
+    w: &fc_datasets::workloads::UniquenessWorkload,
+    cfg: &HarnessCfg,
+) {
+    use fc_core::algo::{
+        best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
+    };
+    use fc_uncertain::seeded::child_rng;
+    let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+    let total = w.instance.total_cost();
+    let mut rng = child_rng(cfg.seed, 0x1AC7 + fig_no as u64);
+    let truth: Vec<f64> = (0..w.instance.len())
+        .map(|i| w.instance.dist(i).sample(&mut rng))
+        .collect();
+    let all_revealed: Vec<(usize, f64)> =
+        (0..w.instance.len()).map(|i| (i, truth[i])).collect();
+    let true_dup = dup_posterior(&w.instance, &w.query, &all_revealed).0;
+    println!("(true duplicity under the hidden values: {true_dup})\n");
+
+    let mut mean_fig = Figure::new(
+        format!("fig{fig_no:02}a"),
+        format!("{title} — posterior mean of duplicity (true = {true_dup})"),
+        "budget_frac",
+        "mean",
+    );
+    let mut sd_fig = Figure::new(
+        format!("fig{fig_no:02}b"),
+        format!("{title} — posterior sd of duplicity"),
+        "budget_frac",
+        "standard deviation",
+    );
+    type Selector<'s> = Box<dyn Fn(Budget) -> Selection + 's>;
+    let algs: Vec<(&str, Selector<'_>)> = vec![
+        (
+            "GreedyNaive",
+            Box::new(|b| greedy_naive(&w.instance, &w.query, b)),
+        ),
+        (
+            "GreedyMinVar",
+            Box::new(|b| greedy_min_var_with_engine(&w.instance, &eng, b)),
+        ),
+        (
+            "Best",
+            Box::new(|b| best_min_var_with_engine(&w.instance, &eng, b, BestConfig::default())),
+        ),
+    ];
+    for (label, select) in algs {
+        let mut mean_s = Series::new(label);
+        let mut sd_s = Series::new(label);
+        for frac in cfg.budget_fracs() {
+            let budget = Budget::fraction(total, frac);
+            let sel = select(budget);
+            let revealed: Vec<(usize, f64)> =
+                sel.objects().iter().map(|&i| (i, truth[i])).collect();
+            let (m, s) = dup_posterior(&w.instance, &w.query, &revealed);
+            mean_s.push(frac, m);
+            sd_s.push(frac, s);
+        }
+        mean_fig.series.push(mean_s);
+        sd_fig.series.push(sd_s);
+    }
+    mean_fig.emit(cfg);
+    sd_fig.emit(cfg);
+}
+
+/// Wall-clock helper returning seconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_render_and_csv() {
+        let mut fig = Figure::new("t1", "demo", "x", "val");
+        let mut s = Series::new("alg");
+        s.push(0.0, 1.0);
+        s.push(0.5, 0.25);
+        fig.series.push(s);
+        let text = fig.render();
+        assert!(text.contains("demo") && text.contains("alg"));
+        let dir = std::env::temp_dir().join("fc_bench_test");
+        let p = fig.write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert!(body.starts_with("x,alg"));
+        assert!(body.contains("0.5,0.25"));
+    }
+
+    #[test]
+    fn dup_posterior_pins_values() {
+        use fc_claims::{ClaimSet, Direction, LinearClaim};
+        use fc_uncertain::DiscreteDist;
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 10.0]).unwrap(),
+                DiscreteDist::uniform_over(&[0.0, 10.0]).unwrap(),
+            ],
+            vec![5.0, 5.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 1).unwrap(),
+            vec![
+                LinearClaim::window_sum(0, 1).unwrap(),
+                LinearClaim::window_sum(1, 1).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let q = DupQuery::new(cs, 5.0);
+        // Unrevealed: each term fires w.p. 1/2 ⇒ mean 1, var 0.5.
+        let (m, s) = dup_posterior(&inst, &q, &[]);
+        assert!((m - 1.0).abs() < 1e-12);
+        assert!((s - 0.5f64.sqrt()).abs() < 1e-12);
+        // Reveal object 0 at 10 ⇒ its term certain ⇒ mean 1.5, var 0.25.
+        let (m, s) = dup_posterior(&inst, &q, &[(0, 10.0)]);
+        assert!((m - 1.5).abs() < 1e-12);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+}

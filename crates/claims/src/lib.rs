@@ -1,0 +1,81 @@
+//! # fc-claims — the computational fact-checking claim model
+//!
+//! Implements §2.2 of Sintos, Agarwal & Yang (VLDB 2019), following the
+//! perturbation framework of Wu et al. ("Toward computational
+//! fact-checking", VLDB 2014):
+//!
+//! * a **claim function** `q` maps database values to a number — here
+//!   [`LinearClaim`], `q(X) = b + Σ aᵢ Xᵢ` (window aggregate comparison
+//!   claims, window sums, and any SQL aggregate over certain predicates
+//!   are of this form, §3.4);
+//! * an original claim `q°` is checked against **perturbations**
+//!   `Q = {q₁ … q_m}`, each weighted by a **sensibility** `s_k ≥ 0`,
+//!   `Σ s_k = 1` ([`sensibility`]);
+//! * a **relative strength** `Δ` compares a perturbation against the
+//!   original; with claim [`Direction`] folded in, `Δ_k(X) = dir ·
+//!   (q_k(X) − θ)` where `θ` is the original claim's reference value;
+//! * **claim-quality measures** summarize the `Δ_k` over all
+//!   perturbations: `bias` (fairness), `dup` (uniqueness), `frag`
+//!   (robustness) — exposed as query functions over uncertain data in
+//!   [`quality`], ready for the MinVar/MaxPr machinery in `fc-core`.
+
+pub mod claim;
+pub mod quality;
+pub mod query;
+pub mod sensibility;
+pub mod window;
+
+pub use claim::{ClaimSet, Direction, LinearClaim};
+pub use quality::{BiasQuery, DupQuery, FragQuery};
+pub use query::{ClosureQuery, DecomposableQuery, QueryFunction, ThresholdIndicatorQuery};
+pub use sensibility::Sensibility;
+pub use window::{window_comparison_family, window_sum_family, WindowSpec};
+
+use std::fmt;
+
+/// Errors from claim-model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClaimError {
+    /// A claim referenced no objects.
+    EmptyClaim,
+    /// Sensibility vector length did not match the perturbation count.
+    SensibilityMismatch {
+        /// Number of perturbations.
+        perturbations: usize,
+        /// Number of sensibilities supplied.
+        sensibilities: usize,
+    },
+    /// Sensibilities were negative, non-finite, or summed to zero.
+    InvalidSensibility,
+    /// A window specification fell outside the data range.
+    WindowOutOfRange {
+        /// First out-of-range index.
+        index: usize,
+        /// Number of objects available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ClaimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyClaim => write!(f, "claim references no objects"),
+            Self::SensibilityMismatch {
+                perturbations,
+                sensibilities,
+            } => write!(
+                f,
+                "{perturbations} perturbations but {sensibilities} sensibilities"
+            ),
+            Self::InvalidSensibility => write!(f, "sensibilities must be ≥ 0 and sum > 0"),
+            Self::WindowOutOfRange { index, len } => {
+                write!(f, "window index {index} out of range for {len} objects")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClaimError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ClaimError>;

@@ -1,0 +1,423 @@
+//! Claim-quality measures as query functions over uncertain data.
+//!
+//! The three measures of §2.2 become the `f` of MinVar:
+//!
+//! * [`BiasQuery`] — fairness; affine for linear claims, so the modular
+//!   fast path (Lemma 3.1) applies;
+//! * [`DupQuery`] — uniqueness; a sum of indicators (non-linear);
+//! * [`FragQuery`] — robustness; a sensibility-weighted sum of squared
+//!   negative parts (non-linear).
+//!
+//! Each decomposes per perturbation ([`DecomposableQuery`]), enabling the
+//! Theorem 3.8 scoped `EV` computation. The reference value the
+//! perturbations are compared against can be either a constant `θ`
+//! (typically `q°(u)`, the original claim on current data — the paper's
+//! §2.2 definition) or the *uncertain* original `q°(X)` (the convention
+//! behind §3.4's weight formula `wᵢ = Σ_k s_k (a_{k,i} − a°ᵢ)`); both are
+//! supported via [`Reference`].
+
+use crate::claim::ClaimSet;
+use crate::query::{DecomposableQuery, QueryFunction, ScopedLinear};
+use serde::{Deserialize, Serialize};
+
+/// What perturbations are compared against in `Δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Reference {
+    /// A constant reference (usually `q°(u)` or the claim's stated `Γ`).
+    Constant(f64),
+    /// The uncertain original claim `q°(X)`.
+    UncertainOriginal,
+}
+
+/// Shared machinery: per-term scopes and scoped evaluators for
+/// `Δ_k(X) = dir · (q_k(X) − reference)`.
+#[derive(Debug, Clone)]
+struct DeltaTerms {
+    claims: ClaimSet,
+    reference: Reference,
+    /// Scope (sorted object ids) of each term.
+    scopes: Vec<Vec<usize>>,
+    /// `q_k` re-indexed against its scope.
+    qk: Vec<ScopedLinear>,
+    /// `q°` re-indexed against each scope (only for `UncertainOriginal`).
+    q0: Option<Vec<ScopedLinear>>,
+    /// Union of all scopes.
+    all_objects: Vec<usize>,
+}
+
+impl DeltaTerms {
+    fn new(claims: ClaimSet, reference: Reference) -> Self {
+        let m = claims.len();
+        let mut scopes = Vec::with_capacity(m);
+        let mut qk = Vec::with_capacity(m);
+        let mut q0 = match reference {
+            Reference::UncertainOriginal => Some(Vec::with_capacity(m)),
+            Reference::Constant(_) => None,
+        };
+        for k in 0..m {
+            let mut scope = claims.perturbations()[k].objects();
+            if matches!(reference, Reference::UncertainOriginal) {
+                scope.extend(claims.original().objects());
+                scope.sort_unstable();
+                scope.dedup();
+            }
+            qk.push(ScopedLinear::new(&claims.perturbations()[k], &scope));
+            if let Some(q0v) = q0.as_mut() {
+                q0v.push(ScopedLinear::new(claims.original(), &scope));
+            }
+            scopes.push(scope);
+        }
+        let mut all_objects: Vec<usize> = scopes.iter().flatten().copied().collect();
+        all_objects.sort_unstable();
+        all_objects.dedup();
+        Self {
+            claims,
+            reference,
+            scopes,
+            qk,
+            q0,
+            all_objects,
+        }
+    }
+
+    /// `Δ_k` on a scope-aligned buffer.
+    #[inline]
+    fn delta_scoped(&self, k: usize, scoped: &[f64]) -> f64 {
+        let reference = match (self.reference, &self.q0) {
+            (Reference::Constant(t), _) => t,
+            (Reference::UncertainOriginal, Some(q0)) => q0[k].eval(scoped),
+            (Reference::UncertainOriginal, None) => unreachable!("q0 built for uncertain mode"),
+        };
+        self.claims.direction().sign() * (self.qk[k].eval(scoped) - reference)
+    }
+
+    /// `Δ_k` on a full value vector.
+    #[inline]
+    fn delta_full(&self, k: usize, values: &[f64]) -> f64 {
+        let reference = match self.reference {
+            Reference::Constant(t) => t,
+            Reference::UncertainOriginal => self.claims.original().eval(values),
+        };
+        self.claims.direction().sign() * (self.claims.perturbations()[k].eval(values) - reference)
+    }
+}
+
+macro_rules! impl_common_accessors {
+    ($ty:ty) => {
+        impl $ty {
+            /// The underlying claim set.
+            pub fn claims(&self) -> &ClaimSet {
+                &self.terms.claims
+            }
+
+            /// The reference the perturbations are compared against.
+            pub fn reference(&self) -> Reference {
+                self.terms.reference
+            }
+        }
+    };
+}
+
+/// Fairness: `bias(θ, X) = Σ_k s_k · Δ_k(X)`.
+#[derive(Debug, Clone)]
+pub struct BiasQuery {
+    terms: DeltaTerms,
+}
+
+impl BiasQuery {
+    /// Bias against a constant reference `θ` (the §2.2 definition with
+    /// `θ = q°(u)`).
+    pub fn new(claims: ClaimSet, theta: f64) -> Self {
+        Self {
+            terms: DeltaTerms::new(claims, Reference::Constant(theta)),
+        }
+    }
+
+    /// Bias against the uncertain original `q°(X)` (§3.4's weight form).
+    pub fn relative_to_original(claims: ClaimSet) -> Self {
+        Self {
+            terms: DeltaTerms::new(claims, Reference::UncertainOriginal),
+        }
+    }
+}
+
+impl_common_accessors!(BiasQuery);
+
+impl QueryFunction for BiasQuery {
+    fn objects(&self) -> Vec<usize> {
+        self.terms.all_objects.clone()
+    }
+
+    fn eval(&self, values: &[f64]) -> f64 {
+        let cs = &self.terms.claims;
+        cs.sensibilities()
+            .iter()
+            .enumerate()
+            .map(|(k, s)| s * self.terms.delta_full(k, values))
+            .sum()
+    }
+
+    fn as_affine(&self, n: usize) -> Option<(Vec<f64>, f64)> {
+        // bias = Σ_k s_k · dir · (q_k(X) − ref). Affine in X for both
+        // reference modes; constants fold into b.
+        let cs = &self.terms.claims;
+        let dir = cs.direction().sign();
+        let mut w = vec![0.0; n];
+        let mut b = 0.0;
+        for (k, &s) in cs.sensibilities().iter().enumerate() {
+            let q = &cs.perturbations()[k];
+            for &(i, a) in q.terms() {
+                w[i] += s * dir * a;
+            }
+            b += s * dir * q.bias_term();
+            match self.terms.reference {
+                Reference::Constant(t) => b -= s * dir * t,
+                Reference::UncertainOriginal => {
+                    for &(i, a) in cs.original().terms() {
+                        w[i] -= s * dir * a;
+                    }
+                    b -= s * dir * cs.original().bias_term();
+                }
+            }
+        }
+        Some((w, b))
+    }
+}
+
+impl DecomposableQuery for BiasQuery {
+    fn num_terms(&self) -> usize {
+        self.terms.claims.len()
+    }
+
+    fn term_objects(&self, k: usize) -> &[usize] {
+        &self.terms.scopes[k]
+    }
+
+    fn eval_term(&self, k: usize, scoped: &[f64]) -> f64 {
+        self.terms.claims.sensibilities()[k] * self.terms.delta_scoped(k, scoped)
+    }
+}
+
+/// Uniqueness: `dup(θ, X) = Σ_k 1[Δ_k(X) ≥ 0]`.
+#[derive(Debug, Clone)]
+pub struct DupQuery {
+    terms: DeltaTerms,
+}
+
+impl DupQuery {
+    /// Duplicity against a constant reference `θ`.
+    pub fn new(claims: ClaimSet, theta: f64) -> Self {
+        Self {
+            terms: DeltaTerms::new(claims, Reference::Constant(theta)),
+        }
+    }
+
+    /// Duplicity against the uncertain original `q°(X)`.
+    pub fn relative_to_original(claims: ClaimSet) -> Self {
+        Self {
+            terms: DeltaTerms::new(claims, Reference::UncertainOriginal),
+        }
+    }
+}
+
+impl_common_accessors!(DupQuery);
+
+impl QueryFunction for DupQuery {
+    fn objects(&self) -> Vec<usize> {
+        self.terms.all_objects.clone()
+    }
+
+    fn eval(&self, values: &[f64]) -> f64 {
+        (0..self.terms.claims.len())
+            .filter(|&k| self.terms.delta_full(k, values) >= 0.0)
+            .count() as f64
+    }
+}
+
+impl DecomposableQuery for DupQuery {
+    fn num_terms(&self) -> usize {
+        self.terms.claims.len()
+    }
+
+    fn term_objects(&self, k: usize) -> &[usize] {
+        &self.terms.scopes[k]
+    }
+
+    fn eval_term(&self, k: usize, scoped: &[f64]) -> f64 {
+        if self.terms.delta_scoped(k, scoped) >= 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Robustness: `frag(θ, X) = Σ_k s_k · min{Δ_k(X), 0}²`.
+#[derive(Debug, Clone)]
+pub struct FragQuery {
+    terms: DeltaTerms,
+}
+
+impl FragQuery {
+    /// Fragility against a constant reference `θ`.
+    pub fn new(claims: ClaimSet, theta: f64) -> Self {
+        Self {
+            terms: DeltaTerms::new(claims, Reference::Constant(theta)),
+        }
+    }
+
+    /// Fragility against the uncertain original `q°(X)`.
+    pub fn relative_to_original(claims: ClaimSet) -> Self {
+        Self {
+            terms: DeltaTerms::new(claims, Reference::UncertainOriginal),
+        }
+    }
+}
+
+impl_common_accessors!(FragQuery);
+
+impl QueryFunction for FragQuery {
+    fn objects(&self) -> Vec<usize> {
+        self.terms.all_objects.clone()
+    }
+
+    fn eval(&self, values: &[f64]) -> f64 {
+        let cs = &self.terms.claims;
+        cs.sensibilities()
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let d = self.terms.delta_full(k, values).min(0.0);
+                s * d * d
+            })
+            .sum()
+    }
+}
+
+impl DecomposableQuery for FragQuery {
+    fn num_terms(&self) -> usize {
+        self.terms.claims.len()
+    }
+
+    fn term_objects(&self, k: usize) -> &[usize] {
+        &self.terms.scopes[k]
+    }
+
+    fn eval_term(&self, k: usize, scoped: &[f64]) -> f64 {
+        let d = self.terms.delta_scoped(k, scoped).min(0.0);
+        self.terms.claims.sensibilities()[k] * d * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claim::{Direction, LinearClaim};
+
+    fn small_claimset() -> ClaimSet {
+        // q° = X0 + X1; perturbations: X0+X1 (itself) and X2+X3.
+        ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![
+                LinearClaim::window_sum(0, 2).unwrap(),
+                LinearClaim::window_sum(2, 2).unwrap(),
+            ],
+            vec![0.5, 0.5],
+            Direction::HigherIsStronger,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bias_eval_matches_terms() {
+        let q = BiasQuery::new(small_claimset(), 3.0);
+        let x = [1.0, 2.0, 4.0, 5.0];
+        // Δ1 = (1+2)−3 = 0; Δ2 = (4+5)−3 = 6; bias = 0.5·0 + 0.5·6 = 3.
+        assert!((q.eval(&x) - 3.0).abs() < 1e-12);
+        // Sum of scoped terms equals full eval.
+        let t0 = q.eval_term(0, &[1.0, 2.0]);
+        let t1 = q.eval_term(1, &[4.0, 5.0]);
+        assert!((t0 + t1 - q.eval(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_affine_matches_eval() {
+        let q = BiasQuery::new(small_claimset(), 3.0);
+        let (w, b) = q.as_affine(4).unwrap();
+        let x = [1.0, 2.0, 4.0, 5.0];
+        let lin: f64 = b + w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>();
+        assert!((lin - q.eval(&x)).abs() < 1e-12);
+        assert_eq!(w, vec![0.5, 0.5, 0.5, 0.5]);
+        assert!((b + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_relative_to_original_affine() {
+        let q = BiasQuery::relative_to_original(small_claimset());
+        let (w, b) = q.as_affine(4).unwrap();
+        // w = Σ s_k a_k − a° (dir = +1): perturbation weights (0.5,0.5,0.5,0.5)
+        // minus original (1,1,0,0) ⇒ (−0.5, −0.5, 0.5, 0.5).
+        assert_eq!(w, vec![-0.5, -0.5, 0.5, 0.5]);
+        assert_eq!(b, 0.0);
+        let x = [1.0, 2.0, 4.0, 5.0];
+        let lin: f64 = b + w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>();
+        assert!((lin - q.eval(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dup_counts() {
+        let q = DupQuery::new(small_claimset(), 3.0);
+        let x = [1.0, 2.0, 4.0, 5.0];
+        assert_eq!(q.eval(&x), 2.0); // both Δ ≥ 0
+        let x = [0.0, 0.0, 4.0, 5.0];
+        assert_eq!(q.eval(&x), 1.0);
+        assert_eq!(q.eval_term(0, &[0.0, 0.0]), 0.0);
+        assert_eq!(q.eval_term(1, &[4.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn dup_lower_is_stronger() {
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(2, 2).unwrap()],
+            vec![1.0],
+            Direction::LowerIsStronger,
+        )
+        .unwrap();
+        let q = DupQuery::new(cs, 10.0);
+        assert_eq!(q.eval(&[0.0, 0.0, 4.0, 5.0]), 1.0); // 9 ≤ 10 ⇒ stronger
+        assert_eq!(q.eval(&[0.0, 0.0, 6.0, 5.0]), 0.0); // 11 > 10
+    }
+
+    #[test]
+    fn frag_squares_weakenings() {
+        let q = FragQuery::new(small_claimset(), 3.0);
+        let x = [1.0, 0.0, 4.0, 5.0]; // Δ1 = −2 (weakens), Δ2 = 6
+        assert!((q.eval(&x) - 0.5 * 4.0).abs() < 1e-12);
+        assert!((q.eval_term(0, &[1.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(q.eval_term(1, &[4.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dup_and_frag_have_no_affine_form() {
+        let q = DupQuery::new(small_claimset(), 3.0);
+        assert!(q.as_affine(4).is_none());
+        let q = FragQuery::new(small_claimset(), 3.0);
+        assert!(q.as_affine(4).is_none());
+    }
+
+    #[test]
+    fn uncertain_original_scopes_include_q0() {
+        let q = DupQuery::relative_to_original(small_claimset());
+        // Term 1's scope must include q°'s objects {0,1} plus its own {2,3}.
+        assert_eq!(q.term_objects(1), &[0, 1, 2, 3]);
+        // Scoped eval: q1 = X2+X3 = 9, q° = X0+X1 = 3 ⇒ Δ = 6 ≥ 0.
+        assert_eq!(q.eval_term(1, &[1.0, 2.0, 4.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn objects_union() {
+        let q = BiasQuery::new(small_claimset(), 0.0);
+        assert_eq!(q.objects(), vec![0, 1, 2, 3]);
+    }
+}

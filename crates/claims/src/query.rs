@@ -1,0 +1,240 @@
+//! Query-function abstractions consumed by the MinVar / MaxPr engines.
+//!
+//! A [`QueryFunction`] is the paper's `f`: a real-valued function of the
+//! object values. The optimization engines in `fc-core` work against this
+//! trait. Queries that decompose into a sum of *scoped* terms — one term
+//! per claim, each referencing only that claim's objects — additionally
+//! implement [`DecomposableQuery`], which unlocks the polynomial
+//! Theorem 3.8 `EV` computation (per-term variances + per-pair
+//! covariances over small scopes instead of the full joint).
+
+use crate::claim::LinearClaim;
+use serde::{Deserialize, Serialize};
+
+/// The paper's query function `f : values → ℝ`.
+pub trait QueryFunction {
+    /// Sorted object indices `f` depends on.
+    fn objects(&self) -> Vec<usize>;
+
+    /// Evaluates `f` on a full value vector (indexed by object id).
+    fn eval(&self, values: &[f64]) -> f64;
+
+    /// If `f` is affine — `f(X) = b + Σ wᵢ Xᵢ` — its dense weights and
+    /// constant, enabling the modular fast paths of Lemma 3.1.
+    fn as_affine(&self, _n: usize) -> Option<(Vec<f64>, f64)> {
+        None
+    }
+}
+
+/// A query decomposing as `f(X) = Σ_k term_k(X)`, where `term_k` depends
+/// only on the objects in `term_objects(k)`.
+pub trait DecomposableQuery: QueryFunction {
+    /// Number of additive terms (`m`, the perturbation count).
+    fn num_terms(&self) -> usize;
+
+    /// Sorted object indices referenced by term `k`.
+    fn term_objects(&self, k: usize) -> &[usize];
+
+    /// Evaluates term `k` on values aligned with [`Self::term_objects`].
+    fn eval_term(&self, k: usize, scoped: &[f64]) -> f64;
+}
+
+/// A [`LinearClaim`] re-indexed against an explicit scope, so it can be
+/// evaluated on scope-aligned value buffers without touching the full
+/// value vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ScopedLinear {
+    /// `(position in scope, weight)` pairs.
+    terms: Vec<(usize, f64)>,
+    bias: f64,
+}
+
+impl ScopedLinear {
+    /// Re-indexes `claim` against `scope` (which must contain all of the
+    /// claim's objects, sorted ascending).
+    pub(crate) fn new(claim: &LinearClaim, scope: &[usize]) -> Self {
+        let terms = claim
+            .terms()
+            .iter()
+            .map(|&(obj, w)| {
+                let pos = scope
+                    .binary_search(&obj)
+                    .expect("scope must cover the claim's objects");
+                (pos, w)
+            })
+            .collect();
+        Self {
+            terms,
+            bias: claim.bias_term(),
+        }
+    }
+
+    /// Evaluates on a scope-aligned buffer.
+    #[inline]
+    pub(crate) fn eval(&self, scoped: &[f64]) -> f64 {
+        self.bias
+            + self
+                .terms
+                .iter()
+                .map(|&(pos, w)| w * scoped[pos])
+                .sum::<f64>()
+    }
+}
+
+/// Whether an indicator fires below or at-least a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndicatorSense {
+    /// `1[q(X) < Γ]` (strict).
+    Below,
+    /// `1[q(X) ≥ Γ]`.
+    AtLeast,
+}
+
+/// A threshold indicator query `1[q(X) < Γ]` or `1[q(X) ≥ Γ]` for a linear
+/// `q` — the non-linear query shape of Examples 3 and 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdIndicatorQuery {
+    claim: LinearClaim,
+    objects: Vec<usize>,
+    scoped: ScopedLinear,
+    threshold: f64,
+    sense: IndicatorSense,
+}
+
+impl ThresholdIndicatorQuery {
+    /// Builds the indicator for `claim` against `threshold`.
+    pub fn new(claim: LinearClaim, threshold: f64, sense: IndicatorSense) -> Self {
+        let objects = claim.objects();
+        let scoped = ScopedLinear::new(&claim, &objects);
+        Self {
+            claim,
+            objects,
+            scoped,
+            threshold,
+            sense,
+        }
+    }
+
+    /// The underlying linear claim.
+    pub fn claim(&self) -> &LinearClaim {
+        &self.claim
+    }
+
+    /// The threshold `Γ`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    #[inline]
+    fn indicate(&self, q: f64) -> f64 {
+        let fired = match self.sense {
+            IndicatorSense::Below => q < self.threshold,
+            IndicatorSense::AtLeast => q >= self.threshold,
+        };
+        if fired {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl QueryFunction for ThresholdIndicatorQuery {
+    fn objects(&self) -> Vec<usize> {
+        self.objects.clone()
+    }
+
+    fn eval(&self, values: &[f64]) -> f64 {
+        self.indicate(self.claim.eval(values))
+    }
+}
+
+impl DecomposableQuery for ThresholdIndicatorQuery {
+    fn num_terms(&self) -> usize {
+        1
+    }
+
+    fn term_objects(&self, _k: usize) -> &[usize] {
+        &self.objects
+    }
+
+    fn eval_term(&self, _k: usize, scoped: &[f64]) -> f64 {
+        self.indicate(self.scoped.eval(scoped))
+    }
+}
+
+/// An arbitrary query given by a closure over the full value vector.
+/// Implements only [`QueryFunction`] (no decomposition), so it exercises
+/// the exact/Monte-Carlo engines — handy for tests and custom analyses.
+pub struct ClosureQuery<F: Fn(&[f64]) -> f64> {
+    objects: Vec<usize>,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64> ClosureQuery<F> {
+    /// Wraps `f`, declaring the objects it reads.
+    pub fn new(mut objects: Vec<usize>, f: F) -> Self {
+        objects.sort_unstable();
+        objects.dedup();
+        Self { objects, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64> QueryFunction for ClosureQuery<F> {
+    fn objects(&self) -> Vec<usize> {
+        self.objects.clone()
+    }
+
+    fn eval(&self, values: &[f64]) -> f64 {
+        (self.f)(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_linear_matches_full_eval() {
+        let c = LinearClaim::new([(2, 1.5), (7, -2.0)], 0.5).unwrap();
+        let scope = vec![0, 2, 5, 7];
+        let s = ScopedLinear::new(&c, &scope);
+        let full = [9.0, 0.0, 4.0, 0.0, 0.0, 1.0, 0.0, 3.0];
+        let scoped = [9.0, 4.0, 1.0, 3.0];
+        assert_eq!(s.eval(&scoped), c.eval(&full));
+    }
+
+    #[test]
+    fn indicator_example3_shape() {
+        // f(X) = 1[X1 + X2 + X3 < 3] over binary values.
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 3).unwrap(),
+            3.0,
+            IndicatorSense::Below,
+        );
+        assert_eq!(q.eval(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(q.eval(&[1.0, 0.0, 1.0]), 1.0);
+        assert_eq!(q.num_terms(), 1);
+        assert_eq!(q.term_objects(0), &[0, 1, 2]);
+        assert_eq!(q.eval_term(0, &[1.0, 1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn indicator_at_least_sense() {
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            5.0,
+            IndicatorSense::AtLeast,
+        );
+        assert_eq!(q.eval(&[2.0, 3.0]), 1.0); // 5 >= 5
+        assert_eq!(q.eval(&[2.0, 2.9]), 0.0);
+    }
+
+    #[test]
+    fn closure_query() {
+        let q = ClosureQuery::new(vec![1, 0, 1], |v| v[0] * v[1]);
+        assert_eq!(q.objects(), vec![0, 1]);
+        assert_eq!(q.eval(&[3.0, 4.0]), 12.0);
+        assert!(q.as_affine(2).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Sensibility assignments over perturbation families.
+//!
+//! "Not all perturbations are equally relevant … we associate each
+//! perturbation `q_k` with a sensibility `s_k ≥ 0` such that `Σ s_k = 1`"
+//! (§2.2). The experiments let sensibility "decay exponentially (at rate
+//! λ = 1.5) over its distance to the original claim (as measured by the
+//! number of years between the endpoints of their comparison periods)"
+//! (§4.1).
+
+use crate::{ClaimError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A normalized sensibility vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensibility {
+    weights: Vec<f64>,
+}
+
+impl Sensibility {
+    /// Uniform sensibility over `m` perturbations.
+    pub fn uniform(m: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(ClaimError::InvalidSensibility);
+        }
+        Ok(Self {
+            weights: vec![1.0 / m as f64; m],
+        })
+    }
+
+    /// Exponential decay at rate `lambda > 1` over per-perturbation
+    /// distances: `s_k ∝ λ^{−d_k}`, normalized to sum to 1.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe validations
+    pub fn exponential_decay(lambda: f64, distances: &[f64]) -> Result<Self> {
+        if distances.is_empty() || !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(ClaimError::InvalidSensibility);
+        }
+        if distances.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(ClaimError::InvalidSensibility);
+        }
+        // Subtract the min distance before exponentiating so very distant
+        // perturbations cannot underflow the whole family to zero.
+        let dmin = distances.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let raw: Vec<f64> = distances
+            .iter()
+            .map(|&d| lambda.powf(-(d - dmin)))
+            .collect();
+        Self::from_weights(&raw)
+    }
+
+    /// Normalizes arbitrary non-negative weights.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe validations
+    pub fn from_weights(weights: &[f64]) -> Result<Self> {
+        let total: f64 = weights.iter().sum();
+        if weights.is_empty()
+            || !(total > 0.0)
+            || weights.iter().any(|&w| !(w >= 0.0) || !w.is_finite())
+        {
+            return Err(ClaimError::InvalidSensibility);
+        }
+        Ok(Self {
+            weights: weights.iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// The normalized weights (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Consumes into the weight vector.
+    pub fn into_weights(self) -> Vec<f64> {
+        self.weights
+    }
+
+    /// Number of perturbations covered.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the vector is empty (never true for validated instances).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let s = Sensibility::uniform(4).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!((s.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((s.weights()[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_decay_ratios() {
+        // λ = 1.5, distances 0,1,2 ⇒ weights ∝ 1, 1/1.5, 1/2.25.
+        let s = Sensibility::exponential_decay(1.5, &[0.0, 1.0, 2.0]).unwrap();
+        let w = s.weights();
+        assert!((w[0] / w[1] - 1.5).abs() < 1e-12);
+        assert!((w[1] / w[2] - 1.5).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_is_shift_invariant() {
+        let a = Sensibility::exponential_decay(1.5, &[0.0, 3.0]).unwrap();
+        let b = Sensibility::exponential_decay(1.5, &[10.0, 13.0]).unwrap();
+        for (x, y) in a.weights().iter().zip(b.weights()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Sensibility::uniform(0).is_err());
+        assert!(Sensibility::exponential_decay(1.5, &[]).is_err());
+        assert!(Sensibility::exponential_decay(0.0, &[1.0]).is_err());
+        assert!(Sensibility::exponential_decay(1.5, &[-1.0]).is_err());
+        assert!(Sensibility::from_weights(&[0.0, 0.0]).is_err());
+        assert!(Sensibility::from_weights(&[1.0, -0.5]).is_err());
+    }
+}

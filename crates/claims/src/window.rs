@@ -1,0 +1,198 @@
+//! Window-claim perturbation families.
+//!
+//! Two families cover every experiment in the paper:
+//!
+//! * **Window aggregate comparison** (Example 4, Fig. 1): the claim
+//!   compares the sums of two back-to-back windows of equal length
+//!   (`Σ later − Σ earlier`); perturbations shift the comparison through
+//!   the series, and sensibility decays exponentially with the shift.
+//! * **Window sum** (§4.2, Figs. 2–9): the claim states the sum over one
+//!   window is "as low as Γ" (uniqueness) or "as high as Γ′" (robustness);
+//!   perturbations are the sums over the other width-aligned windows.
+
+use crate::claim::{ClaimSet, Direction, LinearClaim};
+use crate::sensibility::Sensibility;
+use crate::{ClaimError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A back-to-back window comparison: earlier window `[later_start − width,
+/// later_start)` vs. later window `[later_start, later_start + width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Start index of the *later* window; the earlier window directly
+    /// precedes it.
+    pub later_start: usize,
+    /// Window length (`w` in the paper).
+    pub width: usize,
+}
+
+impl WindowSpec {
+    /// The comparison claim `Σ later − Σ earlier` for this spec.
+    pub fn claim(&self) -> Result<LinearClaim> {
+        if self.later_start < self.width {
+            return Err(ClaimError::WindowOutOfRange {
+                index: self.later_start,
+                len: self.width,
+            });
+        }
+        LinearClaim::window_comparison(self.later_start - self.width, self.later_start, self.width)
+    }
+}
+
+/// Builds the window-comparison claim set used by the fairness
+/// experiments (Fig. 1): the original compares `[later_start − width,
+/// later_start)` against `[later_start, later_start + width)`; the
+/// perturbations are every other valid back-to-back comparison in a
+/// series of `series_len` values. Sensibility decays exponentially at
+/// rate `lambda` with the distance (in positions) between a
+/// perturbation's later-window start and the original's.
+///
+/// `include_original` controls whether the original comparison also
+/// appears in the perturbation family (the paper's counts imply both
+/// conventions: 18 perturbations for Adoptions excludes it; 10 for
+/// CDC-firearms includes it).
+pub fn window_comparison_family(
+    series_len: usize,
+    width: usize,
+    original_later_start: usize,
+    lambda: f64,
+    include_original: bool,
+) -> Result<ClaimSet> {
+    if width == 0
+        || original_later_start < width
+        || original_later_start + width > series_len
+    {
+        return Err(ClaimError::WindowOutOfRange {
+            index: original_later_start,
+            len: series_len,
+        });
+    }
+    let original = WindowSpec {
+        later_start: original_later_start,
+        width,
+    }
+    .claim()?;
+    let mut perturbations = Vec::new();
+    let mut distances = Vec::new();
+    for ls in width..=(series_len - width) {
+        if ls == original_later_start && !include_original {
+            continue;
+        }
+        perturbations.push(
+            WindowSpec {
+                later_start: ls,
+                width,
+            }
+            .claim()?,
+        );
+        distances.push(ls.abs_diff(original_later_start) as f64);
+    }
+    let sens = Sensibility::exponential_decay(lambda, &distances)?;
+    ClaimSet::new(
+        original,
+        perturbations,
+        sens.into_weights(),
+        Direction::HigherIsStronger,
+    )
+}
+
+/// Builds the window-sum claim set used by the uniqueness/robustness
+/// experiments (§4.2): the original sums `[original_start,
+/// original_start + width)`; the perturbations are the width-aligned
+/// tiles `[0, width), [width, 2·width), …` that fit in the series (the
+/// original is naturally included when it lies on the tile grid — this
+/// reproduces the paper's perturbation counts: 8 for CDC with 17 years /
+/// width 2, 10 for the n = 40 / width 4 synthetics, 25 for n = 100 /
+/// width 4). Sensibility decays exponentially at rate `lambda` with tile
+/// distance from the original window.
+pub fn window_sum_family(
+    series_len: usize,
+    width: usize,
+    original_start: usize,
+    direction: Direction,
+    lambda: f64,
+) -> Result<ClaimSet> {
+    if width == 0 || original_start + width > series_len {
+        return Err(ClaimError::WindowOutOfRange {
+            index: original_start,
+            len: series_len,
+        });
+    }
+    let original = LinearClaim::window_sum(original_start, width)?;
+    let mut perturbations = Vec::new();
+    let mut distances = Vec::new();
+    let mut start = 0usize;
+    while start + width <= series_len {
+        perturbations.push(LinearClaim::window_sum(start, width)?);
+        distances.push((start.abs_diff(original_start) as f64) / width as f64);
+        start += width;
+    }
+    let sens = Sensibility::exponential_decay(lambda, &distances)?;
+    ClaimSet::new(original, perturbations, sens.into_weights(), direction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn giuliani_family_counts() {
+        // Adoptions: 26 years (1989–2014), width 4, original later window
+        // starts at index 4 (1993–1996 vs 1989–1992) ⇒ 18 perturbations
+        // when the original comparison is excluded.
+        let cs = window_comparison_family(26, 4, 4, 1.5, false).unwrap();
+        assert_eq!(cs.len(), 18);
+        // Sensibility peaks at the perturbation closest to the original.
+        let w = cs.sensibilities();
+        assert!(w[0] > w[1], "closest perturbation should dominate");
+    }
+
+    #[test]
+    fn cdc_firearms_comparison_counts() {
+        // 17 years, width 4, original 2001–2004 vs 2005–2008 (later start
+        // 4), original included ⇒ 10 perturbations.
+        let cs = window_comparison_family(17, 4, 4, 1.5, true).unwrap();
+        assert_eq!(cs.len(), 10);
+    }
+
+    #[test]
+    fn window_sum_counts_match_paper() {
+        // CDC (17 years, width 2, original = last two years, start 15):
+        // tiles at 0,2,…,14 ⇒ 8 perturbations.
+        let cs = window_sum_family(17, 2, 15, Direction::LowerIsStronger, 1.5).unwrap();
+        assert_eq!(cs.len(), 8);
+        // Synthetic n = 40, width 4, original last tile ⇒ 10 perturbations.
+        let cs = window_sum_family(40, 4, 36, Direction::LowerIsStronger, 1.5).unwrap();
+        assert_eq!(cs.len(), 10);
+        // Robustness n = 100, width 4 ⇒ 25 perturbations.
+        let cs = window_sum_family(100, 4, 96, Direction::HigherIsStronger, 1.5).unwrap();
+        assert_eq!(cs.len(), 25);
+    }
+
+    #[test]
+    fn window_sum_family_claims_are_disjoint_tiles() {
+        let cs = window_sum_family(8, 2, 6, Direction::LowerIsStronger, 1.5).unwrap();
+        assert_eq!(cs.len(), 4);
+        for k in 0..cs.len() {
+            for k2 in (k + 1)..cs.len() {
+                assert!(!cs.shares_object(k, k2), "tiles {k} and {k2} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_rejects_bad_windows() {
+        assert!(window_comparison_family(10, 4, 2, 1.5, false).is_err()); // earlier would start < 0
+        assert!(window_comparison_family(10, 4, 7, 1.5, false).is_err()); // later overruns
+        assert!(window_comparison_family(10, 0, 4, 1.5, false).is_err());
+        assert!(window_sum_family(10, 3, 9, Direction::LowerIsStronger, 1.5).is_err());
+    }
+
+    #[test]
+    fn comparison_claim_evaluates() {
+        let cs = window_comparison_family(8, 2, 4, 1.5, false).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        // Original: (x4+x5) − (x2+x3) = 9 − 5 = 4.
+        assert_eq!(cs.original_value(&x), 4.0);
+    }
+}

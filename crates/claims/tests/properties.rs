@@ -1,0 +1,101 @@
+//! Property-based tests for the claim model.
+
+use fc_claims::{
+    window_comparison_family, window_sum_family, Direction, LinearClaim, Sensibility,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Linear claims evaluate linearly: q(αx + βy) relates affinely.
+    #[test]
+    fn linear_claim_is_linear(
+        terms in prop::collection::vec((0usize..8, -5.0f64..5.0), 1..6),
+        x in prop::collection::vec(-10.0f64..10.0, 8),
+        y in prop::collection::vec(-10.0f64..10.0, 8),
+        alpha in -3.0f64..3.0,
+    ) {
+        // Ensure at least one nonzero weight survives merging.
+        let mut terms = terms;
+        terms.push((0, 1.0));
+        let c = LinearClaim::new(terms, 2.5).unwrap();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + (1.0 - alpha) * b).collect();
+        let lhs = c.eval(&combo);
+        let rhs = alpha * c.eval(&x) + (1.0 - alpha) * c.eval(&y);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    /// Dense weights agree with sparse evaluation.
+    #[test]
+    fn dense_weights_roundtrip(
+        terms in prop::collection::vec((0usize..10, -5.0f64..5.0), 1..8),
+        x in prop::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        let mut terms = terms;
+        terms.push((3, 2.0));
+        let c = LinearClaim::new(terms, -1.0).unwrap();
+        let w = c.dense_weights(10);
+        let dense: f64 = c.bias_term()
+            + w.iter().zip(&x).map(|(a, b)| a * b).sum::<f64>();
+        prop_assert!((dense - c.eval(&x)).abs() < 1e-9);
+    }
+
+    /// Sensibility vectors are always normalized, order-respecting for
+    /// exponential decay (smaller distance ⇒ larger weight).
+    #[test]
+    fn sensibility_normalized_and_monotone(
+        distances in prop::collection::vec(0.0f64..20.0, 2..10),
+        lambda in 1.05f64..3.0,
+    ) {
+        let s = Sensibility::exponential_decay(lambda, &distances).unwrap();
+        let total: f64 = s.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (i, &di) in distances.iter().enumerate() {
+            for (j, &dj) in distances.iter().enumerate() {
+                if di < dj {
+                    prop_assert!(
+                        s.weights()[i] >= s.weights()[j] - 1e-12,
+                        "closer perturbation must not get less weight"
+                    );
+                }
+            }
+        }
+    }
+
+    /// dup is integral in [0, m]; frag is non-negative; bias flips sign
+    /// with the claim direction.
+    #[test]
+    fn quality_measure_ranges(
+        series in prop::collection::vec(0.0f64..100.0, 12),
+        theta in 0.0f64..300.0,
+    ) {
+        let cs = window_sum_family(12, 3, 9, Direction::HigherIsStronger, 1.5).unwrap();
+        let m = cs.len() as f64;
+        let dup = cs.dup(&series, theta);
+        prop_assert!(dup >= 0.0 && dup <= m && dup.fract() == 0.0);
+        prop_assert!(cs.frag(&series, theta) >= 0.0);
+        let flipped = cs.with_direction(Direction::LowerIsStronger);
+        prop_assert!(
+            (cs.bias(&series, theta) + flipped.bias(&series, theta)).abs() < 1e-9
+        );
+    }
+
+    /// Window-comparison families always produce the advertised number
+    /// of perturbations and reference only in-range objects.
+    #[test]
+    fn window_family_counts(
+        len in 8usize..40,
+        width in 1usize..4,
+    ) {
+        let later = width; // earliest valid comparison
+        if later + width > len { return Ok(()); }
+        let cs = window_comparison_family(len, width, later, 1.5, false).unwrap();
+        // Number of valid later-starts minus the original.
+        let expect = (len - 2 * width + 1) - 1;
+        prop_assert_eq!(cs.len(), expect);
+        for q in cs.perturbations() {
+            for &(obj, _) in q.terms() {
+                prop_assert!(obj < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Adaptive (sequential) cleaning for MaxPr — the §6 future-work
+//! extension: "instead of making all choices upfront, an algorithm can
+//! adapt its data cleaning actions to the outcome of its earlier
+//! actions, which is particularly useful to MaxPr."
+//!
+//! The policy below cleans one object at a time. After each cleaning the
+//! revealed true value replaces the current value, the remaining
+//! deviation target is re-derived, and the next object is chosen to
+//! maximize the one-step surprise probability. The simulation stops as
+//! soon as the surprise threshold is met (a counterargument exists) or
+//! no affordable candidate can still help.
+
+use crate::budget::Budget;
+use crate::instance::Instance;
+use crate::maxpr::convolution::surprise_prob_convolution;
+use crate::selection::Selection;
+use crate::{CoreError, Result};
+use fc_claims::QueryFunction;
+
+/// Result of an adaptive MaxPr simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOutcome {
+    /// Objects cleaned, in cleaning order.
+    pub order: Vec<usize>,
+    /// The final selection (same objects as `order`).
+    pub selection: Selection,
+    /// Whether the surprise target `f(final) < f(u) − τ` was reached.
+    pub surprised: bool,
+    /// The query value on the final (partially revealed) database.
+    pub final_value: f64,
+}
+
+/// Simulates the adaptive policy against hidden ground-truth values.
+///
+/// `truth[i]` is the value revealed when object `i` is cleaned. The
+/// query must be affine (the one-step probabilities use the convolution
+/// engine).
+pub fn adaptive_max_pr_simulate(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    budget: Budget,
+    tau: f64,
+    truth: &[f64],
+) -> Result<AdaptiveOutcome> {
+    let n = instance.len();
+    if truth.len() != n {
+        return Err(CoreError::LengthMismatch {
+            what: "truth values",
+            expected: n,
+            got: truth.len(),
+        });
+    }
+    let (weights, _) = query.as_affine(n).ok_or(CoreError::NotAffine)?;
+    let baseline = query.eval(instance.current());
+    let target = baseline - tau;
+
+    let mut working = instance.clone();
+    let mut order = Vec::new();
+    let mut sel = Selection::empty();
+    loop {
+        let value_now = query.eval(working.current());
+        if value_now < target {
+            return Ok(AdaptiveOutcome {
+                selection: sel,
+                order,
+                surprised: true,
+                final_value: value_now,
+            });
+        }
+        // Pick the affordable candidate maximizing, lexicographically:
+        // (1) the one-step probability of reaching the *original* target,
+        // (2) the expected decrease of the query, (3) the variance it
+        // injects. The later criteria keep the policy moving when no
+        // single step can reach the target yet (a purely myopic policy
+        // would freeze on workloads where the surprise needs several
+        // cleanings to accumulate).
+        let residual_tau = value_now - target;
+        let mut best: Option<(usize, (f64, f64, f64))> = None;
+        for (i, &wi) in weights.iter().enumerate() {
+            if sel.contains(i) || wi == 0.0 {
+                continue;
+            }
+            if !budget.fits(sel.cost(), working.cost(i)) {
+                continue;
+            }
+            let p = surprise_prob_convolution(&working, query, &[i], residual_tau, None)?;
+            let d = working.dist(i);
+            let expected_drop = wi * (working.current()[i] - d.mean());
+            let injected_var = wi * wi * d.variance();
+            let score = (p, expected_drop, injected_var);
+            let helps = p > 0.0 || expected_drop > 0.0 || injected_var > 0.0;
+            if !helps {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, bs)) => {
+                    (score.0, score.1, score.2) > (bs.0, bs.1, bs.2)
+                }
+            };
+            if better {
+                best = Some((i, score));
+            }
+        }
+        let Some((obj, _)) = best else {
+            let final_value = query.eval(working.current());
+            return Ok(AdaptiveOutcome {
+                selection: sel,
+                order,
+                surprised: final_value < target,
+                final_value,
+            });
+        };
+        // Clean: reveal the truth and pin the object there.
+        let mut current = working.current().to_vec();
+        current[obj] = truth[obj];
+        let mut dists: Vec<fc_uncertain::DiscreteDist> =
+            working.joint().dists().to_vec();
+        dists[obj] = fc_uncertain::DiscreteDist::point(truth[obj]);
+        let costs = working.costs().to_vec();
+        let cost_obj = working.cost(obj);
+        working = Instance::new(dists, current, costs)?;
+        sel.insert(obj, cost_obj);
+        order.push(obj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, LinearClaim};
+    use fc_uncertain::DiscreteDist;
+
+    fn workload() -> (Instance, BiasQuery, Vec<f64>) {
+        // Four objects around 10; truth pushes two of them well below.
+        let dists: Vec<DiscreteDist> = (0..4)
+            .map(|_| DiscreteDist::uniform_over(&[6.0, 8.0, 10.0, 12.0]).unwrap())
+            .collect();
+        let inst = Instance::new(dists, vec![10.0; 4], vec![1; 4]).unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 4).unwrap(),
+            vec![LinearClaim::window_sum(0, 4).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let theta = 40.0;
+        let q = BiasQuery::new(cs, theta);
+        let truth = vec![6.0, 10.0, 6.0, 10.0];
+        (inst, q, truth)
+    }
+
+    #[test]
+    fn finds_surprise_without_exhausting_budget() {
+        let (inst, q, truth) = workload();
+        // Need the sum to drop by more than 5 from 40: truth offers −8.
+        let out = adaptive_max_pr_simulate(&inst, &q, Budget::absolute(4), 5.0, &truth).unwrap();
+        assert!(out.surprised, "outcome: {out:?}");
+        assert!(out.final_value < -5.0 + 1e-12); // bias scale: f = sum − 40
+        // Adaptivity should stop at or before cleaning everything.
+        assert!(out.order.len() <= 4);
+    }
+
+    #[test]
+    fn stops_early_when_target_unreachable() {
+        let (inst, q, _) = workload();
+        // Truth equal to current values: no surprise possible; τ big.
+        let truth = vec![10.0; 4];
+        let out = adaptive_max_pr_simulate(&inst, &q, Budget::absolute(4), 30.0, &truth).unwrap();
+        assert!(!out.surprised);
+    }
+
+    #[test]
+    fn truth_length_validated() {
+        let (inst, q, _) = workload();
+        assert!(matches!(
+            adaptive_max_pr_simulate(&inst, &q, Budget::absolute(1), 1.0, &[1.0]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,141 @@
+//! Baseline selection strategies from §4.1.
+
+use crate::algo::greedy::{greedy_static, GreedyConfig};
+use crate::budget::Budget;
+use crate::instance::Instance;
+use crate::selection::Selection;
+use fc_claims::QueryFunction;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `Random`: shuffles the objects and cleans each one that still fits the
+/// budget.
+pub fn random_select<R: Rng + ?Sized>(
+    instance: &Instance,
+    budget: Budget,
+    rng: &mut R,
+) -> Selection {
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.shuffle(rng);
+    let mut sel = Selection::empty();
+    for i in order {
+        if budget.fits(sel.cost(), instance.cost(i)) {
+            sel.insert(i, instance.cost(i));
+        }
+    }
+    sel
+}
+
+/// Per-object naive benefits: `Var[Xᵢ]` when the query references `i`,
+/// else 0 (cleaning an unreferenced object can never help).
+pub fn naive_benefits(instance: &Instance, query: &dyn QueryFunction) -> Vec<f64> {
+    let referenced = query.objects();
+    let mut b = vec![0.0; instance.len()];
+    for &i in &referenced {
+        b[i] = instance.variance(i);
+    }
+    b
+}
+
+/// `GreedyNaive` (§3.1): benefit = marginal variance, scored per unit
+/// cost — ignores the query's structure but not the costs.
+pub fn greedy_naive(instance: &Instance, query: &dyn QueryFunction, budget: Budget) -> Selection {
+    greedy_static(
+        &naive_benefits(instance, query),
+        instance.costs(),
+        budget,
+        GreedyConfig::default(),
+    )
+}
+
+/// `GreedyNaiveCostBlind` (§4.1): cleans objects in descending order of
+/// marginal variance, ignoring costs entirely (each object that still
+/// fits is taken).
+pub fn greedy_naive_cost_blind(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    budget: Budget,
+) -> Selection {
+    let benefits = naive_benefits(instance, query);
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by(|&a, &b| benefits[b].total_cmp(&benefits[a]).then(a.cmp(&b)));
+    let mut sel = Selection::empty();
+    for i in order {
+        if benefits[i] <= 0.0 {
+            break;
+        }
+        if budget.fits(sel.cost(), instance.cost(i)) {
+            sel.insert(i, instance.cost(i));
+        }
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, LinearClaim};
+    use fc_uncertain::{rng_from_seed, DiscreteDist};
+
+    fn instance() -> Instance {
+        Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 10.0]).unwrap(), // var 25
+                DiscreteDist::uniform_over(&[0.0, 2.0]).unwrap(),  // var 1
+                DiscreteDist::uniform_over(&[0.0, 6.0]).unwrap(),  // var 9
+            ],
+            vec![5.0, 1.0, 3.0],
+            vec![10, 1, 2],
+        )
+        .unwrap()
+    }
+
+    fn query_over_first_two() -> BiasQuery {
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(0, 2).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        BiasQuery::new(cs, 0.0)
+    }
+
+    #[test]
+    fn naive_benefits_zero_outside_query() {
+        let inst = instance();
+        let q = query_over_first_two();
+        let b = naive_benefits(&inst, &q);
+        assert_eq!(b[2], 0.0);
+        assert!((b[0] - 25.0).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_is_cost_aware() {
+        // Ratios: obj0 = 25/10 = 2.5, obj1 = 1/1 = 1. Budget 1 → obj1.
+        let inst = instance();
+        let q = query_over_first_two();
+        let sel = greedy_naive(&inst, &q, Budget::absolute(1));
+        assert_eq!(sel.objects(), &[1]);
+    }
+
+    #[test]
+    fn cost_blind_prefers_raw_variance() {
+        let inst = instance();
+        let q = query_over_first_two();
+        // Budget 10: cost-blind takes obj0 (var 25, cost 10) and stops
+        // fitting obj1 afterwards (cost 1 > 0 left).
+        let sel = greedy_naive_cost_blind(&inst, &q, Budget::absolute(10));
+        assert_eq!(sel.objects(), &[0]);
+    }
+
+    #[test]
+    fn random_respects_budget_and_is_deterministic_per_seed() {
+        let inst = instance();
+        let a = random_select(&inst, Budget::absolute(3), &mut rng_from_seed(1));
+        let b = random_select(&inst, Budget::absolute(3), &mut rng_from_seed(1));
+        assert_eq!(a, b);
+        assert!(a.cost() <= 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Exhaustive subset search — the §4.5 `OPT` yardstick.
+
+use crate::budget::Budget;
+use crate::selection::Selection;
+use crate::{CoreError, Result};
+
+/// Hard cap on brute-force instance size (2^25 subsets ≈ 33M).
+pub const BRUTE_FORCE_MAX_N: usize = 25;
+
+/// Enumerates every subset within budget and returns the one optimizing
+/// `objective` (`minimize = true` for MinVar-style objectives, `false`
+/// for MaxPr). Ties break toward cheaper selections.
+pub fn brute_force_best(
+    costs: &[u64],
+    budget: Budget,
+    mut objective: impl FnMut(&Selection) -> f64,
+    minimize: bool,
+    max_n: usize,
+) -> Result<Selection> {
+    let n = costs.len();
+    let cap = max_n.min(BRUTE_FORCE_MAX_N);
+    if n > cap {
+        return Err(CoreError::TooLargeForBruteForce { n, max: cap });
+    }
+    let mut best: Option<(Selection, f64)> = None;
+    for mask in 0u64..(1u64 << n) {
+        let cost: u64 = (0..n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| costs[i])
+            .sum();
+        if cost > budget.get() {
+            continue;
+        }
+        let sel = Selection::from_objects((0..n).filter(|&i| mask >> i & 1 == 1), costs);
+        let v = objective(&sel);
+        let better = match &best {
+            None => true,
+            Some((bsel, bv)) => {
+                let improved = if minimize { v < *bv - 1e-15 } else { v > *bv + 1e-15 };
+                let tied = (v - *bv).abs() <= 1e-15;
+                improved || (tied && sel.cost() < bsel.cost())
+            }
+        };
+        if better {
+            best = Some((sel, v));
+        }
+    }
+    Ok(best.map(|(s, _)| s).unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_knapsack_optimum() {
+        let costs = [10u64, 20, 30];
+        let values = [60.0, 100.0, 120.0];
+        let sel = brute_force_best(
+            &costs,
+            Budget::absolute(50),
+            |s| s.objects().iter().map(|&i| values[i]).sum(),
+            false,
+            10,
+        )
+        .unwrap();
+        assert_eq!(sel.objects(), &[1, 2]);
+    }
+
+    #[test]
+    fn minimization_prefers_cheap_ties() {
+        let costs = [1u64, 2];
+        let sel = brute_force_best(&costs, Budget::absolute(3), |_| 0.0, true, 10).unwrap();
+        assert!(sel.is_empty(), "all-tied objective must pick ∅ (cheapest)");
+    }
+
+    #[test]
+    fn too_large_is_rejected() {
+        let costs = vec![1u64; 30];
+        assert!(matches!(
+            brute_force_best(&costs, Budget::absolute(1), |_| 0.0, true, 25),
+            Err(CoreError::TooLargeForBruteForce { .. })
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! Fully polynomial-time approximation schemes for the knapsack
+//! reductions (Lemmas 3.2/3.3, following Ibarra–Kim profit scaling and
+//! the Bentz–Le Bodic note the paper cites for the minimum variant).
+//!
+//! * [`fptas_max_knapsack`] — (1−ε)-approximate maximum knapsack in
+//!   `O(n³/ε)`: scale profits by `K = ε·v_max/n`, DP over scaled profit
+//!   (`dp[p]` = min cost achieving scaled profit `p`), return the best
+//!   affordable profit level.
+//! * [`fptas_min_knapsack_cover`] — (1+ε)-approximate minimum knapsack
+//!   cover: same DP shape over scaled *weights* (`dp[w]` = max coverage
+//!   achievable with scaled weight `w`), return the smallest weight level
+//!   whose coverage meets the requirement.
+
+use crate::selection::Selection;
+
+/// (1−ε)-approximation for maximum knapsack. Returns the selection and
+/// its (unscaled) value.
+pub fn fptas_max_knapsack(
+    values: &[f64],
+    costs: &[u64],
+    capacity: u64,
+    epsilon: f64,
+) -> (Vec<usize>, f64) {
+    let n = values.len();
+    debug_assert_eq!(n, costs.len());
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let vmax = values
+        .iter()
+        .zip(costs)
+        .filter(|&(_, &c)| c <= capacity)
+        .map(|(&v, _)| v)
+        .fold(0.0f64, f64::max);
+    if vmax <= 0.0 {
+        return (Vec::new(), 0.0);
+    }
+    let k = epsilon * vmax / n as f64;
+    let scaled: Vec<usize> = values.iter().map(|&v| (v / k).floor() as usize).collect();
+    let pmax: usize = scaled
+        .iter()
+        .zip(costs)
+        .filter(|&(_, &c)| c <= capacity)
+        .map(|(&s, _)| s)
+        .sum();
+    // dp[p] = min cost to achieve scaled profit exactly p; full per-item
+    // table for unambiguous traceback.
+    let row = pmax + 1;
+    let mut dp = vec![u64::MAX; (n + 1) * row];
+    dp[0] = 0;
+    for i in 0..n {
+        let (prev_all, cur_all) = dp.split_at_mut((i + 1) * row);
+        let prev = &prev_all[i * row..];
+        let cur = &mut cur_all[..row];
+        let s = scaled[i];
+        let c = costs[i];
+        for p in 0..row {
+            let mut best = prev[p];
+            if p >= s && prev[p - s] != u64::MAX {
+                let cand = prev[p - s].saturating_add(c);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            cur[p] = best;
+        }
+    }
+    let best_p = (0..row)
+        .rev()
+        .find(|&p| dp[n * row + p] <= capacity)
+        .unwrap_or(0);
+    // Trace back.
+    let mut chosen = Vec::new();
+    let mut p = best_p;
+    for i in (0..n).rev() {
+        if dp[(i + 1) * row + p] < dp[i * row + p] {
+            chosen.push(i);
+            p -= scaled[i];
+        }
+    }
+    chosen.reverse();
+    let total: f64 = chosen.iter().map(|&i| values[i]).sum();
+    (chosen, total)
+}
+
+/// (1+ε)-approximation for minimum knapsack cover: minimize `Σ weights`
+/// subject to `Σ costs ≥ required`. Returns the chosen indices and their
+/// weight. Falls back to all items when the requirement is unsatisfiable.
+///
+/// Uses the standard "guess the heaviest item of OPT" outer loop (as in
+/// the Bentz–Le Bodic note the paper cites): for each guess `g`, only
+/// items no heavier than `g` may be used, `g` is forced in, and weights
+/// are scaled by `K = ε·w_g/n`. Since `OPT ≥ w_g` for the correct guess,
+/// the additive rounding error `≤ ε·w_g ≤ ε·OPT`. `O(n⁴/ε)` overall.
+pub fn fptas_min_knapsack_cover(
+    weights: &[f64],
+    costs: &[u64],
+    required: u64,
+    epsilon: f64,
+) -> (Vec<usize>, f64) {
+    let n = weights.len();
+    debug_assert_eq!(n, costs.len());
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    if required == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let total: u64 = costs.iter().sum();
+    if total < required {
+        return ((0..n).collect(), weights.iter().sum());
+    }
+    // Zero-weight items are free coverage: always take them.
+    let free: Vec<usize> = (0..n).filter(|&i| weights[i] <= 0.0).collect();
+    let free_cover: u64 = free.iter().map(|&i| costs[i]).sum();
+    if free_cover >= required {
+        return (free, 0.0);
+    }
+    let residual = required - free_cover;
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for g in 0..n {
+        let wg = weights[g];
+        if wg <= 0.0 {
+            continue;
+        }
+        // Items usable under guess g: strictly lighter, or equal weight
+        // with index ≤ g (canonical tie-break), and positive weight.
+        let allowed: Vec<usize> = (0..n)
+            .filter(|&i| {
+                i != g
+                    && weights[i] > 0.0
+                    && (weights[i] < wg || (weights[i] == wg && i < g))
+            })
+            .collect();
+        let k = epsilon * wg / n as f64;
+        let scaled: Vec<usize> = allowed
+            .iter()
+            .map(|&i| (weights[i] / k).ceil() as usize)
+            .collect();
+        let need = residual.saturating_sub(costs[g]);
+        let (sub, _) = scaled_cover_dp(&scaled, &allowed, costs, need);
+        let Some(mut chosen) = sub else { continue };
+        chosen.push(g);
+        chosen.extend(free.iter().copied());
+        chosen.sort_unstable();
+        let w: f64 = chosen.iter().map(|&i| weights[i]).sum();
+        if best.as_ref().is_none_or(|(_, bw)| w < *bw) {
+            best = Some((chosen, w));
+        }
+    }
+    best.unwrap_or_else(|| ((0..n).collect(), weights.iter().sum()))
+}
+
+/// Inner DP for the cover FPTAS: minimize total scaled weight subject to
+/// covering `need` with the `allowed` items. Returns the chosen original
+/// indices (or `None` if even all allowed items cannot cover `need`).
+fn scaled_cover_dp(
+    scaled: &[usize],
+    allowed: &[usize],
+    costs: &[u64],
+    need: u64,
+) -> (Option<Vec<usize>>, usize) {
+    if need == 0 {
+        return (Some(Vec::new()), 0);
+    }
+    let cover: u64 = allowed.iter().map(|&i| costs[i]).sum();
+    if cover < need {
+        return (None, 0);
+    }
+    let m = allowed.len();
+    let wtot: usize = scaled.iter().sum();
+    let row = wtot + 1;
+    // dp[w] = max coverage (capped) using scaled weight exactly ≤ w.
+    let mut dp = vec![0u64; (m + 1) * row];
+    for i in 0..m {
+        let (prev_all, cur_all) = dp.split_at_mut((i + 1) * row);
+        let prev = &prev_all[i * row..];
+        let cur = &mut cur_all[..row];
+        let s = scaled[i];
+        let c = costs[allowed[i]];
+        for w in 0..row {
+            let mut bestv = prev[w];
+            if w >= s {
+                let cand = (prev[w - s] + c).min(need);
+                if cand > bestv {
+                    bestv = cand;
+                }
+            }
+            cur[w] = bestv;
+        }
+    }
+    let Some(best_w) = (0..row).find(|&w| dp[m * row + w] >= need) else {
+        return (None, 0);
+    };
+    let mut chosen = Vec::new();
+    let mut w = best_w;
+    for i in (0..m).rev() {
+        if dp[(i + 1) * row + w] > dp[i * row + w] {
+            chosen.push(allowed[i]);
+            w -= scaled[i];
+        }
+    }
+    chosen.reverse();
+    (Some(chosen), best_w)
+}
+
+/// Convenience: the FPTAS max-knapsack result as a [`Selection`].
+pub fn fptas_max_knapsack_selection(
+    values: &[f64],
+    costs: &[u64],
+    capacity: u64,
+    epsilon: f64,
+) -> Selection {
+    let (chosen, _) = fptas_max_knapsack(values, costs, capacity, epsilon);
+    Selection::from_objects(chosen, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::knapsack::{max_knapsack_dp, min_knapsack_cover_dp};
+    use fc_uncertain::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn max_fptas_within_bound() {
+        let mut rng = rng_from_seed(31);
+        for trial in 0..20 {
+            let n = 12;
+            let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..50.0)).collect();
+            let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..20)).collect();
+            let cap = rng.gen_range(10..80);
+            let (_, opt) = max_knapsack_dp(&values, &costs, cap);
+            for eps in [0.5, 0.1] {
+                let (chosen, approx) = fptas_max_knapsack(&values, &costs, cap, eps);
+                let cost: u64 = chosen.iter().map(|&i| costs[i]).sum();
+                assert!(cost <= cap, "trial {trial}: cost {cost} > cap {cap}");
+                assert!(
+                    approx >= (1.0 - eps) * opt - 1e-9,
+                    "trial {trial} eps {eps}: {approx} < (1−ε)·{opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_cover_fptas_within_bound() {
+        let mut rng = rng_from_seed(77);
+        for trial in 0..20 {
+            let n = 10;
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..30.0)).collect();
+            let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..15)).collect();
+            let total: u64 = costs.iter().sum();
+            let required = rng.gen_range(1..=total);
+            let (_, opt) = min_knapsack_cover_dp(&weights, &costs, required);
+            for eps in [0.5, 0.1] {
+                let (chosen, approx) = fptas_min_knapsack_cover(&weights, &costs, required, eps);
+                let cov: u64 = chosen.iter().map(|&i| costs[i]).sum();
+                assert!(cov >= required, "trial {trial}: cover {cov} < {required}");
+                assert!(
+                    approx <= (1.0 + eps) * opt + 1e-9,
+                    "trial {trial} eps {eps}: {approx} > (1+ε)·{opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(fptas_max_knapsack(&[1.0], &[5], 1, 0.1).0, Vec::<usize>::new());
+        assert_eq!(
+            fptas_min_knapsack_cover(&[1.0, 1.0], &[1, 1], 0, 0.1).0,
+            Vec::<usize>::new()
+        );
+        // Unsatisfiable cover takes everything.
+        assert_eq!(
+            fptas_min_knapsack_cover(&[1.0, 1.0], &[1, 1], 10, 0.1).0,
+            vec![0, 1]
+        );
+    }
+}

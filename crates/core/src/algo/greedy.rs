@@ -1,0 +1,500 @@
+//! The Algorithm 1 greedy template.
+//!
+//! ```text
+//! T ← ∅; c ← 0
+//! while ∃ o ∈ O\T with c + c_o ≤ C:
+//!     o ← argmax_{o: c + c_o ≤ C} β(o)/c_o
+//!     T ← T ∪ {o}; c ← c + c_o
+//! // 2-approximation fix-up (lines 5–8):
+//! o_l ← argmax_{o ∈ O\T: c_o ≤ C} β(o)/c_o
+//! if β(o_l) > Σ_{o ∈ T} β(o): T ← {o_l}
+//! ```
+//!
+//! Three drivers share this skeleton:
+//!
+//! * [`greedy_static`] — `β` fixed up front (GreedyNaive, modular
+//!   objectives): sort once by ratio, `O(n log n)`;
+//! * [`greedy_incremental`] — `β` depends on the chosen set but changes
+//!   only *locally*: committing an object can alter the benefits of a
+//!   known set of "affected" candidates (scope-mates through shared
+//!   claims). A versioned max-heap keeps every candidate's benefit
+//!   **exact** — on each commit the affected candidates are re-scored
+//!   and re-pushed, and stale heap entries are discarded on pop. Note
+//!   the classic *lazy* greedy would be wrong here: by Lemma 3.5, `EV`'s
+//!   marginal reductions **grow** as `T` grows (the reduction function
+//!   is supermodular — see the paper's §5 remark contrasting with
+//!   Krause's variance-reduction setting), so stale priorities are lower
+//!   bounds rather than upper bounds;
+//! * [`greedy_exhaustive`] — no structural assumption (MaxPr, correlated
+//!   objectives): re-evaluates every remaining candidate each iteration,
+//!   the paper's `O(n² γ)` form.
+
+use crate::budget::Budget;
+use crate::selection::Selection;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Knobs for the greedy drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig {
+    /// Stop as soon as the best available benefit is ≤ 0 (used by
+    /// GreedyMaxPr, where cleaning more can *hurt* — the Fig. 12
+    /// "refuses to clean" behaviour). MinVar benefits are always ≥ 0
+    /// (Lemma 3.4), so this is moot there.
+    pub stop_when_nonpositive: bool,
+    /// Run the 2-approximation fix-up (Algorithm 1 lines 5–8).
+    pub fixup: bool,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        Self {
+            stop_when_nonpositive: false,
+            fixup: true,
+        }
+    }
+}
+
+/// A benefit oracle whose marginal benefits change only for a known set
+/// of candidates when an object is committed (required for
+/// [`greedy_incremental`] to be exact).
+pub trait IncrementalOracle {
+    /// Current marginal benefit of cleaning `candidate` on top of the
+    /// committed set.
+    fn benefit(&mut self, candidate: usize) -> f64;
+    /// Commits `obj` into the chosen set.
+    fn commit(&mut self, obj: usize);
+    /// Candidates whose benefit may have changed after committing `obj`
+    /// (excluding `obj` itself).
+    fn affected(&self, obj: usize) -> Vec<usize>;
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    ratio: f64,
+    benefit: f64,
+    obj: usize,
+    version: u64,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.ratio
+            .total_cmp(&other.ratio)
+            .then_with(|| other.obj.cmp(&self.obj))
+    }
+}
+
+/// Greedy with *fixed* per-object benefits.
+pub fn greedy_static(
+    benefits: &[f64],
+    costs: &[u64],
+    budget: Budget,
+    cfg: GreedyConfig,
+) -> Selection {
+    let n = benefits.len();
+    debug_assert_eq!(n, costs.len());
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = benefits[a] / costs[a] as f64;
+        let rb = benefits[b] / costs[b] as f64;
+        rb.total_cmp(&ra).then(a.cmp(&b))
+    });
+    let mut sel = Selection::empty();
+    let mut chosen_benefit = 0.0;
+    for &i in &order {
+        if cfg.stop_when_nonpositive && benefits[i] <= 0.0 {
+            break;
+        }
+        if budget.fits(sel.cost(), costs[i]) {
+            sel.insert(i, costs[i]);
+            chosen_benefit += benefits[i];
+        }
+    }
+    if cfg.fixup {
+        if let Some(best) = (0..n)
+            .filter(|&i| !sel.contains(i) && costs[i] <= budget.get())
+            .max_by(|&a, &b| {
+                (benefits[a] / costs[a] as f64).total_cmp(&(benefits[b] / costs[b] as f64))
+            })
+        {
+            if benefits[best] > chosen_benefit {
+                let mut only = Selection::empty();
+                only.insert(best, costs[best]);
+                return only;
+            }
+        }
+    }
+    sel
+}
+
+/// Versioned-heap greedy for oracles with *local* benefit updates: every
+/// candidate's heap priority is exact (entries are refreshed whenever a
+/// commit can affect them; outdated entries are discarded on pop), so no
+/// monotonicity assumption on the marginals is needed.
+pub fn greedy_incremental<O: IncrementalOracle>(
+    candidates: &[usize],
+    costs: &[u64],
+    budget: Budget,
+    oracle: &mut O,
+    cfg: GreedyConfig,
+) -> Selection {
+    let n_max = candidates.iter().copied().max().map_or(0, |m| m + 1);
+    let mut cur_version: Vec<u64> = vec![0; n_max];
+    let mut is_candidate = vec![false; n_max];
+    // Empty-state benefits, kept for the fix-up comparison: the chosen
+    // set's at-selection benefits telescope to the total objective gain,
+    // and the competitor value of a singleton {o} is its benefit at ∅.
+    let mut initial_benefit: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+    let mut heap: BinaryHeap<HeapItem> = candidates
+        .iter()
+        .map(|&i| {
+            let b = oracle.benefit(i);
+            initial_benefit.push((i, b));
+            is_candidate[i] = true;
+            HeapItem {
+                ratio: b / costs[i] as f64,
+                benefit: b,
+                obj: i,
+                version: 0,
+            }
+        })
+        .collect();
+    let mut sel = Selection::empty();
+    let mut chosen_benefit = 0.0;
+    while let Some(top) = heap.pop() {
+        if sel.contains(top.obj) || top.version != cur_version[top.obj] {
+            continue; // superseded entry
+        }
+        if !budget.fits(sel.cost(), costs[top.obj]) {
+            // Infeasible now and forever (remaining budget only shrinks) —
+            // drop permanently.
+            continue;
+        }
+        if cfg.stop_when_nonpositive && top.benefit <= 0.0 {
+            break;
+        }
+        oracle.commit(top.obj);
+        sel.insert(top.obj, costs[top.obj]);
+        chosen_benefit += top.benefit;
+        // Re-score everyone whose benefit the commit may have changed.
+        for a in oracle.affected(top.obj) {
+            if a < n_max && is_candidate[a] && !sel.contains(a) {
+                let b = oracle.benefit(a);
+                cur_version[a] += 1;
+                heap.push(HeapItem {
+                    ratio: b / costs[a] as f64,
+                    benefit: b,
+                    obj: a,
+                    version: cur_version[a],
+                });
+            }
+        }
+    }
+    if cfg.fixup {
+        let best = initial_benefit
+            .iter()
+            .copied()
+            .filter(|&(i, _)| !sel.contains(i) && costs[i] <= budget.get())
+            .max_by(|a, b| {
+                (a.1 / costs[a.0] as f64).total_cmp(&(b.1 / costs[b.0] as f64))
+            });
+        if let Some((i, b)) = best {
+            if b > chosen_benefit {
+                let mut only = Selection::empty();
+                only.insert(i, costs[i]);
+                return only;
+            }
+        }
+    }
+    sel
+}
+
+/// Exhaustive-re-evaluation greedy: each iteration scores every remaining
+/// feasible candidate with `benefit(&chosen, candidate)`. Makes no
+/// structural assumption — the driver for MaxPr and correlated
+/// objectives.
+pub fn greedy_exhaustive(
+    candidates: &[usize],
+    costs: &[u64],
+    budget: Budget,
+    mut benefit: impl FnMut(&Selection, usize) -> f64,
+    cfg: GreedyConfig,
+) -> Selection {
+    let mut sel = Selection::empty();
+    let mut remaining: Vec<usize> = candidates.to_vec();
+    let mut chosen_benefit = 0.0;
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None; // (pos, obj, benefit)
+        for (pos, &i) in remaining.iter().enumerate() {
+            if !budget.fits(sel.cost(), costs[i]) {
+                continue;
+            }
+            let b = benefit(&sel, i);
+            let r = b / costs[i] as f64;
+            let better = match best {
+                None => true,
+                Some((_, bi, bb)) => r > bb / costs[bi] as f64,
+            };
+            if better {
+                best = Some((pos, i, b));
+            }
+        }
+        match best {
+            Some((pos, obj, b)) => {
+                if cfg.stop_when_nonpositive && b <= 0.0 {
+                    break;
+                }
+                remaining.swap_remove(pos);
+                sel.insert(obj, costs[obj]);
+                chosen_benefit += b;
+            }
+            None => break,
+        }
+    }
+    if cfg.fixup {
+        // Singleton competitor scored at T = ∅ (see greedy_lazy).
+        let empty = Selection::empty();
+        let best = remaining
+            .iter()
+            .copied()
+            .filter(|&i| costs[i] <= budget.get())
+            .map(|i| (i, benefit(&empty, i)))
+            .max_by(|a, b| {
+                (a.1 / costs[a.0] as f64).total_cmp(&(b.1 / costs[b.0] as f64))
+            });
+        if let Some((i, b)) = best {
+            if b > chosen_benefit {
+                let mut only = Selection::empty();
+                only.insert(i, costs[i]);
+                return only;
+            }
+        }
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_greedy_fills_by_ratio() {
+        // benefits 10,6,1 at costs 5,3,1 → ratios 2,2,1; budget 8 fits 0,1.
+        let sel = greedy_static(
+            &[10.0, 6.0, 1.0],
+            &[5, 3, 1],
+            Budget::absolute(8),
+            GreedyConfig::default(),
+        );
+        assert_eq!(sel.objects(), &[0, 1]);
+        assert_eq!(sel.cost(), 8);
+    }
+
+    #[test]
+    fn fixup_rescues_pathological_instance() {
+        // The §3.1 example: β = (0.1, 10), c = (1, 2000) scaled to ints.
+        // Ratio greedy picks item 0 (ratio 0.1) over item 1
+        // (ratio 0.005), then can't afford item 1 ⇒ value 0.1.
+        // The fix-up replaces T with {item 1} (value 10).
+        let benefits = [0.1, 10.0];
+        let costs = [1u64, 2000];
+        let budget = Budget::absolute(2000);
+        let with = greedy_static(&benefits, &costs, budget, GreedyConfig::default());
+        assert_eq!(with.objects(), &[1]);
+        let without = greedy_static(
+            &benefits,
+            &costs,
+            budget,
+            GreedyConfig {
+                fixup: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(without.objects(), &[0]);
+    }
+
+    struct ScalingOracle {
+        base: Vec<f64>,
+        factor: f64,
+        committed: usize,
+    }
+
+    impl IncrementalOracle for ScalingOracle {
+        fn benefit(&mut self, candidate: usize) -> f64 {
+            self.base[candidate] * self.factor.powi(self.committed as i32)
+        }
+        fn commit(&mut self, obj: usize) {
+            let _ = obj;
+            self.committed += 1;
+        }
+        fn affected(&self, _obj: usize) -> Vec<usize> {
+            (0..self.base.len()).collect()
+        }
+    }
+
+    #[test]
+    fn incremental_matches_exhaustive_on_decreasing_benefits() {
+        let base = vec![8.0, 6.0, 4.0, 2.0, 1.0];
+        let costs = vec![2u64, 2, 2, 2, 2];
+        let budget = Budget::absolute(6);
+        let mut oracle = ScalingOracle {
+            base: base.clone(),
+            factor: 0.5,
+            committed: 0,
+        };
+        let inc = greedy_incremental(
+            &[0, 1, 2, 3, 4],
+            &costs,
+            budget,
+            &mut oracle,
+            GreedyConfig::default(),
+        );
+        let exhaustive = greedy_exhaustive(
+            &[0, 1, 2, 3, 4],
+            &costs,
+            budget,
+            |sel, i| base[i] * 0.5f64.powi(sel.len() as i32),
+            GreedyConfig::default(),
+        );
+        assert_eq!(inc, exhaustive);
+        assert_eq!(inc.objects(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn incremental_matches_exhaustive_on_increasing_benefits() {
+        // The MinVar case: marginal reductions *grow* as the chosen set
+        // grows (Lemma 3.5 reversed-sense submodularity). A lazy heap
+        // would under-prioritize here; the versioned heap stays exact.
+        let base = vec![8.0, 6.0, 4.0, 2.0, 1.0];
+        let costs = vec![2u64, 2, 2, 2, 2];
+        let budget = Budget::absolute(6);
+        let mut oracle = ScalingOracle {
+            base: base.clone(),
+            factor: 1.5,
+            committed: 0,
+        };
+        let inc = greedy_incremental(
+            &[0, 1, 2, 3, 4],
+            &costs,
+            budget,
+            &mut oracle,
+            GreedyConfig::default(),
+        );
+        let exhaustive = greedy_exhaustive(
+            &[0, 1, 2, 3, 4],
+            &costs,
+            budget,
+            |sel, i| base[i] * 1.5f64.powi(sel.len() as i32),
+            GreedyConfig::default(),
+        );
+        assert_eq!(inc, exhaustive);
+    }
+
+    struct LocalOracle {
+        /// benefit[i] doubles once its neighbour (i ^ 1) is committed.
+        boosted: Vec<bool>,
+        base: Vec<f64>,
+    }
+
+    impl IncrementalOracle for LocalOracle {
+        fn benefit(&mut self, candidate: usize) -> f64 {
+            self.base[candidate] * if self.boosted[candidate] { 2.0 } else { 1.0 }
+        }
+        fn commit(&mut self, obj: usize) {
+            let buddy = obj ^ 1;
+            if buddy < self.boosted.len() {
+                self.boosted[buddy] = true;
+            }
+        }
+        fn affected(&self, obj: usize) -> Vec<usize> {
+            let buddy = obj ^ 1;
+            if buddy < self.boosted.len() {
+                vec![buddy]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_respects_local_updates() {
+        // base = [5, 1, 4, 3]; committing 2 boosts 3 to 6, overtaking 0.
+        let mut oracle = LocalOracle {
+            boosted: vec![false; 4],
+            base: vec![5.0, 1.0, 4.0, 3.0],
+        };
+        // Make 2 the first pick by cost advantage: costs [4, 4, 1, 4].
+        let costs = vec![4u64, 4, 1, 4];
+        let sel = greedy_incremental(
+            &[0, 1, 2, 3],
+            &costs,
+            Budget::absolute(9),
+            &mut oracle,
+            GreedyConfig {
+                fixup: false,
+                ..Default::default()
+            },
+        );
+        // Pick order: 2 (ratio 4), then 3 (boosted to 6, ratio 1.5 >
+        // 5/4), then 0 (ratio 1.25) — budget exhausted at 9.
+        assert_eq!(sel.objects(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn exhaustive_stops_on_nonpositive() {
+        // Second pick would have negative benefit.
+        let costs = vec![1u64, 1];
+        let sel = greedy_exhaustive(
+            &[0, 1],
+            &costs,
+            Budget::absolute(2),
+            |sel, i| {
+                if sel.is_empty() {
+                    [5.0, 1.0][i]
+                } else {
+                    -1.0
+                }
+            },
+            GreedyConfig {
+                stop_when_nonpositive: true,
+                fixup: false,
+            },
+        );
+        assert_eq!(sel.objects(), &[0]);
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let sel = greedy_static(
+            &[1.0, 2.0],
+            &[1, 1],
+            Budget::absolute(0),
+            GreedyConfig::default(),
+        );
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn skips_unaffordable_items_and_continues() {
+        // Item 1 never fits; greedy should still take 0 and 2.
+        let sel = greedy_static(
+            &[3.0, 100.0, 2.0],
+            &[2, 50, 2],
+            Budget::absolute(5),
+            GreedyConfig {
+                fixup: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sel.objects(), &[0, 2]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Exact pseudo-polynomial knapsack solvers (Lemmas 3.2/3.3).
+//!
+//! Modular MinVar is a *minimum knapsack* (choose what **not** to clean,
+//! minimizing kept weight subject to a cost lower bound); modular MaxPr is
+//! a *maximum knapsack*. Both DPs run in `O(n·C)` with integer costs.
+
+use crate::algo::greedy::{greedy_static, GreedyConfig};
+use crate::budget::Budget;
+use crate::selection::Selection;
+
+/// Maximum 0/1 knapsack by DP over capacity: maximize `Σ values[i]` with
+/// `Σ costs[i] ≤ capacity`. Returns the chosen indices and their value.
+#[allow(clippy::needless_range_loop)] // index math mirrors the DP recurrence
+pub fn max_knapsack_dp(values: &[f64], costs: &[u64], capacity: u64) -> (Vec<usize>, f64) {
+    let n = values.len();
+    debug_assert_eq!(n, costs.len());
+    let cap = capacity as usize;
+    let row = cap + 1;
+    // Full per-item table so the traceback is unambiguous:
+    // dp[i][j] = best value using the first i items within capacity j.
+    let mut dp = vec![0.0f64; (n + 1) * row];
+    for i in 0..n {
+        let c = costs[i] as usize;
+        let v = values[i];
+        let (prev, cur) = dp.split_at_mut((i + 1) * row);
+        let prev = &prev[i * row..];
+        let cur = &mut cur[..row];
+        for j in 0..row {
+            let skip = prev[j];
+            cur[j] = if j >= c && c <= cap {
+                skip.max(prev[j - c] + v)
+            } else {
+                skip
+            };
+        }
+    }
+    let mut chosen = Vec::new();
+    let mut j = cap;
+    for i in (0..n).rev() {
+        let c = costs[i] as usize;
+        // dp[i+1][j] > dp[i][j] can only come from taking item i, whose
+        // value is then exactly dp[i][j−c] + v (no intermediate rounding).
+        if j >= c && dp[(i + 1) * row + j] > dp[i * row + j] {
+            chosen.push(i);
+            j -= c;
+        }
+    }
+    chosen.reverse();
+    (chosen, dp[n * row + cap])
+}
+
+/// Minimum knapsack cover by DP: minimize `Σ weights[i]` subject to
+/// `Σ costs[i] ≥ required`. Returns the chosen indices and their weight.
+/// If the constraint is unsatisfiable even with all items, returns all
+/// items.
+#[allow(clippy::needless_range_loop)] // index math mirrors the DP recurrence
+pub fn min_knapsack_cover_dp(weights: &[f64], costs: &[u64], required: u64) -> (Vec<usize>, f64) {
+    let n = weights.len();
+    debug_assert_eq!(n, costs.len());
+    let req = required as usize;
+    if req == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let total: u64 = costs.iter().sum();
+    if total < required {
+        let w = weights.iter().sum();
+        return ((0..n).collect(), w);
+    }
+    // Two-row DP (each row derived fresh from the previous) with a parent
+    // matrix: parent[i][t] = source coverage j when the *final* value of
+    // dp_{i+1}[t] came from taking item i (coverage capped at req).
+    const UNSET: usize = usize::MAX;
+    let row = req + 1;
+    let mut prev = vec![f64::INFINITY; row];
+    prev[0] = 0.0;
+    let mut cur = vec![f64::INFINITY; row];
+    let mut parent = vec![UNSET; n * row];
+    for i in 0..n {
+        let c = costs[i] as usize;
+        let w = weights[i];
+        cur.copy_from_slice(&prev);
+        for j in 0..row {
+            if prev[j].is_finite() {
+                let t = (j + c).min(req);
+                let cand = prev[j] + w;
+                if cand < cur[t] {
+                    cur[t] = cand;
+                    parent[i * row + t] = j;
+                }
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // Trace back from req across items in reverse order: parent[i][j] set
+    // means dp_{i+1}[j]'s final value was produced by taking item i.
+    let mut chosen = Vec::new();
+    let mut j = req;
+    for i in (0..n).rev() {
+        let src = parent[i * row + j];
+        if src != UNSET {
+            chosen.push(i);
+            j = src;
+        }
+        if j == 0 {
+            break;
+        }
+    }
+    chosen.reverse();
+    let w = chosen.iter().map(|&i| weights[i]).sum();
+    (chosen, w)
+}
+
+/// The greedy 2-approximation for maximum knapsack (ratio order plus the
+/// best-single-item fix-up) — used as the `GreedyMinVar`/`GreedyMaxPr`
+/// fast path for modular objectives.
+pub fn greedy_knapsack(values: &[f64], costs: &[u64], capacity: u64) -> Selection {
+    greedy_static(
+        values,
+        costs,
+        Budget::absolute(capacity),
+        GreedyConfig::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_knapsack_classic() {
+        let values = [60.0, 100.0, 120.0];
+        let costs = [10, 20, 30];
+        let (chosen, v) = max_knapsack_dp(&values, &costs, 50);
+        assert_eq!(chosen, vec![1, 2]);
+        assert!((v - 220.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_knapsack_zero_capacity() {
+        let (chosen, v) = max_knapsack_dp(&[5.0], &[1], 0);
+        assert!(chosen.is_empty());
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn greedy_within_half_of_dp() {
+        // Random-ish instance where greedy ≠ optimal but ≥ OPT/2.
+        let values = [9.0, 11.0, 13.0, 4.0, 8.0];
+        let costs = [3u64, 4, 5, 2, 3];
+        for cap in [5u64, 7, 9, 11] {
+            let (_, opt) = max_knapsack_dp(&values, &costs, cap);
+            let g = greedy_knapsack(&values, &costs, cap);
+            let gv: f64 = g.objects().iter().map(|&i| values[i]).sum();
+            assert!(gv >= opt / 2.0 - 1e-12, "cap {cap}: {gv} < {opt}/2");
+            assert!(g.cost() <= cap);
+        }
+    }
+
+    #[test]
+    fn min_cover_picks_cheap_weights() {
+        // Cover ≥ 5 cost units minimizing weight.
+        let weights = [10.0, 1.0, 3.0, 8.0];
+        let costs = [3u64, 2, 3, 4];
+        let (chosen, w) = min_knapsack_cover_dp(&weights, &costs, 5);
+        let cov: u64 = chosen.iter().map(|&i| costs[i]).sum();
+        assert!(cov >= 5, "coverage {cov}");
+        assert!((w - 4.0).abs() < 1e-12, "chosen {chosen:?} weight {w}");
+        assert_eq!(chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn min_cover_infeasible_returns_everything() {
+        let (chosen, _) = min_knapsack_cover_dp(&[1.0, 2.0], &[1, 1], 10);
+        assert_eq!(chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn min_cover_zero_required() {
+        let (chosen, w) = min_knapsack_cover_dp(&[1.0, 2.0], &[1, 1], 0);
+        assert!(chosen.is_empty());
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn min_cover_exhaustive_cross_check() {
+        // Brute-force verify on small instances.
+        let weights = [4.0, 7.0, 1.0, 3.0, 6.0];
+        let costs = [2u64, 5, 1, 3, 4];
+        for req in 1..=15u64 {
+            let (chosen, w) = min_knapsack_cover_dp(&weights, &costs, req);
+            let cov: u64 = chosen.iter().map(|&i| costs[i]).sum();
+            let total: u64 = costs.iter().sum();
+            if req <= total {
+                assert!(cov >= req, "req {req}: coverage {cov}");
+            }
+            // brute force
+            let mut best = f64::INFINITY;
+            for mask in 0u32..32 {
+                let c: u64 = (0..5).filter(|&i| mask >> i & 1 == 1).map(|i| costs[i]).sum();
+                if c >= req.min(total) {
+                    let ww: f64 = (0..5)
+                        .filter(|&i| mask >> i & 1 == 1)
+                        .map(|i| weights[i])
+                        .sum();
+                    best = best.min(ww);
+                }
+            }
+            assert!(
+                (w - best).abs() < 1e-9,
+                "req {req}: dp {w} vs brute {best} (chosen {chosen:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn max_knapsack_exhaustive_cross_check() {
+        let values = [3.5, 2.0, 4.0, 1.0, 6.5];
+        let costs = [2u64, 1, 3, 1, 4];
+        for cap in 0..=11u64 {
+            let (chosen, v) = max_knapsack_dp(&values, &costs, cap);
+            let c: u64 = chosen.iter().map(|&i| costs[i]).sum();
+            assert!(c <= cap);
+            let mut best = 0.0f64;
+            for mask in 0u32..32 {
+                let cc: u64 = (0..5).filter(|&i| mask >> i & 1 == 1).map(|i| costs[i]).sum();
+                if cc <= cap {
+                    let vv: f64 = (0..5)
+                        .filter(|&i| mask >> i & 1 == 1)
+                        .map(|i| values[i])
+                        .sum();
+                    best = best.max(vv);
+                }
+            }
+            assert!((v - best).abs() < 1e-9, "cap {cap}: dp {v} vs brute {best}");
+        }
+    }
+}

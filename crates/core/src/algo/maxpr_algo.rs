@@ -1,0 +1,202 @@
+//! `GreedyMaxPr` — greedy for the surprise-probability objective.
+//!
+//! MaxPr is *not* submodular in general (a probability can fall when a
+//! badly-shifted object joins `T`), so the drivers below use exhaustive
+//! re-evaluation and stop as soon as no candidate improves the
+//! probability — reproducing the Fig. 12 behaviour where `GreedyMaxPr`
+//! "refuses to clean any more values" past ~48% budget.
+
+use crate::algo::greedy::{greedy_exhaustive, greedy_static, GreedyConfig};
+use crate::algo::knapsack::max_knapsack_dp;
+use crate::budget::Budget;
+use crate::ev::modular::modular_benefits_gaussian;
+use crate::instance::{GaussianInstance, Instance};
+use crate::maxpr::convolution::surprise_prob_convolution;
+use crate::maxpr::gaussian::surprise_prob_gaussian;
+use crate::selection::Selection;
+use crate::{CoreError, Result};
+use fc_claims::QueryFunction;
+use fc_uncertain::mvn::MvnSemantics;
+
+/// `GreedyMaxPr` over a Gaussian instance with an affine query: benefit
+/// of a candidate is the exact closed-form probability delta.
+pub fn greedy_max_pr(
+    instance: &GaussianInstance,
+    weights: &[f64],
+    budget: Budget,
+    tau: f64,
+    semantics: MvnSemantics,
+) -> Selection {
+    let candidates: Vec<usize> = (0..instance.len())
+        .filter(|&i| weights[i] != 0.0)
+        .collect();
+    greedy_exhaustive(
+        &candidates,
+        instance.costs(),
+        budget,
+        |sel, i| {
+            let mut with: Vec<usize> = sel.objects().to_vec();
+            let base =
+                surprise_prob_gaussian(instance, weights, &with, tau, semantics).unwrap_or(0.0);
+            with.push(i);
+            let after =
+                surprise_prob_gaussian(instance, weights, &with, tau, semantics).unwrap_or(0.0);
+            after - base
+        },
+        GreedyConfig {
+            stop_when_nonpositive: true,
+            fixup: false,
+        },
+    )
+}
+
+/// `GreedyMaxPr` over a discrete instance with an affine query, using the
+/// deterministic binned-convolution probability engine.
+pub fn greedy_max_pr_discrete(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    budget: Budget,
+    tau: f64,
+    bins: Option<usize>,
+) -> Result<Selection> {
+    // Validate affinity up front so the closure can unwrap.
+    let (weights, _) = query
+        .as_affine(instance.len())
+        .ok_or(CoreError::NotAffine)?;
+    let candidates: Vec<usize> = (0..instance.len())
+        .filter(|&i| weights[i] != 0.0)
+        .collect();
+    Ok(greedy_exhaustive(
+        &candidates,
+        instance.costs(),
+        budget,
+        |sel, i| {
+            let mut with: Vec<usize> = sel.objects().to_vec();
+            let base = surprise_prob_convolution(instance, query, &with, tau, bins)
+                .expect("affinity validated");
+            with.push(i);
+            let after = surprise_prob_convolution(instance, query, &with, tau, bins)
+                .expect("affinity validated");
+            after - base
+        },
+        GreedyConfig {
+            stop_when_nonpositive: true,
+            fixup: false,
+        },
+    ))
+}
+
+/// `Optimum` for MaxPr in the Lemma 3.3 setting (independent normals
+/// *centered at the current values*): maximizing `Φ(−τ/σ_T)` is
+/// equivalent to the max-knapsack on `wᵢ = aᵢ²σᵢ²`, solved exactly by DP.
+pub fn max_pr_optimum_centered(
+    instance: &GaussianInstance,
+    weights: &[f64],
+    budget: Budget,
+) -> Selection {
+    let benefits = modular_benefits_gaussian(instance, weights);
+    let (chosen, _) = max_knapsack_dp(&benefits, instance.costs(), budget.get());
+    Selection::from_objects(chosen, instance.costs())
+}
+
+/// The greedy constant-approximation for the same centered setting
+/// (§3.2 "Greedy for modularizable objectives").
+pub fn greedy_max_pr_centered(
+    instance: &GaussianInstance,
+    weights: &[f64],
+    budget: Budget,
+) -> Selection {
+    let benefits = modular_benefits_gaussian(instance, weights);
+    greedy_static(
+        &benefits,
+        instance.costs(),
+        budget,
+        GreedyConfig::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, LinearClaim};
+    use fc_uncertain::DiscreteDist;
+
+    #[test]
+    fn example5_greedy_max_pr_picks_x2() {
+        // Example 5: MaxPr prefers X2 (prob 1/3 > 1/5).
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(0, 2).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let q = BiasQuery::new(cs, 2.0);
+        let sel =
+            greedy_max_pr_discrete(&inst, &q, Budget::absolute(1), 7.0 / 12.0, None).unwrap();
+        assert_eq!(sel.objects(), &[1]);
+    }
+
+    #[test]
+    fn centered_gaussian_greedy_matches_dp_direction() {
+        let g = GaussianInstance::centered_independent(
+            vec![0.0; 3],
+            &[3.0, 1.0, 2.0],
+            vec![1, 1, 1],
+        )
+        .unwrap();
+        let w = [1.0, 1.0, 1.0];
+        let sel = greedy_max_pr_centered(&g, &w, Budget::absolute(2));
+        let opt = max_pr_optimum_centered(&g, &w, Budget::absolute(2));
+        // Both should pick the two highest-variance objects {0, 2}.
+        assert_eq!(sel.objects(), &[0, 2]);
+        assert_eq!(opt.objects(), &[0, 2]);
+    }
+
+    #[test]
+    fn greedy_max_pr_stops_when_cleaning_hurts() {
+        // Object 1's mean sits far above its current value: cleaning it
+        // would push the query up, killing the downward surprise.
+        let g = GaussianInstance::independent(
+            vec![0.0, 50.0],
+            &[2.0, 1.0],
+            vec![0.0, 0.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let w = [1.0, 1.0];
+        let sel = greedy_max_pr(&g, &w, Budget::absolute(2), 0.5, MvnSemantics::Marginal);
+        assert_eq!(sel.objects(), &[0], "must refuse the harmful object");
+    }
+
+    #[test]
+    fn non_affine_discrete_rejected() {
+        let inst = Instance::new(
+            vec![DiscreteDist::uniform_over(&[0.0, 1.0]).unwrap(); 2],
+            vec![0.0, 0.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(0, 2).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let q = fc_claims::DupQuery::new(cs, 1.0);
+        assert!(matches!(
+            greedy_max_pr_discrete(&inst, &q, Budget::absolute(1), 0.1, None),
+            Err(CoreError::NotAffine)
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! Algorithms for MinVar and MaxPr.
+//!
+//! * [`greedy`] — the Algorithm 1 template in three drivers: static
+//!   benefits, versioned-heap incremental (exact under local benefit
+//!   updates — the scoped MinVar case), and exhaustive re-evaluation
+//!   (MaxPr, dependency-aware objectives);
+//! * [`baselines`] — `Random`, `GreedyNaive`, `GreedyNaiveCostBlind`;
+//! * [`minvar`] — `GreedyMinVar` (modular fast path / scoped incremental /
+//!   from-scratch ablation) and the knapsack `Optimum`;
+//! * [`maxpr_algo`] — `GreedyMaxPr` for Gaussian and discrete instances;
+//! * [`knapsack`] — exact pseudo-polynomial DPs (max knapsack, min
+//!   knapsack cover) and the greedy 2-approximation;
+//! * [`fptas`] — the (1+ε) approximation schemes of Lemmas 3.2/3.3;
+//! * [`submodular`] — `Best`: Theorem 3.7 via Iyer–Bilmes-style
+//!   majorization–minimization with exact min-knapsack-cover subproblems;
+//! * [`bicriteria`] — the budget-relaxed bi-criteria variant (§3.3);
+//! * [`brute`] — exhaustive `OPT` for small instances (§4.5 yardstick);
+//! * [`dep`] — `GreedyDep`: covariance-aware greedy over the Gaussian
+//!   posterior (§4.5);
+//! * [`adaptive`] — sequential (adaptive) cleaning for MaxPr (§6 future
+//!   work, implemented as an extension);
+//! * [`partial`] — partial cleaning: cleaning shrinks uncertainty by a
+//!   residual factor instead of eliminating it (§6 future work,
+//!   implemented as an extension).
+
+pub mod adaptive;
+pub mod baselines;
+pub mod bicriteria;
+pub mod brute;
+pub mod dep;
+pub mod fptas;
+pub mod greedy;
+pub mod knapsack;
+pub mod maxpr_algo;
+pub mod minvar;
+pub mod partial;
+pub mod submodular;
+
+pub use adaptive::{adaptive_max_pr_simulate, AdaptiveOutcome};
+pub use baselines::{greedy_naive, greedy_naive_cost_blind, random_select};
+pub use bicriteria::bicriteria_min_var;
+pub use brute::brute_force_best;
+pub use dep::{greedy_dep, opt_gaussian};
+pub use fptas::{fptas_max_knapsack, fptas_min_knapsack_cover};
+pub use greedy::{greedy_exhaustive, greedy_incremental, greedy_static, GreedyConfig, IncrementalOracle};
+pub use knapsack::{greedy_knapsack, max_knapsack_dp, min_knapsack_cover_dp};
+pub use maxpr_algo::{
+    greedy_max_pr, greedy_max_pr_discrete, max_pr_optimum_centered,
+};
+pub use partial::{
+    greedy_min_var_partial, optimum_min_var_partial, partial_modular_benefits, shrink_cleaned,
+    ResidualModel,
+};
+pub use minvar::{
+    gaussian_ev_conditional, greedy_min_var, greedy_min_var_from_scratch,
+    greedy_min_var_gaussian, greedy_min_var_with_engine, knapsack_optimum_min_var,
+    knapsack_optimum_min_var_gaussian,
+};
+pub use submodular::{best_min_var, best_min_var_with_engine, BestConfig};

@@ -1,0 +1,273 @@
+//! Partial cleaning — the paper's final future-work item (§6):
+//! "it will be useful to study settings where cleaning an individual
+//! value only reduces the uncertainty thereof, but does not completely
+//! eliminate it."
+//!
+//! Model: cleaning object `i` shrinks its distribution toward its mean
+//! by a per-object *residual factor* `ρᵢ ∈ [0, 1]` — the cleaned value
+//! is `μᵢ + ρᵢ (Xᵢ − μᵢ)`, so `Var` drops to `ρᵢ² Var[Xᵢ]` while the
+//! mean is preserved. `ρᵢ = 0` recovers the paper's full-cleaning model;
+//! `ρᵢ = 1` makes cleaning useless.
+//!
+//! For affine queries with uncorrelated values the Lemma 3.1 algebra
+//! goes through verbatim with benefits
+//! `wᵢ = aᵢ² (1 − ρᵢ²) Var[Xᵢ]`, so the knapsack/greedy machinery
+//! applies unchanged — that is what this module wires up, plus the
+//! instance transformer for the general engines.
+
+use crate::algo::greedy::{greedy_static, GreedyConfig};
+use crate::algo::knapsack::max_knapsack_dp;
+use crate::budget::Budget;
+use crate::instance::Instance;
+use crate::selection::Selection;
+use crate::{CoreError, Result};
+use fc_claims::QueryFunction;
+use fc_uncertain::DiscreteDist;
+
+/// Per-object residual factors `ρᵢ` (validated into `[0, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualModel {
+    rho: Vec<f64>,
+}
+
+impl ResidualModel {
+    /// Builds a residual model; every factor must lie in `[0, 1]`.
+    pub fn new(rho: Vec<f64>) -> Result<Self> {
+        if let Some(i) = rho
+            .iter()
+            .position(|r| !r.is_finite() || !(0.0..=1.0).contains(r))
+        {
+            return Err(CoreError::BadObject {
+                object: i,
+                len: rho.len(),
+            });
+        }
+        Ok(Self { rho })
+    }
+
+    /// The paper's full-cleaning model (`ρ = 0` everywhere).
+    pub fn full_cleaning(n: usize) -> Self {
+        Self { rho: vec![0.0; n] }
+    }
+
+    /// A uniform residual factor.
+    pub fn uniform(n: usize, rho: f64) -> Result<Self> {
+        Self::new(vec![rho; n])
+    }
+
+    /// Residual factor of object `i`.
+    #[inline]
+    pub fn rho(&self, i: usize) -> f64 {
+        self.rho[i]
+    }
+
+    /// Number of objects covered.
+    pub fn len(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// Whether the model covers no objects.
+    pub fn is_empty(&self) -> bool {
+        self.rho.is_empty()
+    }
+}
+
+/// Modular partial-cleaning benefits for an affine query:
+/// `wᵢ = aᵢ² (1 − ρᵢ²) Var[Xᵢ]`.
+pub fn partial_modular_benefits(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    residual: &ResidualModel,
+) -> Result<Vec<f64>> {
+    if residual.len() != instance.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "residual factors",
+            expected: instance.len(),
+            got: residual.len(),
+        });
+    }
+    let (weights, _b) = query
+        .as_affine(instance.len())
+        .ok_or(CoreError::NotAffine)?;
+    Ok(weights
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let r = residual.rho(i);
+            a * a * (1.0 - r * r) * instance.variance(i)
+        })
+        .collect())
+}
+
+/// `GreedyMinVar` under partial cleaning (modular objective).
+pub fn greedy_min_var_partial(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    residual: &ResidualModel,
+    budget: Budget,
+) -> Result<Selection> {
+    let benefits = partial_modular_benefits(instance, query, residual)?;
+    Ok(greedy_static(
+        &benefits,
+        instance.costs(),
+        budget,
+        GreedyConfig::default(),
+    ))
+}
+
+/// `Optimum` under partial cleaning (modular objective).
+pub fn optimum_min_var_partial(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    residual: &ResidualModel,
+    budget: Budget,
+) -> Result<Selection> {
+    let benefits = partial_modular_benefits(instance, query, residual)?;
+    let (chosen, _) = max_knapsack_dp(&benefits, instance.costs(), budget.get());
+    Ok(Selection::from_objects(chosen, instance.costs()))
+}
+
+/// Applies a partial-cleaning outcome: each selected object's
+/// distribution is shrunk toward its mean by `ρᵢ` (support mapped
+/// through `μ + ρ (v − μ)`), modelling the post-cleaning residual
+/// uncertainty. The returned instance can be fed back into any engine
+/// for a second cleaning round — partial cleaning composes.
+pub fn shrink_cleaned(
+    instance: &Instance,
+    selection: &Selection,
+    residual: &ResidualModel,
+) -> Result<Instance> {
+    if residual.len() != instance.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "residual factors",
+            expected: instance.len(),
+            got: residual.len(),
+        });
+    }
+    let dists: Vec<DiscreteDist> = (0..instance.len())
+        .map(|i| {
+            let d = instance.dist(i);
+            if selection.contains(i) {
+                let mu = d.mean();
+                let r = residual.rho(i);
+                d.map(|v| mu + r * (v - mu))
+            } else {
+                d.clone()
+            }
+        })
+        .collect();
+    Instance::new(
+        dists,
+        instance.current().to_vec(),
+        instance.costs().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ev::modular::modular_benefits;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, LinearClaim};
+
+    fn workload() -> (Instance, BiasQuery) {
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 4.0]).unwrap(), // var 4
+                DiscreteDist::uniform_over(&[0.0, 2.0]).unwrap(), // var 1
+                DiscreteDist::uniform_over(&[0.0, 6.0]).unwrap(), // var 9
+            ],
+            vec![2.0, 1.0, 3.0],
+            vec![1, 1, 1],
+        )
+        .unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 3).unwrap(),
+            vec![LinearClaim::window_sum(0, 3).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        (inst, BiasQuery::new(cs, 6.0))
+    }
+
+    #[test]
+    fn zero_residual_recovers_full_cleaning() {
+        let (inst, q) = workload();
+        let full = ResidualModel::full_cleaning(3);
+        let a = partial_modular_benefits(&inst, &q, &full).unwrap();
+        let b = modular_benefits(&inst, &q).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_residual_makes_cleaning_useless() {
+        let (inst, q) = workload();
+        let useless = ResidualModel::uniform(3, 1.0).unwrap();
+        let w = partial_modular_benefits(&inst, &q, &useless).unwrap();
+        assert!(w.iter().all(|&x| x.abs() < 1e-12));
+        let sel =
+            greedy_min_var_partial(&inst, &q, &useless, Budget::absolute(3)).unwrap();
+        // Greedy may still fill the budget, but the benefit is zero —
+        // Optimum correctly cleans nothing.
+        let opt =
+            optimum_min_var_partial(&inst, &q, &useless, Budget::absolute(3)).unwrap();
+        assert!(opt.is_empty());
+        let _ = sel;
+    }
+
+    #[test]
+    fn heterogeneous_residuals_change_the_pick() {
+        let (inst, q) = workload();
+        // Object 2 has the largest variance (9) but cleaning it barely
+        // helps (ρ = 0.95); object 0 (var 4) cleans perfectly.
+        let residual = ResidualModel::new(vec![0.0, 0.0, 0.95]).unwrap();
+        let sel = optimum_min_var_partial(&inst, &q, &residual, Budget::absolute(1)).unwrap();
+        assert_eq!(sel.objects(), &[0]);
+        // With full cleaning the pick would have been object 2.
+        let full = ResidualModel::full_cleaning(3);
+        let sel_full =
+            optimum_min_var_partial(&inst, &q, &full, Budget::absolute(1)).unwrap();
+        assert_eq!(sel_full.objects(), &[2]);
+    }
+
+    #[test]
+    fn shrink_cleaned_reduces_variance_by_rho_squared() {
+        let (inst, _q) = workload();
+        let residual = ResidualModel::uniform(3, 0.5).unwrap();
+        let sel = Selection::from_objects([0, 2], inst.costs());
+        let shrunk = shrink_cleaned(&inst, &sel, &residual).unwrap();
+        // Cleaned: variance × ρ² = ×0.25; mean preserved.
+        assert!((shrunk.variance(0) - 1.0).abs() < 1e-12);
+        assert!((shrunk.dist(0).mean() - inst.dist(0).mean()).abs() < 1e-12);
+        assert!((shrunk.variance(2) - 2.25).abs() < 1e-12);
+        // Untouched object unchanged.
+        assert_eq!(shrunk.dist(1), inst.dist(1));
+    }
+
+    #[test]
+    fn repeated_partial_cleaning_composes() {
+        let (inst, q) = workload();
+        let residual = ResidualModel::uniform(3, 0.5).unwrap();
+        let sel = Selection::from_objects([2], inst.costs());
+        let once = shrink_cleaned(&inst, &sel, &residual).unwrap();
+        let twice = shrink_cleaned(&once, &sel, &residual).unwrap();
+        assert!((twice.variance(2) - 9.0 * 0.0625).abs() < 1e-12);
+        // A second round still has positive (shrinking) benefit.
+        let w = partial_modular_benefits(&twice, &q, &residual).unwrap();
+        assert!(w[2] > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ResidualModel::new(vec![0.5, 1.5]).is_err());
+        assert!(ResidualModel::new(vec![f64::NAN]).is_err());
+        let (inst, q) = workload();
+        let short = ResidualModel::uniform(2, 0.5).unwrap();
+        assert!(matches!(
+            partial_modular_benefits(&inst, &q, &short),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! `Best` — the Theorem 3.7 submodular-optimization yardstick.
+//!
+//! Lemma 3.6 maps MinVar to `M̄inVar`: choose the set `S` of objects to
+//! *keep dirty*, minimizing the non-decreasing submodular
+//! `ḡ(S) = EV(O \ S)` subject to the cost lower bound `c(S) ≥ C̄` with
+//! `C̄ = c(O) − C`. Following Iyer & Bilmes (NeurIPS 2013), we run
+//! majorization–minimization: at the current `S`, replace `ḡ` with a
+//! *modular upper bound* tight at `S`, solve the resulting minimum
+//! knapsack cover exactly (pseudo-polynomial DP), and iterate. Both of
+//! the standard bound families are used and the best end point wins:
+//!
+//! ```text
+//! m¹_S(Y) = ḡ(S) − Σ_{j∈S\Y} ḡ(j | S\{j}) + Σ_{j∈Y\S} ḡ(j | ∅)
+//! m²_S(Y) = ḡ(S) − Σ_{j∈S\Y} ḡ(j | O\{j}) + Σ_{j∈Y\S} ḡ(j | S)
+//! ```
+//!
+//! All marginals reduce to local scoped-engine deltas:
+//! `ḡ(j|S\{j}) = eng.delta(state_S, j)`, `ḡ(j|∅) = removal delta at the
+//! all-cleaned state`, `ḡ(j|O\{j}) = eng.delta(empty state, j)`, and
+//! `ḡ(j|S) = removal delta at state_S`.
+
+use crate::algo::knapsack::min_knapsack_cover_dp;
+use crate::budget::Budget;
+use crate::ev::scoped::ScopedEv;
+use crate::instance::Instance;
+use crate::selection::Selection;
+use fc_claims::DecomposableQuery;
+
+/// Tuning for [`best_min_var`].
+#[derive(Debug, Clone, Copy)]
+pub struct BestConfig {
+    /// Maximum majorization–minimization iterations per bound.
+    pub max_iters: usize,
+}
+
+impl Default for BestConfig {
+    fn default() -> Self {
+        Self { max_iters: 20 }
+    }
+}
+
+/// `Best`: approximate MinVar via submodular optimization (Theorem 3.7).
+/// Returns the cleaning selection `T = O \ S`.
+pub fn best_min_var<Q: DecomposableQuery>(
+    instance: &Instance,
+    query: &Q,
+    budget: Budget,
+    cfg: BestConfig,
+) -> Selection {
+    let eng = ScopedEv::new(instance, query);
+    best_min_var_with_engine(instance, &eng, budget, cfg)
+}
+
+/// [`best_min_var`] reusing a prebuilt scoped engine.
+pub fn best_min_var_with_engine<Q: DecomposableQuery>(
+    instance: &Instance,
+    eng: &ScopedEv<'_, Q>,
+    budget: Budget,
+    cfg: BestConfig,
+) -> Selection {
+    let n = instance.len();
+    let costs = instance.costs();
+    let total: u64 = costs.iter().sum();
+    let cbar = Budget::absolute(budget.get()).complement(total);
+
+    // T-independent marginal families.
+    let empty = eng.initial_state();
+    let full = eng.full_state();
+    // ḡ(j | ∅) = EV(O\{j}) − EV(O) = removal delta at the full state.
+    let g_given_empty: Vec<f64> = (0..n).map(|j| eng.removal_delta(&full, j)).collect();
+    // ḡ(j | O\{j}) = EV(∅) − EV({j}) = add delta at the empty state.
+    let g_given_rest: Vec<f64> = (0..n).map(|j| eng.delta(&empty, j)).collect();
+
+    // Evaluate a keep-dirty set S: EV of cleaning the complement.
+    let ev_of_keep = |s: &Selection| -> f64 {
+        let cleaned: Vec<usize> = (0..n).filter(|i| !s.contains(*i)).collect();
+        eng.ev_of(&cleaned)
+    };
+
+    // Warm starts: (a) complement of the greedy MinVar solution,
+    // (b) cheapest-per-damage cover of C̄.
+    let greedy_t =
+        crate::algo::minvar::greedy_min_var_with_engine(instance, eng, budget);
+    let start_a = greedy_t.complement(n, costs);
+    let start_b = {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Keep-dirty preference: low damage ḡ(j|∅) per unit cost kept.
+        order.sort_by(|&x, &y| {
+            (g_given_empty[x] / costs[x] as f64)
+                .total_cmp(&(g_given_empty[y] / costs[y] as f64))
+        });
+        let mut s = Selection::empty();
+        for i in order {
+            if s.cost() >= cbar {
+                break;
+            }
+            s.insert(i, costs[i]);
+        }
+        s
+    };
+
+    let mut best: Option<(Selection, f64)> = None;
+    for start in [start_a, start_b] {
+        if start.cost() < cbar {
+            continue; // infeasible start (can happen when budget ≈ total)
+        }
+        for bound in [1u8, 2] {
+            let mut s = start.clone();
+            let mut s_val = ev_of_keep(&s);
+            for _ in 0..cfg.max_iters {
+                // Build modular weights for the chosen bound at S.
+                let cleaned: Vec<usize> = (0..n).filter(|i| !s.contains(*i)).collect();
+                let st = eng.state_for(&cleaned);
+                let weights: Vec<f64> = (0..n)
+                    .map(|j| {
+                        let w = if s.contains(j) {
+                            // Removing j from S means cleaning j.
+                            if bound == 1 {
+                                // ḡ(j | S\{j}) = delta of cleaning j given
+                                // the complement of S cleaned.
+                                eng.delta(&st, j)
+                            } else {
+                                g_given_rest[j]
+                            }
+                        } else if bound == 1 {
+                            g_given_empty[j]
+                        } else {
+                            // ḡ(j | S) = removal delta of j at state
+                            // cleaned = O\S ∪ ... : j currently cleaned.
+                            eng.removal_delta(&st, j)
+                        };
+                        w.max(0.0)
+                    })
+                    .collect();
+                let (chosen, _) = min_knapsack_cover_dp(&weights, costs, cbar);
+                let s_new = Selection::from_objects(chosen, costs);
+                if s_new.cost() < cbar {
+                    break;
+                }
+                let v_new = ev_of_keep(&s_new);
+                if v_new + 1e-12 >= s_val {
+                    break;
+                }
+                s = s_new;
+                s_val = v_new;
+            }
+            if best.as_ref().is_none_or(|(_, bv)| s_val < *bv) {
+                best = Some((s.clone(), s_val));
+            }
+        }
+    }
+
+    match best {
+        Some((s, _)) => s.complement(n, costs),
+        // Budget covers everything: clean it all.
+        None => Selection::from_objects(0..n, costs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::brute::brute_force_best;
+    use crate::ev::scoped::ScopedEv;
+    use fc_claims::{ClaimSet, Direction, DupQuery, LinearClaim};
+    use fc_uncertain::{rng_from_seed, DiscreteDist};
+    use rand::Rng;
+
+    fn small_workload(seed: u64) -> (Instance, DupQuery) {
+        let mut rng = rng_from_seed(seed);
+        let n = 6;
+        let dists: Vec<DiscreteDist> = (0..n)
+            .map(|_| {
+                let k = rng.gen_range(2..=3);
+                let vals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..10.0)).collect();
+                DiscreteDist::uniform_over(&vals).unwrap()
+            })
+            .collect();
+        let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..5)).collect();
+        let inst = Instance::new(dists, vec![5.0; n], costs).unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![
+                LinearClaim::window_sum(0, 2).unwrap(),
+                LinearClaim::window_sum(2, 2).unwrap(),
+                LinearClaim::window_sum(4, 2).unwrap(),
+                LinearClaim::window_sum(1, 2).unwrap(),
+            ],
+            vec![1.0; 4],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        (inst, DupQuery::new(cs, 9.0))
+    }
+
+    #[test]
+    fn best_respects_budget_and_beats_nothing() {
+        for seed in [3u64, 11, 42] {
+            let (inst, q) = small_workload(seed);
+            let eng = ScopedEv::new(&inst, &q);
+            let total = inst.total_cost();
+            for frac in [0.25, 0.5, 0.75] {
+                let budget = Budget::fraction(total, frac);
+                let sel = best_min_var(&inst, &q, budget, BestConfig::default());
+                assert!(sel.cost() <= budget.get(), "seed {seed} frac {frac}");
+                let ev = eng.ev_of(sel.objects());
+                let ev0 = eng.ev_of(&[]);
+                assert!(ev <= ev0 + 1e-12, "seed {seed}: {ev} > {ev0}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_is_near_optimal_on_small_instances() {
+        for seed in [5u64, 19] {
+            let (inst, q) = small_workload(seed);
+            let eng = ScopedEv::new(&inst, &q);
+            let budget = Budget::fraction(inst.total_cost(), 0.5);
+            let sel = best_min_var(&inst, &q, budget, BestConfig::default());
+            let ev_best = eng.ev_of(sel.objects());
+            let opt = brute_force_best(
+                inst.costs(),
+                budget,
+                |s| eng.ev_of(s.objects()),
+                true,
+                20,
+            )
+            .unwrap();
+            let ev_opt = eng.ev_of(opt.objects());
+            // Not guaranteed optimal, but must be within a generous factor
+            // on these toy instances (paper: "almost indistinguishable").
+            assert!(
+                ev_best <= 1.5 * ev_opt + 1e-9,
+                "seed {seed}: best {ev_best} vs opt {ev_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_budget_cleans_everything_relevant() {
+        let (inst, q) = small_workload(7);
+        let sel = best_min_var(
+            &inst,
+            &q,
+            Budget::absolute(inst.total_cost()),
+            BestConfig::default(),
+        );
+        let eng = ScopedEv::new(&inst, &q);
+        assert!(eng.ev_of(sel.objects()) < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Cleaning budgets.
+
+use serde::{Deserialize, Serialize};
+
+/// A cleaning budget `C`: the maximum total cost of the selected set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Budget(pub u64);
+
+impl Budget {
+    /// An absolute budget.
+    pub fn absolute(c: u64) -> Self {
+        Self(c)
+    }
+
+    /// A budget expressed as a fraction of a total cost (how the paper's
+    /// figures parameterize their sweeps). `frac` is clamped to `[0, 1]`.
+    pub fn fraction(total_cost: u64, frac: f64) -> Self {
+        let frac = frac.clamp(0.0, 1.0);
+        Self((total_cost as f64 * frac).floor() as u64)
+    }
+
+    /// The raw budget value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Whether a cost fits within the remaining budget after `spent`.
+    #[inline]
+    pub fn fits(self, spent: u64, cost: u64) -> bool {
+        spent.saturating_add(cost) <= self.0
+    }
+
+    /// The complemented budget `C̄ = total − C` used by the Lemma 3.6
+    /// mapping (choose what *not* to clean under a cost lower bound).
+    pub fn complement(self, total_cost: u64) -> u64 {
+        total_cost.saturating_sub(self.0)
+    }
+}
+
+impl From<u64> for Budget {
+    fn from(c: u64) -> Self {
+        Self(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_rounds_down_and_clamps() {
+        assert_eq!(Budget::fraction(100, 0.25).get(), 25);
+        assert_eq!(Budget::fraction(7, 0.5).get(), 3);
+        assert_eq!(Budget::fraction(100, -1.0).get(), 0);
+        assert_eq!(Budget::fraction(100, 2.0).get(), 100);
+    }
+
+    #[test]
+    fn fits_saturates() {
+        let b = Budget::absolute(10);
+        assert!(b.fits(4, 6));
+        assert!(!b.fits(5, 6));
+        assert!(!b.fits(u64::MAX, 1));
+    }
+
+    #[test]
+    fn complement() {
+        assert_eq!(Budget::absolute(30).complement(100), 70);
+        assert_eq!(Budget::absolute(200).complement(100), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Exact `EV(T)` by full joint enumeration.
+//!
+//! Enumerates every outcome of the cleaned objects within the query's
+//! scope and, for each, every outcome of the remaining scope objects to
+//! obtain the conditional variance — a direct transliteration of
+//! Equation (1). Cost is `O(V^{|objs(f)|})`, so this engine is the ground
+//! truth for tests and tiny instances, not a production path.
+
+use crate::instance::Instance;
+use fc_claims::QueryFunction;
+
+/// Computes `EV(T)` exactly for an arbitrary query function.
+///
+/// `cleaned` lists the objects of `T` (any order, duplicates ignored).
+/// Objects outside `query.objects()` do not influence the result and are
+/// skipped. Conditional variances use a numerically stable two-pass
+/// (centered) accumulation.
+pub fn ev_exact(instance: &Instance, query: &dyn QueryFunction, cleaned: &[usize]) -> f64 {
+    let scope = query.objects();
+    let cleaned_scope: Vec<usize> = scope
+        .iter()
+        .copied()
+        .filter(|i| cleaned.contains(i))
+        .collect();
+    let open_scope: Vec<usize> = scope
+        .iter()
+        .copied()
+        .filter(|i| !cleaned.contains(i))
+        .collect();
+    let joint = instance.joint();
+    let mut values = instance.current().to_vec();
+    let mut ev = 0.0;
+    // Two nested passes need disjoint mutable access to `values`; the
+    // borrow is threaded through a RefCell-free split by re-borrowing in
+    // each closure scope.
+    let mut outcomes: Vec<(Vec<f64>, f64)> = Vec::new();
+    joint.for_each_outcome(&cleaned_scope, |cv, cp| {
+        outcomes.push((cv.to_vec(), cp));
+    });
+    for (cv, cp) in outcomes {
+        for (pos, &obj) in cleaned_scope.iter().enumerate() {
+            values[obj] = cv[pos];
+        }
+        // Pass 1: conditional mean.
+        let mut mean = 0.0;
+        {
+            let values_ref = &mut values;
+            joint.for_each_outcome(&open_scope, |uv, up| {
+                for (pos, &obj) in open_scope.iter().enumerate() {
+                    values_ref[obj] = uv[pos];
+                }
+                mean += up * query.eval(values_ref);
+            });
+        }
+        // Pass 2: centered second moment.
+        let mut var = 0.0;
+        {
+            let values_ref = &mut values;
+            joint.for_each_outcome(&open_scope, |uv, up| {
+                for (pos, &obj) in open_scope.iter().enumerate() {
+                    values_ref[obj] = uv[pos];
+                }
+                let d = query.eval(values_ref) - mean;
+                var += up * d * d;
+            });
+        }
+        ev += cp * var;
+    }
+    ev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::query::IndicatorSense;
+    use fc_claims::{ClosureQuery, LinearClaim, ThresholdIndicatorQuery};
+    use fc_uncertain::DiscreteDist;
+
+    fn example3_instance() -> Instance {
+        // Example 3: independent Bernoulli with p = 1/2, 1/3, 1/4.
+        Instance::new(
+            vec![
+                DiscreteDist::bernoulli(0.5).unwrap(),
+                DiscreteDist::bernoulli(1.0 / 3.0).unwrap(),
+                DiscreteDist::bernoulli(0.25).unwrap(),
+            ],
+            vec![0.0, 0.0, 0.0],
+            vec![1, 1, 1],
+        )
+        .unwrap()
+    }
+
+    fn example3_query() -> ThresholdIndicatorQuery {
+        ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 3).unwrap(),
+            3.0,
+            IndicatorSense::Below,
+        )
+    }
+
+    #[test]
+    fn example3_no_cleaning() {
+        // f = 1[X1+X2+X3 < 3]; Pr[f = 0] = 1/24 ⇒ Var = (1/24)(23/24).
+        let inst = example3_instance();
+        let q = example3_query();
+        let want = (1.0 / 24.0) * (23.0 / 24.0);
+        assert!((ev_exact(&inst, &q, &[]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example3_cleaning_x1() {
+        // Cleaning X1: X1=0 (p=1/2) ⇒ f certain (var 0);
+        // X1=1 (p=1/2) ⇒ Pr[f=0] = 1/12 ⇒ var = (1/12)(11/12).
+        let inst = example3_instance();
+        let q = example3_query();
+        let want = 0.5 * (1.0 / 12.0) * (11.0 / 12.0);
+        assert!((ev_exact(&inst, &q, &[0]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example3_uncertainty_can_increase_conditionally() {
+        // The paper's point: conditioned on X1 = 1 the variance of f
+        // exceeds the unconditioned variance — but the *expected* variance
+        // after cleaning still shrinks (Lemma 3.4).
+        let inst = example3_instance();
+        let q = example3_query();
+        let var_unconditioned = (1.0f64 / 24.0) * (23.0 / 24.0);
+        let var_given_x1_is_1 = (1.0f64 / 12.0) * (11.0 / 12.0);
+        assert!(var_given_x1_is_1 > var_unconditioned);
+        assert!(ev_exact(&inst, &q, &[0]) < var_unconditioned);
+    }
+
+    #[test]
+    fn example6_numbers() {
+        // Example 6: X1 ~ U{0,.5,1,1.5,2}, X2 ~ U{1/3,1,5/3},
+        // f = 1[X1+X2 < 11/12].
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            11.0 / 12.0,
+            IndicatorSense::Below,
+        );
+        // EV(∅) = 26/225.
+        assert!((ev_exact(&inst, &q, &[]) - 26.0 / 225.0).abs() < 1e-12);
+        // EV({X1}) = 4/45; EV({X2}) = 2/25 — GreedyMinVar prefers X2.
+        assert!((ev_exact(&inst, &q, &[0]) - 4.0 / 45.0).abs() < 1e-12);
+        assert!((ev_exact(&inst, &q, &[1]) - 2.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cleaning_everything_zeroes_ev() {
+        let inst = example3_instance();
+        let q = example3_query();
+        assert!(ev_exact(&inst, &q, &[0, 1, 2]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn closure_query_product() {
+        // f = X0·X1 with X0 ~ U{0,1}, X1 ~ U{1,2}; exact EV(∅) = Var[X0 X1].
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 1.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0, 2.0]).unwrap(),
+            ],
+            vec![0.0, 1.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let q = ClosureQuery::new(vec![0, 1], |v| v[0] * v[1]);
+        // Products: {0,0,1,2} each w.p. 1/4 ⇒ mean 3/4,
+        // E[X²] = (0+0+1+4)/4 = 5/4 ⇒ var = 5/4 − 9/16 = 11/16.
+        assert!((ev_exact(&inst, &q, &[]) - 11.0 / 16.0).abs() < 1e-12);
+        // Clean X1: X1=1 ⇒ Var[X0] = 1/4; X1=2 ⇒ Var[2X0] = 1 ⇒ EV = 5/8.
+        assert!((ev_exact(&inst, &q, &[1]) - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objects_outside_scope_are_ignored() {
+        let inst = example3_instance();
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            2.0,
+            IndicatorSense::Below,
+        );
+        let base = ev_exact(&inst, &q, &[]);
+        let with_irrelevant = ev_exact(&inst, &q, &[2]);
+        assert!((base - with_irrelevant).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,79 @@
+//! Gaussian closed forms for `EV(T)` with linear queries.
+//!
+//! For `X ~ N(μ, Σ)` and affine `f = b + wᵀX`, the residual uncertainty
+//! after cleaning `T` has a closed form under either covariance
+//! semantics (see `fc_uncertain::mvn::MvnSemantics` and DESIGN.md §1):
+//!
+//! * **Marginal** (the paper's Lemma 3.1 / Theorem 3.9 algebra):
+//!   `EV(T) = Σ_{i,j ∉ T} wᵢ wⱼ Cov[Xᵢ, Xⱼ]`;
+//! * **Conditional** (exact Gaussian posterior, used by `OPT` /
+//!   `GreedyDep` in the §4.5 reproduction):
+//!   `EV(T) = w_{T̄}ᵀ (Σ_{T̄T̄} − Σ_{T̄T} Σ_{TT}⁻¹ Σ_{TT̄}) w_{T̄}`.
+
+use crate::instance::GaussianInstance;
+use crate::Result;
+pub use fc_uncertain::mvn::MvnSemantics;
+
+/// `EV(T)` for a linear query `wᵀX` over a Gaussian instance.
+pub fn ev_gaussian_linear(
+    instance: &GaussianInstance,
+    weights: &[f64],
+    cleaned: &[usize],
+    semantics: MvnSemantics,
+) -> Result<f64> {
+    let mut sorted = cleaned.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    Ok(instance
+        .mvn()
+        .residual_variance(weights, &sorted, semantics)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::GaussianInstance;
+    use fc_uncertain::MultivariateNormal;
+
+    #[test]
+    fn independent_matches_modular() {
+        let g = GaussianInstance::centered_independent(
+            vec![10.0, 20.0, 30.0],
+            &[1.0, 2.0, 3.0],
+            vec![1, 1, 1],
+        )
+        .unwrap();
+        let w = [1.0, -1.0, 2.0];
+        // EV({1}) = 1·1 + 4·9 = 37 under both semantics.
+        for sem in [MvnSemantics::Marginal, MvnSemantics::Conditional] {
+            let ev = ev_gaussian_linear(&g, &w, &[1], sem).unwrap();
+            assert!((ev - 37.0).abs() < 1e-10, "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn conditional_never_exceeds_marginal() {
+        let mvn = MultivariateNormal::with_geometric_dependency(
+            vec![0.0; 4],
+            &[1.0, 2.0, 1.5, 0.5],
+            0.7,
+        )
+        .unwrap();
+        let g = GaussianInstance::with_mvn(mvn, vec![0.0; 4], vec![1; 4]).unwrap();
+        let w = [1.0, 1.0, -1.0, 1.0];
+        for cleaned in [vec![], vec![0], vec![1, 3], vec![0, 1, 2]] {
+            let m = ev_gaussian_linear(&g, &w, &cleaned, MvnSemantics::Marginal).unwrap();
+            let c = ev_gaussian_linear(&g, &w, &cleaned, MvnSemantics::Conditional).unwrap();
+            assert!(c <= m + 1e-10, "cleaned {cleaned:?}: cond {c} > marg {m}");
+        }
+    }
+
+    #[test]
+    fn duplicate_indices_tolerated() {
+        let g = GaussianInstance::centered_independent(vec![0.0; 2], &[1.0, 1.0], vec![1, 1])
+            .unwrap();
+        let a = ev_gaussian_linear(&g, &[1.0, 1.0], &[0, 0], MvnSemantics::Marginal).unwrap();
+        let b = ev_gaussian_linear(&g, &[1.0, 1.0], &[0], MvnSemantics::Marginal).unwrap();
+        assert_eq!(a, b);
+    }
+}

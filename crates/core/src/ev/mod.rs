@@ -1,0 +1,29 @@
+//! `EV(T)` — the MinVar objective:
+//! `EV(T) = Σ_{v ∈ V_T} Pr[X_T = v] · Var[f(X) | X_T = v]`.
+//!
+//! Four engines, trading generality for speed:
+//!
+//! | engine | requirements | complexity |
+//! |---|---|---|
+//! | [`exact::ev_exact`] | any [`QueryFunction`] | `O(V^{\|objs(f)\|})` — tests / tiny scopes |
+//! | [`scoped::ScopedEv`] | [`DecomposableQuery`] + independence (Theorem 3.8) | `O(m² V^{3W} W + n)` worst case, far less for sparse claim families; supports `O(local)` incremental deltas |
+//! | [`modular::modular_benefits`] | affine `f` + pairwise-uncorrelated `X` (Lemma 3.1) | `O(n)` |
+//! | [`monte_carlo::ev_monte_carlo`] | any [`QueryFunction`] | sampling estimate |
+//!
+//! plus [`gaussian::ev_gaussian_linear`] — closed forms for linear `f`
+//! over (multivariate) normal errors under both covariance semantics.
+//!
+//! [`QueryFunction`]: fc_claims::QueryFunction
+//! [`DecomposableQuery`]: fc_claims::DecomposableQuery
+
+pub mod exact;
+pub mod gaussian;
+pub mod modular;
+pub mod monte_carlo;
+pub mod scoped;
+
+pub use exact::ev_exact;
+pub use gaussian::ev_gaussian_linear;
+pub use modular::{ev_modular, modular_benefits, modular_benefits_gaussian};
+pub use monte_carlo::ev_monte_carlo;
+pub use scoped::{EvState, ScopedEv};

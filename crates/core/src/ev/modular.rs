@@ -1,0 +1,135 @@
+//! The Lemma 3.1 modular fast path.
+//!
+//! For affine `f(X) = b + Σ aᵢ Xᵢ` with pairwise-uncorrelated components,
+//! `Var[f | X_T = v] = Σ_{i ∉ T} aᵢ² Var[Xᵢ]` for *every* outcome `v`, so
+//! `EV(T) = Σ_{i ∉ T} aᵢ² Var[Xᵢ]` — the objective is modular and MinVar
+//! becomes a knapsack problem. The per-object *benefit* of cleaning `i` is
+//! exactly `wᵢ = aᵢ² Var[Xᵢ]`.
+
+use crate::instance::{GaussianInstance, Instance};
+use crate::{CoreError, Result};
+use fc_claims::QueryFunction;
+
+/// Lemma 3.1 benefits `wᵢ = aᵢ² Var[Xᵢ]` for an affine query over a
+/// discrete instance. Errors with [`CoreError::NotAffine`] when the query
+/// exposes no affine form.
+pub fn modular_benefits(instance: &Instance, query: &dyn QueryFunction) -> Result<Vec<f64>> {
+    let (weights, _b) = query.as_affine(instance.len()).ok_or(CoreError::NotAffine)?;
+    Ok(weights
+        .iter()
+        .enumerate()
+        .map(|(i, a)| a * a * instance.variance(i))
+        .collect())
+}
+
+/// Benefits `wᵢ = aᵢ² σᵢ²` for an affine query over Gaussian marginals
+/// (valid for MinVar when the covariance is diagonal; also the MaxPr
+/// knapsack weights of Lemma 3.3 when additionally centered at `u`).
+pub fn modular_benefits_gaussian(instance: &GaussianInstance, weights: &[f64]) -> Vec<f64> {
+    weights
+        .iter()
+        .enumerate()
+        .map(|(i, a)| a * a * instance.variance(i))
+        .collect()
+}
+
+/// `EV(T)` under a modular objective: total benefit minus the benefit of
+/// the cleaned set.
+pub fn ev_modular(benefits: &[f64], cleaned: &[usize]) -> f64 {
+    let total: f64 = benefits.iter().sum();
+    let removed: f64 = cleaned.iter().map(|&i| benefits[i]).sum();
+    (total - removed).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ev::exact::ev_exact;
+    use fc_claims::{ClaimSet, Direction, LinearClaim};
+    use fc_uncertain::DiscreteDist;
+
+    fn example5_instance() -> Instance {
+        Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            vec![1, 1],
+        )
+        .unwrap()
+    }
+
+    fn example5_bias() -> fc_claims::BiasQuery {
+        // Q = {q°} with q° = X1 + X2; bias = X1 + X2 − 2.
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(0, 2).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        fc_claims::BiasQuery::new(cs, 2.0)
+    }
+
+    #[test]
+    fn example5_weights() {
+        let inst = example5_instance();
+        let q = example5_bias();
+        let w = modular_benefits(&inst, &q).unwrap();
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 8.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example5_ev_choices() {
+        // Cleaning X1 leaves 8/27; cleaning X2 leaves 1/2 ⇒ clean X1.
+        let inst = example5_instance();
+        let w = modular_benefits(&inst, &example5_bias()).unwrap();
+        assert!((ev_modular(&w, &[]) - (0.5 + 8.0 / 27.0)).abs() < 1e-12);
+        assert!((ev_modular(&w, &[0]) - 8.0 / 27.0).abs() < 1e-12);
+        assert!((ev_modular(&w, &[1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modular_matches_exact_for_affine() {
+        let inst = example5_instance();
+        let q = example5_bias();
+        let w = modular_benefits(&inst, &q).unwrap();
+        for cleaned in [vec![], vec![0], vec![1], vec![0, 1]] {
+            let a = ev_modular(&w, &cleaned);
+            let b = ev_exact(&inst, &q, &cleaned);
+            assert!((a - b).abs() < 1e-10, "cleaned {cleaned:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_affine_rejected() {
+        let inst = example5_instance();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(0, 2).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let q = fc_claims::DupQuery::new(cs, 2.0);
+        assert_eq!(
+            modular_benefits(&inst, &q).unwrap_err(),
+            CoreError::NotAffine
+        );
+    }
+
+    #[test]
+    fn gaussian_benefits() {
+        let g = crate::instance::GaussianInstance::centered_independent(
+            vec![0.0, 0.0],
+            &[2.0, 3.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let w = modular_benefits_gaussian(&g, &[1.0, -2.0]);
+        assert!((w[0] - 4.0).abs() < 1e-12);
+        assert!((w[1] - 36.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Monte Carlo estimation of `EV(T)` for arbitrary query functions.
+//!
+//! §3.1: "one possibility is to estimate δᵢ using Monte Carlo methods."
+//! The estimator nests two loops: outer samples of the cleaning outcome
+//! `X_T = v`, inner samples of the remaining objects to estimate
+//! `Var[f(X) | X_T = v]` (with Bessel's correction so the inner estimate
+//! is unbiased).
+
+use crate::instance::Instance;
+use fc_claims::QueryFunction;
+use rand::Rng;
+
+/// Estimates `EV(T)` with `outer × inner` samples.
+pub fn ev_monte_carlo<R: Rng + ?Sized>(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    cleaned: &[usize],
+    outer: usize,
+    inner: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(outer >= 1 && inner >= 2, "need outer ≥ 1 and inner ≥ 2");
+    let scope = query.objects();
+    let cleaned_scope: Vec<usize> = scope
+        .iter()
+        .copied()
+        .filter(|i| cleaned.contains(i))
+        .collect();
+    let open_scope: Vec<usize> = scope
+        .iter()
+        .copied()
+        .filter(|i| !cleaned.contains(i))
+        .collect();
+    if open_scope.is_empty() {
+        return 0.0;
+    }
+    let joint = instance.joint();
+    let mut values = instance.current().to_vec();
+    let mut total = 0.0;
+    for _ in 0..outer {
+        for &obj in &cleaned_scope {
+            values[obj] = joint.dist(obj).sample(rng);
+        }
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..inner {
+            for &obj in &open_scope {
+                values[obj] = joint.dist(obj).sample(rng);
+            }
+            let f = query.eval(&values);
+            sum += f;
+            sum_sq += f * f;
+        }
+        let mean = sum / inner as f64;
+        // Unbiased (Bessel-corrected) conditional variance estimate.
+        let var = (sum_sq - inner as f64 * mean * mean) / (inner as f64 - 1.0);
+        total += var.max(0.0);
+    }
+    total / outer as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ev::exact::ev_exact;
+    use fc_claims::query::IndicatorSense;
+    use fc_claims::{LinearClaim, ThresholdIndicatorQuery};
+    use fc_uncertain::{rng_from_seed, DiscreteDist};
+
+    #[test]
+    fn approximates_exact_on_example3() {
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::bernoulli(0.5).unwrap(),
+                DiscreteDist::bernoulli(1.0 / 3.0).unwrap(),
+                DiscreteDist::bernoulli(0.25).unwrap(),
+            ],
+            vec![0.0; 3],
+            vec![1; 3],
+        )
+        .unwrap();
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 3).unwrap(),
+            3.0,
+            IndicatorSense::Below,
+        );
+        let mut rng = rng_from_seed(17);
+        for cleaned in [vec![], vec![0], vec![0, 1]] {
+            let exact = ev_exact(&inst, &q, &cleaned);
+            let mc = ev_monte_carlo(&inst, &q, &cleaned, 300, 200, &mut rng);
+            assert!(
+                (mc - exact).abs() < 0.02,
+                "cleaned {cleaned:?}: mc {mc} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_cleaned_is_zero() {
+        let inst = Instance::new(
+            vec![DiscreteDist::bernoulli(0.5).unwrap()],
+            vec![0.0],
+            vec![1],
+        )
+        .unwrap();
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 1).unwrap(),
+            1.0,
+            IndicatorSense::Below,
+        );
+        let mut rng = rng_from_seed(3);
+        assert_eq!(ev_monte_carlo(&inst, &q, &[0], 10, 10, &mut rng), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner")]
+    fn rejects_degenerate_inner() {
+        let inst = Instance::new(
+            vec![DiscreteDist::bernoulli(0.5).unwrap()],
+            vec![0.0],
+            vec![1],
+        )
+        .unwrap();
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 1).unwrap(),
+            1.0,
+            IndicatorSense::Below,
+        );
+        let mut rng = rng_from_seed(3);
+        ev_monte_carlo(&inst, &q, &[], 10, 1, &mut rng);
+    }
+}

@@ -1,0 +1,742 @@
+//! The Theorem 3.8 scoped `EV` engine.
+//!
+//! For a decomposable query `f(X) = Σ_k g_k(X)` (one term per claim, each
+//! over a small scope `S_k`) with mutually independent `X_i`, `EV(T)`
+//! splits into per-term and per-pair parts:
+//!
+//! ```text
+//! EV(T) = Σ_k ( E[g_k²] − E_T[ E[g_k | X_{S_k ∩ T}]² ] )
+//!       + 2 Σ_{k<k'} ( E[g_k·g_k'] − E_T[ E[g_k | X_{A∩}]·E[g_k' | X_{A∩}] ] )
+//! ```
+//!
+//! where `A∩ = S_k ∩ S_k' ∩ T`. Under independence
+//! `E[g_k·g_k'] = Σ_s Pr[s]·E[g_k | s]·E[g_k' | s]` over the *shared*
+//! scope `S∩ = S_k ∩ S_k'`, so pairs with disjoint scopes contribute
+//! nothing and everything is computed over scopes of size ≤ `2W` — never
+//! the full joint. The `T`-independent pieces (`E[g_k²]`, the pair first
+//! terms, and the shared-scope conditional-expectation tables) are
+//! precomputed once in [`ScopedEv::new`].
+//!
+//! The engine additionally exposes **incremental** evaluation
+//! ([`ScopedEv::delta`] / [`ScopedEv::apply`] over an [`EvState`]): adding
+//! one object to `T` only touches the terms whose scope contains it and
+//! the pairs whose *shared* scope contains it, which is what makes
+//! `GreedyMinVar` scale to the Fig. 10 workloads.
+
+use crate::instance::Instance;
+use fc_claims::DecomposableQuery;
+use fc_uncertain::DiscreteDist;
+
+/// Iterates the outcome space of `dists` (last axis fastest), passing
+/// per-axis positions, values, and the product probability.
+fn for_each_pos_outcome(
+    dists: &[&DiscreteDist],
+    mut f: impl FnMut(&[usize], &[f64], f64),
+) {
+    let k = dists.len();
+    if k == 0 {
+        f(&[], &[], 1.0);
+        return;
+    }
+    let mut pos = vec![0usize; k];
+    let mut values = vec![0.0f64; k];
+    let mut prefix = vec![0.0f64; k + 1];
+    prefix[0] = 1.0;
+    for j in 0..k {
+        values[j] = dists[j].values()[0];
+        prefix[j + 1] = prefix[j] * dists[j].probs()[0];
+    }
+    loop {
+        f(&pos, &values, prefix[k]);
+        let mut j = k;
+        loop {
+            if j == 0 {
+                return;
+            }
+            j -= 1;
+            pos[j] += 1;
+            if pos[j] < dists[j].support_size() {
+                break;
+            }
+            pos[j] = 0;
+        }
+        for t in j..k {
+            values[t] = dists[t].values()[pos[t]];
+            prefix[t + 1] = prefix[t] * dists[t].probs()[pos[t]];
+        }
+    }
+}
+
+/// Per-term metadata.
+struct TermInfo {
+    /// Sorted object ids in the term's scope.
+    scope: Vec<usize>,
+    /// `E[g_k²]` (T-independent).
+    e_g2: f64,
+}
+
+/// Per-pair metadata for claim pairs with intersecting scopes.
+struct PairInfo {
+    /// Shared scope `S∩` (sorted object ids).
+    shared: Vec<usize>,
+    /// Support size per shared axis.
+    shared_sizes: Vec<usize>,
+    /// Pmf per shared axis.
+    shared_probs: Vec<Vec<f64>>,
+    /// `E[g_k | shared = s]`, flat over the shared axes.
+    a: Vec<f64>,
+    /// `E[g_k' | shared = s]`, flat over the shared axes.
+    b: Vec<f64>,
+    /// `E[g_k · g_k'] = Σ_s Pr[s] a[s] b[s]` (T-independent).
+    first: f64,
+}
+
+/// Incremental evaluation state for a growing cleaned set.
+#[derive(Debug, Clone)]
+pub struct EvState {
+    cleaned: Vec<bool>,
+    term_sec: Vec<f64>,
+    pair_sec: Vec<f64>,
+    ev: f64,
+}
+
+impl EvState {
+    /// Current `EV(T)`.
+    #[inline]
+    pub fn ev(&self) -> f64 {
+        self.ev
+    }
+
+    /// Whether object `i` is in the cleaned set.
+    #[inline]
+    pub fn is_cleaned(&self, i: usize) -> bool {
+        self.cleaned[i]
+    }
+}
+
+/// The scoped `EV` engine (see module docs).
+pub struct ScopedEv<'a, Q: DecomposableQuery> {
+    instance: &'a Instance,
+    query: &'a Q,
+    terms: Vec<TermInfo>,
+    pairs: Vec<(usize, usize, PairInfo)>,
+    /// Terms whose scope contains each object.
+    term_of_obj: Vec<Vec<u32>>,
+    /// Pairs whose *shared* scope contains each object.
+    pair_of_obj: Vec<Vec<u32>>,
+}
+
+impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
+    /// Precomputes the T-independent quantities. Cost is
+    /// `O(Σ_k V^{|S_k|} + Σ_{sharing pairs} V^{|S_k|})`.
+    pub fn new(instance: &'a Instance, query: &'a Q) -> Self {
+        let n = instance.len();
+        let m = query.num_terms();
+        let joint = instance.joint();
+
+        // --- per-term: E[g²] ---
+        let mut terms = Vec::with_capacity(m);
+        let mut term_of_obj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for k in 0..m {
+            let scope = query.term_objects(k).to_vec();
+            for &o in &scope {
+                term_of_obj[o].push(k as u32);
+            }
+            let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
+            let mut e_g2 = 0.0;
+            for_each_pos_outcome(&dists, |_, vals, p| {
+                let g = query.eval_term(k, vals);
+                e_g2 += p * g * g;
+            });
+            terms.push(TermInfo { scope, e_g2 });
+        }
+
+        // --- discover sharing pairs via the per-object term lists ---
+        let mut pair_set: Vec<(usize, usize)> = Vec::new();
+        for list in &term_of_obj {
+            for i in 0..list.len() {
+                for j in (i + 1)..list.len() {
+                    let (a, b) = (list[i] as usize, list[j] as usize);
+                    pair_set.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        pair_set.sort_unstable();
+        pair_set.dedup();
+
+        // --- per-pair: shared tables and first terms ---
+        let mut pairs = Vec::with_capacity(pair_set.len());
+        let mut pair_of_obj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (pidx, &(k1, k2)) in pair_set.iter().enumerate() {
+            let shared: Vec<usize> = terms[k1]
+                .scope
+                .iter()
+                .copied()
+                .filter(|o| terms[k2].scope.binary_search(o).is_ok())
+                .collect();
+            debug_assert!(!shared.is_empty());
+            for &o in &shared {
+                pair_of_obj[o].push(pidx as u32);
+            }
+            let shared_sizes: Vec<usize> = shared
+                .iter()
+                .map(|&o| joint.dist(o).support_size())
+                .collect();
+            let shared_probs: Vec<Vec<f64>> = shared
+                .iter()
+                .map(|&o| joint.dist(o).probs().to_vec())
+                .collect();
+            let a = conditional_expectation_table(instance, query, k1, &terms[k1].scope, &shared);
+            let b = conditional_expectation_table(instance, query, k2, &terms[k2].scope, &shared);
+            let mut first = 0.0;
+            let flat = flat_probs(&shared_sizes, &shared_probs);
+            for ((pa, pb), pf) in a.iter().zip(&b).zip(&flat) {
+                first += pf * pa * pb;
+            }
+            pairs.push((k1, k2, PairInfo {
+                shared,
+                shared_sizes,
+                shared_probs,
+                a,
+                b,
+                first,
+            }));
+        }
+
+        Self {
+            instance,
+            query,
+            terms,
+            pairs,
+            term_of_obj,
+            pair_of_obj,
+        }
+    }
+
+    /// Number of decomposed terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of scope-sharing claim pairs.
+    pub fn num_sharing_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `E_T[E[g_k | X_{S_k∩T}]²]` for the cleaned mask, with `flip`
+    /// optionally overriding one object's cleaned status.
+    fn term_second(&self, k: usize, cleaned: &[bool], flip: Option<(usize, bool)>) -> f64 {
+        let scope = &self.terms[k].scope;
+        let joint = self.instance.joint();
+        let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
+        let keep: Vec<bool> = scope
+            .iter()
+            .map(|&o| match flip {
+                Some((fo, fv)) if fo == o => fv,
+                _ => cleaned[o],
+            })
+            .collect();
+        let kept_axes: Vec<usize> = (0..scope.len()).filter(|&a| keep[a]).collect();
+        let out_len: usize = kept_axes.iter().map(|&a| dists[a].support_size()).product();
+        let mut num = vec![0.0f64; out_len]; // Σ p_total · g   per bucket
+        let mut den = vec![0.0f64; out_len]; // Σ p_total       per bucket (= P_kept)
+        let q = self.query;
+        for_each_pos_outcome(&dists, |pos, vals, p| {
+            let mut oi = 0usize;
+            for &a in &kept_axes {
+                oi = oi * dists[a].support_size() + pos[a];
+            }
+            num[oi] += p * q.eval_term(k, vals);
+            den[oi] += p;
+        });
+        let mut acc = 0.0;
+        for (nv, dv) in num.iter().zip(&den) {
+            if *dv > 0.0 {
+                acc += nv * nv / dv; // P_kept · E[g|kept]²
+            }
+        }
+        acc
+    }
+
+    /// `E_T[E[g_k | A∩]·E[g_k' | A∩]]` for pair `p` under the cleaned
+    /// mask (with optional one-object override).
+    #[allow(clippy::needless_range_loop)] // axis arithmetic mirrors the math
+    fn pair_second(&self, p: usize, cleaned: &[bool], flip: Option<(usize, bool)>) -> f64 {
+        let info = &self.pairs[p].2;
+        let axes = info.shared.len();
+        let keep: Vec<bool> = info
+            .shared
+            .iter()
+            .map(|&o| match flip {
+                Some((fo, fv)) if fo == o => fv,
+                _ => cleaned[o],
+            })
+            .collect();
+        let kept_axes: Vec<usize> = (0..axes).filter(|&a| keep[a]).collect();
+        let out_len: usize = kept_axes.iter().map(|&a| info.shared_sizes[a]).product();
+        let mut ared = vec![0.0f64; out_len];
+        let mut bred = vec![0.0f64; out_len];
+        let mut pkept = vec![0.0f64; out_len];
+        // Odometer over the shared axes.
+        let mut pos = vec![0usize; axes];
+        let mut idx = 0usize;
+        loop {
+            let mut oi = 0usize;
+            let mut p_all = 1.0;
+            for a in 0..axes {
+                p_all *= info.shared_probs[a][pos[a]];
+            }
+            for &a in &kept_axes {
+                oi = oi * info.shared_sizes[a] + pos[a];
+            }
+            ared[oi] += p_all * info.a[idx];
+            bred[oi] += p_all * info.b[idx];
+            pkept[oi] += p_all;
+            // increment
+            idx += 1;
+            let mut j = axes;
+            loop {
+                if j == 0 {
+                    let mut acc = 0.0;
+                    for i in 0..out_len {
+                        if pkept[i] > 0.0 {
+                            acc += ared[i] * bred[i] / pkept[i];
+                        }
+                    }
+                    return acc;
+                }
+                j -= 1;
+                pos[j] += 1;
+                if pos[j] < info.shared_sizes[j] {
+                    break;
+                }
+                pos[j] = 0;
+            }
+        }
+    }
+
+    /// Stateless `EV(T)` for a cleaned mask.
+    pub fn ev_of_mask(&self, cleaned: &[bool]) -> f64 {
+        let mut ev = 0.0;
+        for k in 0..self.terms.len() {
+            ev += self.terms[k].e_g2 - self.term_second(k, cleaned, None);
+        }
+        for p in 0..self.pairs.len() {
+            ev += 2.0 * (self.pairs[p].2.first - self.pair_second(p, cleaned, None));
+        }
+        ev.max(0.0)
+    }
+
+    /// Stateless `EV(T)` for a cleaned index list.
+    pub fn ev_of(&self, cleaned: &[usize]) -> f64 {
+        let mut mask = vec![false; self.instance.len()];
+        for &i in cleaned {
+            mask[i] = true;
+        }
+        self.ev_of_mask(&mask)
+    }
+
+    /// Builds the incremental state for a cleaned set.
+    pub fn state_for(&self, cleaned: &[usize]) -> EvState {
+        let mut mask = vec![false; self.instance.len()];
+        for &i in cleaned {
+            mask[i] = true;
+        }
+        let term_sec: Vec<f64> = (0..self.terms.len())
+            .map(|k| self.term_second(k, &mask, None))
+            .collect();
+        let pair_sec: Vec<f64> = (0..self.pairs.len())
+            .map(|p| self.pair_second(p, &mask, None))
+            .collect();
+        let mut ev = 0.0;
+        for (k, t) in self.terms.iter().enumerate() {
+            ev += t.e_g2 - term_sec[k];
+        }
+        for (p, (_, _, info)) in self.pairs.iter().enumerate() {
+            ev += 2.0 * (info.first - pair_sec[p]);
+        }
+        EvState {
+            cleaned: mask,
+            term_sec,
+            pair_sec,
+            ev: ev.max(0.0),
+        }
+    }
+
+    /// The empty-set state (`T = ∅`).
+    pub fn initial_state(&self) -> EvState {
+        self.state_for(&[])
+    }
+
+    /// `EV(T) − EV(T ∪ {i})` — the MinVar benefit of additionally
+    /// cleaning `i`. Touches only terms/pairs involving `i`; `O(local)`.
+    pub fn delta(&self, st: &EvState, i: usize) -> f64 {
+        if st.cleaned[i] {
+            return 0.0;
+        }
+        let mut d = 0.0;
+        for &k in &self.term_of_obj[i] {
+            let k = k as usize;
+            d += self.term_second(k, &st.cleaned, Some((i, true))) - st.term_sec[k];
+        }
+        for &p in &self.pair_of_obj[i] {
+            let p = p as usize;
+            d += 2.0 * (self.pair_second(p, &st.cleaned, Some((i, true))) - st.pair_sec[p]);
+        }
+        d.max(0.0)
+    }
+
+    /// `EV(T \ {i}) − EV(T)` — the EV increase from *removing* `i` from
+    /// the cleaned set (used by the submodular `Best` marginals).
+    pub fn removal_delta(&self, st: &EvState, i: usize) -> f64 {
+        if !st.cleaned[i] {
+            return 0.0;
+        }
+        let mut d = 0.0;
+        for &k in &self.term_of_obj[i] {
+            let k = k as usize;
+            d += st.term_sec[k] - self.term_second(k, &st.cleaned, Some((i, false)));
+        }
+        for &p in &self.pair_of_obj[i] {
+            let p = p as usize;
+            d += 2.0 * (st.pair_sec[p] - self.pair_second(p, &st.cleaned, Some((i, false))));
+        }
+        d.max(0.0)
+    }
+
+    /// State with *every* object cleaned (`EV = 0`).
+    pub fn full_state(&self) -> EvState {
+        let all: Vec<usize> = (0..self.instance.len()).collect();
+        self.state_for(&all)
+    }
+
+    /// Commits object `i` into the state, updating the affected terms.
+    pub fn apply(&self, st: &mut EvState, i: usize) {
+        if st.cleaned[i] {
+            return;
+        }
+        st.cleaned[i] = true;
+        for &k in &self.term_of_obj[i] {
+            let k = k as usize;
+            let new_sec = self.term_second(k, &st.cleaned, None);
+            st.ev -= new_sec - st.term_sec[k];
+            st.term_sec[k] = new_sec;
+        }
+        for &p in &self.pair_of_obj[i] {
+            let p = p as usize;
+            let new_sec = self.pair_second(p, &st.cleaned, None);
+            st.ev -= 2.0 * (new_sec - st.pair_sec[p]);
+            st.pair_sec[p] = new_sec;
+        }
+        st.ev = st.ev.max(0.0);
+    }
+
+    /// Objects that can possibly reduce `EV` (those referenced by any
+    /// term scope).
+    pub fn relevant_objects(&self) -> Vec<usize> {
+        (0..self.instance.len())
+            .filter(|&i| !self.term_of_obj[i].is_empty())
+            .collect()
+    }
+
+    /// Objects whose benefit may have changed after cleaning `i`
+    /// (scope-mates through shared terms or pairs), excluding `i` itself.
+    pub fn affected_by(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &k in &self.term_of_obj[i] {
+            out.extend(self.terms[k as usize].scope.iter().copied());
+        }
+        for &p in &self.pair_of_obj[i] {
+            let (k1, k2, _) = &self.pairs[p as usize];
+            out.extend(self.terms[*k1].scope.iter().copied());
+            out.extend(self.terms[*k2].scope.iter().copied());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&o| o != i);
+        out
+    }
+}
+
+/// `E[g_k | shared = s]` flat over the shared axes (in shared order).
+fn conditional_expectation_table<Q: DecomposableQuery>(
+    instance: &Instance,
+    query: &Q,
+    k: usize,
+    scope: &[usize],
+    shared: &[usize],
+) -> Vec<f64> {
+    let joint = instance.joint();
+    let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
+    // Axis index within the scope for each shared object.
+    let shared_axes: Vec<usize> = shared
+        .iter()
+        .map(|o| scope.binary_search(o).expect("shared ⊆ scope"))
+        .collect();
+    let out_len: usize = shared_axes
+        .iter()
+        .map(|&a| dists[a].support_size())
+        .product();
+    let mut num = vec![0.0f64; out_len];
+    let mut den = vec![0.0f64; out_len];
+    for_each_pos_outcome(&dists, |pos, vals, p| {
+        let mut oi = 0usize;
+        for &a in &shared_axes {
+            oi = oi * dists[a].support_size() + pos[a];
+        }
+        num[oi] += p * query.eval_term(k, vals);
+        den[oi] += p;
+    });
+    for (nv, dv) in num.iter_mut().zip(&den) {
+        if *dv > 0.0 {
+            *nv /= dv;
+        }
+    }
+    num
+}
+
+/// Flat joint pmf over the given axes (row-major, last axis fastest).
+fn flat_probs(sizes: &[usize], probs: &[Vec<f64>]) -> Vec<f64> {
+    let total: usize = sizes.iter().product();
+    let mut out = vec![1.0f64; total];
+    if total == 0 {
+        return out;
+    }
+    let mut stride = total;
+    for (a, &sz) in sizes.iter().enumerate() {
+        stride /= sz;
+        for (idx, o) in out.iter_mut().enumerate() {
+            let pos = (idx / stride) % sz;
+            *o *= probs[a][pos];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ev::exact::ev_exact;
+    use fc_claims::query::IndicatorSense;
+    use fc_claims::{
+        BiasQuery, ClaimSet, Direction, DupQuery, FragQuery, LinearClaim,
+        ThresholdIndicatorQuery,
+    };
+    use fc_uncertain::{rng_from_seed, DiscreteDist};
+    use rand::Rng;
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = rng_from_seed(seed);
+        let dists = (0..n)
+            .map(|_| {
+                let k = rng.gen_range(1..=4);
+                let vals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..10.0)).collect();
+                let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..1.0)).collect();
+                DiscreteDist::from_weights(vals.into_iter().zip(weights)).unwrap()
+            })
+            .collect::<Vec<_>>();
+        let current = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let costs = (0..n).map(|_| rng.gen_range(1..10)).collect();
+        Instance::new(dists, current, costs).unwrap()
+    }
+
+    /// Overlapping claims so the pair machinery is exercised.
+    fn overlapping_claimset() -> ClaimSet {
+        ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![
+                LinearClaim::window_sum(0, 2).unwrap(),
+                LinearClaim::window_sum(1, 2).unwrap(),
+                LinearClaim::window_sum(2, 2).unwrap(),
+            ],
+            vec![1.0, 1.0, 1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scoped_matches_exact_for_dup() {
+        let inst = random_instance(4, 7);
+        let q = DupQuery::new(overlapping_claimset(), 8.0);
+        let eng = ScopedEv::new(&inst, &q);
+        assert!(eng.num_sharing_pairs() >= 2);
+        for cleaned in [
+            vec![],
+            vec![0],
+            vec![1],
+            vec![3],
+            vec![0, 2],
+            vec![1, 2],
+            vec![0, 1, 2, 3],
+        ] {
+            let a = eng.ev_of(&cleaned);
+            let b = ev_exact(&inst, &q, &cleaned);
+            assert!(
+                (a - b).abs() < 1e-10,
+                "cleaned {cleaned:?}: scoped {a} vs exact {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_matches_exact_for_frag() {
+        let inst = random_instance(4, 13);
+        let q = FragQuery::new(overlapping_claimset(), 9.0);
+        let eng = ScopedEv::new(&inst, &q);
+        for cleaned in [vec![], vec![2], vec![0, 3], vec![1, 2, 3]] {
+            let a = eng.ev_of(&cleaned);
+            let b = ev_exact(&inst, &q, &cleaned);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "cleaned {cleaned:?}: scoped {a} vs exact {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_matches_exact_for_bias() {
+        let inst = random_instance(4, 21);
+        let q = BiasQuery::new(overlapping_claimset(), 5.0);
+        let eng = ScopedEv::new(&inst, &q);
+        for cleaned in [vec![], vec![1], vec![0, 2], vec![0, 1, 2, 3]] {
+            let a = eng.ev_of(&cleaned);
+            let b = ev_exact(&inst, &q, &cleaned);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "cleaned {cleaned:?}: scoped {a} vs exact {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_matches_exact_with_uncertain_original() {
+        // Reference::UncertainOriginal makes every scope include q°'s
+        // objects — all pairs share.
+        let inst = random_instance(4, 33);
+        let q = DupQuery::relative_to_original(overlapping_claimset());
+        let eng = ScopedEv::new(&inst, &q);
+        assert_eq!(eng.num_sharing_pairs(), 3);
+        for cleaned in [vec![], vec![0], vec![2, 3]] {
+            let a = eng.ev_of(&cleaned);
+            let b = ev_exact(&inst, &q, &cleaned);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "cleaned {cleaned:?}: scoped {a} vs exact {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn example6_via_scoped() {
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let q = ThresholdIndicatorQuery::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            11.0 / 12.0,
+            IndicatorSense::Below,
+        );
+        let eng = ScopedEv::new(&inst, &q);
+        assert!((eng.ev_of(&[]) - 26.0 / 225.0).abs() < 1e-12);
+        assert!((eng.ev_of(&[0]) - 4.0 / 45.0).abs() < 1e-12);
+        assert!((eng.ev_of(&[1]) - 2.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_state_matches_stateless() {
+        let inst = random_instance(6, 5);
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 3).unwrap(),
+            vec![
+                LinearClaim::window_sum(0, 3).unwrap(),
+                LinearClaim::window_sum(2, 3).unwrap(),
+                LinearClaim::window_sum(3, 3).unwrap(),
+            ],
+            vec![1.0, 2.0, 1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let q = DupQuery::new(cs, 12.0);
+        let eng = ScopedEv::new(&inst, &q);
+        let mut st = eng.initial_state();
+        assert!((st.ev() - eng.ev_of(&[])).abs() < 1e-12);
+        let order = [4usize, 1, 5, 0];
+        let mut cleaned: Vec<usize> = Vec::new();
+        for &i in &order {
+            let d = eng.delta(&st, i);
+            let before = st.ev();
+            eng.apply(&mut st, i);
+            cleaned.push(i);
+            let direct = eng.ev_of(&cleaned);
+            assert!(
+                (st.ev() - direct).abs() < 1e-9,
+                "after {cleaned:?}: state {} vs direct {direct}",
+                st.ev()
+            );
+            assert!(
+                (before - st.ev() - d).abs() < 1e-9,
+                "delta mismatch at {i}: predicted {d}, actual {}",
+                before - st.ev()
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_and_submodular_on_random_instances() {
+        // Lemma 3.4 (monotone) + Lemma 3.5 (formal-sense submodularity:
+        // since EV is non-increasing, marginal *reductions* grow with T)
+        // spot checks.
+        for seed in [1u64, 2, 3] {
+            let inst = random_instance(5, seed);
+            let cs = ClaimSet::new(
+                LinearClaim::window_sum(0, 2).unwrap(),
+                vec![
+                    LinearClaim::window_sum(0, 2).unwrap(),
+                    LinearClaim::window_sum(1, 2).unwrap(),
+                    LinearClaim::window_sum(3, 2).unwrap(),
+                ],
+                vec![1.0, 1.0, 1.0],
+                Direction::HigherIsStronger,
+            )
+            .unwrap();
+            let q = DupQuery::new(cs, 7.0);
+            let eng = ScopedEv::new(&inst, &q);
+            // Monotone: EV(T) ≥ EV(T ∪ {o}).
+            let t = vec![1usize];
+            let t2 = vec![1usize, 3];
+            assert!(eng.ev_of(&t) >= eng.ev_of(&t2) - 1e-12);
+            // Lemma 3.5: EV(T∪x) − EV(T) ≥ EV(T'∪x) − EV(T'), i.e. the
+            // reduction from cleaning x grows as the set grows.
+            let gain_small = eng.ev_of(&[1]) - eng.ev_of(&[1, 4]);
+            let gain_large = eng.ev_of(&[1, 3]) - eng.ev_of(&[1, 3, 4]);
+            assert!(gain_small <= gain_large + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn affected_by_lists_scope_mates() {
+        let inst = random_instance(6, 9);
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![
+                LinearClaim::window_sum(0, 2).unwrap(),
+                LinearClaim::window_sum(2, 2).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let q = DupQuery::new(cs, 5.0);
+        let eng = ScopedEv::new(&inst, &q);
+        assert_eq!(eng.affected_by(0), vec![1]);
+        assert_eq!(eng.affected_by(2), vec![3]);
+        assert!(eng.relevant_objects() == vec![0, 1, 2, 3]);
+    }
+}

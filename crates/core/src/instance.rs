@@ -1,0 +1,341 @@
+//! Problem instances: uncertain objects + current values + cleaning costs.
+
+use crate::{CoreError, Result};
+use fc_uncertain::{DiscreteDist, IndependentJoint, MultivariateNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A cleaning-selection instance over *discrete, mutually independent*
+/// value distributions — the paper's primary setting (§2.1 with the §3.3
+/// independence assumption).
+///
+/// * `dists[i]` — the distribution of object `i`'s true value `X_i`;
+/// * `current[i]` — the current (possibly dirty) value `u_i`;
+/// * `costs[i]` — the cleaning cost `c_i` (a positive integer, as required
+///   by the pseudo-polynomial knapsack algorithms of Lemmas 3.2/3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    joint: IndependentJoint,
+    current: Vec<f64>,
+    costs: Vec<u64>,
+}
+
+impl Instance {
+    /// Validates and assembles an instance.
+    pub fn new(dists: Vec<DiscreteDist>, current: Vec<f64>, costs: Vec<u64>) -> Result<Self> {
+        let n = dists.len();
+        if n == 0 {
+            return Err(CoreError::EmptyInstance);
+        }
+        if current.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "current values",
+                expected: n,
+                got: current.len(),
+            });
+        }
+        if costs.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "costs",
+                expected: n,
+                got: costs.len(),
+            });
+        }
+        if let Some(object) = costs.iter().position(|&c| c == 0) {
+            return Err(CoreError::ZeroCost { object });
+        }
+        Ok(Self {
+            joint: IndependentJoint::new(dists),
+            current,
+            costs,
+        })
+    }
+
+    /// Builds an instance whose current values equal the distribution
+    /// means (the "unbiased database" setting).
+    pub fn centered(dists: Vec<DiscreteDist>, costs: Vec<u64>) -> Result<Self> {
+        let current = dists.iter().map(DiscreteDist::mean).collect();
+        Self::new(dists, current, costs)
+    }
+
+    /// Number of objects `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.joint.len()
+    }
+
+    /// Whether the instance is empty (never true once validated).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.joint.is_empty()
+    }
+
+    /// The independent joint distribution of all objects.
+    #[inline]
+    pub fn joint(&self) -> &IndependentJoint {
+        &self.joint
+    }
+
+    /// Distribution of object `i`.
+    #[inline]
+    pub fn dist(&self, i: usize) -> &DiscreteDist {
+        self.joint.dist(i)
+    }
+
+    /// Current (pre-cleaning) values `u`.
+    #[inline]
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Cleaning costs `c`.
+    #[inline]
+    pub fn costs(&self) -> &[u64] {
+        &self.costs
+    }
+
+    /// Cost of cleaning object `i`.
+    #[inline]
+    pub fn cost(&self, i: usize) -> u64 {
+        self.costs[i]
+    }
+
+    /// Total cost of cleaning everything.
+    pub fn total_cost(&self) -> u64 {
+        self.costs.iter().sum()
+    }
+
+    /// Marginal variance of object `i`.
+    #[inline]
+    pub fn variance(&self, i: usize) -> f64 {
+        self.joint.dist(i).variance()
+    }
+
+    /// Per-object variances.
+    pub fn variances(&self) -> Vec<f64> {
+        self.joint.variances()
+    }
+}
+
+/// A cleaning-selection instance with *normal* error models — the setting
+/// of the modular MaxPr results (Lemma 3.3), Theorem 3.9, and the §4.5
+/// dependency experiments.
+///
+/// The marginal of object `i` is `N(mean_i, sd_i²)`; an optional
+/// covariance structure upgrades the joint to a full multivariate normal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianInstance {
+    mvn: MultivariateNormal,
+    current: Vec<f64>,
+    costs: Vec<u64>,
+}
+
+impl GaussianInstance {
+    /// Independent normals `X_i ~ N(mean_i, sd_i²)` with explicit current
+    /// values (which may differ from the means, as in Fig. 12).
+    pub fn independent(
+        means: Vec<f64>,
+        sds: &[f64],
+        current: Vec<f64>,
+        costs: Vec<u64>,
+    ) -> Result<Self> {
+        let variances: Vec<f64> = sds.iter().map(|s| s * s).collect();
+        let mvn = MultivariateNormal::independent(means, &variances)?;
+        Self::with_mvn(mvn, current, costs)
+    }
+
+    /// Independent normals centered at the current values
+    /// (`X_i ~ N(u_i, sd_i²)` — the Theorem 3.9 assumption).
+    pub fn centered_independent(current: Vec<f64>, sds: &[f64], costs: Vec<u64>) -> Result<Self> {
+        Self::independent(current.clone(), sds, current, costs)
+    }
+
+    /// Full multivariate normal error model.
+    pub fn with_mvn(mvn: MultivariateNormal, current: Vec<f64>, costs: Vec<u64>) -> Result<Self> {
+        let n = mvn.n();
+        if n == 0 {
+            return Err(CoreError::EmptyInstance);
+        }
+        if current.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "current values",
+                expected: n,
+                got: current.len(),
+            });
+        }
+        if costs.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "costs",
+                expected: n,
+                got: costs.len(),
+            });
+        }
+        if let Some(object) = costs.iter().position(|&c| c == 0) {
+            return Err(CoreError::ZeroCost { object });
+        }
+        Ok(Self { mvn, current, costs })
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mvn.n()
+    }
+
+    /// Whether the instance is empty (never true once validated).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mvn.n() == 0
+    }
+
+    /// The multivariate normal over all objects.
+    #[inline]
+    pub fn mvn(&self) -> &MultivariateNormal {
+        &self.mvn
+    }
+
+    /// Mean of object `i`.
+    #[inline]
+    pub fn mean(&self, i: usize) -> f64 {
+        self.mvn.mean()[i]
+    }
+
+    /// Marginal standard deviation of object `i`.
+    #[inline]
+    pub fn sd(&self, i: usize) -> f64 {
+        self.mvn.var(i).sqrt()
+    }
+
+    /// Marginal variance of object `i`.
+    #[inline]
+    pub fn variance(&self, i: usize) -> f64 {
+        self.mvn.var(i)
+    }
+
+    /// Current (pre-cleaning) values `u`.
+    #[inline]
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Cleaning costs `c`.
+    #[inline]
+    pub fn costs(&self) -> &[u64] {
+        &self.costs
+    }
+
+    /// Cost of cleaning object `i`.
+    #[inline]
+    pub fn cost(&self, i: usize) -> u64 {
+        self.costs[i]
+    }
+
+    /// Total cost of cleaning everything.
+    pub fn total_cost(&self) -> u64 {
+        self.costs.iter().sum()
+    }
+
+    /// Whether the error model is independent (diagonal covariance).
+    pub fn is_independent(&self) -> bool {
+        let n = self.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.mvn.cov().get(i, j) != 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Discretizes each marginal into a `k`-point distribution, yielding a
+    /// discrete [`Instance`] (this is how the CDC datasets enter the
+    /// general-query experiments: "we discretize each normal distribution
+    /// … using 6 and 4 discrete values", §4.2). Correlations, if any, are
+    /// dropped — exactly what the paper's independence-assuming algorithms
+    /// do when "not made aware of any dependency".
+    pub fn discretize(&self, k: usize) -> Result<Instance> {
+        let dists = (0..self.len())
+            .map(|i| {
+                Normal::new(self.mean(i), self.sd(i))
+                    .and_then(|n| n.discretize(k))
+                    .map_err(CoreError::from)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Instance::new(dists, self.current.clone(), self.costs.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dists2() -> Vec<DiscreteDist> {
+        vec![
+            DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+            DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn validates_lengths() {
+        let err = Instance::new(dists2(), vec![1.0], vec![1, 1]).unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }));
+        let err = Instance::new(dists2(), vec![1.0, 1.0], vec![1]).unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_cost() {
+        let err = Instance::new(dists2(), vec![1.0, 1.0], vec![1, 0]).unwrap_err();
+        assert_eq!(err, CoreError::ZeroCost { object: 1 });
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Instance::new(vec![], vec![], vec![]).unwrap_err(),
+            CoreError::EmptyInstance
+        );
+    }
+
+    #[test]
+    fn centered_uses_means() {
+        let inst = Instance::centered(dists2(), vec![1, 1]).unwrap();
+        assert!((inst.current()[0] - 1.0).abs() < 1e-12);
+        assert!((inst.current()[1] - 1.0).abs() < 1e-12);
+        assert_eq!(inst.total_cost(), 2);
+    }
+
+    #[test]
+    fn gaussian_instance_roundtrip() {
+        let g = GaussianInstance::centered_independent(
+            vec![100.0, 200.0],
+            &[5.0, 10.0],
+            vec![3, 7],
+        )
+        .unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.is_independent());
+        assert!((g.variance(1) - 100.0).abs() < 1e-12);
+        assert_eq!(g.total_cost(), 10);
+        let disc = g.discretize(6).unwrap();
+        assert_eq!(disc.len(), 2);
+        assert_eq!(disc.dist(0).support_size(), 6);
+        // Discretization preserves means.
+        assert!((disc.dist(0).mean() - 100.0).abs() < 1e-9);
+        // And most of the variance at k = 6.
+        assert!(disc.dist(1).variance() / 100.0 > 0.8);
+    }
+
+    #[test]
+    fn gaussian_dependency_flag() {
+        let mvn = MultivariateNormal::with_geometric_dependency(
+            vec![0.0, 0.0],
+            &[1.0, 1.0],
+            0.5,
+        )
+        .unwrap();
+        let g = GaussianInstance::with_mvn(mvn, vec![0.0, 0.0], vec![1, 1]).unwrap();
+        assert!(!g.is_independent());
+    }
+}

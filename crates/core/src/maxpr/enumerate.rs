@@ -1,0 +1,108 @@
+//! Exact surprise probability by enumerating the cleaned scope.
+
+use crate::instance::Instance;
+use fc_claims::QueryFunction;
+
+/// Default cap on the enumerated outcome count.
+pub const DEFAULT_ENUMERATION_LIMIT: usize = 4_000_000;
+
+/// Computes `Pr[f(X) < f(u) − τ | X_{O\T} = u_{O\T}]` exactly by
+/// enumerating every outcome of `T ∩ objs(f)` (everything else stays at
+/// the current values). Returns `None` when the outcome space exceeds
+/// `limit` — callers should fall back to the convolution or Monte Carlo
+/// engines.
+pub fn surprise_prob_exact(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    cleaned: &[usize],
+    tau: f64,
+    limit: Option<usize>,
+) -> Option<f64> {
+    let limit = limit.unwrap_or(DEFAULT_ENUMERATION_LIMIT);
+    let scope = query.objects();
+    let cleaned_scope: Vec<usize> = scope
+        .iter()
+        .copied()
+        .filter(|i| cleaned.contains(i))
+        .collect();
+    let joint = instance.joint();
+    if joint.scope_size(&cleaned_scope) > limit {
+        return None;
+    }
+    let mut values = instance.current().to_vec();
+    let baseline = query.eval(&values);
+    let threshold = baseline - tau;
+    let mut p = 0.0;
+    joint.for_each_outcome(&cleaned_scope, |vals, prob| {
+        for (pos, &obj) in cleaned_scope.iter().enumerate() {
+            values[obj] = vals[pos];
+        }
+        if query.eval(&values) < threshold {
+            p += prob;
+        }
+    });
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, LinearClaim};
+    use fc_uncertain::DiscreteDist;
+
+    fn example5() -> (Instance, BiasQuery) {
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(0, 2).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        // bias = X1 + X2 − 2; f(u) = 0; target f < −τ ⇔ X1+X2 < 2 − τ.
+        let q = BiasQuery::new(cs, 2.0);
+        (inst, q)
+    }
+
+    #[test]
+    fn example5_probabilities() {
+        // Example 5 with τ = 7/12: X1+X2 < 17/12.
+        let (inst, q) = example5();
+        let tau = 7.0 / 12.0;
+        let p1 = surprise_prob_exact(&inst, &q, &[0], tau, None).unwrap();
+        assert!((p1 - 0.2).abs() < 1e-12, "clean X1: {p1}");
+        let p2 = surprise_prob_exact(&inst, &q, &[1], tau, None).unwrap();
+        assert!((p2 - 1.0 / 3.0).abs() < 1e-12, "clean X2: {p2}");
+        // MaxPr prefers X2 — the opposite of MinVar's choice (Example 5).
+        assert!(p2 > p1);
+    }
+
+    #[test]
+    fn empty_selection_is_zero() {
+        let (inst, q) = example5();
+        let p = surprise_prob_exact(&inst, &q, &[], 0.1, None).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn limit_triggers_fallback() {
+        let (inst, q) = example5();
+        assert!(surprise_prob_exact(&inst, &q, &[0, 1], 0.1, Some(10)).is_none());
+    }
+
+    #[test]
+    fn zero_tau_counts_strict_decreases() {
+        let (inst, q) = example5();
+        // τ = 0: Pr[X1 + X2 < 2 | X2 = 1] = Pr[X1 < 1] = 2/5.
+        let p = surprise_prob_exact(&inst, &q, &[0], 0.0, None).unwrap();
+        assert!((p - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Closed-form surprise probability for affine queries over Gaussian
+//! errors (the setting of Lemma 3.3 and Theorem 3.9).
+//!
+//! With `f = b + wᵀX` and uncleaned objects pinned at `u`, the deviation
+//! `D = f(X) − f(u) = Σ_{i∈T} wᵢ (Xᵢ − uᵢ)` is normal, so
+//! `Pr[D < −τ] = Φ((−τ − E[D]) / sd[D])`.
+//!
+//! * Under [`MvnSemantics::Marginal`] the cleaned values are draws from
+//!   the marginal law: `E[D] = Σ_{i∈T} wᵢ(μᵢ − uᵢ)`,
+//!   `Var[D] = w_Tᵀ Σ_TT w_T`. When additionally `μ = u` this reduces to
+//!   the paper's `Φ(−τ / √(Σ wᵢ²σᵢ²))` and maximizing it is the knapsack
+//!   of Lemma 3.3.
+//! * Under [`MvnSemantics::Conditional`] the cleaned values are drawn
+//!   from the posterior given `X_{O\T} = u_{O\T}`.
+
+use crate::instance::GaussianInstance;
+use crate::Result;
+use fc_uncertain::mvn::MvnSemantics;
+use fc_uncertain::Normal;
+
+/// `Pr[f(X) < f(u) − τ | X_{O\T} = u_{O\T}]` for affine `f = b + wᵀX`.
+///
+/// Returns 0 for an empty `T` with `τ > 0` (nothing changes, no surprise)
+/// and handles degenerate (zero-variance) deviations deterministically.
+pub fn surprise_prob_gaussian(
+    instance: &GaussianInstance,
+    weights: &[f64],
+    cleaned: &[usize],
+    tau: f64,
+    semantics: MvnSemantics,
+) -> Result<f64> {
+    let mut t: Vec<usize> = cleaned.to_vec();
+    t.sort_unstable();
+    t.dedup();
+    let u = instance.current();
+    let (mean_shift, var) = match semantics {
+        MvnSemantics::Marginal => {
+            let shift: f64 = t
+                .iter()
+                .map(|&i| weights[i] * (instance.mean(i) - u[i]))
+                .sum();
+            let sub = instance.mvn().cov().principal_submatrix(&t);
+            let w_t: Vec<f64> = t.iter().map(|&i| weights[i]).collect();
+            (shift, sub.quadratic_form(&w_t))
+        }
+        MvnSemantics::Conditional => {
+            let uncleaned: Vec<usize> = (0..instance.len()).filter(|i| !t.contains(i)).collect();
+            let obs_vals: Vec<f64> = uncleaned.iter().map(|&i| u[i]).collect();
+            let (hidden, mean, cov) = instance.mvn().conditional(&uncleaned, &obs_vals)?;
+            debug_assert_eq!(hidden, t);
+            let shift: f64 = hidden
+                .iter()
+                .zip(&mean)
+                .map(|(&i, &m)| weights[i] * (m - u[i]))
+                .sum();
+            let w_t: Vec<f64> = hidden.iter().map(|&i| weights[i]).collect();
+            (shift, cov.quadratic_form(&w_t))
+        }
+    };
+    let target = -tau - mean_shift;
+    if var <= 0.0 {
+        // Deterministic deviation: surprise iff the shift already clears τ.
+        return Ok(if target > 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(Normal::standard().cdf(target / var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::GaussianInstance;
+    use fc_uncertain::MultivariateNormal;
+
+    #[test]
+    fn empty_selection_no_surprise() {
+        let g = GaussianInstance::centered_independent(vec![5.0], &[1.0], vec![1]).unwrap();
+        let p = surprise_prob_gaussian(&g, &[1.0], &[], 0.5, MvnSemantics::Marginal).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn centered_reduces_to_phi() {
+        // μ = u ⇒ p = Φ(−τ/σ_T) with σ_T² = Σ_{i∈T} wᵢ²σᵢ².
+        let g = GaussianInstance::centered_independent(
+            vec![0.0, 0.0, 0.0],
+            &[1.0, 2.0, 3.0],
+            vec![1; 3],
+        )
+        .unwrap();
+        let w = [1.0, 1.0, 1.0];
+        let p = surprise_prob_gaussian(&g, &w, &[0, 2], 1.0, MvnSemantics::Marginal).unwrap();
+        let want = fc_uncertain::Normal::standard().cdf(-1.0 / (10.0f64).sqrt());
+        assert!((p - want).abs() < 1e-12);
+        // More cleaned variance ⇒ higher surprise probability.
+        let p_small = surprise_prob_gaussian(&g, &w, &[0], 1.0, MvnSemantics::Marginal).unwrap();
+        assert!(p > p_small);
+    }
+
+    #[test]
+    fn mean_shift_can_hurt() {
+        // An object whose mean sits *above* its current value pushes the
+        // deviation up, reducing the chance of a downward surprise — the
+        // Fig. 12 "refuses to clean" behaviour.
+        let g = GaussianInstance::independent(
+            vec![10.0, 0.0],
+            &[1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let w = [1.0, 1.0];
+        let p_both =
+            surprise_prob_gaussian(&g, &w, &[0, 1], 0.5, MvnSemantics::Marginal).unwrap();
+        let p_good = surprise_prob_gaussian(&g, &w, &[1], 0.5, MvnSemantics::Marginal).unwrap();
+        assert!(
+            p_good > p_both,
+            "adding the upward-shifted object should hurt: {p_good} vs {p_both}"
+        );
+    }
+
+    #[test]
+    fn centered_marginal_equals_conditional_for_independent() {
+        let g = GaussianInstance::centered_independent(
+            vec![1.0, 2.0],
+            &[0.5, 1.5],
+            vec![1, 1],
+        )
+        .unwrap();
+        let w = [2.0, -1.0];
+        for cleaned in [vec![0], vec![1], vec![0, 1]] {
+            let a = surprise_prob_gaussian(&g, &w, &cleaned, 0.3, MvnSemantics::Marginal)
+                .unwrap();
+            let b = surprise_prob_gaussian(&g, &w, &cleaned, 0.3, MvnSemantics::Conditional)
+                .unwrap();
+            assert!((a - b).abs() < 1e-12, "cleaned {cleaned:?}");
+        }
+    }
+
+    #[test]
+    fn correlated_conditional_shifts_mean() {
+        // Centered at u, but correlated: observing X1 = u1 keeps the
+        // conditional mean at u ⇒ still Φ(−τ/σ) with the Schur variance.
+        let mvn = MultivariateNormal::with_geometric_dependency(
+            vec![0.0, 0.0],
+            &[1.0, 1.0],
+            0.8,
+        )
+        .unwrap();
+        let g = GaussianInstance::with_mvn(mvn, vec![0.0, 0.0], vec![1, 1]).unwrap();
+        let w = [1.0, 0.0];
+        let p = surprise_prob_gaussian(&g, &w, &[0], 0.5, MvnSemantics::Conditional).unwrap();
+        // Var[X0 | X1] = 1 − 0.64 = 0.36 ⇒ σ = 0.6.
+        let want = fc_uncertain::Normal::standard().cdf(-0.5 / 0.6);
+        assert!((p - want).abs() < 1e-12);
+        // Marginal semantics would use σ = 1.
+        let pm = surprise_prob_gaussian(&g, &w, &[0], 0.5, MvnSemantics::Marginal).unwrap();
+        assert!(pm > p);
+    }
+}

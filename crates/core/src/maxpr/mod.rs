@@ -1,0 +1,26 @@
+//! MaxPr — the surprise probability
+//! `Pr[f(X) < f(u) − τ | X_{O\T} = u_{O\T}]`.
+//!
+//! Cleaning `T` replaces the current values of `T` with fresh draws while
+//! everything else stays at `u`; MaxPr maximizes the probability that the
+//! refreshed query result lands more than `τ` *below* the pre-cleaning
+//! value — i.e. that cleaning surfaces a counterargument.
+//!
+//! Engines:
+//!
+//! | engine | requirements | nature |
+//! |---|---|---|
+//! | [`gaussian::surprise_prob_gaussian`] | affine `f`, Gaussian errors (Lemma 3.3 closed form; both covariance semantics) | exact |
+//! | [`enumerate::surprise_prob_exact`] | discrete instance, any query; `O(V^{\|T ∩ objs(f)\|})` | exact, small `T` |
+//! | [`convolution::surprise_prob_convolution`] | discrete instance, affine `f` | deterministic, binned |
+//! | [`monte_carlo::surprise_prob_mc`] | anything | sampling |
+
+pub mod convolution;
+pub mod enumerate;
+pub mod gaussian;
+pub mod monte_carlo;
+
+pub use convolution::surprise_prob_convolution;
+pub use enumerate::surprise_prob_exact;
+pub use gaussian::surprise_prob_gaussian;
+pub use monte_carlo::surprise_prob_mc;

@@ -1,0 +1,81 @@
+//! Monte Carlo surprise probability for arbitrary queries.
+
+use crate::instance::Instance;
+use fc_claims::QueryFunction;
+use rand::Rng;
+
+/// Estimates `Pr[f(X) < f(u) − τ | X_{O\T} = u_{O\T}]` with `samples`
+/// draws of the cleaned objects (everything else pinned at the current
+/// values).
+pub fn surprise_prob_mc<R: Rng + ?Sized>(
+    instance: &Instance,
+    query: &dyn QueryFunction,
+    cleaned: &[usize],
+    tau: f64,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let scope = query.objects();
+    let cleaned_scope: Vec<usize> = scope
+        .iter()
+        .copied()
+        .filter(|i| cleaned.contains(i))
+        .collect();
+    let mut values = instance.current().to_vec();
+    let baseline = query.eval(&values);
+    let threshold = baseline - tau;
+    if cleaned_scope.is_empty() {
+        return if baseline < threshold { 1.0 } else { 0.0 };
+    }
+    let joint = instance.joint();
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        for &obj in &cleaned_scope {
+            values[obj] = joint.dist(obj).sample(rng);
+        }
+        if query.eval(&values) < threshold {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxpr::enumerate::surprise_prob_exact;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, LinearClaim};
+    use fc_uncertain::{rng_from_seed, DiscreteDist};
+
+    #[test]
+    fn agrees_with_exact() {
+        let inst = Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+            ],
+            vec![1.0, 1.0],
+            vec![1, 1],
+        )
+        .unwrap();
+        let cs = ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            vec![LinearClaim::window_sum(0, 2).unwrap()],
+            vec![1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        let q = BiasQuery::new(cs, 2.0);
+        let tau = 7.0 / 12.0;
+        let mut rng = rng_from_seed(99);
+        for cleaned in [vec![0], vec![1], vec![0, 1]] {
+            let exact = surprise_prob_exact(&inst, &q, &cleaned, tau, None).unwrap();
+            let mc = surprise_prob_mc(&inst, &q, &cleaned, tau, 40_000, &mut rng);
+            assert!(
+                (mc - exact).abs() < 0.01,
+                "cleaned {cleaned:?}: mc {mc} vs exact {exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Cleaning selections — the algorithms' output type.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of objects chosen for cleaning, with its total cost.
+///
+/// Indices are kept sorted and deduplicated; the cost is maintained by the
+/// constructors so downstream code never re-sums it inconsistently.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Selection {
+    objects: Vec<usize>,
+    cost: u64,
+}
+
+impl Selection {
+    /// The empty selection (clean nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds from object indices, looking costs up in `costs`.
+    pub fn from_objects(objects: impl IntoIterator<Item = usize>, costs: &[u64]) -> Self {
+        let mut objects: Vec<usize> = objects.into_iter().collect();
+        objects.sort_unstable();
+        objects.dedup();
+        let cost = objects.iter().map(|&i| costs[i]).sum();
+        Self { objects, cost }
+    }
+
+    /// Builds from a boolean membership mask.
+    pub fn from_mask(mask: &[bool], costs: &[u64]) -> Self {
+        Self::from_objects(
+            mask.iter()
+                .enumerate()
+                .filter_map(|(i, &m)| m.then_some(i)),
+            costs,
+        )
+    }
+
+    /// The chosen object indices, sorted ascending.
+    #[inline]
+    pub fn objects(&self) -> &[usize] {
+        &self.objects
+    }
+
+    /// Total cleaning cost of the selection.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Number of chosen objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether nothing was chosen.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Whether object `i` is selected.
+    pub fn contains(&self, i: usize) -> bool {
+        self.objects.binary_search(&i).is_ok()
+    }
+
+    /// Adds object `i` (no-op if present).
+    pub fn insert(&mut self, i: usize, cost: u64) {
+        if let Err(pos) = self.objects.binary_search(&i) {
+            self.objects.insert(pos, i);
+            self.cost += cost;
+        }
+    }
+
+    /// Membership mask over `n` objects.
+    pub fn mask(&self, n: usize) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &i in &self.objects {
+            m[i] = true;
+        }
+        m
+    }
+
+    /// The complement selection over `n` objects (the `MinVar ↦ M̄inVar`
+    /// mapping of Lemma 3.6 cleans the complement).
+    pub fn complement(&self, n: usize, costs: &[u64]) -> Selection {
+        Selection::from_objects((0..n).filter(|i| !self.contains(*i)), costs)
+    }
+}
+
+impl FromIterator<(usize, u64)> for Selection {
+    fn from_iter<T: IntoIterator<Item = (usize, u64)>>(iter: T) -> Self {
+        let mut s = Selection::empty();
+        for (i, c) in iter {
+            s.insert(i, c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let costs = [5, 7, 11, 13];
+        let s = Selection::from_objects([2, 0, 2], &costs);
+        assert_eq!(s.objects(), &[0, 2]);
+        assert_eq!(s.cost(), 16);
+        assert!(s.contains(2));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = Selection::empty();
+        s.insert(3, 10);
+        s.insert(3, 10);
+        s.insert(1, 4);
+        assert_eq!(s.objects(), &[1, 3]);
+        assert_eq!(s.cost(), 14);
+    }
+
+    #[test]
+    fn mask_and_complement() {
+        let costs = [1, 2, 4, 8];
+        let s = Selection::from_objects([1, 3], &costs);
+        assert_eq!(s.mask(4), vec![false, true, false, true]);
+        let c = s.complement(4, &costs);
+        assert_eq!(c.objects(), &[0, 2]);
+        assert_eq!(c.cost(), 5);
+        assert_eq!(s.cost() + c.cost(), 15);
+    }
+
+    #[test]
+    fn from_mask_round_trips() {
+        let costs = [1, 2, 4];
+        let s = Selection::from_mask(&[true, false, true], &costs);
+        assert_eq!(s.objects(), &[0, 2]);
+        assert_eq!(Selection::from_mask(&s.mask(3), &costs), s);
+    }
+}

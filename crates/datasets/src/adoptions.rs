@@ -1,0 +1,85 @@
+//! The Adoptions dataset (Example 4 / §4.1).
+//!
+//! "Adoptions is a dataset derived from the number of adoptions in the
+//! New York City during 1989–2014. … `X_i` follows a normal distribution
+//! with mean `u_i` (the current reported value) and standard deviation
+//! drawn uniformly from `[1, 50]`. The cost of cleaning each `X_i` is
+//! drawn uniformly at random from `[1, 100]`."
+//!
+//! Substitution (DESIGN.md): the 26 yearly counts below are a fixed,
+//! documented series at the historical magnitude with the early-1990s
+//! rise that makes the Giuliani-style claim (1993–1996 vs. 1989–1992)
+//! check out; the experiments only consume the series through the error
+//! and cost models quoted above, which are reproduced exactly.
+
+use crate::costs::uniform_costs;
+use fc_core::{GaussianInstance, Result};
+use fc_uncertain::seeded::child_rng;
+use rand::Rng;
+
+/// First year of the series.
+pub const ADOPTIONS_FIRST_YEAR: u16 = 1989;
+
+/// Yearly adoption counts, 1989–2014 (26 values).
+const ADOPTIONS: [f64; 26] = [
+    1_800.0, 1_900.0, 2_100.0, 2_300.0, // 1989–1992
+    2_600.0, 2_900.0, 3_200.0, 3_600.0, // 1993–1996
+    3_900.0, 4_200.0, 4_000.0, 3_800.0, // 1997–2000
+    3_600.0, 3_300.0, 3_100.0, 2_900.0, // 2001–2004
+    2_700.0, 2_500.0, 2_300.0, 2_200.0, // 2005–2008
+    2_000.0, 1_900.0, 1_700.0, 1_600.0, // 2009–2012
+    1_450.0, 1_350.0, // 2013–2014
+];
+
+/// The raw yearly series (current/reported values `u`).
+pub fn adoptions_series() -> Vec<f64> {
+    ADOPTIONS.to_vec()
+}
+
+/// The Adoptions instance: `X_i ~ N(u_i, σ_i²)` centered at the reported
+/// values with `σ_i ~ U[1, 50]` and costs `~ U{1..100}`, deterministic in
+/// `seed`.
+pub fn adoptions_gaussian(seed: u64) -> Result<GaussianInstance> {
+    let values = adoptions_series();
+    let mut rng = child_rng(seed, 0xAD0);
+    let sds: Vec<f64> = (0..values.len())
+        .map(|_| rng.gen_range(1.0..=50.0))
+        .collect();
+    let costs = uniform_costs(values.len(), 1, 100, &mut child_rng(seed, 0xAD1));
+    GaussianInstance::centered_independent(values, &sds, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_shape() {
+        let s = adoptions_series();
+        assert_eq!(s.len(), 26);
+        // Giuliani's comparison must favor 1993–1996 over 1989–1992.
+        let early: f64 = s[0..4].iter().sum();
+        let later: f64 = s[4..8].iter().sum();
+        assert!(later > 1.4 * early, "later {later} vs early {early}");
+    }
+
+    #[test]
+    fn instance_is_deterministic_per_seed() {
+        let a = adoptions_gaussian(7).unwrap();
+        let b = adoptions_gaussian(7).unwrap();
+        assert_eq!(a, b);
+        let c = adoptions_gaussian(8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn error_and_cost_ranges() {
+        let g = adoptions_gaussian(3).unwrap();
+        for i in 0..g.len() {
+            let sd = g.sd(i);
+            assert!((1.0..=50.0).contains(&sd), "sd {sd}");
+            assert!((1..=100).contains(&g.cost(i)), "cost {}", g.cost(i));
+            assert_eq!(g.mean(i), g.current()[i], "centered at current");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! CDC-style injury datasets with published error models (§4).
+//!
+//! "CDC routinely collects statistics on injuries … and publishes the
+//! data along with statistics like standard errors … sampling procedures
+//! used by CDC ensure that the errors are independent and follow
+//! approximately normal distributions."
+//!
+//! * **CDC-firearms** — estimated nonfatal firearm injuries, 2001–2017
+//!   (17 values) with per-year standard errors;
+//! * **CDC-causes** — firearms + transportation + drowning + falls over
+//!   the same period (68 values, year-major layout: object
+//!   `y·4 + cause`);
+//! * **dependency variant** (§4.5) — covariance
+//!   `Cov[X_i, X_j] = γ^{j−i} σ_i σ_j` injected over CDC-firearms.
+//!
+//! Substitution (DESIGN.md): fixed, documented series at the real
+//! magnitudes; standard errors use WISQARS-typical coefficients of
+//! variation (6–12%), drawn deterministically per seed. Costs follow the
+//! paper's recency model exactly (2001 → 195–200, 2002 → 190–195, …).
+
+use crate::costs::{recency_decreasing_costs, replicate_per_year};
+use fc_core::{GaussianInstance, Result};
+use fc_uncertain::seeded::child_rng;
+use fc_uncertain::MultivariateNormal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// First year covered by the CDC series.
+pub const CDC_FIRST_YEAR: u16 = 2001;
+/// Number of years covered (2001–2017).
+pub const CDC_YEARS: usize = 17;
+
+/// Nonfatal firearm injury estimates, 2001–2017.
+const FIREARMS: [f64; CDC_YEARS] = [
+    63_012.0, 58_841.0, 65_834.0, 64_389.0, 69_825.0, 71_417.0, 69_863.0, 78_622.0, 66_769.0,
+    73_505.0, 73_883.0, 81_396.0, 84_258.0, 81_034.0, 84_997.0, 116_414.0, 134_557.0,
+];
+
+/// Nonfatal transportation injury estimates (same period).
+const TRANSPORTATION: [f64; CDC_YEARS] = [
+    4_456_000.0, 4_380_000.0, 4_299_000.0, 4_251_000.0, 4_180_000.0, 4_092_000.0, 4_021_000.0,
+    3_949_000.0, 3_870_000.0, 3_848_000.0, 3_816_000.0, 3_894_000.0, 3_790_000.0, 3_851_000.0,
+    4_020_000.0, 4_133_000.0, 4_196_000.0,
+];
+
+/// Nonfatal drowning injury estimates (same period).
+const DROWNING: [f64; CDC_YEARS] = [
+    4_840.0, 5_040.0, 5_220.0, 5_480.0, 5_350.0, 5_110.0, 5_590.0, 5_280.0, 5_760.0, 5_620.0,
+    5_480.0, 5_910.0, 5_700.0, 5_850.0, 6_210.0, 6_080.0, 6_400.0,
+];
+
+/// Nonfatal fall injury estimates (same period).
+const FALLS: [f64; CDC_YEARS] = [
+    7_910_000.0, 8_060_000.0, 8_190_000.0, 8_280_000.0, 8_110_000.0, 8_350_000.0, 8_420_000.0,
+    8_550_000.0, 8_690_000.0, 8_760_000.0, 8_950_000.0, 9_080_000.0, 9_170_000.0, 9_060_000.0,
+    9_210_000.0, 9_340_000.0, 9_450_000.0,
+];
+
+/// The four CDC-causes categories, in object-layout order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CdcCause {
+    /// Nonfatal firearm injuries.
+    Firearms = 0,
+    /// Nonfatal transportation injuries.
+    Transportation = 1,
+    /// Nonfatal drownings.
+    Drowning = 2,
+    /// Nonfatal falls.
+    Falls = 3,
+}
+
+impl CdcCause {
+    /// All causes in layout order.
+    pub const ALL: [CdcCause; 4] = [
+        CdcCause::Firearms,
+        CdcCause::Transportation,
+        CdcCause::Drowning,
+        CdcCause::Falls,
+    ];
+
+    /// Series for this cause.
+    pub fn series(self) -> &'static [f64; CDC_YEARS] {
+        match self {
+            CdcCause::Firearms => &FIREARMS,
+            CdcCause::Transportation => &TRANSPORTATION,
+            CdcCause::Drowning => &DROWNING,
+            CdcCause::Falls => &FALLS,
+        }
+    }
+}
+
+/// Object index of `(year_idx, cause)` in the CDC-causes layout.
+pub fn causes_object(year_idx: usize, cause: CdcCause) -> usize {
+    year_idx * 4 + cause as usize
+}
+
+/// The firearms series (current/reported values).
+pub fn cdc_firearms_series() -> Vec<f64> {
+    FIREARMS.to_vec()
+}
+
+/// The 68-value CDC-causes series in year-major layout.
+pub fn cdc_causes_series() -> Vec<f64> {
+    let mut out = Vec::with_capacity(4 * CDC_YEARS);
+    for y in 0..CDC_YEARS {
+        for cause in CdcCause::ALL {
+            out.push(cause.series()[y]);
+        }
+    }
+    out
+}
+
+/// Per-value standard deviations: WISQARS-typical coefficients of
+/// variation in `[0.06, 0.12]`, deterministic per `(seed, stream)`.
+fn cv_sds(values: &[f64], seed: u64, stream: u64) -> Vec<f64> {
+    let mut rng = child_rng(seed, stream);
+    values
+        .iter()
+        .map(|&v| v * rng.gen_range(0.06..=0.12))
+        .collect()
+}
+
+/// CDC-firearms as a Gaussian instance (independent errors, recency
+/// costs).
+pub fn cdc_firearms_gaussian(seed: u64) -> Result<GaussianInstance> {
+    let values = cdc_firearms_series();
+    let sds = cv_sds(&values, seed, 0xCDC0);
+    let costs = recency_decreasing_costs(CDC_YEARS, 200, 5, &mut child_rng(seed, 0xCDC1));
+    GaussianInstance::centered_independent(values, &sds, costs)
+}
+
+/// CDC-firearms with the §4.5 injected dependency
+/// `Cov[X_i, X_j] = γ^{j−i} σ_i σ_j`.
+pub fn cdc_firearms_with_dependency(seed: u64, gamma: f64) -> Result<GaussianInstance> {
+    let values = cdc_firearms_series();
+    let sds = cv_sds(&values, seed, 0xCDC0);
+    let costs = recency_decreasing_costs(CDC_YEARS, 200, 5, &mut child_rng(seed, 0xCDC1));
+    let mvn = MultivariateNormal::with_geometric_dependency(values.clone(), &sds, gamma)?;
+    GaussianInstance::with_mvn(mvn, values, costs)
+}
+
+/// CDC-causes as a Gaussian instance (68 values, year-major; all four
+/// categories of a year share that year's recency cost).
+pub fn cdc_causes_gaussian(seed: u64) -> Result<GaussianInstance> {
+    let values = cdc_causes_series();
+    let sds = cv_sds(&values, seed, 0xCDC2);
+    let per_year = recency_decreasing_costs(CDC_YEARS, 200, 5, &mut child_rng(seed, 0xCDC3));
+    let costs = replicate_per_year(&per_year, 4);
+    GaussianInstance::centered_independent(values, &sds, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_sizes() {
+        assert_eq!(cdc_firearms_series().len(), 17);
+        let causes = cdc_causes_series();
+        assert_eq!(causes.len(), 68);
+        // Year-major layout round trip.
+        assert_eq!(
+            causes[causes_object(3, CdcCause::Drowning)],
+            DROWNING[3]
+        );
+        assert_eq!(causes[causes_object(16, CdcCause::Falls)], FALLS[16]);
+    }
+
+    #[test]
+    fn firearms_grow_into_2017() {
+        let s = cdc_firearms_series();
+        assert!(s[16] > 1.5 * s[0], "2017 {} vs 2001 {}", s[16], s[0]);
+    }
+
+    #[test]
+    fn transportation_claim_is_plausible() {
+        // The Fig. 1d claim: transportation > 30% of all other causes
+        // combined (last 2-year period) — must hold on current values.
+        let last2: f64 = (15..17).map(|y| TRANSPORTATION[y]).sum();
+        let others: f64 = (15..17)
+            .map(|y| FIREARMS[y] + DROWNING[y] + FALLS[y])
+            .sum();
+        assert!(last2 > 0.3 * others, "claim should check out on u");
+    }
+
+    #[test]
+    fn gaussian_instances_deterministic() {
+        assert_eq!(
+            cdc_firearms_gaussian(5).unwrap(),
+            cdc_firearms_gaussian(5).unwrap()
+        );
+        assert_eq!(
+            cdc_causes_gaussian(5).unwrap(),
+            cdc_causes_gaussian(5).unwrap()
+        );
+    }
+
+    #[test]
+    fn cv_band_respected() {
+        let g = cdc_firearms_gaussian(1).unwrap();
+        for i in 0..g.len() {
+            let cv = g.sd(i) / g.mean(i);
+            assert!((0.06..=0.12).contains(&cv), "cv {cv}");
+        }
+    }
+
+    #[test]
+    fn cost_bands_follow_recency() {
+        let g = cdc_firearms_gaussian(1).unwrap();
+        assert!((195..=200).contains(&g.cost(0)));
+        assert!((115..=120).contains(&g.cost(16)));
+        let gc = cdc_causes_gaussian(1).unwrap();
+        // All four categories of a year share its cost.
+        for y in 0..CDC_YEARS {
+            let c0 = gc.cost(causes_object(y, CdcCause::Firearms));
+            for cause in CdcCause::ALL {
+                assert_eq!(gc.cost(causes_object(y, cause)), c0);
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_variant_has_correlations() {
+        let g = cdc_firearms_with_dependency(1, 0.7).unwrap();
+        assert!(!g.is_independent());
+        let c01 = g.mvn().cov().get(0, 1);
+        let expect = 0.7 * g.sd(0) * g.sd(1);
+        assert!((c01 - expect).abs() < 1e-6 * expect.abs());
+        // γ = 0 recovers independence.
+        let g0 = cdc_firearms_with_dependency(1, 0.0).unwrap();
+        assert!(g0.is_independent());
+    }
+}

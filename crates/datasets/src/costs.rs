@@ -1,0 +1,98 @@
+//! Cleaning-cost generators.
+//!
+//! The paper uses three cost models: uniform random ranges (Adoptions
+//! `U[1,100]`, synthetics `U[1,10]`), an "extreme" two-point variant
+//! (`{1, 10}`, mentioned and found to behave the same), and the
+//! recency-decreasing CDC model ("the cost of cleaning a value from the
+//! year 2001 is a random number in 195–200, the cost for 2002 is in
+//! 190–195, etc.").
+
+use rand::Rng;
+
+/// Uniform integer costs in `[lo, hi]`.
+pub fn uniform_costs<R: Rng + ?Sized>(n: usize, lo: u64, hi: u64, rng: &mut R) -> Vec<u64> {
+    assert!(lo >= 1 && hi >= lo, "costs must be ≥ 1");
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// Extreme two-point costs: each object costs `lo` or `hi` with equal
+/// probability.
+pub fn extreme_costs<R: Rng + ?Sized>(n: usize, lo: u64, hi: u64, rng: &mut R) -> Vec<u64> {
+    assert!(lo >= 1 && hi >= lo, "costs must be ≥ 1");
+    (0..n)
+        .map(|_| if rng.gen_bool(0.5) { lo } else { hi })
+        .collect()
+    }
+
+/// Recency-decreasing costs: position 0 (oldest) draws from
+/// `[base − step, base]`, position 1 from `[base − 2·step, base − step]`,
+/// etc., never dropping below 1. With `base = 200`, `step = 5` this is
+/// exactly the CDC model (2001 → 195–200, 2002 → 190–195, …).
+pub fn recency_decreasing_costs<R: Rng + ?Sized>(
+    n: usize,
+    base: u64,
+    step: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let hi = base.saturating_sub(step * i as u64).max(2);
+            let lo = hi.saturating_sub(step).max(1);
+            rng.gen_range(lo..=hi)
+        })
+        .collect()
+}
+
+/// Replicates a per-year cost vector across `k` interleaved categories
+/// (year-major layout: object `y·k + c` costs the year-`y` price). Used
+/// by CDC-causes, where all four categories of a year are equally old.
+pub fn replicate_per_year(per_year: &[u64], k: usize) -> Vec<u64> {
+    per_year
+        .iter()
+        .flat_map(|&c| std::iter::repeat_n(c, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_uncertain::rng_from_seed;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = rng_from_seed(1);
+        let c = uniform_costs(100, 1, 10, &mut rng);
+        assert!(c.iter().all(|&x| (1..=10).contains(&x)));
+        assert!(c.iter().any(|&x| x <= 3) && c.iter().any(|&x| x >= 8));
+    }
+
+    #[test]
+    fn extreme_is_two_point() {
+        let mut rng = rng_from_seed(2);
+        let c = extreme_costs(100, 1, 10, &mut rng);
+        assert!(c.iter().all(|&x| x == 1 || x == 10));
+        assert!(c.contains(&1) && c.contains(&10));
+    }
+
+    #[test]
+    fn recency_decreasing_matches_cdc_bands() {
+        let mut rng = rng_from_seed(3);
+        let c = recency_decreasing_costs(17, 200, 5, &mut rng);
+        assert!((195..=200).contains(&c[0]), "2001 cost {}", c[0]);
+        assert!((190..=195).contains(&c[1]), "2002 cost {}", c[1]);
+        assert!((115..=120).contains(&c[16]), "2017 cost {}", c[16]);
+    }
+
+    #[test]
+    fn recency_never_hits_zero() {
+        let mut rng = rng_from_seed(4);
+        let c = recency_decreasing_costs(100, 20, 5, &mut rng);
+        assert!(c.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn replicate_per_year_layout() {
+        let v = replicate_per_year(&[7, 9], 3);
+        assert_eq!(v, vec![7, 7, 7, 9, 9, 9]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fc-datasets — datasets and workload builders
+//!
+//! Everything the paper's evaluation (§4) runs on:
+//!
+//! * [`adoptions`] — the NYC adoptions series (1989–2014) behind
+//!   Giuliani's window-aggregate claim (Example 4, Fig. 1a/1b, Fig. 12);
+//! * [`cdc`] — CDC-style injury statistics with published-error models:
+//!   `CDC-firearms` (17 years) and `CDC-causes` (4 causes × 17 years),
+//!   including the §4.5 injected-dependency variant;
+//! * [`synthetic`] — the `URx` / `LNx` / `SMx` value-distribution
+//!   generators and their cost models;
+//! * [`costs`] — cost generators (uniform, extreme, recency-decreasing);
+//! * [`workloads`] — one builder per experiment, pairing a dataset with
+//!   its claim family and query function exactly as §4 describes.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The paper uses real published series (NYC adoptions; CDC WISQARS
+//! estimates with standard errors). Those exact numbers are not
+//! redistributable inputs of this reproduction, so the modules below ship
+//! *fixed, documented* series at the same magnitudes with the same
+//! qualitative shape (early-90s adoptions hump; firearm-injury growth
+//! through 2017). Every algorithmic quantity the experiments depend on —
+//! error model, discretization, costs, claim structure — follows the
+//! paper exactly.
+
+pub mod adoptions;
+pub mod cdc;
+pub mod costs;
+pub mod synthetic;
+pub mod workloads;
+
+pub use adoptions::{adoptions_series, adoptions_gaussian, ADOPTIONS_FIRST_YEAR};
+pub use cdc::{
+    cdc_causes_gaussian, cdc_causes_series, cdc_firearms_gaussian, cdc_firearms_series,
+    cdc_firearms_with_dependency, CdcCause, CDC_FIRST_YEAR, CDC_YEARS,
+};
+pub use synthetic::{lnx, smx, urx, SyntheticKind};

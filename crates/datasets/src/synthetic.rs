@@ -1,0 +1,202 @@
+//! The synthetic value-distribution generators of §4: `URx`, `LNx`, `SMx`.
+//!
+//! "For each value `X_i`, we first choose the size of its support
+//! uniformly at random from `[1, 6]`. Then, we generate the distribution
+//! for `X_i` with one of the following methods:
+//!
+//! * **URx** … elements of `supp(X_i)` uniformly at random from
+//!   `[1, 100]` without replacement; probability of each element in
+//!   proportion to a number drawn uniformly at random from `(0, 1]`.
+//! * **LNx** … start with a log-normal with `μ = 0` and `σ` uniform in
+//!   `(0, 1]`; quantilize into `|supp(X_i)|` equal-probability
+//!   intervals; elements near the right ends; probabilities in
+//!   proportion to the density.
+//! * **SMx** … elements as URx, probabilities in proportion to a random
+//!   number in `(0, 0.1] ∪ [0.9, 1)` — either low or high (multimodal).
+//!
+//! For cleaning cost, we draw it uniformly at random from `[1, 10]`."
+//!
+//! Current (noisy) values are independent draws from each distribution
+//! (§4.3: "to establish the hidden true values as well as the current
+//! noisy values, we randomly sample from the value distribution of each
+//! object").
+
+use crate::costs::uniform_costs;
+use fc_core::{Instance, Result};
+use fc_uncertain::seeded::child_rng;
+use fc_uncertain::{DiscreteDist, LogNormal};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic generator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyntheticKind {
+    /// Fairly random distributions over `[1, 100]`.
+    Urx,
+    /// Skewed but unimodal (log-normal quantilization).
+    Lnx,
+    /// Multimodal: probabilities either very low or very high.
+    Smx,
+}
+
+impl SyntheticKind {
+    /// Generator name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Urx => "URx",
+            Self::Lnx => "LNx",
+            Self::Smx => "SMx",
+        }
+    }
+}
+
+/// Draws `k` distinct values uniformly from `[1, 100]`.
+fn distinct_values<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Vec<f64> {
+    let mut vals: Vec<f64> = Vec::with_capacity(k);
+    while vals.len() < k {
+        let v = rng.gen_range(1.0..=100.0);
+        if vals.iter().all(|&x| (x - v).abs() > 1e-9) {
+            vals.push(v);
+        }
+    }
+    vals
+}
+
+fn one_dist<R: Rng + ?Sized>(kind: SyntheticKind, rng: &mut R) -> DiscreteDist {
+    let k = rng.gen_range(1..=6usize);
+    match kind {
+        SyntheticKind::Urx => {
+            let vals = distinct_values(k, rng);
+            let pairs: Vec<(f64, f64)> = vals
+                .into_iter()
+                .map(|v| (v, rng.gen_range(f64::MIN_POSITIVE..=1.0)))
+                .collect();
+            DiscreteDist::from_weights(pairs).expect("positive weights")
+        }
+        SyntheticKind::Lnx => {
+            let sigma = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+            LogNormal::new(0.0, sigma)
+                .expect("sigma > 0")
+                .quantilize(k)
+                .expect("k ≥ 1")
+        }
+        SyntheticKind::Smx => {
+            let vals = distinct_values(k, rng);
+            let pairs: Vec<(f64, f64)> = vals
+                .into_iter()
+                .map(|v| {
+                    let w = if rng.gen_bool(0.5) {
+                        rng.gen_range(f64::MIN_POSITIVE..=0.1)
+                    } else {
+                        rng.gen_range(0.9..1.0)
+                    };
+                    (v, w)
+                })
+                .collect();
+            DiscreteDist::from_weights(pairs).expect("positive weights")
+        }
+    }
+}
+
+/// Builds a synthetic instance of `n` objects for `kind`, deterministic
+/// in `seed`. Costs `~ U{1..10}`; current values are draws from the
+/// per-object distributions.
+pub fn synthetic_instance(kind: SyntheticKind, n: usize, seed: u64) -> Result<Instance> {
+    let mut rng = child_rng(seed, kind as u64);
+    let dists: Vec<DiscreteDist> = (0..n).map(|_| one_dist(kind, &mut rng)).collect();
+    let mut current_rng = child_rng(seed, 0x100 + kind as u64);
+    let current: Vec<f64> = dists.iter().map(|d| d.sample(&mut current_rng)).collect();
+    let costs = uniform_costs(n, 1, 10, &mut child_rng(seed, 0x200 + kind as u64));
+    Instance::new(dists, current, costs)
+}
+
+/// `URx` instance (see module docs).
+pub fn urx(n: usize, seed: u64) -> Result<Instance> {
+    synthetic_instance(SyntheticKind::Urx, n, seed)
+}
+
+/// `LNx` instance (see module docs).
+pub fn lnx(n: usize, seed: u64) -> Result<Instance> {
+    synthetic_instance(SyntheticKind::Lnx, n, seed)
+}
+
+/// `SMx` instance (see module docs).
+pub fn smx(n: usize, seed: u64) -> Result<Instance> {
+    synthetic_instance(SyntheticKind::Smx, n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_kind() {
+        assert_eq!(urx(20, 1).unwrap(), urx(20, 1).unwrap());
+        assert_ne!(urx(20, 1).unwrap(), urx(20, 2).unwrap());
+        assert_ne!(urx(20, 1).unwrap(), smx(20, 1).unwrap());
+    }
+
+    #[test]
+    fn urx_support_and_range() {
+        let inst = urx(200, 3).unwrap();
+        for i in 0..inst.len() {
+            let d = inst.dist(i);
+            assert!((1..=6).contains(&d.support_size()));
+            assert!(d.min_value() >= 1.0 && d.max_value() <= 100.0);
+        }
+        // Support sizes should spread across 1..=6.
+        let sizes: std::collections::HashSet<usize> =
+            (0..inst.len()).map(|i| inst.dist(i).support_size()).collect();
+        assert!(sizes.len() >= 5, "sizes seen: {sizes:?}");
+    }
+
+    #[test]
+    fn lnx_range_is_much_smaller() {
+        // "the resulting range is typically much smaller than the other
+        // two methods."
+        let ln = lnx(100, 7).unwrap();
+        let ur = urx(100, 7).unwrap();
+        let ln_max = (0..ln.len()).map(|i| ln.dist(i).max_value()).fold(0.0, f64::max);
+        let ur_max = (0..ur.len()).map(|i| ur.dist(i).max_value()).fold(0.0, f64::max);
+        assert!(ln_max < ur_max, "LNx max {ln_max} vs URx max {ur_max}");
+    }
+
+    #[test]
+    fn smx_probabilities_are_bimodal() {
+        let inst = smx(200, 5).unwrap();
+        let mut lows = 0usize;
+        let mut highs = 0usize;
+        for i in 0..inst.len() {
+            let d = inst.dist(i);
+            if d.support_size() < 2 {
+                continue;
+            }
+            for &p in d.probs() {
+                // Normalized probabilities aren't the raw weights, but a
+                // strongly bimodal weight pattern still shows up as a
+                // spread of very small and very large masses.
+                if p < 0.10 {
+                    lows += 1;
+                }
+                if p > 0.5 {
+                    highs += 1;
+                }
+            }
+        }
+        assert!(lows > 20, "lows {lows}");
+        assert!(highs > 20, "highs {highs}");
+    }
+
+    #[test]
+    fn costs_in_range_and_current_in_support() {
+        let inst = urx(50, 11).unwrap();
+        for i in 0..inst.len() {
+            assert!((1..=10).contains(&inst.cost(i)));
+            let cur = inst.current()[i];
+            assert!(
+                inst.dist(i).values().contains(&cur),
+                "current value must be a support draw"
+            );
+        }
+    }
+}

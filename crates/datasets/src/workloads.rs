@@ -1,0 +1,476 @@
+//! One builder per experiment in §4, pairing datasets with claim
+//! families and query functions exactly as the paper describes.
+
+use crate::adoptions::adoptions_gaussian;
+use crate::cdc::{
+    cdc_causes_gaussian, cdc_firearms_gaussian, cdc_firearms_with_dependency, CdcCause,
+    CDC_YEARS,
+};
+use crate::synthetic::{synthetic_instance, SyntheticKind};
+use fc_claims::{
+    window_comparison_family, window_sum_family, BiasQuery, ClaimSet, Direction, DupQuery,
+    FragQuery, LinearClaim, QueryFunction, Sensibility,
+};
+use fc_core::{CoreError, GaussianInstance, Instance, Result};
+use fc_uncertain::seeded::child_rng;
+
+/// Sensibility decay rate used across the experiments (§4.1: λ = 1.5).
+pub const LAMBDA: f64 = 1.5;
+
+/// A fairness (modular MinVar) workload over Gaussian errors.
+#[derive(Debug, Clone)]
+pub struct FairnessWorkload {
+    /// The data with its error model.
+    pub instance: GaussianInstance,
+    /// Original claim + perturbations + sensibilities.
+    pub claims: ClaimSet,
+    /// Dense weights of the affine bias query (`f = b + wᵀX`).
+    pub weights: Vec<f64>,
+}
+
+fn fairness_workload(instance: GaussianInstance, claims: ClaimSet) -> Result<FairnessWorkload> {
+    let n = instance.len();
+    let q = BiasQuery::relative_to_original(claims.clone());
+    let (weights, _b) = q.as_affine(n).ok_or(CoreError::NotAffine)?;
+    Ok(FairnessWorkload {
+        instance,
+        claims,
+        weights,
+    })
+}
+
+/// Fig. 1a/1b — Giuliani's adoption claim: 1993–1996 vs. 1989–1992
+/// (window width 4, later window starts at index 4), 18 perturbations,
+/// sensibility decay λ = 1.5.
+pub fn giuliani_fairness(seed: u64) -> Result<FairnessWorkload> {
+    let instance = adoptions_gaussian(seed)?;
+    let claims = window_comparison_family(instance.len(), 4, 4, LAMBDA, false)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    fairness_workload(instance, claims)
+}
+
+/// Fig. 1c — CDC-firearms: 2001–2004 vs. 2005–2008 window comparison,
+/// 10 perturbations.
+pub fn cdc_firearms_fairness(seed: u64) -> Result<FairnessWorkload> {
+    let instance = cdc_firearms_gaussian(seed)?;
+    let claims = window_comparison_family(CDC_YEARS, 4, 4, LAMBDA, true)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    fairness_workload(instance, claims)
+}
+
+/// Fig. 1d — CDC-causes: "injuries due to transportation exceed 30% of
+/// all other causes combined over the last 2-year period"; 16 sliding
+/// 2-year perturbations.
+pub fn cdc_causes_fairness(seed: u64) -> Result<FairnessWorkload> {
+    let instance = cdc_causes_gaussian(seed)?;
+    let original_year = CDC_YEARS - 2; // last 2-year period
+    let claim_for_year = |y: usize| -> LinearClaim {
+        let mut terms = Vec::with_capacity(8);
+        for dy in 0..2 {
+            for cause in CdcCause::ALL {
+                let w = if cause == CdcCause::Transportation {
+                    1.0
+                } else {
+                    -0.3
+                };
+                terms.push((crate::cdc::causes_object(y + dy, cause), w));
+            }
+        }
+        LinearClaim::new(terms, 0.0).expect("non-empty claim")
+    };
+    let original = claim_for_year(original_year);
+    let mut perturbations = Vec::new();
+    let mut distances = Vec::new();
+    for y in 0..=(CDC_YEARS - 2) {
+        perturbations.push(claim_for_year(y));
+        distances.push(y.abs_diff(original_year) as f64);
+    }
+    let sens = Sensibility::exponential_decay(LAMBDA, &distances)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    let claims = ClaimSet::new(
+        original,
+        perturbations,
+        sens.into_weights(),
+        Direction::HigherIsStronger,
+    )
+    .map_err(|_| CoreError::EmptyInstance)?;
+    fairness_workload(instance, claims)
+}
+
+/// §4.5 — CDC-firearms fairness with injected dependency `γ`.
+pub fn dependency_fairness(seed: u64, gamma: f64) -> Result<FairnessWorkload> {
+    let instance = cdc_firearms_with_dependency(seed, gamma)?;
+    let claims = window_comparison_family(CDC_YEARS, 4, 4, LAMBDA, true)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    fairness_workload(instance, claims)
+}
+
+/// A non-modular MinVar workload (uniqueness or robustness) over a
+/// discrete instance.
+#[derive(Debug, Clone)]
+pub struct UniquenessWorkload {
+    /// Discrete instance.
+    pub instance: Instance,
+    /// The uniqueness (duplicity) query.
+    pub query: DupQuery,
+}
+
+/// A robustness workload.
+#[derive(Debug, Clone)]
+pub struct RobustnessWorkload {
+    /// Discrete instance.
+    pub instance: Instance,
+    /// The robustness (fragility) query.
+    pub query: FragQuery,
+}
+
+/// Start of the width-`w` tile whose *current* sum is smallest — the
+/// window a "record low" claim would brag about. (On the steadily
+/// rising injury series, anchoring the claim at the literal last window
+/// would leave every indicator certain and the duplicity variance
+/// identically zero; the claim only has uncertain uniqueness when it
+/// points at the borderline record window. Recorded as a workload
+/// adaptation in EXPERIMENTS.md.)
+fn min_sum_tile(current: &[f64], width: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_sum = f64::INFINITY;
+    let mut start = 0usize;
+    while start + width <= current.len() {
+        let s: f64 = current[start..start + width].iter().sum();
+        if s < best_sum {
+            best_sum = s;
+            best = start;
+        }
+        start += width;
+    }
+    best
+}
+
+/// Fig. 2a — CDC-firearms uniqueness: "firearm injuries were as low as
+/// Γ" for the record-low 2-year window (Γ = the claim's value on current
+/// data); 8 tiled 2-year perturbations; normals discretized to 6 points.
+pub fn cdc_firearms_uniqueness(seed: u64) -> Result<UniquenessWorkload> {
+    let g = cdc_firearms_gaussian(seed)?;
+    let instance = g.discretize(6)?;
+    let start = min_sum_tile(instance.current(), 2);
+    let claims = window_sum_family(CDC_YEARS, 2, start, Direction::LowerIsStronger, LAMBDA)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    let gamma = claims.original_value(instance.current());
+    let query = DupQuery::new(claims, gamma);
+    Ok(UniquenessWorkload { instance, query })
+}
+
+/// Fig. 2b — CDC-causes uniqueness: the 2-year cross-cause aggregate "as
+/// low as Γ" for the record-low window; 8 tiled perturbations of 8
+/// objects each; discretized to 4 points.
+pub fn cdc_causes_uniqueness(seed: u64) -> Result<UniquenessWorkload> {
+    let g = cdc_causes_gaussian(seed)?;
+    let instance = g.discretize(4)?;
+    let n = instance.len();
+    let start = min_sum_tile(instance.current(), 8);
+    let claims = window_sum_family(n, 8, start, Direction::LowerIsStronger, LAMBDA)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    let gamma = claims.original_value(instance.current());
+    let query = DupQuery::new(claims, gamma);
+    Ok(UniquenessWorkload { instance, query })
+}
+
+/// Figs. 3–5 — synthetic uniqueness: `n` objects (paper: 40), the claim
+/// sums the last 4 consecutive values and asserts "as low as Γ"; `n/4`
+/// tiled perturbations.
+pub fn synthetic_uniqueness(
+    kind: SyntheticKind,
+    n: usize,
+    gamma: f64,
+    seed: u64,
+) -> Result<UniquenessWorkload> {
+    let instance = synthetic_instance(kind, n, seed)?;
+    let claims = window_sum_family(n, 4, n - 4, Direction::LowerIsStronger, LAMBDA)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    let query = DupQuery::new(claims, gamma);
+    Ok(UniquenessWorkload { instance, query })
+}
+
+/// Fig. 7a — CDC-firearms robustness: "in the last two years, firearm
+/// injuries were as high as Γ′" (Γ′ = value on current data).
+pub fn cdc_firearms_robustness(seed: u64) -> Result<RobustnessWorkload> {
+    let g = cdc_firearms_gaussian(seed)?;
+    let instance = g.discretize(6)?;
+    let claims = window_sum_family(CDC_YEARS, 2, CDC_YEARS - 2, Direction::HigherIsStronger, LAMBDA)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    let gamma = claims.original_value(instance.current());
+    let query = FragQuery::new(claims, gamma);
+    Ok(RobustnessWorkload { instance, query })
+}
+
+/// Fig. 7b — synthetic robustness: `n` objects (paper: 100), width-4
+/// claim "as high as Γ′", 25 tiled perturbations.
+pub fn synthetic_robustness(
+    kind: SyntheticKind,
+    n: usize,
+    gamma_prime: f64,
+    seed: u64,
+) -> Result<RobustnessWorkload> {
+    let instance = synthetic_instance(kind, n, seed)?;
+    let claims = window_sum_family(n, 4, n - 4, Direction::HigherIsStronger, LAMBDA)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    let query = FragQuery::new(claims, gamma_prime);
+    Ok(RobustnessWorkload { instance, query })
+}
+
+/// Fig. 10 — scaling workload: URx with `n` objects and `n/4` width-4
+/// tiled perturbations covering all values; Γ = 100.
+pub fn scaling_uniqueness(n: usize, seed: u64) -> Result<UniquenessWorkload> {
+    synthetic_uniqueness(SyntheticKind::Urx, n, 100.0, seed)
+}
+
+/// A counterargument-hunting (§4.3) workload.
+#[derive(Debug, Clone)]
+pub struct CountersWorkload {
+    /// Discrete instance whose current values are *noisy draws*.
+    pub instance: Instance,
+    /// The claim family (original = the window the claim brags about).
+    pub claims: ClaimSet,
+    /// The affine bias query driving GreedyMaxPr (θ = q°(current)).
+    pub query: BiasQuery,
+    /// Hidden ground-truth values (draws from the same distributions).
+    pub truth: Vec<f64>,
+    /// Suggested surprise threshold: τ = σ(bias)/2. With τ = 0 the
+    /// surprise probability saturates after one or two cleanings and
+    /// GreedyMaxPr's refusal behaviour (Fig. 12) kicks in immediately; a
+    /// dispersion-scaled τ makes "tangible improvement" (§2.2) concrete.
+    pub tau: f64,
+}
+
+/// τ = σ(f)/2 for an affine query over the instance.
+fn dispersion_tau(instance: &Instance, query: &BiasQuery) -> f64 {
+    let (w, _) = query
+        .as_affine(instance.len())
+        .expect("bias queries are affine");
+    let var: f64 = w
+        .iter()
+        .enumerate()
+        .map(|(i, wi)| wi * wi * instance.variance(i))
+        .sum();
+    0.5 * var.sqrt()
+}
+
+/// Builds a sliding-window sum family (richer than the tiled family —
+/// used by the counters scenario where any other window can counter).
+fn sliding_sum_family(
+    series_len: usize,
+    width: usize,
+    original_start: usize,
+    direction: Direction,
+) -> ClaimSet {
+    let original = LinearClaim::window_sum(original_start, width).expect("valid window");
+    let mut perturbations = Vec::new();
+    let mut distances = Vec::new();
+    for s in 0..=(series_len - width) {
+        if s == original_start {
+            continue;
+        }
+        perturbations.push(LinearClaim::window_sum(s, width).expect("valid window"));
+        distances.push(s.abs_diff(original_start) as f64);
+    }
+    let sens = Sensibility::exponential_decay(LAMBDA, &distances).expect("non-empty");
+    ClaimSet::new(original, perturbations, sens.into_weights(), direction)
+        .expect("validated family")
+}
+
+/// §4.3 — CDC-firearms counters: the claim brags the last-4-years sum is
+/// the lowest in recent history; current values and hidden truths are
+/// independent draws from the error model.
+///
+/// The MaxPr query uses the *plain-subtraction* bias
+/// (`Δ = q_k(X) − θ`, i.e. `Direction::HigherIsStronger` folded out):
+/// for a lowest-claim, the bias dropping means other windows coming in
+/// *below* the bragged one — exactly the counterargument. The claim set
+/// itself keeps [`Direction::LowerIsStronger`] so
+/// `ClaimSet::strongest_duplicate` checks counters correctly.
+pub fn counters_firearms(seed: u64) -> Result<CountersWorkload> {
+    let g = cdc_firearms_gaussian(seed)?;
+    let base = g.discretize(6)?;
+    let mut rng = child_rng(seed, 0xC0FE);
+    let current: Vec<f64> = (0..base.len())
+        .map(|i| base.dist(i).sample(&mut rng))
+        .collect();
+    let truth: Vec<f64> = (0..base.len())
+        .map(|i| base.dist(i).sample(&mut rng))
+        .collect();
+    let instance = Instance::new(
+        base.joint().dists().to_vec(),
+        current,
+        base.costs().to_vec(),
+    )?;
+    // "Lowest in recent history": the claim brags about the 4-year
+    // window with the smallest sum on the (noisy) current data.
+    let start = min_sum_window_sliding(instance.current(), 4);
+    let claims = sliding_sum_family(CDC_YEARS, 4, start, Direction::LowerIsStronger);
+    let theta = claims.original_value(instance.current());
+    let query = BiasQuery::new(claims.with_direction(Direction::HigherIsStronger), theta);
+    let tau = dispersion_tau(&instance, &query);
+    Ok(CountersWorkload {
+        instance,
+        claims,
+        query,
+        truth,
+        tau,
+    })
+}
+
+/// Start of the width-`w` *sliding* window with the smallest current sum.
+fn min_sum_window_sliding(current: &[f64], width: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_sum = f64::INFINITY;
+    for start in 0..=(current.len() - width) {
+        let s: f64 = current[start..start + width].iter().sum();
+        if s < best_sum {
+            best_sum = s;
+            best = start;
+        }
+    }
+    best
+}
+
+/// §4.3 — synthetic counters over `n` objects with sliding width-4
+/// windows (the paper's URx scenario uses `n = 40`).
+pub fn counters_synthetic(kind: SyntheticKind, n: usize, seed: u64) -> Result<CountersWorkload> {
+    let base = synthetic_instance(kind, n, seed)?;
+    let mut rng = child_rng(seed, 0xC0FF);
+    let truth: Vec<f64> = (0..base.len())
+        .map(|i| base.dist(i).sample(&mut rng))
+        .collect();
+    let start = min_sum_window_sliding(base.current(), 4);
+    let claims = sliding_sum_family(n, 4, start, Direction::LowerIsStronger);
+    let theta = claims.original_value(base.current());
+    let query = BiasQuery::new(claims.with_direction(Direction::HigherIsStronger), theta);
+    let tau = dispersion_tau(&base, &query);
+    Ok(CountersWorkload {
+        instance: base,
+        claims,
+        query,
+        truth,
+        tau,
+    })
+}
+
+/// §4.3 — URx counters (n = 40, width-4 windows).
+pub fn counters_urx(seed: u64) -> Result<CountersWorkload> {
+    counters_synthetic(SyntheticKind::Urx, 40, seed)
+}
+
+/// §4.6 — competing-objectives workload (Fig. 12): the adoptions error
+/// model, a 4-year window-sum claim with non-overlapping perturbations,
+/// and current values *re-drawn* from the distributions (so Theorem 3.9
+/// no longer applies).
+#[derive(Debug, Clone)]
+pub struct CompetingWorkload {
+    /// Gaussian instance with redrawn current values.
+    pub instance: GaussianInstance,
+    /// The claim family.
+    pub claims: ClaimSet,
+    /// Dense weights of the bias query against θ = q°(current).
+    pub weights: Vec<f64>,
+}
+
+/// Builds the Fig. 12 workload for a given seed (each repetition of the
+/// experiment redraws the current values).
+pub fn competing_objectives(seed: u64) -> Result<CompetingWorkload> {
+    let centered = adoptions_gaussian(seed)?;
+    let n = centered.len();
+    // Redraw current values from the error model.
+    let mut rng = child_rng(seed, 0xF16);
+    let current: Vec<f64> = (0..n)
+        .map(|i| {
+            fc_uncertain::Normal::new(centered.mean(i), centered.sd(i))
+                .expect("valid sd")
+                .sample(&mut rng)
+        })
+        .collect();
+    let means: Vec<f64> = (0..n).map(|i| centered.mean(i)).collect();
+    let sds: Vec<f64> = (0..n).map(|i| centered.sd(i)).collect();
+    let instance =
+        GaussianInstance::independent(means, &sds, current, centered.costs().to_vec())?;
+    let claims = window_sum_family(n, 4, 4, Direction::HigherIsStronger, LAMBDA)
+        .map_err(|_| CoreError::EmptyInstance)?;
+    let theta = claims.original_value(instance.current());
+    let q = BiasQuery::new(claims.clone(), theta);
+    let (weights, _) = q.as_affine(n).ok_or(CoreError::NotAffine)?;
+    Ok(CompetingWorkload {
+        instance,
+        claims,
+        weights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::DecomposableQuery;
+
+    #[test]
+    fn giuliani_counts() {
+        let w = giuliani_fairness(1).unwrap();
+        assert_eq!(w.instance.len(), 26);
+        assert_eq!(w.claims.len(), 18);
+        assert_eq!(w.weights.len(), 26);
+        assert!(w.weights.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn cdc_fairness_counts() {
+        let w = cdc_firearms_fairness(1).unwrap();
+        assert_eq!(w.claims.len(), 10);
+        let w = cdc_causes_fairness(1).unwrap();
+        assert_eq!(w.claims.len(), 16);
+        assert_eq!(w.instance.len(), 68);
+    }
+
+    #[test]
+    fn uniqueness_counts() {
+        let w = cdc_firearms_uniqueness(1).unwrap();
+        assert_eq!(w.query.claims().len(), 8);
+        assert_eq!(w.instance.dist(0).support_size(), 6);
+        let w = cdc_causes_uniqueness(1).unwrap();
+        assert_eq!(w.query.claims().len(), 8);
+        assert_eq!(w.query.claims().max_width(), 8);
+        assert_eq!(w.instance.dist(0).support_size(), 4);
+        let w = synthetic_uniqueness(SyntheticKind::Urx, 40, 150.0, 1).unwrap();
+        assert_eq!(w.query.claims().len(), 10);
+    }
+
+    #[test]
+    fn robustness_counts() {
+        let w = synthetic_robustness(SyntheticKind::Urx, 100, 100.0, 1).unwrap();
+        assert_eq!(w.query.claims().len(), 25);
+        let w = cdc_firearms_robustness(1).unwrap();
+        assert_eq!(w.query.claims().len(), 8);
+    }
+
+    #[test]
+    fn counters_workloads_consistent() {
+        let w = counters_firearms(1).unwrap();
+        assert_eq!(w.truth.len(), w.instance.len());
+        assert_eq!(w.claims.len(), 13); // 14 sliding windows minus original
+        let w = counters_urx(1).unwrap();
+        assert_eq!(w.claims.len(), 36); // 37 sliding windows minus original
+    }
+
+    #[test]
+    fn competing_redraws_current() {
+        let w = competing_objectives(1).unwrap();
+        // Current values deviate from the means (with prob. 1).
+        let deviates = (0..w.instance.len())
+            .any(|i| (w.instance.current()[i] - w.instance.mean(i)).abs() > 1e-9);
+        assert!(deviates);
+        assert_eq!(w.claims.len(), 6);
+    }
+
+    #[test]
+    fn scaling_workload_shape() {
+        let w = scaling_uniqueness(400, 2).unwrap();
+        assert_eq!(w.query.claims().len(), 100);
+        assert_eq!(w.query.num_terms(), 100);
+    }
+}

@@ -1,0 +1,349 @@
+//! Finite-support discrete distributions.
+//!
+//! In the paper each uncertain value `X_i` has a support `V_i` and a pmf.
+//! The experiments use supports of size 1–6 (synthetic `URx`/`LNx`/`SMx`)
+//! or discretizations of normals (CDC datasets, 4–6 points), so exact
+//! enumeration of per-object supports is always cheap; the combinatorial
+//! cost lives in the *joint* space, handled by [`crate::joint`].
+
+use crate::{Result, UncertainError, PROB_SUM_TOL};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A finite-support probability distribution over `f64` values.
+///
+/// Invariants (enforced at construction):
+/// * non-empty support;
+/// * all probabilities finite, `>= 0`, summing to 1 within `1e-9`
+///   (the mass is re-normalized exactly after validation);
+/// * support values are finite and strictly increasing (constructors sort
+///   and merge duplicates, accumulating their mass).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteDist {
+    values: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl DiscreteDist {
+    /// Builds a distribution from `(value, probability)` pairs.
+    ///
+    /// Pairs are sorted by value; duplicate values have their mass merged.
+    /// Probabilities must be non-negative and sum to 1 within `1e-9`; the
+    /// stored mass is re-normalized so downstream exact algorithms can rely
+    /// on `Σ p = 1` up to f64 rounding.
+    pub fn new(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<Self> {
+        let mut pairs: Vec<(f64, f64)> = pairs.into_iter().collect();
+        if pairs.is_empty() {
+            return Err(UncertainError::EmptySupport);
+        }
+        for &(v, p) in &pairs {
+            if !v.is_finite() || !p.is_finite() || p < 0.0 {
+                return Err(UncertainError::InvalidProbabilities { total: p });
+            }
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut probs = Vec::with_capacity(pairs.len());
+        for (v, p) in pairs {
+            match values.last() {
+                Some(&last) if last == v => *probs.last_mut().expect("non-empty") += p,
+                _ => {
+                    values.push(v);
+                    probs.push(p);
+                }
+            }
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > PROB_SUM_TOL {
+            return Err(UncertainError::InvalidProbabilities { total });
+        }
+        for p in &mut probs {
+            *p /= total;
+        }
+        Ok(Self { values, probs })
+    }
+
+    /// Builds a distribution from parallel `values` / `probs` slices.
+    pub fn from_parts(values: &[f64], probs: &[f64]) -> Result<Self> {
+        if values.len() != probs.len() {
+            return Err(UncertainError::LengthMismatch {
+                values: values.len(),
+                probs: probs.len(),
+            });
+        }
+        Self::new(values.iter().copied().zip(probs.iter().copied()))
+    }
+
+    /// Builds an *unnormalized* distribution, rescaling arbitrary
+    /// non-negative weights to a pmf. Used by the `URx`/`SMx` generators,
+    /// which assign probabilities "in proportion to" random weights.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // !(x > 0) is the NaN-safe check
+    pub fn from_weights(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<Self> {
+        let pairs: Vec<(f64, f64)> = pairs.into_iter().collect();
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        if !(total > 0.0) || !total.is_finite() {
+            return Err(UncertainError::InvalidProbabilities { total });
+        }
+        Self::new(pairs.into_iter().map(|(v, w)| (v, w / total)))
+    }
+
+    /// A degenerate (point-mass) distribution: the object is certain.
+    pub fn point(value: f64) -> Self {
+        Self {
+            values: vec![value],
+            probs: vec![1.0],
+        }
+    }
+
+    /// A Bernoulli distribution on `{0, 1}` with success probability `p`.
+    ///
+    /// Used by the paper's Example 3 (indicator claims over binary data).
+    pub fn bernoulli(p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(UncertainError::InvalidProbabilities { total: p });
+        }
+        Self::new([(0.0, 1.0 - p), (1.0, p)])
+    }
+
+    /// The uniform distribution over the given support values.
+    pub fn uniform_over(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(UncertainError::EmptySupport);
+        }
+        let p = 1.0 / values.len() as f64;
+        Self::new(values.iter().map(|&v| (v, p)))
+    }
+
+    /// Support values, sorted strictly increasing.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Probability masses aligned with [`Self::values`].
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of support points (`|V_i|` in the paper).
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the value is certain (single support point).
+    #[inline]
+    pub fn is_certain(&self) -> bool {
+        self.values.len() == 1
+    }
+
+    /// Iterates `(value, probability)` pairs.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values.iter().copied().zip(self.probs.iter().copied())
+    }
+
+    /// Exact mean `E[X]`.
+    pub fn mean(&self) -> f64 {
+        self.iter().map(|(v, p)| v * p).sum()
+    }
+
+    /// Exact raw second moment `E[X²]`.
+    pub fn second_moment(&self) -> f64 {
+        self.iter().map(|(v, p)| v * v * p).sum()
+    }
+
+    /// Exact variance `Var[X]`, computed in the numerically stable
+    /// centered form `Σ p (v − μ)²` (the naive `E[X²] − E[X]²` loses all
+    /// precision for large supports like CDC injury counts ~1e5).
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        self.iter().map(|(v, p)| p * (v - mu) * (v - mu)).sum()
+    }
+
+    /// Standard deviation `sqrt(Var[X])`.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// `Pr[X < t]` (strict).
+    pub fn prob_below(&self, t: f64) -> f64 {
+        self.iter().take_while(|&(v, _)| v < t).map(|(_, p)| p).sum()
+    }
+
+    /// `Pr[X <= t]`.
+    pub fn prob_at_most(&self, t: f64) -> f64 {
+        self.iter().take_while(|&(v, _)| v <= t).map(|(_, p)| p).sum()
+    }
+
+    /// `Pr[X >= t]`.
+    pub fn prob_at_least(&self, t: f64) -> f64 {
+        1.0 - self.prob_below(t)
+    }
+
+    /// Expectation of an arbitrary function: `E[g(X)]`.
+    pub fn expect(&self, mut g: impl FnMut(f64) -> f64) -> f64 {
+        self.iter().map(|(v, p)| p * g(v)).sum()
+    }
+
+    /// Variance of an arbitrary function: `Var[g(X)]`.
+    pub fn variance_of(&self, mut g: impl FnMut(f64) -> f64) -> f64 {
+        let vals: Vec<f64> = self.values.iter().map(|&v| g(v)).collect();
+        let mu: f64 = vals.iter().zip(&self.probs).map(|(v, p)| v * p).sum();
+        vals.iter()
+            .zip(&self.probs)
+            .map(|(v, p)| p * (v - mu) * (v - mu))
+            .sum()
+    }
+
+    /// Draws one sample using inverse-CDF lookup over the support.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (v, p) in self.iter() {
+            acc += p;
+            if x < acc {
+                return v;
+            }
+        }
+        *self.values.last().expect("non-empty support")
+    }
+
+    /// Smallest support value.
+    pub fn min_value(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Largest support value.
+    pub fn max_value(&self) -> f64 {
+        *self.values.last().expect("non-empty support")
+    }
+
+    /// Returns a new distribution with every support value mapped through
+    /// `g` (mass at colliding images is merged). `g` must be finite on the
+    /// support.
+    pub fn map(&self, mut g: impl FnMut(f64) -> f64) -> Self {
+        Self::new(self.iter().map(|(v, p)| (g(v), p)))
+            .expect("mapping a valid distribution stays valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_support() {
+        assert_eq!(
+            DiscreteDist::new(std::iter::empty()).unwrap_err(),
+            UncertainError::EmptySupport
+        );
+    }
+
+    #[test]
+    fn rejects_bad_mass() {
+        let err = DiscreteDist::new([(0.0, 0.4), (1.0, 0.4)]).unwrap_err();
+        assert!(matches!(err, UncertainError::InvalidProbabilities { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        let err = DiscreteDist::new([(0.0, -0.5), (1.0, 1.5)]).unwrap_err();
+        assert!(matches!(err, UncertainError::InvalidProbabilities { .. }));
+    }
+
+    #[test]
+    fn merges_duplicate_support_points() {
+        let d = DiscreteDist::new([(1.0, 0.25), (1.0, 0.25), (2.0, 0.5)]).unwrap();
+        assert_eq!(d.support_size(), 2);
+        assert!((d.probs()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorts_support() {
+        let d = DiscreteDist::new([(3.0, 0.5), (1.0, 0.5)]).unwrap();
+        assert_eq!(d.values(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn example5_x1_variance() {
+        // Paper Example 5: X1 uniform over {0, 1/2, 1, 3/2, 2} has Var 1/2.
+        let d = DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap();
+        assert!((d.variance() - 0.5).abs() < 1e-12);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example5_x2_variance() {
+        // X2 uniform over {1/3, 1, 5/3} has Var 8/27.
+        let d = DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap();
+        assert!((d.variance() - 8.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_moments() {
+        let d = DiscreteDist::bernoulli(0.25).unwrap();
+        assert!((d.mean() - 0.25).abs() < 1e-12);
+        assert!((d.variance() - 0.25 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_queries() {
+        let d = DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap();
+        // Example 5: Pr[X1 < 5/12] = 1/5 (only 0 qualifies).
+        assert!((d.prob_below(5.0 / 12.0) - 0.2).abs() < 1e-12);
+        assert!((d.prob_at_most(1.0) - 0.6).abs() < 1e-12);
+        assert!((d.prob_at_least(1.0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_is_certain() {
+        let d = DiscreteDist::point(42.0);
+        assert!(d.is_certain());
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.mean(), 42.0);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let d = DiscreteDist::from_weights([(1.0, 2.0), (2.0, 6.0)]).unwrap();
+        assert!((d.probs()[0] - 0.25).abs() < 1e-12);
+        assert!((d.probs()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_indicator() {
+        // Var of 1[X < 11/12] for X uniform over {0,.5,1,1.5,2}: p = 2/5.
+        let d = DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap();
+        let var = d.variance_of(|x| if x < 11.0 / 12.0 { 1.0 } else { 0.0 });
+        assert!((var - 0.4 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_pmf() {
+        let d = DiscreteDist::new([(0.0, 0.8), (1.0, 0.2)]).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let ones: usize = (0..n).filter(|_| d.sample(&mut rng) == 1.0).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn map_merges_collisions() {
+        let d = DiscreteDist::uniform_over(&[-1.0, 0.0, 1.0]).unwrap();
+        let sq = d.map(|x| x * x);
+        assert_eq!(sq.support_size(), 2);
+        assert!((sq.prob_at_most(0.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_variance_at_large_magnitude() {
+        // CDC-scale values: mean ~1e5, sd 10. Centered computation keeps
+        // full precision.
+        let d = DiscreteDist::new([(100_000.0 - 10.0, 0.5), (100_000.0 + 10.0, 0.5)]).unwrap();
+        assert!((d.variance() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,355 @@
+//! Independent joint distributions over a set of objects.
+//!
+//! The paper's exact algorithms repeatedly enumerate the joint support of a
+//! *scope* — a small subset of objects referenced by one or two claims
+//! (Theorem 3.8). The hot path is [`IndependentJoint::for_each_outcome`], a
+//! zero-allocation odometer over the cartesian product of per-object
+//! supports with running products of probabilities.
+
+use crate::discrete::DiscreteDist;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A partial assignment of concrete values to object indices, representing
+/// a cleaning outcome `X_T = v` (objects not present remain random).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    pairs: Vec<(usize, f64)>,
+}
+
+impl Assignment {
+    /// Empty assignment (no object pinned).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(object index, value)` pairs; keeps them sorted by
+    /// index for binary-search lookup. Later duplicates overwrite earlier.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        let mut a = Self::default();
+        for (i, v) in pairs {
+            a.set(i, v);
+        }
+        a
+    }
+
+    /// Pins object `i` to `value`.
+    pub fn set(&mut self, i: usize, value: f64) {
+        match self.pairs.binary_search_by_key(&i, |&(j, _)| j) {
+            Ok(pos) => self.pairs[pos].1 = value,
+            Err(pos) => self.pairs.insert(pos, (i, value)),
+        }
+    }
+
+    /// The pinned value of object `i`, if any.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        self.pairs
+            .binary_search_by_key(&i, |&(j, _)| j)
+            .ok()
+            .map(|pos| self.pairs[pos].1)
+    }
+
+    /// Whether object `i` is pinned.
+    pub fn contains(&self, i: usize) -> bool {
+        self.get(i).is_some()
+    }
+
+    /// Number of pinned objects.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no object is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates `(object index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+/// A product distribution `X = (X_1, …, X_n)` of mutually independent
+/// discrete components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndependentJoint {
+    dists: Vec<DiscreteDist>,
+}
+
+impl IndependentJoint {
+    /// Wraps per-object marginals into a product joint.
+    pub fn new(dists: Vec<DiscreteDist>) -> Self {
+        Self { dists }
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Whether the joint has no components.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dists.is_empty()
+    }
+
+    /// Marginal of object `i`.
+    #[inline]
+    pub fn dist(&self, i: usize) -> &DiscreteDist {
+        &self.dists[i]
+    }
+
+    /// All marginals.
+    #[inline]
+    pub fn dists(&self) -> &[DiscreteDist] {
+        &self.dists
+    }
+
+    /// Size of the joint support restricted to `indices`
+    /// (`Π |V_i|`, saturating to `usize::MAX` on overflow).
+    pub fn scope_size(&self, indices: &[usize]) -> usize {
+        indices
+            .iter()
+            .map(|&i| self.dists[i].support_size())
+            .try_fold(1usize, |acc, s| acc.checked_mul(s))
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Enumerates every outcome of the objects in `indices`, invoking
+    /// `f(values, prob)` where `values[k]` is the value taken by object
+    /// `indices[k]` and `prob` is the product probability. The `values`
+    /// buffer is reused across invocations (no per-outcome allocation).
+    pub fn for_each_outcome(&self, indices: &[usize], mut f: impl FnMut(&[f64], f64)) {
+        if indices.is_empty() {
+            f(&[], 1.0);
+            return;
+        }
+        let supports: Vec<&DiscreteDist> = indices.iter().map(|&i| &self.dists[i]).collect();
+        let k = indices.len();
+        let mut pos = vec![0usize; k];
+        let mut values = vec![0.0f64; k];
+        let mut probs = vec![0.0f64; k + 1];
+        probs[0] = 1.0;
+        // Initialize prefix products and values.
+        for j in 0..k {
+            values[j] = supports[j].values()[0];
+            probs[j + 1] = probs[j] * supports[j].probs()[0];
+        }
+        loop {
+            f(&values, probs[k]);
+            // Odometer increment from the last digit.
+            let mut j = k;
+            loop {
+                if j == 0 {
+                    return;
+                }
+                j -= 1;
+                pos[j] += 1;
+                if pos[j] < supports[j].support_size() {
+                    break;
+                }
+                pos[j] = 0;
+            }
+            // Refresh digits j..k.
+            for t in j..k {
+                values[t] = supports[t].values()[pos[t]];
+                probs[t + 1] = probs[t] * supports[t].probs()[pos[t]];
+            }
+        }
+    }
+
+    /// Allocation-per-item iterator over the outcomes of `indices`
+    /// (convenient for tests; use [`Self::for_each_outcome`] in hot paths).
+    pub fn outcomes<'a>(&'a self, indices: &'a [usize]) -> JointOutcomeIter<'a> {
+        JointOutcomeIter::new(self, indices)
+    }
+
+    /// Draws a full joint sample (one value per object).
+    pub fn sample_all<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.dists.iter().map(|d| d.sample(rng)).collect()
+    }
+
+    /// Draws samples only for `indices`, returning values aligned with it.
+    pub fn sample_subset<R: Rng + ?Sized>(&self, indices: &[usize], rng: &mut R) -> Vec<f64> {
+        indices.iter().map(|&i| self.dists[i].sample(rng)).collect()
+    }
+
+    /// Per-object means.
+    pub fn means(&self) -> Vec<f64> {
+        self.dists.iter().map(DiscreteDist::mean).collect()
+    }
+
+    /// Per-object variances.
+    pub fn variances(&self) -> Vec<f64> {
+        self.dists.iter().map(DiscreteDist::variance).collect()
+    }
+}
+
+/// Iterator form of [`IndependentJoint::for_each_outcome`].
+pub struct JointOutcomeIter<'a> {
+    joint: &'a IndependentJoint,
+    indices: &'a [usize],
+    pos: Vec<usize>,
+    done: bool,
+    first: bool,
+}
+
+impl<'a> JointOutcomeIter<'a> {
+    fn new(joint: &'a IndependentJoint, indices: &'a [usize]) -> Self {
+        Self {
+            joint,
+            indices,
+            pos: vec![0; indices.len()],
+            done: false,
+            first: true,
+        }
+    }
+}
+
+impl Iterator for JointOutcomeIter<'_> {
+    type Item = (Vec<f64>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+        } else {
+            let mut j = self.indices.len();
+            loop {
+                if j == 0 {
+                    self.done = true;
+                    return None;
+                }
+                j -= 1;
+                self.pos[j] += 1;
+                if self.pos[j] < self.joint.dist(self.indices[j]).support_size() {
+                    break;
+                }
+                self.pos[j] = 0;
+            }
+        }
+        if self.indices.is_empty() {
+            self.done = true;
+            return Some((Vec::new(), 1.0));
+        }
+        let mut values = Vec::with_capacity(self.indices.len());
+        let mut prob = 1.0;
+        for (j, &i) in self.indices.iter().enumerate() {
+            let d = self.joint.dist(i);
+            values.push(d.values()[self.pos[j]]);
+            prob *= d.probs()[self.pos[j]];
+        }
+        Some((values, prob))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn example_joint() -> IndependentJoint {
+        IndependentJoint::new(vec![
+            DiscreteDist::uniform_over(&[0.0, 0.5, 1.0, 1.5, 2.0]).unwrap(),
+            DiscreteDist::uniform_over(&[1.0 / 3.0, 1.0, 5.0 / 3.0]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn outcome_count_and_mass() {
+        let j = example_joint();
+        let mut count = 0usize;
+        let mut mass = 0.0;
+        j.for_each_outcome(&[0, 1], |_, p| {
+            count += 1;
+            mass += p;
+        });
+        assert_eq!(count, 15);
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scope_single_outcome() {
+        let j = example_joint();
+        let mut seen = Vec::new();
+        j.for_each_outcome(&[], |v, p| seen.push((v.to_vec(), p)));
+        assert_eq!(seen, vec![(vec![], 1.0)]);
+    }
+
+    #[test]
+    fn iterator_matches_callback() {
+        let j = example_joint();
+        let via_iter: Vec<(Vec<f64>, f64)> = j.outcomes(&[1, 0]).collect();
+        let mut via_cb = Vec::new();
+        j.for_each_outcome(&[1, 0], |v, p| via_cb.push((v.to_vec(), p)));
+        assert_eq!(via_iter, via_cb);
+        assert_eq!(via_iter.len(), 15);
+    }
+
+    #[test]
+    fn example5_counterargument_probabilities() {
+        // Example 5: clean X1 (X2 = 1 pinned): Pr[X1 + 1 < 17/12] = 1/5.
+        let j = example_joint();
+        let mut p_clean_x1 = 0.0;
+        j.for_each_outcome(&[0], |v, p| {
+            if v[0] + 1.0 < 17.0 / 12.0 {
+                p_clean_x1 += p;
+            }
+        });
+        assert!((p_clean_x1 - 0.2).abs() < 1e-12);
+        // Clean X2 (X1 = 1 pinned): Pr[1 + X2 < 17/12] = 1/3.
+        let mut p_clean_x2 = 0.0;
+        j.for_each_outcome(&[1], |v, p| {
+            if 1.0 + v[0] < 17.0 / 12.0 {
+                p_clean_x2 += p;
+            }
+        });
+        assert!((p_clean_x2 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scope_size() {
+        let j = example_joint();
+        assert_eq!(j.scope_size(&[0]), 5);
+        assert_eq!(j.scope_size(&[0, 1]), 15);
+        assert_eq!(j.scope_size(&[]), 1);
+    }
+
+    #[test]
+    fn assignment_semantics() {
+        let mut a = Assignment::empty();
+        assert!(a.is_empty());
+        a.set(5, 1.0);
+        a.set(2, 3.0);
+        a.set(5, 2.0); // overwrite
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(5), Some(2.0));
+        assert_eq!(a.get(2), Some(3.0));
+        assert_eq!(a.get(0), None);
+        let order: Vec<usize> = a.iter().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![2, 5]);
+    }
+
+    #[test]
+    fn sampling_subset() {
+        let j = example_joint();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let s = j.sample_subset(&[1], &mut rng);
+        assert_eq!(s.len(), 1);
+        assert!(j.dist(1).values().contains(&s[0]));
+    }
+
+    #[test]
+    fn means_and_variances() {
+        let j = example_joint();
+        let m = j.means();
+        assert!((m[0] - 1.0).abs() < 1e-12);
+        let v = j.variances();
+        assert!((v[0] - 0.5).abs() < 1e-12);
+        assert!((v[1] - 8.0 / 27.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! # fc-uncertain — the uncertain-value substrate
+//!
+//! This crate models *uncertain database values* as used by the
+//! cleaning-selection problems of Sintos, Agarwal & Yang,
+//! "Selecting Data to Clean for Fact Checking: Minimizing Uncertainty vs.
+//! Maximizing Surprise" (VLDB 2019).
+//!
+//! Each database object `o_i` has a current (possibly dirty) value `u_i`
+//! and a *true* value modeled as a random variable `X_i`. This crate
+//! provides:
+//!
+//! * [`DiscreteDist`] — finite-support distributions (the paper's `V_i`),
+//!   with exact moments, conditioning-free evaluation, and sampling;
+//! * [`Normal`] and [`LogNormal`] — continuous error models used by the
+//!   CDC / Adoptions datasets and the `LNx` generator, including an exact
+//!   `erf`-based CDF, quantile function, and equi-probability
+//!   discretization;
+//! * [`IndependentJoint`] — product joints over objects with iteration over
+//!   the full outcome space (used by the exact `EV` engine);
+//! * [`MultivariateNormal`] — correlated error models (Theorem 3.9 and the
+//!   §4.5 dependency experiments), backed by a small dense
+//!   [`linalg`] module (Cholesky, Schur complements) written in-crate so the
+//!   workspace needs no external linear-algebra dependency;
+//! * [`seeded`] — deterministic RNG plumbing so every experiment in the
+//!   reproduction is bit-for-bit repeatable.
+
+pub mod discrete;
+pub mod joint;
+pub mod linalg;
+pub mod lognormal;
+pub mod mvn;
+pub mod normal;
+pub mod seeded;
+
+pub use discrete::DiscreteDist;
+pub use joint::{Assignment, IndependentJoint, JointOutcomeIter};
+pub use linalg::SymMatrix;
+pub use lognormal::LogNormal;
+pub use mvn::MultivariateNormal;
+pub use normal::Normal;
+pub use seeded::rng_from_seed;
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating uncertain values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UncertainError {
+    /// A discrete distribution was given an empty support.
+    EmptySupport,
+    /// Probabilities were negative, non-finite, or did not sum to ~1.
+    InvalidProbabilities {
+        /// The offending probability mass total.
+        total: f64,
+    },
+    /// Support values and probability vectors had mismatched lengths.
+    LengthMismatch {
+        /// Number of support values supplied.
+        values: usize,
+        /// Number of probabilities supplied.
+        probs: usize,
+    },
+    /// A scale parameter (standard deviation, σ) was not strictly positive.
+    NonPositiveScale {
+        /// The offending scale value.
+        scale: f64,
+    },
+    /// A covariance matrix was not symmetric positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot where the Cholesky factorization failed.
+        pivot: usize,
+    },
+    /// Matrix dimensions did not match the operation.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        got: usize,
+    },
+    /// A requested discretization had zero points.
+    ZeroPoints,
+}
+
+impl fmt::Display for UncertainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySupport => write!(f, "discrete distribution support is empty"),
+            Self::InvalidProbabilities { total } => {
+                write!(f, "probabilities invalid (sum = {total})")
+            }
+            Self::LengthMismatch { values, probs } => {
+                write!(f, "{values} support values but {probs} probabilities")
+            }
+            Self::NonPositiveScale { scale } => {
+                write!(f, "scale parameter must be > 0, got {scale}")
+            }
+            Self::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Self::ZeroPoints => write!(f, "discretization needs at least one point"),
+        }
+    }
+}
+
+impl std::error::Error for UncertainError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, UncertainError>;
+
+/// Tolerance used when validating that probability masses sum to one.
+pub(crate) const PROB_SUM_TOL: f64 = 1e-9;

@@ -1,0 +1,425 @@
+//! Minimal dense symmetric linear algebra.
+//!
+//! The §4.5 dependency experiments need covariance matrices, Cholesky
+//! factorizations (for sampling and positive-definiteness checks), linear
+//! solves, quadratic forms, and Schur complements (for Gaussian
+//! conditioning). The matrices involved are tiny (n ≤ a few hundred), so a
+//! straightforward `O(n³)` dense implementation is the right tool; pulling
+//! in an external linear-algebra crate would be far heavier than the
+//! problem warrants.
+
+use crate::{Result, UncertainError};
+use serde::{Deserialize, Serialize};
+
+/// A dense symmetric matrix stored row-major (full storage for simplicity;
+/// the symmetric invariant is enforced by the constructors and mutators).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// The `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The identity matrix scaled by `s`.
+    pub fn scaled_identity(n: usize, s: f64) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, s);
+        }
+        m
+    }
+
+    /// A diagonal matrix from per-element variances.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let mut m = Self::zeros(diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Builds from a row-major slice; the input must be symmetric within
+    /// `1e-9` relative tolerance (it is symmetrized exactly on store).
+    pub fn from_rows(n: usize, rows: &[f64]) -> Result<Self> {
+        if rows.len() != n * n {
+            return Err(UncertainError::DimensionMismatch {
+                expected: n * n,
+                got: rows.len(),
+            });
+        }
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let a = rows[i * n + j];
+                let b = rows[j * n + i];
+                let scale = a.abs().max(b.abs()).max(1.0);
+                if (a - b).abs() > 1e-9 * scale {
+                    return Err(UncertainError::DimensionMismatch {
+                        expected: i,
+                        got: j,
+                    });
+                }
+                m.data[i * n + j] = 0.5 * (a + b);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric element store: writes both `(i,j)` and `(j,i)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// The main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Quadratic form `wᵀ M w`.
+    pub fn quadratic_form(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.n);
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            let wi = w[i];
+            if wi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            let mut dot = 0.0;
+            for (rj, wj) in row.iter().zip(w) {
+                dot += rj * wj;
+            }
+            acc += wi * dot;
+        }
+        acc
+    }
+
+    /// Matrix–vector product `M x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| {
+                self.data[i * self.n..(i + 1) * self.n]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Extracts the principal submatrix indexed by `idx` (must be strictly
+    /// increasing; enforced by debug assertion).
+    pub fn principal_submatrix(&self, idx: &[usize]) -> SymMatrix {
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        let k = idx.len();
+        let mut m = SymMatrix::zeros(k);
+        for (a, &i) in idx.iter().enumerate() {
+            for (b, &j) in idx.iter().enumerate() {
+                m.data[a * k + b] = self.get(i, j);
+            }
+        }
+        m
+    }
+
+    /// Extracts the rectangular block `M[rows, cols]` as row-major data.
+    pub fn block(&self, rows: &[usize], cols: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(rows.len() * cols.len());
+        for &i in rows {
+            for &j in cols {
+                out.push(self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Cholesky factorization `M = L Lᵀ` (lower triangular `L`).
+    ///
+    /// Fails with [`UncertainError::NotPositiveDefinite`] if any pivot is
+    /// `≤ tol·max_diag`, which doubles as the validation path for
+    /// user-supplied covariance matrices.
+    pub fn cholesky(&self) -> Result<Cholesky> {
+        let n = self.n;
+        let mut l = vec![0.0; n * n];
+        let max_diag = (0..n)
+            .map(|i| self.get(i, i).abs())
+            .fold(0.0_f64, f64::max)
+            .max(1e-300);
+        let tol = 1e-12 * max_diag;
+        for j in 0..n {
+            let mut d = self.get(j, j);
+            for k in 0..j {
+                d -= l[j * n + k] * l[j * n + k];
+            }
+            if d <= tol {
+                return Err(UncertainError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[j * n + j] = dj;
+            for i in (j + 1)..n {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                l[i * n + j] = s / dj;
+            }
+        }
+        Ok(Cholesky { n, l })
+    }
+
+    /// Schur complement of the block indexed by `observed`:
+    /// `Σ_AA − Σ_AB Σ_BB⁻¹ Σ_BA`, where `B = observed` and
+    /// `A =` the complementary indices (returned alongside).
+    ///
+    /// This is the posterior covariance of the unobserved coordinates of a
+    /// Gaussian after conditioning on the observed ones.
+    pub fn schur_complement(&self, observed: &[usize]) -> Result<(Vec<usize>, SymMatrix)> {
+        let obs_sorted = {
+            let mut v = observed.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let hidden: Vec<usize> = (0..self.n).filter(|i| !obs_sorted.contains(i)).collect();
+        if obs_sorted.is_empty() {
+            return Ok((hidden.clone(), self.principal_submatrix(&hidden)));
+        }
+        if hidden.is_empty() {
+            return Ok((hidden, SymMatrix::zeros(0)));
+        }
+        let sigma_bb = self.principal_submatrix(&obs_sorted);
+        let chol = sigma_bb.cholesky()?;
+        let a = hidden.len();
+        let b = obs_sorted.len();
+        // Σ_BA as b×a (column per hidden index).
+        let sigma_ba = self.block(&obs_sorted, &hidden);
+        // Solve Σ_BB X = Σ_BA column by column.
+        let mut x = vec![0.0; b * a];
+        let mut col = vec![0.0; b];
+        for j in 0..a {
+            for i in 0..b {
+                col[i] = sigma_ba[i * a + j];
+            }
+            let sol = chol.solve(&col);
+            for i in 0..b {
+                x[i * a + j] = sol[i];
+            }
+        }
+        // Result = Σ_AA − Σ_AB X.
+        let mut out = self.principal_submatrix(&hidden);
+        let sigma_ab = self.block(&hidden, &obs_sorted);
+        for i in 0..a {
+            for j in 0..a {
+                let mut dot = 0.0;
+                for k in 0..b {
+                    dot += sigma_ab[i * b + k] * x[k * a + j];
+                }
+                let v = out.get(i, j) - dot;
+                out.data[i * a + j] = v;
+            }
+        }
+        // Symmetrize against round-off.
+        for i in 0..a {
+            for j in (i + 1)..a {
+                let v = 0.5 * (out.get(i, j) + out.get(j, i));
+                out.set(i, j, v);
+            }
+        }
+        Ok((hidden, out))
+    }
+}
+
+/// Lower-triangular Cholesky factor with solve support.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `L[i][j]` (zero above the diagonal).
+    #[inline]
+    pub fn l(&self, i: usize, j: usize) -> f64 {
+        if j <= i {
+            self.l[i * self.n + j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Solves `M x = rhs` via forward + back substitution.
+    pub fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(rhs.len(), self.n);
+        let n = self.n;
+        let mut y = rhs.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[i * n + k] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[k * n + i] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        y
+    }
+
+    /// Computes `L z` (used to correlate i.i.d. standard normals).
+    pub fn lower_times(&self, z: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(z.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..=i).map(|j| self.l[i * self.n + j] * z[j]).sum())
+            .collect()
+    }
+
+    /// Log-determinant of the factored matrix.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_spd() -> SymMatrix {
+        SymMatrix::from_rows(3, &[4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_rejects_asymmetric() {
+        assert!(SymMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_len() {
+        assert!(matches!(
+            SymMatrix::from_rows(2, &[1.0, 2.0]).unwrap_err(),
+            UncertainError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let m = example_spd();
+        let c = m.cholesky().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += c.l(i, k) * c.l(j, k);
+                }
+                assert!((v - m.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = SymMatrix::from_rows(2, &[1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            m.cholesky().unwrap_err(),
+            UncertainError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let m = example_spd();
+        let c = m.cholesky().unwrap();
+        let x = [1.0, -2.0, 0.5];
+        let b = m.matvec(&x);
+        let got = c.solve(&b);
+        for (g, w) in got.iter().zip(&x) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_matvec() {
+        let m = example_spd();
+        let w = [0.3, -1.2, 2.0];
+        let q = m.quadratic_form(&w);
+        let mv = m.matvec(&w);
+        let want: f64 = mv.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert!((q - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schur_complement_diag_is_conditional_variance() {
+        // For a bivariate normal with covariance [[s11,s12],[s12,s22]],
+        // Var[X1 | X2] = s11 - s12²/s22.
+        let m = SymMatrix::from_rows(2, &[4.0, 1.2, 1.2, 2.0]).unwrap();
+        let (hidden, sc) = m.schur_complement(&[1]).unwrap();
+        assert_eq!(hidden, vec![0]);
+        assert!((sc.get(0, 0) - (4.0 - 1.2 * 1.2 / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schur_complement_empty_observed_is_identity_restriction() {
+        let m = example_spd();
+        let (hidden, sc) = m.schur_complement(&[]).unwrap();
+        assert_eq!(hidden, vec![0, 1, 2]);
+        assert_eq!(sc, m);
+    }
+
+    #[test]
+    fn schur_complement_all_observed_is_empty() {
+        let m = example_spd();
+        let (hidden, sc) = m.schur_complement(&[0, 1, 2]).unwrap();
+        assert!(hidden.is_empty());
+        assert_eq!(sc.n(), 0);
+    }
+
+    #[test]
+    fn schur_complement_stays_psd() {
+        let m = example_spd();
+        let (_, sc) = m.schur_complement(&[0]).unwrap();
+        // PSD check: Cholesky of the complement succeeds.
+        assert!(sc.cholesky().is_ok());
+    }
+
+    #[test]
+    fn log_det() {
+        let m = example_spd();
+        let c = m.cholesky().unwrap();
+        // det computed by cofactor expansion of the 3x3.
+        let det: f64 =
+            4.0 * (5.0 * 3.0 - 1.0) - 2.0 * (2.0 * 3.0 - 0.6) + 0.6 * (2.0 - 5.0 * 0.6);
+        assert!((c.log_det() - det.ln()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,174 @@
+//! Log-normal distributions, used by the `LNx` synthetic generator.
+//!
+//! §4 of the paper: "LNx generates skewed but unimodal value distributions.
+//! We start with a log-normal distribution with parameters μ = 0 and σ
+//! chosen uniformly at random in (0, 1]. We quantilize the distribution
+//! into as many equal-probability intervals as |supp(X_i)|, and choose
+//! elements of supp(X_i) to be close to the right ends of these intervals.
+//! For each element, we then assign its probability in proportion to its
+//! probability density in the log-normal distribution."
+
+use crate::discrete::DiscreteDist;
+use crate::normal::{std_normal_quantile, Normal};
+use crate::{Result, UncertainError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A log-normal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates `LogNormal(mu, sigma)`; `sigma` must be strictly positive.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // !(x > 0) is the NaN-safe check
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !(sigma > 0.0) || !sigma.is_finite() || !mu.is_finite() {
+            return Err(UncertainError::NonPositiveScale { scale: sigma });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Location parameter μ (mean of `ln X`).
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ (sd of `ln X`).
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Density of the log-normal at `x > 0`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// CDF `Pr[X <= x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        Normal::standard().cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    /// Quantile function, `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * std_normal_quantile(p)).exp()
+    }
+
+    /// Distribution mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Distribution variance `(e^{σ²} − 1) e^{2μ + σ²}`.
+    pub fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(self.mu, self.sigma)
+            .expect("validated at construction")
+            .sample(rng)
+            .exp()
+    }
+
+    /// The paper's `LNx` quantilization: split into `k` equal-probability
+    /// intervals, take support points near the right end of each interval
+    /// (at the 95% point of the interval's probability span, so the last
+    /// interval stays finite), and weight each point in proportion to its
+    /// log-normal *density*, normalized to sum to 1.
+    pub fn quantilize(&self, k: usize) -> Result<DiscreteDist> {
+        if k == 0 {
+            return Err(UncertainError::ZeroPoints);
+        }
+        let p = 1.0 / k as f64;
+        let mut pairs = Vec::with_capacity(k);
+        for j in 0..k {
+            // "close to the right end" of interval j: its 95% inner quantile.
+            let q = (j as f64 + 0.95) * p;
+            let q = q.min(1.0 - 1e-9);
+            let x = self.quantile(q);
+            pairs.push((x, self.pdf(x)));
+        }
+        DiscreteDist::from_weights(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let ln = LogNormal::new(0.0, 0.7).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let x = ln.quantile(p);
+            assert!((ln.cdf(x) - p).abs() < 1e-10, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn closed_form_moments() {
+        let ln = LogNormal::new(0.3, 0.5).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let k = 200_000;
+        let mean_hat = (0..k).map(|_| ln.sample(&mut rng)).sum::<f64>() / k as f64;
+        assert!(
+            (mean_hat - ln.mean()).abs() / ln.mean() < 0.02,
+            "mean_hat = {mean_hat}, want {}",
+            ln.mean()
+        );
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let ln = LogNormal::new(1.2, 0.4).unwrap();
+        assert!((ln.quantile(0.5) - 1.2f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantilize_produces_valid_small_range_dist() {
+        let ln = LogNormal::new(0.0, 1.0).unwrap();
+        let d = ln.quantilize(5).unwrap();
+        assert_eq!(d.support_size(), 5);
+        // "resulting range is typically much smaller than [1,100]" — the
+        // support should be within a few multiples of e^{±2σ}.
+        assert!(d.max_value() < 60.0);
+        assert!(d.min_value() > 0.0);
+        // Mass normalized.
+        let total: f64 = d.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantilize_zero_points_errors() {
+        let ln = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(ln.quantilize(0).unwrap_err(), UncertainError::ZeroPoints);
+    }
+
+    #[test]
+    fn pdf_zero_below_support() {
+        let ln = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(ln.pdf(-1.0), 0.0);
+        assert_eq!(ln.cdf(0.0), 0.0);
+    }
+}

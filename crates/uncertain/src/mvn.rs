@@ -1,0 +1,397 @@
+//! Multivariate normal error models.
+//!
+//! Used in two places of the reproduction:
+//!
+//! * **Theorem 3.9** — when `X ~ N(u, Σ)` (centered at the current values)
+//!   and all claims are linear, MinVar and MaxPr share an optimal solution.
+//! * **§4.5 dependency experiments** — CDC-firearms with injected
+//!   covariance `Cov[X_i, X_j] = γ^{j−i} σ_i σ_j`, where `OPT`/`GreedyDep`
+//!   are given the covariance matrix while the independence-assuming
+//!   algorithms are not.
+//!
+//! Two posterior semantics are provided (see DESIGN.md §1):
+//! [`MvnSemantics::Marginal`] follows the paper's Lemma 3.1/Theorem 3.9
+//! algebra (remaining uncertainty measured by the marginal covariance of
+//! the uncleaned coordinates), and [`MvnSemantics::Conditional`] is the
+//! exact Gaussian posterior via Schur complement.
+
+use crate::linalg::{Cholesky, SymMatrix};
+use crate::normal::standard_normal_sample;
+use crate::{Result, UncertainError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How post-cleaning uncertainty is measured for a correlated Gaussian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MvnSemantics {
+    /// Paper semantics (Lemma 3.1 / Theorem 3.9): cleaning `T` removes the
+    /// rows/columns of `T` and the residual variance of a linear query is
+    /// the quadratic form over the *marginal* covariance of `O \ T`.
+    Marginal,
+    /// Exact Gaussian posterior: the residual covariance of `O \ T` after
+    /// observing `X_T` is the Schur complement `Σ_{T̄T̄} − Σ_{T̄T} Σ_TT⁻¹ Σ_{TT̄}`.
+    Conditional,
+}
+
+/// A multivariate normal `N(mean, cov)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    cov: SymMatrix,
+}
+
+impl MultivariateNormal {
+    /// Creates `N(mean, cov)`; validates dimensions and positive
+    /// definiteness (via a trial Cholesky factorization).
+    pub fn new(mean: Vec<f64>, cov: SymMatrix) -> Result<Self> {
+        if mean.len() != cov.n() {
+            return Err(UncertainError::DimensionMismatch {
+                expected: mean.len(),
+                got: cov.n(),
+            });
+        }
+        cov.cholesky()?;
+        Ok(Self { mean, cov })
+    }
+
+    /// Builds an independent (diagonal) Gaussian.
+    pub fn independent(mean: Vec<f64>, variances: &[f64]) -> Result<Self> {
+        if mean.len() != variances.len() {
+            return Err(UncertainError::DimensionMismatch {
+                expected: mean.len(),
+                got: variances.len(),
+            });
+        }
+        Self::new(mean, SymMatrix::from_diagonal(variances))
+    }
+
+    /// Builds the §4.5 injected-dependency covariance
+    /// `Cov[X_i, X_j] = γ^{|j−i|} σ_i σ_j` over the given mean vector and
+    /// per-object standard deviations. `γ ∈ [0, 1)`; `γ = 0` recovers the
+    /// independent model (`0^0 = 1` on the diagonal).
+    pub fn with_geometric_dependency(mean: Vec<f64>, sds: &[f64], gamma: f64) -> Result<Self> {
+        if mean.len() != sds.len() {
+            return Err(UncertainError::DimensionMismatch {
+                expected: mean.len(),
+                got: sds.len(),
+            });
+        }
+        let n = sds.len();
+        let mut cov = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let rho = if i == j { 1.0 } else { gamma.powi((j - i) as i32) };
+                cov.set(i, j, rho * sds[i] * sds[j]);
+            }
+        }
+        Self::new(mean, cov)
+    }
+
+    /// Dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    #[inline]
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Covariance matrix.
+    #[inline]
+    pub fn cov(&self) -> &SymMatrix {
+        &self.cov
+    }
+
+    /// Marginal variance of coordinate `i`.
+    #[inline]
+    pub fn var(&self, i: usize) -> f64 {
+        self.cov.get(i, i)
+    }
+
+    /// Variance of the linear form `wᵀX`.
+    pub fn linear_form_variance(&self, w: &[f64]) -> f64 {
+        self.cov.quadratic_form(w)
+    }
+
+    /// Residual variance of the linear query `wᵀX` after cleaning the
+    /// objects in `cleaned` (strictly increasing indices), under the given
+    /// semantics. This *is* the `EV(T)` of MinVar for a linear query over a
+    /// Gaussian: for [`MvnSemantics::Conditional`] the posterior covariance
+    /// of a Gaussian does not depend on the observed values, so the
+    /// expectation over outcomes is the Schur-complement quadratic form
+    /// itself; for [`MvnSemantics::Marginal`] it is the paper's
+    /// `Σ_{i,j ∉ T} w_i w_j Cov[X_i, X_j]`.
+    pub fn residual_variance(
+        &self,
+        w: &[f64],
+        cleaned: &[usize],
+        semantics: MvnSemantics,
+    ) -> Result<f64> {
+        if w.len() != self.n() {
+            return Err(UncertainError::DimensionMismatch {
+                expected: self.n(),
+                got: w.len(),
+            });
+        }
+        match semantics {
+            MvnSemantics::Marginal => {
+                let mut w_masked = w.to_vec();
+                for &i in cleaned {
+                    w_masked[i] = 0.0;
+                }
+                Ok(self.cov.quadratic_form(&w_masked))
+            }
+            MvnSemantics::Conditional => {
+                let (hidden, sc) = self.cov.schur_complement(cleaned)?;
+                let w_hidden: Vec<f64> = hidden.iter().map(|&i| w[i]).collect();
+                Ok(sc.quadratic_form(&w_hidden))
+            }
+        }
+    }
+
+    /// Variance of the *cleaned* part of a linear query: for MaxPr under a
+    /// Gaussian centered at the current values, the deviation
+    /// `f(X) − f(u) | X_{O\T} = u_{O\T}` is a centered normal whose
+    /// variance this returns (marginal semantics: `w_T Σ_TT w_T`;
+    /// conditional semantics: `w_T Σ_{T|T̄} w_T`).
+    pub fn cleaned_part_variance(
+        &self,
+        w: &[f64],
+        cleaned: &[usize],
+        semantics: MvnSemantics,
+    ) -> Result<f64> {
+        match semantics {
+            MvnSemantics::Marginal => {
+                let sub = self.cov.principal_submatrix(cleaned);
+                let w_t: Vec<f64> = cleaned.iter().map(|&i| w[i]).collect();
+                Ok(sub.quadratic_form(&w_t))
+            }
+            MvnSemantics::Conditional => {
+                let uncleaned: Vec<usize> =
+                    (0..self.n()).filter(|i| !cleaned.contains(i)).collect();
+                let (hidden, sc) = self.cov.schur_complement(&uncleaned)?;
+                let w_t: Vec<f64> = hidden.iter().map(|&i| w[i]).collect();
+                Ok(sc.quadratic_form(&w_t))
+            }
+        }
+    }
+
+    /// Full Gaussian conditioning: given `X_obs = vals`, returns the
+    /// hidden coordinate indices, their posterior mean
+    /// `μ_h + Σ_ho Σ_oo⁻¹ (vals − μ_o)`, and posterior covariance (the
+    /// Schur complement).
+    pub fn conditional(
+        &self,
+        observed: &[usize],
+        vals: &[f64],
+    ) -> Result<(Vec<usize>, Vec<f64>, SymMatrix)> {
+        let mut obs = observed.to_vec();
+        obs.sort_unstable();
+        obs.dedup();
+        if obs.len() != vals.len() {
+            return Err(UncertainError::DimensionMismatch {
+                expected: obs.len(),
+                got: vals.len(),
+            });
+        }
+        let (hidden, sc) = self.cov.schur_complement(&obs)?;
+        if obs.is_empty() {
+            let mean = hidden.iter().map(|&i| self.mean[i]).collect();
+            return Ok((hidden, mean, sc));
+        }
+        let sigma_oo = self.cov.principal_submatrix(&obs);
+        let chol = sigma_oo.cholesky()?;
+        let resid: Vec<f64> = obs
+            .iter()
+            .zip(vals)
+            .map(|(&i, &v)| v - self.mean[i])
+            .collect();
+        let alpha = chol.solve(&resid); // Σ_oo⁻¹ (vals − μ_o)
+        let mean = hidden
+            .iter()
+            .map(|&i| {
+                let mut m = self.mean[i];
+                for (j, &o) in obs.iter().enumerate() {
+                    m += self.cov.get(i, o) * alpha[j];
+                }
+                m
+            })
+            .collect();
+        Ok((hidden, mean, sc))
+    }
+
+    /// Draws one sample (`mean + L z` with `z` i.i.d. standard normal).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let chol = self.cov.cholesky().expect("validated at construction");
+        self.sample_with(&chol, rng)
+    }
+
+    /// Sampling with a pre-computed Cholesky factor (avoids refactorizing
+    /// inside Monte Carlo loops).
+    pub fn sample_with<R: Rng + ?Sized>(&self, chol: &Cholesky, rng: &mut R) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.n())
+            .map(|_| standard_normal_sample(rng))
+            .collect();
+        let lz = chol.lower_times(&z);
+        lz.iter().zip(&self.mean).map(|(a, m)| a + m).collect()
+    }
+
+    /// Pre-computes the Cholesky factor for repeated sampling.
+    pub fn cholesky(&self) -> Cholesky {
+        self.cov.cholesky().expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn example() -> MultivariateNormal {
+        MultivariateNormal::with_geometric_dependency(
+            vec![10.0, 20.0, 30.0],
+            &[1.0, 2.0, 3.0],
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn geometric_dependency_structure() {
+        let m = example();
+        assert!((m.cov().get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((m.cov().get(0, 1) - 0.5 * 1.0 * 2.0).abs() < 1e-12);
+        assert!((m.cov().get(0, 2) - 0.25 * 1.0 * 3.0).abs() < 1e-12);
+        assert!((m.cov().get(1, 2) - 0.5 * 2.0 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_zero_is_diagonal() {
+        let m =
+            MultivariateNormal::with_geometric_dependency(vec![0.0, 0.0], &[2.0, 3.0], 0.0)
+                .unwrap();
+        assert_eq!(m.cov().get(0, 1), 0.0);
+        assert!((m.cov().get(1, 1) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        assert!(MultivariateNormal::independent(vec![0.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn residual_variance_marginal_vs_conditional() {
+        let m = example();
+        let w = [1.0, -1.0, 0.5];
+        // No cleaning: both equal the full quadratic form.
+        let full = m.linear_form_variance(&w);
+        for sem in [MvnSemantics::Marginal, MvnSemantics::Conditional] {
+            let r = m.residual_variance(&w, &[], sem).unwrap();
+            assert!((r - full).abs() < 1e-10, "{sem:?}");
+        }
+        // Cleaning everything: zero either way.
+        for sem in [MvnSemantics::Marginal, MvnSemantics::Conditional] {
+            let r = m.residual_variance(&w, &[0, 1, 2], sem).unwrap();
+            assert!(r.abs() < 1e-10, "{sem:?}");
+        }
+        // Partial cleaning: conditional ≤ marginal (conditioning can only
+        // shrink Gaussian uncertainty).
+        let rm = m
+            .residual_variance(&w, &[1], MvnSemantics::Marginal)
+            .unwrap();
+        let rc = m
+            .residual_variance(&w, &[1], MvnSemantics::Conditional)
+            .unwrap();
+        assert!(rc <= rm + 1e-12, "rc = {rc}, rm = {rm}");
+    }
+
+    #[test]
+    fn residual_variance_independent_matches_modular() {
+        // With a diagonal covariance, both semantics reduce to
+        // Σ_{i∉T} w_i² σ_i² (Lemma 3.1).
+        let m = MultivariateNormal::independent(vec![0.0; 3], &[4.0, 9.0, 16.0]).unwrap();
+        let w = [1.0, 2.0, 3.0];
+        let want = 4.0 * 1.0 + 16.0 * 9.0; // cleaning object 1
+        for sem in [MvnSemantics::Marginal, MvnSemantics::Conditional] {
+            let r = m.residual_variance(&w, &[1], sem).unwrap();
+            assert!((r - want).abs() < 1e-10, "{sem:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn cleaned_part_variance_complements_residual_marginal() {
+        // Marginal semantics: w_TΣ_TTw_T + w_T̄Σ_T̄T̄w_T̄ + cross = full.
+        // For diagonal Σ the cross term vanishes and the two parts add up.
+        let m = MultivariateNormal::independent(vec![0.0; 3], &[4.0, 9.0, 16.0]).unwrap();
+        let w = [1.0, 2.0, 3.0];
+        let full = m.linear_form_variance(&w);
+        let a = m
+            .cleaned_part_variance(&w, &[1], MvnSemantics::Marginal)
+            .unwrap();
+        let b = m
+            .residual_variance(&w, &[1], MvnSemantics::Marginal)
+            .unwrap();
+        assert!((a + b - full).abs() < 1e-10);
+    }
+
+    #[test]
+    fn conditional_mean_bivariate() {
+        // X = (X0, X1) with Cov = [[1, .5·1·2],[.5·1·2, 4]], mean (10, 20).
+        // E[X0 | X1 = 22] = 10 + (1·0.5·2/4)·2 = 10.5;
+        // Var[X0 | X1] = 1 − 1²·0.25·4/4 … = 1 − (1·0.5·2)²/4 = 0.75.
+        let m = MultivariateNormal::with_geometric_dependency(
+            vec![10.0, 20.0],
+            &[1.0, 2.0],
+            0.5,
+        )
+        .unwrap();
+        let (hidden, mean, cov) = m.conditional(&[1], &[22.0]).unwrap();
+        assert_eq!(hidden, vec![0]);
+        assert!((mean[0] - 10.5).abs() < 1e-12, "mean {}", mean[0]);
+        assert!((cov.get(0, 0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_with_nothing_observed() {
+        let m = example();
+        let (hidden, mean, cov) = m.conditional(&[], &[]).unwrap();
+        assert_eq!(hidden, vec![0, 1, 2]);
+        assert_eq!(mean, m.mean().to_vec());
+        assert_eq!(&cov, m.cov());
+    }
+
+    #[test]
+    fn conditional_rejects_mismatched_vals() {
+        let m = example();
+        assert!(m.conditional(&[0, 1], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn sample_moments() {
+        let m = example();
+        let chol = m.cholesky();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let k = 60_000;
+        let mut mean = [0.0f64; 3];
+        let mut cov01 = 0.0f64;
+        let samples: Vec<Vec<f64>> = (0..k).map(|_| m.sample_with(&chol, &mut rng)).collect();
+        for s in &samples {
+            for i in 0..3 {
+                mean[i] += s[i];
+            }
+        }
+        for v in &mut mean {
+            *v /= k as f64;
+        }
+        for s in &samples {
+            cov01 += (s[0] - mean[0]) * (s[1] - mean[1]);
+        }
+        cov01 /= k as f64;
+        assert!((mean[0] - 10.0).abs() < 0.05, "mean0 {}", mean[0]);
+        assert!((mean[2] - 30.0).abs() < 0.1, "mean2 {}", mean[2]);
+        assert!((cov01 - 1.0).abs() < 0.1, "cov01 {cov01}");
+    }
+}

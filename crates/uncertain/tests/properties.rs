@@ -1,0 +1,128 @@
+//! Property-based tests for the uncertainty substrate.
+
+use fc_uncertain::{DiscreteDist, LogNormal, MultivariateNormal, Normal, SymMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    /// Validated distributions always carry a normalized pmf, sorted
+    /// support, and a variance consistent with a direct two-pass
+    /// computation.
+    #[test]
+    fn discrete_invariants(
+        pairs in prop::collection::vec((-1e5f64..1e5, 0.01f64..1.0), 1..12)
+    ) {
+        let d = DiscreteDist::from_weights(pairs).unwrap();
+        let total: f64 = d.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(d.values().windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(d.variance() >= -1e-12);
+        // Var[aX + b] = a² Var[X].
+        let shifted = d.map(|x| 3.0 * x - 7.0);
+        prop_assert!((shifted.variance() - 9.0 * d.variance()).abs()
+            < 1e-6 * (1.0 + d.variance().abs() * 9.0));
+    }
+
+    /// CDF/quantile round trips to high accuracy across scales.
+    #[test]
+    fn normal_cdf_quantile_round_trip(
+        mean in -1e4f64..1e4,
+        sd in 0.01f64..1e3,
+        p in 0.001f64..0.999,
+    ) {
+        let n = Normal::new(mean, sd).unwrap();
+        let x = n.quantile(p);
+        prop_assert!((n.cdf(x) - p).abs() < 1e-9, "p = {p}, cdf = {}", n.cdf(x));
+    }
+
+    /// The CDF is monotone and bounded.
+    #[test]
+    fn normal_cdf_monotone(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let n = Normal::standard();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&n.cdf(a)));
+    }
+
+    /// Equi-probability discretization preserves the mean and never
+    /// overshoots the variance.
+    #[test]
+    fn discretize_preserves_mean(
+        mean in -1e3f64..1e3,
+        sd in 0.1f64..100.0,
+        k in 2usize..10,
+    ) {
+        let n = Normal::new(mean, sd).unwrap();
+        let d = n.discretize(k).unwrap();
+        prop_assert!((d.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs() + sd));
+        prop_assert!(d.variance() <= n.variance() * (1.0 + 1e-9));
+    }
+
+    /// Log-normal quantilization produces valid distributions with
+    /// positive support.
+    #[test]
+    fn lognormal_quantilize_valid(sigma in 0.05f64..1.0, k in 1usize..8) {
+        let ln = LogNormal::new(0.0, sigma).unwrap();
+        let d = ln.quantilize(k).unwrap();
+        prop_assert_eq!(d.support_size(), k);
+        prop_assert!(d.min_value() > 0.0);
+    }
+
+    /// Cholesky factors reconstruct random SPD matrices (built as
+    /// A·Aᵀ + εI), and solves invert matvecs.
+    #[test]
+    fn cholesky_reconstruction(
+        entries in prop::collection::vec(-2.0f64..2.0, 9),
+        rhs in prop::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        // M = A Aᵀ + 0.1 I is SPD.
+        let mut m = SymMatrix::zeros(3);
+        for i in 0..3 {
+            for j in i..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += entries[i * 3 + k] * entries[j * 3 + k];
+                }
+                if i == j {
+                    v += 0.1;
+                }
+                m.set(i, j, v);
+            }
+        }
+        let chol = m.cholesky().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += chol.l(i, k) * chol.l(j, k);
+                }
+                prop_assert!((v - m.get(i, j)).abs() < 1e-9);
+            }
+        }
+        let b = m.matvec(&rhs);
+        let x = chol.solve(&b);
+        for (got, want) in x.iter().zip(&rhs) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    /// Schur complements of geometric-dependency covariances stay PSD
+    /// and never exceed the marginal variances on the diagonal.
+    #[test]
+    fn schur_shrinks_diagonal(
+        sds in prop::collection::vec(0.1f64..10.0, 4),
+        gamma in 0.0f64..0.95,
+        observed in prop::collection::vec(0usize..4, 0..3),
+    ) {
+        let mvn = MultivariateNormal::with_geometric_dependency(
+            vec![0.0; 4],
+            &sds,
+            gamma,
+        )
+        .unwrap();
+        let (hidden, sc) = mvn.cov().schur_complement(&observed).unwrap();
+        for (pos, &i) in hidden.iter().enumerate() {
+            prop_assert!(sc.get(pos, pos) <= mvn.var(i) + 1e-9);
+            prop_assert!(sc.get(pos, pos) >= -1e-9);
+        }
+    }
+}

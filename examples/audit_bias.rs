@@ -1,0 +1,81 @@
+//! When counter-hunting biases the audit (§4.6 / Fig. 12).
+//!
+//! If the data's error model is centered on the current values, Theorem
+//! 3.9 says minimizing uncertainty (MinVar) and maximizing the chance of
+//! countering (MaxPr) pick the *same* values to clean — the fact-checker
+//! can pursue either goal without bias. But when the current values
+//! deviate from the distribution centers, the two objectives diverge:
+//! MaxPr starts cherry-picking values likely to move the claim downward
+//! and eventually refuses to clean at all.
+//!
+//! Run with: `cargo run --release --example audit_bias`
+
+use fc_core::algo::{greedy_max_pr, knapsack_optimum_min_var_gaussian};
+use fc_core::ev::{ev_gaussian_linear, gaussian::MvnSemantics};
+use fc_core::maxpr::surprise_prob_gaussian;
+use fc_core::Budget;
+use fc_datasets::workloads::competing_objectives;
+
+fn main() {
+    let tau = 25.0;
+
+    // --- Part 1: centered errors ⇒ objectives align (Theorem 3.9) ---
+    let w = competing_objectives(1).unwrap();
+    let centered = fc_core::GaussianInstance::centered_independent(
+        w.instance.current().to_vec(),
+        &(0..w.instance.len())
+            .map(|i| w.instance.sd(i))
+            .collect::<Vec<_>>(),
+        w.instance.costs().to_vec(),
+    )
+    .unwrap();
+    let budget = Budget::fraction(centered.total_cost(), 0.3);
+    let minvar = knapsack_optimum_min_var_gaussian(&centered, &w.weights, budget);
+    let maxpr = greedy_max_pr(&centered, &w.weights, budget, tau, MvnSemantics::Marginal);
+    println!("centered errors (Theorem 3.9 setting):");
+    println!("  MinVar cleans {:?}", minvar.objects());
+    println!("  MaxPr  cleans {:?}", maxpr.objects());
+    println!(
+        "  same set: {}\n",
+        if minvar == maxpr { "yes — objectives align" } else { "no" }
+    );
+
+    // --- Part 2: redrawn current values ⇒ objectives diverge ---
+    println!("redrawn current values (Fig. 12 setting):");
+    println!(
+        "{:>8} {:>16} {:>16} {:>14} {:>14}",
+        "budget%", "EV(MinVar set)", "EV(MaxPr set)", "Pr(MinVar)", "Pr(MaxPr)"
+    );
+    for pct in [10, 20, 30, 50, 70, 90] {
+        let budget = Budget::fraction(w.instance.total_cost(), pct as f64 / 100.0);
+        let minvar = knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget);
+        let maxpr = greedy_max_pr(&w.instance, &w.weights, budget, tau, MvnSemantics::Marginal);
+        let ev_of = |sel: &fc_core::Selection| {
+            ev_gaussian_linear(&w.instance, &w.weights, sel.objects(), MvnSemantics::Marginal)
+                .unwrap()
+        };
+        let pr_of = |sel: &fc_core::Selection| {
+            surprise_prob_gaussian(
+                &w.instance,
+                &w.weights,
+                sel.objects(),
+                tau,
+                MvnSemantics::Marginal,
+            )
+            .unwrap()
+        };
+        println!(
+            "{:>7}% {:>16.1} {:>16.1} {:>14.4} {:>14.4}",
+            pct,
+            ev_of(&minvar),
+            ev_of(&maxpr),
+            pr_of(&minvar),
+            pr_of(&maxpr),
+        );
+    }
+    println!(
+        "\nEach algorithm wins its own column — and MaxPr's cleaning choices tell you \
+         more about the checker's desire to counter than about the data. \
+         Theorem 3.9's centered setting is the safe harbor."
+    );
+}

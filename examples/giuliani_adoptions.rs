@@ -1,0 +1,63 @@
+//! Fairness of a window-aggregate comparison claim (paper Example 4 and
+//! Fig. 1a): Giuliani's "adoptions went up 65 to 70 percent" claim,
+//! modeled as the comparison of 1993–1996 against 1989–1992 over the NYC
+//! adoptions series, with 18 window-shifted perturbations.
+//!
+//! We sweep the cleaning budget and show how much uncertainty about the
+//! claim's *fairness* each algorithm removes per dollar.
+//!
+//! Run with: `cargo run --release --example giuliani_adoptions`
+
+use fc_core::algo::{
+    greedy_naive, greedy_naive_cost_blind, knapsack_optimum_min_var, random_select,
+};
+use fc_core::ev::modular::{ev_modular, modular_benefits};
+use fc_core::Budget;
+use fc_claims::BiasQuery;
+use fc_datasets::workloads::giuliani_fairness;
+use fc_uncertain::rng_from_seed;
+
+fn main() {
+    let seed = 42;
+    let w = giuliani_fairness(seed).unwrap();
+    // The experiments run on the discretized instance (6-point normals).
+    let instance = w.instance.discretize(6).unwrap();
+    let query = BiasQuery::relative_to_original(w.claims.clone());
+    let benefits = modular_benefits(&instance, &query).unwrap();
+    let total = instance.total_cost();
+
+    println!("Giuliani adoptions claim — variance in fairness remaining after cleaning");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "budget%", "Random", "NaiveCostBlind", "GreedyNaive", "GreedyMinVar", "Optimum"
+    );
+    let mut rng = rng_from_seed(7);
+    for pct in [0, 5, 10, 20, 30, 50, 75, 100] {
+        let budget = Budget::fraction(total, pct as f64 / 100.0);
+        let rand_ev: f64 = (0..50)
+            .map(|_| {
+                let sel = random_select(&instance, budget, &mut rng);
+                ev_modular(&benefits, sel.objects())
+            })
+            .sum::<f64>()
+            / 50.0;
+        let cb = greedy_naive_cost_blind(&instance, &query, budget);
+        let naive = greedy_naive(&instance, &query, budget);
+        let gmv = fc_core::algo::greedy_min_var(&instance, &query, budget);
+        let opt = knapsack_optimum_min_var(&instance, &query, budget).unwrap();
+        println!(
+            "{:>7}% {:>12.1} {:>14.1} {:>12.1} {:>12.1} {:>12.1}",
+            pct,
+            rand_ev,
+            ev_modular(&benefits, cb.objects()),
+            ev_modular(&benefits, naive.objects()),
+            ev_modular(&benefits, gmv.objects()),
+            ev_modular(&benefits, opt.objects()),
+        );
+    }
+    println!(
+        "\nInitial variance in fairness: {:.1}",
+        benefits.iter().sum::<f64>()
+    );
+    println!("GreedyMinVar tracks Optimum; both dominate the naive baselines.");
+}

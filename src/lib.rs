@@ -1,0 +1,53 @@
+//! # fact-clean
+//!
+//! A full Rust reproduction of *"Selecting Data to Clean for Fact Checking:
+//! Minimizing Uncertainty vs. Maximizing Surprise"* (Sintos, Agarwal, Yang;
+//! VLDB 2019): given a claim over a database with uncertain values and a
+//! cleaning budget, decide **which values to clean** so as to either
+//! minimize the remaining uncertainty in a claim-quality measure
+//! (**MinVar**) or maximize the probability of surfacing a counterargument
+//! (**MaxPr**).
+//!
+//! This crate is the public façade: it re-exports the substrate crates and
+//! offers the high-level [`CleaningSession`] API used by the examples.
+//!
+//! ```
+//! use fact_clean::prelude::*;
+//!
+//! // Five years of crime counts with uncertain true values (Example 2).
+//! let dists = vec![
+//!     DiscreteDist::uniform_over(&[9000.0, 9010.0, 9020.0]).unwrap(),
+//!     DiscreteDist::uniform_over(&[9235.0, 9275.0, 9315.0]).unwrap(),
+//!     DiscreteDist::uniform_over(&[9280.0, 9300.0, 9320.0]).unwrap(),
+//!     DiscreteDist::uniform_over(&[9105.0, 9125.0, 9145.0]).unwrap(),
+//!     DiscreteDist::uniform_over(&[9410.0, 9430.0, 9450.0]).unwrap(),
+//! ];
+//! let current = vec![9010.0, 9275.0, 9300.0, 9125.0, 9430.0];
+//! let costs = vec![1; 5];
+//! let instance = Instance::new(dists, current, costs).unwrap();
+//! assert_eq!(instance.len(), 5);
+//! ```
+
+pub mod session;
+
+pub use fc_claims as claims;
+pub use fc_core as core;
+pub use fc_datasets as datasets;
+pub use fc_uncertain as uncertain;
+
+pub use session::{CleaningSession, Objective, Recommendation};
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::session::{CleaningSession, Objective, Recommendation};
+    pub use fc_claims::{
+        quality::{BiasQuery, DupQuery, FragQuery},
+        ClaimSet, LinearClaim,
+    };
+    pub use fc_core::{
+        algo::{greedy_max_pr, greedy_min_var, greedy_naive, knapsack_optimum_min_var},
+        Budget, Instance, Selection,
+    };
+    pub use fc_datasets as datasets;
+    pub use fc_uncertain::{DiscreteDist, Normal};
+}

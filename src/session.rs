@@ -1,0 +1,261 @@
+//! High-level fact-checker workflow.
+//!
+//! [`CleaningSession`] wraps a discrete [`Instance`] and a [`ClaimSet`]
+//! and answers the practitioner's question directly: *given my budget
+//! and goal, which values should I clean?* It routes to the right
+//! algorithm automatically (modular knapsack fast path for fairness,
+//! scoped-engine greedy for uniqueness/robustness, convolution-driven
+//! greedy for counter-hunting) and reports the objective before and
+//! after.
+
+use fc_claims::{BiasQuery, ClaimSet, DupQuery, FragQuery};
+use fc_core::algo::{greedy_max_pr_discrete, greedy_min_var, knapsack_optimum_min_var};
+use fc_core::ev::scoped::ScopedEv;
+use fc_core::maxpr::surprise_prob_convolution;
+use fc_core::{Budget, Instance, Result, Selection};
+
+/// What the fact-checker wants from cleaning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// MinVar on the fairness measure (`bias`).
+    AscertainFairness,
+    /// MinVar on the uniqueness measure (`dup`).
+    AscertainUniqueness,
+    /// MinVar on the robustness measure (`frag`).
+    AscertainRobustness,
+    /// MaxPr: maximize the chance that cleaning surfaces a
+    /// counterargument — the bias dropping by more than `tau`.
+    FindCounter {
+        /// Surprise threshold `τ ≥ 0`.
+        tau: f64,
+    },
+}
+
+/// A cleaning recommendation with its predicted effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The objects to clean.
+    pub selection: Selection,
+    /// Objective value with no cleaning (expected variance for the
+    /// `Ascertain*` goals; surprise probability for `FindCounter`).
+    pub before: f64,
+    /// Predicted objective value after cleaning the selection.
+    pub after: f64,
+    /// Which algorithm produced the selection.
+    pub algorithm: &'static str,
+}
+
+/// A fact-checking session: uncertain data + the claim under scrutiny.
+#[derive(Debug, Clone)]
+pub struct CleaningSession {
+    instance: Instance,
+    claims: ClaimSet,
+    theta: f64,
+}
+
+impl CleaningSession {
+    /// Starts a session; the claim's reference value `θ` is its result
+    /// on the current (uncleaned) data.
+    pub fn new(instance: Instance, claims: ClaimSet) -> Self {
+        let theta = claims.original_value(instance.current());
+        Self {
+            instance,
+            claims,
+            theta,
+        }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The claim family under check.
+    pub fn claims(&self) -> &ClaimSet {
+        &self.claims
+    }
+
+    /// The original claim's value on current data (`θ`).
+    pub fn original_value(&self) -> f64 {
+        self.theta
+    }
+
+    /// Claim-quality measures evaluated on the current data.
+    pub fn current_quality(&self) -> (f64, f64, f64) {
+        let u = self.instance.current();
+        (
+            self.claims.bias(u, self.theta),
+            self.claims.dup(u, self.theta),
+            self.claims.frag(u, self.theta),
+        )
+    }
+
+    /// Recommends what to clean under `budget` for the given objective.
+    pub fn recommend(&self, objective: Objective, budget: Budget) -> Result<Recommendation> {
+        match objective {
+            Objective::AscertainFairness => {
+                let q = BiasQuery::new(self.claims.clone(), self.theta);
+                let selection = knapsack_optimum_min_var(&self.instance, &q, budget)?;
+                let eng = ScopedEv::new(&self.instance, &q);
+                Ok(Recommendation {
+                    before: eng.ev_of(&[]),
+                    after: eng.ev_of(selection.objects()),
+                    selection,
+                    algorithm: "Optimum (knapsack DP, Lemma 3.2)",
+                })
+            }
+            Objective::AscertainUniqueness => {
+                let q = DupQuery::new(self.claims.clone(), self.theta);
+                let selection = greedy_min_var(&self.instance, &q, budget);
+                let eng = ScopedEv::new(&self.instance, &q);
+                Ok(Recommendation {
+                    before: eng.ev_of(&[]),
+                    after: eng.ev_of(selection.objects()),
+                    selection,
+                    algorithm: "GreedyMinVar (scoped Theorem 3.8 engine)",
+                })
+            }
+            Objective::AscertainRobustness => {
+                let q = FragQuery::new(self.claims.clone(), self.theta);
+                let selection = greedy_min_var(&self.instance, &q, budget);
+                let eng = ScopedEv::new(&self.instance, &q);
+                Ok(Recommendation {
+                    before: eng.ev_of(&[]),
+                    after: eng.ev_of(selection.objects()),
+                    selection,
+                    algorithm: "GreedyMinVar (scoped Theorem 3.8 engine)",
+                })
+            }
+            Objective::FindCounter { tau } => {
+                let q = BiasQuery::new(self.claims.clone(), self.theta);
+                let selection =
+                    greedy_max_pr_discrete(&self.instance, &q, budget, tau, None)?;
+                let before = 0.0; // empty cleaning can never surprise (τ ≥ 0)
+                let after =
+                    surprise_prob_convolution(&self.instance, &q, selection.objects(), tau, None)?;
+                Ok(Recommendation {
+                    selection,
+                    before,
+                    after,
+                    algorithm: "GreedyMaxPr (binned convolution)",
+                })
+            }
+        }
+    }
+
+    /// Applies a cleaning outcome: pins the selected objects at their
+    /// revealed values (`revealed[k]` corresponds to
+    /// `selection.objects()[k]`) and returns the updated session.
+    pub fn after_cleaning(&self, selection: &Selection, revealed: &[f64]) -> Result<Self> {
+        assert_eq!(
+            revealed.len(),
+            selection.len(),
+            "one revealed value per cleaned object"
+        );
+        let mut dists = self.instance.joint().dists().to_vec();
+        let mut current = self.instance.current().to_vec();
+        for (&obj, &v) in selection.objects().iter().zip(revealed) {
+            dists[obj] = fc_uncertain::DiscreteDist::point(v);
+            current[obj] = v;
+        }
+        let instance = Instance::new(dists, current, self.instance.costs().to_vec())?;
+        Ok(Self {
+            instance,
+            claims: self.claims.clone(),
+            theta: self.theta,
+        })
+    }
+
+    /// The strongest counterargument visible on the *current* data, if
+    /// any perturbation already weakens the claim.
+    pub fn visible_counter(&self) -> Option<(usize, f64)> {
+        self.claims
+            .strongest_counter(self.instance.current(), self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::{Direction, LinearClaim};
+    use fc_uncertain::DiscreteDist;
+
+    fn session() -> CleaningSession {
+        // Example 2-style: 5 years of crime counts, yearly-increase claim.
+        let dists = vec![
+            DiscreteDist::uniform_over(&[8_990.0, 9_010.0, 9_030.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_235.0, 9_275.0, 9_315.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_280.0, 9_300.0, 9_320.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_105.0, 9_125.0, 9_145.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_410.0, 9_430.0, 9_450.0]).unwrap(),
+        ];
+        let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
+        let instance = Instance::new(dists, current, vec![1; 5]).unwrap();
+        let claims = ClaimSet::new(
+            LinearClaim::window_comparison(3, 4, 1).unwrap(),
+            vec![
+                LinearClaim::window_comparison(2, 3, 1).unwrap(),
+                LinearClaim::window_comparison(1, 2, 1).unwrap(),
+                LinearClaim::window_comparison(0, 1, 1).unwrap(),
+            ],
+            vec![1.0, 1.0, 1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        CleaningSession::new(instance, claims)
+    }
+
+    #[test]
+    fn quality_on_current_data() {
+        let s = session();
+        assert_eq!(s.original_value(), 305.0);
+        let (_bias, dup, _frag) = s.current_quality();
+        assert_eq!(dup, 0.0, "no perturbation matches +305 on current data");
+    }
+
+    #[test]
+    fn recommendations_respect_budget_and_reduce_ev() {
+        let s = session();
+        for obj in [
+            Objective::AscertainFairness,
+            Objective::AscertainUniqueness,
+            Objective::AscertainRobustness,
+        ] {
+            let r = s.recommend(obj, Budget::absolute(2)).unwrap();
+            assert!(r.selection.cost() <= 2, "{obj:?}");
+            assert!(r.after <= r.before + 1e-12, "{obj:?}");
+        }
+    }
+
+    #[test]
+    fn counter_recommendation_probability() {
+        let s = session();
+        let r = s
+            .recommend(Objective::FindCounter { tau: 10.0 }, Budget::absolute(2))
+            .unwrap();
+        assert!(r.after >= r.before);
+        assert!(r.after <= 1.0);
+    }
+
+    #[test]
+    fn after_cleaning_pins_values() {
+        let s = session();
+        let rec = s
+            .recommend(Objective::AscertainUniqueness, Budget::absolute(2))
+            .unwrap();
+        let revealed: Vec<f64> = rec
+            .selection
+            .objects()
+            .iter()
+            .map(|&i| s.instance().dist(i).max_value())
+            .collect();
+        let s2 = s.after_cleaning(&rec.selection, &revealed).unwrap();
+        for (&obj, &v) in rec.selection.objects().iter().zip(&revealed) {
+            assert!(s2.instance().dist(obj).is_certain());
+            assert_eq!(s2.instance().current()[obj], v);
+        }
+        // θ stays anchored at the original claim's value on the original
+        // current data.
+        assert_eq!(s2.original_value(), s.original_value());
+    }
+}

@@ -1,0 +1,253 @@
+//! Cross-crate workflow tests: miniature versions of the paper's
+//! experiments with shape assertions (who wins, and in the right
+//! direction), so regressions in any crate surface here.
+
+use fc_claims::BiasQuery;
+use fc_core::algo::{
+    best_min_var, greedy_dep, greedy_min_var, greedy_naive, greedy_naive_cost_blind,
+    knapsack_optimum_min_var, opt_gaussian, random_select, BestConfig,
+};
+use fc_core::ev::gaussian::MvnSemantics;
+use fc_core::ev::{ev_gaussian_linear, ev_modular, modular_benefits, ScopedEv};
+use fc_core::Budget;
+use fc_datasets::workloads::{
+    cdc_causes_uniqueness, cdc_firearms_robustness, cdc_firearms_uniqueness,
+    counters_synthetic, dependency_fairness, giuliani_fairness, synthetic_uniqueness,
+};
+use fc_datasets::SyntheticKind;
+use fc_uncertain::rng_from_seed;
+
+/// Fig. 1 shape: on the Giuliani fairness workload, at moderate budgets
+/// Optimum ≤ GreedyMinVar ≤ GreedyNaive (remaining variance), and
+/// GreedyMinVar ≈ Optimum.
+#[test]
+fn fig1_shape_giuliani() {
+    let w = giuliani_fairness(11).unwrap();
+    let inst = w.instance.discretize(6).unwrap();
+    let q = BiasQuery::relative_to_original(w.claims.clone());
+    let benefits = modular_benefits(&inst, &q).unwrap();
+    let total = inst.total_cost();
+    let mut rng = rng_from_seed(5);
+    for frac in [0.05, 0.1, 0.2, 0.4] {
+        let budget = Budget::fraction(total, frac);
+        let gmv = greedy_min_var(&inst, &q, budget);
+        let opt = knapsack_optimum_min_var(&inst, &q, budget).unwrap();
+        let naive = greedy_naive(&inst, &q, budget);
+        let blind = greedy_naive_cost_blind(&inst, &q, budget);
+        let ev = |sel: &fc_core::Selection| ev_modular(&benefits, sel.objects());
+        assert!(ev(&opt) <= ev(&gmv) + 1e-9, "frac {frac}");
+        assert!(ev(&gmv) <= ev(&naive) + 1e-9, "frac {frac}");
+        assert!(ev(&gmv) <= ev(&blind) + 1e-9, "frac {frac}");
+        // GreedyMinVar within 2x of Optimum's reduction (in practice ≈).
+        let red_opt = benefits.iter().sum::<f64>() - ev(&opt);
+        let red_gmv = benefits.iter().sum::<f64>() - ev(&gmv);
+        assert!(red_gmv >= red_opt / 2.0 - 1e-9, "frac {frac}");
+        // Random is (stochastically) worse than GreedyMinVar.
+        let rand_ev: f64 = (0..20)
+            .map(|_| ev(&random_select(&inst, budget, &mut rng)))
+            .sum::<f64>()
+            / 20.0;
+        assert!(ev(&gmv) <= rand_ev + 1e-9, "frac {frac}");
+    }
+}
+
+/// Fig. 2 shape: on CDC uniqueness workloads, GreedyMinVar ≤ GreedyNaive
+/// in expected variance, and Best is comparable to GreedyMinVar.
+#[test]
+fn fig2_shape_cdc_uniqueness() {
+    for (name, w) in [
+        ("firearms", cdc_firearms_uniqueness(3).unwrap()),
+        ("causes", cdc_causes_uniqueness(3).unwrap()),
+    ] {
+        let eng = ScopedEv::new(&w.instance, &w.query);
+        let total = w.instance.total_cost();
+        for frac in [0.2, 0.4] {
+            let budget = Budget::fraction(total, frac);
+            let gmv = greedy_min_var(&w.instance, &w.query, budget);
+            let naive = greedy_naive(&w.instance, &w.query, budget);
+            let best = best_min_var(&w.instance, &w.query, budget, BestConfig::default());
+            let e_gmv = eng.ev_of(gmv.objects());
+            let e_naive = eng.ev_of(naive.objects());
+            let e_best = eng.ev_of(best.objects());
+            assert!(
+                e_gmv <= e_naive + 1e-9,
+                "{name} frac {frac}: gmv {e_gmv} vs naive {e_naive}"
+            );
+            // Best and GreedyMinVar should be in the same ballpark.
+            assert!(
+                e_best <= 1.5 * e_gmv + 1e-6,
+                "{name} frac {frac}: best {e_best} vs gmv {e_gmv}"
+            );
+        }
+    }
+}
+
+/// Fig. 3/4/5 shape on a small synthetic: GreedyMinVar dominates
+/// GreedyNaive across generators, and EV decreases with budget.
+#[test]
+fn fig3_shape_synthetic_uniqueness() {
+    for kind in [SyntheticKind::Urx, SyntheticKind::Lnx, SyntheticKind::Smx] {
+        let gamma = match kind {
+            SyntheticKind::Lnx => 4.0,
+            _ => 150.0,
+        };
+        let w = synthetic_uniqueness(kind, 24, gamma, 9).unwrap();
+        let eng = ScopedEv::new(&w.instance, &w.query);
+        let total = w.instance.total_cost();
+        let mut prev = f64::INFINITY;
+        for frac in [0.1, 0.3, 0.5, 0.8] {
+            let budget = Budget::fraction(total, frac);
+            let gmv = greedy_min_var(&w.instance, &w.query, budget);
+            let naive = greedy_naive(&w.instance, &w.query, budget);
+            let e_gmv = eng.ev_of(gmv.objects());
+            let e_naive = eng.ev_of(naive.objects());
+            assert!(
+                e_gmv <= e_naive + 1e-9,
+                "{kind:?} frac {frac}: {e_gmv} vs {e_naive}"
+            );
+            assert!(e_gmv <= prev + 1e-9, "{kind:?}: EV must shrink with budget");
+            prev = e_gmv;
+        }
+    }
+}
+
+/// Fig. 7 shape: robustness (frag) — same dominance.
+#[test]
+fn fig7_shape_robustness() {
+    let w = cdc_firearms_robustness(5).unwrap();
+    let eng = ScopedEv::new(&w.instance, &w.query);
+    let budget = Budget::fraction(w.instance.total_cost(), 0.3);
+    let gmv = greedy_min_var(&w.instance, &w.query, budget);
+    let naive = greedy_naive(&w.instance, &w.query, budget);
+    assert!(eng.ev_of(gmv.objects()) <= eng.ev_of(naive.objects()) + 1e-9);
+}
+
+/// Fig. 11 shape: with full dependency knowledge, OPT ≤ GreedyDep ≤
+/// (blind) GreedyMinVar in conditional EV; at γ = 0 all coincide with
+/// the modular optimum.
+#[test]
+fn fig11_shape_dependency() {
+    // Use a truncated (12-year) workload so OPT's 2^n stays tiny.
+    let w = dependency_fairness(7, 0.7).unwrap();
+    let n = 12usize;
+    let mvn = fc_uncertain::MultivariateNormal::new(
+        w.instance.mvn().mean()[..n].to_vec(),
+        w.instance.mvn().cov().principal_submatrix(&(0..n).collect::<Vec<_>>()),
+    )
+    .unwrap();
+    let inst = fc_core::GaussianInstance::with_mvn(
+        mvn,
+        w.instance.current()[..n].to_vec(),
+        w.instance.costs()[..n].to_vec(),
+    )
+    .unwrap();
+    let weights = &w.weights[..n];
+    let budget = Budget::fraction(inst.total_cost(), 0.3);
+    let dep = greedy_dep(&inst, weights, budget);
+    let opt = opt_gaussian(&inst, weights, budget).unwrap();
+    let blind = fc_core::algo::greedy_min_var_gaussian(&inst, weights, budget);
+    let ev = |sel: &fc_core::Selection| {
+        ev_gaussian_linear(&inst, weights, sel.objects(), MvnSemantics::Conditional).unwrap()
+    };
+    assert!(ev(&opt) <= ev(&dep) + 1e-9);
+    assert!(ev(&dep) <= ev(&blind) + 1e-6);
+}
+
+/// §4.3 shape: on counters workloads where the truth hides a
+/// counterargument, the probability-driven cleaning order surfaces it
+/// with no more budget, in aggregate, than the variance-driven order.
+#[test]
+fn counters_maxpr_no_worse_than_naive_in_aggregate() {
+    use fc_claims::QueryFunction;
+    // Cost of the shortest order-prefix whose revealed truths expose a
+    // counterargument (u64::MAX when the full order never does).
+    let prefix_cost = |w: &fc_datasets::workloads::CountersWorkload,
+                       order: &[usize]|
+     -> u64 {
+        let theta = w.claims.original_value(w.instance.current());
+        let mut v = w.instance.current().to_vec();
+        let mut cost = 0u64;
+        for &i in order {
+            v[i] = w.truth[i];
+            cost += w.instance.cost(i);
+            if w.claims.strongest_duplicate(&v, theta).is_some() {
+                return cost;
+            }
+        }
+        u64::MAX
+    };
+
+    let mut maxpr_total = 0u128;
+    let mut naive_total = 0u128;
+    let mut scenarios = 0;
+    for seed in 0..60u64 {
+        if scenarios >= 4 {
+            break;
+        }
+        let w = counters_synthetic(SyntheticKind::Urx, 16, seed).unwrap();
+        let theta = w.claims.original_value(w.instance.current());
+        // Paper scenario: invisible on current data, present in truth.
+        if w
+            .claims
+            .strongest_duplicate(w.instance.current(), theta)
+            .is_some()
+            || w.claims.strongest_duplicate(&w.truth, theta).is_none()
+        {
+            continue;
+        }
+        scenarios += 1;
+        // GreedyMaxPr order: repeatedly take the candidate with the best
+        // probability-delta per cost.
+        let (weights, _) = w.query.as_affine(w.instance.len()).unwrap();
+        let mut order_maxpr: Vec<usize> = Vec::new();
+        let mut remaining: Vec<usize> =
+            (0..w.instance.len()).filter(|&i| weights[i] != 0.0).collect();
+        while !remaining.is_empty() {
+            let base = fc_core::maxpr::surprise_prob_convolution(
+                &w.instance,
+                &w.query,
+                &order_maxpr,
+                0.0,
+                Some(1 << 12),
+            )
+            .unwrap();
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    let mut with = order_maxpr.clone();
+                    with.push(i);
+                    let p = fc_core::maxpr::surprise_prob_convolution(
+                        &w.instance,
+                        &w.query,
+                        &with,
+                        0.0,
+                        Some(1 << 12),
+                    )
+                    .unwrap();
+                    (pos, (p - base) / w.instance.cost(i) as f64)
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            order_maxpr.push(remaining.swap_remove(pos));
+        }
+        // GreedyNaive order: variance per cost, descending.
+        let mut order_naive: Vec<usize> =
+            (0..w.instance.len()).filter(|&i| weights[i] != 0.0).collect();
+        order_naive.sort_by(|&a, &b| {
+            let ra = w.instance.variance(a) / w.instance.cost(a) as f64;
+            let rb = w.instance.variance(b) / w.instance.cost(b) as f64;
+            rb.total_cmp(&ra)
+        });
+        let mc = prefix_cost(&w, &order_maxpr);
+        let nc = prefix_cost(&w, &order_naive);
+        assert!(mc < u64::MAX, "seed {seed}: counter must surface");
+        maxpr_total += mc as u128;
+        naive_total += nc.min(w.instance.total_cost()) as u128;
+    }
+    assert!(scenarios >= 2, "need enough qualifying scenarios");
+    assert!(
+        maxpr_total <= naive_total,
+        "aggregate budgets: MaxPr {maxpr_total} vs Naive {naive_total}"
+    );
+}
