@@ -21,16 +21,23 @@ fn bench_ev_engines(c: &mut Criterion) {
         b.iter(|| ev_exact(&w.instance, &w.query, black_box(&cleaned)))
     });
     let eng = ScopedEv::new(&w.instance, &w.query);
-    group.bench_function("scoped", |b| {
-        b.iter(|| eng.ev_of(black_box(&cleaned)))
-    });
+    group.bench_function("scoped", |b| b.iter(|| eng.ev_of(black_box(&cleaned))));
     group.bench_function("scoped_incremental_delta", |b| {
         let st = eng.state_for(&cleaned);
         b.iter(|| eng.delta(black_box(&st), black_box(7)))
     });
     group.bench_function("monte_carlo_200x100", |b| {
         let mut rng = rng_from_seed(3);
-        b.iter(|| ev_monte_carlo(&w.instance, &w.query, black_box(&cleaned), 200, 100, &mut rng))
+        b.iter(|| {
+            ev_monte_carlo(
+                &w.instance,
+                &w.query,
+                black_box(&cleaned),
+                200,
+                100,
+                &mut rng,
+            )
+        })
     });
     group.finish();
 
@@ -71,9 +78,7 @@ fn bench_ev_engines(c: &mut Criterion) {
         })
     });
     let eng = ScopedEv::new(&w.instance, &q);
-    group.bench_function("ev_of", |b| {
-        b.iter(|| eng.ev_of(black_box(&cleaned)))
-    });
+    group.bench_function("ev_of", |b| b.iter(|| eng.ev_of(black_box(&cleaned))));
     group.finish();
 }
 

@@ -15,9 +15,7 @@ fn bench_greedy_scaling(c: &mut Criterion) {
         let eng = ScopedEv::new(&w.instance, &w.query);
         let budget = Budget::fraction(w.instance.total_cost(), 0.1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(greedy_min_var_with_engine(&w.instance, &eng, budget).len())
-            })
+            b.iter(|| black_box(greedy_min_var_with_engine(&w.instance, &eng, budget).len()))
         });
     }
     group.finish();
@@ -31,9 +29,7 @@ fn bench_greedy_scaling(c: &mut Criterion) {
     for pct in [1u64, 10, 30] {
         let budget = Budget::fraction(total, pct as f64 / 100.0);
         group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
-            b.iter(|| {
-                black_box(greedy_min_var_with_engine(&w.instance, &eng, budget).len())
-            })
+            b.iter(|| black_box(greedy_min_var_with_engine(&w.instance, &eng, budget).len()))
         });
     }
     group.finish();

@@ -3,9 +3,7 @@
 //! `Best`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fc_core::algo::{
-    fptas_max_knapsack, greedy_knapsack, max_knapsack_dp, min_knapsack_cover_dp,
-};
+use fc_core::algo::{fptas_max_knapsack, greedy_knapsack, max_knapsack_dp, min_knapsack_cover_dp};
 use fc_uncertain::rng_from_seed;
 use rand::Rng;
 use std::hint::black_box;

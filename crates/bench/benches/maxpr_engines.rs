@@ -18,30 +18,18 @@ fn bench_maxpr(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("exact_enumeration", |b| {
         b.iter(|| {
-            black_box(
-                surprise_prob_exact(&w.instance, &w.query, &cleaned, tau, None).unwrap(),
-            )
+            black_box(surprise_prob_exact(&w.instance, &w.query, &cleaned, tau, None).unwrap())
         })
     });
     for bins in [1usize << 10, 1 << 14] {
-        group.bench_with_input(
-            BenchmarkId::new("convolution", bins),
-            &bins,
-            |b, &bins| {
-                b.iter(|| {
-                    black_box(
-                        surprise_prob_convolution(
-                            &w.instance,
-                            &w.query,
-                            &cleaned,
-                            tau,
-                            Some(bins),
-                        )
+        group.bench_with_input(BenchmarkId::new("convolution", bins), &bins, |b, &bins| {
+            b.iter(|| {
+                black_box(
+                    surprise_prob_convolution(&w.instance, &w.query, &cleaned, tau, Some(bins))
                         .unwrap(),
-                    )
-                })
-            },
-        );
+                )
+            })
+        });
     }
     group.bench_function("monte_carlo_10k", |b| {
         let mut rng = rng_from_seed(5);

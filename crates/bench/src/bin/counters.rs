@@ -24,11 +24,7 @@ fn qualifying(w: &CountersWorkload) -> bool {
         && w.claims.strongest_duplicate(&w.truth, theta).is_some()
 }
 
-fn budget_to_find(
-    w: &CountersWorkload,
-    select: impl Fn(Budget) -> Selection,
-    grid: &[u64],
-) -> u64 {
+fn budget_to_find(w: &CountersWorkload, select: impl Fn(Budget) -> Selection, grid: &[u64]) -> u64 {
     let theta = w.claims.original_value(w.instance.current());
     let total = w.instance.total_cost();
     for &pct in grid {
@@ -76,8 +72,16 @@ fn run(
         println!(
             "{name} scenario (seed {}): GreedyMaxPr {}%, GreedyNaive {}%",
             seed - 1,
-            if maxpr > 100 { ">100".into() } else { maxpr.to_string() },
-            if naive > 100 { ">100".into() } else { naive.to_string() },
+            if maxpr > 100 {
+                ">100".into()
+            } else {
+                maxpr.to_string()
+            },
+            if naive > 100 {
+                ">100".into()
+            } else {
+                naive.to_string()
+            },
         );
         fig.series[0].push(x_base + found as f64 / 10.0, maxpr as f64);
         fig.series[1].push(x_base + found as f64 / 10.0, naive as f64);
@@ -106,7 +110,13 @@ fn main() {
     );
     fig.series.push(Series::new("GreedyMaxPr"));
     fig.series.push(Series::new("GreedyNaive"));
-    run("CDC-firearms", |s| counters_firearms(s).unwrap(), &cfg, &mut fig, 0.0);
+    run(
+        "CDC-firearms",
+        |s| counters_firearms(s).unwrap(),
+        &cfg,
+        &mut fig,
+        0.0,
+    );
     run("URx", |s| counters_urx(s).unwrap(), &cfg, &mut fig, 1.0);
     fig.emit(&cfg);
 }

@@ -1,5 +1,7 @@
 //! Fig. 1 — effectiveness of algorithms in reducing uncertainty in
-//! claim *fairness* (modular objectives, §4.1).
+//! claim *fairness* (modular objectives, §4.1), served through the
+//! planner registry: one Gaussian MinVar [`Problem`] per dataset, one
+//! budget sweep per strategy.
 //!
 //! Panels: (a) Adoptions (with Random), (b) zoomed Adoptions without
 //! Random, (c) CDC-firearms, (d) CDC-causes. Each curve is the variance
@@ -8,65 +10,58 @@
 
 use fc_bench::gaussian_algos as ga;
 use fc_bench::{Figure, HarnessCfg, Series};
-use fc_core::algo::{greedy_min_var_gaussian, knapsack_optimum_min_var_gaussian};
-use fc_core::Budget;
+use fc_core::planner::Problem;
+use fc_core::{Budget, SolverRegistry};
 use fc_datasets::workloads::{
     cdc_causes_fairness, cdc_firearms_fairness, giuliani_fairness, FairnessWorkload,
 };
 use fc_uncertain::seeded::child_rng;
 
+const STRATEGIES: [(&str, &str); 4] = [
+    ("GreedyNaiveCostBlind", "greedy-naive-cost-blind"),
+    ("GreedyNaive", "greedy-naive"),
+    ("GreedyMinVar", "greedy"),
+    ("Optimum", "optimum-knapsack"),
+];
+
 fn panel(id: &str, title: &str, w: &FairnessWorkload, cfg: &HarnessCfg, with_random: bool) {
-    let benefits = ga::benefits(&w.instance, &w.weights);
+    let registry = SolverRegistry::with_defaults();
+    let problem = Problem::gaussian_min_var(w.instance.clone(), w.weights.clone()).unwrap();
     let total = w.instance.total_cost();
+    let fracs = cfg.budget_fracs();
+    let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
     let mut fig = Figure::new(
         id,
         title,
         "budget_frac",
         "variance in fairness after cleaning",
     );
-    let mut random = Series::new("Random");
-    let mut blind = Series::new("GreedyNaiveCostBlind");
-    let mut naive = Series::new("GreedyNaive");
-    let mut gmv = Series::new("GreedyMinVar");
-    let mut opt = Series::new("Optimum");
-    let runs = if cfg.quick { 20 } else { 100 };
-    let mut rng = child_rng(cfg.seed, 0xF1601);
-    for frac in cfg.budget_fracs() {
-        let budget = Budget::fraction(total, frac);
-        if with_random {
+    if with_random {
+        // Random is averaged over many draws, so it bypasses the
+        // single-shot registry solver and uses the raw baseline.
+        let benefits = ga::benefits(&w.instance, &w.weights);
+        let runs = if cfg.quick { 20 } else { 100 };
+        let mut rng = child_rng(cfg.seed, 0xF1601);
+        let mut random = Series::new("Random");
+        for (&frac, &budget) in fracs.iter().zip(&budgets) {
             let avg: f64 = (0..runs)
                 .map(|_| ga::remaining(&benefits, &ga::random(&w.instance, budget, &mut rng)))
                 .sum::<f64>()
-                / runs as f64;
+                / f64::from(runs);
             random.push(frac, avg);
         }
-        blind.push(
-            frac,
-            ga::remaining(&benefits, &ga::naive_cost_blind(&w.instance, &w.weights, budget)),
-        );
-        naive.push(
-            frac,
-            ga::remaining(&benefits, &ga::naive(&w.instance, &w.weights, budget)),
-        );
-        gmv.push(
-            frac,
-            ga::remaining(
-                &benefits,
-                &greedy_min_var_gaussian(&w.instance, &w.weights, budget),
-            ),
-        );
-        opt.push(
-            frac,
-            ga::remaining(
-                &benefits,
-                &knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget),
-            ),
-        );
-    }
-    if with_random {
         fig.series.push(random);
     }
-    fig.series.extend([blind, naive, gmv, opt]);
+    for (label, strategy) in STRATEGIES {
+        let plans = registry
+            .sweep(strategy, &problem, &budgets)
+            .expect("gaussian MinVar supports all fig01 strategies");
+        let mut series = Series::new(label);
+        for (&frac, plan) in fracs.iter().zip(&plans) {
+            series.push(frac, plan.after);
+        }
+        fig.series.push(series);
+    }
     fig.emit(cfg);
 }
 

@@ -3,7 +3,9 @@
 //! vs Best, expected variance of the duplicity measure vs budget.
 
 use fc_bench::{Figure, HarnessCfg, Series};
-use fc_core::algo::{best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig};
+use fc_core::algo::{
+    best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
+};
 use fc_core::Budget;
 use fc_datasets::workloads::{cdc_causes_uniqueness, cdc_firearms_uniqueness, UniquenessWorkload};
 

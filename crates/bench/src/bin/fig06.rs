@@ -13,7 +13,10 @@ fn panel(id: &str, kind: SyntheticKind, gammas: &[f64], cfg: &HarnessCfg) {
     let n = if cfg.quick { 20 } else { 40 };
     let mut fig = Figure::new(
         id,
-        format!("absolute improvement of GreedyMinVar over GreedyNaive ({})", kind.name()),
+        format!(
+            "absolute improvement of GreedyMinVar over GreedyNaive ({})",
+            kind.name()
+        ),
         "budget_frac",
         "naive_EV - gmv_EV",
     );
@@ -25,8 +28,7 @@ fn panel(id: &str, kind: SyntheticKind, gammas: &[f64], cfg: &HarnessCfg) {
         for frac in cfg.budget_fracs() {
             let budget = Budget::fraction(total, frac);
             let e_naive = eng.ev_of(greedy_naive(&w.instance, &w.query, budget).objects());
-            let e_gmv =
-                eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects());
+            let e_gmv = eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects());
             s.push(frac, (e_naive - e_gmv).max(0.0));
         }
         fig.series.push(s);

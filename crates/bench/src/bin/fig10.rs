@@ -34,7 +34,11 @@ fn main() {
     for pct in [0.01, 0.05, 0.10, 0.20, 0.30] {
         let budget = Budget::fraction(total, pct);
         let (sel, secs) = time_it(|| greedy_min_var_with_engine(&w.instance, &eng, budget));
-        println!("  budget {:>5.1}% -> cleaned {:>6} values in {secs:.3}s", pct * 100.0, sel.len());
+        println!(
+            "  budget {:>5.1}% -> cleaned {:>6} values in {secs:.3}s",
+            pct * 100.0,
+            sel.len()
+        );
         s.push(pct, secs);
     }
     fig_a.series.push(s);

@@ -14,8 +14,8 @@ use fc_bench::{Figure, HarnessCfg, Series};
 use fc_core::algo::{
     greedy_dep, greedy_min_var_gaussian, knapsack_optimum_min_var_gaussian, opt_gaussian,
 };
-use fc_core::ev::gaussian::MvnSemantics;
 use fc_core::ev::ev_gaussian_linear;
+use fc_core::ev::gaussian::MvnSemantics;
 use fc_core::{Budget, Selection};
 use fc_datasets::workloads::dependency_fairness;
 
@@ -26,8 +26,13 @@ fn main() {
     let w = dependency_fairness(cfg.seed, 0.7).unwrap();
     let total = w.instance.total_cost();
     let ev = |sel: &Selection| {
-        ev_gaussian_linear(&w.instance, &w.weights, sel.objects(), MvnSemantics::Conditional)
-            .unwrap()
+        ev_gaussian_linear(
+            &w.instance,
+            &w.weights,
+            sel.objects(),
+            MvnSemantics::Conditional,
+        )
+        .unwrap()
     };
     let mut fig_a = Figure::new(
         "fig11a",
@@ -54,9 +59,16 @@ fn main() {
         );
         optimum.push(
             frac,
-            ev(&knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget)),
+            ev(&knapsack_optimum_min_var_gaussian(
+                &w.instance,
+                &w.weights,
+                budget,
+            )),
         );
-        opt_full.push(frac, ev(&opt_gaussian(&w.instance, &w.weights, budget).unwrap()));
+        opt_full.push(
+            frac,
+            ev(&opt_gaussian(&w.instance, &w.weights, budget).unwrap()),
+        );
         dep.push(frac, ev(&greedy_dep(&w.instance, &w.weights, budget)));
     }
     fig_a
@@ -95,7 +107,10 @@ fn main() {
             gamma,
             ev(&greedy_min_var_gaussian(&w.instance, &w.weights, budget)),
         );
-        opt_full.push(gamma, ev(&opt_gaussian(&w.instance, &w.weights, budget).unwrap()));
+        opt_full.push(
+            gamma,
+            ev(&opt_gaussian(&w.instance, &w.weights, budget).unwrap()),
+        );
         dep.push(gamma, ev(&greedy_dep(&w.instance, &w.weights, budget)));
     }
     fig_b.series.extend([gmv, opt_full, dep]);

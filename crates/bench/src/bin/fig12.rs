@@ -1,6 +1,10 @@
 //! Fig. 12 — competing objectives (§4.6): when the current values are
 //! redrawn from the error model (so Theorem 3.9's centering assumption
 //! fails), Optimum-for-MinVar and GreedyMaxPr pursue different goals.
+//! Served through the planner: one Gaussian [`Problem`] per goal
+//! (marginal covariance semantics, the paper's algebra), registry
+//! sweeps across the budget fractions, and cross-scoring through
+//! [`Problem::objective_value`].
 //!
 //! (a) both algorithms scored on the MinVar objective (expected
 //!     variance); current values don't matter for it, so one workload
@@ -9,26 +13,41 @@
 //!     averaged over 100 redraws of the current values (10 in --quick).
 
 use fc_bench::{Figure, HarnessCfg, Series};
-use fc_core::algo::{greedy_max_pr, knapsack_optimum_min_var_gaussian};
-use fc_core::ev::ev_gaussian_linear;
 use fc_core::ev::gaussian::MvnSemantics;
-use fc_core::maxpr::surprise_prob_gaussian;
-use fc_core::{Budget, Selection};
-use fc_datasets::workloads::competing_objectives;
+use fc_core::planner::Problem;
+use fc_core::{Budget, EngineCache, SolverRegistry};
+use fc_datasets::workloads::{competing_objectives, CompetingWorkload};
+
+const TAU: f64 = 25.0;
+
+/// The two Fig. 12 problems for one workload draw.
+fn problems(w: &CompetingWorkload) -> (Problem, Problem) {
+    (
+        Problem::gaussian_min_var(w.instance.clone(), w.weights.clone())
+            .unwrap()
+            .with_semantics(MvnSemantics::Marginal),
+        Problem::gaussian_max_pr(w.instance.clone(), w.weights.clone(), TAU)
+            .unwrap()
+            .with_semantics(MvnSemantics::Marginal),
+    )
+}
 
 fn main() {
     let cfg = HarnessCfg::from_args();
-    let tau = 25.0;
     let reps = if cfg.quick { 10 } else { 100 };
     let fracs = cfg.budget_fracs();
+    let registry = SolverRegistry::with_defaults();
 
     // (a) MinVar objective, single draw.
     let w = competing_objectives(cfg.seed).unwrap();
     let total = w.instance.total_cost();
-    let ev = |sel: &Selection| {
-        ev_gaussian_linear(&w.instance, &w.weights, sel.objects(), MvnSemantics::Marginal)
-            .unwrap()
-    };
+    let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
+    let (minvar_problem, maxpr_problem) = problems(&w);
+    let minvar_plans = registry
+        .sweep("optimum-knapsack", &minvar_problem, &budgets)
+        .unwrap();
+    let maxpr_plans = registry.sweep("greedy", &maxpr_problem, &budgets).unwrap();
+
     let mut fig_a = Figure::new(
         "fig12a",
         "expected variance (MinVar objective)",
@@ -37,12 +56,16 @@ fn main() {
     );
     let mut a_minvar = Series::new("MinVar");
     let mut a_maxpr = Series::new("MaxPr");
-    for &frac in &fracs {
-        let budget = Budget::fraction(total, frac);
-        let sel_minvar = knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget);
-        let sel_maxpr = greedy_max_pr(&w.instance, &w.weights, budget, tau, MvnSemantics::Marginal);
-        a_minvar.push(frac, ev(&sel_minvar));
-        a_maxpr.push(frac, ev(&sel_maxpr));
+    let ev_cache = EngineCache::new();
+    for ((&frac, mv), mp) in fracs.iter().zip(&minvar_plans).zip(&maxpr_plans) {
+        a_minvar.push(frac, mv.after);
+        // Score the MaxPr selection under the MinVar objective.
+        a_maxpr.push(
+            frac,
+            minvar_problem
+                .objective_value(&ev_cache, mp.selection.objects())
+                .unwrap(),
+        );
     }
     fig_a.series.extend([a_minvar, a_maxpr]);
     fig_a.emit(&cfg);
@@ -50,41 +73,37 @@ fn main() {
     // (b) MaxPr objective, averaged over redraws of the current values.
     let mut fig_b = Figure::new(
         "fig12b",
-        format!("probability of countering (MaxPr objective, τ = {tau}, {reps} redraws)"),
+        format!("probability of countering (MaxPr objective, τ = {TAU}, {reps} redraws)"),
         "budget_frac",
         "probability",
     );
+    let mut p_minvar = vec![0.0f64; fracs.len()];
+    let mut p_maxpr = vec![0.0f64; fracs.len()];
+    for rep in 0..reps {
+        let w = competing_objectives(cfg.seed.wrapping_add(rep as u64)).unwrap();
+        let budgets: Vec<Budget> = fracs
+            .iter()
+            .map(|&f| Budget::fraction(w.instance.total_cost(), f))
+            .collect();
+        let (minvar_problem, maxpr_problem) = problems(&w);
+        let minvar_plans = registry
+            .sweep("optimum-knapsack", &minvar_problem, &budgets)
+            .unwrap();
+        let maxpr_plans = registry.sweep("greedy", &maxpr_problem, &budgets).unwrap();
+        let pr_cache = EngineCache::new();
+        for (i, (mv, mp)) in minvar_plans.iter().zip(&maxpr_plans).enumerate() {
+            // Score the MinVar selection under the MaxPr objective.
+            p_minvar[i] += maxpr_problem
+                .objective_value(&pr_cache, mv.selection.objects())
+                .unwrap();
+            p_maxpr[i] += mp.after;
+        }
+    }
     let mut b_minvar = Series::new("MinVar");
     let mut b_maxpr = Series::new("MaxPr");
-    for &frac in &fracs {
-        let mut p_minvar = 0.0;
-        let mut p_maxpr = 0.0;
-        for rep in 0..reps {
-            let w = competing_objectives(cfg.seed.wrapping_add(rep as u64)).unwrap();
-            let budget = Budget::fraction(w.instance.total_cost(), frac);
-            let sel_minvar =
-                knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget);
-            let sel_maxpr =
-                greedy_max_pr(&w.instance, &w.weights, budget, tau, MvnSemantics::Marginal);
-            p_minvar += surprise_prob_gaussian(
-                &w.instance,
-                &w.weights,
-                sel_minvar.objects(),
-                tau,
-                MvnSemantics::Marginal,
-            )
-            .unwrap();
-            p_maxpr += surprise_prob_gaussian(
-                &w.instance,
-                &w.weights,
-                sel_maxpr.objects(),
-                tau,
-                MvnSemantics::Marginal,
-            )
-            .unwrap();
-        }
-        b_minvar.push(frac, p_minvar / reps as f64);
-        b_maxpr.push(frac, p_maxpr / reps as f64);
+    for (i, &frac) in fracs.iter().enumerate() {
+        b_minvar.push(frac, p_minvar[i] / f64::from(reps));
+        b_maxpr.push(frac, p_maxpr[i] / f64::from(reps));
     }
     fig_b.series.extend([b_minvar, b_maxpr]);
     fig_b.emit(&cfg);

@@ -11,11 +11,11 @@
 //! the modular figures, and the in-action duplicity posterior used by
 //! Figs. 8/9.
 
+use fc_claims::DecomposableQuery;
 use fc_claims::DupQuery;
 use fc_core::algo::{greedy_static, GreedyConfig};
 use fc_core::ev::modular::modular_benefits_gaussian;
 use fc_core::{Budget, GaussianInstance, Instance, Selection};
-use fc_claims::DecomposableQuery;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -245,14 +245,8 @@ pub mod gaussian_algos {
     }
 
     /// `GreedyNaiveCostBlind`: descending marginal variance.
-    pub fn naive_cost_blind(
-        inst: &GaussianInstance,
-        weights: &[f64],
-        budget: Budget,
-    ) -> Selection {
-        let mut order: Vec<usize> = (0..inst.len())
-            .filter(|&i| weights[i] != 0.0)
-            .collect();
+    pub fn naive_cost_blind(inst: &GaussianInstance, weights: &[f64], budget: Budget) -> Selection {
+        let mut order: Vec<usize> = (0..inst.len()).filter(|&i| weights[i] != 0.0).collect();
         order.sort_by(|&a, &b| inst.variance(b).total_cmp(&inst.variance(a)));
         let mut sel = Selection::empty();
         for i in order {
@@ -266,7 +260,13 @@ pub mod gaussian_algos {
     /// `GreedyNaive`: marginal variance per unit cost.
     pub fn naive(inst: &GaussianInstance, weights: &[f64], budget: Budget) -> Selection {
         let benefits: Vec<f64> = (0..inst.len())
-            .map(|i| if weights[i] != 0.0 { inst.variance(i) } else { 0.0 })
+            .map(|i| {
+                if weights[i] != 0.0 {
+                    inst.variance(i)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         greedy_static(&benefits, inst.costs(), budget, GreedyConfig::default())
     }
@@ -307,15 +307,10 @@ pub fn dup_posterior(
     (mean, var.sqrt())
 }
 
-
 /// The Γ-sweep shared by Figs. 3/4/5: for each Γ, expected duplicity
 /// variance vs budget for GreedyNaive / GreedyMinVar / Best on the given
 /// synthetic generator.
-pub fn synthetic_uniqueness_sweep(
-    kind: fc_datasets::SyntheticKind,
-    fig_no: u8,
-    cfg: &HarnessCfg,
-) {
+pub fn synthetic_uniqueness_sweep(kind: fc_datasets::SyntheticKind, fig_no: u8, cfg: &HarnessCfg) {
     use fc_core::algo::{
         best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
     };
@@ -362,7 +357,6 @@ pub fn synthetic_uniqueness_sweep(
     }
 }
 
-
 /// The "effectiveness in action" simulation shared by Figs. 8/9 (§4.3):
 /// fix hidden truths, let each algorithm pick its set per budget, reveal
 /// the truth for the chosen objects, and report the posterior mean /
@@ -383,8 +377,7 @@ pub fn in_action_sweep(
     let truth: Vec<f64> = (0..w.instance.len())
         .map(|i| w.instance.dist(i).sample(&mut rng))
         .collect();
-    let all_revealed: Vec<(usize, f64)> =
-        (0..w.instance.len()).map(|i| (i, truth[i])).collect();
+    let all_revealed: Vec<(usize, f64)> = (0..w.instance.len()).map(|i| (i, truth[i])).collect();
     let true_dup = dup_posterior(&w.instance, &w.query, &all_revealed).0;
     println!("(true duplicity under the hidden values: {true_dup})\n");
 

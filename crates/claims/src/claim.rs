@@ -47,7 +47,11 @@ impl LinearClaim {
 
     /// A window *comparison* claim: `Σ later window − Σ earlier window`
     /// (positive = increase). Both windows have length `width`.
-    pub fn window_comparison(earlier_start: usize, later_start: usize, width: usize) -> Result<Self> {
+    pub fn window_comparison(
+        earlier_start: usize,
+        later_start: usize,
+        width: usize,
+    ) -> Result<Self> {
         let mut terms: Vec<(usize, f64)> = Vec::with_capacity(2 * width);
         terms.extend((earlier_start..earlier_start + width).map(|i| (i, -1.0)));
         terms.extend((later_start..later_start + width).map(|i| (i, 1.0)));
@@ -87,12 +91,7 @@ impl LinearClaim {
 
     /// Evaluates on a full value vector (indexed by object id).
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.bias
-            + self
-                .terms
-                .iter()
-                .map(|&(i, w)| w * values[i])
-                .sum::<f64>()
+        self.bias + self.terms.iter().map(|&(i, w)| w * values[i]).sum::<f64>()
     }
 
     /// Evaluates on values aligned with [`Self::objects`] (scoped form,
@@ -454,13 +453,7 @@ mod tests {
     fn direction_flips_delta() {
         let original = LinearClaim::window_sum(0, 2).unwrap();
         let p = LinearClaim::window_sum(2, 2).unwrap();
-        let cs = ClaimSet::new(
-            original,
-            vec![p],
-            vec![1.0],
-            Direction::LowerIsStronger,
-        )
-        .unwrap();
+        let cs = ClaimSet::new(original, vec![p], vec![1.0], Direction::LowerIsStronger).unwrap();
         let x = [10.0, 10.0, 3.0, 4.0];
         let theta = 20.0;
         // q1(x) = 7 < 20, and lower is stronger ⇒ Δ = +13.

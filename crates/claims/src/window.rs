@@ -58,10 +58,7 @@ pub fn window_comparison_family(
     lambda: f64,
     include_original: bool,
 ) -> Result<ClaimSet> {
-    if width == 0
-        || original_later_start < width
-        || original_later_start + width > series_len
-    {
+    if width == 0 || original_later_start < width || original_later_start + width > series_len {
         return Err(ClaimError::WindowOutOfRange {
             index: original_later_start,
             len: series_len,

@@ -1,8 +1,6 @@
 //! Property-based tests for the claim model.
 
-use fc_claims::{
-    window_comparison_family, window_sum_family, Direction, LinearClaim, Sensibility,
-};
+use fc_claims::{window_comparison_family, window_sum_family, Direction, LinearClaim, Sensibility};
 use proptest::prelude::*;
 
 proptest! {

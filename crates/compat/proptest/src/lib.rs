@@ -1,0 +1,345 @@
+//! Offline compatibility shim for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), [`prop_assert!`]/[`prop_assert_eq!`],
+//! range and tuple strategies, `prop::collection::vec`, and
+//! [`strategy::Strategy::prop_map`]. Cases are sampled from a
+//! deterministic per-case RNG — there is no shrinking; a failure reports
+//! the case index and the assertion message. Swap the path dependency
+//! for the real `proptest` to get shrinking and persistence.
+
+/// RNG plumbing used by the generated tests (an implementation detail of
+/// the [`proptest!`] expansion).
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::{Rng, SeedableRng, SmallRng};
+}
+
+/// Strategy: a recipe for sampling values of a given type.
+pub mod strategy {
+    use rand::SmallRng;
+
+    /// A value-generation recipe (no shrinking in this shim).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A constant strategy (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+    );
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::{Rng, SmallRng};
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// `Range<usize>`.
+    pub trait IntoLenRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut SmallRng) -> usize;
+    }
+
+    impl IntoLenRange for usize {
+        fn sample_len(&self, _rng: &mut SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLenRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoLenRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `Vec` strategy over `element` with length drawn from `len`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and failure plumbing.
+pub mod test_runner {
+    /// Per-`proptest!` configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real proptest defaults to 256; this shim trades case
+            // count for CI wall-clock (the workspace's properties are
+            // engine-heavy).
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Module alias so `prop::collection::vec(...)` resolves as in proptest.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// is expanded into a test that samples its arguments for a number of
+/// deterministic cases and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Item-muncher behind [`proptest!`] (implementation detail).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                // Per-test, per-case deterministic stream: hash the test
+                // name so sibling properties decorrelate.
+                let mut seed = 0xcbf2_9ce4_8422_2325u64;
+                for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                    seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                let mut rng = <$crate::__rng::SmallRng as $crate::__rng::SeedableRng>::seed_from_u64(
+                    seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!("proptest {} case {case} failed: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items!{ cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 1.0f64..2.0,
+            n in 3usize..6,
+            v in prop::collection::vec(0u64..10, 4),
+            pair in (0usize..3, -1.0f64..1.0),
+        ) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..6).contains(&n));
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!(pair.0 < 3 && pair.1.abs() <= 1.0);
+        }
+
+        #[test]
+        fn prop_map_applies(
+            doubled in (0u64..100).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(doubled % 2 == 0);
+        }
+
+        /// Mirrors `if cond { return Ok(()); }` use inside properties.
+        #[test]
+        fn early_return_ok_supported(flag in 0usize..2) {
+            if flag == 0 {
+                return Ok(());
+            }
+            prop_assert!(flag == 1);
+        }
+    }
+}

@@ -94,9 +94,7 @@ pub fn adaptive_max_pr_simulate(
             }
             let better = match &best {
                 None => true,
-                Some((_, bs)) => {
-                    (score.0, score.1, score.2) > (bs.0, bs.1, bs.2)
-                }
+                Some((_, bs)) => (score.0, score.1, score.2) > (bs.0, bs.1, bs.2),
             };
             if better {
                 best = Some((i, score));
@@ -114,8 +112,7 @@ pub fn adaptive_max_pr_simulate(
         // Clean: reveal the truth and pin the object there.
         let mut current = working.current().to_vec();
         current[obj] = truth[obj];
-        let mut dists: Vec<fc_uncertain::DiscreteDist> =
-            working.joint().dists().to_vec();
+        let mut dists: Vec<fc_uncertain::DiscreteDist> = working.joint().dists().to_vec();
         dists[obj] = fc_uncertain::DiscreteDist::point(truth[obj]);
         let costs = working.costs().to_vec();
         let cost_obj = working.cost(obj);
@@ -157,7 +154,7 @@ mod tests {
         let out = adaptive_max_pr_simulate(&inst, &q, Budget::absolute(4), 5.0, &truth).unwrap();
         assert!(out.surprised, "outcome: {out:?}");
         assert!(out.final_value < -5.0 + 1e-12); // bias scale: f = sum − 40
-        // Adaptivity should stop at or before cleaning everything.
+                                                 // Adaptivity should stop at or before cleaning everything.
         assert!(out.order.len() <= 4);
     }
 

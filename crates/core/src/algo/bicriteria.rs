@@ -16,7 +16,7 @@ use fc_claims::DecomposableQuery;
 
 /// Bi-criteria MinVar: greedy with budget inflated to `C/(1−α)`.
 /// `alpha` is clamped to `(0, 0.95]` to keep the inflation bounded.
-pub fn bicriteria_min_var<Q: DecomposableQuery>(
+pub fn bicriteria_min_var<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     query: &Q,
     budget: Budget,

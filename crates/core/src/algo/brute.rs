@@ -36,7 +36,11 @@ pub fn brute_force_best(
         let better = match &best {
             None => true,
             Some((bsel, bv)) => {
-                let improved = if minimize { v < *bv - 1e-15 } else { v > *bv + 1e-15 };
+                let improved = if minimize {
+                    v < *bv - 1e-15
+                } else {
+                    v > *bv + 1e-15
+                };
                 let tied = (v - *bv).abs() <= 1e-15;
                 improved || (tied && sel.cost() < bsel.cost())
             }

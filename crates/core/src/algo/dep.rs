@@ -14,29 +14,20 @@ use crate::selection::Selection;
 use crate::Result;
 
 /// `GreedyDep`: covariance-aware greedy over the Gaussian posterior.
-pub fn greedy_dep(
-    instance: &GaussianInstance,
-    weights: &[f64],
-    budget: Budget,
-) -> Selection {
+pub fn greedy_dep(instance: &GaussianInstance, weights: &[f64], budget: Budget) -> Selection {
     let candidates: Vec<usize> = (0..instance.len()).collect();
     greedy_exhaustive(
         &candidates,
         instance.costs(),
         budget,
         |sel, i| {
-            let base = ev_gaussian_linear(
-                instance,
-                weights,
-                sel.objects(),
-                MvnSemantics::Conditional,
-            )
-            .unwrap_or(f64::INFINITY);
+            let base =
+                ev_gaussian_linear(instance, weights, sel.objects(), MvnSemantics::Conditional)
+                    .unwrap_or(f64::INFINITY);
             let mut with: Vec<usize> = sel.objects().to_vec();
             with.push(i);
-            let after =
-                ev_gaussian_linear(instance, weights, &with, MvnSemantics::Conditional)
-                    .unwrap_or(f64::INFINITY);
+            let after = ev_gaussian_linear(instance, weights, &with, MvnSemantics::Conditional)
+                .unwrap_or(f64::INFINITY);
             base - after
         },
         GreedyConfig::default(),
@@ -55,13 +46,8 @@ pub fn opt_gaussian(
         instance.costs(),
         budget,
         |sel| {
-            ev_gaussian_linear(
-                instance,
-                weights,
-                sel.objects(),
-                MvnSemantics::Conditional,
-            )
-            .unwrap_or(f64::INFINITY)
+            ev_gaussian_linear(instance, weights, sel.objects(), MvnSemantics::Conditional)
+                .unwrap_or(f64::INFINITY)
         },
         true,
         crate::algo::brute::BRUTE_FORCE_MAX_N,
@@ -75,12 +61,7 @@ mod tests {
 
     fn correlated_instance(gamma: f64) -> GaussianInstance {
         let sds = [3.0, 1.0, 2.0, 1.5];
-        let mvn = MultivariateNormal::with_geometric_dependency(
-            vec![0.0; 4],
-            &sds,
-            gamma,
-        )
-        .unwrap();
+        let mvn = MultivariateNormal::with_geometric_dependency(vec![0.0; 4], &sds, gamma).unwrap();
         GaussianInstance::with_mvn(mvn, vec![0.0; 4], vec![2, 1, 2, 1]).unwrap()
     }
 

@@ -123,9 +123,7 @@ pub fn fptas_min_knapsack_cover(
         // with index ≤ g (canonical tie-break), and positive weight.
         let allowed: Vec<usize> = (0..n)
             .filter(|&i| {
-                i != g
-                    && weights[i] > 0.0
-                    && (weights[i] < wg || (weights[i] == wg && i < g))
+                i != g && weights[i] > 0.0 && (weights[i] < wg || (weights[i] == wg && i < g))
             })
             .collect();
         let k = epsilon * wg / n as f64;
@@ -263,7 +261,10 @@ mod tests {
 
     #[test]
     fn degenerate_cases() {
-        assert_eq!(fptas_max_knapsack(&[1.0], &[5], 1, 0.1).0, Vec::<usize>::new());
+        assert_eq!(
+            fptas_max_knapsack(&[1.0], &[5], 1, 0.1).0,
+            Vec::<usize>::new()
+        );
         assert_eq!(
             fptas_min_knapsack_cover(&[1.0, 1.0], &[1, 1], 0, 0.1).0,
             Vec::<usize>::new()

@@ -204,9 +204,7 @@ pub fn greedy_incremental<O: IncrementalOracle>(
             .iter()
             .copied()
             .filter(|&(i, _)| !sel.contains(i) && costs[i] <= budget.get())
-            .max_by(|a, b| {
-                (a.1 / costs[a.0] as f64).total_cmp(&(b.1 / costs[b.0] as f64))
-            });
+            .max_by(|a, b| (a.1 / costs[a.0] as f64).total_cmp(&(b.1 / costs[b.0] as f64)));
         if let Some((i, b)) = best {
             if b > chosen_benefit {
                 let mut only = Selection::empty();
@@ -268,9 +266,7 @@ pub fn greedy_exhaustive(
             .copied()
             .filter(|&i| costs[i] <= budget.get())
             .map(|i| (i, benefit(&empty, i)))
-            .max_by(|a, b| {
-                (a.1 / costs[a.0] as f64).total_cmp(&(b.1 / costs[b.0] as f64))
-            });
+            .max_by(|a, b| (a.1 / costs[a.0] as f64).total_cmp(&(b.1 / costs[b.0] as f64)));
         if let Some((i, b)) = best {
             if b > chosen_benefit {
                 let mut only = Selection::empty();

@@ -196,7 +196,10 @@ mod tests {
             // brute force
             let mut best = f64::INFINITY;
             for mask in 0u32..32 {
-                let c: u64 = (0..5).filter(|&i| mask >> i & 1 == 1).map(|i| costs[i]).sum();
+                let c: u64 = (0..5)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .map(|i| costs[i])
+                    .sum();
                 if c >= req.min(total) {
                     let ww: f64 = (0..5)
                         .filter(|&i| mask >> i & 1 == 1)
@@ -222,7 +225,10 @@ mod tests {
             assert!(c <= cap);
             let mut best = 0.0f64;
             for mask in 0u32..32 {
-                let cc: u64 = (0..5).filter(|&i| mask >> i & 1 == 1).map(|i| costs[i]).sum();
+                let cc: u64 = (0..5)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .map(|i| costs[i])
+                    .sum();
                 if cc <= cap {
                     let vv: f64 = (0..5)
                         .filter(|&i| mask >> i & 1 == 1)

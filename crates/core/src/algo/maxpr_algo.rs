@@ -27,9 +27,7 @@ pub fn greedy_max_pr(
     tau: f64,
     semantics: MvnSemantics,
 ) -> Selection {
-    let candidates: Vec<usize> = (0..instance.len())
-        .filter(|&i| weights[i] != 0.0)
-        .collect();
+    let candidates: Vec<usize> = (0..instance.len()).filter(|&i| weights[i] != 0.0).collect();
     greedy_exhaustive(
         &candidates,
         instance.costs(),
@@ -63,9 +61,7 @@ pub fn greedy_max_pr_discrete(
     let (weights, _) = query
         .as_affine(instance.len())
         .ok_or(CoreError::NotAffine)?;
-    let candidates: Vec<usize> = (0..instance.len())
-        .filter(|&i| weights[i] != 0.0)
-        .collect();
+    let candidates: Vec<usize> = (0..instance.len()).filter(|&i| weights[i] != 0.0).collect();
     Ok(greedy_exhaustive(
         &candidates,
         instance.costs(),
@@ -107,12 +103,7 @@ pub fn greedy_max_pr_centered(
     budget: Budget,
 ) -> Selection {
     let benefits = modular_benefits_gaussian(instance, weights);
-    greedy_static(
-        &benefits,
-        instance.costs(),
-        budget,
-        GreedyConfig::default(),
-    )
+    greedy_static(&benefits, instance.costs(), budget, GreedyConfig::default())
 }
 
 #[cfg(test)]
@@ -141,19 +132,15 @@ mod tests {
         )
         .unwrap();
         let q = BiasQuery::new(cs, 2.0);
-        let sel =
-            greedy_max_pr_discrete(&inst, &q, Budget::absolute(1), 7.0 / 12.0, None).unwrap();
+        let sel = greedy_max_pr_discrete(&inst, &q, Budget::absolute(1), 7.0 / 12.0, None).unwrap();
         assert_eq!(sel.objects(), &[1]);
     }
 
     #[test]
     fn centered_gaussian_greedy_matches_dp_direction() {
-        let g = GaussianInstance::centered_independent(
-            vec![0.0; 3],
-            &[3.0, 1.0, 2.0],
-            vec![1, 1, 1],
-        )
-        .unwrap();
+        let g =
+            GaussianInstance::centered_independent(vec![0.0; 3], &[3.0, 1.0, 2.0], vec![1, 1, 1])
+                .unwrap();
         let w = [1.0, 1.0, 1.0];
         let sel = greedy_max_pr_centered(&g, &w, Budget::absolute(2));
         let opt = max_pr_optimum_centered(&g, &w, Budget::absolute(2));
@@ -166,13 +153,9 @@ mod tests {
     fn greedy_max_pr_stops_when_cleaning_hurts() {
         // Object 1's mean sits far above its current value: cleaning it
         // would push the query up, killing the downward surprise.
-        let g = GaussianInstance::independent(
-            vec![0.0, 50.0],
-            &[2.0, 1.0],
-            vec![0.0, 0.0],
-            vec![1, 1],
-        )
-        .unwrap();
+        let g =
+            GaussianInstance::independent(vec![0.0, 50.0], &[2.0, 1.0], vec![0.0, 0.0], vec![1, 1])
+                .unwrap();
         let w = [1.0, 1.0];
         let sel = greedy_max_pr(&g, &w, Budget::absolute(2), 0.5, MvnSemantics::Marginal);
         assert_eq!(sel.objects(), &[0], "must refuse the harmful object");

@@ -16,12 +16,12 @@ use fc_claims::{DecomposableQuery, QueryFunction};
 /// Benefit oracle backed by the scoped Theorem 3.8 engine with
 /// incremental state — benefits are exact objective deltas
 /// `EV(T) − EV(T ∪ {i})`.
-struct ScopedOracle<'e, 'a, Q: DecomposableQuery> {
+struct ScopedOracle<'e, 'a, Q: DecomposableQuery + ?Sized> {
     eng: &'e ScopedEv<'a, Q>,
     st: EvState,
 }
 
-impl<Q: DecomposableQuery> IncrementalOracle for ScopedOracle<'_, '_, Q> {
+impl<Q: DecomposableQuery + ?Sized> IncrementalOracle for ScopedOracle<'_, '_, Q> {
     fn benefit(&mut self, candidate: usize) -> f64 {
         self.eng.delta(&self.st, candidate)
     }
@@ -43,18 +43,13 @@ impl<Q: DecomposableQuery> IncrementalOracle for ScopedOracle<'_, '_, Q> {
 ///   greedy, exact via claim-scope locality. (Benefits *grow* as the
 ///   chosen set grows — Lemma 3.5's reversed-sense submodularity — so a
 ///   classic lazy heap would be unsound here.)
-pub fn greedy_min_var<Q: DecomposableQuery>(
+pub fn greedy_min_var<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     query: &Q,
     budget: Budget,
 ) -> Selection {
     if let Ok(benefits) = modular_benefits(instance, query) {
-        return greedy_static(
-            &benefits,
-            instance.costs(),
-            budget,
-            GreedyConfig::default(),
-        );
+        return greedy_static(&benefits, instance.costs(), budget, GreedyConfig::default());
     }
     let eng = ScopedEv::new(instance, query);
     greedy_min_var_with_engine(instance, &eng, budget)
@@ -62,7 +57,7 @@ pub fn greedy_min_var<Q: DecomposableQuery>(
 
 /// `GreedyMinVar` reusing a prebuilt scoped engine (lets callers amortize
 /// the engine across budget sweeps).
-pub fn greedy_min_var_with_engine<Q: DecomposableQuery>(
+pub fn greedy_min_var_with_engine<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     eng: &ScopedEv<'_, Q>,
     budget: Budget,
@@ -85,7 +80,7 @@ pub fn greedy_min_var_with_engine<Q: DecomposableQuery>(
 /// recomputes every candidate's `EV` delta from scratch each iteration
 /// (no incremental state, no heap maintenance). Kept for the
 /// `ablate_incremental_ev` benchmark and as a correctness cross-check.
-pub fn greedy_min_var_from_scratch<Q: DecomposableQuery>(
+pub fn greedy_min_var_from_scratch<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     query: &Q,
     budget: Budget,
@@ -129,12 +124,7 @@ pub fn greedy_min_var_gaussian(
     budget: Budget,
 ) -> Selection {
     let benefits = modular_benefits_gaussian(instance, weights);
-    greedy_static(
-        &benefits,
-        instance.costs(),
-        budget,
-        GreedyConfig::default(),
-    )
+    greedy_static(&benefits, instance.costs(), budget, GreedyConfig::default())
 }
 
 /// `Optimum` over a Gaussian instance with a linear query (same caveats

@@ -207,12 +207,10 @@ mod tests {
         let useless = ResidualModel::uniform(3, 1.0).unwrap();
         let w = partial_modular_benefits(&inst, &q, &useless).unwrap();
         assert!(w.iter().all(|&x| x.abs() < 1e-12));
-        let sel =
-            greedy_min_var_partial(&inst, &q, &useless, Budget::absolute(3)).unwrap();
+        let sel = greedy_min_var_partial(&inst, &q, &useless, Budget::absolute(3)).unwrap();
         // Greedy may still fill the budget, but the benefit is zero —
         // Optimum correctly cleans nothing.
-        let opt =
-            optimum_min_var_partial(&inst, &q, &useless, Budget::absolute(3)).unwrap();
+        let opt = optimum_min_var_partial(&inst, &q, &useless, Budget::absolute(3)).unwrap();
         assert!(opt.is_empty());
         let _ = sel;
     }
@@ -227,8 +225,7 @@ mod tests {
         assert_eq!(sel.objects(), &[0]);
         // With full cleaning the pick would have been object 2.
         let full = ResidualModel::full_cleaning(3);
-        let sel_full =
-            optimum_min_var_partial(&inst, &q, &full, Budget::absolute(1)).unwrap();
+        let sel_full = optimum_min_var_partial(&inst, &q, &full, Budget::absolute(1)).unwrap();
         assert_eq!(sel_full.objects(), &[2]);
     }
 

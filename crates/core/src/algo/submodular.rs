@@ -41,7 +41,7 @@ impl Default for BestConfig {
 
 /// `Best`: approximate MinVar via submodular optimization (Theorem 3.7).
 /// Returns the cleaning selection `T = O \ S`.
-pub fn best_min_var<Q: DecomposableQuery>(
+pub fn best_min_var<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     query: &Q,
     budget: Budget,
@@ -52,7 +52,7 @@ pub fn best_min_var<Q: DecomposableQuery>(
 }
 
 /// [`best_min_var`] reusing a prebuilt scoped engine.
-pub fn best_min_var_with_engine<Q: DecomposableQuery>(
+pub fn best_min_var_with_engine<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     eng: &ScopedEv<'_, Q>,
     budget: Budget,
@@ -79,15 +79,13 @@ pub fn best_min_var_with_engine<Q: DecomposableQuery>(
 
     // Warm starts: (a) complement of the greedy MinVar solution,
     // (b) cheapest-per-damage cover of C̄.
-    let greedy_t =
-        crate::algo::minvar::greedy_min_var_with_engine(instance, eng, budget);
+    let greedy_t = crate::algo::minvar::greedy_min_var_with_engine(instance, eng, budget);
     let start_a = greedy_t.complement(n, costs);
     let start_b = {
         let mut order: Vec<usize> = (0..n).collect();
         // Keep-dirty preference: low damage ḡ(j|∅) per unit cost kept.
         order.sort_by(|&x, &y| {
-            (g_given_empty[x] / costs[x] as f64)
-                .total_cmp(&(g_given_empty[y] / costs[y] as f64))
+            (g_given_empty[x] / costs[x] as f64).total_cmp(&(g_given_empty[y] / costs[y] as f64))
         });
         let mut s = Selection::empty();
         for i in order {
@@ -218,14 +216,8 @@ mod tests {
             let budget = Budget::fraction(inst.total_cost(), 0.5);
             let sel = best_min_var(&inst, &q, budget, BestConfig::default());
             let ev_best = eng.ev_of(sel.objects());
-            let opt = brute_force_best(
-                inst.costs(),
-                budget,
-                |s| eng.ev_of(s.objects()),
-                true,
-                20,
-            )
-            .unwrap();
+            let opt = brute_force_best(inst.costs(), budget, |s| eng.ev_of(s.objects()), true, 20)
+                .unwrap();
             let ev_opt = eng.ev_of(opt.objects());
             // Not guaranteed optimal, but must be within a generous factor
             // on these toy instances (paper: "almost indistinguishable").

@@ -53,12 +53,9 @@ mod tests {
 
     #[test]
     fn conditional_never_exceeds_marginal() {
-        let mvn = MultivariateNormal::with_geometric_dependency(
-            vec![0.0; 4],
-            &[1.0, 2.0, 1.5, 0.5],
-            0.7,
-        )
-        .unwrap();
+        let mvn =
+            MultivariateNormal::with_geometric_dependency(vec![0.0; 4], &[1.0, 2.0, 1.5, 0.5], 0.7)
+                .unwrap();
         let g = GaussianInstance::with_mvn(mvn, vec![0.0; 4], vec![1; 4]).unwrap();
         let w = [1.0, 1.0, -1.0, 1.0];
         for cleaned in [vec![], vec![0], vec![1, 3], vec![0, 1, 2]] {
@@ -70,8 +67,8 @@ mod tests {
 
     #[test]
     fn duplicate_indices_tolerated() {
-        let g = GaussianInstance::centered_independent(vec![0.0; 2], &[1.0, 1.0], vec![1, 1])
-            .unwrap();
+        let g =
+            GaussianInstance::centered_independent(vec![0.0; 2], &[1.0, 1.0], vec![1, 1]).unwrap();
         let a = ev_gaussian_linear(&g, &[1.0, 1.0], &[0, 0], MvnSemantics::Marginal).unwrap();
         let b = ev_gaussian_linear(&g, &[1.0, 1.0], &[0], MvnSemantics::Marginal).unwrap();
         assert_eq!(a, b);

@@ -13,8 +13,13 @@ use fc_claims::QueryFunction;
 /// Lemma 3.1 benefits `wᵢ = aᵢ² Var[Xᵢ]` for an affine query over a
 /// discrete instance. Errors with [`CoreError::NotAffine`] when the query
 /// exposes no affine form.
-pub fn modular_benefits(instance: &Instance, query: &dyn QueryFunction) -> Result<Vec<f64>> {
-    let (weights, _b) = query.as_affine(instance.len()).ok_or(CoreError::NotAffine)?;
+pub fn modular_benefits<Q: QueryFunction + ?Sized>(
+    instance: &Instance,
+    query: &Q,
+) -> Result<Vec<f64>> {
+    let (weights, _b) = query
+        .as_affine(instance.len())
+        .ok_or(CoreError::NotAffine)?;
     Ok(weights
         .iter()
         .enumerate()

@@ -29,10 +29,7 @@ use fc_uncertain::DiscreteDist;
 
 /// Iterates the outcome space of `dists` (last axis fastest), passing
 /// per-axis positions, values, and the product probability.
-fn for_each_pos_outcome(
-    dists: &[&DiscreteDist],
-    mut f: impl FnMut(&[usize], &[f64], f64),
-) {
+fn for_each_pos_outcome(dists: &[&DiscreteDist], mut f: impl FnMut(&[usize], &[f64], f64)) {
     let k = dists.len();
     if k == 0 {
         f(&[], &[], 1.0);
@@ -115,7 +112,7 @@ impl EvState {
 }
 
 /// The scoped `EV` engine (see module docs).
-pub struct ScopedEv<'a, Q: DecomposableQuery> {
+pub struct ScopedEv<'a, Q: DecomposableQuery + ?Sized> {
     instance: &'a Instance,
     query: &'a Q,
     terms: Vec<TermInfo>,
@@ -124,9 +121,12 @@ pub struct ScopedEv<'a, Q: DecomposableQuery> {
     term_of_obj: Vec<Vec<u32>>,
     /// Pairs whose *shared* scope contains each object.
     pair_of_obj: Vec<Vec<u32>>,
+    /// Objective-evaluation counter (full `EV` computations and
+    /// incremental deltas), surfaced as planner diagnostics.
+    evals: std::cell::Cell<u64>,
 }
 
-impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
+impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
     /// Precomputes the T-independent quantities. Cost is
     /// `O(Σ_k V^{|S_k|} + Σ_{sharing pairs} V^{|S_k|})`.
     pub fn new(instance: &'a Instance, query: &'a Q) -> Self {
@@ -193,14 +193,18 @@ impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
             for ((pa, pb), pf) in a.iter().zip(&b).zip(&flat) {
                 first += pf * pa * pb;
             }
-            pairs.push((k1, k2, PairInfo {
-                shared,
-                shared_sizes,
-                shared_probs,
-                a,
-                b,
-                first,
-            }));
+            pairs.push((
+                k1,
+                k2,
+                PairInfo {
+                    shared,
+                    shared_sizes,
+                    shared_probs,
+                    a,
+                    b,
+                    first,
+                },
+            ));
         }
 
         Self {
@@ -210,7 +214,25 @@ impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
             pairs,
             term_of_obj,
             pair_of_obj,
+            evals: std::cell::Cell::new(0),
         }
+    }
+
+    /// Objective evaluations (full `EV` computations plus incremental
+    /// deltas) performed since construction or the last
+    /// [`Self::reset_eval_count`].
+    pub fn eval_count(&self) -> u64 {
+        self.evals.get()
+    }
+
+    /// Resets the evaluation counter (e.g. between sweep points).
+    pub fn reset_eval_count(&self) {
+        self.evals.set(0);
+    }
+
+    #[inline]
+    fn count_eval(&self) {
+        self.evals.set(self.evals.get() + 1);
     }
 
     /// Number of decomposed terms.
@@ -317,6 +339,7 @@ impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
 
     /// Stateless `EV(T)` for a cleaned mask.
     pub fn ev_of_mask(&self, cleaned: &[bool]) -> f64 {
+        self.count_eval();
         let mut ev = 0.0;
         for k in 0..self.terms.len() {
             ev += self.terms[k].e_g2 - self.term_second(k, cleaned, None);
@@ -374,6 +397,7 @@ impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
         if st.cleaned[i] {
             return 0.0;
         }
+        self.count_eval();
         let mut d = 0.0;
         for &k in &self.term_of_obj[i] {
             let k = k as usize;
@@ -392,6 +416,7 @@ impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
         if !st.cleaned[i] {
             return 0.0;
         }
+        self.count_eval();
         let mut d = 0.0;
         for &k in &self.term_of_obj[i] {
             let k = k as usize;
@@ -459,7 +484,7 @@ impl<'a, Q: DecomposableQuery> ScopedEv<'a, Q> {
 }
 
 /// `E[g_k | shared = s]` flat over the shared axes (in shared order).
-fn conditional_expectation_table<Q: DecomposableQuery>(
+fn conditional_expectation_table<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     query: &Q,
     k: usize,
@@ -519,8 +544,7 @@ mod tests {
     use crate::ev::exact::ev_exact;
     use fc_claims::query::IndicatorSense;
     use fc_claims::{
-        BiasQuery, ClaimSet, Direction, DupQuery, FragQuery, LinearClaim,
-        ThresholdIndicatorQuery,
+        BiasQuery, ClaimSet, Direction, DupQuery, FragQuery, LinearClaim, ThresholdIndicatorQuery,
     };
     use fc_uncertain::{rng_from_seed, DiscreteDist};
     use rand::Rng;

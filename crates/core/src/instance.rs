@@ -172,7 +172,11 @@ impl GaussianInstance {
         if let Some(object) = costs.iter().position(|&c| c == 0) {
             return Err(CoreError::ZeroCost { object });
         }
-        Ok(Self { mvn, current, costs })
+        Ok(Self {
+            mvn,
+            current,
+            costs,
+        })
     }
 
     /// Number of objects.
@@ -308,12 +312,9 @@ mod tests {
 
     #[test]
     fn gaussian_instance_roundtrip() {
-        let g = GaussianInstance::centered_independent(
-            vec![100.0, 200.0],
-            &[5.0, 10.0],
-            vec![3, 7],
-        )
-        .unwrap();
+        let g =
+            GaussianInstance::centered_independent(vec![100.0, 200.0], &[5.0, 10.0], vec![3, 7])
+                .unwrap();
         assert_eq!(g.len(), 2);
         assert!(g.is_independent());
         assert!((g.variance(1) - 100.0).abs() < 1e-12);
@@ -329,12 +330,8 @@ mod tests {
 
     #[test]
     fn gaussian_dependency_flag() {
-        let mvn = MultivariateNormal::with_geometric_dependency(
-            vec![0.0, 0.0],
-            &[1.0, 1.0],
-            0.5,
-        )
-        .unwrap();
+        let mvn = MultivariateNormal::with_geometric_dependency(vec![0.0, 0.0], &[1.0, 1.0], 0.5)
+            .unwrap();
         let g = GaussianInstance::with_mvn(mvn, vec![0.0, 0.0], vec![1, 1]).unwrap();
         assert!(!g.is_independent());
     }

@@ -26,16 +26,22 @@ pub mod budget;
 pub mod ev;
 pub mod instance;
 pub mod maxpr;
+pub mod planner;
 pub mod selection;
 
 pub use budget::Budget;
 pub use instance::{GaussianInstance, Instance};
+pub use planner::{EngineCache, Goal, Plan, PlanDiagnostics, Problem, Solver, SolverRegistry};
 pub use selection::Selection;
 
 use std::fmt;
 
 /// Errors from optimization-problem construction or solving.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm so future variants are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// Instance vectors had inconsistent lengths.
     LengthMismatch {
@@ -71,6 +77,25 @@ pub enum CoreError {
     NotAffine,
     /// An error bubbled up from the uncertainty substrate.
     Uncertain(fc_uncertain::UncertainError),
+    /// A strategy name did not resolve in the [`SolverRegistry`].
+    UnknownStrategy {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A named strategy cannot solve the given problem shape.
+    StrategyUnsupported {
+        /// The strategy that refused.
+        strategy: String,
+        /// Why (problem kind, goal, or query shape).
+        reason: String,
+    },
+    /// A budget fraction was NaN or otherwise non-finite.
+    NonFiniteBudgetFraction,
+    /// A builder was finalized before a required component was set.
+    BuilderIncomplete {
+        /// The missing component.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -91,6 +116,21 @@ impl fmt::Display for CoreError {
             }
             Self::NotAffine => write!(f, "query function is not affine"),
             Self::Uncertain(e) => write!(f, "uncertainty substrate: {e}"),
+            Self::UnknownStrategy { name } => {
+                write!(f, "unknown solver strategy {name:?}")
+            }
+            Self::StrategyUnsupported { strategy, reason } => {
+                write!(
+                    f,
+                    "strategy {strategy:?} cannot solve this problem: {reason}"
+                )
+            }
+            Self::NonFiniteBudgetFraction => {
+                write!(f, "budget fraction must be finite")
+            }
+            Self::BuilderIncomplete { what } => {
+                write!(f, "builder is missing a required component: {what}")
+            }
         }
     }
 }

@@ -10,8 +10,8 @@
 //! `GreedyMaxPr` runs reproducible.
 
 use crate::instance::Instance;
-use fc_claims::QueryFunction;
 use crate::{CoreError, Result};
+use fc_claims::QueryFunction;
 
 /// Default number of grid bins.
 pub const DEFAULT_BINS: usize = 1 << 14;
@@ -138,8 +138,7 @@ mod tests {
             let tau = rng.gen_range(0.0..5.0);
             let cleaned = vec![0, 2, 3];
             let exact = surprise_prob_exact(&inst, &q, &cleaned, tau, None).unwrap();
-            let conv =
-                surprise_prob_convolution(&inst, &q, &cleaned, tau, Some(1 << 16)).unwrap();
+            let conv = surprise_prob_convolution(&inst, &q, &cleaned, tau, Some(1 << 16)).unwrap();
             assert!(
                 (exact - conv).abs() < 5e-3,
                 "trial {trial}: exact {exact} vs conv {conv}"

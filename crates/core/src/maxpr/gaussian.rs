@@ -101,16 +101,11 @@ mod tests {
         // An object whose mean sits *above* its current value pushes the
         // deviation up, reducing the chance of a downward surprise — the
         // Fig. 12 "refuses to clean" behaviour.
-        let g = GaussianInstance::independent(
-            vec![10.0, 0.0],
-            &[1.0, 1.0],
-            vec![0.0, 0.0],
-            vec![1, 1],
-        )
-        .unwrap();
+        let g =
+            GaussianInstance::independent(vec![10.0, 0.0], &[1.0, 1.0], vec![0.0, 0.0], vec![1, 1])
+                .unwrap();
         let w = [1.0, 1.0];
-        let p_both =
-            surprise_prob_gaussian(&g, &w, &[0, 1], 0.5, MvnSemantics::Marginal).unwrap();
+        let p_both = surprise_prob_gaussian(&g, &w, &[0, 1], 0.5, MvnSemantics::Marginal).unwrap();
         let p_good = surprise_prob_gaussian(&g, &w, &[1], 0.5, MvnSemantics::Marginal).unwrap();
         assert!(
             p_good > p_both,
@@ -120,18 +115,13 @@ mod tests {
 
     #[test]
     fn centered_marginal_equals_conditional_for_independent() {
-        let g = GaussianInstance::centered_independent(
-            vec![1.0, 2.0],
-            &[0.5, 1.5],
-            vec![1, 1],
-        )
-        .unwrap();
+        let g = GaussianInstance::centered_independent(vec![1.0, 2.0], &[0.5, 1.5], vec![1, 1])
+            .unwrap();
         let w = [2.0, -1.0];
         for cleaned in [vec![0], vec![1], vec![0, 1]] {
-            let a = surprise_prob_gaussian(&g, &w, &cleaned, 0.3, MvnSemantics::Marginal)
-                .unwrap();
-            let b = surprise_prob_gaussian(&g, &w, &cleaned, 0.3, MvnSemantics::Conditional)
-                .unwrap();
+            let a = surprise_prob_gaussian(&g, &w, &cleaned, 0.3, MvnSemantics::Marginal).unwrap();
+            let b =
+                surprise_prob_gaussian(&g, &w, &cleaned, 0.3, MvnSemantics::Conditional).unwrap();
             assert!((a - b).abs() < 1e-12, "cleaned {cleaned:?}");
         }
     }
@@ -140,12 +130,8 @@ mod tests {
     fn correlated_conditional_shifts_mean() {
         // Centered at u, but correlated: observing X1 = u1 keeps the
         // conditional mean at u ⇒ still Φ(−τ/σ) with the Schur variance.
-        let mvn = MultivariateNormal::with_geometric_dependency(
-            vec![0.0, 0.0],
-            &[1.0, 1.0],
-            0.8,
-        )
-        .unwrap();
+        let mvn = MultivariateNormal::with_geometric_dependency(vec![0.0, 0.0], &[1.0, 1.0], 0.8)
+            .unwrap();
         let g = GaussianInstance::with_mvn(mvn, vec![0.0, 0.0], vec![1, 1]).unwrap();
         let w = [1.0, 0.0];
         let p = surprise_prob_gaussian(&g, &w, &[0], 0.5, MvnSemantics::Conditional).unwrap();

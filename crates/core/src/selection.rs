@@ -30,9 +30,7 @@ impl Selection {
     /// Builds from a boolean membership mask.
     pub fn from_mask(mask: &[bool], costs: &[u64]) -> Self {
         Self::from_objects(
-            mask.iter()
-                .enumerate()
-                .filter_map(|(i, &m)| m.then_some(i)),
+            mask.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)),
             costs,
         )
     }

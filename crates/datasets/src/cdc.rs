@@ -38,9 +38,23 @@ const FIREARMS: [f64; CDC_YEARS] = [
 
 /// Nonfatal transportation injury estimates (same period).
 const TRANSPORTATION: [f64; CDC_YEARS] = [
-    4_456_000.0, 4_380_000.0, 4_299_000.0, 4_251_000.0, 4_180_000.0, 4_092_000.0, 4_021_000.0,
-    3_949_000.0, 3_870_000.0, 3_848_000.0, 3_816_000.0, 3_894_000.0, 3_790_000.0, 3_851_000.0,
-    4_020_000.0, 4_133_000.0, 4_196_000.0,
+    4_456_000.0,
+    4_380_000.0,
+    4_299_000.0,
+    4_251_000.0,
+    4_180_000.0,
+    4_092_000.0,
+    4_021_000.0,
+    3_949_000.0,
+    3_870_000.0,
+    3_848_000.0,
+    3_816_000.0,
+    3_894_000.0,
+    3_790_000.0,
+    3_851_000.0,
+    4_020_000.0,
+    4_133_000.0,
+    4_196_000.0,
 ];
 
 /// Nonfatal drowning injury estimates (same period).
@@ -51,9 +65,23 @@ const DROWNING: [f64; CDC_YEARS] = [
 
 /// Nonfatal fall injury estimates (same period).
 const FALLS: [f64; CDC_YEARS] = [
-    7_910_000.0, 8_060_000.0, 8_190_000.0, 8_280_000.0, 8_110_000.0, 8_350_000.0, 8_420_000.0,
-    8_550_000.0, 8_690_000.0, 8_760_000.0, 8_950_000.0, 9_080_000.0, 9_170_000.0, 9_060_000.0,
-    9_210_000.0, 9_340_000.0, 9_450_000.0,
+    7_910_000.0,
+    8_060_000.0,
+    8_190_000.0,
+    8_280_000.0,
+    8_110_000.0,
+    8_350_000.0,
+    8_420_000.0,
+    8_550_000.0,
+    8_690_000.0,
+    8_760_000.0,
+    8_950_000.0,
+    9_080_000.0,
+    9_170_000.0,
+    9_060_000.0,
+    9_210_000.0,
+    9_340_000.0,
+    9_450_000.0,
 ];
 
 /// The four CDC-causes categories, in object-layout order.
@@ -159,10 +187,7 @@ mod tests {
         let causes = cdc_causes_series();
         assert_eq!(causes.len(), 68);
         // Year-major layout round trip.
-        assert_eq!(
-            causes[causes_object(3, CdcCause::Drowning)],
-            DROWNING[3]
-        );
+        assert_eq!(causes[causes_object(3, CdcCause::Drowning)], DROWNING[3]);
         assert_eq!(causes[causes_object(16, CdcCause::Falls)], FALLS[16]);
     }
 
@@ -177,9 +202,7 @@ mod tests {
         // The Fig. 1d claim: transportation > 30% of all other causes
         // combined (last 2-year period) — must hold on current values.
         let last2: f64 = (15..17).map(|y| TRANSPORTATION[y]).sum();
-        let others: f64 = (15..17)
-            .map(|y| FIREARMS[y] + DROWNING[y] + FALLS[y])
-            .sum();
+        let others: f64 = (15..17).map(|y| FIREARMS[y] + DROWNING[y] + FALLS[y]).sum();
         assert!(last2 > 0.3 * others, "claim should check out on u");
     }
 

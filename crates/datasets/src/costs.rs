@@ -22,7 +22,7 @@ pub fn extreme_costs<R: Rng + ?Sized>(n: usize, lo: u64, hi: u64, rng: &mut R) -
     (0..n)
         .map(|_| if rng.gen_bool(0.5) { lo } else { hi })
         .collect()
-    }
+}
 
 /// Recency-decreasing costs: position 0 (oldest) draws from
 /// `[base − step, base]`, position 1 from `[base − 2·step, base − step]`,

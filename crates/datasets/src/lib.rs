@@ -30,7 +30,7 @@ pub mod costs;
 pub mod synthetic;
 pub mod workloads;
 
-pub use adoptions::{adoptions_series, adoptions_gaussian, ADOPTIONS_FIRST_YEAR};
+pub use adoptions::{adoptions_gaussian, adoptions_series, ADOPTIONS_FIRST_YEAR};
 pub use cdc::{
     cdc_causes_gaussian, cdc_causes_series, cdc_firearms_gaussian, cdc_firearms_series,
     cdc_firearms_with_dependency, CdcCause, CDC_FIRST_YEAR, CDC_YEARS,

@@ -145,8 +145,9 @@ mod tests {
             assert!(d.min_value() >= 1.0 && d.max_value() <= 100.0);
         }
         // Support sizes should spread across 1..=6.
-        let sizes: std::collections::HashSet<usize> =
-            (0..inst.len()).map(|i| inst.dist(i).support_size()).collect();
+        let sizes: std::collections::HashSet<usize> = (0..inst.len())
+            .map(|i| inst.dist(i).support_size())
+            .collect();
         assert!(sizes.len() >= 5, "sizes seen: {sizes:?}");
     }
 
@@ -156,8 +157,12 @@ mod tests {
         // two methods."
         let ln = lnx(100, 7).unwrap();
         let ur = urx(100, 7).unwrap();
-        let ln_max = (0..ln.len()).map(|i| ln.dist(i).max_value()).fold(0.0, f64::max);
-        let ur_max = (0..ur.len()).map(|i| ur.dist(i).max_value()).fold(0.0, f64::max);
+        let ln_max = (0..ln.len())
+            .map(|i| ln.dist(i).max_value())
+            .fold(0.0, f64::max);
+        let ur_max = (0..ur.len())
+            .map(|i| ur.dist(i).max_value())
+            .fold(0.0, f64::max);
         assert!(ln_max < ur_max, "LNx max {ln_max} vs URx max {ur_max}");
     }
 

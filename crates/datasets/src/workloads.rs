@@ -3,8 +3,7 @@
 
 use crate::adoptions::adoptions_gaussian;
 use crate::cdc::{
-    cdc_causes_gaussian, cdc_firearms_gaussian, cdc_firearms_with_dependency, CdcCause,
-    CDC_YEARS,
+    cdc_causes_gaussian, cdc_firearms_gaussian, cdc_firearms_with_dependency, CdcCause, CDC_YEARS,
 };
 use crate::synthetic::{synthetic_instance, SyntheticKind};
 use fc_claims::{
@@ -85,8 +84,8 @@ pub fn cdc_causes_fairness(seed: u64) -> Result<FairnessWorkload> {
         perturbations.push(claim_for_year(y));
         distances.push(y.abs_diff(original_year) as f64);
     }
-    let sens = Sensibility::exponential_decay(LAMBDA, &distances)
-        .map_err(|_| CoreError::EmptyInstance)?;
+    let sens =
+        Sensibility::exponential_decay(LAMBDA, &distances).map_err(|_| CoreError::EmptyInstance)?;
     let claims = ClaimSet::new(
         original,
         perturbations,
@@ -196,8 +195,14 @@ pub fn synthetic_uniqueness(
 pub fn cdc_firearms_robustness(seed: u64) -> Result<RobustnessWorkload> {
     let g = cdc_firearms_gaussian(seed)?;
     let instance = g.discretize(6)?;
-    let claims = window_sum_family(CDC_YEARS, 2, CDC_YEARS - 2, Direction::HigherIsStronger, LAMBDA)
-        .map_err(|_| CoreError::EmptyInstance)?;
+    let claims = window_sum_family(
+        CDC_YEARS,
+        2,
+        CDC_YEARS - 2,
+        Direction::HigherIsStronger,
+        LAMBDA,
+    )
+    .map_err(|_| CoreError::EmptyInstance)?;
     let gamma = claims.original_value(instance.current());
     let query = FragQuery::new(claims, gamma);
     Ok(RobustnessWorkload { instance, query })
@@ -390,8 +395,7 @@ pub fn competing_objectives(seed: u64) -> Result<CompetingWorkload> {
         .collect();
     let means: Vec<f64> = (0..n).map(|i| centered.mean(i)).collect();
     let sds: Vec<f64> = (0..n).map(|i| centered.sd(i)).collect();
-    let instance =
-        GaussianInstance::independent(means, &sds, current, centered.costs().to_vec())?;
+    let instance = GaussianInstance::independent(means, &sds, current, centered.costs().to_vec())?;
     let claims = window_sum_family(n, 4, 4, Direction::HigherIsStronger, LAMBDA)
         .map_err(|_| CoreError::EmptyInstance)?;
     let theta = claims.original_value(instance.current());

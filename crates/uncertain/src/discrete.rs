@@ -169,12 +169,18 @@ impl DiscreteDist {
 
     /// `Pr[X < t]` (strict).
     pub fn prob_below(&self, t: f64) -> f64 {
-        self.iter().take_while(|&(v, _)| v < t).map(|(_, p)| p).sum()
+        self.iter()
+            .take_while(|&(v, _)| v < t)
+            .map(|(_, p)| p)
+            .sum()
     }
 
     /// `Pr[X <= t]`.
     pub fn prob_at_most(&self, t: f64) -> f64 {
-        self.iter().take_while(|&(v, _)| v <= t).map(|(_, p)| p).sum()
+        self.iter()
+            .take_while(|&(v, _)| v <= t)
+            .map(|(_, p)| p)
+            .sum()
     }
 
     /// `Pr[X >= t]`.

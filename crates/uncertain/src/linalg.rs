@@ -418,8 +418,7 @@ mod tests {
         let m = example_spd();
         let c = m.cholesky().unwrap();
         // det computed by cofactor expansion of the 3x3.
-        let det: f64 =
-            4.0 * (5.0 * 3.0 - 1.0) - 2.0 * (2.0 * 3.0 - 0.6) + 0.6 * (2.0 - 5.0 * 0.6);
+        let det: f64 = 4.0 * (5.0 * 3.0 - 1.0) - 2.0 * (2.0 * 3.0 - 0.6) + 0.6 * (2.0 - 5.0 * 0.6);
         assert!((c.log_det() - det.ln()).abs() < 1e-10);
     }
 }

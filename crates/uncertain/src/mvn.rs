@@ -80,7 +80,11 @@ impl MultivariateNormal {
         let mut cov = SymMatrix::zeros(n);
         for i in 0..n {
             for j in i..n {
-                let rho = if i == j { 1.0 } else { gamma.powi((j - i) as i32) };
+                let rho = if i == j {
+                    1.0
+                } else {
+                    gamma.powi((j - i) as i32)
+                };
                 cov.set(i, j, rho * sds[i] * sds[j]);
             }
         }
@@ -232,9 +236,7 @@ impl MultivariateNormal {
     /// Sampling with a pre-computed Cholesky factor (avoids refactorizing
     /// inside Monte Carlo loops).
     pub fn sample_with<R: Rng + ?Sized>(&self, chol: &Cholesky, rng: &mut R) -> Vec<f64> {
-        let z: Vec<f64> = (0..self.n())
-            .map(|_| standard_normal_sample(rng))
-            .collect();
+        let z: Vec<f64> = (0..self.n()).map(|_| standard_normal_sample(rng)).collect();
         let lz = chol.lower_times(&z);
         lz.iter().zip(&self.mean).map(|(a, m)| a + m).collect()
     }
@@ -251,12 +253,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn example() -> MultivariateNormal {
-        MultivariateNormal::with_geometric_dependency(
-            vec![10.0, 20.0, 30.0],
-            &[1.0, 2.0, 3.0],
-            0.5,
-        )
-        .unwrap()
+        MultivariateNormal::with_geometric_dependency(vec![10.0, 20.0, 30.0], &[1.0, 2.0, 3.0], 0.5)
+            .unwrap()
     }
 
     #[test]
@@ -270,9 +268,8 @@ mod tests {
 
     #[test]
     fn gamma_zero_is_diagonal() {
-        let m =
-            MultivariateNormal::with_geometric_dependency(vec![0.0, 0.0], &[2.0, 3.0], 0.0)
-                .unwrap();
+        let m = MultivariateNormal::with_geometric_dependency(vec![0.0, 0.0], &[2.0, 3.0], 0.0)
+            .unwrap();
         assert_eq!(m.cov().get(0, 1), 0.0);
         assert!((m.cov().get(1, 1) - 9.0).abs() < 1e-12);
     }
@@ -342,12 +339,8 @@ mod tests {
         // X = (X0, X1) with Cov = [[1, .5·1·2],[.5·1·2, 4]], mean (10, 20).
         // E[X0 | X1 = 22] = 10 + (1·0.5·2/4)·2 = 10.5;
         // Var[X0 | X1] = 1 − 1²·0.25·4/4 … = 1 − (1·0.5·2)²/4 = 0.75.
-        let m = MultivariateNormal::with_geometric_dependency(
-            vec![10.0, 20.0],
-            &[1.0, 2.0],
-            0.5,
-        )
-        .unwrap();
+        let m = MultivariateNormal::with_geometric_dependency(vec![10.0, 20.0], &[1.0, 2.0], 0.5)
+            .unwrap();
         let (hidden, mean, cov) = m.conditional(&[1], &[22.0]).unwrap();
         assert_eq!(hidden, vec![0]);
         assert!((mean[0] - 10.5).abs() < 1e-12, "mean {}", mean[0]);

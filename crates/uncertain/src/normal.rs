@@ -110,7 +110,11 @@ impl Normal {
             } else {
                 std_normal_quantile(hi_p)
             };
-            let phi_a = if alpha.is_finite() { std.pdf(alpha) } else { 0.0 };
+            let phi_a = if alpha.is_finite() {
+                std.pdf(alpha)
+            } else {
+                0.0
+            };
             let phi_b = if beta.is_finite() { std.pdf(beta) } else { 0.0 };
             let z = (phi_a - phi_b) / p;
             pairs.push((self.mean + self.sd * z, p));
@@ -267,10 +271,7 @@ mod tests {
         ];
         for (x, want) in cases {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "erf({x}) = {got}, want {want}");
             assert!((erf(-x) + want).abs() < 1e-12, "erf odd symmetry at {x}");
         }
     }
@@ -302,7 +303,18 @@ mod tests {
     #[test]
     fn quantile_round_trips() {
         let n = Normal::standard();
-        for &p in &[1e-10, 1e-6, 0.01, 0.05, 0.3, 0.5, 0.7, 0.95, 0.99, 1.0 - 1e-6] {
+        for &p in &[
+            1e-10,
+            1e-6,
+            0.01,
+            0.05,
+            0.3,
+            0.5,
+            0.7,
+            0.95,
+            0.99,
+            1.0 - 1e-6,
+        ] {
             let x = n.quantile(p);
             assert!(
                 (n.cdf(x) - p).abs() < 1e-12 * (1.0 + 1.0 / p.min(1.0 - p)).min(1e3),
@@ -325,11 +337,7 @@ mod tests {
         for k in [2, 4, 6, 8] {
             let d = n.discretize(k).unwrap();
             assert_eq!(d.support_size(), k);
-            assert!(
-                (d.mean() - 9300.0).abs() < 1e-6,
-                "k={k} mean {}",
-                d.mean()
-            );
+            assert!((d.mean() - 9300.0).abs() < 1e-6, "k={k} mean {}", d.mean());
             // Conditional-mean discretization underestimates variance but
             // should recover most of it by k=6.
             let ratio = d.variance() / n.variance();

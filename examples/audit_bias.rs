@@ -1,4 +1,5 @@
-//! When counter-hunting biases the audit (§4.6 / Fig. 12).
+//! When counter-hunting biases the audit (§4.6 / Fig. 12) — served
+//! through the unified planner over *Gaussian* instances.
 //!
 //! If the data's error model is centered on the current values, Theorem
 //! 3.9 says minimizing uncertainty (MinVar) and maximizing the chance of
@@ -10,14 +11,13 @@
 //!
 //! Run with: `cargo run --release --example audit_bias`
 
-use fc_core::algo::{greedy_max_pr, knapsack_optimum_min_var_gaussian};
-use fc_core::ev::{ev_gaussian_linear, gaussian::MvnSemantics};
-use fc_core::maxpr::surprise_prob_gaussian;
-use fc_core::Budget;
+use fc_core::planner::Problem;
+use fc_core::{Budget, SolverRegistry};
 use fc_datasets::workloads::competing_objectives;
 
 fn main() {
     let tau = 25.0;
+    let registry = SolverRegistry::with_defaults();
 
     // --- Part 1: centered errors ⇒ objectives align (Theorem 3.9) ---
     let w = competing_objectives(1).unwrap();
@@ -30,47 +30,72 @@ fn main() {
     )
     .unwrap();
     let budget = Budget::fraction(centered.total_cost(), 0.3);
-    let minvar = knapsack_optimum_min_var_gaussian(&centered, &w.weights, budget);
-    let maxpr = greedy_max_pr(&centered, &w.weights, budget, tau, MvnSemantics::Marginal);
+    let minvar = registry
+        .solve(
+            "auto",
+            &Problem::gaussian_min_var(centered.clone(), w.weights.clone()).unwrap(),
+            budget,
+        )
+        .unwrap();
+    let maxpr = registry
+        .solve(
+            "auto",
+            &Problem::gaussian_max_pr(centered, w.weights.clone(), tau).unwrap(),
+            budget,
+        )
+        .unwrap();
     println!("centered errors (Theorem 3.9 setting):");
-    println!("  MinVar cleans {:?}", minvar.objects());
-    println!("  MaxPr  cleans {:?}", maxpr.objects());
+    println!(
+        "  MinVar cleans {:?}   [{}]",
+        minvar.selection.objects(),
+        minvar.strategy
+    );
+    println!(
+        "  MaxPr  cleans {:?}   [{}]",
+        maxpr.selection.objects(),
+        maxpr.strategy
+    );
     println!(
         "  same set: {}\n",
-        if minvar == maxpr { "yes — objectives align" } else { "no" }
+        if minvar.selection == maxpr.selection {
+            "yes — objectives align"
+        } else {
+            "no"
+        }
     );
 
     // --- Part 2: redrawn current values ⇒ objectives diverge ---
+    // One Problem per goal, one budget sweep each: the planner shares
+    // engine state across the sweep points.
+    let minvar_problem = Problem::gaussian_min_var(w.instance.clone(), w.weights.clone()).unwrap();
+    let maxpr_problem =
+        Problem::gaussian_max_pr(w.instance.clone(), w.weights.clone(), tau).unwrap();
+    let pcts = [10u32, 20, 30, 50, 70, 90];
+    let budgets: Vec<Budget> = pcts
+        .iter()
+        .map(|&p| Budget::fraction(w.instance.total_cost(), f64::from(p) / 100.0))
+        .collect();
+    let minvar_plans = registry.sweep("auto", &minvar_problem, &budgets).unwrap();
+    let maxpr_plans = registry.sweep("auto", &maxpr_problem, &budgets).unwrap();
+
     println!("redrawn current values (Fig. 12 setting):");
     println!(
         "{:>8} {:>16} {:>16} {:>14} {:>14}",
         "budget%", "EV(MinVar set)", "EV(MaxPr set)", "Pr(MinVar)", "Pr(MaxPr)"
     );
-    for pct in [10, 20, 30, 50, 70, 90] {
-        let budget = Budget::fraction(w.instance.total_cost(), pct as f64 / 100.0);
-        let minvar = knapsack_optimum_min_var_gaussian(&w.instance, &w.weights, budget);
-        let maxpr = greedy_max_pr(&w.instance, &w.weights, budget, tau, MvnSemantics::Marginal);
-        let ev_of = |sel: &fc_core::Selection| {
-            ev_gaussian_linear(&w.instance, &w.weights, sel.objects(), MvnSemantics::Marginal)
-                .unwrap()
-        };
-        let pr_of = |sel: &fc_core::Selection| {
-            surprise_prob_gaussian(
-                &w.instance,
-                &w.weights,
-                sel.objects(),
-                tau,
-                MvnSemantics::Marginal,
-            )
-            .unwrap()
-        };
+    let minvar_cache = fc_core::EngineCache::new();
+    let maxpr_cache = fc_core::EngineCache::new();
+    for (i, &pct) in pcts.iter().enumerate() {
+        // Cross-evaluate each plan under the *other* goal's objective.
+        let ev_of_maxpr_set = minvar_problem
+            .objective_value(&minvar_cache, maxpr_plans[i].selection.objects())
+            .unwrap();
+        let pr_of_minvar_set = maxpr_problem
+            .objective_value(&maxpr_cache, minvar_plans[i].selection.objects())
+            .unwrap();
         println!(
             "{:>7}% {:>16.1} {:>16.1} {:>14.4} {:>14.4}",
-            pct,
-            ev_of(&minvar),
-            ev_of(&maxpr),
-            pr_of(&minvar),
-            pr_of(&maxpr),
+            pct, minvar_plans[i].after, ev_of_maxpr_set, pr_of_minvar_set, maxpr_plans[i].after,
         );
     }
     println!(

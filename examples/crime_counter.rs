@@ -49,7 +49,10 @@ fn main() {
     let total = w.instance.total_cost();
     let tau = w.tau;
 
-    println!("claim window value (current data): {:.0}", w.claims.original_value(w.instance.current()));
+    println!(
+        "claim window value (current data): {:.0}",
+        w.claims.original_value(w.instance.current())
+    );
     println!("counter exists under hidden truth: yes\n");
 
     let report = |name: &str, select: &dyn Fn(Budget) -> Selection| {

@@ -8,12 +8,12 @@
 //!
 //! Run with: `cargo run --release --example giuliani_adoptions`
 
+use fc_claims::BiasQuery;
 use fc_core::algo::{
     greedy_naive, greedy_naive_cost_blind, knapsack_optimum_min_var, random_select,
 };
 use fc_core::ev::modular::{ev_modular, modular_benefits};
 use fc_core::Budget;
-use fc_claims::BiasQuery;
 use fc_datasets::workloads::giuliani_fairness;
 use fc_uncertain::rng_from_seed;
 

@@ -52,8 +52,14 @@ fn main() {
     let full = ResidualModel::full_cleaning(5);
     let plan_full = optimum_min_var_partial(&instance, &query, &full, budget).unwrap();
     let plan_partial = optimum_min_var_partial(&instance, &query, &residual, budget).unwrap();
-    println!("assuming perfect cleaning, clean years {:?}", years(&plan_full));
-    println!("with realistic verification, clean years {:?}", years(&plan_partial));
+    println!(
+        "assuming perfect cleaning, clean years {:?}",
+        years(&plan_full)
+    );
+    println!(
+        "with realistic verification, clean years {:?}",
+        years(&plan_partial)
+    );
 
     // Execute two rounds of partial cleaning with the realistic model.
     let w0 = modular_benefits(&instance, &query).unwrap();

@@ -1,15 +1,14 @@
-//! Quickstart: fact-checking a crime-statistics claim (paper Example 2).
+//! Quickstart: fact-checking a crime-statistics claim (paper Example 2)
+//! through the unified planner API.
 //!
 //! "Crimes (in 2018) have gone up by more than 300 cases from last
 //! year." The underlying counts are uncertain; we have budget to clean
-//! only two of the five years. What should we clean — and does the
+//! only a few of the five years. What should we clean — and does the
 //! answer change if we only want to *counter* the claim?
 //!
 //! Run with: `cargo run --example quickstart`
 
 use fact_clean::prelude::*;
-use fact_clean::{CleaningSession, Objective};
-use fc_claims::{ClaimSet, Direction};
 
 fn main() {
     // Reported yearly crime counts, 2014–2018 (Example 2).
@@ -25,60 +24,79 @@ fn main() {
 
     // The claim compares 2018 against 2017; perturbations shift the
     // comparison through earlier year pairs.
-    let original = LinearClaim::window_comparison(3, 4, 1).unwrap();
-    let perturbations = vec![
-        LinearClaim::window_comparison(2, 3, 1).unwrap(),
-        LinearClaim::window_comparison(1, 2, 1).unwrap(),
-        LinearClaim::window_comparison(0, 1, 1).unwrap(),
-    ];
     let claims = ClaimSet::new(
-        original,
-        perturbations,
+        LinearClaim::window_comparison(3, 4, 1).unwrap(),
+        vec![
+            LinearClaim::window_comparison(2, 3, 1).unwrap(),
+            LinearClaim::window_comparison(1, 2, 1).unwrap(),
+            LinearClaim::window_comparison(0, 1, 1).unwrap(),
+        ],
         vec![1.0; 3],
         Direction::HigherIsStronger,
     )
     .unwrap();
 
-    let session = CleaningSession::new(instance, claims);
-    println!("claim value on current data: +{} cases", session.original_value());
+    let session = SessionBuilder::new()
+        .discrete(instance)
+        .claims(claims)
+        .build()
+        .unwrap();
+    println!(
+        "claim value on current data: +{} cases",
+        session.original_value()
+    );
     let (bias, dup, frag) = session.current_quality();
     println!("quality on current data: bias = {bias:.1}, dup = {dup}, frag = {frag:.1}\n");
 
+    // One batched request: ascertain every quality measure AND hunt a
+    // counterargument, all through the same solver registry.
     let budget = Budget::absolute(4);
-    for objective in [
-        Objective::AscertainFairness,
-        Objective::AscertainUniqueness,
-        Objective::AscertainRobustness,
-        Objective::FindCounter { tau: 10.0 },
-    ] {
-        let rec = session.recommend(objective, budget).unwrap();
+    let specs = [
+        ObjectiveSpec::ascertain(Measure::Bias),
+        ObjectiveSpec::ascertain(Measure::Dup),
+        ObjectiveSpec::ascertain(Measure::Frag),
+        ObjectiveSpec::find_counter(10.0),
+    ];
+    let plans = session.recommend_many(&specs, budget).unwrap();
+    for (spec, plan) in specs.iter().zip(&plans) {
         println!(
-            "{objective:?}\n  clean years {:?} (cost {}/{})\n  objective: {:.4} -> {:.4}   [{}]\n",
-            rec.selection
+            "{:?} / {}\n  clean years {:?} (cost {}/{})\n  objective: {:.4} -> {:.4}   [{}]\n",
+            spec.measure,
+            spec.goal,
+            plan.selection
                 .objects()
                 .iter()
                 .map(|&i| 2014 + i as u16)
                 .collect::<Vec<_>>(),
-            rec.selection.cost(),
+            plan.selection.cost(),
             budget.get(),
-            rec.before,
-            rec.after,
-            rec.algorithm,
+            plan.before,
+            plan.after,
+            plan.strategy,
         );
     }
 
+    // Budget sweeps share the engine prefix work across all points.
+    let budgets: Vec<Budget> = (0..=10).map(Budget::absolute).collect();
+    let sweep = session
+        .recommend_sweep(&ObjectiveSpec::ascertain(Measure::Dup), &budgets)
+        .unwrap();
+    println!("uniqueness EV by budget:");
+    for (b, plan) in budgets.iter().zip(&sweep) {
+        println!("  C = {:>2}: EV = {:.4}", b.get(), plan.after);
+    }
+    println!();
+
     // Simulate the recommended counter-hunt: cleaning reveals the upper
     // support value (the optimistic outcome GreedyMaxPr was betting on).
-    let rec = session
-        .recommend(Objective::FindCounter { tau: 10.0 }, budget)
-        .unwrap();
-    let revealed: Vec<f64> = rec
+    let plan = &plans[3];
+    let revealed: Vec<f64> = plan
         .selection
         .objects()
         .iter()
         .map(|&i| session.instance().dist(i).max_value())
         .collect();
-    let after = session.after_cleaning(&rec.selection, &revealed).unwrap();
+    let after = session.after_cleaning(&plan.selection, &revealed).unwrap();
     let (bias_before, _, _) = session.current_quality();
     let (bias_after, _, _) = after.current_quality();
     println!("after cleaning: bias {bias_before:.1} -> {bias_after:.1}");

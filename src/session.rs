@@ -1,20 +1,104 @@
-//! High-level fact-checker workflow.
+//! High-level fact-checker workflow over the unified planner.
 //!
-//! [`CleaningSession`] wraps a discrete [`Instance`] and a [`ClaimSet`]
-//! and answers the practitioner's question directly: *given my budget
-//! and goal, which values should I clean?* It routes to the right
-//! algorithm automatically (modular knapsack fast path for fairness,
-//! scoped-engine greedy for uniqueness/robustness, convolution-driven
-//! greedy for counter-hunting) and reports the objective before and
-//! after.
+//! [`CleaningSession`] pairs uncertain data — discrete **or** Gaussian
+//! ([`DataModel`]) — with the [`ClaimSet`] under scrutiny and answers
+//! the practitioner's question directly: *given my budget and goal,
+//! which values should I clean?* Objectives are requested as
+//! [`ObjectiveSpec`]s (measure × goal × strategy) and solved through a
+//! pluggable [`SolverRegistry`]; results come back as [`Plan`]s carrying
+//! the selection, the objective before/after, the resolved strategy
+//! name, and evaluation diagnostics.
+//!
+//! Serving entry points:
+//!
+//! * [`CleaningSession::recommend`] — one objective, one budget;
+//! * [`CleaningSession::recommend_many`] — a batch of objectives at one
+//!   budget (one request per measure the checker cares about);
+//! * [`CleaningSession::recommend_sweep`] — one objective across a
+//!   budget sweep, sharing the engine prefix work across all points
+//!   (the hot path of every figure binary).
 
-use fc_claims::{BiasQuery, ClaimSet, DupQuery, FragQuery};
-use fc_core::algo::{greedy_max_pr_discrete, greedy_min_var, knapsack_optimum_min_var};
-use fc_core::ev::scoped::ScopedEv;
-use fc_core::maxpr::surprise_prob_convolution;
-use fc_core::{Budget, Instance, Result, Selection};
+use std::sync::Arc;
 
-/// What the fact-checker wants from cleaning.
+use fc_claims::{BiasQuery, ClaimSet, DupQuery, FragQuery, QueryFunction};
+use fc_core::planner::{EngineCache, SharedQuery};
+use fc_core::{
+    Budget, CoreError, GaussianInstance, Instance, Plan, Problem, Result, Selection, SolverRegistry,
+};
+
+use crate::builder::SessionBuilder;
+use crate::planner::{Goal, Measure, ObjectiveSpec};
+
+/// The uncertain data underlying a session: the paper's discrete
+/// marginals, or a (multivariate) normal error model.
+#[derive(Debug, Clone)]
+pub enum DataModel {
+    /// Discrete, mutually independent marginals (§2.1).
+    Discrete(Instance),
+    /// Normal / multivariate-normal errors (§3.2, §4.5).
+    Gaussian(GaussianInstance),
+}
+
+impl DataModel {
+    /// Current (pre-cleaning) values `u`.
+    pub fn current(&self) -> &[f64] {
+        match self {
+            Self::Discrete(i) => i.current(),
+            Self::Gaussian(g) => g.current(),
+        }
+    }
+
+    /// Cleaning costs `c`.
+    pub fn costs(&self) -> &[u64] {
+        match self {
+            Self::Discrete(i) => i.costs(),
+            Self::Gaussian(g) => g.costs(),
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Discrete(i) => i.len(),
+            Self::Gaussian(g) => g.len(),
+        }
+    }
+
+    /// Whether the model has no objects (never true once validated).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cost of cleaning everything.
+    pub fn total_cost(&self) -> u64 {
+        self.costs().iter().sum()
+    }
+}
+
+fn unknown_goal(goal: Goal) -> CoreError {
+    CoreError::StrategyUnsupported {
+        strategy: "session".into(),
+        reason: format!("goal {goal} is not supported by this session version"),
+    }
+}
+
+impl From<Instance> for DataModel {
+    fn from(i: Instance) -> Self {
+        Self::Discrete(i)
+    }
+}
+
+impl From<GaussianInstance> for DataModel {
+    fn from(g: GaussianInstance) -> Self {
+        Self::Gaussian(g)
+    }
+}
+
+/// Legacy objective enum, superseded by [`ObjectiveSpec`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use ObjectiveSpec (ascertain/find_counter constructors); Objective converts via From"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Objective {
     /// MinVar on the fairness measure (`bias`).
@@ -31,43 +115,116 @@ pub enum Objective {
     },
 }
 
-/// A cleaning recommendation with its predicted effect.
+#[allow(deprecated)]
+impl From<Objective> for ObjectiveSpec {
+    fn from(o: Objective) -> Self {
+        match o {
+            Objective::AscertainFairness => ObjectiveSpec::ascertain(Measure::Bias),
+            Objective::AscertainUniqueness => ObjectiveSpec::ascertain(Measure::Dup),
+            Objective::AscertainRobustness => ObjectiveSpec::ascertain(Measure::Frag),
+            Objective::FindCounter { tau } => ObjectiveSpec::find_counter(tau),
+        }
+    }
+}
+
+/// Legacy recommendation shape, superseded by [`Plan`].
+#[deprecated(since = "0.2.0", note = "use Plan (recommend now returns it directly)")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
     /// The objects to clean.
     pub selection: Selection,
-    /// Objective value with no cleaning (expected variance for the
-    /// `Ascertain*` goals; surprise probability for `FindCounter`).
+    /// Objective value with no cleaning.
     pub before: f64,
     /// Predicted objective value after cleaning the selection.
     pub after: f64,
     /// Which algorithm produced the selection.
-    pub algorithm: &'static str,
+    pub algorithm: String,
 }
 
-/// A fact-checking session: uncertain data + the claim under scrutiny.
-#[derive(Debug, Clone)]
+#[allow(deprecated)]
+impl From<Plan> for Recommendation {
+    fn from(p: Plan) -> Self {
+        Self {
+            selection: p.selection,
+            before: p.before,
+            after: p.after,
+            algorithm: p.strategy,
+        }
+    }
+}
+
+/// A fact-checking session: uncertain data + the claim under scrutiny +
+/// the solver registry serving it.
+#[derive(Clone)]
 pub struct CleaningSession {
-    instance: Instance,
+    data: DataModel,
     claims: ClaimSet,
     theta: f64,
+    registry: Arc<SolverRegistry>,
+    discretize_support: usize,
+}
+
+impl std::fmt::Debug for CleaningSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CleaningSession")
+            .field("data", &self.data)
+            .field("theta", &self.theta)
+            .field("strategies", &self.registry.names().len())
+            .finish()
+    }
 }
 
 impl CleaningSession {
-    /// Starts a session; the claim's reference value `θ` is its result
-    /// on the current (uncleaned) data.
+    /// Starts a discrete session with the default registry; the claim's
+    /// reference value `θ` is its result on the current data. (The
+    /// builder form, [`CleaningSession::builder`], also accepts
+    /// Gaussian instances, a custom registry, and a θ override.)
     pub fn new(instance: Instance, claims: ClaimSet) -> Self {
-        let theta = claims.original_value(instance.current());
+        SessionBuilder::new()
+            .discrete(instance)
+            .claims(claims)
+            .build()
+            .expect("data and claims are set")
+    }
+
+    /// A fresh [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    pub(crate) fn from_parts(
+        data: DataModel,
+        claims: ClaimSet,
+        theta: f64,
+        registry: Arc<SolverRegistry>,
+        discretize_support: usize,
+    ) -> Self {
         Self {
-            instance,
+            data,
             claims,
             theta,
+            registry,
+            discretize_support,
         }
     }
 
-    /// The underlying instance.
+    /// The underlying data model.
+    pub fn data(&self) -> &DataModel {
+        &self.data
+    }
+
+    /// The underlying discrete instance.
+    ///
+    /// # Panics
+    /// For Gaussian sessions; use [`CleaningSession::data`] when the
+    /// error model is not statically known.
     pub fn instance(&self) -> &Instance {
-        &self.instance
+        match &self.data {
+            DataModel::Discrete(i) => i,
+            DataModel::Gaussian(_) => {
+                panic!("instance(): session uses the Gaussian error model; use data()")
+            }
+        }
     }
 
     /// The claim family under check.
@@ -75,14 +232,20 @@ impl CleaningSession {
         &self.claims
     }
 
-    /// The original claim's value on current data (`θ`).
+    /// The solver registry serving this session.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// The original claim's reference value (`θ`).
     pub fn original_value(&self) -> f64 {
         self.theta
     }
 
-    /// Claim-quality measures evaluated on the current data.
+    /// Claim-quality measures `(bias, dup, frag)` evaluated on the
+    /// current data.
     pub fn current_quality(&self) -> (f64, f64, f64) {
-        let u = self.instance.current();
+        let u = self.data.current();
         (
             self.claims.bias(u, self.theta),
             self.claims.dup(u, self.theta),
@@ -90,79 +253,151 @@ impl CleaningSession {
         )
     }
 
-    /// Recommends what to clean under `budget` for the given objective.
-    pub fn recommend(&self, objective: Objective, budget: Budget) -> Result<Recommendation> {
-        match objective {
-            Objective::AscertainFairness => {
+    /// Lowers an [`ObjectiveSpec`] onto a concrete [`Problem`]:
+    /// measure → query (discrete) or weights (Gaussian), goal → goal.
+    /// Gaussian data with a non-affine measure (`dup`/`frag`) is
+    /// discretized per §4.2 so the scoped engines apply.
+    pub fn build_problem(&self, spec: &ObjectiveSpec) -> Result<Problem> {
+        let goal = spec.goal;
+        match (&self.data, spec.measure) {
+            (DataModel::Discrete(instance), measure) => {
+                self.discrete_problem(instance.clone(), measure, goal)
+            }
+            (DataModel::Gaussian(g), Measure::Bias) => {
                 let q = BiasQuery::new(self.claims.clone(), self.theta);
-                let selection = knapsack_optimum_min_var(&self.instance, &q, budget)?;
-                let eng = ScopedEv::new(&self.instance, &q);
-                Ok(Recommendation {
-                    before: eng.ev_of(&[]),
-                    after: eng.ev_of(selection.objects()),
-                    selection,
-                    algorithm: "Optimum (knapsack DP, Lemma 3.2)",
-                })
+                let (weights, _) = q
+                    .as_affine(g.len())
+                    .expect("bias is affine for linear claims");
+                match goal {
+                    Goal::MinVar => Problem::gaussian_min_var(g.clone(), weights),
+                    Goal::MaxPr { tau } => Problem::gaussian_max_pr(g.clone(), weights, tau),
+                    _ => Err(unknown_goal(goal)),
+                }
             }
-            Objective::AscertainUniqueness => {
-                let q = DupQuery::new(self.claims.clone(), self.theta);
-                let selection = greedy_min_var(&self.instance, &q, budget);
-                let eng = ScopedEv::new(&self.instance, &q);
-                Ok(Recommendation {
-                    before: eng.ev_of(&[]),
-                    after: eng.ev_of(selection.objects()),
-                    selection,
-                    algorithm: "GreedyMinVar (scoped Theorem 3.8 engine)",
-                })
-            }
-            Objective::AscertainRobustness => {
-                let q = FragQuery::new(self.claims.clone(), self.theta);
-                let selection = greedy_min_var(&self.instance, &q, budget);
-                let eng = ScopedEv::new(&self.instance, &q);
-                Ok(Recommendation {
-                    before: eng.ev_of(&[]),
-                    after: eng.ev_of(selection.objects()),
-                    selection,
-                    algorithm: "GreedyMinVar (scoped Theorem 3.8 engine)",
-                })
-            }
-            Objective::FindCounter { tau } => {
-                let q = BiasQuery::new(self.claims.clone(), self.theta);
-                let selection =
-                    greedy_max_pr_discrete(&self.instance, &q, budget, tau, None)?;
-                let before = 0.0; // empty cleaning can never surprise (τ ≥ 0)
-                let after =
-                    surprise_prob_convolution(&self.instance, &q, selection.objects(), tau, None)?;
-                Ok(Recommendation {
-                    selection,
-                    before,
-                    after,
-                    algorithm: "GreedyMaxPr (binned convolution)",
-                })
+            (DataModel::Gaussian(g), measure) => {
+                // dup/frag need the discrete engines; discretize the
+                // normal marginals (§4.2: "6 and 4 discrete values").
+                let discrete = g.discretize(self.discretize_support)?;
+                self.discrete_problem(discrete, measure, goal)
             }
         }
+    }
+
+    fn discrete_problem(
+        &self,
+        instance: Instance,
+        measure: Measure,
+        goal: Goal,
+    ) -> Result<Problem> {
+        let query: SharedQuery = match measure {
+            Measure::Bias => Arc::new(BiasQuery::new(self.claims.clone(), self.theta)),
+            Measure::Dup => Arc::new(DupQuery::new(self.claims.clone(), self.theta)),
+            Measure::Frag => Arc::new(FragQuery::new(self.claims.clone(), self.theta)),
+        };
+        match goal {
+            Goal::MinVar => Problem::discrete_min_var(instance, query),
+            Goal::MaxPr { tau } => Problem::discrete_max_pr(instance, query, tau),
+            _ => Err(unknown_goal(goal)),
+        }
+    }
+
+    /// Recommends what to clean under `budget` for one objective.
+    pub fn recommend(&self, spec: impl Into<ObjectiveSpec>, budget: Budget) -> Result<Plan> {
+        let spec = spec.into();
+        let problem = self.build_problem(&spec)?;
+        self.registry.solve(spec.strategy.key(), &problem, budget)
+    }
+
+    /// Recommends for a batch of objectives at one budget — one request
+    /// per measure/goal the fact-checker cares about. Specs sharing a
+    /// measure and goal are lowered to one problem and share its engine
+    /// cache (so strategy A/B comparisons pay the scoped-EV prefix work
+    /// once).
+    pub fn recommend_many(&self, specs: &[ObjectiveSpec], budget: Budget) -> Result<Vec<Plan>> {
+        let mut keys: Vec<(Measure, Goal)> = Vec::new();
+        let mut problems: Vec<Problem> = Vec::new();
+        let mut index = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match keys
+                .iter()
+                .position(|&(m, g)| m == spec.measure && g == spec.goal)
+            {
+                Some(i) => index.push(i),
+                None => {
+                    keys.push((spec.measure, spec.goal));
+                    problems.push(self.build_problem(spec)?);
+                    index.push(problems.len() - 1);
+                }
+            }
+        }
+        let caches: Vec<EngineCache<'_>> = problems.iter().map(|_| EngineCache::new()).collect();
+        specs
+            .iter()
+            .zip(index)
+            .map(|(spec, i)| {
+                self.registry.solve_with_cache(
+                    spec.strategy.key(),
+                    &problems[i],
+                    budget,
+                    &caches[i],
+                )
+            })
+            .collect()
+    }
+
+    /// Recommends for one objective across a budget sweep, sharing the
+    /// engine prefix work (scoped-EV tables, modular benefits) across
+    /// all points.
+    pub fn recommend_sweep(&self, spec: &ObjectiveSpec, budgets: &[Budget]) -> Result<Vec<Plan>> {
+        let problem = self.build_problem(spec)?;
+        self.registry.sweep(spec.strategy.key(), &problem, budgets)
     }
 
     /// Applies a cleaning outcome: pins the selected objects at their
     /// revealed values (`revealed[k]` corresponds to
     /// `selection.objects()[k]`) and returns the updated session.
+    ///
+    /// Errors with [`CoreError::LengthMismatch`] when the revealed
+    /// values do not line up with the selection — a serving system must
+    /// not panic on caller input.
     pub fn after_cleaning(&self, selection: &Selection, revealed: &[f64]) -> Result<Self> {
-        assert_eq!(
-            revealed.len(),
-            selection.len(),
-            "one revealed value per cleaned object"
-        );
-        let mut dists = self.instance.joint().dists().to_vec();
-        let mut current = self.instance.current().to_vec();
+        if revealed.len() != selection.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "revealed values (one per cleaned object)",
+                expected: selection.len(),
+                got: revealed.len(),
+            });
+        }
+        let instance = match &self.data {
+            DataModel::Discrete(i) => i,
+            DataModel::Gaussian(_) => {
+                return Err(CoreError::StrategyUnsupported {
+                    strategy: "after_cleaning".into(),
+                    reason: "pinning revealed values requires the discrete error model; \
+                             discretize the Gaussian instance first"
+                        .into(),
+                })
+            }
+        };
+        let mut dists = instance.joint().dists().to_vec();
+        let mut current = instance.current().to_vec();
         for (&obj, &v) in selection.objects().iter().zip(revealed) {
+            if obj >= dists.len() {
+                return Err(CoreError::BadObject {
+                    object: obj,
+                    len: dists.len(),
+                });
+            }
             dists[obj] = fc_uncertain::DiscreteDist::point(v);
             current[obj] = v;
         }
-        let instance = Instance::new(dists, current, self.instance.costs().to_vec())?;
+        let instance = Instance::new(dists, current, instance.costs().to_vec())?;
         Ok(Self {
-            instance,
+            data: DataModel::Discrete(instance),
             claims: self.claims.clone(),
             theta: self.theta,
+            registry: Arc::clone(&self.registry),
+            discretize_support: self.discretize_support,
         })
     }
 
@@ -170,7 +405,7 @@ impl CleaningSession {
     /// any perturbation already weakens the claim.
     pub fn visible_counter(&self) -> Option<(usize, f64)> {
         self.claims
-            .strongest_counter(self.instance.current(), self.theta)
+            .strongest_counter(self.data.current(), self.theta)
     }
 }
 
@@ -191,7 +426,11 @@ mod tests {
         ];
         let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
         let instance = Instance::new(dists, current, vec![1; 5]).unwrap();
-        let claims = ClaimSet::new(
+        CleaningSession::new(instance, example_claims())
+    }
+
+    fn example_claims() -> ClaimSet {
+        ClaimSet::new(
             LinearClaim::window_comparison(3, 4, 1).unwrap(),
             vec![
                 LinearClaim::window_comparison(2, 3, 1).unwrap(),
@@ -201,8 +440,7 @@ mod tests {
             vec![1.0, 1.0, 1.0],
             Direction::HigherIsStronger,
         )
-        .unwrap();
-        CleaningSession::new(instance, claims)
+        .unwrap()
     }
 
     #[test]
@@ -216,46 +454,108 @@ mod tests {
     #[test]
     fn recommendations_respect_budget_and_reduce_ev() {
         let s = session();
-        for obj in [
-            Objective::AscertainFairness,
-            Objective::AscertainUniqueness,
-            Objective::AscertainRobustness,
-        ] {
-            let r = s.recommend(obj, Budget::absolute(2)).unwrap();
-            assert!(r.selection.cost() <= 2, "{obj:?}");
-            assert!(r.after <= r.before + 1e-12, "{obj:?}");
+        for measure in [Measure::Bias, Measure::Dup, Measure::Frag] {
+            let plan = s
+                .recommend(ObjectiveSpec::ascertain(measure), Budget::absolute(2))
+                .unwrap();
+            assert!(plan.selection.cost() <= 2, "{measure:?}");
+            assert!(plan.after <= plan.before + 1e-12, "{measure:?}");
+            assert!(
+                plan.strategy.starts_with("auto:"),
+                "{measure:?}: auto-routing reported ({})",
+                plan.strategy
+            );
         }
     }
 
     #[test]
     fn counter_recommendation_probability() {
         let s = session();
-        let r = s
-            .recommend(Objective::FindCounter { tau: 10.0 }, Budget::absolute(2))
+        let plan = s
+            .recommend(ObjectiveSpec::find_counter(10.0), Budget::absolute(2))
             .unwrap();
-        assert!(r.after >= r.before);
-        assert!(r.after <= 1.0);
+        assert!(plan.after >= plan.before);
+        assert!(plan.after <= 1.0);
+        assert_eq!(plan.strategy, "auto:greedy(convolution)");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_objective_enum_still_routes() {
+        let s = session();
+        let plan = s
+            .recommend(Objective::AscertainUniqueness, Budget::absolute(2))
+            .unwrap();
+        assert!(plan.selection.cost() <= 2);
+        let legacy: Recommendation = plan.into();
+        assert!(legacy.after <= legacy.before + 1e-12);
+        assert!(!legacy.algorithm.is_empty());
+    }
+
+    #[test]
+    fn strategy_override_is_honored() {
+        let s = session();
+        let plan = s
+            .recommend(
+                ObjectiveSpec::ascertain(Measure::Dup).with_strategy("best"),
+                Budget::absolute(2),
+            )
+            .unwrap();
+        assert_eq!(plan.strategy, "best");
+        let err = s
+            .recommend(
+                ObjectiveSpec::ascertain(Measure::Dup).with_strategy("nope"),
+                Budget::absolute(2),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownStrategy { .. }));
     }
 
     #[test]
     fn after_cleaning_pins_values() {
         let s = session();
-        let rec = s
-            .recommend(Objective::AscertainUniqueness, Budget::absolute(2))
+        let plan = s
+            .recommend(ObjectiveSpec::ascertain(Measure::Dup), Budget::absolute(2))
             .unwrap();
-        let revealed: Vec<f64> = rec
+        let revealed: Vec<f64> = plan
             .selection
             .objects()
             .iter()
             .map(|&i| s.instance().dist(i).max_value())
             .collect();
-        let s2 = s.after_cleaning(&rec.selection, &revealed).unwrap();
-        for (&obj, &v) in rec.selection.objects().iter().zip(&revealed) {
+        let s2 = s.after_cleaning(&plan.selection, &revealed).unwrap();
+        for (&obj, &v) in plan.selection.objects().iter().zip(&revealed) {
             assert!(s2.instance().dist(obj).is_certain());
             assert_eq!(s2.instance().current()[obj], v);
         }
         // θ stays anchored at the original claim's value on the original
         // current data.
         assert_eq!(s2.original_value(), s.original_value());
+    }
+
+    #[test]
+    fn after_cleaning_length_mismatch_is_typed() {
+        let s = session();
+        let plan = s
+            .recommend(ObjectiveSpec::ascertain(Measure::Dup), Budget::absolute(2))
+            .unwrap();
+        let err = s.after_cleaning(&plan.selection, &[]).unwrap_err();
+        assert!(
+            matches!(err, CoreError::LengthMismatch { expected, got, .. }
+                if expected == plan.selection.len() && got == 0),
+            "typed error instead of a panic"
+        );
+    }
+
+    #[test]
+    fn sweep_shares_before_and_is_monotone() {
+        let s = session();
+        let budgets: Vec<Budget> = (0..=5).map(Budget::absolute).collect();
+        let plans = s
+            .recommend_sweep(&ObjectiveSpec::ascertain(Measure::Dup), &budgets)
+            .unwrap();
+        for w in plans.windows(2) {
+            assert!(w[1].after <= w[0].after + 1e-9);
+        }
     }
 }

@@ -86,11 +86,9 @@ fn surprise_engines_agree() {
     let mut rng = rng_from_seed(4);
     for cleaned_len in [1usize, 3, 6] {
         let cleaned: Vec<usize> = (0..cleaned_len).collect();
-        let exact =
-            surprise_prob_exact(&w.instance, &w.query, &cleaned, w.tau, None).unwrap();
-        let conv =
-            surprise_prob_convolution(&w.instance, &w.query, &cleaned, w.tau, Some(1 << 16))
-                .unwrap();
+        let exact = surprise_prob_exact(&w.instance, &w.query, &cleaned, w.tau, None).unwrap();
+        let conv = surprise_prob_convolution(&w.instance, &w.query, &cleaned, w.tau, Some(1 << 16))
+            .unwrap();
         assert!(
             (exact - conv).abs() < 5e-3,
             "|T|={cleaned_len}: exact {exact} vs conv {conv}"

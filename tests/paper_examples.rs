@@ -112,7 +112,8 @@ fn example6_greedy_min_var_vs_naive() {
 /// cleans what matters, and surfaces the counterargument.
 #[test]
 fn example2_session_flow() {
-    use fact_clean::{CleaningSession, Objective};
+    use fact_clean::planner::{Measure, ObjectiveSpec};
+    use fact_clean::CleaningSession;
     let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
     let dists: Vec<DiscreteDist> = current
         .iter()
@@ -134,7 +135,7 @@ fn example2_session_flow() {
     assert_eq!(session.original_value(), 305.0);
 
     let rec = session
-        .recommend(Objective::AscertainUniqueness, Budget::absolute(2))
+        .recommend(ObjectiveSpec::ascertain(Measure::Dup), Budget::absolute(2))
         .unwrap();
     assert!(rec.selection.cost() <= 2);
     assert!(rec.after <= rec.before);

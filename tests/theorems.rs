@@ -14,9 +14,8 @@ use proptest::prelude::*;
 
 /// Strategy: a small random discrete instance over `n` objects.
 fn arb_instance(n: usize) -> impl Strategy<Value = Instance> {
-    let dist = prop::collection::vec((1.0f64..20.0, 0.1f64..1.0), 1..4).prop_map(|pairs| {
-        DiscreteDist::from_weights(pairs).expect("positive weights")
-    });
+    let dist = prop::collection::vec((1.0f64..20.0, 0.1f64..1.0), 1..4)
+        .prop_map(|pairs| DiscreteDist::from_weights(pairs).expect("positive weights"));
     (
         prop::collection::vec(dist, n),
         prop::collection::vec(1u64..6, n),
@@ -167,8 +166,7 @@ fn theorem_3_9_alignment() {
         let u: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..150.0)).collect();
         let sds: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
         let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..5)).collect();
-        let mvn =
-            MultivariateNormal::with_geometric_dependency(u.clone(), &sds, gamma).unwrap();
+        let mvn = MultivariateNormal::with_geometric_dependency(u.clone(), &sds, gamma).unwrap();
         let inst = GaussianInstance::with_mvn(mvn, u, costs).unwrap();
         let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
         let tau = 1.0;
@@ -203,20 +201,12 @@ fn theorem_3_9_alignment() {
             )
             .unwrap();
             // The argmax/argmin coincide: both maximize w_T Σ_TT w_T.
-            let v_min = ev_gaussian_linear(
-                &inst,
-                &weights,
-                minvar.objects(),
-                MvnSemantics::Marginal,
-            )
-            .unwrap();
-            let v_max = ev_gaussian_linear(
-                &inst,
-                &weights,
-                maxpr.objects(),
-                MvnSemantics::Marginal,
-            )
-            .unwrap();
+            let v_min =
+                ev_gaussian_linear(&inst, &weights, minvar.objects(), MvnSemantics::Marginal)
+                    .unwrap();
+            let v_max =
+                ev_gaussian_linear(&inst, &weights, maxpr.objects(), MvnSemantics::Marginal)
+                    .unwrap();
             assert!(
                 (v_min - v_max).abs() < 1e-9,
                 "seed {seed} γ={gamma} b={budget_frac}: EV of MinVar set {v_min} ≠ EV of MaxPr set {v_max}"
@@ -229,48 +219,53 @@ fn theorem_3_9_alignment() {
 /// the MinVar and MaxPr optima can differ even when centered at `u`,
 /// because the cross-covariance between the cleaned and uncleaned parts
 /// depends on `T` (the quantity the paper's appendix argument drops).
-/// This pins the concrete counterexample we found so the behaviour is
-/// documented and stable.
+/// A counterexample must surface within a small window of random
+/// instances (searching a seed window instead of pinning one seed keeps
+/// the test independent of the RNG backend's exact stream).
 #[test]
 fn theorem_3_9_correlated_counterexample() {
-    let n = 6;
-    let mut rng = fc_uncertain::rng_from_seed(2);
     use rand::Rng;
-    let u: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..150.0)).collect();
-    let sds: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
-    let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..5)).collect();
-    let mvn = MultivariateNormal::with_geometric_dependency(u.clone(), &sds, 0.4).unwrap();
-    let inst = GaussianInstance::with_mvn(mvn, u, costs).unwrap();
-    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
-    let budget = Budget::fraction(inst.total_cost(), 0.3);
-    let minvar = brute_force_best(
-        inst.costs(),
-        budget,
-        |sel| ev_gaussian_linear(&inst, &weights, sel.objects(), MvnSemantics::Marginal).unwrap(),
-        true,
-        20,
-    )
-    .unwrap();
-    let maxpr = brute_force_best(
-        inst.costs(),
-        budget,
-        |sel| {
-            surprise_prob_gaussian(&inst, &weights, sel.objects(), 1.0, MvnSemantics::Marginal)
-                .unwrap()
-        },
-        false,
-        20,
-    )
-    .unwrap();
-    let ev_of = |sel: &fc_core::Selection| {
-        ev_gaussian_linear(&inst, &weights, sel.objects(), MvnSemantics::Marginal).unwrap()
-    };
-    assert!(
-        (ev_of(&minvar) - ev_of(&maxpr)).abs() > 1e-6,
-        "the counterexample gap should persist ({} vs {})",
-        ev_of(&minvar),
-        ev_of(&maxpr)
-    );
+    let n = 6;
+    let mut max_gap = 0.0f64;
+    for seed in 0..24u64 {
+        let mut rng = fc_uncertain::rng_from_seed(seed);
+        let u: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..150.0)).collect();
+        let sds: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..5)).collect();
+        let mvn = MultivariateNormal::with_geometric_dependency(u.clone(), &sds, 0.4).unwrap();
+        let inst = GaussianInstance::with_mvn(mvn, u, costs).unwrap();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let budget = Budget::fraction(inst.total_cost(), 0.3);
+        let minvar = brute_force_best(
+            inst.costs(),
+            budget,
+            |sel| {
+                ev_gaussian_linear(&inst, &weights, sel.objects(), MvnSemantics::Marginal).unwrap()
+            },
+            true,
+            20,
+        )
+        .unwrap();
+        let maxpr = brute_force_best(
+            inst.costs(),
+            budget,
+            |sel| {
+                surprise_prob_gaussian(&inst, &weights, sel.objects(), 1.0, MvnSemantics::Marginal)
+                    .unwrap()
+            },
+            false,
+            20,
+        )
+        .unwrap();
+        let ev_of = |sel: &fc_core::Selection| {
+            ev_gaussian_linear(&inst, &weights, sel.objects(), MvnSemantics::Marginal).unwrap()
+        };
+        max_gap = max_gap.max((ev_of(&minvar) - ev_of(&maxpr)).abs());
+        if max_gap > 1e-6 {
+            return;
+        }
+    }
+    panic!("no correlated counterexample in the seed window (max gap {max_gap})");
 }
 
 /// The alignment breaks when the distribution is *not* centered at the
@@ -280,13 +275,9 @@ fn theorem_3_9_correlated_counterexample() {
 fn theorem_3_9_needs_centering() {
     // Object 0: high variance but mean far above current (cleaning it
     // likely pushes the query up). Object 1: modest variance, centered.
-    let inst = GaussianInstance::independent(
-        vec![30.0, 0.0],
-        &[5.0, 3.0],
-        vec![0.0, 0.0],
-        vec![1, 1],
-    )
-    .unwrap();
+    let inst =
+        GaussianInstance::independent(vec![30.0, 0.0], &[5.0, 3.0], vec![0.0, 0.0], vec![1, 1])
+            .unwrap();
     let weights = [1.0, 1.0];
     let tau = 1.0;
     let budget = Budget::absolute(1);
@@ -310,5 +301,9 @@ fn theorem_3_9_needs_centering() {
     )
     .unwrap();
     assert_eq!(minvar.objects(), &[0], "MinVar wants the high variance");
-    assert_eq!(maxpr.objects(), &[1], "MaxPr avoids the upward-shifted mean");
+    assert_eq!(
+        maxpr.objects(),
+        &[1],
+        "MaxPr avoids the upward-shifted mean"
+    );
 }
