@@ -1,31 +1,53 @@
 //! Fig. 2 — reducing uncertainty in claim *uniqueness* on the CDC
 //! datasets (non-modular objectives, §4.2): GreedyNaive vs GreedyMinVar
 //! vs Best, expected variance of the duplicity measure vs budget.
+//! Served through the planner registry (one discrete MinVar [`Problem`]
+//! per dataset, one batch of strategy × budget jobs over it — jobs on
+//! one problem share a single engine cache, so the scoped-EV tables are
+//! built once per panel, not once per strategy).
+
+use std::sync::Arc;
 
 use fc_bench::{Figure, HarnessCfg, Series};
-use fc_core::algo::{
-    best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
-};
-use fc_core::Budget;
+use fc_core::planner::Problem;
+use fc_core::{BatchJob, Budget, ExecOptions, SolverRegistry};
 use fc_datasets::workloads::{cdc_causes_uniqueness, cdc_firearms_uniqueness, UniquenessWorkload};
 
+const STRATEGIES: [(&str, &str); 3] = [
+    ("GreedyNaive", "greedy-naive"),
+    ("GreedyMinVar", "greedy"),
+    ("Best", "best"),
+];
+
 fn panel(id: &str, title: &str, w: &UniquenessWorkload, cfg: &HarnessCfg) {
-    let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+    let registry = SolverRegistry::with_defaults();
+    let problem = Problem::discrete_min_var(w.instance.clone(), Arc::new(w.query.clone())).unwrap();
     let total = w.instance.total_cost();
+    let fracs = cfg.budget_fracs();
+    let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
     let mut fig = Figure::new(id, title, "budget_frac", "expected variance after cleaning");
-    let mut naive = Series::new("GreedyNaive");
-    let mut gmv = Series::new("GreedyMinVar");
-    let mut best = Series::new("Best");
-    for frac in cfg.budget_fracs() {
-        let budget = Budget::fraction(total, frac);
-        let s_naive = greedy_naive(&w.instance, &w.query, budget);
-        naive.push(frac, eng.ev_of(s_naive.objects()));
-        let s_gmv = greedy_min_var_with_engine(&w.instance, &eng, budget);
-        gmv.push(frac, eng.ev_of(s_gmv.objects()));
-        let s_best = best_min_var_with_engine(&w.instance, &eng, budget, BestConfig::default());
-        best.push(frac, eng.ev_of(s_best.objects()));
+    let problem = &problem;
+    let jobs: Vec<BatchJob<'_>> = STRATEGIES
+        .iter()
+        .flat_map(|&(_, strategy)| {
+            budgets.iter().map(move |&budget| BatchJob {
+                strategy,
+                problem,
+                budget,
+                key: None,
+            })
+        })
+        .collect();
+    let plans = registry
+        .solve_batch(&jobs, &ExecOptions::default())
+        .expect("discrete MinVar supports all fig02 strategies");
+    for ((label, _), plans) in STRATEGIES.iter().zip(plans.chunks(budgets.len())) {
+        let mut series = Series::new(*label);
+        for (&frac, plan) in fracs.iter().zip(plans) {
+            series.push(frac, plan.after);
+        }
+        fig.series.push(series);
     }
-    fig.series.extend([naive, gmv, best]);
     fig.emit(cfg);
 }
 

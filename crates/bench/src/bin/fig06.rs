@@ -1,16 +1,22 @@
 //! Fig. 6 — *absolute* improvement of GreedyMinVar over GreedyNaive in
 //! expected duplicity variance, as a function of budget, one curve per
 //! Γ: (a) URx, (b) LNx. Larger initial uncertainty ⇒ larger absolute
-//! improvement (§4.2's reading of the figure).
+//! improvement (§4.2's reading of the figure). Served through the
+//! planner registry: one discrete MinVar [`Problem`] per Γ, both
+//! strategies batched over it so they share one engine cache (the
+//! scoped-EV tables build once per Γ, not once per strategy).
+
+use std::sync::Arc;
 
 use fc_bench::{Figure, HarnessCfg, Series};
-use fc_core::algo::{greedy_min_var_with_engine, greedy_naive};
-use fc_core::Budget;
+use fc_core::planner::Problem;
+use fc_core::{BatchJob, Budget, ExecOptions, SolverRegistry};
 use fc_datasets::workloads::synthetic_uniqueness;
 use fc_datasets::SyntheticKind;
 
 fn panel(id: &str, kind: SyntheticKind, gammas: &[f64], cfg: &HarnessCfg) {
     let n = if cfg.quick { 20 } else { 40 };
+    let registry = SolverRegistry::with_defaults();
     let mut fig = Figure::new(
         id,
         format!(
@@ -22,14 +28,30 @@ fn panel(id: &str, kind: SyntheticKind, gammas: &[f64], cfg: &HarnessCfg) {
     );
     for &gamma in gammas {
         let w = synthetic_uniqueness(kind, n, gamma, cfg.seed).unwrap();
-        let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+        let problem =
+            Problem::discrete_min_var(w.instance.clone(), Arc::new(w.query.clone())).unwrap();
         let total = w.instance.total_cost();
+        let fracs = cfg.budget_fracs();
+        let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
+        let problem = &problem;
+        let jobs: Vec<BatchJob<'_>> = ["greedy-naive", "greedy"]
+            .into_iter()
+            .flat_map(|strategy| {
+                budgets.iter().map(move |&budget| BatchJob {
+                    strategy,
+                    problem,
+                    budget,
+                    key: None,
+                })
+            })
+            .collect();
+        let plans = registry
+            .solve_batch(&jobs, &ExecOptions::default())
+            .unwrap();
+        let (naive, gmv) = plans.split_at(budgets.len());
         let mut s = Series::new(format!("Γ={gamma}"));
-        for frac in cfg.budget_fracs() {
-            let budget = Budget::fraction(total, frac);
-            let e_naive = eng.ev_of(greedy_naive(&w.instance, &w.query, budget).objects());
-            let e_gmv = eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects());
-            s.push(frac, (e_naive - e_gmv).max(0.0));
+        for ((&frac, n_plan), g_plan) in fracs.iter().zip(naive).zip(gmv) {
+            s.push(frac, (n_plan.after - g_plan.after).max(0.0));
         }
         fig.series.push(s);
     }

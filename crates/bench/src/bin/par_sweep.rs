@@ -1,0 +1,206 @@
+//! `par_sweep` — parallel vs. sequential executor comparison (the
+//! serving-path counterpart of the figure binaries).
+//!
+//! Builds a large synthetic uniqueness workload (10k objects by
+//! default, 400 with `--quick`), then runs the same work through the
+//! façade twice — once with `Parallelism::Sequential`, once with
+//! `Parallelism::Auto` — and reports wall-clock plus speedup for
+//!
+//! 1. `recommend_sweep` over 8 budget fractions (budget points sharded
+//!    across workers, scoped-EV tables shared through the store), and
+//! 2. `recommend_many` over the three measures at one budget
+//!    (independent lowered problems sharded across workers).
+//!
+//! The binary **fails (exit 1) if any parallel plan diverges from its
+//! sequential twin** — plans must be byte-identical by construction —
+//! which is what the CI `bench-smoke` job asserts on a small instance.
+//! It also demonstrates the fingerprint-keyed engine store: a second
+//! session over the same dataset reports zero scoped-table rebuilds.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fact_clean::prelude::*;
+use fc_bench::HarnessCfg;
+use fc_claims::window_sum_family;
+use fc_core::planner::cache::CacheStore as Store;
+use fc_datasets::synthetic::urx;
+use fc_datasets::workloads::LAMBDA;
+
+const BUDGET_FRACS: [f64; 8] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40];
+
+fn session(
+    instance: &Instance,
+    claims: &ClaimSet,
+    parallelism: Parallelism,
+    store: Option<Arc<Store>>,
+) -> CleaningSession {
+    let mut b = SessionBuilder::new()
+        .discrete(instance.clone())
+        .claims(claims.clone())
+        .parallelism(parallelism);
+    if let Some(store) = store {
+        b = b.cache_store(store);
+    }
+    b.build().expect("data and claims are set")
+}
+
+/// Byte-level plan comparison ([`Plan::divergence`]); returns a
+/// description of the first divergence, if any.
+fn diverges(seq: &[Plan], par: &[Plan]) -> Option<String> {
+    if seq.len() != par.len() {
+        return Some(format!("plan count {} vs {}", seq.len(), par.len()));
+    }
+    seq.iter()
+        .zip(par)
+        .enumerate()
+        .find_map(|(i, (s, p))| s.divergence(p).map(|why| format!("plan {i}: {why}")))
+}
+
+fn main() -> ExitCode {
+    let cfg = HarnessCfg::from_args();
+    let n = if cfg.quick { 400 } else { 10_000 };
+    let instance = urx(n, cfg.seed).expect("synthetic instance");
+    let claims =
+        window_sum_family(n, 4, n - 4, Direction::LowerIsStronger, LAMBDA).expect("claim family");
+    let total = instance.total_cost();
+    let budgets: Vec<Budget> = BUDGET_FRACS
+        .iter()
+        .map(|&f| Budget::fraction(total, f))
+        .collect();
+    let spec = ObjectiveSpec::ascertain(Measure::Dup);
+
+    // Guard against a vacuous gate: the lowered problem must clear the
+    // executor's inline-admission threshold, or `Auto` silently takes
+    // the caller-thread path and "parallel vs sequential" compares the
+    // sequential path against itself.
+    let estimate = fc_core::Problem::discrete_min_var(
+        instance.clone(),
+        Arc::new(fc_claims::DupQuery::new(claims.clone(), 0.0)),
+    )
+    .expect("lowered dup problem")
+    .estimated_engine_evals();
+    println!(
+        "par_sweep: n = {n}, {} budgets, total cost {total}, seed {}, est. engine evals {estimate}",
+        budgets.len(),
+        cfg.seed
+    );
+    if estimate < fc_core::ExecOptions::DEFAULT_INLINE_THRESHOLD {
+        eprintln!(
+            "FAIL workload: estimated engine evals {estimate} below inline threshold {} — \
+             the comparison would never reach the worker pool",
+            fc_core::ExecOptions::DEFAULT_INLINE_THRESHOLD
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut check = |what: &str, seq: &[Plan], par: &[Plan]| {
+        if let Some(why) = diverges(seq, par) {
+            eprintln!("FAIL {what}: parallel plans diverge from sequential: {why}");
+            failed = true;
+        }
+    };
+
+    // --- 1. recommend_sweep: budget points sharded across workers ---
+    let seq_session = session(&instance, &claims, Parallelism::Sequential, None);
+    // Warm-up: pay one-time costs (allocator growth, page faults, lazy
+    // dataset setup) outside the timed sections so the sequential /
+    // parallel comparison is apples to apples.
+    let batch = [
+        ObjectiveSpec::ascertain(Measure::Bias),
+        ObjectiveSpec::ascertain(Measure::Dup),
+        ObjectiveSpec::ascertain(Measure::Frag),
+    ];
+    let batch_budget = budgets[budgets.len() / 2];
+    seq_session
+        .recommend_many(&batch, batch_budget)
+        .expect("warm-up batch");
+    let t = Instant::now();
+    let seq_plans = seq_session
+        .recommend_sweep(&spec, &budgets)
+        .expect("sequential sweep");
+    let seq_time = t.elapsed();
+
+    let par_session = session(&instance, &claims, Parallelism::Auto, None);
+    let t = Instant::now();
+    let par_plans = par_session
+        .recommend_sweep(&spec, &budgets)
+        .expect("parallel sweep");
+    let par_time = t.elapsed();
+    check("recommend_sweep", &seq_plans, &par_plans);
+    println!(
+        "recommend_sweep   sequential {:>8.3}s   auto {:>8.3}s   speedup {:>5.2}x",
+        seq_time.as_secs_f64(),
+        par_time.as_secs_f64(),
+        seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
+    );
+
+    // --- 2. recommend_many: independent problems sharded ---
+    let t = Instant::now();
+    let seq_batch = seq_session
+        .recommend_many(&batch, batch_budget)
+        .expect("sequential batch");
+    let seq_time = t.elapsed();
+    let t = Instant::now();
+    let par_batch = par_session
+        .recommend_many(&batch, batch_budget)
+        .expect("parallel batch");
+    let par_time = t.elapsed();
+    check("recommend_many", &seq_batch, &par_batch);
+    println!(
+        "recommend_many    sequential {:>8.3}s   auto {:>8.3}s   speedup {:>5.2}x",
+        seq_time.as_secs_f64(),
+        par_time.as_secs_f64(),
+        seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
+    );
+
+    // --- 3. fingerprint-keyed store: warm sessions rebuild nothing ---
+    let store = Arc::new(Store::new(16));
+    let first = session(
+        &instance,
+        &claims,
+        Parallelism::Auto,
+        Some(Arc::clone(&store)),
+    );
+    let t = Instant::now();
+    let cold_plans = first.recommend_sweep(&spec, &budgets).expect("cold sweep");
+    let cold = t.elapsed();
+    let builds_after_cold = store.stats().scoped_builds;
+    drop(first);
+    let second = session(
+        &instance,
+        &claims,
+        Parallelism::Auto,
+        Some(Arc::clone(&store)),
+    );
+    let t = Instant::now();
+    let warm_plans = second.recommend_sweep(&spec, &budgets).expect("warm sweep");
+    let warm = t.elapsed();
+    check("cached sweep", &seq_plans, &cold_plans);
+    check("warm sweep", &seq_plans, &warm_plans);
+    let stats = store.stats();
+    println!(
+        "cache store       cold {:>8.3}s   warm {:>8.3}s   scoped builds {} -> {} (hits {})",
+        cold.as_secs_f64(),
+        warm.as_secs_f64(),
+        builds_after_cold,
+        stats.scoped_builds,
+        stats.hits,
+    );
+    if stats.scoped_builds != builds_after_cold {
+        eprintln!(
+            "FAIL cache store: warm session rebuilt scoped tables ({} -> {})",
+            builds_after_cold, stats.scoped_builds
+        );
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("OK: all parallel plans byte-identical to sequential");
+        ExitCode::SUCCESS
+    }
+}

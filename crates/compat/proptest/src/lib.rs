@@ -110,7 +110,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use rand::{Rng, SmallRng};
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or a
     /// `Range<usize>`.
     pub trait IntoLenRange {
         /// Draws a length.

@@ -103,7 +103,7 @@ pub fn greedy_min_var_from_scratch<Q: DecomposableQuery + ?Sized>(
 
 /// `Optimum` (Lemma 3.2): the exact pseudo-polynomial solution for
 /// modular (affine-query) MinVar, via the max-knapsack DP on the
-/// benefits. Errors with [`CoreError::NotAffine`] otherwise.
+/// benefits. Errors with [`CoreError::NotAffine`](crate::CoreError::NotAffine) otherwise.
 pub fn knapsack_optimum_min_var(
     instance: &Instance,
     query: &dyn QueryFunction,

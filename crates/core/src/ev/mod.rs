@@ -26,4 +26,4 @@ pub use exact::ev_exact;
 pub use gaussian::ev_gaussian_linear;
 pub use modular::{ev_modular, modular_benefits, modular_benefits_gaussian};
 pub use monte_carlo::ev_monte_carlo;
-pub use scoped::{EvState, ScopedEv};
+pub use scoped::{EvState, ScopedEv, ScopedTables};

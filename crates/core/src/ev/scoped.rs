@@ -22,10 +22,19 @@
 //! one object to `T` only touches the terms whose scope contains it and
 //! the pairs whose *shared* scope contains it, which is what makes
 //! `GreedyMinVar` scale to the Fig. 10 workloads.
+//!
+//! The `T`-independent precomputation is factored into [`ScopedTables`],
+//! an owned, `Send + Sync` value with no borrows: build it once for an
+//! (instance, query) pair, then stamp out per-thread [`ScopedEv`]
+//! engines with [`ScopedEv::with_tables`]. This is what lets the
+//! planner's parallel executor shard budget sweeps across workers and
+//! its [`CacheStore`](crate::planner::CacheStore) persist the prefix
+//! work across sessions.
 
 use crate::instance::Instance;
 use fc_claims::DecomposableQuery;
 use fc_uncertain::DiscreteDist;
+use std::sync::Arc;
 
 /// Iterates the outcome space of `dists` (last axis fastest), passing
 /// per-axis positions, values, and the product probability.
@@ -111,28 +120,38 @@ impl EvState {
     }
 }
 
-/// The scoped `EV` engine (see module docs).
-pub struct ScopedEv<'a, Q: DecomposableQuery + ?Sized> {
-    instance: &'a Instance,
-    query: &'a Q,
+/// The owned, `T`-independent precomputation of the scoped engine: per-
+/// term `E[g²]` values, shared-scope conditional-expectation tables, and
+/// the object → term/pair adjacency lists.
+///
+/// `ScopedTables` holds **no borrows** and is `Send + Sync`, so one
+/// build can back many [`ScopedEv`] engines — per-worker engines in a
+/// sharded sweep, or engines in later sessions served from a
+/// [`CacheStore`](crate::planner::CacheStore). The tables are only
+/// meaningful for the exact (instance, query) pair they were built
+/// from; [`ScopedEv::with_tables`] checks the dimensions it can
+/// (object and term counts) but the caller vouches for the rest.
+pub struct ScopedTables {
+    /// Number of objects in the instance the tables were built from.
+    n: usize,
     terms: Vec<TermInfo>,
     pairs: Vec<(usize, usize, PairInfo)>,
     /// Terms whose scope contains each object.
     term_of_obj: Vec<Vec<u32>>,
     /// Pairs whose *shared* scope contains each object.
     pair_of_obj: Vec<Vec<u32>>,
-    /// Objective-evaluation counter (full `EV` computations and
-    /// incremental deltas), surfaced as planner diagnostics.
-    evals: std::cell::Cell<u64>,
+    /// Query-term evaluations spent building the tables.
+    build_evals: u64,
 }
 
-impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
+impl ScopedTables {
     /// Precomputes the T-independent quantities. Cost is
     /// `O(Σ_k V^{|S_k|} + Σ_{sharing pairs} V^{|S_k|})`.
-    pub fn new(instance: &'a Instance, query: &'a Q) -> Self {
+    pub fn build<Q: DecomposableQuery + ?Sized>(instance: &Instance, query: &Q) -> Self {
         let n = instance.len();
         let m = query.num_terms();
         let joint = instance.joint();
+        let mut build_evals = 0u64;
 
         // --- per-term: E[g²] ---
         let mut terms = Vec::with_capacity(m);
@@ -146,6 +165,7 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
             let mut e_g2 = 0.0;
             for_each_pos_outcome(&dists, |_, vals, p| {
                 let g = query.eval_term(k, vals);
+                build_evals += 1;
                 e_g2 += p * g * g;
             });
             terms.push(TermInfo { scope, e_g2 });
@@ -186,8 +206,22 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
                 .iter()
                 .map(|&o| joint.dist(o).probs().to_vec())
                 .collect();
-            let a = conditional_expectation_table(instance, query, k1, &terms[k1].scope, &shared);
-            let b = conditional_expectation_table(instance, query, k2, &terms[k2].scope, &shared);
+            let a = conditional_expectation_table(
+                instance,
+                query,
+                k1,
+                &terms[k1].scope,
+                &shared,
+                &mut build_evals,
+            );
+            let b = conditional_expectation_table(
+                instance,
+                query,
+                k2,
+                &terms[k2].scope,
+                &shared,
+                &mut build_evals,
+            );
             let mut first = 0.0;
             let flat = flat_probs(&shared_sizes, &shared_probs);
             for ((pa, pb), pf) in a.iter().zip(&b).zip(&flat) {
@@ -208,14 +242,96 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
         }
 
         Self {
-            instance,
-            query,
+            n,
             terms,
             pairs,
             term_of_obj,
             pair_of_obj,
+            build_evals,
+        }
+    }
+
+    /// Number of objects in the instance the tables were built from.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tables cover zero objects (never true once built
+    /// from a validated instance).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of decomposed terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of scope-sharing claim pairs.
+    pub fn num_sharing_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Query-term evaluations spent building the tables — the work a
+    /// cache hit saves.
+    pub fn build_evals(&self) -> u64 {
+        self.build_evals
+    }
+}
+
+/// The scoped `EV` engine (see module docs).
+pub struct ScopedEv<'a, Q: DecomposableQuery + ?Sized> {
+    instance: &'a Instance,
+    query: &'a Q,
+    tables: Arc<ScopedTables>,
+    /// Objective-evaluation counter (full `EV` computations and
+    /// incremental deltas), surfaced as planner diagnostics.
+    evals: std::cell::Cell<u64>,
+}
+
+impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
+    /// Builds the engine, precomputing its [`ScopedTables`] from
+    /// scratch.
+    pub fn new(instance: &'a Instance, query: &'a Q) -> Self {
+        Self::with_tables(
+            instance,
+            query,
+            Arc::new(ScopedTables::build(instance, query)),
+        )
+    }
+
+    /// Builds the engine around previously computed tables, skipping
+    /// the expensive precomputation. The tables **must** have been
+    /// built from an identical (instance, query) pair — the dimensions
+    /// are checked, the contents are the caller's contract (this is the
+    /// fingerprint-collision caveat of the planner's
+    /// [`CacheStore`](crate::planner::CacheStore)).
+    ///
+    /// # Panics
+    /// When the table dimensions do not match `instance`/`query`.
+    pub fn with_tables(instance: &'a Instance, query: &'a Q, tables: Arc<ScopedTables>) -> Self {
+        assert_eq!(
+            tables.n,
+            instance.len(),
+            "ScopedTables built for a different instance size"
+        );
+        assert_eq!(
+            tables.terms.len(),
+            query.num_terms(),
+            "ScopedTables built for a different query shape"
+        );
+        Self {
+            instance,
+            query,
+            tables,
             evals: std::cell::Cell::new(0),
         }
+    }
+
+    /// The shared precomputed tables (clone the `Arc` to seed further
+    /// engines over the same instance and query).
+    pub fn tables(&self) -> &Arc<ScopedTables> {
+        &self.tables
     }
 
     /// Objective evaluations (full `EV` computations plus incremental
@@ -237,18 +353,18 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
 
     /// Number of decomposed terms.
     pub fn num_terms(&self) -> usize {
-        self.terms.len()
+        self.tables.terms.len()
     }
 
     /// Number of scope-sharing claim pairs.
     pub fn num_sharing_pairs(&self) -> usize {
-        self.pairs.len()
+        self.tables.pairs.len()
     }
 
     /// `E_T[E[g_k | X_{S_k∩T}]²]` for the cleaned mask, with `flip`
     /// optionally overriding one object's cleaned status.
     fn term_second(&self, k: usize, cleaned: &[bool], flip: Option<(usize, bool)>) -> f64 {
-        let scope = &self.terms[k].scope;
+        let scope = &self.tables.terms[k].scope;
         let joint = self.instance.joint();
         let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
         let keep: Vec<bool> = scope
@@ -284,7 +400,7 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
     /// mask (with optional one-object override).
     #[allow(clippy::needless_range_loop)] // axis arithmetic mirrors the math
     fn pair_second(&self, p: usize, cleaned: &[bool], flip: Option<(usize, bool)>) -> f64 {
-        let info = &self.pairs[p].2;
+        let info = &self.tables.pairs[p].2;
         let axes = info.shared.len();
         let keep: Vec<bool> = info
             .shared
@@ -341,11 +457,11 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
     pub fn ev_of_mask(&self, cleaned: &[bool]) -> f64 {
         self.count_eval();
         let mut ev = 0.0;
-        for k in 0..self.terms.len() {
-            ev += self.terms[k].e_g2 - self.term_second(k, cleaned, None);
+        for k in 0..self.tables.terms.len() {
+            ev += self.tables.terms[k].e_g2 - self.term_second(k, cleaned, None);
         }
-        for p in 0..self.pairs.len() {
-            ev += 2.0 * (self.pairs[p].2.first - self.pair_second(p, cleaned, None));
+        for p in 0..self.tables.pairs.len() {
+            ev += 2.0 * (self.tables.pairs[p].2.first - self.pair_second(p, cleaned, None));
         }
         ev.max(0.0)
     }
@@ -365,17 +481,17 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
         for &i in cleaned {
             mask[i] = true;
         }
-        let term_sec: Vec<f64> = (0..self.terms.len())
+        let term_sec: Vec<f64> = (0..self.tables.terms.len())
             .map(|k| self.term_second(k, &mask, None))
             .collect();
-        let pair_sec: Vec<f64> = (0..self.pairs.len())
+        let pair_sec: Vec<f64> = (0..self.tables.pairs.len())
             .map(|p| self.pair_second(p, &mask, None))
             .collect();
         let mut ev = 0.0;
-        for (k, t) in self.terms.iter().enumerate() {
+        for (k, t) in self.tables.terms.iter().enumerate() {
             ev += t.e_g2 - term_sec[k];
         }
-        for (p, (_, _, info)) in self.pairs.iter().enumerate() {
+        for (p, (_, _, info)) in self.tables.pairs.iter().enumerate() {
             ev += 2.0 * (info.first - pair_sec[p]);
         }
         EvState {
@@ -399,11 +515,11 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
         }
         self.count_eval();
         let mut d = 0.0;
-        for &k in &self.term_of_obj[i] {
+        for &k in &self.tables.term_of_obj[i] {
             let k = k as usize;
             d += self.term_second(k, &st.cleaned, Some((i, true))) - st.term_sec[k];
         }
-        for &p in &self.pair_of_obj[i] {
+        for &p in &self.tables.pair_of_obj[i] {
             let p = p as usize;
             d += 2.0 * (self.pair_second(p, &st.cleaned, Some((i, true))) - st.pair_sec[p]);
         }
@@ -418,11 +534,11 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
         }
         self.count_eval();
         let mut d = 0.0;
-        for &k in &self.term_of_obj[i] {
+        for &k in &self.tables.term_of_obj[i] {
             let k = k as usize;
             d += st.term_sec[k] - self.term_second(k, &st.cleaned, Some((i, false)));
         }
-        for &p in &self.pair_of_obj[i] {
+        for &p in &self.tables.pair_of_obj[i] {
             let p = p as usize;
             d += 2.0 * (st.pair_sec[p] - self.pair_second(p, &st.cleaned, Some((i, false))));
         }
@@ -441,13 +557,13 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
             return;
         }
         st.cleaned[i] = true;
-        for &k in &self.term_of_obj[i] {
+        for &k in &self.tables.term_of_obj[i] {
             let k = k as usize;
             let new_sec = self.term_second(k, &st.cleaned, None);
             st.ev -= new_sec - st.term_sec[k];
             st.term_sec[k] = new_sec;
         }
-        for &p in &self.pair_of_obj[i] {
+        for &p in &self.tables.pair_of_obj[i] {
             let p = p as usize;
             let new_sec = self.pair_second(p, &st.cleaned, None);
             st.ev -= 2.0 * (new_sec - st.pair_sec[p]);
@@ -460,7 +576,7 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
     /// term scope).
     pub fn relevant_objects(&self) -> Vec<usize> {
         (0..self.instance.len())
-            .filter(|&i| !self.term_of_obj[i].is_empty())
+            .filter(|&i| !self.tables.term_of_obj[i].is_empty())
             .collect()
     }
 
@@ -468,13 +584,13 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
     /// (scope-mates through shared terms or pairs), excluding `i` itself.
     pub fn affected_by(&self, i: usize) -> Vec<usize> {
         let mut out = Vec::new();
-        for &k in &self.term_of_obj[i] {
-            out.extend(self.terms[k as usize].scope.iter().copied());
+        for &k in &self.tables.term_of_obj[i] {
+            out.extend(self.tables.terms[k as usize].scope.iter().copied());
         }
-        for &p in &self.pair_of_obj[i] {
-            let (k1, k2, _) = &self.pairs[p as usize];
-            out.extend(self.terms[*k1].scope.iter().copied());
-            out.extend(self.terms[*k2].scope.iter().copied());
+        for &p in &self.tables.pair_of_obj[i] {
+            let (k1, k2, _) = &self.tables.pairs[p as usize];
+            out.extend(self.tables.terms[*k1].scope.iter().copied());
+            out.extend(self.tables.terms[*k2].scope.iter().copied());
         }
         out.sort_unstable();
         out.dedup();
@@ -490,6 +606,7 @@ fn conditional_expectation_table<Q: DecomposableQuery + ?Sized>(
     k: usize,
     scope: &[usize],
     shared: &[usize],
+    evals: &mut u64,
 ) -> Vec<f64> {
     let joint = instance.joint();
     let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
@@ -510,6 +627,7 @@ fn conditional_expectation_table<Q: DecomposableQuery + ?Sized>(
             oi = oi * dists[a].support_size() + pos[a];
         }
         num[oi] += p * query.eval_term(k, vals);
+        *evals += 1;
         den[oi] += p;
     });
     for (nv, dv) in num.iter_mut().zip(&den) {

@@ -31,7 +31,10 @@ pub mod selection;
 
 pub use budget::Budget;
 pub use instance::{GaussianInstance, Instance};
-pub use planner::{EngineCache, Goal, Plan, PlanDiagnostics, Problem, Solver, SolverRegistry};
+pub use planner::{
+    BatchJob, CacheKey, CacheStats, CacheStore, EngineCache, ExecOptions, Goal, Parallelism, Plan,
+    PlanDiagnostics, Problem, Solver, SolverRegistry,
+};
 pub use selection::Selection;
 
 use std::fmt;

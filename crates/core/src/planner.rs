@@ -23,10 +23,21 @@
 //!   budget sweeps and multi-objective batches reuse it — this is the
 //!   hot path of every figure binary;
 //! * [`Plan`] — the outcome: selection, objective before/after,
-//!   resolved strategy name, and evaluation-count diagnostics.
+//!   resolved strategy name, and evaluation-count diagnostics;
+//! * [`exec`] — the sharded parallel batch executor
+//!   ([`solve_batch`](exec::solve_batch) / [`sweep`](exec::sweep) with
+//!   a [`Parallelism`] knob and admission control);
+//! * [`cache`] — the fingerprint-keyed [`CacheStore`] persisting engine
+//!   prefix work across call chains and sessions.
 //!
 //! The original free functions in [`crate::algo`] remain available and
 //! are what the solvers delegate to.
+
+pub mod cache;
+pub mod exec;
+
+pub use cache::{CacheKey, CacheStats, CacheStore, Fnv1a};
+pub use exec::{BatchJob, ExecOptions, Parallelism};
 
 use std::cell::OnceCell;
 use std::collections::BTreeMap;
@@ -38,7 +49,7 @@ use crate::algo::greedy::{greedy_static, GreedyConfig};
 use crate::budget::Budget;
 use crate::ev::gaussian::MvnSemantics;
 use crate::ev::modular::{ev_modular, modular_benefits_gaussian};
-use crate::ev::scoped::ScopedEv;
+use crate::ev::scoped::{ScopedEv, ScopedTables};
 use crate::instance::{GaussianInstance, Instance};
 use crate::maxpr::{surprise_prob_convolution, surprise_prob_gaussian};
 use crate::selection::Selection;
@@ -268,6 +279,67 @@ impl Problem {
         }
     }
 
+    /// Order-of-magnitude estimate of the engine evaluations a solve of
+    /// this problem costs — the admission-control signal of the
+    /// parallel executor (problems under
+    /// [`ExecOptions::inline_threshold`](exec::ExecOptions) stay on the
+    /// caller thread). Affine/modular problems are `O(n)`; non-affine
+    /// discrete problems pay per-term outcome enumeration; correlated
+    /// Gaussian problems pay dense covariance work.
+    pub fn estimated_engine_evals(&self) -> u64 {
+        match &self.model {
+            Model::Discrete { instance, query } => {
+                let n = instance.len() as u64;
+                if matches!(self.goal, Goal::MaxPr { .. }) {
+                    // MaxPr solves probe `surprise_prob_convolution`,
+                    // and every probe pays a bins-wide DP per active
+                    // object — orders of magnitude above the O(n)
+                    // affine-MinVar path, so charge one full-width
+                    // probe. (The greedy solver then probes per step ×
+                    // candidate; one probe already dwarfs any sensible
+                    // inline threshold.)
+                    return n.saturating_mul(crate::maxpr::convolution::DEFAULT_BINS as u64);
+                }
+                if query.as_affine(instance.len()).is_some() {
+                    n
+                } else {
+                    // The scoped build enumerates Π_{i∈S_k} |support(i)|
+                    // outcomes per term k (ScopedTables::build is
+                    // O(Σ_k V^{|S_k|})), so charge each term its actual
+                    // scope product rather than a flat V².
+                    let mut evals = n;
+                    for k in 0..query.num_terms() {
+                        let term: u64 = query
+                            .term_objects(k)
+                            .iter()
+                            .map(|&i| instance.dist(i).support_size() as u64)
+                            .fold(1, u64::saturating_mul);
+                        evals = evals.saturating_add(term);
+                    }
+                    evals
+                }
+            }
+            Model::Gaussian { instance, .. } => {
+                let n = instance.len() as u64;
+                if instance.is_independent() {
+                    n
+                } else {
+                    n.saturating_mul(n)
+                }
+            }
+        }
+    }
+
+    /// FNV-1a fingerprint of the underlying instance contents — the
+    /// instance half of a [`CacheKey`]. The query half is the caller's
+    /// responsibility (see [`cache`]'s module docs).
+    pub fn instance_fingerprint(&self) -> u64 {
+        match &self.model {
+            Model::Discrete { instance, .. } => cache::fingerprint_instance(instance),
+            Model::Gaussian { instance, .. } => cache::fingerprint_gaussian(instance),
+        }
+    }
+
     /// Whether a Gaussian instance is centered at its current values
     /// with independent errors — the Lemma 3.3 exact-DP setting.
     fn gaussian_centered_independent(&self) -> bool {
@@ -335,18 +407,36 @@ impl Problem {
 /// otherwise silently serve the first problem's engines — a correctness
 /// bug, so it is treated like `RefCell` misuse rather than a runtime
 /// error).
+///
+/// A cache built with [`EngineCache::with_store`] additionally checks a
+/// persistent [`CacheStore`] before building: the scoped tables and
+/// modular benefits are fetched (or built once and published) under the
+/// given [`CacheKey`], so repeated sessions over the same dataset skip
+/// the scoped-EV prefix work entirely. The key must fingerprint the
+/// problem's instance *and* query — see [`cache`]'s module docs.
 #[derive(Default)]
 pub struct EngineCache<'p> {
     scoped: OnceCell<ScopedEv<'p, dyn DecomposableQuery + Send + Sync>>,
-    benefits: OnceCell<Option<Vec<f64>>>,
+    benefits: OnceCell<Option<Arc<Vec<f64>>>>,
     /// Identity of the problem this cache is bound to.
     bound: std::cell::Cell<Option<*const Problem>>,
+    /// Persistent backing, when this cache participates in one.
+    store: Option<(Arc<CacheStore>, CacheKey)>,
 }
 
 impl<'p> EngineCache<'p> {
     /// An empty cache; engines are built lazily on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache backed by a persistent [`CacheStore`]: engine prefix
+    /// work is looked up under `key` and published there after a build.
+    pub fn with_store(store: Arc<CacheStore>, key: CacheKey) -> Self {
+        Self {
+            store: Some((store, key)),
+            ..Self::default()
+        }
     }
 
     /// Binds the cache to `problem` on first use; panics on a second,
@@ -371,9 +461,16 @@ impl<'p> EngineCache<'p> {
     ) -> Result<&ScopedEv<'p, dyn DecomposableQuery + Send + Sync>> {
         self.bind(problem);
         match &problem.model {
-            Model::Discrete { instance, query } => Ok(self
-                .scoped
-                .get_or_init(|| ScopedEv::new(instance, query.as_ref()))),
+            Model::Discrete { instance, query } => {
+                Ok(self.scoped.get_or_init(|| match &self.store {
+                    Some((store, key)) => {
+                        let tables =
+                            store.tables(*key, || ScopedTables::build(instance, query.as_ref()));
+                        ScopedEv::with_tables(instance, query.as_ref(), tables)
+                    }
+                    None => ScopedEv::new(instance, query.as_ref()),
+                }))
+            }
             Model::Gaussian { .. } => Err(CoreError::StrategyUnsupported {
                 strategy: "scoped-engine".into(),
                 reason: "Gaussian problems use closed forms, not the scoped EV engine".into(),
@@ -385,16 +482,21 @@ impl<'p> EngineCache<'p> {
     /// affine discrete queries and all Gaussian linear queries.
     pub fn modular_benefits(&self, problem: &'p Problem) -> Option<&[f64]> {
         self.bind(problem);
+        let compute = || match &problem.model {
+            Model::Discrete { instance, query } => {
+                crate::ev::modular::modular_benefits(instance, query.as_ref()).ok()
+            }
+            Model::Gaussian {
+                instance, weights, ..
+            } => Some(modular_benefits_gaussian(instance, weights)),
+        };
         self.benefits
-            .get_or_init(|| match &problem.model {
-                Model::Discrete { instance, query } => {
-                    crate::ev::modular::modular_benefits(instance, query.as_ref()).ok()
-                }
-                Model::Gaussian {
-                    instance, weights, ..
-                } => Some(modular_benefits_gaussian(instance, weights)),
+            .get_or_init(|| match &self.store {
+                Some((store, key)) => store.benefits(*key, compute),
+                None => compute().map(Arc::new),
             })
-            .as_deref()
+            .as_ref()
+            .map(|v| v.as_slice())
     }
 
     /// Engine evaluations recorded by the scoped engine so far (zero
@@ -444,6 +546,63 @@ impl Plan {
         } else {
             self.before - self.after
         }
+    }
+
+    /// The first field in which `other` differs from this plan at the
+    /// byte level (`f64`s compared by bit pattern), or `None` when the
+    /// plans are identical. This is the parallel executor's determinism
+    /// contract — plans produced under any [`Parallelism`] mode must
+    /// compare identical to the sequential ones — and the one
+    /// comparison its tests and CI gate share. The exhaustive
+    /// destructuring makes the compiler flag this method when `Plan`
+    /// grows a field, so the gate can never silently stop covering one.
+    pub fn divergence(&self, other: &Plan) -> Option<String> {
+        let Plan {
+            selection,
+            goal,
+            before,
+            after,
+            strategy,
+            diagnostics,
+        } = self;
+        if selection.objects() != other.selection.objects() {
+            return Some("selections differ".into());
+        }
+        if selection.cost() != other.selection.cost() {
+            return Some(format!(
+                "selection costs differ ({} vs {})",
+                selection.cost(),
+                other.selection.cost()
+            ));
+        }
+        if *goal != other.goal {
+            return Some(format!("goals differ ({} vs {})", goal, other.goal));
+        }
+        if before.to_bits() != other.before.to_bits() {
+            return Some(format!(
+                "before-objectives differ ({} vs {})",
+                before, other.before
+            ));
+        }
+        if after.to_bits() != other.after.to_bits() {
+            return Some(format!(
+                "after-objectives differ ({} vs {})",
+                after, other.after
+            ));
+        }
+        if strategy != &other.strategy {
+            return Some(format!(
+                "strategies differ ({} vs {})",
+                strategy, other.strategy
+            ));
+        }
+        if diagnostics != &other.diagnostics {
+            return Some(format!(
+                "diagnostics differ ({:?} vs {:?})",
+                diagnostics, other.diagnostics
+            ));
+        }
+        None
     }
 }
 
@@ -1311,6 +1470,32 @@ impl SolverRegistry {
             .iter()
             .map(|&b| solver.solve_with_cache(problem, b, &cache))
             .collect()
+    }
+
+    /// [`SolverRegistry::sweep`] through the parallel executor: budget
+    /// points are sharded across workers per `opts`, sharing the engine
+    /// prefix work, and the plans come back in budget order,
+    /// byte-identical to the sequential ones (see [`exec`]).
+    ///
+    /// `key` is the problem's persistence identity for
+    /// [`ExecOptions::store`] lookups (see [`cache`]'s module docs for
+    /// the fingerprint contract); pass `None` to skip the persistent
+    /// store — the prefix work is then shared only within this call.
+    pub fn sweep_with(
+        &self,
+        strategy: &str,
+        problem: &Problem,
+        budgets: &[Budget],
+        opts: &ExecOptions,
+        key: Option<CacheKey>,
+    ) -> Result<Vec<Plan>> {
+        exec::sweep(self, strategy, problem, budgets, opts, key)
+    }
+
+    /// Solves a heterogeneous batch of jobs through the parallel
+    /// executor (see [`exec::solve_batch`]).
+    pub fn solve_batch(&self, jobs: &[BatchJob<'_>], opts: &ExecOptions) -> Result<Vec<Plan>> {
+        exec::solve_batch(self, jobs, opts)
     }
 }
 

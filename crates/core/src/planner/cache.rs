@@ -1,0 +1,508 @@
+//! Fingerprint-keyed persistence for engine prefix work.
+//!
+//! An [`EngineCache`](super::EngineCache) lives for one call chain: a
+//! budget sweep or an objective batch over one [`Problem`](super::Problem).
+//! Serving workloads, however, issue *sessions* of requests over the
+//! same dataset — a fact-checker sweeps measures and budgets over one
+//! table, then comes back tomorrow. The [`CacheStore`] makes the
+//! expensive prefix work (the scoped Theorem 3.8 tables, the Lemma 3.1
+//! modular benefits) outlive the call chain:
+//!
+//! * entries are keyed by a [`CacheKey`] — a pair of 64-bit FNV-1a
+//!   fingerprints, one over the **instance contents** (distributions,
+//!   current values, costs) and one over the **query identity**
+//!   (measure, θ, claim family — supplied by the caller, who knows the
+//!   concrete query type);
+//! * the store is sharded (`Mutex` per shard) so concurrent workers
+//!   contend only per shard, and each entry's engines are built at most
+//!   once (`OnceLock` serializes racing builders);
+//! * a capacity cap evicts whole entries FIFO, bounding memory on
+//!   long-running servers;
+//! * [`CacheStore::stats`] reports hits, misses, evictions, and the
+//!   number of scoped-table builds — a warm store serves repeat
+//!   sessions with **zero** rebuild evaluations.
+//!
+//! ## Fingerprint caveats
+//!
+//! Fingerprints are 64-bit content hashes, not proofs of identity: a
+//! collision (astronomically unlikely, but possible) would serve the
+//! wrong tables *silently*. The query half of the key is the caller's
+//! contract — it must uniquely identify everything the engines depend
+//! on (measure, θ, claim weights, discretization). The façade derives
+//! it from the session's measure, θ, and claim-set contents; callers
+//! wiring [`CacheStore`] to raw [`Problem`](super::Problem)s must do
+//! the same or skip the store. Dimension mismatches are caught
+//! ([`ScopedEv::with_tables`](crate::ev::scoped::ScopedEv::with_tables)
+//! panics), value-level mismatches are not.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::ev::scoped::ScopedTables;
+use crate::instance::{GaussianInstance, Instance};
+
+/// Incremental FNV-1a hasher over 64 bits — tiny, dependency-free, and
+/// stable across platforms and runs (unlike `std`'s randomized
+/// `DefaultHasher`), which is what a persistent cache key needs.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64`.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize`.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs an `f64` by bit pattern (`-0.0 ≠ 0.0`, NaNs by payload —
+    /// bitwise identity is exactly the contract engine reuse needs).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a slice of `f64`s, length-prefixed.
+    pub fn write_f64s(&mut self, vs: &[f64]) -> &mut Self {
+        self.write_usize(vs.len());
+        for &v in vs {
+            self.write_f64(v);
+        }
+        self
+    }
+
+    /// Absorbs a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a fingerprint of a discrete instance's full contents:
+/// marginals (values and probabilities), current values, and costs.
+pub fn fingerprint_instance(instance: &Instance) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("discrete");
+    h.write_usize(instance.len());
+    for i in 0..instance.len() {
+        let d = instance.dist(i);
+        h.write_f64s(d.values());
+        h.write_f64s(d.probs());
+    }
+    h.write_f64s(instance.current());
+    h.write_usize(instance.costs().len());
+    for &c in instance.costs() {
+        h.write_u64(c);
+    }
+    h.finish()
+}
+
+/// FNV-1a fingerprint of a Gaussian instance's full contents: means,
+/// covariance, current values, and costs.
+pub fn fingerprint_gaussian(instance: &GaussianInstance) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("gaussian");
+    let n = instance.len();
+    h.write_usize(n);
+    h.write_f64s(instance.mvn().mean());
+    for i in 0..n {
+        for j in i..n {
+            h.write_f64(instance.mvn().cov().get(i, j));
+        }
+    }
+    h.write_f64s(instance.current());
+    h.write_usize(instance.costs().len());
+    for &c in instance.costs() {
+        h.write_u64(c);
+    }
+    h.finish()
+}
+
+/// A [`CacheStore`] entry key: (instance fingerprint, query
+/// fingerprint). Engines cached under a key are valid for *any* goal
+/// and budget — scoped tables and modular benefits depend only on the
+/// instance and the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the instance contents ([`fingerprint_instance`] /
+    /// [`fingerprint_gaussian`]).
+    pub instance: u64,
+    /// Fingerprint of the query identity (measure, θ, claim family —
+    /// caller-supplied; see the module docs for the contract).
+    pub query: u64,
+}
+
+impl CacheKey {
+    /// Assembles a key from the two fingerprint halves.
+    pub fn new(instance: u64, query: u64) -> Self {
+        Self { instance, query }
+    }
+}
+
+/// One cached entry: lazily built engines for an (instance, query)
+/// pair. `OnceLock` per engine kind — concurrent workers block on the
+/// first builder instead of duplicating the work.
+#[derive(Default)]
+struct CacheSlot {
+    tables: OnceLock<Arc<ScopedTables>>,
+    benefits: OnceLock<Option<Arc<Vec<f64>>>>,
+}
+
+/// One lock's worth of the store.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Arc<CacheSlot>>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+/// Counters reported by [`CacheStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Engine lookups served from an already-built entry.
+    pub hits: u64,
+    /// Engine lookups that had to build (first touch of a key, or
+    /// re-touch after eviction).
+    pub misses: u64,
+    /// Entries evicted by the capacity cap.
+    pub evictions: u64,
+    /// Scoped-table builds performed through the store.
+    pub scoped_builds: u64,
+    /// Query-term evaluations spent in those builds — the "rebuild
+    /// evals" a warm store keeps at zero.
+    pub scoped_build_evals: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A persistent, thread-safe store of engine prefix work, keyed by
+/// [`CacheKey`]. See the module docs for semantics and caveats.
+///
+/// Share one `Arc<CacheStore>` across sessions (and across the parallel
+/// executor's workers) so repeated requests over the same dataset skip
+/// the scoped-EV build entirely.
+pub struct CacheStore {
+    shards: Vec<Mutex<Shard>>,
+    /// Max resident entries per shard.
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    scoped_builds: AtomicU64,
+    scoped_build_evals: AtomicU64,
+}
+
+impl CacheStore {
+    /// Default shard count — enough to keep a worker pool from
+    /// serializing on one lock, small enough to stay cheap.
+    const DEFAULT_SHARDS: usize = 8;
+
+    /// A store holding at most `capacity` entries (rounded up to a
+    /// multiple of the shard count; minimum one entry per shard). The
+    /// shard count never exceeds `capacity`, so a small memory bound is
+    /// honored — `new(1)` really holds one entry, not one per shard.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Self::DEFAULT_SHARDS.min(capacity.max(1)))
+    }
+
+    /// A store with an explicit shard count (use `1` for strict FIFO
+    /// eviction across all entries — with more shards, both the cap and
+    /// FIFO order are per shard, so key skew can evict one shard's
+    /// entries while others sit empty).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            scoped_builds: AtomicU64::new(0),
+            scoped_build_evals: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Resident entries right now.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            scoped_builds: self.scoped_builds.load(Ordering::Relaxed),
+            scoped_build_evals: self.scoped_build_evals.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    fn shard_of(&self, key: CacheKey) -> &Mutex<Shard> {
+        let h = key.instance ^ key.query.rotate_left(32);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// The slot for `key`, inserting (and possibly evicting) under the
+    /// shard lock. Engine builds happen *outside* this lock.
+    fn slot(&self, key: CacheKey) -> Arc<CacheSlot> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        if let Some(slot) = shard.map.get(&key) {
+            return Arc::clone(slot);
+        }
+        while shard.map.len() >= self.shard_capacity {
+            if let Some(old) = shard.order.pop_front() {
+                shard.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+        let slot = Arc::new(CacheSlot::default());
+        shard.map.insert(key, Arc::clone(&slot));
+        shard.order.push_back(key);
+        slot
+    }
+
+    /// The scoped tables for `key`, building them with `build` on the
+    /// first touch. Concurrent callers for the same key block on one
+    /// build. `build` must construct tables for exactly the
+    /// (instance, query) pair the key fingerprints.
+    pub fn tables(&self, key: CacheKey, build: impl FnOnce() -> ScopedTables) -> Arc<ScopedTables> {
+        let slot = self.slot(key);
+        if let Some(tables) = slot.tables.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(tables);
+        }
+        let mut built = false;
+        let tables = slot.tables.get_or_init(|| {
+            built = true;
+            Arc::new(build())
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.scoped_builds.fetch_add(1, Ordering::Relaxed);
+            self.scoped_build_evals
+                .fetch_add(tables.build_evals(), Ordering::Relaxed);
+        } else {
+            // Lost the init race — another worker built while we waited.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(tables)
+    }
+
+    /// The modular benefits for `key` (`None` when the query is not
+    /// affine), computing them with `build` on the first touch.
+    pub fn benefits(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Option<Vec<f64>>,
+    ) -> Option<Arc<Vec<f64>>> {
+        let slot = self.slot(key);
+        if let Some(benefits) = slot.benefits.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return benefits.clone();
+        }
+        let mut built = false;
+        let benefits = slot.benefits.get_or_init(|| {
+            built = true;
+            build().map(Arc::new)
+        });
+        self.record_lookup(built);
+        benefits.clone()
+    }
+
+    fn record_lookup(&self, built: bool) {
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for CacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheStore")
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::{ClaimSet, Direction, DupQuery, LinearClaim};
+    use fc_uncertain::DiscreteDist;
+
+    fn instance(shift: f64) -> Instance {
+        Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0 + shift, 4.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0, 3.0]).unwrap(),
+                DiscreteDist::uniform_over(&[0.0, 6.0]).unwrap(),
+            ],
+            vec![2.0, 2.0, 3.0],
+            vec![1, 1, 2],
+        )
+        .unwrap()
+    }
+
+    fn query() -> DupQuery {
+        DupQuery::new(
+            ClaimSet::new(
+                LinearClaim::window_sum(0, 2).unwrap(),
+                vec![
+                    LinearClaim::window_sum(0, 2).unwrap(),
+                    LinearClaim::window_sum(1, 2).unwrap(),
+                ],
+                vec![0.5, 0.5],
+                Direction::HigherIsStronger,
+            )
+            .unwrap(),
+            5.0,
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = fingerprint_instance(&instance(0.0));
+        let b = fingerprint_instance(&instance(0.0));
+        let c = fingerprint_instance(&instance(0.25));
+        assert_eq!(a, b, "identical contents hash identically");
+        assert_ne!(a, c, "a single value change must change the hash");
+    }
+
+    #[test]
+    fn fingerprint_gaussian_is_content_sensitive() {
+        let g1 = GaussianInstance::centered_independent(vec![0.0; 3], &[1.0, 2.0, 3.0], vec![1; 3])
+            .unwrap();
+        let g2 = GaussianInstance::centered_independent(vec![0.0; 3], &[1.0, 2.0, 3.5], vec![1; 3])
+            .unwrap();
+        assert_eq!(fingerprint_gaussian(&g1), fingerprint_gaussian(&g1.clone()));
+        assert_ne!(fingerprint_gaussian(&g1), fingerprint_gaussian(&g2));
+    }
+
+    #[test]
+    fn store_serves_second_lookup_from_cache() {
+        let store = CacheStore::new(8);
+        let inst = instance(0.0);
+        let q = query();
+        let key = CacheKey::new(fingerprint_instance(&inst), 42);
+        let t1 = store.tables(key, || ScopedTables::build(&inst, &q));
+        let t2 = store.tables(key, || panic!("second lookup must not rebuild"));
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let stats = store.stats();
+        assert_eq!(stats.scoped_builds, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.scoped_build_evals > 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn store_evicts_fifo_at_capacity() {
+        let store = CacheStore::with_shards(2, 1);
+        let inst = instance(0.0);
+        let q = query();
+        for i in 0..3u64 {
+            store.tables(CacheKey::new(i, 0), || ScopedTables::build(&inst, &q));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // The evicted (oldest) key rebuilds; the resident ones hit.
+        store.tables(CacheKey::new(2, 0), || {
+            panic!("resident key must not rebuild")
+        });
+        store.tables(CacheKey::new(0, 0), || ScopedTables::build(&inst, &q));
+        assert_eq!(store.stats().scoped_builds, 4);
+    }
+
+    #[test]
+    fn concurrent_lookups_build_once() {
+        let store = Arc::new(CacheStore::new(8));
+        let inst = instance(0.0);
+        let q = query();
+        let key = CacheKey::new(fingerprint_instance(&inst), 7);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| store.tables(key, || ScopedTables::build(&inst, &q)));
+            }
+        });
+        assert_eq!(store.stats().scoped_builds, 1, "OnceLock dedups builders");
+    }
+
+    #[test]
+    fn benefits_cached_including_non_affine_none() {
+        let store = CacheStore::new(8);
+        let key = CacheKey::new(1, 2);
+        let b1 = store.benefits(key, || Some(vec![1.0, 2.0]));
+        let b2 = store.benefits(key, || panic!("must not recompute"));
+        assert_eq!(b1.as_deref(), Some(&vec![1.0, 2.0]));
+        assert!(Arc::ptr_eq(&b1.unwrap(), &b2.unwrap()));
+        // `None` (non-affine) is a cacheable answer too.
+        let key2 = CacheKey::new(3, 4);
+        assert!(store.benefits(key2, || None).is_none());
+        assert!(store
+            .benefits(key2, || panic!("must not recompute"))
+            .is_none());
+    }
+}

@@ -1,0 +1,517 @@
+//! The sharded parallel batch executor.
+//!
+//! The paper's workloads are batch-shaped: §6 runs 14 algorithms across
+//! budget grids, and an assisted fact-checking pipeline issues many
+//! (measure, goal, budget) requests over one dataset concurrently.
+//! Lowered [`Problem`]s are independent of each other — engines are
+//! per-problem, so a batch parallelizes without locking. This module
+//! shards that work across a scoped-thread worker pool
+//! (`std::thread::scope`; no extra dependencies) and merges the
+//! [`Plan`]s back **in input order**:
+//!
+//! * [`solve_batch`] — heterogeneous jobs (problem × strategy ×
+//!   budget). Jobs sharing a problem form one work unit so they share
+//!   an [`EngineCache`] exactly as the sequential path does.
+//! * [`sweep`] — one problem across a budget sweep. Budget points are
+//!   dealt to workers dynamically; the scoped-table prefix work is
+//!   shared across workers through a [`CacheStore`] (the caller's
+//!   persistent store when a [`CacheKey`] is provided, otherwise an
+//!   ephemeral one private to the call).
+//!
+//! **Determinism:** every solver is a pure function of (problem,
+//! budget, engine tables), and the tables are identical whether built
+//! fresh, shared, or served from a store. Plans produced under any
+//! [`Parallelism`] mode are byte-identical to the sequential ones, and
+//! error reporting picks the failing job with the smallest input index
+//! — exactly what a sequential fold would surface.
+//!
+//! **Admission control:** spawning threads for a trivial batch costs
+//! more than solving it. Work units whose estimated engine evaluations
+//! ([`Problem::estimated_engine_evals`]) fall below
+//! [`ExecOptions::inline_threshold`] run on the caller thread; only
+//! meaty units go to the pool, and the pool is skipped entirely when
+//! nothing clears the bar.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::cache::{CacheKey, CacheStore};
+use super::{EngineCache, Plan, Problem, Solver, SolverRegistry};
+use crate::budget::Budget;
+use crate::Result;
+
+/// How many workers a batch call may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Parallelism {
+    /// One worker per available CPU (capped by the number of work
+    /// units) — the right default for throughput-bound sweeps.
+    #[default]
+    Auto,
+    /// Exactly `n` workers (`0` is treated as `1`). Use to pin batch
+    /// jobs to a core budget in co-tenant deployments, or `Fixed(k)`
+    /// vs [`Parallelism::Sequential`] in determinism tests.
+    Fixed(usize),
+    /// Solve on the caller thread, in input order — no pool, no
+    /// spawn overhead, the exact legacy code path. Pick this for tiny
+    /// instances, single-request latency, or debugging.
+    Sequential,
+}
+
+impl Parallelism {
+    /// Worker count for `units` independent work units.
+    pub fn worker_count(self, units: usize) -> usize {
+        let cap = match self {
+            Self::Sequential => 1,
+            Self::Fixed(n) => n.max(1),
+            Self::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        cap.min(units).max(1)
+    }
+}
+
+/// Knobs for [`solve_batch`] / [`sweep`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ExecOptions {
+    /// Worker-pool sizing.
+    pub parallelism: Parallelism,
+    /// Work units with fewer estimated engine evaluations than this run
+    /// inline on the caller thread (see the module docs). The default
+    /// is [`ExecOptions::DEFAULT_INLINE_THRESHOLD`].
+    pub inline_threshold: u64,
+    /// Persistent engine store consulted by work units that carry a
+    /// [`CacheKey`]; units without a key never touch it.
+    pub store: Option<Arc<CacheStore>>,
+}
+
+impl ExecOptions {
+    /// Default [`ExecOptions::inline_threshold`]: roughly the engine
+    /// work below which thread spawn/join overhead (~tens of µs) wins.
+    pub const DEFAULT_INLINE_THRESHOLD: u64 = 4096;
+
+    /// Options with the given parallelism and default admission
+    /// control.
+    pub fn new(parallelism: Parallelism) -> Self {
+        Self {
+            parallelism,
+            inline_threshold: Self::DEFAULT_INLINE_THRESHOLD,
+            store: None,
+        }
+    }
+
+    /// Sets the inline-admission threshold.
+    pub fn with_inline_threshold(mut self, evals: u64) -> Self {
+        self.inline_threshold = evals;
+        self
+    }
+
+    /// Attaches a persistent engine store.
+    pub fn with_store(mut self, store: Arc<CacheStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+}
+
+impl Default for ExecOptions {
+    /// Hand-written so `default()` agrees with `new(...)` on the
+    /// inline threshold (a derived Default would zero it and disable
+    /// admission control).
+    fn default() -> Self {
+        Self::new(Parallelism::default())
+    }
+}
+
+/// One batch request: solve `problem` under `budget` with `strategy`.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchJob<'p> {
+    /// Registry strategy name (`"auto"`, `"greedy"`, …).
+    pub strategy: &'p str,
+    /// The lowered problem. Jobs pointing at the *same* `Problem`
+    /// (pointer identity) with the same `key` share one engine cache
+    /// per work unit.
+    pub problem: &'p Problem,
+    /// The cleaning budget.
+    pub budget: Budget,
+    /// Persistence identity for [`ExecOptions::store`] lookups. Must
+    /// fingerprint the problem's instance *and* query (see
+    /// [`CacheStore`]'s caveats); `None` opts this
+    /// job out of the persistent store.
+    pub key: Option<CacheKey>,
+}
+
+/// A work unit: all jobs sharing one problem (each job carries the
+/// problem reference itself; the unit only needs the shared cache key).
+struct Unit {
+    key: Option<CacheKey>,
+    /// Indices into the jobs slice, in input order.
+    jobs: Vec<usize>,
+    estimate: u64,
+}
+
+fn cache_for<'p>(opts: &ExecOptions, key: Option<CacheKey>) -> EngineCache<'p> {
+    match (&opts.store, key) {
+        (Some(store), Some(key)) => EngineCache::with_store(Arc::clone(store), key),
+        _ => EngineCache::new(),
+    }
+}
+
+/// Solves a batch of jobs, sharding work units across a scoped worker
+/// pool, and returns the plans in input order. The first error (by
+/// input index) fails the whole batch, matching the sequential fold.
+/// See the module docs for determinism and admission control.
+pub fn solve_batch(
+    registry: &SolverRegistry,
+    jobs: &[BatchJob<'_>],
+    opts: &ExecOptions,
+) -> Result<Vec<Plan>> {
+    // Resolve strategies up front: unknown names fail fast and
+    // deterministically, before any thread is spawned.
+    let solvers: Vec<Arc<dyn Solver>> = jobs
+        .iter()
+        .map(|j| registry.get(j.strategy))
+        .collect::<Result<_>>()?;
+
+    // Group jobs into work units by (problem pointer identity, cache
+    // key): same-key jobs share an engine cache; a `key: None` job
+    // never rides a store-backed cache it opted out of. Grouping is
+    // O(jobs) via a hash of the pointer — serving batches can carry
+    // thousands of mostly-distinct problems.
+    let mut units: Vec<Unit> = Vec::new();
+    let mut unit_index: HashMap<(*const Problem, Option<CacheKey>), usize> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match unit_index.entry((job.problem as *const Problem, job.key)) {
+            Entry::Occupied(e) => units[*e.get()].jobs.push(i),
+            Entry::Vacant(e) => {
+                e.insert(units.len());
+                units.push(Unit {
+                    key: job.key,
+                    jobs: vec![i],
+                    estimate: job.problem.estimated_engine_evals(),
+                });
+            }
+        }
+    }
+
+    let mut slots: Vec<Option<Result<Plan>>> = jobs.iter().map(|_| None).collect();
+    let run_unit = |unit: &Unit, out: &mut dyn FnMut(usize, Result<Plan>)| {
+        let cache = cache_for(opts, unit.key);
+        for &i in &unit.jobs {
+            let job = &jobs[i];
+            out(
+                i,
+                solvers[i].solve_with_cache(job.problem, job.budget, &cache),
+            );
+        }
+    };
+
+    // Admission control: tiny units stay on the caller thread.
+    let (pooled, inline): (Vec<&Unit>, Vec<&Unit>) = units
+        .iter()
+        .partition(|u| u.estimate.saturating_mul(u.jobs.len() as u64) >= opts.inline_threshold);
+    let workers = opts.parallelism.worker_count(pooled.len());
+
+    if workers <= 1 {
+        for unit in &units {
+            run_unit(unit, &mut |i, r| slots[i] = Some(r));
+        }
+    } else {
+        let shared: Vec<Mutex<Option<Result<Plan>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= pooled.len() {
+                        break;
+                    }
+                    run_unit(pooled[u], &mut |i, r| {
+                        *shared[i].lock().expect("result slot poisoned") = Some(r);
+                    });
+                });
+            }
+            // The caller thread handles the tiny units meanwhile.
+            for unit in &inline {
+                run_unit(unit, &mut |i, r| {
+                    *shared[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        for (slot, shared) in slots.iter_mut().zip(shared) {
+            *slot = shared.into_inner().expect("result slot poisoned");
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job index was dealt to exactly one unit"))
+        .collect()
+}
+
+/// Solves one problem across a budget sweep, dealing budget points to
+/// workers dynamically. The engine prefix work is built once and shared
+/// through a [`CacheStore`]: the caller's persistent store when `key`
+/// is `Some`, otherwise an ephemeral store private to this call (so an
+/// unkeyed sweep can never collide with foreign entries).
+pub fn sweep(
+    registry: &SolverRegistry,
+    strategy: &str,
+    problem: &Problem,
+    budgets: &[Budget],
+    opts: &ExecOptions,
+    key: Option<CacheKey>,
+) -> Result<Vec<Plan>> {
+    let solver = registry.get(strategy)?;
+    let estimate = problem
+        .estimated_engine_evals()
+        .saturating_mul(budgets.len() as u64);
+    let workers = if estimate < opts.inline_threshold {
+        1
+    } else {
+        opts.parallelism.worker_count(budgets.len())
+    };
+
+    let (store, key) = match (&opts.store, key) {
+        (Some(store), Some(key)) => (Arc::clone(store), key),
+        // No trustworthy identity: use a throwaway store so workers
+        // still share the prefix work within this call.
+        _ => (Arc::new(CacheStore::new(1)), CacheKey::new(0, 0)),
+    };
+
+    if workers <= 1 {
+        let cache = EngineCache::with_store(store, key);
+        return budgets
+            .iter()
+            .map(|&b| solver.solve_with_cache(problem, b, &cache))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<Result<Plan>>>> =
+        budgets.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // One cache per worker; the store dedups the build, so
+                // the first worker to arrive pays it and the rest wait
+                // (OnceLock) instead of duplicating it.
+                let cache = EngineCache::with_store(Arc::clone(&store), key);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= budgets.len() {
+                        break;
+                    }
+                    let r = solver.solve_with_cache(problem, budgets[i], &cache);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every budget index was dealt to a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{GaussianInstance, Instance};
+    use crate::planner::Problem;
+    use crate::CoreError;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, DupQuery, LinearClaim};
+    use fc_uncertain::{rng_from_seed, DiscreteDist};
+    use rand::Rng;
+
+    fn claims(n: usize) -> ClaimSet {
+        let perturbations: Vec<LinearClaim> = (0..n - 1)
+            .map(|i| LinearClaim::window_sum(i, 2).unwrap())
+            .collect();
+        let weights = vec![1.0; perturbations.len()];
+        ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            perturbations,
+            weights,
+            Direction::HigherIsStronger,
+        )
+        .unwrap()
+    }
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = rng_from_seed(seed);
+        let dists = (0..n)
+            .map(|_| {
+                let k = rng.gen_range(2..=3);
+                let vals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..10.0)).collect();
+                DiscreteDist::uniform_over(&vals).unwrap()
+            })
+            .collect::<Vec<_>>();
+        let current = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let costs = (0..n).map(|_| rng.gen_range(1..5)).collect();
+        Instance::new(dists, current, costs).unwrap()
+    }
+
+    fn assert_identical(a: &[Plan], b: &[Plan]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.divergence(y), None, "plan {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_bytes() {
+        for seed in [3u64, 17, 99] {
+            let inst = random_instance(12, seed);
+            let cs = claims(12);
+            let dup = Problem::discrete_min_var(
+                inst.clone(),
+                std::sync::Arc::new(DupQuery::new(cs.clone(), 6.0)),
+            )
+            .unwrap();
+            let bias = Problem::discrete_min_var(
+                inst.clone(),
+                std::sync::Arc::new(BiasQuery::new(cs.clone(), 6.0)),
+            )
+            .unwrap();
+            let registry = SolverRegistry::with_defaults();
+            let jobs: Vec<BatchJob<'_>> = [
+                ("auto", &dup),
+                ("greedy", &dup),
+                ("auto", &bias),
+                ("greedy-naive", &bias),
+                ("best", &dup),
+            ]
+            .into_iter()
+            .map(|(strategy, problem)| BatchJob {
+                strategy,
+                problem,
+                budget: Budget::absolute(4),
+                key: None,
+            })
+            .collect();
+            let seq =
+                solve_batch(&registry, &jobs, &ExecOptions::new(Parallelism::Sequential)).unwrap();
+            // Force everything through the pool: threshold 0.
+            let par = solve_batch(
+                &registry,
+                &jobs,
+                &ExecOptions::new(Parallelism::Fixed(4)).with_inline_threshold(0),
+            )
+            .unwrap();
+            assert_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_bytes() {
+        let inst = random_instance(16, 5);
+        let p =
+            Problem::discrete_min_var(inst, std::sync::Arc::new(DupQuery::new(claims(16), 8.0)))
+                .unwrap();
+        let registry = SolverRegistry::with_defaults();
+        let budgets: Vec<Budget> = (0..10).map(Budget::absolute).collect();
+        let seq = registry.sweep("greedy", &p, &budgets).unwrap();
+        let par = sweep(
+            &registry,
+            "greedy",
+            &p,
+            &budgets,
+            &ExecOptions::new(Parallelism::Fixed(4)).with_inline_threshold(0),
+            None,
+        )
+        .unwrap();
+        assert_identical(&seq, &par);
+    }
+
+    #[test]
+    fn unknown_strategy_fails_before_spawning() {
+        let inst = random_instance(4, 1);
+        let p = Problem::discrete_min_var(inst, std::sync::Arc::new(DupQuery::new(claims(4), 1.0)))
+            .unwrap();
+        let registry = SolverRegistry::with_defaults();
+        let jobs = [BatchJob {
+            strategy: "nope",
+            problem: &p,
+            budget: Budget::absolute(1),
+            key: None,
+        }];
+        let err = solve_batch(&registry, &jobs, &ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownStrategy { name } if name == "nope"));
+    }
+
+    #[test]
+    fn first_error_by_input_index_wins() {
+        // "best" refuses Gaussian problems; the error surfaced must be
+        // the lowest-index failing job, like a sequential fold.
+        let g =
+            GaussianInstance::centered_independent(vec![0.0; 4], &[1.0; 4], vec![1; 4]).unwrap();
+        let p = Problem::gaussian_min_var(g, vec![1.0; 4]).unwrap();
+        let registry = SolverRegistry::with_defaults();
+        let jobs: Vec<BatchJob<'_>> = ["auto", "best", "bicriteria"]
+            .into_iter()
+            .map(|strategy| BatchJob {
+                strategy,
+                problem: &p,
+                budget: Budget::absolute(2),
+                key: None,
+            })
+            .collect();
+        for opts in [
+            ExecOptions::new(Parallelism::Sequential),
+            ExecOptions::new(Parallelism::Fixed(3)).with_inline_threshold(0),
+        ] {
+            let err = solve_batch(&registry, &jobs, &opts).unwrap_err();
+            assert!(
+                matches!(&err, CoreError::StrategyUnsupported { strategy, .. } if strategy == "best"),
+                "expected the job-1 error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_respects_mode_and_units() {
+        assert_eq!(Parallelism::Sequential.worker_count(100), 1);
+        assert_eq!(Parallelism::Fixed(4).worker_count(100), 4);
+        assert_eq!(Parallelism::Fixed(0).worker_count(100), 1);
+        assert_eq!(Parallelism::Fixed(8).worker_count(3), 3);
+        assert!(Parallelism::Auto.worker_count(100) >= 1);
+        assert_eq!(Parallelism::Auto.worker_count(0), 1);
+    }
+
+    #[test]
+    fn sweep_with_store_shares_tables_across_workers() {
+        let store = Arc::new(CacheStore::new(8));
+        let inst = random_instance(16, 9);
+        let key = CacheKey::new(super::super::cache::fingerprint_instance(&inst), 1);
+        let p =
+            Problem::discrete_min_var(inst, std::sync::Arc::new(DupQuery::new(claims(16), 8.0)))
+                .unwrap();
+        let registry = SolverRegistry::with_defaults();
+        let budgets: Vec<Budget> = (0..8).map(Budget::absolute).collect();
+        let opts = ExecOptions::new(Parallelism::Fixed(4))
+            .with_inline_threshold(0)
+            .with_store(Arc::clone(&store));
+        let first = sweep(&registry, "greedy", &p, &budgets, &opts, Some(key)).unwrap();
+        assert_eq!(
+            store.stats().scoped_builds,
+            1,
+            "workers share one table build"
+        );
+        let second = sweep(&registry, "greedy", &p, &budgets, &opts, Some(key)).unwrap();
+        assert_eq!(
+            store.stats().scoped_builds,
+            1,
+            "second sweep rebuilds nothing"
+        );
+        assert_identical(&first, &second);
+    }
+}

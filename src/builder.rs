@@ -31,7 +31,9 @@
 use std::sync::Arc;
 
 use fc_claims::ClaimSet;
-use fc_core::{CoreError, GaussianInstance, Instance, Result, SolverRegistry};
+use fc_core::{
+    CacheStore, CoreError, GaussianInstance, Instance, Parallelism, Result, SolverRegistry,
+};
 
 use crate::session::{CleaningSession, DataModel};
 
@@ -46,6 +48,8 @@ pub struct SessionBuilder {
     theta: Option<f64>,
     registry: Option<Arc<SolverRegistry>>,
     discretize_support: usize,
+    parallelism: Parallelism,
+    cache_store: Option<Arc<CacheStore>>,
 }
 
 impl Default for SessionBuilder {
@@ -59,6 +63,8 @@ impl Default for SessionBuilder {
             theta: None,
             registry: None,
             discretize_support: DEFAULT_DISCRETIZE_SUPPORT,
+            parallelism: Parallelism::Auto,
+            cache_store: None,
         }
     }
 }
@@ -114,6 +120,26 @@ impl SessionBuilder {
         self
     }
 
+    /// How `recommend_many`/`recommend_sweep` shard work across
+    /// threads (default [`Parallelism::Auto`]). Plans are byte-identical
+    /// across modes; pick [`Parallelism::Sequential`] for
+    /// single-request latency or tiny instances,
+    /// [`Parallelism::Fixed`] to pin a core budget.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Installs a persistent engine store: scoped-EV tables and modular
+    /// benefits are keyed on (instance fingerprint, measure identity)
+    /// so repeated sessions over the same dataset skip the prefix
+    /// rebuild. Share one `Arc` across sessions and request threads.
+    /// See [`fc_core::planner::cache`] for the fingerprint caveats.
+    pub fn cache_store(mut self, store: Arc<CacheStore>) -> Self {
+        self.cache_store = Some(store);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Result<CleaningSession> {
         let data = self.data.ok_or(CoreError::BuilderIncomplete {
@@ -132,6 +158,8 @@ impl SessionBuilder {
             self.registry
                 .unwrap_or_else(|| Arc::new(SolverRegistry::with_defaults())),
             self.discretize_support,
+            self.parallelism,
+            self.cache_store,
         ))
     }
 }
@@ -144,6 +172,8 @@ impl std::fmt::Debug for SessionBuilder {
             .field("theta", &self.theta)
             .field("custom_registry", &self.registry.is_some())
             .field("discretize_support", &self.discretize_support)
+            .field("parallelism", &self.parallelism)
+            .field("cache_store", &self.cache_store.is_some())
             .finish()
     }
 }

@@ -12,11 +12,11 @@
 //! (`fc-uncertain`, `fc-claims`, `fc-core`, `fc-datasets`). Its
 //! serving surface is the **unified planner API**:
 //!
-//! * [`SessionBuilder`](builder::SessionBuilder) constructs a
+//! * [`SessionBuilder`] constructs a
 //!   [`CleaningSession`] over either error model — discrete marginals
 //!   or Gaussian — with an optional custom
 //!   [`SolverRegistry`](fc_core::SolverRegistry);
-//! * [`ObjectiveSpec`](planner::ObjectiveSpec) describes a request:
+//! * [`ObjectiveSpec`] describes a request:
 //!   measure (`bias`/`dup`/`frag`) × goal (`MinVar`/`MaxPr{τ}`) ×
 //!   strategy (`Auto` routing per the paper, or any named registry
 //!   strategy such as `"best"`, `"optimum-knapsack"`, `"brute"`);
@@ -27,7 +27,15 @@
 //!   prefix work across the sweep);
 //! * results are [`Plan`](fc_core::Plan)s: the selection, objective
 //!   before/after, the resolved strategy name, and evaluation
-//!   diagnostics.
+//!   diagnostics;
+//! * batches and sweeps are sharded across a worker pool
+//!   ([`SessionBuilder::parallelism`](builder::SessionBuilder::parallelism)
+//!   with a [`Parallelism`](fc_core::Parallelism) knob — plans stay
+//!   byte-identical to sequential execution), and a shared
+//!   [`CacheStore`](fc_core::CacheStore)
+//!   ([`SessionBuilder::cache_store`](builder::SessionBuilder::cache_store))
+//!   persists the scoped-EV prefix work across sessions, keyed on
+//!   (instance fingerprint, measure identity).
 //!
 //! ```
 //! use fact_clean::prelude::*;
@@ -105,7 +113,8 @@ pub mod prelude {
         ClaimSet, Direction, LinearClaim,
     };
     pub use fc_core::{
-        Budget, GaussianInstance, Instance, Plan, Problem, Selection, Solver, SolverRegistry,
+        Budget, CacheStore, GaussianInstance, Instance, Parallelism, Plan, Problem, Selection,
+        Solver, SolverRegistry,
     };
     // The classic free-function entry points remain available for code
     // that predates the planner API.

@@ -17,13 +17,25 @@
 //! * [`CleaningSession::recommend_sweep`] — one objective across a
 //!   budget sweep, sharing the engine prefix work across all points
 //!   (the hot path of every figure binary).
+//!
+//! Batches and sweeps run through the planner's sharded executor:
+//! independent lowered problems (and sweep budget points) are dealt to
+//! a worker pool sized by the builder's
+//! [`parallelism`](crate::builder::SessionBuilder::parallelism) knob,
+//! and the plans come back in input order, byte-identical to the
+//! sequential ones. With a
+//! [`cache_store`](crate::builder::SessionBuilder::cache_store)
+//! installed, the expensive scoped-EV prefix work is additionally keyed
+//! on (instance fingerprint, measure identity) and survives the
+//! session — repeat sessions over the same dataset rebuild nothing.
 
 use std::sync::Arc;
 
 use fc_claims::{BiasQuery, ClaimSet, DupQuery, FragQuery, QueryFunction};
-use fc_core::planner::{EngineCache, SharedQuery};
+use fc_core::planner::{EngineCache, Fnv1a, SharedQuery};
 use fc_core::{
-    Budget, CoreError, GaussianInstance, Instance, Plan, Problem, Result, Selection, SolverRegistry,
+    BatchJob, Budget, CacheKey, CacheStore, CoreError, ExecOptions, GaussianInstance, Instance,
+    Parallelism, Plan, Problem, Result, Selection, SolverRegistry,
 };
 
 use crate::builder::SessionBuilder;
@@ -162,6 +174,13 @@ pub struct CleaningSession {
     theta: f64,
     registry: Arc<SolverRegistry>,
     discretize_support: usize,
+    parallelism: Parallelism,
+    cache_store: Option<Arc<CacheStore>>,
+    /// Memoized per-measure [`CacheKey`]s (data, claims, and θ are
+    /// immutable within a session, so each key is computed once;
+    /// indexed Bias/Dup/Frag). Clones share the memo — they share the
+    /// data it fingerprints.
+    cache_keys: Arc<[std::sync::OnceLock<CacheKey>; 3]>,
 }
 
 impl std::fmt::Debug for CleaningSession {
@@ -170,6 +189,8 @@ impl std::fmt::Debug for CleaningSession {
             .field("data", &self.data)
             .field("theta", &self.theta)
             .field("strategies", &self.registry.names().len())
+            .field("parallelism", &self.parallelism)
+            .field("cache_store", &self.cache_store.is_some())
             .finish()
     }
 }
@@ -198,6 +219,8 @@ impl CleaningSession {
         theta: f64,
         registry: Arc<SolverRegistry>,
         discretize_support: usize,
+        parallelism: Parallelism,
+        cache_store: Option<Arc<CacheStore>>,
     ) -> Self {
         Self {
             data,
@@ -205,6 +228,9 @@ impl CleaningSession {
             theta,
             registry,
             discretize_support,
+            parallelism,
+            cache_store,
+            cache_keys: Arc::new(Default::default()),
         }
     }
 
@@ -301,18 +327,80 @@ impl CleaningSession {
         }
     }
 
+    /// The executor options this session solves batches and sweeps
+    /// with (builder-configured parallelism + optional engine store).
+    fn exec_options(&self) -> ExecOptions {
+        let mut opts = ExecOptions::new(self.parallelism);
+        if let Some(store) = &self.cache_store {
+            opts = opts.with_store(Arc::clone(store));
+        }
+        opts
+    }
+
+    /// The persistence identity of a lowered problem: the instance
+    /// fingerprint paired with a digest of everything the engines
+    /// depend on besides it — measure, θ, the claim family, and the
+    /// discretization width (for Gaussian data lowered onto discrete
+    /// engines). Goal and budget are deliberately excluded: scoped
+    /// tables and modular benefits are valid for every goal. Memoized
+    /// per measure — everything hashed is immutable for the session's
+    /// lifetime, so the instance is fingerprinted once, not per
+    /// request.
+    fn cache_key(&self, problem: &Problem, measure: Measure) -> CacheKey {
+        let slot = &self.cache_keys[match measure {
+            Measure::Bias => 0,
+            Measure::Dup => 1,
+            Measure::Frag => 2,
+        }];
+        *slot.get_or_init(|| self.compute_cache_key(problem, measure))
+    }
+
+    fn compute_cache_key(&self, problem: &Problem, measure: Measure) -> CacheKey {
+        let mut h = Fnv1a::new();
+        h.write_str(measure.name());
+        h.write_f64(self.theta);
+        h.write_usize(self.discretize_support);
+        fn claim(h: &mut Fnv1a, c: &fc_claims::LinearClaim) {
+            h.write_usize(c.terms().len());
+            for &(obj, w) in c.terms() {
+                h.write_usize(obj);
+                h.write_f64(w);
+            }
+            h.write_f64(c.bias_term());
+        }
+        claim(&mut h, self.claims.original());
+        h.write_usize(self.claims.len());
+        for p in self.claims.perturbations() {
+            claim(&mut h, p);
+        }
+        h.write_f64s(self.claims.sensibilities());
+        h.write_str(match self.claims.direction() {
+            fc_claims::Direction::HigherIsStronger => "higher",
+            fc_claims::Direction::LowerIsStronger => "lower",
+        });
+        CacheKey::new(problem.instance_fingerprint(), h.finish())
+    }
+
     /// Recommends what to clean under `budget` for one objective.
     pub fn recommend(&self, spec: impl Into<ObjectiveSpec>, budget: Budget) -> Result<Plan> {
         let spec = spec.into();
         let problem = self.build_problem(&spec)?;
-        self.registry.solve(spec.strategy.key(), &problem, budget)
+        let cache = match &self.cache_store {
+            Some(store) => {
+                EngineCache::with_store(Arc::clone(store), self.cache_key(&problem, spec.measure))
+            }
+            None => EngineCache::new(),
+        };
+        self.registry
+            .solve_with_cache(spec.strategy.key(), &problem, budget, &cache)
     }
 
     /// Recommends for a batch of objectives at one budget — one request
     /// per measure/goal the fact-checker cares about. Specs sharing a
     /// measure and goal are lowered to one problem and share its engine
     /// cache (so strategy A/B comparisons pay the scoped-EV prefix work
-    /// once).
+    /// once); distinct problems are sharded across the session's worker
+    /// pool and the plans come back in spec order.
     pub fn recommend_many(&self, specs: &[ObjectiveSpec], budget: Budget) -> Result<Vec<Plan>> {
         let mut keys: Vec<(Measure, Goal)> = Vec::new();
         let mut problems: Vec<Problem> = Vec::new();
@@ -330,27 +418,45 @@ impl CleaningSession {
                 }
             }
         }
-        let caches: Vec<EngineCache<'_>> = problems.iter().map(|_| EngineCache::new()).collect();
-        specs
+        let cache_keys: Vec<Option<CacheKey>> = problems
+            .iter()
+            .zip(&keys)
+            .map(|(p, &(measure, _))| {
+                self.cache_store
+                    .as_ref()
+                    .map(|_| self.cache_key(p, measure))
+            })
+            .collect();
+        let jobs: Vec<BatchJob<'_>> = specs
             .iter()
             .zip(index)
-            .map(|(spec, i)| {
-                self.registry.solve_with_cache(
-                    spec.strategy.key(),
-                    &problems[i],
-                    budget,
-                    &caches[i],
-                )
+            .map(|(spec, i)| BatchJob {
+                strategy: spec.strategy.key(),
+                problem: &problems[i],
+                budget,
+                key: cache_keys[i],
             })
-            .collect()
+            .collect();
+        self.registry.solve_batch(&jobs, &self.exec_options())
     }
 
     /// Recommends for one objective across a budget sweep, sharing the
     /// engine prefix work (scoped-EV tables, modular benefits) across
-    /// all points.
+    /// all points and sharding the budget points across the session's
+    /// worker pool.
     pub fn recommend_sweep(&self, spec: &ObjectiveSpec, budgets: &[Budget]) -> Result<Vec<Plan>> {
         let problem = self.build_problem(spec)?;
-        self.registry.sweep(spec.strategy.key(), &problem, budgets)
+        let key = self
+            .cache_store
+            .as_ref()
+            .map(|_| self.cache_key(&problem, spec.measure));
+        self.registry.sweep_with(
+            spec.strategy.key(),
+            &problem,
+            budgets,
+            &self.exec_options(),
+            key,
+        )
     }
 
     /// Applies a cleaning outcome: pins the selected objects at their
@@ -398,6 +504,13 @@ impl CleaningSession {
             theta: self.theta,
             registry: Arc::clone(&self.registry),
             discretize_support: self.discretize_support,
+            parallelism: self.parallelism,
+            // The cleaned instance has a new fingerprint, so sharing
+            // the store stays correct — entries never collide. The key
+            // memo is NOT shared for the same reason: it caches keys
+            // derived from the old instance's fingerprint.
+            cache_store: self.cache_store.clone(),
+            cache_keys: Arc::new(Default::default()),
         })
     }
 
