@@ -1,7 +1,10 @@
 //! Figs. 3 — uniqueness on URx: for each Γ ∈ {50..300}, expected
 //! duplicity variance vs budget for GreedyNaive / GreedyMinVar / Best
-//! (§4.2). The generator can be overridden with a free arg
-//! (`lnx`/`smx`), though `fig04`/`fig05` preset those.
+//! (§4.2), served through the planner registry (one batch of
+//! strategy × budget jobs per Γ panel, sharing one engine build — see
+//! [`fc_bench::synthetic_uniqueness_sweep`]). The generator can be
+//! overridden with a free arg (`lnx`/`smx`), though `fig04`/`fig05`
+//! preset those.
 
 use fc_bench::{synthetic_uniqueness_sweep, HarnessCfg};
 use fc_datasets::SyntheticKind;

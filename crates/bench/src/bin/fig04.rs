@@ -1,4 +1,5 @@
-//! Fig. 4 — uniqueness on LNx, Γ ∈ {3.0..5.5} (see fig03).
+//! Fig. 4 — uniqueness on LNx, Γ ∈ {3.0..5.5}, served through the
+//! planner registry (see fig03).
 
 use fc_bench::{synthetic_uniqueness_sweep, HarnessCfg};
 use fc_datasets::SyntheticKind;

@@ -1,4 +1,5 @@
-//! Fig. 5 — uniqueness on SMx, Γ ∈ {50..300} (see fig03).
+//! Fig. 5 — uniqueness on SMx, Γ ∈ {50..300}, served through the
+//! planner registry (see fig03).
 
 use fc_bench::{synthetic_uniqueness_sweep, HarnessCfg};
 use fc_datasets::SyntheticKind;

@@ -1,0 +1,244 @@
+//! `serve_smoke` — the serving-layer counterpart of `par_sweep`: a CI
+//! gate over the long-lived [`PlannerService`] + [`ClaimStream`] stack.
+//!
+//! Builds two synthetic uniqueness datasets, opens a claim stream over
+//! each (sharing one service, one store, one worker pool), and drives a
+//! **mixed interactive + sweep workload** through them:
+//!
+//! 1. concurrent single-objective submissions (bias/dup/frag/counter)
+//!    racing a budget sweep, from multiple submitter threads;
+//! 2. a cleaning step on stream A (`mark_cleaned`), then resubmission
+//!    on both streams.
+//!
+//! The binary **fails (exit 1)** if
+//!
+//! * any served plan diverges from its synchronous
+//!   `recommend`/`recommend_many`/`recommend_sweep` twin
+//!   ([`Plan::divergence`] is the shared byte-identity gate), or
+//! * a stale cache entry survives invalidation — detected both
+//!   structurally (stream A's post-cleaning plans must match a fresh
+//!   session over the cleaned data) and by the store counters (stream
+//!   B must report **zero** scoped-table rebuilds after stream A's
+//!   invalidation).
+//!
+//! Run `--quick` for the CI-sized instance.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fact_clean::prelude::*;
+use fc_bench::HarnessCfg;
+use fc_claims::window_sum_family;
+use fc_core::SolverRegistry;
+use fc_datasets::synthetic::urx;
+use fc_datasets::workloads::LAMBDA;
+
+fn dataset(n: usize, seed: u64) -> (Instance, ClaimSet) {
+    let instance = urx(n, seed).expect("synthetic instance");
+    let claims =
+        window_sum_family(n, 4, n - 4, Direction::LowerIsStronger, LAMBDA).expect("claim family");
+    (instance, claims)
+}
+
+fn sequential_session(instance: &Instance, claims: &ClaimSet) -> CleaningSession {
+    SessionBuilder::new()
+        .discrete(instance.clone())
+        .claims(claims.clone())
+        .parallelism(Parallelism::Sequential)
+        .build()
+        .expect("data and claims are set")
+}
+
+fn specs() -> Vec<ObjectiveSpec> {
+    vec![
+        ObjectiveSpec::ascertain(Measure::Bias),
+        ObjectiveSpec::ascertain(Measure::Dup),
+        ObjectiveSpec::ascertain(Measure::Frag),
+        ObjectiveSpec::find_counter(5.0),
+    ]
+}
+
+fn main() -> ExitCode {
+    let cfg = HarnessCfg::from_args();
+    // The mixed workload includes MaxPr (convolution) claims, whose
+    // greedy probes are O(budget · n · bins) — size accordingly.
+    let n = if cfg.quick { 100 } else { 400 };
+    let (instance_a, claims_a) = dataset(n, cfg.seed);
+    let (instance_b, claims_b) = dataset(n.saturating_sub(8), cfg.seed ^ 0xB);
+    let budget = Budget::fraction(instance_a.total_cost(), 0.2);
+    let budgets: Vec<Budget> = (1..=6)
+        .map(|i| Budget::fraction(instance_a.total_cost(), i as f64 / 20.0))
+        .collect();
+    let specs = specs();
+
+    // Inline threshold 0 so even the quick workload exercises the
+    // queue, the lanes, and the pool — the paths this gate exists for.
+    let service = PlannerService::new(
+        Arc::new(SolverRegistry::with_defaults()),
+        ServiceOptions::new().with_inline_threshold(0),
+    );
+    let store = Arc::clone(service.store());
+    let mut stream_a =
+        ClaimStream::open(sequential_session(&instance_a, &claims_a), service.clone());
+    let stream_b = ClaimStream::open(sequential_session(&instance_b, &claims_b), service.clone());
+
+    let mut failed = false;
+    let mut check = |what: &str, seq: &[Plan], served: &[Plan]| {
+        if seq.len() != served.len() {
+            eprintln!("FAIL {what}: plan count {} vs {}", seq.len(), served.len());
+            failed = true;
+            return;
+        }
+        for (i, (s, p)) in seq.iter().zip(served).enumerate() {
+            if let Some(why) = s.divergence(p) {
+                eprintln!("FAIL {what}: served plan {i} diverges: {why}");
+                failed = true;
+            }
+        }
+    };
+
+    // --- 1. mixed interactive + sweep workload, concurrent submitters ---
+    let seq_a = sequential_session(&instance_a, &claims_a);
+    let seq_many = seq_a
+        .recommend_many(&specs, budget)
+        .expect("sequential batch");
+    let sweep_spec = ObjectiveSpec::ascertain(Measure::Dup);
+    let seq_sweep = seq_a
+        .recommend_sweep(&sweep_spec, &budgets)
+        .expect("sequential sweep");
+
+    let t = Instant::now();
+    let sweep_handle = stream_a
+        .submit_sweep(&sweep_spec, &budgets)
+        .expect("sweep submission");
+    let served_many: Vec<Plan> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let stream_a = &stream_a;
+                let specs = &specs;
+                s.spawn(move || {
+                    specs
+                        .iter()
+                        .map(|spec| {
+                            stream_a
+                                .submit(spec.clone(), budget)
+                                .expect("submission")
+                                .wait()
+                                .expect("interactive claim")
+                        })
+                        .collect::<Vec<Plan>>()
+                })
+            })
+            .collect();
+        let mut first: Option<Vec<Plan>> = None;
+        for handle in handles {
+            let plans = handle.join().expect("submitter thread");
+            match &first {
+                None => first = Some(plans),
+                Some(reference) => {
+                    // Every submitter must see identical answers.
+                    for (i, (a, b)) in reference.iter().zip(&plans).enumerate() {
+                        if let Some(why) = a.divergence(b) {
+                            eprintln!("FAIL cross-submitter: plan {i} diverges: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+        }
+        first.expect("at least one submitter")
+    });
+    let served_sweep = sweep_handle.wait().expect("sweep result");
+    let mixed_time = t.elapsed();
+    check("interactive claims", &seq_many, &served_many);
+    check("budget sweep", &seq_sweep, &served_sweep);
+    let stats = service.stats();
+    println!(
+        "serve_smoke: n = {n}, mixed workload ({} requests, {} inline / {} interactive / {} bulk) \
+         in {:.3}s",
+        stats.submitted,
+        stats.inline,
+        stats.interactive,
+        stats.bulk,
+        mixed_time.as_secs_f64(),
+    );
+
+    // --- 2. cleaning step: surgical invalidation, no stale serves ---
+    // Warm stream B, remember the build count.
+    let warm_b = stream_b
+        .submit(sweep_spec.clone(), budget)
+        .expect("submission")
+        .wait()
+        .expect("stream B warm-up");
+    let builds_before = store.stats().scoped_builds;
+
+    // Clean stream A's recommended set at the distribution means.
+    let cleaned_objects = seq_many[1].selection.objects().to_vec();
+    let revealed: Vec<f64> = cleaned_objects
+        .iter()
+        .map(|&i| stream_a.session().instance().dist(i).mean())
+        .collect();
+    let invalidated = stream_a
+        .mark_cleaned(&cleaned_objects, &revealed)
+        .expect("cleaning step");
+
+    // Stream A resubmits: must match a fresh session over the cleaned
+    // data — a stale cache serve would diverge here.
+    let fresh = stream_a
+        .session()
+        .recommend_many(&specs, budget)
+        .expect("fresh post-cleaning batch");
+    let after: Vec<Plan> = specs
+        .iter()
+        .map(|spec| {
+            stream_a
+                .submit(spec.clone(), budget)
+                .expect("submission")
+                .wait()
+                .expect("post-cleaning claim")
+        })
+        .collect();
+    check("post-cleaning claims", &fresh, &after);
+
+    // Stream B resubmits: zero rebuilds (surgical invalidation), same
+    // answer.
+    let again_b = stream_b
+        .submit(sweep_spec, budget)
+        .expect("submission")
+        .wait()
+        .expect("stream B resubmit");
+    check(
+        "unrelated stream",
+        std::slice::from_ref(&warm_b),
+        std::slice::from_ref(&again_b),
+    );
+    let builds_after = store.stats().scoped_builds;
+    // Stream B's own warmth is read from its plan's provenance — the
+    // per-plan counters, unlike the global build delta, cannot be
+    // polluted by stream A's expected post-cleaning rebuilds.
+    println!(
+        "cleaning step: {invalidated} store entries invalidated, scoped builds {} -> {} \
+         (stream B store misses: {})",
+        builds_before, builds_after, again_b.diagnostics.store_misses,
+    );
+    if again_b.diagnostics.store_misses != 0 {
+        eprintln!(
+            "FAIL stale-cache gate: stream B rebuilt after an unrelated invalidation \
+             (diagnostics: {:?})",
+            again_b.diagnostics
+        );
+        failed = true;
+    }
+    if invalidated == 0 {
+        eprintln!("FAIL stale-cache gate: cleaning invalidated no store entries");
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("OK: served plans byte-identical to sequential; invalidation surgical");
+        ExitCode::SUCCESS
+    }
+}

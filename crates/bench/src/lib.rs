@@ -308,13 +308,22 @@ pub fn dup_posterior(
 }
 
 /// The Γ-sweep shared by Figs. 3/4/5: for each Γ, expected duplicity
-/// variance vs budget for GreedyNaive / GreedyMinVar / Best on the given
-/// synthetic generator.
+/// variance vs budget for GreedyNaive / GreedyMinVar / Best on the
+/// given synthetic generator. Served through the planner registry like
+/// fig02: one discrete MinVar [`fc_core::Problem`] per panel and one
+/// batch of strategy × budget jobs over it — jobs on one problem share
+/// a single engine cache, so the scoped-EV tables are built once per
+/// panel (per Γ), not once per strategy.
 pub fn synthetic_uniqueness_sweep(kind: fc_datasets::SyntheticKind, fig_no: u8, cfg: &HarnessCfg) {
-    use fc_core::algo::{
-        best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
-    };
+    use fc_core::{BatchJob, ExecOptions, SolverRegistry};
     use fc_datasets::SyntheticKind;
+    use std::sync::Arc;
+    const STRATEGIES: [(&str, &str); 3] = [
+        ("GreedyNaive", "greedy-naive"),
+        ("GreedyMinVar", "greedy"),
+        ("Best", "best"),
+    ];
+    let registry = SolverRegistry::with_defaults();
     let gammas: Vec<f64> = match kind {
         SyntheticKind::Lnx => vec![3.0, 3.5, 4.0, 4.5, 5.0, 5.5],
         _ => vec![50.0, 100.0, 150.0, 200.0, 250.0, 300.0],
@@ -322,8 +331,12 @@ pub fn synthetic_uniqueness_sweep(kind: fc_datasets::SyntheticKind, fig_no: u8, 
     let n = if cfg.quick { 20 } else { 40 };
     for (panel_idx, &gamma) in gammas.iter().enumerate() {
         let w = fc_datasets::workloads::synthetic_uniqueness(kind, n, gamma, cfg.seed).unwrap();
-        let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+        let problem =
+            fc_core::Problem::discrete_min_var(w.instance.clone(), Arc::new(w.query.clone()))
+                .expect("uniqueness workloads lower onto discrete MinVar");
         let total = w.instance.total_cost();
+        let fracs = cfg.budget_fracs();
+        let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
         let letter = (b'a' + panel_idx as u8) as char;
         let mut fig = Figure::new(
             format!("fig{fig_no:02}{letter}"),
@@ -331,28 +344,28 @@ pub fn synthetic_uniqueness_sweep(kind: fc_datasets::SyntheticKind, fig_no: u8, 
             "budget_frac",
             "expected variance after cleaning",
         );
-        let mut naive = Series::new("GreedyNaive");
-        let mut gmv = Series::new("GreedyMinVar");
-        let mut best = Series::new("Best");
-        for frac in cfg.budget_fracs() {
-            let budget = Budget::fraction(total, frac);
-            naive.push(
-                frac,
-                eng.ev_of(greedy_naive(&w.instance, &w.query, budget).objects()),
-            );
-            gmv.push(
-                frac,
-                eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects()),
-            );
-            best.push(
-                frac,
-                eng.ev_of(
-                    best_min_var_with_engine(&w.instance, &eng, budget, BestConfig::default())
-                        .objects(),
-                ),
-            );
+        let problem = &problem;
+        let jobs: Vec<BatchJob<'_>> = STRATEGIES
+            .iter()
+            .flat_map(|&(_, strategy)| {
+                budgets.iter().map(move |&budget| BatchJob {
+                    strategy,
+                    problem,
+                    budget,
+                    key: None,
+                })
+            })
+            .collect();
+        let plans = registry
+            .solve_batch(&jobs, &ExecOptions::default())
+            .expect("discrete MinVar supports all fig03-05 strategies");
+        for ((label, _), plans) in STRATEGIES.iter().zip(plans.chunks(budgets.len())) {
+            let mut series = Series::new(*label);
+            for (&frac, plan) in fracs.iter().zip(plans) {
+                series.push(frac, plan.after);
+            }
+            fig.series.push(series);
         }
-        fig.series.extend([naive, gmv, best]);
         fig.emit(cfg);
     }
 }

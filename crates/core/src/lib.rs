@@ -32,8 +32,9 @@ pub mod selection;
 pub use budget::Budget;
 pub use instance::{GaussianInstance, Instance};
 pub use planner::{
-    BatchJob, CacheKey, CacheStats, CacheStore, EngineCache, ExecOptions, Goal, Parallelism, Plan,
-    PlanDiagnostics, Problem, Solver, SolverRegistry,
+    BatchJob, CacheKey, CacheStats, CacheStore, EngineCache, ExecOptions, Goal, Lane, Parallelism,
+    Plan, PlanDiagnostics, PlannerService, Problem, RequestHandle, ServiceOptions, ServiceStats,
+    SolveRequest, Solver, SolverRegistry, SweepRequest, WorkerPool,
 };
 pub use selection::Selection;
 
@@ -99,6 +100,13 @@ pub enum CoreError {
         /// The missing component.
         what: &'static str,
     },
+    /// A serving-layer worker panicked while executing a request. The
+    /// panic is contained to the request (the pool and the service keep
+    /// running); its payload is reported here.
+    WorkerPanicked {
+        /// The panic payload, rendered to text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -133,6 +141,9 @@ impl fmt::Display for CoreError {
             }
             Self::BuilderIncomplete { what } => {
                 write!(f, "builder is missing a required component: {what}")
+            }
+            Self::WorkerPanicked { detail } => {
+                write!(f, "serving worker panicked: {detail}")
             }
         }
     }

@@ -35,9 +35,15 @@
 
 pub mod cache;
 pub mod exec;
+pub mod pool;
+pub mod service;
 
 pub use cache::{CacheKey, CacheStats, CacheStore, Fnv1a};
 pub use exec::{BatchJob, ExecOptions, Parallelism};
+pub use pool::WorkerPool;
+pub use service::{
+    Lane, PlannerService, RequestHandle, ServiceOptions, ServiceStats, SolveRequest, SweepRequest,
+};
 
 use std::cell::OnceCell;
 use std::collections::BTreeMap;
@@ -422,6 +428,10 @@ pub struct EngineCache<'p> {
     bound: std::cell::Cell<Option<*const Problem>>,
     /// Persistent backing, when this cache participates in one.
     store: Option<(Arc<CacheStore>, CacheKey)>,
+    /// Store lookups served warm / cold through this cache (feeds
+    /// [`PlanDiagnostics::store_hits`] / `store_misses`).
+    store_hits: std::cell::Cell<u64>,
+    store_misses: std::cell::Cell<u64>,
 }
 
 impl<'p> EngineCache<'p> {
@@ -464,8 +474,9 @@ impl<'p> EngineCache<'p> {
             Model::Discrete { instance, query } => {
                 Ok(self.scoped.get_or_init(|| match &self.store {
                     Some((store, key)) => {
-                        let tables =
-                            store.tables(*key, || ScopedTables::build(instance, query.as_ref()));
+                        let (tables, warm) = store
+                            .tables_tracked(*key, || ScopedTables::build(instance, query.as_ref()));
+                        self.record_store_lookup(warm);
                         ScopedEv::with_tables(instance, query.as_ref(), tables)
                     }
                     None => ScopedEv::new(instance, query.as_ref()),
@@ -492,11 +503,36 @@ impl<'p> EngineCache<'p> {
         };
         self.benefits
             .get_or_init(|| match &self.store {
-                Some((store, key)) => store.benefits(*key, compute),
+                Some((store, key)) => {
+                    let (benefits, warm) = store.benefits_tracked(*key, compute);
+                    self.record_store_lookup(warm);
+                    benefits
+                }
                 None => compute().map(Arc::new),
             })
             .as_ref()
             .map(|v| v.as_slice())
+    }
+
+    fn record_store_lookup(&self, warm: bool) {
+        let cell = if warm {
+            &self.store_hits
+        } else {
+            &self.store_misses
+        };
+        cell.set(cell.get() + 1);
+    }
+
+    /// Persistent-store lookups this cache served warm (see
+    /// [`PlanDiagnostics::store_hits`]).
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.get()
+    }
+
+    /// Persistent-store lookups this cache had to build for (see
+    /// [`PlanDiagnostics::store_misses`]).
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.get()
     }
 
     /// Engine evaluations recorded by the scoped engine so far (zero
@@ -517,6 +553,20 @@ pub struct PlanDiagnostics {
     pub engine_evals: u64,
     /// Candidate objects the strategy considered.
     pub candidates: usize,
+    /// Persistent-store lookups the solve's engine cache served warm —
+    /// service clients observe warm-vs-cold behavior from the plan
+    /// itself instead of reaching into [`CacheStore::stats`]. Zero when
+    /// no store was attached. Cumulative over the cache the solve ran
+    /// with, so call chains sharing a cache (budget sweeps) report the
+    /// chain's counts; a single serving request reports exactly its
+    /// own. **Observability, not plan content**: which runner performs
+    /// a lookup is scheduling-dependent, so [`Plan::divergence`]
+    /// deliberately ignores these two fields.
+    pub store_hits: u64,
+    /// Persistent-store lookups that had to build (cold). See
+    /// [`PlanDiagnostics::store_hits`] for semantics and the
+    /// determinism caveat.
+    pub store_misses: u64,
 }
 
 /// A cleaning recommendation with its predicted effect.
@@ -550,12 +600,21 @@ impl Plan {
 
     /// The first field in which `other` differs from this plan at the
     /// byte level (`f64`s compared by bit pattern), or `None` when the
-    /// plans are identical. This is the parallel executor's determinism
-    /// contract — plans produced under any [`Parallelism`] mode must
-    /// compare identical to the sequential ones — and the one
-    /// comparison its tests and CI gate share. The exhaustive
-    /// destructuring makes the compiler flag this method when `Plan`
-    /// grows a field, so the gate can never silently stop covering one.
+    /// plans are identical. This is the parallel executor's and the
+    /// serving layer's determinism contract — plans produced under any
+    /// [`Parallelism`] mode or through the
+    /// [`PlannerService`] must compare
+    /// identical to the sequential ones — and the one comparison their
+    /// tests and CI gates share. The exhaustive destructuring makes
+    /// the compiler flag this method when `Plan` (or
+    /// [`PlanDiagnostics`]) grows a field, so the gate can never
+    /// silently stop covering one.
+    ///
+    /// The store-observability counters
+    /// ([`PlanDiagnostics::store_hits`] / `store_misses`) are the one
+    /// deliberate exception: which runner warms the store first is
+    /// scheduling-dependent, so they are not plan *content* and are
+    /// ignored here.
     pub fn divergence(&self, other: &Plan) -> Option<String> {
         let Plan {
             selection,
@@ -596,7 +655,15 @@ impl Plan {
                 strategy, other.strategy
             ));
         }
-        if diagnostics != &other.diagnostics {
+        let PlanDiagnostics {
+            engine_evals,
+            candidates,
+            store_hits: _,   // observability, scheduling-dependent
+            store_misses: _, // (see the method docs)
+        } = diagnostics;
+        if *engine_evals != other.diagnostics.engine_evals
+            || *candidates != other.diagnostics.candidates
+        {
             return Some(format!(
                 "diagnostics differ ({:?} vs {:?})",
                 diagnostics, other.diagnostics
@@ -625,6 +692,8 @@ fn finish_plan<'p>(
         diagnostics: PlanDiagnostics {
             engine_evals,
             candidates,
+            store_hits: cache.store_hits(),
+            store_misses: cache.store_misses(),
         },
     })
 }
@@ -1363,6 +1432,8 @@ impl Solver for PartialGreedySolver {
                     diagnostics: PlanDiagnostics {
                         engine_evals: n as u64,
                         candidates: n,
+                        store_hits: cache.store_hits(),
+                        store_misses: cache.store_misses(),
                     },
                 })
             }

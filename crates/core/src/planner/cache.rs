@@ -203,6 +203,9 @@ pub struct CacheStats {
     /// Query-term evaluations spent in those builds — the "rebuild
     /// evals" a warm store keeps at zero.
     pub scoped_build_evals: u64,
+    /// Entries dropped by [`CacheStore::invalidate_instance`] (a
+    /// cleaning step re-fingerprinting an instance).
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -222,6 +225,7 @@ pub struct CacheStore {
     evictions: AtomicU64,
     scoped_builds: AtomicU64,
     scoped_build_evals: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl CacheStore {
@@ -252,6 +256,7 @@ impl CacheStore {
             evictions: AtomicU64::new(0),
             scoped_builds: AtomicU64::new(0),
             scoped_build_evals: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -282,6 +287,27 @@ impl CacheStore {
         }
     }
 
+    /// Surgically drops every entry whose key's instance half is
+    /// `instance_fingerprint`, returning how many were dropped. This is
+    /// the incremental-invalidation hook for long-lived claim streams:
+    /// after a cleaning step re-fingerprints an instance, its stale
+    /// entries (one per measure/query) are removed while every *other*
+    /// instance's entries stay warm — no flush, no cold restart for
+    /// unrelated sessions sharing the store.
+    pub fn invalidate_instance(&self, instance_fingerprint: u64) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            let before = s.map.len();
+            s.map.retain(|key, _| key.instance != instance_fingerprint);
+            dropped += before - s.map.len();
+            s.order.retain(|key| key.instance != instance_fingerprint);
+        }
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -290,6 +316,7 @@ impl CacheStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             scoped_builds: self.scoped_builds.load(Ordering::Relaxed),
             scoped_build_evals: self.scoped_build_evals.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -325,10 +352,23 @@ impl CacheStore {
     /// build. `build` must construct tables for exactly the
     /// (instance, query) pair the key fingerprints.
     pub fn tables(&self, key: CacheKey, build: impl FnOnce() -> ScopedTables) -> Arc<ScopedTables> {
+        self.tables_tracked(key, build).0
+    }
+
+    /// [`CacheStore::tables`], additionally reporting whether the
+    /// lookup was served warm (`true` — a hit) or had to build
+    /// (`false` — a miss). The engine cache feeds this into
+    /// [`PlanDiagnostics`](super::PlanDiagnostics) so plans expose
+    /// their warm/cold provenance.
+    pub fn tables_tracked(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> ScopedTables,
+    ) -> (Arc<ScopedTables>, bool) {
         let slot = self.slot(key);
         if let Some(tables) = slot.tables.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(tables);
+            return (Arc::clone(tables), true);
         }
         let mut built = false;
         let tables = slot.tables.get_or_init(|| {
@@ -344,7 +384,7 @@ impl CacheStore {
             // Lost the init race — another worker built while we waited.
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(tables)
+        (Arc::clone(tables), !built)
     }
 
     /// The modular benefits for `key` (`None` when the query is not
@@ -354,10 +394,20 @@ impl CacheStore {
         key: CacheKey,
         build: impl FnOnce() -> Option<Vec<f64>>,
     ) -> Option<Arc<Vec<f64>>> {
+        self.benefits_tracked(key, build).0
+    }
+
+    /// [`CacheStore::benefits`], additionally reporting whether the
+    /// lookup was served warm (like [`CacheStore::tables_tracked`]).
+    pub fn benefits_tracked(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Option<Vec<f64>>,
+    ) -> (Option<Arc<Vec<f64>>>, bool) {
         let slot = self.slot(key);
         if let Some(benefits) = slot.benefits.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return benefits.clone();
+            return (benefits.clone(), true);
         }
         let mut built = false;
         let benefits = slot.benefits.get_or_init(|| {
@@ -365,7 +415,7 @@ impl CacheStore {
             build().map(Arc::new)
         });
         self.record_lookup(built);
-        benefits.clone()
+        (benefits.clone(), !built)
     }
 
     fn record_lookup(&self, built: bool) {
@@ -488,6 +538,52 @@ mod tests {
             }
         });
         assert_eq!(store.stats().scoped_builds, 1, "OnceLock dedups builders");
+    }
+
+    #[test]
+    fn invalidate_instance_is_surgical() {
+        let store = CacheStore::new(16);
+        let inst = instance(0.0);
+        let q = query();
+        // Two measures of instance A, one of instance B.
+        let fp_a = fingerprint_instance(&inst);
+        let fp_b = fp_a ^ 1;
+        for key in [
+            CacheKey::new(fp_a, 1),
+            CacheKey::new(fp_a, 2),
+            CacheKey::new(fp_b, 1),
+        ] {
+            store.tables(key, || ScopedTables::build(&inst, &q));
+        }
+        assert_eq!(store.len(), 3);
+        let dropped = store.invalidate_instance(fp_a);
+        assert_eq!(dropped, 2, "both of A's measures go");
+        assert_eq!(store.stats().invalidations, 2);
+        // B's entry is untouched and still warm.
+        store.tables(CacheKey::new(fp_b, 1), || {
+            panic!("unrelated instance must stay warm")
+        });
+        // A's keys rebuild (no stale serve, no panic on re-touch).
+        store.tables(CacheKey::new(fp_a, 1), || ScopedTables::build(&inst, &q));
+        assert_eq!(store.len(), 2);
+        // Invalidating an absent fingerprint is a no-op.
+        assert_eq!(store.invalidate_instance(0xDEAD), 0);
+    }
+
+    #[test]
+    fn tracked_lookups_report_warmth() {
+        let store = CacheStore::new(8);
+        let inst = instance(0.0);
+        let q = query();
+        let key = CacheKey::new(fingerprint_instance(&inst), 3);
+        let (_, warm) = store.tables_tracked(key, || ScopedTables::build(&inst, &q));
+        assert!(!warm, "first touch is a miss");
+        let (_, warm) = store.tables_tracked(key, || panic!("must not rebuild"));
+        assert!(warm, "second touch is a hit");
+        let (_, warm) = store.benefits_tracked(key, || Some(vec![1.0]));
+        assert!(!warm);
+        let (_, warm) = store.benefits_tracked(key, || panic!("must not recompute"));
+        assert!(warm);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! (measure, goal, budget) requests over one dataset concurrently.
 //! Lowered [`Problem`]s are independent of each other — engines are
 //! per-problem, so a batch parallelizes without locking. This module
-//! shards that work across a scoped-thread worker pool
-//! (`std::thread::scope`; no extra dependencies) and merges the
+//! shards that work across the persistent [`WorkerPool`] (std threads
+//! fed by an mpsc job queue; no extra dependencies) and merges the
 //! [`Plan`]s back **in input order**:
 //!
 //! * [`solve_batch`] — heterogeneous jobs (problem × strategy ×
@@ -25,12 +25,17 @@
 //! error reporting picks the failing job with the smallest input index
 //! — exactly what a sequential fold would surface.
 //!
-//! **Admission control:** spawning threads for a trivial batch costs
+//! **Admission control:** queueing pool jobs for a trivial batch costs
 //! more than solving it. Work units whose estimated engine evaluations
 //! ([`Problem::estimated_engine_evals`]) fall below
 //! [`ExecOptions::inline_threshold`] run on the caller thread; only
 //! meaty units go to the pool, and the pool is skipped entirely when
 //! nothing clears the bar.
+//!
+//! **Worker provenance:** both entry points degrade to inline
+//! sequential execution when called *from* a pool worker thread
+//! ([`WorkerPool::on_worker_thread`]) — a worker parked waiting on its
+//! own pool's queue would deadlock it. Plans are identical either way.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -38,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use super::cache::{CacheKey, CacheStore};
+use super::pool::WorkerPool;
 use super::{EngineCache, Plan, Problem, Solver, SolverRegistry};
 use crate::budget::Budget;
 use crate::Result;
@@ -87,6 +93,10 @@ pub struct ExecOptions {
     /// Persistent engine store consulted by work units that carry a
     /// [`CacheKey`]; units without a key never touch it.
     pub store: Option<Arc<CacheStore>>,
+    /// The worker pool parallel work is submitted to (`None` — the
+    /// default — uses [`WorkerPool::global`]). Supply a dedicated pool
+    /// to isolate a tenant's compute from the process-wide one.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl ExecOptions {
@@ -101,6 +111,7 @@ impl ExecOptions {
             parallelism,
             inline_threshold: Self::DEFAULT_INLINE_THRESHOLD,
             store: None,
+            pool: None,
         }
     }
 
@@ -114,6 +125,18 @@ impl ExecOptions {
     pub fn with_store(mut self, store: Arc<CacheStore>) -> Self {
         self.store = Some(store);
         self
+    }
+
+    /// Routes parallel work to a dedicated pool instead of the global
+    /// one.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool this call submits to.
+    fn pool(&self) -> Arc<WorkerPool> {
+        self.pool.clone().unwrap_or_else(WorkerPool::global)
     }
 }
 
@@ -215,7 +238,7 @@ pub fn solve_batch(
         .partition(|u| u.estimate.saturating_mul(u.jobs.len() as u64) >= opts.inline_threshold);
     let workers = opts.parallelism.worker_count(pooled.len());
 
-    if workers <= 1 {
+    if workers <= 1 || WorkerPool::on_worker_thread() {
         for unit in &units {
             run_unit(unit, &mut |i, r| slots[i] = Some(r));
         }
@@ -223,24 +246,31 @@ pub fn solve_batch(
         let shared: Vec<Mutex<Option<Result<Plan>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let u = next.fetch_add(1, Ordering::Relaxed);
-                    if u >= pooled.len() {
-                        break;
-                    }
-                    run_unit(pooled[u], &mut |i, r| {
-                        *shared[i].lock().expect("result slot poisoned") = Some(r);
-                    });
-                });
+        // Pooled units are dealt dynamically: each runner (pool job or
+        // the caller itself) pulls the next undone unit. The caller
+        // always participates, so the batch finishes even when the
+        // shared pool is saturated with foreign work.
+        let drain_pooled = || loop {
+            let u = next.fetch_add(1, Ordering::Relaxed);
+            if u >= pooled.len() {
+                break;
             }
-            // The caller thread handles the tiny units meanwhile.
+            run_unit(pooled[u], &mut |i, r| {
+                *shared[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        };
+        opts.pool().scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(drain_pooled);
+            }
+            // The caller thread handles the tiny units first, then
+            // helps drain the pooled ones.
             for unit in &inline {
                 run_unit(unit, &mut |i, r| {
                     *shared[i].lock().expect("result slot poisoned") = Some(r);
                 });
             }
+            drain_pooled();
         });
         for (slot, shared) in slots.iter_mut().zip(shared) {
             *slot = shared.into_inner().expect("result slot poisoned");
@@ -283,7 +313,7 @@ pub fn sweep(
         _ => (Arc::new(CacheStore::new(1)), CacheKey::new(0, 0)),
     };
 
-    if workers <= 1 {
+    if workers <= 1 || WorkerPool::on_worker_thread() {
         let cache = EngineCache::with_store(store, key);
         return budgets
             .iter()
@@ -294,23 +324,26 @@ pub fn sweep(
     let slots: Vec<Mutex<Option<Result<Plan>>>> =
         budgets.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                // One cache per worker; the store dedups the build, so
-                // the first worker to arrive pays it and the rest wait
-                // (OnceLock) instead of duplicating it.
-                let cache = EngineCache::with_store(Arc::clone(&store), key);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= budgets.len() {
-                        break;
-                    }
-                    let r = solver.solve_with_cache(problem, budgets[i], &cache);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
-                }
-            });
+    // One cache per runner; the store dedups the build, so the first
+    // runner to arrive pays it and the rest wait (OnceLock) instead of
+    // duplicating it. The caller participates as a runner, so the
+    // sweep finishes even when the shared pool is saturated.
+    let drain_budgets = || {
+        let cache = EngineCache::with_store(Arc::clone(&store), key);
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= budgets.len() {
+                break;
+            }
+            let r = solver.solve_with_cache(problem, budgets[i], &cache);
+            *slots[i].lock().expect("result slot poisoned") = Some(r);
         }
+    };
+    opts.pool().scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(drain_budgets);
+        }
+        drain_budgets();
     });
     slots
         .into_iter()

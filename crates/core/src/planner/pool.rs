@@ -1,0 +1,485 @@
+//! The long-lived worker pool underneath the batch executor and the
+//! [`service`](super::service) layer.
+//!
+//! PR 2's executor spun up scoped threads per call and tore them down
+//! again — fine for one-shot figure binaries, wasteful for a serving
+//! process that fields a stream of requests. This module owns the
+//! threads instead: a [`WorkerPool`] holds `n` std threads fed by an
+//! `mpsc` job queue (no external dependencies), and everything above it
+//! — [`exec::solve_batch`](super::exec::solve_batch),
+//! [`exec::sweep`](super::exec::sweep), the
+//! [`PlannerService`](super::service::PlannerService) — is a thin
+//! client that *submits* work rather than spawning.
+//!
+//! Two submission shapes:
+//!
+//! * [`WorkerPool::submit`] — a `'static` fire-and-forget job (the
+//!   service layer's token path);
+//! * [`WorkerPool::scope`] — structured borrowing like
+//!   [`std::thread::scope`]: jobs may borrow from the caller's stack,
+//!   and `scope` does not return until every spawned job has finished
+//!   (even if the closure panics), which is what makes the borrow
+//!   sound. The batch executor runs its work units through this.
+//!
+//! **Re-entrancy:** a job running *on* a pool worker must never block
+//! waiting for other jobs of the same pool — with every worker parked
+//! in such a wait the queue would deadlock. [`WorkerPool::on_worker_thread`]
+//! detects this; the executor checks it and degrades to inline
+//! execution on the worker thread (identical plans, no nested waiting).
+//!
+//! Plans stay byte-identical to sequential execution because solvers
+//! are pure functions of (problem, budget, engine tables); the pool
+//! only changes *where* they run, never *what* they compute.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Whether the current thread is a pool worker (any pool).
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A persistent pool of `std` worker threads fed by an `mpsc` job
+/// queue. Construct one per process scale-unit (or use
+/// [`WorkerPool::global`]) and share it via `Arc`; dropping the pool
+/// drains every queued job, then joins the workers.
+pub struct WorkerPool {
+    /// `None` only during drop (taking the sender disconnects the
+    /// channel, which is the workers' shutdown signal).
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` workers (`0` is treated as `1`).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("fc-pool-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            handles,
+            threads,
+        }
+    }
+
+    /// The process-wide pool, sized by `available_parallelism`, created
+    /// on first use. The executor and the service default to this so a
+    /// process hosts one set of compute threads, not one per call site.
+    pub fn global() -> Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            Arc::new(WorkerPool::new(threads))
+        }))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the *current* thread is a pool worker. Code that would
+    /// block on other jobs of the pool (like the executor's scope wait)
+    /// must check this and run inline instead — every worker parked in
+    /// such a wait would deadlock the queue.
+    pub fn on_worker_thread() -> bool {
+        IN_POOL_WORKER.with(Cell::get)
+    }
+
+    /// Enqueues a `'static` job. Falls back to running the job on the
+    /// caller thread if the pool is shutting down (so work is never
+    /// silently dropped).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let job: Job = Box::new(job);
+        match &self.sender {
+            Some(sender) => {
+                if let Err(mpsc::SendError(job)) = sender.send(job) {
+                    job();
+                }
+            }
+            None => job(),
+        }
+    }
+
+    /// Runs `f` with a [`PoolScope`] through which jobs borrowing from
+    /// the caller's environment may be spawned onto the pool. Does not
+    /// return until every spawned job has finished — the same
+    /// structured-concurrency contract as [`std::thread::scope`], which
+    /// is what makes the borrows sound. The first job panic is
+    /// propagated to the caller after all jobs complete.
+    ///
+    /// Must not be called from a pool worker thread (the wait could
+    /// deadlock the queue); check [`WorkerPool::on_worker_thread`] and
+    /// run inline there instead. Debug builds assert this.
+    pub fn scope<'env, T>(&self, f: impl FnOnce(&PoolScope<'_, 'env>) -> T) -> T {
+        debug_assert!(
+            !Self::on_worker_thread(),
+            "WorkerPool::scope called from a pool worker; \
+             callers must degrade to inline execution (see on_worker_thread)"
+        );
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::new(ScopeState::default()),
+            _env: PhantomData,
+        };
+        // Even if `f` panics we must wait for the spawned jobs before
+        // unwinding: they may still hold borrows into `'env`.
+        let out = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.state.wait_all();
+        if let Some(payload) = scope.state.take_panic() {
+            resume_unwind(payload);
+        }
+        match out {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the channel; workers drain the remaining queue
+        // (mpsc delivers buffered messages before reporting disconnect)
+        // and exit.
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    IN_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("pool job queue poisoned");
+            guard.recv()
+        };
+        match job {
+            // Jobs are already panic-wrapped by their submitters
+            // (scope / service); this outer catch keeps a stray panic
+            // from killing the worker and shrinking the pool.
+            Ok(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => break, // channel disconnected: shutdown
+        }
+    }
+}
+
+/// Book-keeping shared between a [`PoolScope`] and its in-flight jobs.
+#[derive(Default)]
+struct ScopeState {
+    /// Spawned-but-not-finished job count.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload raised by a job, if any.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn add_job(&self) {
+        *self.pending.lock().expect("scope state poisoned") += 1;
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send + 'static>>) {
+        if let Some(payload) = panic {
+            self.panic
+                .lock()
+                .expect("scope panic slot poisoned")
+                .get_or_insert(payload);
+        }
+        let mut pending = self.pending.lock().expect("scope state poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().expect("scope state poisoned");
+        while *pending > 0 {
+            pending = self
+                .done
+                .wait(pending)
+                .expect("scope state poisoned while waiting");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.panic.lock().expect("scope panic slot poisoned").take()
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`]; jobs
+/// spawned through it may borrow from the enclosing `'env`.
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like [`std::thread::Scope`].
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Spawns a job onto the pool. The job may borrow from `'env`;
+    /// the enclosing [`WorkerPool::scope`] call waits for it before
+    /// returning, so the borrow never outlives its referent.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        self.state.add_job();
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the job is only ever run once, and `scope` does not
+        // return (or unwind) until `state.pending` reaches zero — i.e.
+        // until this job has finished — so the `'env` borrows inside
+        // the closure are live for every instant the job can run. The
+        // pool's drop path drains the queue before joining, so a job
+        // is never leaked un-run with `pending` still counted.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.submit(move || {
+            let result = catch_unwind(AssertUnwindSafe(job));
+            state.complete(result.err());
+        });
+    }
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScope")
+            .field("pool", self.pool)
+            .finish()
+    }
+}
+
+/// A minimal two-lane run queue for cooperatively-scheduled tasks: pool
+/// workers execute *tokens* (one per queued task) that each run the
+/// highest-priority task available at that moment, so an interactive
+/// task enqueued behind a pile of bulk work is picked up by the very
+/// next token instead of waiting its turn. Used by the service layer;
+/// lives here so the pool and its scheduling idiom stay together.
+#[derive(Default)]
+pub(crate) struct TwoLaneQueue {
+    lanes: Mutex<Lanes>,
+}
+
+#[derive(Default)]
+struct Lanes {
+    interactive: VecDeque<Job>,
+    bulk: VecDeque<Job>,
+}
+
+impl TwoLaneQueue {
+    /// Enqueues `task` on the given lane; the caller must pair this
+    /// with exactly one pool token that calls [`TwoLaneQueue::run_next`].
+    pub(crate) fn push(&self, interactive: bool, task: Job) {
+        let mut lanes = self.lanes.lock().expect("lane queue poisoned");
+        if interactive {
+            lanes.interactive.push_back(task);
+        } else {
+            lanes.bulk.push_back(task);
+        }
+    }
+
+    /// Pops and runs the highest-priority pending task, if any.
+    pub(crate) fn run_next(&self) {
+        let task = {
+            let mut lanes = self.lanes.lock().expect("lane queue poisoned");
+            lanes
+                .interactive
+                .pop_front()
+                .or_else(|| lanes.bulk.pop_front())
+        };
+        if let Some(task) = task {
+            task();
+        }
+    }
+
+    /// (interactive, bulk) tasks currently waiting.
+    pub(crate) fn depths(&self) -> (usize, usize) {
+        let lanes = self.lanes.lock().expect("lane queue poisoned");
+        (lanes.interactive.len(), lanes.bulk.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_job_and_waits() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..64 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // `scope` returned, so every job has finished.
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_jobs_may_borrow_from_the_stack() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..100).collect();
+        let slots: Vec<Mutex<u64>> = data.iter().map(|_| Mutex::new(0)).collect();
+        pool.scope(|scope| {
+            for (i, slot) in slots.iter().enumerate() {
+                let data = &data;
+                scope.spawn(move || {
+                    *slot.lock().unwrap() = data[i] * 2;
+                });
+            }
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot.lock().unwrap(), data[i] * 2);
+        }
+    }
+
+    #[test]
+    fn scope_propagates_job_panics_after_waiting() {
+        let pool = WorkerPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("job panic"));
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err(), "the job panic reaches the caller");
+        // ...but only after every sibling job ran to completion.
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+        // The pool survives the panic and keeps serving.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            scope.spawn(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn submit_runs_static_jobs() {
+        let pool = WorkerPool::new(2);
+        let state: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        for _ in 0..16 {
+            let state = Arc::clone(&state);
+            pool.submit(move || {
+                let (count, cv) = &*state;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            });
+        }
+        let (count, cv) = &*state;
+        let mut n = count.lock().unwrap();
+        while *n < 16 {
+            n = cv.wait(n).unwrap();
+        }
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..32 {
+                let ran = Arc::clone(&ran);
+                pool.submit(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Dropping joins only after the queue is drained.
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn worker_threads_self_identify() {
+        assert!(!WorkerPool::on_worker_thread());
+        let pool = WorkerPool::new(1);
+        let seen = Arc::new(Mutex::new(None));
+        {
+            let seen = Arc::clone(&seen);
+            pool.submit(move || {
+                *seen.lock().unwrap() = Some(WorkerPool::on_worker_thread());
+            });
+        }
+        drop(pool); // join ⇒ the job has run
+        assert_eq!(*seen.lock().unwrap(), Some(true));
+    }
+
+    #[test]
+    fn two_lane_queue_prefers_interactive() {
+        let q = TwoLaneQueue::default();
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..3 {
+            let order = Arc::clone(&order);
+            q.push(false, Box::new(move || order.lock().unwrap().push("bulk")));
+        }
+        let o = Arc::clone(&order);
+        q.push(
+            true,
+            Box::new(move || o.lock().unwrap().push("interactive")),
+        );
+        assert_eq!(q.depths(), (1, 3));
+        // The next token runs the interactive task even though three
+        // bulk tasks were queued first.
+        q.run_next();
+        assert_eq!(order.lock().unwrap().as_slice(), &["interactive"]);
+        for _ in 0..3 {
+            q.run_next();
+        }
+        assert_eq!(
+            order.lock().unwrap().as_slice(),
+            &["interactive", "bulk", "bulk", "bulk"]
+        );
+        assert_eq!(q.depths(), (0, 0));
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.threads() >= 1);
+    }
+}

@@ -1,0 +1,1027 @@
+//! The long-lived serving front: [`PlannerService`].
+//!
+//! The paper frames cleaning-selection as an *interactive loop* — a
+//! fact-checker streams claims against a dataset whose values keep
+//! getting cleaned — but `solve_batch`/`sweep` are one-shot: the caller
+//! blocks until the whole batch returns. This module adds the
+//! request/response front the ROADMAP calls for, with no async runtime
+//! (none is available offline): a [`PlannerService`] owns an
+//! `Arc<SolverRegistry>`, a [`CacheStore`], and a [`WorkerPool`], and
+//! callers hand it work via [`PlannerService::submit`] /
+//! [`PlannerService::submit_sweep`], getting back a [`RequestHandle`] —
+//! a hand-rolled future: poll with [`RequestHandle::is_ready`], take
+//! with [`RequestHandle::try_wait`], or block on
+//! [`RequestHandle::wait`].
+//!
+//! ## Admission control and fair scheduling
+//!
+//! Every request is costed by [`Problem::estimated_engine_evals`]
+//! (times the number of budget points, for sweeps) and routed to a
+//! [`Lane`]:
+//!
+//! * **Inline** — below [`ServiceOptions::inline_threshold`] the
+//!   request is solved synchronously at `submit`; queueing a pool job
+//!   would cost more than the solve (the same admission rule as the
+//!   batch executor).
+//! * **Interactive** — below
+//!   [`ServiceOptions::interactive_threshold`]: the latency-sensitive
+//!   lane.
+//! * **Bulk** — everything else (big sweeps, audits).
+//!
+//! Pool workers always drain the interactive lane before the bulk
+//! lane, and a sweep is decomposed into one task *per budget point* —
+//! so even on a single worker, an interactive claim waits for at most
+//! one budget point of a running sweep, never for the whole thing.
+//! That is what keeps a huge sweep from starving interactive claims.
+//!
+//! ## Determinism
+//!
+//! Service plans are byte-identical to their synchronous counterparts
+//! ([`SolverRegistry::solve`]/[`SolverRegistry::sweep`]): solvers are
+//! pure functions of (problem, budget, engine tables), and the tables
+//! are shared through the same fingerprint-keyed [`CacheStore`]. The
+//! only fields that may differ are the store-observability counters in
+//! [`PlanDiagnostics`](super::PlanDiagnostics), which
+//! [`Plan::divergence`] deliberately ignores.
+//!
+//! Panics inside a request are contained: the worker survives and the
+//! handle resolves to [`CoreError::WorkerPanicked`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use super::cache::{CacheKey, CacheStore};
+use super::exec::ExecOptions;
+use super::pool::{TwoLaneQueue, WorkerPool};
+use super::{EngineCache, Plan, Problem, Solver, SolverRegistry};
+use crate::budget::Budget;
+use crate::{CoreError, Result};
+
+/// Which path a request took through the service (see the module
+/// docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Solved synchronously at `submit` (admission control).
+    Inline,
+    /// Queued on the latency-sensitive lane.
+    Interactive,
+    /// Queued on the throughput lane.
+    Bulk,
+}
+
+/// Configuration for a [`PlannerService`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServiceOptions {
+    /// Requests whose total estimated engine evaluations fall below
+    /// this are solved synchronously at `submit` (default:
+    /// [`ExecOptions::DEFAULT_INLINE_THRESHOLD`]).
+    pub inline_threshold: u64,
+    /// Queued requests below this estimate ride the interactive lane;
+    /// the rest ride bulk (default:
+    /// [`ServiceOptions::DEFAULT_INTERACTIVE_THRESHOLD`]).
+    pub interactive_threshold: u64,
+    /// Capacity of the service-owned [`CacheStore`] when none is
+    /// supplied (default:
+    /// [`ServiceOptions::DEFAULT_STORE_CAPACITY`]).
+    pub store_capacity: usize,
+    /// The worker pool requests run on (`None` — the default — uses
+    /// [`WorkerPool::global`]).
+    pub pool: Option<Arc<WorkerPool>>,
+}
+
+impl ServiceOptions {
+    /// Default [`ServiceOptions::interactive_threshold`]: requests
+    /// estimated under ~1M engine evaluations are treated as
+    /// latency-sensitive.
+    pub const DEFAULT_INTERACTIVE_THRESHOLD: u64 = 1 << 20;
+
+    /// Default [`ServiceOptions::store_capacity`].
+    pub const DEFAULT_STORE_CAPACITY: usize = 256;
+
+    /// The default configuration.
+    pub fn new() -> Self {
+        Self {
+            inline_threshold: ExecOptions::DEFAULT_INLINE_THRESHOLD,
+            interactive_threshold: Self::DEFAULT_INTERACTIVE_THRESHOLD,
+            store_capacity: Self::DEFAULT_STORE_CAPACITY,
+            pool: None,
+        }
+    }
+
+    /// Sets the inline-admission threshold.
+    pub fn with_inline_threshold(mut self, evals: u64) -> Self {
+        self.inline_threshold = evals;
+        self
+    }
+
+    /// Sets the interactive/bulk lane boundary.
+    pub fn with_interactive_threshold(mut self, evals: u64) -> Self {
+        self.interactive_threshold = evals;
+        self
+    }
+
+    /// Sets the capacity of the service-owned store.
+    pub fn with_store_capacity(mut self, entries: usize) -> Self {
+        self.store_capacity = entries;
+        self
+    }
+
+    /// Runs requests on a dedicated pool instead of the global one.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+}
+
+impl Default for ServiceOptions {
+    /// Hand-written so `default()` agrees with `new()` on the
+    /// thresholds (a derived Default would zero them and disable
+    /// admission control entirely).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One solve request: `strategy` on `problem` under `budget`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SolveRequest {
+    /// Registry strategy name (`"auto"`, `"greedy"`, …).
+    pub strategy: String,
+    /// The lowered problem, shared so queued tasks can outlive the
+    /// submitting stack frame.
+    pub problem: Arc<Problem>,
+    /// The cleaning budget.
+    pub budget: Budget,
+    /// Persistence identity for store lookups (see
+    /// [`cache`](super::cache)'s fingerprint contract); `None` opts the
+    /// request out of the persistent store.
+    pub key: Option<CacheKey>,
+}
+
+impl SolveRequest {
+    /// A request with no store key.
+    pub fn new(strategy: impl Into<String>, problem: Arc<Problem>, budget: Budget) -> Self {
+        Self {
+            strategy: strategy.into(),
+            problem,
+            budget,
+            key: None,
+        }
+    }
+
+    /// Attaches the persistence identity.
+    pub fn with_key(mut self, key: CacheKey) -> Self {
+        self.key = Some(key);
+        self
+    }
+}
+
+/// One budget-sweep request: `strategy` on `problem` across `budgets`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SweepRequest {
+    /// Registry strategy name.
+    pub strategy: String,
+    /// The lowered problem.
+    pub problem: Arc<Problem>,
+    /// The budget grid; plans come back in this order.
+    pub budgets: Vec<Budget>,
+    /// Persistence identity (as in [`SolveRequest::key`]). Without a
+    /// key the sweep still shares its prefix work internally, through
+    /// a store private to the request.
+    pub key: Option<CacheKey>,
+}
+
+impl SweepRequest {
+    /// A request with no store key.
+    pub fn new(strategy: impl Into<String>, problem: Arc<Problem>, budgets: Vec<Budget>) -> Self {
+        Self {
+            strategy: strategy.into(),
+            problem,
+            budgets,
+            key: None,
+        }
+    }
+
+    /// Attaches the persistence identity.
+    pub fn with_key(mut self, key: CacheKey) -> Self {
+        self.key = Some(key);
+        self
+    }
+}
+
+/// Counter snapshot from [`PlannerService::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Requests accepted (a sweep counts once).
+    pub submitted: u64,
+    /// Requests whose handle has resolved.
+    pub completed: u64,
+    /// Requests solved synchronously at `submit`.
+    pub inline: u64,
+    /// Requests queued on the interactive lane.
+    pub interactive: u64,
+    /// Requests queued on the bulk lane.
+    pub bulk: u64,
+    /// Requests that panicked (resolved to
+    /// [`CoreError::WorkerPanicked`]).
+    pub panics: u64,
+    /// Tasks waiting on the interactive lane right now.
+    pub queued_interactive: usize,
+    /// Tasks waiting on the bulk lane right now.
+    pub queued_bulk: usize,
+}
+
+/// Result slot shared between a [`RequestHandle`] and the worker that
+/// completes it.
+enum Slot<T> {
+    Pending,
+    Ready(Result<T>),
+    Taken,
+}
+
+struct HandleShared<T> {
+    slot: Mutex<Slot<T>>,
+    ready: Condvar,
+}
+
+impl<T> HandleShared<T> {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(Slot::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<T>) {
+        let mut slot = self.slot.lock().expect("request slot poisoned");
+        debug_assert!(
+            matches!(*slot, Slot::Pending),
+            "a request must be completed exactly once"
+        );
+        *slot = Slot::Ready(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A hand-rolled future for an in-flight request (no async runtime is
+/// available offline): poll with [`RequestHandle::is_ready`], take the
+/// result with [`RequestHandle::try_wait`], or block on
+/// [`RequestHandle::wait`]. `T` is [`Plan`] for solves and `Vec<Plan>`
+/// for sweeps.
+#[must_use = "a RequestHandle is the only way to observe the request's result"]
+pub struct RequestHandle<T> {
+    shared: Arc<HandleShared<T>>,
+    lane: Lane,
+    estimate: u64,
+}
+
+impl<T> RequestHandle<T> {
+    /// Which lane the request was routed to ([`Lane::Inline`] handles
+    /// are ready immediately).
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    /// The admission-control estimate the routing was keyed on.
+    pub fn estimate(&self) -> u64 {
+        self.estimate
+    }
+
+    /// Whether the result is available (or was already taken).
+    pub fn is_ready(&self) -> bool {
+        !matches!(
+            *self.shared.slot.lock().expect("request slot poisoned"),
+            Slot::Pending
+        )
+    }
+
+    /// Takes the result if it is ready; `None` while pending or after
+    /// the result was already taken.
+    pub fn try_wait(&self) -> Option<Result<T>> {
+        let mut slot = self.shared.slot.lock().expect("request slot poisoned");
+        match std::mem::replace(&mut *slot, Slot::Taken) {
+            Slot::Ready(r) => Some(r),
+            Slot::Pending => {
+                *slot = Slot::Pending;
+                None
+            }
+            Slot::Taken => None,
+        }
+    }
+
+    /// Blocks until the result is ready, waiting at most `timeout`;
+    /// `None` on timeout or if the result was already taken.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.shared.slot.lock().expect("request slot poisoned");
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Ready(r) => return Some(r),
+                Slot::Taken => return None,
+                Slot::Pending => {
+                    *slot = Slot::Pending;
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .ready
+                        .wait_timeout(slot, deadline - now)
+                        .expect("request slot poisoned while waiting");
+                    slot = guard;
+                }
+            }
+        }
+    }
+
+    /// Blocks until the result is ready and returns it.
+    ///
+    /// # Panics
+    /// If the result was already taken via [`RequestHandle::try_wait`].
+    pub fn wait(self) -> Result<T> {
+        let mut slot = self.shared.slot.lock().expect("request slot poisoned");
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Ready(r) => return r,
+                Slot::Taken => panic!("RequestHandle result already taken by try_wait"),
+                Slot::Pending => {
+                    *slot = Slot::Pending;
+                    slot = self
+                        .shared
+                        .ready
+                        .wait(slot)
+                        .expect("request slot poisoned while waiting");
+                }
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for RequestHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("lane", &self.lane)
+            .field("estimate", &self.estimate)
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    inline: AtomicU64,
+    interactive: AtomicU64,
+    bulk: AtomicU64,
+    panics: AtomicU64,
+}
+
+struct ServiceInner {
+    registry: Arc<SolverRegistry>,
+    store: Arc<CacheStore>,
+    pool: Arc<WorkerPool>,
+    queue: Arc<TwoLaneQueue>,
+    inline_threshold: u64,
+    interactive_threshold: u64,
+    stats: Counters,
+}
+
+impl ServiceInner {
+    fn lane_for(&self, estimate: u64) -> Lane {
+        if estimate < self.inline_threshold {
+            Lane::Inline
+        } else if estimate < self.interactive_threshold {
+            Lane::Interactive
+        } else {
+            Lane::Bulk
+        }
+    }
+
+    /// Queues `task` on `lane` and hands the pool one token for it.
+    /// Tokens execute the highest-priority task available when they
+    /// run, so interactive work overtakes queued bulk work.
+    fn enqueue(self: &Arc<Self>, lane: Lane, task: impl FnOnce() + Send + 'static) {
+        debug_assert!(lane != Lane::Inline);
+        self.queue.push(lane == Lane::Interactive, Box::new(task));
+        let queue = Arc::clone(&self.queue);
+        self.pool.submit(move || queue.run_next());
+    }
+}
+
+/// Renders a panic payload for [`CoreError::WorkerPanicked`].
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Solves one (solver, problem, budget) with a cache wired to `store`
+/// under `key`, containing panics.
+fn solve_contained(
+    stats: &Counters,
+    store: &Arc<CacheStore>,
+    key: Option<CacheKey>,
+    solver: &Arc<dyn Solver>,
+    problem: &Problem,
+    budget: Budget,
+) -> Result<Plan> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let cache = match key {
+            Some(key) => EngineCache::with_store(Arc::clone(store), key),
+            None => EngineCache::new(),
+        };
+        solver.solve_with_cache(problem, budget, &cache)
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            stats.panics.fetch_add(1, Ordering::Relaxed);
+            Err(CoreError::WorkerPanicked {
+                detail: panic_detail(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// Shared state of an in-flight sweep: per-point slots plus a
+/// completion counter; the task that finishes last folds the slots (in
+/// budget order, first error by index — the sequential semantics) and
+/// resolves the handle.
+struct SweepState {
+    slots: Vec<Mutex<Option<Result<Plan>>>>,
+    remaining: AtomicUsize,
+    shared: Arc<HandleShared<Vec<Plan>>>,
+    stats_completed: Arc<ServiceInner>,
+}
+
+impl SweepState {
+    fn finish_point(&self, index: usize, result: Result<Plan>) {
+        *self.slots[index].lock().expect("sweep slot poisoned") = Some(result);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut plans = Vec::with_capacity(self.slots.len());
+            let mut first_err: Option<Result<Vec<Plan>>> = None;
+            for slot in &self.slots {
+                match slot
+                    .lock()
+                    .expect("sweep slot poisoned")
+                    .take()
+                    .expect("every budget point completed")
+                {
+                    Ok(plan) => plans.push(plan),
+                    Err(e) => {
+                        first_err = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+            // Count before resolving the handle (see `submit`).
+            self.stats_completed
+                .stats
+                .completed
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.complete(first_err.unwrap_or(Ok(plans)));
+        }
+    }
+}
+
+/// The long-lived serving front over a [`SolverRegistry`]: owns the
+/// registry, a fingerprint-keyed [`CacheStore`], and a [`WorkerPool`],
+/// and serves [`SolveRequest`]s / [`SweepRequest`]s asynchronously
+/// through [`RequestHandle`]s. Cheap to clone (all state is shared);
+/// share one service per process or tenant.
+///
+/// See the [module docs](self) for admission control, fairness, and
+/// determinism.
+#[derive(Clone)]
+pub struct PlannerService {
+    inner: Arc<ServiceInner>,
+}
+
+impl PlannerService {
+    /// A service with its own [`CacheStore`] (capacity
+    /// [`ServiceOptions::store_capacity`]).
+    pub fn new(registry: Arc<SolverRegistry>, opts: ServiceOptions) -> Self {
+        let store = Arc::new(CacheStore::new(opts.store_capacity));
+        Self::with_store(registry, store, opts)
+    }
+
+    /// A service sharing an existing store (e.g. one warmed by batch
+    /// jobs, or shared across services).
+    pub fn with_store(
+        registry: Arc<SolverRegistry>,
+        store: Arc<CacheStore>,
+        opts: ServiceOptions,
+    ) -> Self {
+        let pool = opts.pool.unwrap_or_else(WorkerPool::global);
+        Self {
+            inner: Arc::new(ServiceInner {
+                registry,
+                store,
+                pool,
+                queue: Arc::new(TwoLaneQueue::default()),
+                inline_threshold: opts.inline_threshold,
+                interactive_threshold: opts.interactive_threshold,
+                stats: Counters::default(),
+            }),
+        }
+    }
+
+    /// The registry serving this service.
+    pub fn registry(&self) -> &Arc<SolverRegistry> {
+        &self.inner.registry
+    }
+
+    /// The persistent engine store (inspect
+    /// [`CacheStore::stats`] for warm/cold behavior, or invalidate
+    /// entries after cleaning steps).
+    pub fn store(&self) -> &Arc<CacheStore> {
+        &self.inner.store
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let (queued_interactive, queued_bulk) = self.inner.queue.depths();
+        let c = &self.inner.stats;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            inline: c.inline.load(Ordering::Relaxed),
+            interactive: c.interactive.load(Ordering::Relaxed),
+            bulk: c.bulk.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            queued_interactive,
+            queued_bulk,
+        }
+    }
+
+    /// Submits one solve. Unknown strategies resolve the handle
+    /// immediately with [`CoreError::UnknownStrategy`]; small requests
+    /// (see the module docs) are solved inline before `submit` returns.
+    pub fn submit(&self, request: SolveRequest) -> RequestHandle<Plan> {
+        let inner = &self.inner;
+        inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let estimate = request.problem.estimated_engine_evals();
+        let shared = Arc::new(HandleShared::new());
+
+        let solver = match inner.registry.get(&request.strategy) {
+            Ok(solver) => solver,
+            Err(e) => {
+                shared.complete(Err(e));
+                // Error-resolved requests count as inline so the lane
+                // counters always sum to `submitted`.
+                inner.stats.inline.fetch_add(1, Ordering::Relaxed);
+                inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                return RequestHandle {
+                    shared,
+                    lane: Lane::Inline,
+                    estimate,
+                };
+            }
+        };
+
+        let lane = inner.lane_for(estimate);
+        match lane {
+            Lane::Inline => {
+                let result = solve_contained(
+                    &inner.stats,
+                    &inner.store,
+                    request.key,
+                    &solver,
+                    &request.problem,
+                    request.budget,
+                );
+                shared.complete(result);
+                inner.stats.inline.fetch_add(1, Ordering::Relaxed);
+                inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Lane::Interactive | Lane::Bulk => {
+                let counter = if lane == Lane::Interactive {
+                    &inner.stats.interactive
+                } else {
+                    &inner.stats.bulk
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let task_inner = Arc::clone(inner);
+                let task_shared = Arc::clone(&shared);
+                inner.enqueue(lane, move || {
+                    let result = solve_contained(
+                        &task_inner.stats,
+                        &task_inner.store,
+                        request.key,
+                        &solver,
+                        &request.problem,
+                        request.budget,
+                    );
+                    // Count before resolving the handle, so a waiter
+                    // that wakes immediately already sees the request
+                    // as completed in `stats`.
+                    task_inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    task_shared.complete(result);
+                });
+            }
+        }
+        RequestHandle {
+            shared,
+            lane,
+            estimate,
+        }
+    }
+
+    /// Submits a budget sweep. The request is costed by its *total*
+    /// estimate (points × per-point), but executed as one task per
+    /// budget point, so interactive work interleaves between points.
+    /// Prefix work is shared across points through the service store
+    /// when a key is supplied, or a request-private store otherwise —
+    /// plans are byte-identical to [`SolverRegistry::sweep`] either
+    /// way.
+    pub fn submit_sweep(&self, request: SweepRequest) -> RequestHandle<Vec<Plan>> {
+        let inner = &self.inner;
+        inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let estimate = request
+            .problem
+            .estimated_engine_evals()
+            .saturating_mul(request.budgets.len() as u64);
+        let shared = Arc::new(HandleShared::new());
+        // Every `done` caller resolves at submit time (error, empty
+        // grid, or inline solve), so the request counts as inline —
+        // the lane counters always sum to `submitted`.
+        let done = |result: Result<Vec<Plan>>, lane: Lane| {
+            shared.complete(result);
+            inner.stats.inline.fetch_add(1, Ordering::Relaxed);
+            inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            RequestHandle {
+                shared: Arc::clone(&shared),
+                lane,
+                estimate,
+            }
+        };
+
+        let solver = match inner.registry.get(&request.strategy) {
+            Ok(solver) => solver,
+            Err(e) => return done(Err(e), Lane::Inline),
+        };
+        if request.budgets.is_empty() {
+            return done(Ok(Vec::new()), Lane::Inline);
+        }
+
+        // Without a trustworthy identity, share prefix work through a
+        // store private to this request (mirroring `exec::sweep`).
+        let (store, key) = match request.key {
+            Some(key) => (Arc::clone(&inner.store), key),
+            None => (Arc::new(CacheStore::new(1)), CacheKey::new(0, 0)),
+        };
+
+        let lane = inner.lane_for(estimate);
+        if lane == Lane::Inline {
+            // One shared cache, sequential — the sequential sweep path.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let cache = EngineCache::with_store(store, key);
+                request
+                    .budgets
+                    .iter()
+                    .map(|&b| solver.solve_with_cache(&request.problem, b, &cache))
+                    .collect::<Result<Vec<Plan>>>()
+            }))
+            .unwrap_or_else(|payload| {
+                inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                Err(CoreError::WorkerPanicked {
+                    detail: panic_detail(payload.as_ref()),
+                })
+            });
+            return done(result, Lane::Inline);
+        }
+
+        let counter = if lane == Lane::Interactive {
+            &inner.stats.interactive
+        } else {
+            &inner.stats.bulk
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(SweepState {
+            slots: request.budgets.iter().map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(request.budgets.len()),
+            shared: Arc::clone(&shared),
+            stats_completed: Arc::clone(inner),
+        });
+        for (index, &budget) in request.budgets.iter().enumerate() {
+            let state = Arc::clone(&state);
+            let solver = Arc::clone(&solver);
+            let problem = Arc::clone(&request.problem);
+            let store = Arc::clone(&store);
+            let task_inner = Arc::clone(inner);
+            inner.enqueue(lane, move || {
+                let result = solve_contained(
+                    &task_inner.stats,
+                    &store,
+                    Some(key),
+                    &solver,
+                    &problem,
+                    budget,
+                );
+                state.finish_point(index, result);
+            });
+        }
+        RequestHandle {
+            shared,
+            lane,
+            estimate,
+        }
+    }
+}
+
+impl std::fmt::Debug for PlannerService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannerService")
+            .field("strategies", &self.inner.registry.names().len())
+            .field("pool_threads", &self.inner.pool.threads())
+            .field("inline_threshold", &self.inner.inline_threshold)
+            .field("interactive_threshold", &self.inner.interactive_threshold)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use fc_claims::{BiasQuery, ClaimSet, Direction, DupQuery, LinearClaim};
+    use fc_uncertain::{rng_from_seed, DiscreteDist};
+    use rand::Rng;
+
+    fn claims(n: usize) -> ClaimSet {
+        let perturbations: Vec<LinearClaim> = (0..n - 1)
+            .map(|i| LinearClaim::window_sum(i, 2).unwrap())
+            .collect();
+        let weights = vec![1.0; perturbations.len()];
+        ClaimSet::new(
+            LinearClaim::window_sum(0, 2).unwrap(),
+            perturbations,
+            weights,
+            Direction::HigherIsStronger,
+        )
+        .unwrap()
+    }
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = rng_from_seed(seed);
+        let dists = (0..n)
+            .map(|_| {
+                let k = rng.gen_range(2..=3);
+                let vals: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..10.0)).collect();
+                DiscreteDist::uniform_over(&vals).unwrap()
+            })
+            .collect::<Vec<_>>();
+        let current = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let costs = (0..n).map(|_| rng.gen_range(1..5)).collect();
+        Instance::new(dists, current, costs).unwrap()
+    }
+
+    fn dup_problem(n: usize, seed: u64) -> Arc<Problem> {
+        Arc::new(
+            Problem::discrete_min_var(
+                random_instance(n, seed),
+                Arc::new(DupQuery::new(claims(n), 6.0)),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn service(opts: ServiceOptions) -> PlannerService {
+        PlannerService::new(Arc::new(SolverRegistry::with_defaults()), opts)
+    }
+
+    #[test]
+    fn tiny_request_is_solved_inline_at_submit() {
+        let svc = service(ServiceOptions::new());
+        let problem = dup_problem(6, 1);
+        let expected = svc
+            .registry()
+            .solve("greedy", &problem, Budget::absolute(2))
+            .unwrap();
+        let handle = svc.submit(SolveRequest::new(
+            "greedy",
+            Arc::clone(&problem),
+            Budget::absolute(2),
+        ));
+        assert_eq!(handle.lane(), Lane::Inline);
+        assert!(
+            handle.is_ready(),
+            "inline handles resolve before submit returns"
+        );
+        let plan = handle.wait().unwrap();
+        assert_eq!(plan.divergence(&expected), None);
+        let stats = svc.stats();
+        assert_eq!(stats.inline, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn queued_request_matches_synchronous_solve() {
+        // Threshold 0 forces the queue even for a small problem.
+        let svc = service(ServiceOptions::new().with_inline_threshold(0));
+        let problem = dup_problem(10, 2);
+        let expected = svc
+            .registry()
+            .solve("auto", &problem, Budget::absolute(3))
+            .unwrap();
+        let handle = svc.submit(SolveRequest::new(
+            "auto",
+            Arc::clone(&problem),
+            Budget::absolute(3),
+        ));
+        assert_eq!(handle.lane(), Lane::Interactive);
+        let plan = handle.wait().unwrap();
+        assert_eq!(plan.divergence(&expected), None);
+    }
+
+    #[test]
+    fn sweep_matches_registry_sweep_bytes() {
+        let svc = service(ServiceOptions::new().with_inline_threshold(0));
+        let problem = dup_problem(12, 3);
+        let budgets: Vec<Budget> = (0..8).map(Budget::absolute).collect();
+        let expected = svc.registry().sweep("greedy", &problem, &budgets).unwrap();
+        let handle = svc.submit_sweep(SweepRequest::new(
+            "greedy",
+            Arc::clone(&problem),
+            budgets.clone(),
+        ));
+        let plans = handle.wait().unwrap();
+        assert_eq!(plans.len(), expected.len());
+        for (i, (a, b)) in plans.iter().zip(&expected).enumerate() {
+            assert_eq!(a.divergence(b), None, "budget point {i}");
+        }
+    }
+
+    #[test]
+    fn lane_routing_follows_estimates() {
+        let svc = service(
+            ServiceOptions::new()
+                .with_inline_threshold(0)
+                .with_interactive_threshold(0),
+        );
+        let handle = svc.submit(SolveRequest::new(
+            "greedy",
+            dup_problem(10, 4),
+            Budget::absolute(2),
+        ));
+        assert_eq!(handle.lane(), Lane::Bulk);
+        handle.wait().unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.bulk, 1);
+        assert_eq!(stats.interactive, 0);
+    }
+
+    #[test]
+    fn unknown_strategy_resolves_immediately() {
+        let svc = service(ServiceOptions::new());
+        let handle = svc.submit(SolveRequest::new(
+            "nope",
+            dup_problem(6, 5),
+            Budget::absolute(1),
+        ));
+        assert!(handle.is_ready());
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, CoreError::UnknownStrategy { name } if name == "nope"));
+        // Error-resolved requests still keep the lane accounting
+        // consistent: inline + interactive + bulk == submitted.
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.inline, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn strategy_refusal_is_a_typed_error_not_a_hang() {
+        // "best" refuses MaxPr problems; the handle must resolve to the
+        // typed refusal.
+        let svc = service(ServiceOptions::new().with_inline_threshold(0));
+        let inst = random_instance(8, 6);
+        let problem = Arc::new(
+            Problem::discrete_max_pr(inst, Arc::new(BiasQuery::new(claims(8), 4.0)), 0.5).unwrap(),
+        );
+        let handle = svc.submit(SolveRequest::new("best", problem, Budget::absolute(2)));
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, CoreError::StrategyUnsupported { .. }));
+    }
+
+    #[test]
+    fn panicking_solver_is_contained() {
+        #[derive(Debug)]
+        struct PanickySolver;
+        impl Solver for PanickySolver {
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+            fn solve_with_cache<'p>(
+                &self,
+                _problem: &'p Problem,
+                _budget: Budget,
+                _cache: &EngineCache<'p>,
+            ) -> Result<Plan> {
+                panic!("solver exploded");
+            }
+        }
+        let mut registry = SolverRegistry::with_defaults();
+        registry.register_solver(Arc::new(PanickySolver));
+        let svc = PlannerService::new(
+            Arc::new(registry),
+            ServiceOptions::new().with_inline_threshold(0),
+        );
+        let err = svc
+            .submit(SolveRequest::new(
+                "panicky",
+                dup_problem(6, 7),
+                Budget::absolute(1),
+            ))
+            .wait()
+            .unwrap_err();
+        assert!(
+            matches!(&err, CoreError::WorkerPanicked { detail } if detail.contains("exploded")),
+            "got {err}"
+        );
+        assert_eq!(svc.stats().panics, 1);
+        // The service (and its pool) keep serving after the panic.
+        let problem = dup_problem(6, 8);
+        let ok = svc
+            .submit(SolveRequest::new(
+                "greedy",
+                Arc::clone(&problem),
+                Budget::absolute(1),
+            ))
+            .wait();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn try_wait_takes_exactly_once() {
+        let svc = service(ServiceOptions::new());
+        let handle = svc.submit(SolveRequest::new(
+            "greedy",
+            dup_problem(6, 9),
+            Budget::absolute(1),
+        ));
+        assert!(handle.try_wait().expect("inline: ready").is_ok());
+        assert!(handle.try_wait().is_none(), "second take yields nothing");
+        assert!(handle.is_ready(), "taken still reads as ready");
+    }
+
+    #[test]
+    fn concurrent_submitters_get_identical_plans() {
+        let svc = service(ServiceOptions::new().with_inline_threshold(0));
+        let problem = dup_problem(14, 10);
+        let budget = Budget::absolute(4);
+        let expected = svc.registry().solve("auto", &problem, budget).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let svc = svc.clone();
+                let problem = Arc::clone(&problem);
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        let plan = svc
+                            .submit(SolveRequest::new("auto", Arc::clone(&problem), budget))
+                            .wait()
+                            .unwrap();
+                        assert_eq!(plan.divergence(expected), None);
+                    }
+                });
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.completed, 12);
+    }
+
+    #[test]
+    fn keyed_requests_share_the_store() {
+        let svc = service(ServiceOptions::new().with_inline_threshold(0));
+        let problem = dup_problem(12, 11);
+        let key = CacheKey::new(problem.instance_fingerprint(), 99);
+        for _ in 0..3 {
+            svc.submit(
+                SolveRequest::new("greedy", Arc::clone(&problem), Budget::absolute(3))
+                    .with_key(key),
+            )
+            .wait()
+            .unwrap();
+        }
+        assert_eq!(
+            svc.store().stats().scoped_builds,
+            1,
+            "repeat keyed requests reuse one table build"
+        );
+    }
+}

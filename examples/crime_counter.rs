@@ -7,13 +7,15 @@
 //!
 //! We compare GreedyMaxPr (probability-driven) against GreedyNaive
 //! (variance-driven) by the budget each needs before the revealed values
-//! expose a counterargument, and also run the adaptive (§6) policy that
-//! reacts to each revealed value.
+//! expose a counterargument — both served through the session/registry
+//! path (`SessionBuilder` → `recommend` with a `find_counter` /
+//! strategy-override spec) — and also replay the adaptive (§6) policy
+//! against the hidden truth.
 //!
 //! Run with: `cargo run --release --example crime_counter`
 
-use fc_core::algo::{adaptive_max_pr_simulate, greedy_max_pr_discrete, greedy_naive};
-use fc_core::{Budget, Selection};
+use fact_clean::prelude::*;
+use fc_core::algo::adaptive_max_pr_simulate;
 use fc_datasets::workloads::{counters_firearms, CountersWorkload};
 
 /// Reveal the truth for a selection and report the strongest counter
@@ -48,22 +50,35 @@ fn main() {
     let w = workload.expect("a qualifying scenario exists in the seed range");
     let total = w.instance.total_cost();
     let tau = w.tau;
+    let theta = w.claims.original_value(w.instance.current());
 
-    println!(
-        "claim window value (current data): {:.0}",
-        w.claims.original_value(w.instance.current())
-    );
+    // The session mirrors the workload's bias query: the claim family
+    // flipped to HigherIsStronger (a counter *lowers* the bias) with θ
+    // anchored at the bragged window's value on the current data. The
+    // budget scan below issues up to 100 recommends per strategy over
+    // the same data, so a cache store keeps the engine prefix work to
+    // one build per measure instead of one per call.
+    let session = SessionBuilder::new()
+        .discrete(w.instance.clone())
+        .claims(w.claims.with_direction(Direction::HigherIsStronger))
+        .theta(theta)
+        .cache_store(std::sync::Arc::new(CacheStore::new(8)))
+        .build()
+        .unwrap();
+
+    println!("claim window value (current data): {theta:.0}");
     println!("counter exists under hidden truth: yes\n");
 
-    let report = |name: &str, select: &dyn Fn(Budget) -> Selection| {
+    let report = |name: &str, spec: &ObjectiveSpec| {
         for pct in 1..=100u64 {
             let budget = Budget::fraction(total, pct as f64 / 100.0);
-            let sel = select(budget);
-            if reveal(&w, &sel).is_some() {
+            let plan = session.recommend(spec.clone(), budget).unwrap();
+            if reveal(&w, &plan.selection).is_some() {
                 println!(
                     "{name:<14} finds the counter at {pct:>3}% of the total budget \
-                     (cleaned {} values)",
-                    sel.len()
+                     (cleaned {} values)   [{}]",
+                    plan.selection.len(),
+                    plan.strategy,
                 );
                 return;
             }
@@ -71,12 +86,18 @@ fn main() {
         println!("{name:<14} never finds the counter");
     };
 
-    report("GreedyMaxPr", &|b| {
-        greedy_max_pr_discrete(&w.instance, &w.query, b, tau, None).unwrap()
-    });
-    report("GreedyNaive", &|b| greedy_naive(&w.instance, &w.query, b));
+    // MaxPr via the paper's routing; MinVar-naive via a strategy
+    // override on the same session.
+    report("GreedyMaxPr", &ObjectiveSpec::find_counter(tau));
+    report(
+        "GreedyNaive",
+        &ObjectiveSpec::ascertain(Measure::Bias).with_strategy("greedy-naive"),
+    );
 
-    // Adaptive policy (§6 extension): reacts to each revealed value.
+    // Adaptive policy (§6 extension): the registry's "adaptive"
+    // strategy plans against the expectation; here we replay the
+    // *hidden truth* instead, which is the one thing a planner cannot
+    // know — hence the direct simulation entry point.
     let out = adaptive_max_pr_simulate(
         &w.instance,
         &w.query,

@@ -89,6 +89,7 @@
 
 pub mod builder;
 pub mod planner;
+pub mod serve;
 pub mod session;
 
 pub use fc_claims as claims;
@@ -98,6 +99,7 @@ pub use fc_uncertain as uncertain;
 
 pub use builder::SessionBuilder;
 pub use planner::{Goal, Measure, ObjectiveSpec, Strategy};
+pub use serve::ClaimStream;
 pub use session::{CleaningSession, DataModel};
 
 #[allow(deprecated)]
@@ -107,10 +109,14 @@ pub use session::{Objective, Recommendation};
 pub mod prelude {
     pub use crate::builder::SessionBuilder;
     pub use crate::planner::{Goal, Measure, ObjectiveSpec, Strategy};
+    pub use crate::serve::ClaimStream;
     pub use crate::session::{CleaningSession, DataModel};
     pub use fc_claims::{
         quality::{BiasQuery, DupQuery, FragQuery},
         ClaimSet, Direction, LinearClaim,
+    };
+    pub use fc_core::planner::service::{
+        Lane, PlannerService, RequestHandle, ServiceOptions, SolveRequest, SweepRequest,
     };
     pub use fc_core::{
         Budget, CacheStore, GaussianInstance, Instance, Parallelism, Plan, Problem, Selection,

@@ -13,7 +13,7 @@
 pub use fc_core::planner::Goal;
 
 /// The claim-quality measure under optimization (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Measure {
     /// Fairness — sensibility-weighted mean relative strength
     /// (affine; modular fast paths apply).

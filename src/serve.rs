@@ -1,0 +1,371 @@
+//! Long-lived claim streams over the serving layer.
+//!
+//! A fact-checking session is not one request: a checker streams
+//! claims against a dataset *whose values keep getting cleaned* (the
+//! paper's interactive loop; see also the assisted fact-checking
+//! surveys in `PAPERS.md`). [`ClaimStream`] is that workflow as an
+//! object — it holds a dataset open across requests and connects it to
+//! a shared [`PlannerService`]:
+//!
+//! * [`ClaimStream::submit`] / [`ClaimStream::submit_sweep`] hand
+//!   requests to the service and return [`RequestHandle`]s
+//!   immediately; lowered [`Problem`]s are memoized per
+//!   (measure, goal), so a stream of claims over the same measure pays
+//!   the lowering once.
+//! * [`ClaimStream::mark_cleaned`] applies a cleaning outcome (pin
+//!   objects at their revealed values); [`ClaimStream::update_values`]
+//!   applies softer evidence (replace an object's marginal and current
+//!   value). Both **re-fingerprint only the touched instance** — the
+//!   claim-family digests are memoized and carried over — and
+//!   **surgically invalidate** exactly the stale
+//!   [`CacheStore`](fc_core::CacheStore) entries
+//!   ([`CacheStore::invalidate_instance`](fc_core::CacheStore::invalidate_instance))
+//!   instead of flushing, so every *other* stream sharing the service
+//!   stays warm after each cleaning step.
+//!
+//! Plans served through a stream are byte-identical to the synchronous
+//! [`CleaningSession`] paths ([`Plan::divergence`](fc_core::Plan::divergence)
+//! is the shared gate); the stream adds asynchrony, admission control,
+//! and cache lifecycle — never different answers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fc_core::planner::service::{PlannerService, RequestHandle, SolveRequest, SweepRequest};
+use fc_core::{Budget, CacheKey, Plan, Problem, Result, Selection};
+
+use crate::planner::{Goal, Measure, ObjectiveSpec};
+use crate::session::CleaningSession;
+
+/// Memo key for lowered problems: measure × goal (τ by bit pattern —
+/// the same identity [`CacheKey`] fingerprints use for floats).
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum GoalKey {
+    MinVar,
+    MaxPr(u64),
+}
+
+/// `None` for goals this module does not know — `Goal` is
+/// non-exhaustive upstream, and an unknown goal must *skip* the memo
+/// (falling through to `build_problem`, which rejects it with a typed
+/// error) rather than alias another goal's cached problem.
+fn goal_key(goal: Goal) -> Option<GoalKey> {
+    match goal {
+        Goal::MinVar => Some(GoalKey::MinVar),
+        Goal::MaxPr { tau } => Some(GoalKey::MaxPr(tau.to_bits())),
+        _ => None,
+    }
+}
+
+/// A claim-stream session: a [`CleaningSession`] held open across
+/// requests, served asynchronously by a shared [`PlannerService`], with
+/// incremental cache invalidation as the data gets cleaned. See the
+/// [module docs](self) for the lifecycle.
+pub struct ClaimStream {
+    session: CleaningSession,
+    service: PlannerService,
+    /// Lowered problems memoized per (measure, goal); cleared whenever
+    /// the data changes.
+    problems: Mutex<HashMap<(Measure, GoalKey), Arc<Problem>>>,
+}
+
+impl ClaimStream {
+    /// Opens a stream over `session`, served by `service`. The
+    /// session's own `cache_store`/`parallelism` knobs keep governing
+    /// its *synchronous* methods; submissions through the stream use
+    /// the service's store and pool.
+    pub fn open(session: CleaningSession, service: PlannerService) -> Self {
+        Self {
+            session,
+            service,
+            problems: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying session (current data version).
+    pub fn session(&self) -> &CleaningSession {
+        &self.session
+    }
+
+    /// The service this stream submits to.
+    pub fn service(&self) -> &PlannerService {
+        &self.service
+    }
+
+    /// The lowered problem for `spec`, memoized per (measure, goal).
+    fn problem_for(&self, spec: &ObjectiveSpec) -> Result<(Arc<Problem>, CacheKey)> {
+        let problem = match goal_key(spec.goal) {
+            Some(goal) => {
+                let memo_key = (spec.measure, goal);
+                let mut problems = self.problems.lock().expect("problem memo poisoned");
+                match problems.get(&memo_key) {
+                    Some(problem) => Arc::clone(problem),
+                    None => {
+                        let problem = Arc::new(self.session.build_problem(spec)?);
+                        problems.insert(memo_key, Arc::clone(&problem));
+                        problem
+                    }
+                }
+            }
+            // Unknown goal: no memo entry; the session rejects it with
+            // a typed error (see `goal_key`).
+            None => Arc::new(self.session.build_problem(spec)?),
+        };
+        let key = self.session.cache_key(&problem, spec.measure);
+        Ok((problem, key))
+    }
+
+    /// Submits one objective at one budget; returns immediately with a
+    /// handle (see [`RequestHandle`]). Specs that fail to *lower* (bad
+    /// query scope, unsupported goal) are rejected here as `Err` —
+    /// before anything is queued — while solve-time failures (unknown
+    /// strategy, solver refusal) resolve through the handle.
+    pub fn submit(
+        &self,
+        spec: impl Into<ObjectiveSpec>,
+        budget: Budget,
+    ) -> Result<RequestHandle<Plan>> {
+        let spec = spec.into();
+        let (problem, key) = self.problem_for(&spec)?;
+        Ok(self
+            .service
+            .submit(SolveRequest::new(spec.strategy.key(), problem, budget).with_key(key)))
+    }
+
+    /// Submits one objective across a budget sweep (decomposed by the
+    /// service into per-point tasks, so interactive claims interleave).
+    pub fn submit_sweep(
+        &self,
+        spec: &ObjectiveSpec,
+        budgets: &[Budget],
+    ) -> Result<RequestHandle<Vec<Plan>>> {
+        let (problem, key) = self.problem_for(spec)?;
+        Ok(self.service.submit_sweep(
+            SweepRequest::new(spec.strategy.key(), problem, budgets.to_vec()).with_key(key),
+        ))
+    }
+
+    /// Applies a cleaning outcome — pins `objects[k]` at
+    /// `revealed[k]` — and surgically invalidates the service-store
+    /// entries of the *previous* data version. Only the touched
+    /// instance is re-fingerprinted (the claim-family digests are
+    /// memoized); every other instance's entries stay warm. Returns
+    /// the number of store entries invalidated.
+    ///
+    /// Submissions already in flight keep their pre-cleaning problem
+    /// (and produce pre-cleaning plans); submissions after this call
+    /// see the cleaned data.
+    pub fn mark_cleaned(&mut self, objects: &[usize], revealed: &[f64]) -> Result<usize> {
+        let selection = self.selection_of(objects)?;
+        let next = self.session.after_cleaning(&selection, revealed)?;
+        Ok(self.install(next))
+    }
+
+    /// Applies softer evidence: replaces the marginal distribution and
+    /// current value of each `(object, dist, value)` triple (cleaning
+    /// that narrows uncertainty without eliminating it). Invalidates
+    /// like [`ClaimStream::mark_cleaned`]; returns the number of store
+    /// entries invalidated.
+    pub fn update_values(
+        &mut self,
+        updates: &[(usize, fc_uncertain::DiscreteDist, f64)],
+    ) -> Result<usize> {
+        let next = self.session.with_updated_values(updates)?;
+        Ok(self.install(next))
+    }
+
+    /// Swaps in the updated session, dropping the stale problem memo
+    /// and store entries of the previous data version.
+    fn install(&mut self, next: CleaningSession) -> usize {
+        // The fingerprints that may hold store entries are exactly the
+        // ones requests actually derived (memoized on the *old*
+        // session).
+        let stale = self.session.active_instance_fingerprints();
+        self.session = next;
+        self.problems.lock().expect("problem memo poisoned").clear();
+        stale
+            .into_iter()
+            .map(|fp| self.service.store().invalidate_instance(fp))
+            .sum()
+    }
+
+    /// Builds a validated [`Selection`] over the session's costs.
+    fn selection_of(&self, objects: &[usize]) -> Result<Selection> {
+        let costs = self.session.data().costs();
+        for &object in objects {
+            if object >= costs.len() {
+                return Err(fc_core::CoreError::BadObject {
+                    object,
+                    len: costs.len(),
+                });
+            }
+        }
+        Ok(Selection::from_objects(objects.to_vec(), costs))
+    }
+}
+
+impl std::fmt::Debug for ClaimStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClaimStream")
+            .field("session", &self.session)
+            .field(
+                "lowered_problems",
+                &self.problems.lock().expect("problem memo poisoned").len(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_claims::{ClaimSet, Direction, LinearClaim};
+    use fc_core::planner::service::ServiceOptions;
+    use fc_core::SolverRegistry;
+    use fc_uncertain::DiscreteDist;
+
+    fn session() -> CleaningSession {
+        let dists = vec![
+            DiscreteDist::uniform_over(&[8_990.0, 9_010.0, 9_030.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_235.0, 9_275.0, 9_315.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_280.0, 9_300.0, 9_320.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_105.0, 9_125.0, 9_145.0]).unwrap(),
+            DiscreteDist::uniform_over(&[9_410.0, 9_430.0, 9_450.0]).unwrap(),
+        ];
+        let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
+        let instance = fc_core::Instance::new(dists, current, vec![1; 5]).unwrap();
+        let claims = ClaimSet::new(
+            LinearClaim::window_comparison(3, 4, 1).unwrap(),
+            vec![
+                LinearClaim::window_comparison(2, 3, 1).unwrap(),
+                LinearClaim::window_comparison(1, 2, 1).unwrap(),
+                LinearClaim::window_comparison(0, 1, 1).unwrap(),
+            ],
+            vec![1.0, 1.0, 1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap();
+        CleaningSession::new(instance, claims)
+    }
+
+    fn service() -> PlannerService {
+        PlannerService::new(
+            Arc::new(SolverRegistry::with_defaults()),
+            ServiceOptions::new(),
+        )
+    }
+
+    #[test]
+    fn stream_plans_match_synchronous_session() {
+        let s = session();
+        let stream = ClaimStream::open(s.clone(), service());
+        for measure in [Measure::Bias, Measure::Dup, Measure::Frag] {
+            let spec = ObjectiveSpec::ascertain(measure);
+            let expected = s.recommend(spec.clone(), Budget::absolute(2)).unwrap();
+            let plan = stream
+                .submit(spec, Budget::absolute(2))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(plan.divergence(&expected), None, "{measure:?}");
+        }
+    }
+
+    #[test]
+    fn mark_cleaned_invalidates_and_reroutes() {
+        let mut stream = ClaimStream::open(session(), service());
+        let spec = ObjectiveSpec::ascertain(Measure::Dup);
+        let cold = stream
+            .submit(spec.clone(), Budget::absolute(2))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(stream.service.store().stats().entries > 0);
+        let objects = cold.selection.objects().to_vec();
+        let revealed: Vec<f64> = objects
+            .iter()
+            .map(|&i| stream.session().instance().dist(i).max_value())
+            .collect();
+        let invalidated = stream.mark_cleaned(&objects, &revealed).unwrap();
+        assert!(invalidated > 0, "the old fingerprint's entry was dropped");
+        // Post-cleaning plan equals a fresh synchronous session's.
+        let expected = stream
+            .session()
+            .recommend(spec.clone(), Budget::absolute(2))
+            .unwrap();
+        let warm = stream
+            .submit(spec, Budget::absolute(2))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(warm.divergence(&expected), None);
+        for (&obj, &v) in objects.iter().zip(&revealed) {
+            assert!(stream.session().instance().dist(obj).is_certain());
+            assert_eq!(stream.session().instance().current()[obj], v);
+        }
+    }
+
+    #[test]
+    fn update_values_narrows_without_pinning() {
+        let mut stream = ClaimStream::open(session(), service());
+        stream
+            .submit(ObjectiveSpec::ascertain(Measure::Dup), Budget::absolute(2))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let narrowed = DiscreteDist::uniform_over(&[9_270.0, 9_280.0]).unwrap();
+        stream.update_values(&[(1, narrowed, 9_275.0)]).unwrap();
+        let d = stream.session().instance().dist(1);
+        assert!(!d.is_certain(), "narrowed, not pinned");
+        assert_eq!(d.support_size(), 2);
+        // Out-of-range objects are typed errors, not panics.
+        let bad = DiscreteDist::point(1.0);
+        let err = stream.update_values(&[(99, bad, 1.0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            fc_core::CoreError::BadObject { object: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn lowered_problems_are_memoized_until_data_changes() {
+        let mut stream = ClaimStream::open(session(), service());
+        let spec = ObjectiveSpec::ascertain(Measure::Dup);
+        for budget in 1..=2 {
+            stream
+                .submit(spec.clone(), Budget::absolute(budget))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        assert_eq!(
+            stream.problems.lock().unwrap().len(),
+            1,
+            "same measure/goal lowers once"
+        );
+        stream
+            .submit(ObjectiveSpec::find_counter(5.0), Budget::absolute(1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(stream.problems.lock().unwrap().len(), 2);
+        stream.mark_cleaned(&[0], &[9_010.0]).unwrap();
+        assert_eq!(
+            stream.problems.lock().unwrap().len(),
+            0,
+            "data change drops the memo"
+        );
+    }
+
+    #[test]
+    fn bad_cleaning_input_is_a_typed_error() {
+        let mut stream = ClaimStream::open(session(), service());
+        let err = stream.mark_cleaned(&[99], &[1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            fc_core::CoreError::BadObject { object: 99, len: 5 }
+        ));
+        let err = stream.mark_cleaned(&[0, 1], &[1.0]).unwrap_err();
+        assert!(matches!(err, fc_core::CoreError::LengthMismatch { .. }));
+    }
+}

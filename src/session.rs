@@ -176,11 +176,21 @@ pub struct CleaningSession {
     discretize_support: usize,
     parallelism: Parallelism,
     cache_store: Option<Arc<CacheStore>>,
-    /// Memoized per-measure [`CacheKey`]s (data, claims, and θ are
-    /// immutable within a session, so each key is computed once;
-    /// indexed Bias/Dup/Frag). Clones share the memo — they share the
-    /// data it fingerprints.
+    /// Memoized per-measure [`CacheKey`]s (indexed Bias/Dup/Frag);
+    /// each is computed once per data version. Clones share the memo —
+    /// they share the data it fingerprints. Data-updating operations
+    /// ([`CleaningSession::after_cleaning`] /
+    /// [`CleaningSession::with_updated_values`]) replace this memo in
+    /// the returned session: the cleaned instance must be
+    /// re-fingerprinted.
     cache_keys: Arc<[std::sync::OnceLock<CacheKey>; 3]>,
+    /// Memoized per-measure query digests (the non-instance half of a
+    /// [`CacheKey`]: measure, θ, claim family, discretization width).
+    /// All of that is immutable for the session's lifetime, so — unlike
+    /// `cache_keys` — this memo is *carried across* data updates:
+    /// cleaning a value re-fingerprints only the touched instance,
+    /// never re-hashes the claims.
+    query_digests: Arc<[std::sync::OnceLock<u64>; 3]>,
 }
 
 impl std::fmt::Debug for CleaningSession {
@@ -231,6 +241,7 @@ impl CleaningSession {
             parallelism,
             cache_store,
             cache_keys: Arc::new(Default::default()),
+            query_digests: Arc::new(Default::default()),
         }
     }
 
@@ -343,19 +354,45 @@ impl CleaningSession {
     /// discretization width (for Gaussian data lowered onto discrete
     /// engines). Goal and budget are deliberately excluded: scoped
     /// tables and modular benefits are valid for every goal. Memoized
-    /// per measure — everything hashed is immutable for the session's
-    /// lifetime, so the instance is fingerprinted once, not per
-    /// request.
-    fn cache_key(&self, problem: &Problem, measure: Measure) -> CacheKey {
-        let slot = &self.cache_keys[match measure {
+    /// per measure and per data version, with the two halves memoized
+    /// independently: after a cleaning step only the instance half is
+    /// recomputed ([`ClaimStream`](crate::serve::ClaimStream) relies on
+    /// this to keep incremental updates cheap).
+    pub(crate) fn cache_key(&self, problem: &Problem, measure: Measure) -> CacheKey {
+        let index = Self::measure_index(measure);
+        *self.cache_keys[index].get_or_init(|| {
+            let query = *self.query_digests[index].get_or_init(|| self.query_digest(measure));
+            CacheKey::new(problem.instance_fingerprint(), query)
+        })
+    }
+
+    fn measure_index(measure: Measure) -> usize {
+        match measure {
             Measure::Bias => 0,
             Measure::Dup => 1,
             Measure::Frag => 2,
-        }];
-        *slot.get_or_init(|| self.compute_cache_key(problem, measure))
+        }
     }
 
-    fn compute_cache_key(&self, problem: &Problem, measure: Measure) -> CacheKey {
+    /// The distinct instance fingerprints under which this session's
+    /// data may have [`CacheStore`] entries — i.e. the instance halves
+    /// of the cache keys actually derived so far. Data-updating
+    /// operations invalidate exactly these (see
+    /// [`ClaimStream::mark_cleaned`](crate::serve::ClaimStream::mark_cleaned)).
+    pub(crate) fn active_instance_fingerprints(&self) -> Vec<u64> {
+        let mut fps: Vec<u64> = self
+            .cache_keys
+            .iter()
+            .filter_map(|slot| slot.get().map(|key| key.instance))
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        fps
+    }
+
+    /// The non-instance half of a [`CacheKey`] (see
+    /// [`CleaningSession::cache_key`]).
+    fn query_digest(&self, measure: Measure) -> u64 {
         let mut h = Fnv1a::new();
         h.write_str(measure.name());
         h.write_f64(self.theta);
@@ -378,7 +415,7 @@ impl CleaningSession {
             fc_claims::Direction::HigherIsStronger => "higher",
             fc_claims::Direction::LowerIsStronger => "lower",
         });
-        CacheKey::new(problem.instance_fingerprint(), h.finish())
+        h.finish()
     }
 
     /// Recommends what to clean under `budget` for one objective.
@@ -498,20 +535,69 @@ impl CleaningSession {
             current[obj] = v;
         }
         let instance = Instance::new(dists, current, instance.costs().to_vec())?;
-        Ok(Self {
-            data: DataModel::Discrete(instance),
+        Ok(self.with_data(DataModel::Discrete(instance)))
+    }
+
+    /// Replaces the marginal distribution and current value of selected
+    /// objects — the incremental-update primitive for long-lived claim
+    /// streams: new evidence narrows (or shifts) an object's
+    /// uncertainty without pinning it to a point the way
+    /// [`CleaningSession::after_cleaning`] does. Returns the updated
+    /// session; like `after_cleaning`, the original is untouched.
+    ///
+    /// Errors with [`CoreError::BadObject`] on an out-of-range index
+    /// and refuses Gaussian sessions (same contract as
+    /// `after_cleaning`).
+    pub fn with_updated_values(
+        &self,
+        updates: &[(usize, fc_uncertain::DiscreteDist, f64)],
+    ) -> Result<Self> {
+        let instance = match &self.data {
+            DataModel::Discrete(i) => i,
+            DataModel::Gaussian(_) => {
+                return Err(CoreError::StrategyUnsupported {
+                    strategy: "with_updated_values".into(),
+                    reason: "incremental value updates require the discrete error model; \
+                             discretize the Gaussian instance first"
+                        .into(),
+                })
+            }
+        };
+        let mut dists = instance.joint().dists().to_vec();
+        let mut current = instance.current().to_vec();
+        for (obj, dist, value) in updates {
+            if *obj >= dists.len() {
+                return Err(CoreError::BadObject {
+                    object: *obj,
+                    len: dists.len(),
+                });
+            }
+            dists[*obj] = dist.clone();
+            current[*obj] = *value;
+        }
+        let instance = Instance::new(dists, current, instance.costs().to_vec())?;
+        Ok(self.with_data(DataModel::Discrete(instance)))
+    }
+
+    /// A session over `data` sharing everything else with `self`. The
+    /// updated data has a new fingerprint, so sharing the store stays
+    /// correct — entries never collide. The cache-key memo is NOT
+    /// shared for the same reason (it caches keys derived from the old
+    /// instance's fingerprint), but the query-digest memo IS: claims,
+    /// θ, and the discretization width are untouched, so only the
+    /// instance gets re-fingerprinted on the next request.
+    fn with_data(&self, data: DataModel) -> Self {
+        Self {
+            data,
             claims: self.claims.clone(),
             theta: self.theta,
             registry: Arc::clone(&self.registry),
             discretize_support: self.discretize_support,
             parallelism: self.parallelism,
-            // The cleaned instance has a new fingerprint, so sharing
-            // the store stays correct — entries never collide. The key
-            // memo is NOT shared for the same reason: it caches keys
-            // derived from the old instance's fingerprint.
             cache_store: self.cache_store.clone(),
             cache_keys: Arc::new(Default::default()),
-        })
+            query_digests: Arc::clone(&self.query_digests),
+        }
     }
 
     /// The strongest counterargument visible on the *current* data, if
@@ -519,6 +605,15 @@ impl CleaningSession {
     pub fn visible_counter(&self) -> Option<(usize, f64)> {
         self.claims
             .strongest_counter(self.data.current(), self.theta)
+    }
+
+    /// Opens a long-lived [`ClaimStream`](crate::serve::ClaimStream)
+    /// over this session, served by `service`.
+    pub fn into_stream(
+        self,
+        service: fc_core::planner::service::PlannerService,
+    ) -> crate::serve::ClaimStream {
+        crate::serve::ClaimStream::open(self, service)
     }
 }
 
