@@ -1,51 +1,60 @@
 //! Fig. 7 — reducing uncertainty in claim *robustness* (frag, §4.2):
 //! (a) CDC-firearms "as high as Γ′"; (b) URx with n = 100, 25
 //! perturbations, Γ′ = 100.
+//!
+//! Served through the planner registry like fig02–06: one discrete
+//! MinVar [`fc_core::Problem`] per panel and one `solve_batch` of
+//! strategy × budget jobs over it, so the scoped-EV tables are built
+//! once per panel instead of once per strategy. The plotted value is
+//! [`Plan::after`](fc_core::Plan) — the same scoped `EV` the legacy
+//! `*_with_engine` path reported.
 
-use fc_bench::{Figure, HarnessCfg, Series};
-use fc_core::algo::{
-    best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
-};
-use fc_core::Budget;
+use std::sync::Arc;
+
+use fc_bench::{strategy_budget_batch, Figure, HarnessCfg, Series};
+use fc_core::{Budget, Problem, SolverRegistry};
 use fc_datasets::workloads::{cdc_firearms_robustness, synthetic_robustness, RobustnessWorkload};
 use fc_datasets::SyntheticKind;
 
-fn panel(id: &str, title: &str, w: &RobustnessWorkload, cfg: &HarnessCfg) {
-    let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+const STRATEGIES: [(&str, &str); 3] = [
+    ("GreedyNaive", "greedy-naive"),
+    ("GreedyMinVar", "greedy"),
+    ("Best", "best"),
+];
+
+fn panel(
+    id: &str,
+    title: &str,
+    w: &RobustnessWorkload,
+    registry: &SolverRegistry,
+    cfg: &HarnessCfg,
+) {
+    let problem = Problem::discrete_min_var(w.instance.clone(), Arc::new(w.query.clone()))
+        .expect("robustness workloads lower onto discrete MinVar");
     let total = w.instance.total_cost();
+    let fracs = cfg.budget_fracs();
+    let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
+    let plans = strategy_budget_batch(registry, &problem, &STRATEGIES.map(|(_, s)| s), &budgets);
     let mut fig = Figure::new(id, title, "budget_frac", "expected variance after cleaning");
-    let mut naive = Series::new("GreedyNaive");
-    let mut gmv = Series::new("GreedyMinVar");
-    let mut best = Series::new("Best");
-    for frac in cfg.budget_fracs() {
-        let budget = Budget::fraction(total, frac);
-        naive.push(
-            frac,
-            eng.ev_of(greedy_naive(&w.instance, &w.query, budget).objects()),
-        );
-        gmv.push(
-            frac,
-            eng.ev_of(greedy_min_var_with_engine(&w.instance, &eng, budget).objects()),
-        );
-        best.push(
-            frac,
-            eng.ev_of(
-                best_min_var_with_engine(&w.instance, &eng, budget, BestConfig::default())
-                    .objects(),
-            ),
-        );
+    for ((label, _), plans) in STRATEGIES.iter().zip(plans.chunks(budgets.len())) {
+        let mut series = Series::new(*label);
+        for (&frac, plan) in fracs.iter().zip(plans) {
+            series.push(frac, plan.after);
+        }
+        fig.series.push(series);
     }
-    fig.series.extend([naive, gmv, best]);
     fig.emit(cfg);
 }
 
 fn main() {
     let cfg = HarnessCfg::from_args();
+    let registry = SolverRegistry::with_defaults();
     let firearms = cdc_firearms_robustness(cfg.seed).unwrap();
     panel(
         "fig07a",
         "CDC-firearms robustness (8 perturbations)",
         &firearms,
+        &registry,
         &cfg,
     );
     let n = if cfg.quick { 40 } else { 100 };
@@ -54,6 +63,7 @@ fn main() {
         "fig07b",
         "URx robustness, Γ′ = 100 (25 perturbations)",
         &urx,
+        &registry,
         &cfg,
     );
 }

@@ -6,24 +6,39 @@
 //! (b) budget fixed at 5,000, n from 5,000 up to 1,000,000
 //!     (log₁₀ seconds, as in the paper).
 //!
-//! `--quick` shrinks to n = 2,000 / n ≤ 50,000. Times include the greedy
-//! run but not workload generation; the engine build ("preprocessing")
-//! is reported as its own series for transparency.
+//! `--quick` shrinks to n = 2,000 / n ≤ 50,000. Runs through the
+//! planner registry (`"greedy"` resolves to the same scoped-engine
+//! greedy the legacy `greedy_min_var_with_engine` call wrapped): the
+//! engine build ("preprocessing") is paid once into an [`EngineCache`]
+//! and reported as its own series; the per-budget timing covers the
+//! greedy run plus the plan's before/after EV finalization (two scoped
+//! evaluations — noise at these scales).
+
+use std::sync::Arc;
 
 use fc_bench::{time_it, Figure, HarnessCfg, Series};
-use fc_core::algo::greedy_min_var_with_engine;
-use fc_core::Budget;
-use fc_datasets::workloads::scaling_uniqueness;
+use fc_core::{Budget, EngineCache, Problem, SolverRegistry};
+
+fn scaling_problem(n: usize, seed: u64) -> Problem {
+    let w = fc_datasets::workloads::scaling_uniqueness(n, seed).unwrap();
+    Problem::discrete_min_var(w.instance, Arc::new(w.query))
+        .expect("the scaling workload lowers onto discrete MinVar")
+}
 
 fn main() {
     let cfg = HarnessCfg::from_args();
+    let registry = SolverRegistry::with_defaults();
+    let solver = registry.get("greedy").unwrap();
 
     // (a) fixed n, varying budget.
     let n = if cfg.quick { 2_000 } else { 10_000 };
-    let w = scaling_uniqueness(n, cfg.seed).unwrap();
-    let (eng, build_s) = time_it(|| fc_core::ev::ScopedEv::new(&w.instance, &w.query));
+    let problem = scaling_problem(n, cfg.seed);
+    let total = problem.total_cost();
+    let cache = EngineCache::new();
+    let ((), build_s) = time_it(|| {
+        cache.scoped(&problem).expect("discrete problem");
+    });
     println!("engine build for n = {n}: {build_s:.3}s");
-    let total = w.instance.total_cost();
     let mut fig_a = Figure::new(
         "fig10a",
         format!("GreedyMinVar runtime, n = {n}, varying budget"),
@@ -33,11 +48,11 @@ fn main() {
     let mut s = Series::new("GreedyMinVar");
     for pct in [0.01, 0.05, 0.10, 0.20, 0.30] {
         let budget = Budget::fraction(total, pct);
-        let (sel, secs) = time_it(|| greedy_min_var_with_engine(&w.instance, &eng, budget));
+        let (plan, secs) = time_it(|| solver.solve_with_cache(&problem, budget, &cache).unwrap());
         println!(
             "  budget {:>5.1}% -> cleaned {:>6} values in {secs:.3}s",
             pct * 100.0,
-            sel.len()
+            plan.selection.len()
         );
         s.push(pct, secs);
     }
@@ -60,13 +75,16 @@ fn main() {
     let mut build_series = Series::new("engine build");
     let mut log_s = Series::new("log10(seconds)");
     for n in sizes {
-        let w = scaling_uniqueness(n, cfg.seed).unwrap();
-        let (eng, bsecs) = time_it(|| fc_core::ev::ScopedEv::new(&w.instance, &w.query));
+        let problem = scaling_problem(n, cfg.seed);
+        let cache = EngineCache::new();
+        let ((), bsecs) = time_it(|| {
+            cache.scoped(&problem).expect("discrete problem");
+        });
         let budget = Budget::absolute(5_000);
-        let (sel, secs) = time_it(|| greedy_min_var_with_engine(&w.instance, &eng, budget));
+        let (plan, secs) = time_it(|| solver.solve_with_cache(&problem, budget, &cache).unwrap());
         println!(
             "  n = {n:>8}: build {bsecs:.3}s, greedy {secs:.3}s, cleaned {} values",
-            sel.len()
+            plan.selection.len()
         );
         run_s.push(n as f64, secs);
         build_series.push(n as f64, bsecs);

@@ -8,19 +8,42 @@
 //!     measure).
 //! (b) budget fixed at 30%, γ ∈ {0, 0.1, …, 0.9}: GreedyMinVar vs OPT vs
 //!     GreedyDep.
+//!
+//! Served through the planner registry: the correlated strategies run
+//! as one `solve_batch` per panel on a Gaussian MinVar
+//! [`fc_core::Problem`] (conditional semantics, so [`fc_core::Plan::after`] is
+//! exactly the conditional EV the paper plots). The one deliberate
+//! exception is `Optimum`, whose *blindness* is the point — the
+//! registry's `optimum-knapsack` refuses non-diagonal covariance, so
+//! its selection is solved on an independent twin instance (same
+//! marginals, no covariance) and then evaluated on the true correlated
+//! model, exactly as the legacy free-function path did.
 
-use fc_bench::gaussian_algos as ga;
-use fc_bench::{Figure, HarnessCfg, Series};
-use fc_core::algo::{
-    greedy_dep, greedy_min_var_gaussian, knapsack_optimum_min_var_gaussian, opt_gaussian,
-};
+use fc_bench::{strategy_budget_batch as batch, Figure, HarnessCfg, Series};
 use fc_core::ev::ev_gaussian_linear;
 use fc_core::ev::gaussian::MvnSemantics;
-use fc_core::{Budget, Selection};
+use fc_core::{Budget, GaussianInstance, Problem, Selection, SolverRegistry};
 use fc_datasets::workloads::dependency_fairness;
+
+/// The correlation-blind twin: same marginal sds / means / current /
+/// costs, diagonal covariance — what the blind `Optimum` believes the
+/// world looks like.
+fn blind_twin(instance: &GaussianInstance) -> GaussianInstance {
+    let n = instance.len();
+    let means: Vec<f64> = (0..n).map(|i| instance.mean(i)).collect();
+    let sds: Vec<f64> = (0..n).map(|i| instance.sd(i)).collect();
+    GaussianInstance::independent(
+        means,
+        &sds,
+        instance.current().to_vec(),
+        instance.costs().to_vec(),
+    )
+    .expect("the twin copies a validated instance")
+}
 
 fn main() {
     let cfg = HarnessCfg::from_args();
+    let registry = SolverRegistry::with_defaults();
 
     // (a) γ = 0.7, varying budget.
     let w = dependency_fairness(cfg.seed, 0.7).unwrap();
@@ -34,43 +57,46 @@ fn main() {
         )
         .unwrap()
     };
+    let problem = Problem::gaussian_min_var(w.instance.clone(), w.weights.clone()).unwrap();
+    let blind_problem =
+        Problem::gaussian_min_var(blind_twin(&w.instance), w.weights.clone()).unwrap();
+    let fracs = cfg.budget_fracs();
+    let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
+
+    // Correlated model: Plan::after *is* the conditional EV.
+    const PANEL_A: [(&str, &str); 5] = [
+        ("GreedyNaiveCostBlind", "greedy-naive-cost-blind"),
+        ("GreedyNaive", "greedy-naive"),
+        ("GreedyMinVar", "greedy"),
+        ("OPT", "brute"),
+        ("GreedyDep", "greedy-dep"),
+    ];
+    let plans_a = batch(&registry, &problem, &PANEL_A.map(|(_, s)| s), &budgets);
+    // Blind Optimum: selection from the independent twin, conditional
+    // EV evaluated on the true correlated instance.
+    let optimum_plans = batch(&registry, &blind_problem, &["optimum-knapsack"], &budgets);
+
     let mut fig_a = Figure::new(
         "fig11a",
         "CDC-firearms with γ = 0.7 dependency — conditional variance in fairness",
         "budget_frac",
         "variance after cleaning",
     );
-    let mut blind = Series::new("GreedyNaiveCostBlind");
-    let mut naive = Series::new("GreedyNaive");
-    let mut gmv = Series::new("GreedyMinVar");
-    let mut optimum = Series::new("Optimum");
-    let mut opt_full = Series::new("OPT");
-    let mut dep = Series::new("GreedyDep");
-    for frac in cfg.budget_fracs() {
-        let budget = Budget::fraction(total, frac);
-        blind.push(
-            frac,
-            ev(&ga::naive_cost_blind(&w.instance, &w.weights, budget)),
-        );
-        naive.push(frac, ev(&ga::naive(&w.instance, &w.weights, budget)));
-        gmv.push(
-            frac,
-            ev(&greedy_min_var_gaussian(&w.instance, &w.weights, budget)),
-        );
-        optimum.push(
-            frac,
-            ev(&knapsack_optimum_min_var_gaussian(
-                &w.instance,
-                &w.weights,
-                budget,
-            )),
-        );
-        opt_full.push(
-            frac,
-            ev(&opt_gaussian(&w.instance, &w.weights, budget).unwrap()),
-        );
-        dep.push(frac, ev(&greedy_dep(&w.instance, &w.weights, budget)));
+    let mut by_label: Vec<Series> = Vec::new();
+    for ((label, _), plans) in PANEL_A.iter().zip(plans_a.chunks(budgets.len())) {
+        let mut series = Series::new(*label);
+        for (&frac, plan) in fracs.iter().zip(plans) {
+            series.push(frac, plan.after);
+        }
+        by_label.push(series);
     }
+    let mut optimum = Series::new("Optimum");
+    for (&frac, plan) in fracs.iter().zip(&optimum_plans) {
+        optimum.push(frac, ev(&plan.selection));
+    }
+    // Paper order: blind, naive, gmv, Optimum, OPT, dep.
+    let [blind, naive, gmv, opt_full, dep] =
+        <[Series; 5]>::try_from(by_label).expect("one series per panel-a strategy");
     fig_a
         .series
         .extend([blind, naive, gmv, optimum, opt_full, dep]);
@@ -88,31 +114,24 @@ fn main() {
         "gamma",
         "variance after cleaning",
     );
-    let mut gmv = Series::new("GreedyMinVar");
-    let mut opt_full = Series::new("OPT");
-    let mut dep = Series::new("GreedyDep");
+    const PANEL_B: [(&str, &str); 3] = [
+        ("GreedyMinVar", "greedy"),
+        ("OPT", "brute"),
+        ("GreedyDep", "greedy-dep"),
+    ];
+    let mut series_b: Vec<Series> = PANEL_B
+        .iter()
+        .map(|&(label, _)| Series::new(label))
+        .collect();
     for &gamma in &gammas {
         let w = dependency_fairness(cfg.seed, gamma).unwrap();
         let budget = Budget::fraction(w.instance.total_cost(), 0.3);
-        let ev = |sel: &Selection| {
-            ev_gaussian_linear(
-                &w.instance,
-                &w.weights,
-                sel.objects(),
-                MvnSemantics::Conditional,
-            )
-            .unwrap()
-        };
-        gmv.push(
-            gamma,
-            ev(&greedy_min_var_gaussian(&w.instance, &w.weights, budget)),
-        );
-        opt_full.push(
-            gamma,
-            ev(&opt_gaussian(&w.instance, &w.weights, budget).unwrap()),
-        );
-        dep.push(gamma, ev(&greedy_dep(&w.instance, &w.weights, budget)));
+        let problem = Problem::gaussian_min_var(w.instance.clone(), w.weights.clone()).unwrap();
+        let plans = batch(&registry, &problem, &PANEL_B.map(|(_, s)| s), &[budget]);
+        for (series, plan) in series_b.iter_mut().zip(&plans) {
+            series.push(gamma, plan.after);
+        }
     }
-    fig_b.series.extend([gmv, opt_full, dep]);
+    fig_b.series.extend(series_b);
     fig_b.emit(&cfg);
 }

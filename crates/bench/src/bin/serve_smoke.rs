@@ -19,11 +19,17 @@
 //!   structurally (stream A's post-cleaning plans must match a fresh
 //!   session over the cleaned data) and by the store counters (stream
 //!   B must report **zero** scoped-table rebuilds after stream A's
-//!   invalidation).
+//!   invalidation), or
+//! * the **cancellation storm** (phase 3: submit/cancel churn from
+//!   concurrent submitters under a tight tenant quota) produces a
+//!   diverging plan, a cancelled request that reports `Ready`, a
+//!   stale serve afterwards, or quota accounting that does not return
+//!   to zero once the churn drains.
 //!
 //! Run `--quick` for the CI-sized instance.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -83,17 +89,17 @@ fn main() -> ExitCode {
         ClaimStream::open(sequential_session(&instance_a, &claims_a), service.clone());
     let stream_b = ClaimStream::open(sequential_session(&instance_b, &claims_b), service.clone());
 
-    let mut failed = false;
-    let mut check = |what: &str, seq: &[Plan], served: &[Plan]| {
+    let failed = AtomicBool::new(false);
+    let check = |what: &str, seq: &[Plan], served: &[Plan]| {
         if seq.len() != served.len() {
             eprintln!("FAIL {what}: plan count {} vs {}", seq.len(), served.len());
-            failed = true;
+            failed.store(true, Ordering::Relaxed);
             return;
         }
         for (i, (s, p)) in seq.iter().zip(served).enumerate() {
             if let Some(why) = s.divergence(p) {
                 eprintln!("FAIL {what}: served plan {i} diverges: {why}");
-                failed = true;
+                failed.store(true, Ordering::Relaxed);
             }
         }
     };
@@ -228,17 +234,169 @@ fn main() -> ExitCode {
              (diagnostics: {:?})",
             again_b.diagnostics
         );
-        failed = true;
+        failed.store(true, Ordering::Relaxed);
     }
     if invalidated == 0 {
         eprintln!("FAIL stale-cache gate: cleaning invalidated no store entries");
-        failed = true;
+        failed.store(true, Ordering::Relaxed);
     }
 
-    if failed {
+    // --- 3. cancellation storm: submit/cancel churn under quota -------
+    // A third stream over stream A's *cleaned* data, quota-capped, is
+    // hammered by concurrent submitters that cancel roughly a third of
+    // their requests mid-flight. Gates: surviving plans stay
+    // byte-identical to their sequential twins, a cancelled request
+    // never reports Ready, quota accounting returns to zero, and
+    // stream B still serves warm, identical answers afterwards.
+    let storm_tenant = TenantId::new("storm");
+    service.set_quota(
+        storm_tenant.clone(),
+        QuotaPolicy::default().with_max_in_flight(2),
+    );
+    let storm_stream = ClaimStream::open(stream_a.session().clone(), service.clone())
+        .with_tenant(storm_tenant.clone());
+    let storm_sweep_spec = ObjectiveSpec::ascertain(Measure::Dup);
+    let expected_sweep = stream_a
+        .session()
+        .recommend_sweep(&storm_sweep_spec, &budgets)
+        .expect("sequential storm-sweep twin");
+    let rejected = AtomicU64::new(0);
+    let cancelled_live = AtomicU64::new(0);
+    let stats_before_storm = service.stats();
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for thread in 0..3usize {
+            let storm_stream = &storm_stream;
+            let storm_sweep_spec = &storm_sweep_spec;
+            let budgets = &budgets;
+            let specs = &specs;
+            let fresh = &fresh;
+            let expected_sweep = &expected_sweep;
+            let storm_failed = &failed;
+            let rejected = &rejected;
+            let cancelled_live = &cancelled_live;
+            s.spawn(move || {
+                let rounds = 6usize;
+                for i in 0..rounds {
+                    if (thread + i) % 3 == 0 {
+                        // A sweep, cancelled mid-flight (or dropped).
+                        match storm_stream.submit_sweep(storm_sweep_spec, budgets) {
+                            Ok(handle) if i % 2 == 0 => {
+                                if handle.cancel() {
+                                    cancelled_live.fetch_add(1, Ordering::Relaxed);
+                                    match handle.try_wait() {
+                                        WaitOutcome::Cancelled => {}
+                                        outcome => {
+                                            eprintln!(
+                                                "FAIL storm: cancelled sweep reported {}",
+                                                match outcome {
+                                                    WaitOutcome::Ready(_) => "Ready",
+                                                    WaitOutcome::Taken => "Taken",
+                                                    WaitOutcome::TimedOut => "TimedOut",
+                                                    WaitOutcome::Cancelled => unreachable!(),
+                                                }
+                                            );
+                                            storm_failed.store(true, Ordering::Relaxed);
+                                        }
+                                    }
+                                } else {
+                                    // Lost the race: it completed first —
+                                    // then the result must be the real one.
+                                    let plans = handle.wait().expect("completed before the cancel");
+                                    for (a, b) in plans.iter().zip(expected_sweep) {
+                                        if let Some(why) = a.divergence(b) {
+                                            eprintln!("FAIL storm sweep: {why}");
+                                            storm_failed.store(true, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                            }
+                            Ok(handle) => drop(handle), // cancellation-on-drop churn
+                            Err(fc_core::CoreError::QuotaExceeded { .. }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("FAIL storm: unexpected submit error: {e}");
+                                storm_failed.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        let spec = &specs[i % specs.len()];
+                        match storm_stream.submit(spec.clone(), budget) {
+                            Ok(handle) => match handle.wait() {
+                                Ok(plan) => {
+                                    if let Some(why) = plan.divergence(&fresh[i % specs.len()]) {
+                                        eprintln!("FAIL storm claim: {why}");
+                                        storm_failed.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(e) => {
+                                    eprintln!("FAIL storm claim: {e}");
+                                    storm_failed.store(true, Ordering::Relaxed);
+                                }
+                            },
+                            Err(fc_core::CoreError::QuotaExceeded { .. }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("FAIL storm: unexpected submit error: {e}");
+                                storm_failed.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let storm_time = t.elapsed();
+
+    // Quota-accounting drift: the ledger must read zero once the churn
+    // has drained (cancel releases immediately; completion releases
+    // before the handle resolves).
+    let usage = service.quota_usage(&storm_tenant);
+    if usage != QuotaUsage::default() {
+        eprintln!("FAIL storm: quota accounting drifted: {usage:?}");
+        failed.store(true, Ordering::Relaxed);
+    }
+    let stats = service.stats();
+    let delta_submitted = stats.submitted - stats_before_storm.submitted;
+    let delta_resolved = (stats.completed + stats.cancelled)
+        - (stats_before_storm.completed + stats_before_storm.cancelled);
+    if delta_submitted != delta_resolved {
+        eprintln!(
+            "FAIL storm: {delta_submitted} requests submitted but {delta_resolved} resolved \
+             (completed+cancelled)"
+        );
+        failed.store(true, Ordering::Relaxed);
+    }
+    // Stale-serve gate, post-storm: stream B must still serve its warm,
+    // byte-identical answer.
+    let b_after_storm = stream_b
+        .submit(ObjectiveSpec::ascertain(Measure::Dup), budget)
+        .expect("submission")
+        .wait()
+        .expect("stream B post-storm");
+    check(
+        "post-storm unrelated stream",
+        std::slice::from_ref(&warm_b),
+        std::slice::from_ref(&b_after_storm),
+    );
+    println!(
+        "cancellation storm: {} cancelled live, {} quota-rejected, {} cancelled total, \
+         in {:.3}s",
+        cancelled_live.load(Ordering::Relaxed),
+        rejected.load(Ordering::Relaxed),
+        stats.cancelled,
+        storm_time.as_secs_f64(),
+    );
+
+    if failed.load(Ordering::Relaxed) {
         ExitCode::FAILURE
     } else {
-        println!("OK: served plans byte-identical to sequential; invalidation surgical");
+        println!(
+            "OK: served plans byte-identical to sequential; invalidation surgical; \
+             cancellation/quota accounting clean"
+        );
         ExitCode::SUCCESS
     }
 }

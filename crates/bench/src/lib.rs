@@ -307,6 +307,34 @@ pub fn dup_posterior(
     (mean, var.sqrt())
 }
 
+/// One [`SolverRegistry`](fc_core::SolverRegistry) `solve_batch` of
+/// `strategies × budgets` jobs over a single problem — the shared
+/// shape of every panel figure (jobs on one problem share one engine
+/// build). Plans come back strategy-major: decode with
+/// `chunks(budgets.len())`.
+pub fn strategy_budget_batch(
+    registry: &fc_core::SolverRegistry,
+    problem: &fc_core::Problem,
+    strategies: &[&str],
+    budgets: &[Budget],
+) -> Vec<fc_core::Plan> {
+    use fc_core::{BatchJob, ExecOptions};
+    let jobs: Vec<BatchJob<'_>> = strategies
+        .iter()
+        .flat_map(|&strategy| {
+            budgets.iter().map(move |&budget| BatchJob {
+                strategy,
+                problem,
+                budget,
+                key: None,
+            })
+        })
+        .collect();
+    registry
+        .solve_batch(&jobs, &ExecOptions::default())
+        .expect("every panel strategy supports its problem")
+}
+
 /// The Γ-sweep shared by Figs. 3/4/5: for each Γ, expected duplicity
 /// variance vs budget for GreedyNaive / GreedyMinVar / Best on the
 /// given synthetic generator. Served through the planner registry like
@@ -315,7 +343,7 @@ pub fn dup_posterior(
 /// a single engine cache, so the scoped-EV tables are built once per
 /// panel (per Γ), not once per strategy.
 pub fn synthetic_uniqueness_sweep(kind: fc_datasets::SyntheticKind, fig_no: u8, cfg: &HarnessCfg) {
-    use fc_core::{BatchJob, ExecOptions, SolverRegistry};
+    use fc_core::SolverRegistry;
     use fc_datasets::SyntheticKind;
     use std::sync::Arc;
     const STRATEGIES: [(&str, &str); 3] = [
@@ -344,21 +372,8 @@ pub fn synthetic_uniqueness_sweep(kind: fc_datasets::SyntheticKind, fig_no: u8, 
             "budget_frac",
             "expected variance after cleaning",
         );
-        let problem = &problem;
-        let jobs: Vec<BatchJob<'_>> = STRATEGIES
-            .iter()
-            .flat_map(|&(_, strategy)| {
-                budgets.iter().map(move |&budget| BatchJob {
-                    strategy,
-                    problem,
-                    budget,
-                    key: None,
-                })
-            })
-            .collect();
-        let plans = registry
-            .solve_batch(&jobs, &ExecOptions::default())
-            .expect("discrete MinVar supports all fig03-05 strategies");
+        let plans =
+            strategy_budget_batch(&registry, &problem, &STRATEGIES.map(|(_, s)| s), &budgets);
         for ((label, _), plans) in STRATEGIES.iter().zip(plans.chunks(budgets.len())) {
             let mut series = Series::new(*label);
             for (&frac, plan) in fracs.iter().zip(plans) {
@@ -374,17 +389,21 @@ pub fn synthetic_uniqueness_sweep(kind: fc_datasets::SyntheticKind, fig_no: u8, 
 /// fix hidden truths, let each algorithm pick its set per budget, reveal
 /// the truth for the chosen objects, and report the posterior mean /
 /// standard deviation of the duplicity estimate.
+///
+/// Selections come from the planner registry (one discrete MinVar
+/// [`fc_core::Problem`], one `solve_batch` of strategy × budget jobs
+/// sharing a single scoped-engine build) — the same strategies the
+/// legacy `*_with_engine` free functions wrapped, so the revealed sets
+/// (and therefore the posterior CSVs) are byte-identical.
 pub fn in_action_sweep(
     fig_no: u8,
     title: &str,
     w: &fc_datasets::workloads::UniquenessWorkload,
     cfg: &HarnessCfg,
 ) {
-    use fc_core::algo::{
-        best_min_var_with_engine, greedy_min_var_with_engine, greedy_naive, BestConfig,
-    };
+    use fc_core::SolverRegistry;
     use fc_uncertain::seeded::child_rng;
-    let eng = fc_core::ev::ScopedEv::new(&w.instance, &w.query);
+    use std::sync::Arc;
     let total = w.instance.total_cost();
     let mut rng = child_rng(cfg.seed, 0x1AC7 + fig_no as u64);
     let truth: Vec<f64> = (0..w.instance.len())
@@ -406,29 +425,27 @@ pub fn in_action_sweep(
         "budget_frac",
         "standard deviation",
     );
-    type Selector<'s> = Box<dyn Fn(Budget) -> Selection + 's>;
-    let algs: Vec<(&str, Selector<'_>)> = vec![
-        (
-            "GreedyNaive",
-            Box::new(|b| greedy_naive(&w.instance, &w.query, b)),
-        ),
-        (
-            "GreedyMinVar",
-            Box::new(|b| greedy_min_var_with_engine(&w.instance, &eng, b)),
-        ),
-        (
-            "Best",
-            Box::new(|b| best_min_var_with_engine(&w.instance, &eng, b, BestConfig::default())),
-        ),
+    const STRATEGIES: [(&str, &str); 3] = [
+        ("GreedyNaive", "greedy-naive"),
+        ("GreedyMinVar", "greedy"),
+        ("Best", "best"),
     ];
-    for (label, select) in algs {
-        let mut mean_s = Series::new(label);
-        let mut sd_s = Series::new(label);
-        for frac in cfg.budget_fracs() {
-            let budget = Budget::fraction(total, frac);
-            let sel = select(budget);
-            let revealed: Vec<(usize, f64)> =
-                sel.objects().iter().map(|&i| (i, truth[i])).collect();
+    let registry = SolverRegistry::with_defaults();
+    let problem = fc_core::Problem::discrete_min_var(w.instance.clone(), Arc::new(w.query.clone()))
+        .expect("uniqueness workloads lower onto discrete MinVar");
+    let fracs = cfg.budget_fracs();
+    let budgets: Vec<Budget> = fracs.iter().map(|&f| Budget::fraction(total, f)).collect();
+    let plans = strategy_budget_batch(&registry, &problem, &STRATEGIES.map(|(_, s)| s), &budgets);
+    for ((label, _), plans) in STRATEGIES.iter().zip(plans.chunks(budgets.len())) {
+        let mut mean_s = Series::new(*label);
+        let mut sd_s = Series::new(*label);
+        for (&frac, plan) in fracs.iter().zip(plans) {
+            let revealed: Vec<(usize, f64)> = plan
+                .selection
+                .objects()
+                .iter()
+                .map(|&i| (i, truth[i]))
+                .collect();
             let (m, s) = dup_posterior(&w.instance, &w.query, &revealed);
             mean_s.push(frac, m);
             sd_s.push(frac, s);

@@ -32,9 +32,10 @@ pub mod selection;
 pub use budget::Budget;
 pub use instance::{GaussianInstance, Instance};
 pub use planner::{
-    BatchJob, CacheKey, CacheStats, CacheStore, EngineCache, ExecOptions, Goal, Lane, Parallelism,
-    Plan, PlanDiagnostics, PlannerService, Problem, RequestHandle, ServiceOptions, ServiceStats,
-    SolveRequest, Solver, SolverRegistry, SweepRequest, WorkerPool,
+    BatchJob, CacheKey, CacheStats, CacheStore, CancelToken, EngineCache, ExecOptions, Goal, Lane,
+    Parallelism, Plan, PlanDiagnostics, PlannerService, Problem, QuotaPolicy, QuotaUsage,
+    RequestHandle, ServiceOptions, ServiceStats, SolveRequest, Solver, SolverRegistry,
+    SweepRequest, TenantId, WaitOutcome, WorkerPool,
 };
 pub use selection::Selection;
 
@@ -107,6 +108,18 @@ pub enum CoreError {
         /// The panic payload, rendered to text.
         detail: String,
     },
+    /// The request was cancelled (explicitly, or by dropping its
+    /// [`RequestHandle`]) before a result was produced.
+    Cancelled,
+    /// A submit would push the tenant past its [`planner::service::QuotaPolicy`].
+    /// The request was rejected before any work was queued; retry after
+    /// in-flight requests complete (or are cancelled).
+    QuotaExceeded {
+        /// The tenant whose quota was exhausted.
+        tenant: String,
+        /// Which limit tripped, with the observed and allowed values.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -144,6 +157,10 @@ impl fmt::Display for CoreError {
             }
             Self::WorkerPanicked { detail } => {
                 write!(f, "serving worker panicked: {detail}")
+            }
+            Self::Cancelled => write!(f, "request was cancelled"),
+            Self::QuotaExceeded { tenant, reason } => {
+                write!(f, "quota exceeded for tenant {tenant:?}: {reason}")
             }
         }
     }

@@ -39,10 +39,11 @@ pub mod pool;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, CacheStore, Fnv1a};
-pub use exec::{BatchJob, ExecOptions, Parallelism};
+pub use exec::{BatchJob, CancelToken, ExecOptions, Parallelism};
 pub use pool::WorkerPool;
 pub use service::{
-    Lane, PlannerService, RequestHandle, ServiceOptions, ServiceStats, SolveRequest, SweepRequest,
+    Lane, PlannerService, QuotaPolicy, QuotaUsage, RequestHandle, ServiceOptions, ServiceStats,
+    SolveRequest, SweepRequest, TenantId, WaitOutcome,
 };
 
 use std::cell::OnceCell;

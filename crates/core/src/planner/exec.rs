@@ -39,14 +39,44 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use super::cache::{CacheKey, CacheStore};
 use super::pool::WorkerPool;
 use super::{EngineCache, Plan, Problem, Solver, SolverRegistry};
 use crate::budget::Budget;
-use crate::Result;
+use crate::{CoreError, Result};
+
+/// A cooperative cancellation flag shared between a request's owner and
+/// the runners executing it. Cancellation is a *budget point* — runners
+/// check the token between work units (batch units, sweep budget
+/// points), never mid-solve — so cancelling a 50-point sweep stops
+/// after the point currently being solved, and cancelling queued work
+/// stops it before any engine is built.
+///
+/// Cloning shares the flag. Cancellation is one-way and idempotent.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flips the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
 
 /// How many workers a batch call may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +127,11 @@ pub struct ExecOptions {
     /// default — uses [`WorkerPool::global`]). Supply a dedicated pool
     /// to isolate a tenant's compute from the process-wide one.
     pub pool: Option<Arc<WorkerPool>>,
+    /// Cooperative cancellation for this call: runners stop pulling
+    /// new work units / budget points once the token is cancelled, and
+    /// the call returns [`CoreError::Cancelled`] instead of finishing
+    /// the remaining work. `None` (the default) runs to completion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExecOptions {
@@ -112,6 +147,7 @@ impl ExecOptions {
             inline_threshold: Self::DEFAULT_INLINE_THRESHOLD,
             store: None,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -134,9 +170,20 @@ impl ExecOptions {
         self
     }
 
+    /// Attaches a cancellation token (see [`ExecOptions::cancel`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The pool this call submits to.
     fn pool(&self) -> Arc<WorkerPool> {
         self.pool.clone().unwrap_or_else(WorkerPool::global)
+    }
+
+    /// Whether this call's token has been cancelled.
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -240,6 +287,10 @@ pub fn solve_batch(
 
     if workers <= 1 || WorkerPool::on_worker_thread() {
         for unit in &units {
+            // Cancellation is checked between units, never mid-unit.
+            if opts.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
             run_unit(unit, &mut |i, r| slots[i] = Some(r));
         }
     } else {
@@ -251,6 +302,9 @@ pub fn solve_batch(
         // always participates, so the batch finishes even when the
         // shared pool is saturated with foreign work.
         let drain_pooled = || loop {
+            if opts.is_cancelled() {
+                break;
+            }
             let u = next.fetch_add(1, Ordering::Relaxed);
             if u >= pooled.len() {
                 break;
@@ -266,6 +320,9 @@ pub fn solve_batch(
             // The caller thread handles the tiny units first, then
             // helps drain the pooled ones.
             for unit in &inline {
+                if opts.is_cancelled() {
+                    break;
+                }
                 run_unit(unit, &mut |i, r| {
                     *shared[i].lock().expect("result slot poisoned") = Some(r);
                 });
@@ -279,7 +336,12 @@ pub fn solve_batch(
 
     slots
         .into_iter()
-        .map(|r| r.expect("every job index was dealt to exactly one unit"))
+        .map(|r| {
+            // An unfilled slot can only mean the call was cancelled
+            // before its unit ran (every index is otherwise dealt to
+            // exactly one unit).
+            r.ok_or(CoreError::Cancelled)?
+        })
         .collect()
 }
 
@@ -317,7 +379,13 @@ pub fn sweep(
         let cache = EngineCache::with_store(store, key);
         return budgets
             .iter()
-            .map(|&b| solver.solve_with_cache(problem, b, &cache))
+            .map(|&b| {
+                // Budget points are the sweep's cancellation points.
+                if opts.is_cancelled() {
+                    return Err(CoreError::Cancelled);
+                }
+                solver.solve_with_cache(problem, b, &cache)
+            })
             .collect();
     }
 
@@ -331,6 +399,9 @@ pub fn sweep(
     let drain_budgets = || {
         let cache = EngineCache::with_store(Arc::clone(&store), key);
         loop {
+            if opts.is_cancelled() {
+                break;
+            }
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= budgets.len() {
                 break;
@@ -348,9 +419,11 @@ pub fn sweep(
     slots
         .into_iter()
         .map(|m| {
+            // `None` can only mean the sweep was cancelled before this
+            // budget point was dealt to a runner.
             m.into_inner()
                 .expect("result slot poisoned")
-                .expect("every budget index was dealt to a worker")
+                .ok_or(CoreError::Cancelled)?
         })
         .collect()
 }
@@ -518,6 +591,63 @@ mod tests {
         assert_eq!(Parallelism::Fixed(8).worker_count(3), 3);
         assert!(Parallelism::Auto.worker_count(100) >= 1);
         assert_eq!(Parallelism::Auto.worker_count(0), 1);
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_solves_nothing() {
+        let inst = random_instance(16, 11);
+        let p =
+            Problem::discrete_min_var(inst, std::sync::Arc::new(DupQuery::new(claims(16), 8.0)))
+                .unwrap();
+        let registry = SolverRegistry::with_defaults();
+        let budgets: Vec<Budget> = (0..6).map(Budget::absolute).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let store = Arc::new(CacheStore::new(4));
+        let key = CacheKey::new(p.instance_fingerprint(), 1);
+        for parallelism in [Parallelism::Sequential, Parallelism::Fixed(3)] {
+            let opts = ExecOptions::new(parallelism)
+                .with_inline_threshold(0)
+                .with_store(Arc::clone(&store))
+                .with_cancel(token.clone());
+            let err = sweep(&registry, "greedy", &p, &budgets, &opts, Some(key)).unwrap_err();
+            assert!(matches!(err, CoreError::Cancelled), "got {err}");
+        }
+        assert_eq!(
+            store.stats().scoped_builds,
+            0,
+            "a cancelled sweep never builds the engine"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_batch_solves_nothing() {
+        let inst = random_instance(10, 12);
+        let p =
+            Problem::discrete_min_var(inst, std::sync::Arc::new(DupQuery::new(claims(10), 5.0)))
+                .unwrap();
+        let registry = SolverRegistry::with_defaults();
+        let jobs: Vec<BatchJob<'_>> = ["greedy", "auto"]
+            .into_iter()
+            .map(|strategy| BatchJob {
+                strategy,
+                problem: &p,
+                budget: Budget::absolute(2),
+                key: None,
+            })
+            .collect();
+        let token = CancelToken::new();
+        token.cancel();
+        for parallelism in [Parallelism::Sequential, Parallelism::Fixed(2)] {
+            let opts = ExecOptions::new(parallelism)
+                .with_inline_threshold(0)
+                .with_cancel(token.clone());
+            let err = solve_batch(&registry, &jobs, &opts).unwrap_err();
+            assert!(matches!(err, CoreError::Cancelled), "got {err}");
+        }
+        // An un-cancelled token leaves the batch untouched.
+        let opts = ExecOptions::new(Parallelism::Sequential).with_cancel(CancelToken::new());
+        assert_eq!(solve_batch(&registry, &jobs, &opts).unwrap().len(), 2);
     }
 
     #[test]

@@ -288,22 +288,52 @@ impl std::fmt::Debug for PoolScope<'_, '_> {
 /// task enqueued behind a pile of bulk work is picked up by the very
 /// next token instead of waiting its turn. Used by the service layer;
 /// lives here so the pool and its scheduling idiom stay together.
+///
+/// Tasks may carry a [`CancelToken`](super::exec::CancelToken):
+/// cancelled tasks are *dropped at dispatch* — the token that would
+/// have run them moves on to the next live task — so abandoned work
+/// never occupies a worker, not even to discover it was abandoned.
 #[derive(Default)]
 pub(crate) struct TwoLaneQueue {
     lanes: Mutex<Lanes>,
 }
 
+/// A queued task with its (optional) cancellation flag.
+struct QueuedTask {
+    cancel: Option<super::exec::CancelToken>,
+    job: Job,
+}
+
+impl QueuedTask {
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(super::exec::CancelToken::is_cancelled)
+    }
+}
+
 #[derive(Default)]
 struct Lanes {
-    interactive: VecDeque<Job>,
-    bulk: VecDeque<Job>,
+    interactive: VecDeque<QueuedTask>,
+    bulk: VecDeque<QueuedTask>,
 }
 
 impl TwoLaneQueue {
     /// Enqueues `task` on the given lane; the caller must pair this
     /// with exactly one pool token that calls [`TwoLaneQueue::run_next`].
-    pub(crate) fn push(&self, interactive: bool, task: Job) {
+    /// When `cancel` is supplied and cancelled before dispatch, the
+    /// task is dropped un-run (the submitter is responsible for
+    /// resolving whatever was waiting on it — see the service layer's
+    /// cancel path, which resolves handles and releases quota at
+    /// cancel time, not at dispatch time).
+    pub(crate) fn push(
+        &self,
+        interactive: bool,
+        cancel: Option<super::exec::CancelToken>,
+        job: Job,
+    ) {
         let mut lanes = self.lanes.lock().expect("lane queue poisoned");
+        let task = QueuedTask { cancel, job };
         if interactive {
             lanes.interactive.push_back(task);
         } else {
@@ -311,21 +341,27 @@ impl TwoLaneQueue {
         }
     }
 
-    /// Pops and runs the highest-priority pending task, if any.
+    /// Pops and runs the highest-priority pending *live* task, if any;
+    /// cancelled tasks are discarded without running.
     pub(crate) fn run_next(&self) {
-        let task = {
-            let mut lanes = self.lanes.lock().expect("lane queue poisoned");
-            lanes
-                .interactive
-                .pop_front()
-                .or_else(|| lanes.bulk.pop_front())
-        };
-        if let Some(task) = task {
-            task();
+        loop {
+            let task = {
+                let mut lanes = self.lanes.lock().expect("lane queue poisoned");
+                lanes
+                    .interactive
+                    .pop_front()
+                    .or_else(|| lanes.bulk.pop_front())
+            };
+            match task {
+                Some(task) if task.is_cancelled() => continue,
+                Some(task) => return (task.job)(),
+                None => return,
+            }
         }
     }
 
-    /// (interactive, bulk) tasks currently waiting.
+    /// (interactive, bulk) tasks currently waiting (cancelled-but-not-
+    /// yet-discarded tasks included).
     pub(crate) fn depths(&self) -> (usize, usize) {
         let lanes = self.lanes.lock().expect("lane queue poisoned");
         (lanes.interactive.len(), lanes.bulk.len())
@@ -453,11 +489,16 @@ mod tests {
         let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
         for _ in 0..3 {
             let order = Arc::clone(&order);
-            q.push(false, Box::new(move || order.lock().unwrap().push("bulk")));
+            q.push(
+                false,
+                None,
+                Box::new(move || order.lock().unwrap().push("bulk")),
+            );
         }
         let o = Arc::clone(&order);
         q.push(
             true,
+            None,
             Box::new(move || o.lock().unwrap().push("interactive")),
         );
         assert_eq!(q.depths(), (1, 3));
@@ -473,6 +514,37 @@ mod tests {
             &["interactive", "bulk", "bulk", "bulk"]
         );
         assert_eq!(q.depths(), (0, 0));
+    }
+
+    #[test]
+    fn two_lane_queue_drops_cancelled_tasks_at_dispatch() {
+        use super::super::exec::CancelToken;
+        let q = TwoLaneQueue::default();
+        let ran: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let doomed = CancelToken::new();
+        for _ in 0..2 {
+            let ran = Arc::clone(&ran);
+            q.push(
+                false,
+                Some(doomed.clone()),
+                Box::new(move || ran.lock().unwrap().push("cancelled")),
+            );
+        }
+        let live = CancelToken::new();
+        let r = Arc::clone(&ran);
+        q.push(
+            false,
+            Some(live.clone()),
+            Box::new(move || r.lock().unwrap().push("live")),
+        );
+        doomed.cancel();
+        // One token: skips both cancelled tasks and runs the live one.
+        q.run_next();
+        assert_eq!(ran.lock().unwrap().as_slice(), &["live"]);
+        assert_eq!(q.depths(), (0, 0), "cancelled tasks were discarded");
+        // Further tokens find an empty queue and return quietly.
+        q.run_next();
+        assert_eq!(ran.lock().unwrap().as_slice(), &["live"]);
     }
 
     #[test]

@@ -80,12 +80,29 @@ fn main() {
     );
 
     // --- 2. clean: reveal the recommended values -------------------
+    // A budget sweep is still in flight when the cleaning lands — its
+    // plans would answer yesterday's question, so cancel it instead of
+    // letting it burn worker time (dropping the handle would do the
+    // same implicitly).
+    let budgets: Vec<Budget> = (1..=5).map(Budget::absolute).collect();
+    let stale_sweep = stream.submit_sweep(&spec, &budgets).unwrap();
     let objects = cold.selection.objects().to_vec();
     let revealed: Vec<f64> = objects
         .iter()
         .map(|&i| stream.session().instance().dist(i).max_value())
         .collect();
     let invalidated = stream.mark_cleaned(&objects, &revealed).unwrap();
+    let landed = stale_sweep.cancel();
+    println!(
+        "superseded sweep cancelled: {} (outcome: {})",
+        landed,
+        match stale_sweep.try_wait() {
+            WaitOutcome::Cancelled => "Cancelled — no stale plans will surface",
+            WaitOutcome::Ready(_) | WaitOutcome::Taken =>
+                "completed before the cancel (its plans are pre-cleaning answers)",
+            WaitOutcome::TimedOut => "still draining",
+        }
+    );
     println!(
         "\ncleaned {:?} -> revealed {:?} ({} stale store entr{} invalidated, {} resident)",
         objects,

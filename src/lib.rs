@@ -116,8 +116,10 @@ pub mod prelude {
         ClaimSet, Direction, LinearClaim,
     };
     pub use fc_core::planner::service::{
-        Lane, PlannerService, RequestHandle, ServiceOptions, SolveRequest, SweepRequest,
+        Lane, PlannerService, QuotaPolicy, QuotaUsage, RequestHandle, ServiceOptions, SolveRequest,
+        SweepRequest, TenantId, WaitOutcome,
     };
+    pub use fc_core::CancelToken;
     pub use fc_core::{
         Budget, CacheStore, GaussianInstance, Instance, Parallelism, Plan, Problem, Selection,
         Solver, SolverRegistry,

@@ -27,11 +27,22 @@
 //! [`CleaningSession`] paths ([`Plan::divergence`](fc_core::Plan::divergence)
 //! is the shared gate); the stream adds asynchrony, admission control,
 //! and cache lifecycle — never different answers.
+//!
+//! Every stream carries a [`TenantId`] ([`ClaimStream::with_tenant`]):
+//! its submissions are quota-accounted by the service, and a submit
+//! past the tenant's [`QuotaPolicy`](fc_core::QuotaPolicy) is rejected
+//! with a typed [`CoreError::QuotaExceeded`](fc_core::CoreError)
+//! before anything is queued. Handles are cancellable (explicitly or
+//! by drop) — a plan superseded by a cleaning step should be cancelled
+//! rather than awaited, so the workers move on to the post-cleaning
+//! submission immediately.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use fc_core::planner::service::{PlannerService, RequestHandle, SolveRequest, SweepRequest};
+use fc_core::planner::service::{
+    PlannerService, RequestHandle, SolveRequest, SweepRequest, TenantId,
+};
 use fc_core::{Budget, CacheKey, Plan, Problem, Result, Selection};
 
 use crate::planner::{Goal, Measure, ObjectiveSpec};
@@ -64,22 +75,35 @@ fn goal_key(goal: Goal) -> Option<GoalKey> {
 pub struct ClaimStream {
     session: CleaningSession,
     service: PlannerService,
+    /// The tenant every submission through this stream is
+    /// quota-accounted to.
+    tenant: TenantId,
     /// Lowered problems memoized per (measure, goal); cleared whenever
     /// the data changes.
     problems: Mutex<HashMap<(Measure, GoalKey), Arc<Problem>>>,
 }
 
 impl ClaimStream {
-    /// Opens a stream over `session`, served by `service`. The
-    /// session's own `cache_store`/`parallelism` knobs keep governing
-    /// its *synchronous* methods; submissions through the stream use
-    /// the service's store and pool.
+    /// Opens a stream over `session`, served by `service`, accounted
+    /// to the default tenant. The session's own
+    /// `cache_store`/`parallelism` knobs keep governing its
+    /// *synchronous* methods; submissions through the stream use the
+    /// service's store and pool.
     pub fn open(session: CleaningSession, service: PlannerService) -> Self {
         Self {
             session,
             service,
+            tenant: TenantId::default(),
             problems: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Accounts every submission through this stream to `tenant`
+    /// (quota enforced by the service at submit time — see
+    /// [`PlannerService::set_quota`]).
+    pub fn with_tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = tenant.into();
+        self
     }
 
     /// The underlying session (current data version).
@@ -90,6 +114,11 @@ impl ClaimStream {
     /// The service this stream submits to.
     pub fn service(&self) -> &PlannerService {
         &self.service
+    }
+
+    /// The tenant this stream's submissions are accounted to.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
     }
 
     /// The lowered problem for `spec`, memoized per (measure, goal).
@@ -117,9 +146,13 @@ impl ClaimStream {
 
     /// Submits one objective at one budget; returns immediately with a
     /// handle (see [`RequestHandle`]). Specs that fail to *lower* (bad
-    /// query scope, unsupported goal) are rejected here as `Err` —
-    /// before anything is queued — while solve-time failures (unknown
-    /// strategy, solver refusal) resolve through the handle.
+    /// query scope, unsupported goal) and submits past the stream
+    /// tenant's quota ([`fc_core::CoreError::QuotaExceeded`]) are
+    /// rejected here as `Err` — before anything is queued — while
+    /// solve-time failures (unknown strategy, solver refusal) resolve
+    /// through the handle. Dropping the handle (or calling
+    /// [`RequestHandle::cancel`]) abandons the request without burning
+    /// worker time.
     pub fn submit(
         &self,
         spec: impl Into<ObjectiveSpec>,
@@ -127,22 +160,28 @@ impl ClaimStream {
     ) -> Result<RequestHandle<Plan>> {
         let spec = spec.into();
         let (problem, key) = self.problem_for(&spec)?;
-        Ok(self
-            .service
-            .submit(SolveRequest::new(spec.strategy.key(), problem, budget).with_key(key)))
+        self.service.submit(
+            SolveRequest::new(spec.strategy.key(), problem, budget)
+                .with_key(key)
+                .with_tenant(self.tenant.clone()),
+        )
     }
 
     /// Submits one objective across a budget sweep (decomposed by the
-    /// service into per-point tasks, so interactive claims interleave).
+    /// service into per-point tasks, so interactive claims interleave —
+    /// and so cancelling the returned handle stops the sweep after the
+    /// point currently being solved).
     pub fn submit_sweep(
         &self,
         spec: &ObjectiveSpec,
         budgets: &[Budget],
     ) -> Result<RequestHandle<Vec<Plan>>> {
         let (problem, key) = self.problem_for(spec)?;
-        Ok(self.service.submit_sweep(
-            SweepRequest::new(spec.strategy.key(), problem, budgets.to_vec()).with_key(key),
-        ))
+        self.service.submit_sweep(
+            SweepRequest::new(spec.strategy.key(), problem, budgets.to_vec())
+                .with_key(key)
+                .with_tenant(self.tenant.clone()),
+        )
     }
 
     /// Applies a cleaning outcome — pins `objects[k]` at
@@ -208,6 +247,7 @@ impl std::fmt::Debug for ClaimStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClaimStream")
             .field("session", &self.session)
+            .field("tenant", &self.tenant)
             .field(
                 "lowered_problems",
                 &self.problems.lock().expect("problem memo poisoned").len(),

@@ -608,12 +608,24 @@ impl CleaningSession {
     }
 
     /// Opens a long-lived [`ClaimStream`](crate::serve::ClaimStream)
-    /// over this session, served by `service`.
+    /// over this session, served by `service` and accounted to the
+    /// default tenant.
     pub fn into_stream(
         self,
         service: fc_core::planner::service::PlannerService,
     ) -> crate::serve::ClaimStream {
         crate::serve::ClaimStream::open(self, service)
+    }
+
+    /// [`CleaningSession::into_stream`], with every submission
+    /// quota-accounted to `tenant` (see
+    /// [`PlannerService::set_quota`](fc_core::PlannerService::set_quota)).
+    pub fn into_stream_as(
+        self,
+        service: fc_core::planner::service::PlannerService,
+        tenant: impl Into<fc_core::TenantId>,
+    ) -> crate::serve::ClaimStream {
+        crate::serve::ClaimStream::open(self, service).with_tenant(tenant)
     }
 }
 

@@ -322,3 +322,112 @@ fn lanes_route_by_estimate() {
     assert_eq!(handle.lane(), Lane::Bulk);
     handle.wait().unwrap();
 }
+
+/// Two tenant streams over one service: tenant A exhausting its quota
+/// is rejected at submit (typed), never delaying tenant B's
+/// interactive lane; the ledgers return to zero after a mixed
+/// complete/cancel workload.
+#[test]
+fn tenant_streams_are_quota_isolated() {
+    let (instance, claims) = workload(40, 7);
+    let service = queued_service();
+    service.set_quota("analyst-a", QuotaPolicy::default().with_max_in_flight(2));
+    let stream_a = session_of(&instance, &claims).into_stream_as(service.clone(), "analyst-a");
+    let stream_b = session_of(&instance, &claims).into_stream(service.clone());
+    assert_eq!(stream_a.tenant().name(), "analyst-a");
+
+    let spec = ObjectiveSpec::ascertain(Measure::Dup);
+    let budgets: Vec<Budget> = (1..=4).map(Budget::absolute).collect();
+    let expected = stream_b
+        .session()
+        .recommend(spec.clone(), Budget::absolute(3))
+        .unwrap();
+
+    // A fills its two in-flight slots with sweeps...
+    let a1 = stream_a.submit_sweep(&spec, &budgets).unwrap();
+    let a2 = stream_a.submit_sweep(&spec, &budgets).unwrap();
+    // ...and the third submit bounces with a typed error, pre-queue.
+    let err = stream_a.submit_sweep(&spec, &budgets).unwrap_err();
+    assert!(
+        matches!(&err, fc_core::CoreError::QuotaExceeded { tenant, .. } if tenant == "analyst-a"),
+        "got {err}"
+    );
+
+    // B is a different tenant: never rejected, answers byte-identical.
+    let plan_b = stream_b
+        .submit(spec.clone(), Budget::absolute(3))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(plan_b.divergence(&expected), None);
+
+    // One sweep completes, one is cancelled (or — if the pool drained
+    // it first — completes); either path releases the quota.
+    a1.wait().unwrap();
+    let _ = a2.cancel();
+    drop(a2);
+    assert_eq!(
+        service.quota_usage(&TenantId::new("analyst-a")),
+        QuotaUsage::default()
+    );
+    // The freed quota admits new submissions immediately.
+    stream_a
+        .submit(spec, Budget::absolute(3))
+        .unwrap()
+        .wait()
+        .unwrap();
+}
+
+/// The interactive-loop shape the cancellation machinery exists for: a
+/// sweep superseded by a cleaning step is cancelled, the handle
+/// resolves `Cancelled` (never `Ready`), and the post-cleaning
+/// submission matches a fresh synchronous session.
+#[test]
+fn superseded_sweep_cancels_cleanly_across_a_cleaning_step() {
+    let (instance, claims) = workload(50, 11);
+    let mut stream = session_of(&instance, &claims).into_stream(queued_service());
+    let spec = ObjectiveSpec::ascertain(Measure::Dup);
+    let budgets: Vec<Budget> = (1..=6).map(Budget::absolute).collect();
+
+    let first = stream
+        .submit(spec.clone(), Budget::absolute(2))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let stale_sweep = stream.submit_sweep(&spec, &budgets).unwrap();
+
+    // The checker cleans the recommended set: the in-flight sweep is
+    // now answering yesterday's question.
+    let objects = first.selection.objects().to_vec();
+    let revealed: Vec<f64> = objects
+        .iter()
+        .map(|&i| stream.session().instance().dist(i).mean())
+        .collect();
+    stream.mark_cleaned(&objects, &revealed).unwrap();
+    let landed = stale_sweep.cancel();
+    match stale_sweep.try_wait() {
+        WaitOutcome::Cancelled => {
+            assert!(landed, "a Cancelled outcome implies the cancel landed")
+        }
+        WaitOutcome::Ready(plans) => {
+            // Lost the race: the sweep completed before the cancel —
+            // then (and only then) the real result surfaces.
+            assert!(!landed, "a cancelled handle must never surface a result");
+            plans.unwrap();
+        }
+        outcome @ (WaitOutcome::TimedOut | WaitOutcome::Taken) => {
+            panic!("a resolved handle cannot report {outcome:?}")
+        }
+    }
+
+    let expected = stream
+        .session()
+        .recommend(spec.clone(), Budget::absolute(2))
+        .unwrap();
+    let after = stream
+        .submit(spec, Budget::absolute(2))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(after.divergence(&expected), None);
+}
