@@ -1,0 +1,527 @@
+//! `http_smoke` — the network-front counterpart of `serve_smoke`: a CI
+//! gate that boots the hand-rolled HTTP/1.1 server on an ephemeral
+//! port and replays the serving layer's mixed workload **over real
+//! sockets**.
+//!
+//! The binary **fails (exit 1)** if
+//!
+//! * any plan served over HTTP diverges from its in-process
+//!   `PlannerService`/sequential-session twin (compared on the wire
+//!   encoding of exactly the fields [`Plan::divergence`] covers —
+//!   floats shortest-round-trip, so equal bytes ⇔ no divergence), or
+//! * a cleaning step posted over the wire leaves a stale serve (stream
+//!   A must match a fresh session; stream B must report **zero** store
+//!   misses in its own response diagnostics), or
+//! * a client hanging up mid-solve does **not** cancel the request
+//!   (observed via `ServiceStats::cancelled`), or
+//! * the quota storm (concurrent submitters under a 2-in-flight tenant
+//!   cap, some abandoning their sockets) drifts: client-observed 429s
+//!   must equal `quota_rejected`, every submitted request must resolve
+//!   (completed + cancelled), and the tenant ledger must read zero, or
+//! * graceful shutdown drops an in-flight request's completed plan.
+//!
+//! Run `--quick` for the CI-sized instance.
+
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fact_clean::net::client;
+use fact_clean::net::json::Json;
+use fact_clean::net::wire::plan_identity_json;
+use fact_clean::net::{PlannerServer, ServerConfig};
+use fact_clean::prelude::*;
+use fc_bench::HarnessCfg;
+use fc_claims::window_sum_family;
+use fc_core::{EngineCache, Result as CoreResult, SolverRegistry};
+use fc_datasets::synthetic::urx;
+use fc_datasets::workloads::LAMBDA;
+
+// ---------------------------------------------------------------- data
+
+fn dataset(n: usize, seed: u64) -> (Instance, ClaimSet) {
+    let instance = urx(n, seed).expect("synthetic instance");
+    let claims =
+        window_sum_family(n, 4, n - 4, Direction::LowerIsStronger, LAMBDA).expect("claim family");
+    (instance, claims)
+}
+
+fn sequential_session(instance: &Instance, claims: &ClaimSet) -> CleaningSession {
+    SessionBuilder::new()
+        .discrete(instance.clone())
+        .claims(claims.clone())
+        .parallelism(Parallelism::Sequential)
+        .build()
+        .expect("data and claims are set")
+}
+
+fn specs() -> Vec<(ObjectiveSpec, &'static str)> {
+    vec![
+        (
+            ObjectiveSpec::ascertain(Measure::Bias),
+            r#""measure":"bias""#,
+        ),
+        (ObjectiveSpec::ascertain(Measure::Dup), r#""measure":"dup""#),
+        (
+            ObjectiveSpec::ascertain(Measure::Frag),
+            r#""measure":"frag""#,
+        ),
+        (
+            ObjectiveSpec::find_counter(5.0),
+            r#""measure":"bias","goal":{"maxpr":5}"#,
+        ),
+    ]
+}
+
+/// Sleeps before delegating to greedy, so disconnects land mid-solve.
+struct SlowSolver {
+    delegate: Arc<dyn Solver>,
+    delay: Duration,
+}
+
+impl std::fmt::Debug for SlowSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowSolver").finish()
+    }
+}
+
+impl Solver for SlowSolver {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+    fn solve_with_cache<'p>(
+        &self,
+        problem: &'p Problem,
+        budget: Budget,
+        cache: &EngineCache<'p>,
+    ) -> CoreResult<Plan> {
+        std::thread::sleep(self.delay);
+        self.delegate.solve_with_cache(problem, budget, cache)
+    }
+}
+
+// ------------------------------------------------------------- client
+
+/// `client::post` with an optional tenant header, panicking on I/O
+/// failure (this gate treats transport errors as test failures).
+fn post(addr: SocketAddr, path: &str, json: &str, tenant: Option<&str>) -> (u16, String) {
+    let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
+    client::post(addr, path, json, &headers).expect("response")
+}
+
+/// Sends a request and abandons the socket without reading the
+/// response (the disconnect/churn cases).
+fn send_and_hang_up(
+    addr: SocketAddr,
+    path: &str,
+    json: &str,
+    tenant: Option<&str>,
+    linger: Duration,
+) {
+    let Ok(mut sock) = TcpStream::connect(addr) else {
+        return;
+    };
+    let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
+    let _ = client::write_request(&mut sock, "POST", path, &headers, json);
+    std::thread::sleep(linger);
+    drop(sock);
+}
+
+// -------------------------------------------------------------- gates
+
+/// In-process identity encoding (see `fc::net::wire`).
+fn identity(plan: &Plan) -> String {
+    plan_identity_json(plan).to_string()
+}
+
+/// Served plan JSON → identity encoding (diagnostics stripped).
+fn served_identity(plan: &Json) -> String {
+    match plan {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "diagnostics")
+                .cloned()
+                .collect(),
+        )
+        .to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn main() -> ExitCode {
+    let cfg = HarnessCfg::from_args();
+    let n = if cfg.quick { 100 } else { 400 };
+    let (instance_a, claims_a) = dataset(n, cfg.seed);
+    let (instance_b, claims_b) = dataset(n.saturating_sub(8), cfg.seed ^ 0xB);
+    let total_cost = instance_a.total_cost();
+    let budget = Budget::fraction(total_cost, 0.2);
+    let budget_json = r#"{"fraction":0.2}"#;
+
+    let mut registry = SolverRegistry::with_defaults();
+    registry.register_solver(Arc::new(SlowSolver {
+        delegate: registry.get("greedy").expect("greedy exists"),
+        delay: Duration::from_millis(400),
+    }));
+    let service = PlannerService::new(
+        Arc::new(registry),
+        ServiceOptions::new().with_inline_threshold(0),
+    );
+    let storm_tenant = TenantId::new("storm");
+    service.set_quota(
+        storm_tenant.clone(),
+        QuotaPolicy::default().with_max_in_flight(2),
+    );
+    let server = PlannerServer::new(service.clone())
+        .with_config(
+            ServerConfig::new()
+                .with_disconnect_poll(Duration::from_millis(25))
+                .with_read_timeout(Duration::from_millis(500)),
+        )
+        .with_stream(
+            "a",
+            ClaimStream::open(sequential_session(&instance_a, &claims_a), service.clone()),
+        )
+        .with_stream(
+            "b",
+            ClaimStream::open(sequential_session(&instance_b, &claims_b), service.clone()),
+        )
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let failed = AtomicBool::new(false);
+    let fail = |what: &str| {
+        eprintln!("FAIL {what}");
+        failed.store(true, Ordering::Relaxed);
+    };
+
+    // --- 1. mixed interactive + sweep workload over sockets ----------
+    let seq_a = sequential_session(&instance_a, &claims_a);
+    let expected_many: Vec<String> = specs()
+        .iter()
+        .map(|(spec, _)| {
+            identity(
+                &seq_a
+                    .recommend(spec.clone(), budget)
+                    .expect("sequential twin"),
+            )
+        })
+        .collect();
+    let sweep_spec = ObjectiveSpec::ascertain(Measure::Dup);
+    let budgets: Vec<Budget> = (1..=4)
+        .map(|i| Budget::fraction(total_cost, i as f64 / 20.0))
+        .collect();
+    let expected_sweep: Vec<String> = seq_a
+        .recommend_sweep(&sweep_spec, &budgets)
+        .expect("sequential sweep twin")
+        .iter()
+        .map(identity)
+        .collect();
+
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        let failed = &failed;
+        let expected_many = &expected_many;
+        let expected_sweep = &expected_sweep;
+        // One sweep rides along with the interactive submitters.
+        s.spawn(move || {
+            let body = r#"{"stream":"a","measure":"dup","budgets":[{"fraction":0.05},{"fraction":0.1},{"fraction":0.15},{"fraction":0.2}]}"#;
+            let (status, text) = post(addr, "/v1/sweep", body, None);
+            if status != 200 {
+                eprintln!("FAIL sweep: status {status}: {text}");
+                failed.store(true, Ordering::Relaxed);
+                return;
+            }
+            let parsed = Json::parse(&text).expect("sweep JSON");
+            let plans = parsed.get("plans").and_then(Json::as_array).unwrap_or(&[]);
+            if plans.len() != expected_sweep.len() {
+                eprintln!("FAIL sweep: {} plans, expected {}", plans.len(), expected_sweep.len());
+                failed.store(true, Ordering::Relaxed);
+                return;
+            }
+            for (i, (served, expected)) in plans.iter().zip(expected_sweep.iter()).enumerate() {
+                if served_identity(served) != *expected {
+                    eprintln!("FAIL sweep point {i}: served {} != expected {expected}",
+                        served_identity(served));
+                    failed.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        for _ in 0..3 {
+            s.spawn(move || {
+                for ((_, fields), expected) in specs().iter().zip(expected_many) {
+                    let body = format!(r#"{{"stream":"a",{fields},"budget":{budget_json}}}"#);
+                    let (status, text) = post(addr, "/v1/recommend", &body, None);
+                    if status != 200 {
+                        eprintln!("FAIL recommend: status {status}: {text}");
+                        failed.store(true, Ordering::Relaxed);
+                        continue;
+                    }
+                    let served = Json::parse(&text).expect("plan JSON");
+                    if served_identity(&served) != *expected {
+                        eprintln!(
+                            "FAIL recommend ({fields}): served {} != expected {expected}",
+                            served_identity(&served)
+                        );
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    println!(
+        "http_smoke: n = {n}, mixed wire workload ({} requests, {} interactive / {} bulk) in {:.3}s",
+        stats.submitted,
+        stats.interactive,
+        stats.bulk,
+        t.elapsed().as_secs_f64()
+    );
+
+    // --- 2. cleaning over the wire: surgical invalidation ------------
+    let (status, warm_b_text) = post(
+        addr,
+        "/v1/recommend",
+        &format!(r#"{{"stream":"b","measure":"dup","budget":{budget_json}}}"#),
+        None,
+    );
+    if status != 200 {
+        fail(&format!("stream B warm-up: status {status}"));
+    }
+    let warm_b = Json::parse(&warm_b_text).expect("warm B JSON");
+
+    // Clean stream A's dup selection at the distribution means.
+    let dup_plan = seq_a
+        .recommend(specs()[1].0.clone(), budget)
+        .expect("dup twin");
+    let cleaned_objects = dup_plan.selection.objects().to_vec();
+    let revealed: Vec<f64> = cleaned_objects
+        .iter()
+        .map(|&i| instance_a.dist(i).mean())
+        .collect();
+    let clean_body = format!(
+        r#"{{"objects":{},"revealed":{}}}"#,
+        Json::Arr(
+            cleaned_objects
+                .iter()
+                .map(|&o| Json::Num(o as f64))
+                .collect()
+        ),
+        Json::Arr(revealed.iter().map(|&v| Json::Num(v)).collect()),
+    );
+    let (status, text) = post(addr, "/v1/streams/a/clean", &clean_body, None);
+    let invalidated = Json::parse(&text)
+        .ok()
+        .and_then(|v| v.get("invalidated").and_then(Json::as_u64))
+        .unwrap_or(0);
+    if status != 200 || invalidated == 0 {
+        fail(&format!(
+            "clean endpoint: status {status}, invalidated {invalidated}: {text}"
+        ));
+    }
+
+    // Post-clean serves must match a fresh session over cleaned data.
+    let selection = Selection::from_objects(cleaned_objects.clone(), instance_a.costs());
+    let fresh = seq_a
+        .after_cleaning(&selection, &revealed)
+        .expect("cleaned twin session");
+    for (spec, fields) in &specs() {
+        let expected = identity(&fresh.recommend(spec.clone(), budget).expect("fresh twin"));
+        let body = format!(r#"{{"stream":"a",{fields},"budget":{budget_json}}}"#);
+        let (status, text) = post(addr, "/v1/recommend", &body, None);
+        let served = Json::parse(&text).expect("post-clean JSON");
+        if status != 200 || served_identity(&served) != expected {
+            fail(&format!(
+                "post-clean ({fields}): status {status}, served {} != expected {expected}",
+                served_identity(&served)
+            ));
+        }
+    }
+
+    // Stream B must still be warm: identical plan, zero store misses
+    // reported in its own response diagnostics.
+    let (status, again_b_text) = post(
+        addr,
+        "/v1/recommend",
+        &format!(r#"{{"stream":"b","measure":"dup","budget":{budget_json}}}"#),
+        None,
+    );
+    let again_b = Json::parse(&again_b_text).expect("warm B again JSON");
+    if status != 200 || served_identity(&again_b) != served_identity(&warm_b) {
+        fail("stale-cache gate: stream B diverged after an unrelated invalidation");
+    }
+    let b_misses = again_b
+        .get("diagnostics")
+        .and_then(|d| d.get("store_misses"))
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX);
+    if b_misses != 0 {
+        fail(&format!(
+            "stale-cache gate: stream B rebuilt after an unrelated invalidation ({b_misses} misses)"
+        ));
+    }
+    println!(
+        "cleaning over the wire: {invalidated} entries invalidated, stream B misses {b_misses}"
+    );
+
+    // --- 3. client disconnect cancels the in-flight request ----------
+    let cancelled_before = service.stats().cancelled;
+    // The slow solve is mid-flight when the 120ms linger ends and the
+    // socket drops: the checker walked away.
+    send_and_hang_up(
+        addr,
+        "/v1/recommend",
+        r#"{"stream":"a","measure":"dup","strategy":"slow","budget":2}"#,
+        None,
+        Duration::from_millis(120),
+    );
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while service.stats().cancelled == cancelled_before {
+        if Instant::now() >= deadline {
+            fail("disconnect did not cancel the in-flight request");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // --- 4. quota storm over sockets ---------------------------------
+    let rejected = AtomicU64::new(0);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        let rejected = &rejected;
+        let failed = &failed;
+        let fresh = &fresh;
+        for thread in 0..3usize {
+            s.spawn(move || {
+                for i in 0..6usize {
+                    let (spec, fields) = &specs()[i % 4];
+                    let expected =
+                        identity(&fresh.recommend(spec.clone(), budget).expect("storm twin"));
+                    let body = format!(r#"{{"stream":"a",{fields},"budget":{budget_json}}}"#);
+                    if (thread + i) % 3 == 0 {
+                        // Abandon: send and hang up without reading.
+                        send_and_hang_up(
+                            addr,
+                            "/v1/recommend",
+                            &body,
+                            Some("storm"),
+                            Duration::ZERO,
+                        );
+                    } else {
+                        let (status, text) = post(addr, "/v1/recommend", &body, Some("storm"));
+                        match status {
+                            200 => {
+                                let served = Json::parse(&text).expect("storm JSON");
+                                if served_identity(&served) != expected {
+                                    eprintln!("FAIL storm plan ({fields}) diverged");
+                                    failed.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            429 => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            other => {
+                                eprintln!("FAIL storm: unexpected status {other}: {text}");
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Drain: every submitted request must resolve one way.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = service.stats();
+        if stats.completed + stats.cancelled == stats.submitted {
+            break;
+        }
+        if Instant::now() >= deadline {
+            fail(&format!(
+                "storm drain: {} submitted but {} resolved",
+                stats.submitted,
+                stats.completed + stats.cancelled
+            ));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let usage = service.quota_usage(&storm_tenant);
+    if usage != QuotaUsage::default() {
+        fail(&format!("storm: quota accounting drifted: {usage:?}"));
+    }
+    let stats = service.stats();
+    let client_rejections = rejected.load(Ordering::Relaxed);
+    // Abandoned sockets never read their 429s, but every server-side
+    // rejection on this tenant was either read by a live client or
+    // belonged to an abandoned one; the read ones must all be counted.
+    if stats.quota_rejected < client_rejections {
+        fail(&format!(
+            "storm: clients saw {client_rejections} rejections but the server counted {}",
+            stats.quota_rejected
+        ));
+    }
+    println!(
+        "quota storm: {} server-side rejections ({client_rejections} read by clients), {} cancelled total, in {:.3}s",
+        stats.quota_rejected,
+        stats.cancelled,
+        t.elapsed().as_secs_f64()
+    );
+
+    // --- 5. graceful shutdown drains ---------------------------------
+    let expected_slow = identity(
+        &fresh
+            .recommend(
+                ObjectiveSpec::ascertain(Measure::Dup).with_strategy("greedy"),
+                Budget::absolute(2),
+            )
+            .expect("greedy twin"),
+    );
+    let in_flight = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/recommend",
+            r#"{"stream":"a","measure":"dup","strategy":"slow","budget":2}"#,
+            None,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(120)); // request is mid-solve
+    server.shutdown(); // must drain, not drop
+    match in_flight.join() {
+        Ok((200, text)) => {
+            let served = Json::parse(&text).expect("drained plan JSON");
+            // The slow solver delegates to greedy; identity must match
+            // greedy's, except the strategy label it stamped.
+            let served_objects = served.get("objects").map(Json::to_string);
+            let expected_objects = Json::parse(&expected_slow)
+                .ok()
+                .and_then(|v| v.get("objects").map(Json::to_string));
+            if served_objects.is_none() || served_objects != expected_objects {
+                fail("graceful shutdown: drained plan diverged");
+            }
+        }
+        Ok((status, text)) => fail(&format!("graceful shutdown: status {status}: {text}")),
+        Err(_) => fail("graceful shutdown: client thread panicked"),
+    }
+    let stats = service.stats();
+    if stats.completed + stats.cancelled != stats.submitted {
+        fail(&format!(
+            "final counter drift: {} submitted, {} resolved",
+            stats.submitted,
+            stats.completed + stats.cancelled
+        ));
+    }
+
+    if failed.load(Ordering::Relaxed) {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "OK: wire plans byte-identical to in-process; disconnect cancels; quota/counters clean; shutdown drains"
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -66,6 +66,10 @@
 //! `Taken` / `Cancelled`, so a caller that times out once can retry
 //! and still retrieve the result (the old `Option` API conflated
 //! "timed out" with "already taken" and could lose a completed plan).
+//! [`RequestHandle::wait_or_cancel`] couples a wait to a liveness
+//! probe — the network front's disconnect-driven cancel hook: when the
+//! probe reports the client gone, the request is cancelled instead of
+//! solved for nobody.
 //!
 //! ## Per-tenant quotas
 //!
@@ -82,7 +86,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use super::cache::{CacheKey, CacheStore};
@@ -450,6 +454,18 @@ impl<T> WaitOutcome<T> {
     }
 }
 
+/// Locks a state-only mutex, recovering from poisoning. The mutexes
+/// this guards (result slots, sweep point slots, the tenant ledger)
+/// protect plain data whose invariants hold between statements — no
+/// critical section leaves them mid-update — so a panic on one thread
+/// says nothing about the data's integrity. Propagating the poison
+/// instead would cascade one contained [`CoreError::WorkerPanicked`]
+/// request into panics in every sibling waiter *and into quota
+/// release*, leaking the tenant's ledger entries forever.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Result slot shared between a [`RequestHandle`] and the worker that
 /// completes it.
 enum Slot<T> {
@@ -480,7 +496,7 @@ impl<T> HandleShared<T> {
     /// request counted). Returns `false` — discarding the result and
     /// counting nothing — when the request was cancelled first.
     fn complete_counted(&self, result: Result<T>, completed: &AtomicU64) -> bool {
-        let mut slot = self.slot.lock().expect("request slot poisoned");
+        let mut slot = lock_recover(&self.slot);
         match *slot {
             Slot::Pending => {
                 completed.fetch_add(1, Ordering::Relaxed);
@@ -500,7 +516,7 @@ impl<T> HandleShared<T> {
     /// Returns whether this call performed the transition (a resolved
     /// or already-cancelled slot is left untouched).
     fn cancel(&self) -> bool {
-        let mut slot = self.slot.lock().expect("request slot poisoned");
+        let mut slot = lock_recover(&self.slot);
         if matches!(*slot, Slot::Pending) {
             *slot = Slot::Cancelled;
             self.ready.notify_all();
@@ -565,6 +581,18 @@ impl<T> RequestSetup<T> {
     }
 }
 
+/// How long a wait is allowed to block on a pending slot.
+#[derive(Debug, Clone, Copy)]
+enum WaitLimit {
+    /// Return [`WaitOutcome::TimedOut`] immediately (`try_wait`).
+    Poll,
+    /// Block until the deadline, then report `TimedOut`.
+    Until(std::time::Instant),
+    /// Block until the request resolves (`wait`, or a `wait_timeout`
+    /// whose deadline overflows [`std::time::Instant`]).
+    Forever,
+}
+
 /// A hand-rolled future for an in-flight request (no async runtime is
 /// available offline): poll with [`RequestHandle::is_ready`], take the
 /// result with [`RequestHandle::try_wait`] /
@@ -606,18 +634,12 @@ impl<T> RequestHandle<T> {
     /// Whether the request has resolved — completed (result ready or
     /// already taken) or cancelled.
     pub fn is_ready(&self) -> bool {
-        !matches!(
-            *self.shared.slot.lock().expect("request slot poisoned"),
-            Slot::Pending
-        )
+        !matches!(*lock_recover(&self.shared.slot), Slot::Pending)
     }
 
     /// Whether the request was cancelled.
     pub fn is_cancelled(&self) -> bool {
-        matches!(
-            *self.shared.slot.lock().expect("request slot poisoned"),
-            Slot::Cancelled
-        )
+        matches!(*lock_recover(&self.shared.slot), Slot::Cancelled)
     }
 
     /// Cancels the request: queued work is dropped at dispatch, an
@@ -647,19 +669,52 @@ impl<T> RequestHandle<T> {
     /// request is still pending ([`WaitOutcome::TimedOut`]), was
     /// already taken, or was cancelled.
     pub fn try_wait(&self) -> WaitOutcome<T> {
-        self.wait_deadline(None)
+        self.wait_deadline(WaitLimit::Poll)
     }
 
     /// Blocks until the result is ready, waiting at most `timeout`.
     /// [`WaitOutcome::TimedOut`] does **not** consume the result: a
-    /// later wait still retrieves it.
+    /// later wait still retrieves it. A `timeout` too large to
+    /// represent as a deadline (e.g. [`Duration::MAX`]) waits forever —
+    /// it can never elapse.
     pub fn wait_timeout(&self, timeout: Duration) -> WaitOutcome<T> {
-        self.wait_deadline(Some(std::time::Instant::now() + timeout))
+        // `Instant + Duration` panics on overflow, so a huge timeout
+        // must degrade to wait-forever, not crash the waiter.
+        match std::time::Instant::now().checked_add(timeout) {
+            Some(deadline) => self.wait_deadline(WaitLimit::Until(deadline)),
+            None => self.wait_deadline(WaitLimit::Forever),
+        }
     }
 
-    /// Shared wait loop: `None` deadline polls once (`try_wait`).
-    fn wait_deadline(&self, deadline: Option<std::time::Instant>) -> WaitOutcome<T> {
-        let mut slot = self.shared.slot.lock().expect("request slot poisoned");
+    /// Blocks like [`RequestHandle::wait_timeout`], but instead of a
+    /// fixed deadline it re-checks `alive()` every `poll` interval and
+    /// **cancels the request** ([`RequestHandle::cancel`]) the moment
+    /// the callback returns `false`, returning
+    /// [`WaitOutcome::Cancelled`]. This is the network front's
+    /// disconnect-driven cancel hook: `alive` probes the client socket,
+    /// so a client that hangs up mid-solve stops burning worker time
+    /// instead of computing a plan nobody will read.
+    pub fn wait_or_cancel(
+        &self,
+        poll: Duration,
+        mut alive: impl FnMut() -> bool,
+    ) -> WaitOutcome<T> {
+        loop {
+            match self.wait_timeout(poll) {
+                WaitOutcome::TimedOut => {
+                    if !alive() {
+                        self.cancel();
+                        return WaitOutcome::Cancelled;
+                    }
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// Shared wait loop (see [`WaitLimit`] for the Pending behavior).
+    fn wait_deadline(&self, limit: WaitLimit) -> WaitOutcome<T> {
+        let mut slot = lock_recover(&self.shared.slot);
         loop {
             match std::mem::replace(&mut *slot, Slot::Taken) {
                 Slot::Ready(r) => return WaitOutcome::Ready(r),
@@ -670,16 +725,25 @@ impl<T> RequestHandle<T> {
                 }
                 Slot::Pending => {
                     *slot = Slot::Pending;
-                    let now = std::time::Instant::now();
-                    let Some(deadline) = deadline.filter(|&d| d > now) else {
-                        return WaitOutcome::TimedOut;
+                    slot = match limit {
+                        WaitLimit::Poll => return WaitOutcome::TimedOut,
+                        WaitLimit::Until(deadline) => {
+                            let now = std::time::Instant::now();
+                            if deadline <= now {
+                                return WaitOutcome::TimedOut;
+                            }
+                            self.shared
+                                .ready
+                                .wait_timeout(slot, deadline - now)
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .0
+                        }
+                        WaitLimit::Forever => self
+                            .shared
+                            .ready
+                            .wait(slot)
+                            .unwrap_or_else(PoisonError::into_inner),
                     };
-                    let (guard, _) = self
-                        .shared
-                        .ready
-                        .wait_timeout(slot, deadline - now)
-                        .expect("request slot poisoned while waiting");
-                    slot = guard;
                 }
             }
         }
@@ -692,24 +756,11 @@ impl<T> RequestHandle<T> {
     /// If the result was already taken via [`RequestHandle::try_wait`]
     /// / [`RequestHandle::wait_timeout`].
     pub fn wait(self) -> Result<T> {
-        let mut slot = self.shared.slot.lock().expect("request slot poisoned");
-        loop {
-            match std::mem::replace(&mut *slot, Slot::Taken) {
-                Slot::Ready(r) => return r,
-                Slot::Taken => panic!("RequestHandle result already taken by try_wait"),
-                Slot::Cancelled => {
-                    *slot = Slot::Cancelled;
-                    return Err(CoreError::Cancelled);
-                }
-                Slot::Pending => {
-                    *slot = Slot::Pending;
-                    slot = self
-                        .shared
-                        .ready
-                        .wait(slot)
-                        .expect("request slot poisoned while waiting");
-                }
-            }
+        match self.wait_deadline(WaitLimit::Forever) {
+            WaitOutcome::Ready(r) => r,
+            WaitOutcome::Cancelled => Err(CoreError::Cancelled),
+            WaitOutcome::Taken => panic!("RequestHandle result already taken by try_wait"),
+            WaitOutcome::TimedOut => unreachable!("a Forever wait cannot time out"),
         }
     }
 }
@@ -776,7 +827,7 @@ impl ServiceInner {
     /// with a typed [`CoreError::QuotaExceeded`] (nothing is queued on
     /// rejection).
     fn acquire_quota(&self, tenant: &TenantId, estimate: u64) -> Result<()> {
-        let mut tenants = self.tenants.lock().expect("tenant ledger poisoned");
+        let mut tenants = lock_recover(&self.tenants);
         let state = tenants
             .entry(tenant.clone())
             .or_insert_with(|| TenantState {
@@ -822,7 +873,7 @@ impl ServiceInner {
     /// from request input; entries installed via
     /// [`PlannerService::set_quota`] are kept.
     fn release_quota(&self, tenant: &TenantId, estimate: u64) {
-        let mut tenants = self.tenants.lock().expect("tenant ledger poisoned");
+        let mut tenants = lock_recover(&self.tenants);
         let state = tenants
             .get_mut(tenant)
             .expect("released a lease for a tenant that never acquired");
@@ -909,7 +960,7 @@ struct SweepState {
 
 impl SweepState {
     fn finish_point(&self, index: usize, result: Result<Plan>) {
-        *self.slots[index].lock().expect("sweep slot poisoned") = Some(result);
+        *lock_recover(&self.slots[index]) = Some(result);
         self.point_done();
     }
 
@@ -930,9 +981,7 @@ impl SweepState {
             let mut plans = Vec::with_capacity(self.slots.len());
             let mut first_err: Option<Result<Vec<Plan>>> = None;
             for slot in &self.slots {
-                match slot
-                    .lock()
-                    .expect("sweep slot poisoned")
+                match lock_recover(slot)
                     .take()
                     .expect("every budget point completed")
                 {
@@ -1029,7 +1078,7 @@ impl PlannerService {
     /// accounting is preserved: tightening a policy below the current
     /// usage rejects new submits until enough requests resolve.
     pub fn set_quota(&self, tenant: impl Into<TenantId>, policy: QuotaPolicy) {
-        let mut tenants = self.inner.tenants.lock().expect("tenant ledger poisoned");
+        let mut tenants = lock_recover(&self.inner.tenants);
         tenants
             .entry(tenant.into())
             .and_modify(|state| state.policy = policy)
@@ -1042,10 +1091,7 @@ impl PlannerService {
     /// `tenant`'s live accounting (zeroes for a tenant that never
     /// submitted).
     pub fn quota_usage(&self, tenant: &TenantId) -> QuotaUsage {
-        self.inner
-            .tenants
-            .lock()
-            .expect("tenant ledger poisoned")
+        lock_recover(&self.inner.tenants)
             .get(tenant)
             .map(|state| state.usage)
             .unwrap_or_default()
@@ -1917,6 +1963,195 @@ mod tests {
             stats.completed + stats.cancelled,
             stats.submitted,
             "every request resolved exactly one way"
+        );
+    }
+
+    #[test]
+    fn wait_timeout_with_huge_duration_waits_instead_of_panicking() {
+        // `Instant::now() + Duration::MAX` overflows and used to panic
+        // inside wait_timeout; the overflow must degrade to
+        // wait-forever (a deadline past the representable range can
+        // never elapse).
+        let (svc, gate) = gated_service(ServiceOptions::new().with_inline_threshold(0));
+        let handle = svc
+            .submit(SolveRequest::new(
+                "gate",
+                dup_problem(8, 40),
+                Budget::absolute(2),
+            ))
+            .unwrap();
+        gate.wait_entered(1); // deterministically pending at wait time
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| handle.wait_timeout(Duration::MAX));
+            gate.open_up();
+            let outcome = waiter.join().expect("waiter must not panic");
+            assert!(
+                matches!(outcome, WaitOutcome::Ready(Ok(_))),
+                "the overflowing timeout waited for the result"
+            );
+        });
+    }
+
+    #[test]
+    fn wait_or_cancel_cancels_when_the_liveness_probe_fails() {
+        let (svc, gate) = gated_service(ServiceOptions::new().with_inline_threshold(0));
+        let handle = svc
+            .submit(SolveRequest::new(
+                "gate",
+                dup_problem(8, 41),
+                Budget::absolute(2),
+            ))
+            .unwrap();
+        gate.wait_entered(1);
+        // First poll reports alive, second reports the client gone.
+        let mut polls = 0;
+        let outcome = handle.wait_or_cancel(Duration::from_millis(1), || {
+            polls += 1;
+            polls < 2
+        });
+        assert!(outcome.is_cancelled());
+        assert!(handle.is_cancelled());
+        assert_eq!(svc.stats().cancelled, 1);
+        assert_eq!(svc.quota_usage(&TenantId::default()).in_flight, 0);
+        gate.open_up();
+    }
+
+    #[test]
+    fn wait_or_cancel_returns_the_result_while_the_client_lives() {
+        let svc = service(ServiceOptions::new().with_inline_threshold(0));
+        let problem = dup_problem(8, 42);
+        let expected = svc
+            .registry()
+            .solve("greedy", &problem, Budget::absolute(2))
+            .unwrap();
+        let handle = svc
+            .submit(SolveRequest::new(
+                "greedy",
+                Arc::clone(&problem),
+                Budget::absolute(2),
+            ))
+            .unwrap();
+        let outcome = handle.wait_or_cancel(Duration::from_millis(1), || true);
+        let plan = outcome.ready().expect("completed").unwrap();
+        assert_eq!(plan.divergence(&expected), None);
+    }
+
+    #[test]
+    fn panicked_request_leaves_siblings_waitable_and_ledger_releasable() {
+        // One contained WorkerPanicked request must not poison the
+        // slot/ledger locks for anyone else: the sibling handle stays
+        // waitable and the tenant's quota still releases to zero.
+        #[derive(Debug)]
+        struct PanickySolver;
+        impl Solver for PanickySolver {
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+            fn solve_with_cache<'p>(
+                &self,
+                _problem: &'p Problem,
+                _budget: Budget,
+                _cache: &EngineCache<'p>,
+            ) -> Result<Plan> {
+                panic!("solver exploded");
+            }
+        }
+        let gate = Arc::new(Gate::default());
+        let mut registry = SolverRegistry::with_defaults();
+        registry.register_solver(Arc::new(GateSolver {
+            gate: Arc::clone(&gate),
+        }));
+        registry.register_solver(Arc::new(PanickySolver));
+        let svc = PlannerService::new(
+            Arc::new(registry),
+            ServiceOptions::new()
+                .with_inline_threshold(0)
+                .with_pool(Arc::new(WorkerPool::new(1))),
+        );
+        svc.set_quota("alice", QuotaPolicy::default().with_max_in_flight(3));
+        let sibling = svc
+            .submit(
+                SolveRequest::new("gate", dup_problem(8, 43), Budget::absolute(2))
+                    .with_tenant("alice"),
+            )
+            .unwrap();
+        gate.wait_entered(1); // the sibling is mid-solve on the worker
+        let doomed = svc
+            .submit(
+                SolveRequest::new("panicky", dup_problem(8, 44), Budget::absolute(1))
+                    .with_tenant("alice"),
+            )
+            .unwrap();
+        gate.open_up();
+        let err = doomed.wait().unwrap_err();
+        assert!(matches!(err, CoreError::WorkerPanicked { .. }));
+        assert!(
+            sibling.wait().is_ok(),
+            "the sibling handle resolved normally after the panic"
+        );
+        assert_eq!(
+            svc.quota_usage(&TenantId::new("alice")),
+            QuotaUsage::default(),
+            "both leases released despite the panic"
+        );
+        // The ledger keeps admitting work.
+        svc.submit(
+            SolveRequest::new("greedy", dup_problem(8, 45), Budget::absolute(1))
+                .with_tenant("alice"),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    }
+
+    #[test]
+    fn poisoned_slot_lock_recovers() {
+        // Deliberately poison a pending request's slot mutex (a waiter
+        // panicking while holding it), then verify completion and a
+        // later wait both recover instead of cascading the panic.
+        let (svc, gate) = gated_service(ServiceOptions::new().with_inline_threshold(0));
+        let handle = svc
+            .submit(SolveRequest::new(
+                "gate",
+                dup_problem(8, 46),
+                Budget::absolute(2),
+            ))
+            .unwrap();
+        gate.wait_entered(1);
+        let shared = Arc::clone(&handle.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.slot.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        gate.open_up();
+        assert!(
+            handle.wait().is_ok(),
+            "a poisoned slot lock recovers for both the completer and the waiter"
+        );
+    }
+
+    #[test]
+    fn poisoned_tenant_ledger_recovers() {
+        let svc = service(ServiceOptions::new());
+        let inner = Arc::clone(&svc.inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.tenants.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        // Quota bookkeeping keeps working on the recovered lock.
+        svc.set_quota("alice", QuotaPolicy::default().with_max_in_flight(1));
+        svc.submit(
+            SolveRequest::new("greedy", dup_problem(8, 47), Budget::absolute(1))
+                .with_tenant("alice"),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+        assert_eq!(
+            svc.quota_usage(&TenantId::new("alice")),
+            QuotaUsage::default()
         );
     }
 

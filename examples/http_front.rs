@@ -1,0 +1,130 @@
+//! The network front, end to end: boot the HTTP server over the
+//! crime-counts stream, then run the `serve_stream` loop — submit →
+//! clean → resubmit — as a wire protocol instead of library calls.
+//!
+//! The client below is a plain `TcpStream` speaking HTTP/1.1 (the
+//! transcript mirrors what `curl` would send; see the README's
+//! "Network front" section for the curl version).
+//!
+//! Run with: `cargo run --release --example http_front`
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use fact_clean::net::client;
+use fact_clean::prelude::*;
+use fc_core::SolverRegistry;
+
+/// One keep-alive exchange via `fc::net::client`, printed transcript-
+/// style; returns the response body.
+fn request(sock: &mut TcpStream, method: &str, path: &str, json: &str) -> String {
+    client::write_request(sock, method, path, &[("x-tenant", "demo")], json).expect("send request");
+    let (status, body) = client::read_response(sock).expect("response");
+    println!("< HTTP/1.1 {status}\n< {body}\n");
+    body
+}
+
+fn post(sock: &mut TcpStream, path: &str, json: &str) -> String {
+    println!("> POST {path}\n> {json}");
+    request(sock, "POST", path, json)
+}
+
+fn get(sock: &mut TcpStream, path: &str) -> String {
+    println!("> GET {path}");
+    request(sock, "GET", path, "")
+}
+
+fn main() {
+    // The Example-2 crime-counts data, exactly as in `serve_stream`.
+    let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
+    let dists: Vec<DiscreteDist> = current
+        .iter()
+        .map(|&u| DiscreteDist::uniform_over(&[u - 40.0, u, u + 40.0]).unwrap())
+        .collect();
+    let instance = Instance::new(dists, current.clone(), vec![1, 1, 2, 3, 3]).unwrap();
+    let claims = ClaimSet::new(
+        LinearClaim::window_comparison(3, 4, 1).unwrap(),
+        vec![
+            LinearClaim::window_comparison(2, 3, 1).unwrap(),
+            LinearClaim::window_comparison(1, 2, 1).unwrap(),
+            LinearClaim::window_comparison(0, 1, 1).unwrap(),
+        ],
+        vec![1.0; 3],
+        Direction::HigherIsStronger,
+    )
+    .unwrap();
+
+    let service = PlannerService::new(
+        Arc::new(SolverRegistry::with_defaults()),
+        ServiceOptions::new().with_inline_threshold(0),
+    );
+    let stream = SessionBuilder::new()
+        .discrete(instance)
+        .claims(claims)
+        .build()
+        .unwrap()
+        .into_stream(service.clone());
+    let server = PlannerServer::new(service)
+        .with_stream("crime", stream)
+        .serve("127.0.0.1:0")
+        .expect("bind an ephemeral port");
+    println!("planner server listening on http://{}\n", server.addr());
+
+    let mut sock = TcpStream::connect(server.addr()).expect("connect");
+
+    // 1. Ascertain the uniqueness claim under a budget of 2.
+    let cold = post(
+        &mut sock,
+        "/v1/recommend",
+        r#"{"stream":"crime","measure":"dup","budget":2}"#,
+    );
+
+    // 2. Clean the recommended objects at their revealed values (here:
+    //    the distributions' max), invalidating exactly the stale cache
+    //    entries server-side.
+    let objects: Vec<usize> = fact_clean::net::json::Json::parse(&cold)
+        .expect("plan JSON")
+        .get("objects")
+        .and_then(fact_clean::net::json::Json::as_array)
+        .expect("objects")
+        .iter()
+        .filter_map(fact_clean::net::json::Json::as_usize)
+        .collect();
+    let revealed: Vec<String> = objects
+        .iter()
+        .map(|&i| format!("{}", current[i] + 40.0))
+        .collect();
+    post(
+        &mut sock,
+        "/v1/streams/crime/clean",
+        &format!(
+            r#"{{"objects":[{}],"revealed":[{}]}}"#,
+            objects
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            revealed.join(",")
+        ),
+    );
+
+    // 3. Resubmit: fresh fingerprint, fresh answer — plus a budget
+    //    sweep to show the grid endpoint.
+    post(
+        &mut sock,
+        "/v1/recommend",
+        r#"{"stream":"crime","measure":"dup","budget":2}"#,
+    );
+    post(
+        &mut sock,
+        "/v1/sweep",
+        r#"{"stream":"crime","measure":"bias","goal":{"maxpr":5},"budgets":[1,2,3]}"#,
+    );
+
+    // 4. Counters over the wire.
+    get(&mut sock, "/v1/stats");
+
+    drop(sock);
+    server.shutdown();
+    println!("server drained and shut down");
+}

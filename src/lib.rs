@@ -88,6 +88,7 @@
 //! ```
 
 pub mod builder;
+pub mod net;
 pub mod planner;
 pub mod serve;
 pub mod session;
@@ -98,6 +99,7 @@ pub use fc_datasets as datasets;
 pub use fc_uncertain as uncertain;
 
 pub use builder::SessionBuilder;
+pub use net::{PlannerServer, ServerConfig, ServerHandle};
 pub use planner::{Goal, Measure, ObjectiveSpec, Strategy};
 pub use serve::ClaimStream;
 pub use session::{CleaningSession, DataModel};
@@ -108,6 +110,7 @@ pub use session::{Objective, Recommendation};
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::builder::SessionBuilder;
+    pub use crate::net::{PlannerServer, ServerConfig, ServerHandle};
     pub use crate::planner::{Goal, Measure, ObjectiveSpec, Strategy};
     pub use crate::serve::ClaimStream;
     pub use crate::session::{CleaningSession, DataModel};

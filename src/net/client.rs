@@ -1,0 +1,94 @@
+//! A minimal blocking HTTP/1.1 client for the front — one connection,
+//! `Content-Length` framing, no redirects, no TLS. This is the
+//! counterpart the examples, integration tests, and CI gates drive the
+//! server with (the environment has no `curl` guarantee and no
+//! registry client crates); it is deliberately small, not a general
+//! HTTP client.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Read timeout applied by [`read_response`] when the socket has none.
+const DEFAULT_RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Writes one request on `sock` (keep-alive framing: the connection
+/// stays usable for [`read_response`] and further requests). `headers`
+/// are extra headers, e.g. `[("x-tenant", "alice")]`.
+pub fn write_request(
+    sock: &mut TcpStream,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: fc\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    sock.write_all(head.as_bytes())?;
+    sock.write_all(body.as_bytes())
+}
+
+/// Reads one response from `sock`: returns (status, body). Applies a
+/// generous read timeout when the caller has not set one.
+pub fn read_response(sock: &mut TcpStream) -> io::Result<(u16, String)> {
+    if sock.read_timeout()?.is_none() {
+        sock.set_read_timeout(Some(DEFAULT_RESPONSE_TIMEOUT))?;
+    }
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut reader = BufReader::new(sock.try_clone()?);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|body| (status, body))
+        .map_err(|_| bad("non-UTF-8 body"))
+}
+
+/// One request on a fresh connection; returns (status, body).
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut sock = TcpStream::connect(addr)?;
+    write_request(&mut sock, method, path, headers, body)?;
+    read_response(&mut sock)
+}
+
+/// `POST` a JSON body on a fresh connection.
+pub fn post(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    json: &str,
+    headers: &[(&str, &str)],
+) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, headers, json)
+}
+
+/// `GET` on a fresh connection.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, &[], "")
+}

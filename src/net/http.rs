@@ -1,0 +1,366 @@
+//! Hand-rolled HTTP/1.1 framing on `std::io` — request parsing with
+//! hard limits, and response writing. No registry crates, no async
+//! runtime: the front runs on blocking sockets, which is exactly what
+//! the hand-rolled-future serving layer beneath it expects.
+//!
+//! The parser is deliberately strict and bounded — this is the
+//! process's network-facing edge:
+//!
+//! * the request line + headers must fit in
+//!   [`MAX_HEADER_BYTES`] (`431` otherwise);
+//! * bodies are framed by `Content-Length` only (chunked encoding is
+//!   refused with `501`), must be declared (`411`), and must fit the
+//!   server's body cap (`413`) **before** a byte of body is read;
+//! * truncated requests (client hangs up mid-headers or mid-body) are
+//!   typed `400`s, so the connection handler can answer what is
+//!   answerable and close — never tear down the listener.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line + headers, bytes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, as sent (e.g. `GET`).
+    pub method: String,
+    /// The request target, path + optional query, as sent.
+    pub target: String,
+    /// Headers, names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (query stripped).
+    pub fn path(&self) -> &str {
+        self.target.split(['?', '#']).next().unwrap_or("")
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before the first byte of a request — the client is
+    /// simply done with the connection. Not an error to report.
+    Closed,
+    /// The socket idled past its read timeout between requests (no
+    /// request bytes consumed). The handler decides whether to keep
+    /// waiting or reap the connection.
+    IdleTimeout,
+    /// An I/O failure mid-request (reset, mid-request timeout).
+    Io(io::Error),
+    /// A malformed or unacceptable request. `status`/`reason` map
+    /// straight onto the 4xx/5xx response; the connection must close
+    /// afterwards (framing is unknown past the error point).
+    Malformed {
+        /// Response status code.
+        status: u16,
+        /// Short machine-readable slug (also the response `error`
+        /// field).
+        reason: &'static str,
+    },
+}
+
+impl HttpError {
+    fn malformed(status: u16, reason: &'static str) -> Self {
+        Self::Malformed { status, reason }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed"),
+            Self::IdleTimeout => write!(f, "idle timeout"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Malformed { status, reason } => write!(f, "{status} {reason}"),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request. `max_body` caps the declared `Content-Length`.
+///
+/// Timeout semantics: a timeout before the first byte is
+/// [`HttpError::IdleTimeout`] (the connection is merely idle); a
+/// timeout after is a `408` [`HttpError::Malformed`] — the client
+/// started a request and stalled.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let head = read_head(reader)?;
+    let mut lines = head.split(|&b| b == b'\n').map(|line| {
+        // Tolerate bare-LF clients; strict CRLF is the common case.
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        std::str::from_utf8(line)
+    });
+
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::malformed(400, "empty request"))?
+        .map_err(|_| HttpError::malformed(400, "request line is not UTF-8"))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(HttpError::malformed(400, "malformed request line")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::malformed(400, "malformed method"));
+    }
+    let http10 = match version {
+        "HTTP/1.1" => false,
+        "HTTP/1.0" => true,
+        _ => return Err(HttpError::malformed(505, "http version not supported")),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let line = line.map_err(|_| HttpError::malformed(400, "header is not UTF-8"))?;
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::malformed(400, "malformed header"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::malformed(400, "malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let connection = header("connection").unwrap_or("").to_ascii_lowercase();
+    let close = connection.split(',').any(|t| t.trim() == "close")
+        || (http10 && !connection.split(',').any(|t| t.trim() == "keep-alive"));
+
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::malformed(501, "transfer-encoding not supported"));
+    }
+    let body = match header("content-length") {
+        Some(value) => {
+            let declared: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::malformed(400, "malformed content-length"))?;
+            if declared > max_body {
+                // Reject on the declaration — never buffer an oversized
+                // body just to refuse it.
+                return Err(HttpError::malformed(413, "body too large"));
+            }
+            let mut body = vec![0u8; declared];
+            reader.read_exact(&mut body).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    HttpError::malformed(400, "truncated body")
+                } else if is_timeout(&e) {
+                    HttpError::malformed(408, "body read timed out")
+                } else {
+                    HttpError::Io(e)
+                }
+            })?;
+            body
+        }
+        None if matches!(method, "POST" | "PUT" | "PATCH") => {
+            return Err(HttpError::malformed(411, "content-length required"));
+        }
+        None => Vec::new(),
+    };
+
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+        close,
+    })
+}
+
+/// Reads up to and including the blank line terminating the header
+/// block, capped at [`MAX_HEADER_BYTES`].
+fn read_head(reader: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    HttpError::Closed
+                } else {
+                    HttpError::malformed(400, "truncated headers")
+                });
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > MAX_HEADER_BYTES {
+                    return Err(HttpError::malformed(431, "headers too large"));
+                }
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    return Ok(head);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(if head.is_empty() {
+                    HttpError::IdleTimeout
+                } else {
+                    HttpError::malformed(408, "headers read timed out")
+                });
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// The standard reason phrase for the status codes this front emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response with `Content-Length`
+/// framing; `close` adds `Connection: close`.
+pub fn write_response(w: &mut impl Write, status: u16, body: &str, close: bool) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{}\r\n",
+        status,
+        reason_phrase(status),
+        body.len(),
+        if close { "connection: close\r\n" } else { "" },
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /v1/recommend?x=1 HTTP/1.1\r\nHost: h\r\nX-Tenant: alice\r\n\
+              Content-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/recommend?x=1");
+        assert_eq!(req.path(), "/v1/recommend");
+        assert_eq!(req.header("x-tenant"), Some("alice"));
+        assert_eq!(req.header("X-TENANT"), Some("alice"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_semantics() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.close, "HTTP/1.0 defaults to close");
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn malformed_requests_map_to_statuses() {
+        let status = |raw: &[u8]| match parse(raw) {
+            Err(HttpError::Malformed { status, .. }) => status,
+            other => panic!("expected Malformed, got {other:?}"),
+        };
+        assert_eq!(status(b"garbage\r\n\r\n"), 400);
+        assert_eq!(status(b"GET noslash HTTP/1.1\r\n\r\n"), 400);
+        assert_eq!(status(b"get / HTTP/1.1\r\n\r\n"), 400, "lowercase method");
+        assert_eq!(status(b"GET / HTTP/2.0\r\n\r\n"), 505);
+        assert_eq!(status(b"GET / HTTP/1.1\r\nbad header\r\n\r\n"), 400);
+        assert_eq!(status(b"POST / HTTP/1.1\r\n\r\n"), 411);
+        assert_eq!(
+            status(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            400
+        );
+        assert_eq!(
+            status(b"POST / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n"),
+            413
+        );
+        assert_eq!(
+            status(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            400,
+            "over-declared body (client sent fewer bytes than declared)"
+        );
+        assert_eq!(
+            status(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            501
+        );
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert_eq!(status(huge.as_bytes()), 431);
+    }
+
+    #[test]
+    fn eof_before_and_mid_request_differ() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse(b"GET / HT"),
+            Err(HttpError::Malformed { status: 400, .. })
+        ));
+    }
+
+    #[test]
+    fn response_writer_frames_with_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("429 Too Many Requests"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `fc::net` — the zero-dependency HTTP/1.1 network front.
+//!
+//! The ROADMAP's serving layer ends, until this module, at a library
+//! boundary: [`PlannerService`](fc_core::PlannerService) and
+//! [`ClaimStream`](crate::ClaimStream) give a *process* admission
+//! control, quotas, cancellation, and surgical cache invalidation —
+//! but the paper's setting (Sintos, Agarwal & Yang, VLDB 2019) is an
+//! interactive *service*: fact-checkers iteratively pick data to
+//! clean, reveal values, and re-ask, from outside the process. The
+//! environment still allows no registry dependencies, so this front is
+//! hand-rolled on `std::net` alone:
+//!
+//! * [`json`] — a minimal JSON codec (value tree, strict bounded
+//!   parser, deterministic writer);
+//! * [`client`] — the matching minimal blocking client (examples,
+//!   tests, and CI gates drive the server with it);
+//! * [`http`] — HTTP/1.1 framing: `Content-Length` bodies, keep-alive,
+//!   hard header/body limits, typed 4xx mapping for malformed input;
+//! * [`wire`] — JSON ⇄ planner types, including the plan encoding
+//!   whose bytes are the determinism gate;
+//! * [`PlannerServer`] — the accept loop, route table, per-request
+//!   tenancy (`x-tenant` header), disconnect-driven cancellation, and
+//!   graceful drain.
+//!
+//! Everything the serving layer guarantees in-process holds over the
+//! wire: plans are byte-identical to in-process
+//! [`PlannerService`](fc_core::PlannerService) results, quota
+//! rejections are `429`s with nothing queued, a client hangup cancels
+//! the request it was waiting on, and shutdown never drops a completed
+//! plan.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use server::{PlannerServer, ServerConfig, ServerHandle};

@@ -1,0 +1,594 @@
+//! The HTTP server: a blocking accept loop over
+//! [`std::net::TcpListener`], bounded connection-handler threads, and
+//! the route table onto the serving layer.
+//!
+//! ## Threading model
+//!
+//! Connection I/O runs on dedicated handler threads (bounded by
+//! [`ServerConfig::max_connections`]; excess connections get `503`),
+//! **not** on the solver [`WorkerPool`](fc_core::WorkerPool): a handler
+//! spends its life blocked — reading a socket or waiting on a
+//! [`RequestHandle`] — and parking those waits on the pool that must
+//! *complete* them would deadlock it at saturation. What the accept
+//! loop feeds the pool is the requests themselves: every route lands in
+//! [`PlannerService::submit`] / `submit_sweep`, so solver work rides
+//! the same lanes, quotas, and cancellation as in-process callers, and
+//! plans served over the wire are byte-identical to in-process plans.
+//!
+//! ## Request lifecycle on the wire
+//!
+//! * The tenant is taken from the `x-tenant` header (falling back to
+//!   the stream's own [`TenantId`]); a submit past the tenant's quota
+//!   is `429` with nothing queued.
+//! * While a solve is in flight the handler probes the client socket
+//!   every [`ServerConfig::disconnect_poll`]
+//!   ([`RequestHandle::wait_or_cancel`]): a client that hangs up
+//!   cancels its request — observable in
+//!   [`ServiceStats::cancelled`](fc_core::planner::service::ServiceStats) —
+//!   instead of burning worker time on an unobservable plan.
+//! * [`ServerHandle::shutdown`] is graceful: stop accepting, then
+//!   drain — every in-flight request completes and its response is
+//!   written before the handler exits.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fc_core::planner::service::{PlannerService, RequestHandle, TenantId, WaitOutcome};
+use fc_core::{CoreError, Plan};
+
+use super::http::{read_request, write_response, HttpError, Request};
+use super::json::Json;
+use super::wire::{budget_field, budgets_field, plan_json, spec_from_json, stats_json, ApiError};
+use crate::serve::ClaimStream;
+
+/// Tuning knobs for a [`PlannerServer`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Cap on a request body's declared `Content-Length` (`413` past
+    /// it). Default: 256 KiB.
+    pub max_body_bytes: usize,
+    /// Cap on concurrently served connections (`503` past it).
+    /// Default: 64.
+    pub max_connections: usize,
+    /// Socket read **and write** timeout. Doubles as the keep-alive
+    /// idle timeout: a connection with no request for this long is
+    /// closed (so silent clients cannot pin
+    /// [`ServerConfig::max_connections`] slots forever), a client that
+    /// stalls *mid-request* longer than this gets `408`, and a client
+    /// that stops *reading* its response unblocks the handler with a
+    /// write error instead of wedging it (and graceful shutdown)
+    /// indefinitely. Default: 5s.
+    pub read_timeout: Duration,
+    /// How often an in-flight wait probes the client socket for
+    /// disconnect (the cancel-on-hangup latency). Default: 50ms.
+    pub disconnect_poll: Duration,
+}
+
+impl ServerConfig {
+    /// The default configuration (see the field docs).
+    pub fn new() -> Self {
+        Self {
+            max_body_bytes: 256 * 1024,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            disconnect_poll: Duration::from_millis(50),
+        }
+    }
+
+    /// Sets the body-size cap.
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Sets the concurrent-connection cap.
+    pub fn with_max_connections(mut self, connections: usize) -> Self {
+        self.max_connections = connections;
+        self
+    }
+
+    /// Sets the socket read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the disconnect-probe cadence.
+    pub fn with_disconnect_poll(mut self, poll: Duration) -> Self {
+        self.disconnect_poll = poll;
+        self
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tracks live connection handlers so shutdown can drain them.
+#[derive(Default)]
+struct LiveConnections {
+    count: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl LiveConnections {
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.count.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims a slot, or reports saturation.
+    fn try_enter(&self, cap: usize) -> bool {
+        let mut count = self.lock();
+        if *count >= cap {
+            false
+        } else {
+            *count += 1;
+            true
+        }
+    }
+
+    fn exit(&self) {
+        *self.lock() -= 1;
+        self.drained.notify_all();
+    }
+
+    fn wait_drained(&self) {
+        let mut count = self.lock();
+        while *count > 0 {
+            count = self
+                .drained
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Shared state of a running server.
+struct ServerCtx {
+    service: PlannerService,
+    streams: HashMap<String, Arc<RwLock<ClaimStream>>>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    live: LiveConnections,
+}
+
+/// The dependency-free HTTP/1.1 front over a [`PlannerService`] and its
+/// named [`ClaimStream`]s. Build one, register streams, then
+/// [`PlannerServer::serve`].
+///
+/// | route | maps to |
+/// |---|---|
+/// | `POST /v1/recommend` | [`ClaimStream::submit`] → [`PlannerService::submit`] |
+/// | `POST /v1/sweep` | [`ClaimStream::submit_sweep`] → [`PlannerService::submit_sweep`] |
+/// | `POST /v1/streams/{id}/clean` | [`ClaimStream::mark_cleaned`] |
+/// | `GET /v1/streams` | the registered stream ids |
+/// | `GET /v1/stats` | service + store counter snapshot |
+///
+/// See the [module docs](self) for the threading model and the
+/// on-the-wire request lifecycle.
+pub struct PlannerServer {
+    service: PlannerService,
+    streams: HashMap<String, Arc<RwLock<ClaimStream>>>,
+    config: ServerConfig,
+}
+
+impl PlannerServer {
+    /// A server over `service` with the default [`ServerConfig`].
+    pub fn new(service: PlannerService) -> Self {
+        Self {
+            service,
+            streams: HashMap::new(),
+            config: ServerConfig::new(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers `stream` under `id` (the `{id}` of the routes).
+    /// Streams submitted to over HTTP should share this server's
+    /// service so quotas, stats, and the store tell one story.
+    pub fn with_stream(mut self, id: impl Into<String>, stream: ClaimStream) -> Self {
+        self.streams
+            .insert(id.into(), Arc::new(RwLock::new(stream)));
+        self
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &PlannerService {
+        &self.service
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread. The returned handle reports
+    /// the bound address and owns graceful shutdown.
+    pub fn serve(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(ServerCtx {
+            service: self.service,
+            streams: self.streams,
+            config: self.config,
+            shutdown: AtomicBool::new(false),
+            live: LiveConnections::default(),
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept = std::thread::Builder::new()
+            .name("fc-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_ctx))?;
+        Ok(ServerHandle {
+            addr,
+            ctx,
+            accept: Some(accept),
+        })
+    }
+}
+
+impl std::fmt::Debug for PlannerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut ids: Vec<&str> = self.streams.keys().map(String::as_str).collect();
+        ids.sort_unstable();
+        f.debug_struct("PlannerServer")
+            .field("streams", &ids)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A running server: its bound address plus graceful shutdown.
+/// Dropping the handle shuts the server down (draining in-flight
+/// requests); call [`ServerHandle::shutdown`] to do it explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the server (stats, quotas, store).
+    pub fn service(&self) -> &PlannerService {
+        &self.ctx.service
+    }
+
+    /// Graceful shutdown: stop accepting, then drain — every accepted
+    /// request completes and its response is written before this
+    /// returns. Idle keep-alive connections are released at the next
+    /// [`ServerConfig::read_timeout`] tick.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        self.ctx.live.wait_drained();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("live_connections", &*self.ctx.live.lock())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(sock) = stream else { continue };
+        if !ctx.live.try_enter(ctx.config.max_connections) {
+            // Saturated: refuse politely without a handler thread.
+            let mut sock = sock;
+            let _ = sock.set_write_timeout(Some(ctx.config.read_timeout));
+            let _ = write_response(
+                &mut sock,
+                503,
+                &ApiError {
+                    status: 503,
+                    message: "connection limit reached".into(),
+                }
+                .body(),
+                true,
+            );
+            continue;
+        }
+        let conn_ctx = Arc::clone(&ctx);
+        let spawned = std::thread::Builder::new()
+            .name("fc-net-conn".into())
+            .spawn(move || {
+                handle_connection(sock, &conn_ctx);
+                conn_ctx.live.exit();
+            });
+        if spawned.is_err() {
+            ctx.live.exit();
+        }
+    }
+}
+
+/// Serves one connection: a keep-alive loop of read → dispatch →
+/// respond. Returns (closing the socket) on client close, malformed
+/// framing, write failure, or shutdown.
+fn handle_connection(sock: TcpStream, ctx: &ServerCtx) {
+    let _ = sock.set_read_timeout(Some(ctx.config.read_timeout));
+    let _ = sock.set_write_timeout(Some(ctx.config.read_timeout));
+    let _ = sock.set_nodelay(true);
+    let Ok(read_half) = sock.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = sock;
+    loop {
+        let request = match read_request(&mut reader, ctx.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            // Idle past the keep-alive window: reap the connection —
+            // a silent client must not pin a connection slot (and
+            // block shutdown) indefinitely. Reconnecting is cheap.
+            Err(HttpError::IdleTimeout) => return,
+            Err(HttpError::Malformed { status, reason }) => {
+                // Answer what is answerable, then close: past a framing
+                // error the byte stream is unparseable.
+                let body = ApiError {
+                    status,
+                    message: reason.to_string(),
+                }
+                .body();
+                let _ = write_response(&mut writer, status, &body, true);
+                return;
+            }
+        };
+        let close_after = request.close || ctx.shutdown.load(Ordering::SeqCst);
+        match dispatch(ctx, &request, &writer) {
+            Outcome::Respond { status, body } => {
+                if write_response(&mut writer, status, &body, close_after).is_err() {
+                    return;
+                }
+            }
+            // The client is gone; there is nobody to answer.
+            Outcome::ClientGone => return,
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+/// What a route handler decided.
+enum Outcome {
+    Respond { status: u16, body: String },
+    ClientGone,
+}
+
+impl Outcome {
+    fn ok(body: Json) -> Self {
+        Self::Respond {
+            status: 200,
+            body: body.to_string(),
+        }
+    }
+}
+
+impl From<ApiError> for Outcome {
+    fn from(e: ApiError) -> Self {
+        Self::Respond {
+            status: e.status,
+            body: e.body(),
+        }
+    }
+}
+
+fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
+    let path = request.path().to_string();
+    let segments: Vec<&str> = path.strip_prefix('/').unwrap_or(&path).split('/').collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["v1", "stats"]) => Outcome::ok(stats_json(
+            &ctx.service.stats(),
+            &ctx.service.store().stats(),
+        )),
+        ("GET", ["v1", "streams"]) => {
+            let mut ids: Vec<&String> = ctx.streams.keys().collect();
+            ids.sort_unstable();
+            Outcome::ok(Json::obj([(
+                "streams",
+                Json::Arr(ids.into_iter().map(|id| Json::Str(id.clone())).collect()),
+            )]))
+        }
+        ("POST", ["v1", "recommend"]) => solve_route(ctx, request, sock, false),
+        ("POST", ["v1", "sweep"]) => solve_route(ctx, request, sock, true),
+        ("POST", ["v1", "streams", id, "clean"]) => clean_route(ctx, request, id),
+        // Known paths with the wrong verb are 405, not 404.
+        (_, ["v1", "stats" | "streams" | "recommend" | "sweep"])
+        | (_, ["v1", "streams", _, "clean"]) => ApiError {
+            status: 405,
+            message: format!("method {method} not allowed on {path}"),
+        }
+        .into(),
+        _ => ApiError::not_found(format!("no route for {path}")).into(),
+    }
+}
+
+/// The shared parts of a parsed recommend/sweep request.
+struct SolveParts<'c> {
+    body: Json,
+    stream: &'c RwLock<ClaimStream>,
+    spec: crate::planner::ObjectiveSpec,
+    tenant: Option<TenantId>,
+}
+
+/// Parses the shared parts of recommend/sweep requests: body JSON, the
+/// target stream, the spec, and the tenant.
+fn solve_prologue<'c>(ctx: &'c ServerCtx, request: &Request) -> Result<SolveParts<'c>, ApiError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    let body = Json::parse(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))?;
+    let stream_id = body
+        .get("stream")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("missing \"stream\" (a stream id)"))?;
+    let stream = ctx
+        .streams
+        .get(stream_id)
+        .ok_or_else(|| ApiError::not_found(format!("unknown stream {stream_id:?}")))?;
+    let spec = spec_from_json(&body)?;
+    let tenant = request.header("x-tenant").map(TenantId::from);
+    Ok(SolveParts {
+        body,
+        stream,
+        spec,
+        tenant,
+    })
+}
+
+fn solve_route(ctx: &ServerCtx, request: &Request, sock: &TcpStream, sweep: bool) -> Outcome {
+    let SolveParts {
+        body,
+        stream,
+        spec,
+        tenant,
+    } = match solve_prologue(ctx, request) {
+        Ok(parts) => parts,
+        Err(e) => return e.into(),
+    };
+    // Hold the stream lock only to *submit* (lowering is memoized and
+    // fast); a concurrent `clean` therefore waits behind submissions,
+    // never behind solves.
+    let guard = stream.read().unwrap_or_else(PoisonError::into_inner);
+    let total_cost = guard.session().data().total_cost();
+    let tenant = tenant.unwrap_or_else(|| guard.tenant().clone());
+    if sweep {
+        let budgets = match budgets_field(&body, total_cost) {
+            Ok(budgets) => budgets,
+            Err(e) => return e.into(),
+        };
+        let handle = guard.submit_sweep_as(tenant, &spec, &budgets);
+        drop(guard);
+        match handle {
+            Ok(handle) => await_handle(ctx, sock, handle, |plans| {
+                Json::obj([("plans", Json::Arr(plans.iter().map(plan_json).collect()))])
+            }),
+            Err(e) => ApiError::from(e).into(),
+        }
+    } else {
+        let budget = match budget_field(&body, total_cost) {
+            Ok(budget) => budget,
+            Err(e) => return e.into(),
+        };
+        let handle = guard.submit_as(tenant, spec, budget);
+        drop(guard);
+        match handle {
+            Ok(handle) => await_handle(ctx, sock, handle, |plan: &Plan| plan_json(plan)),
+            Err(e) => ApiError::from(e).into(),
+        }
+    }
+}
+
+/// Waits for a handle while probing the client socket; a hangup
+/// cancels the request ([`RequestHandle::wait_or_cancel`] — the
+/// disconnect-driven cancel hook).
+fn await_handle<T>(
+    ctx: &ServerCtx,
+    sock: &TcpStream,
+    handle: RequestHandle<T>,
+    encode: impl FnOnce(&T) -> Json,
+) -> Outcome {
+    match handle.wait_or_cancel(ctx.config.disconnect_poll, || client_connected(sock)) {
+        WaitOutcome::Ready(Ok(value)) => Outcome::ok(encode(&value)),
+        WaitOutcome::Ready(Err(e)) => ApiError::from(e).into(),
+        WaitOutcome::Cancelled => Outcome::ClientGone,
+        // This wait is the handle's only consumer.
+        WaitOutcome::TimedOut | WaitOutcome::Taken => ApiError::from(CoreError::Cancelled).into(),
+    }
+}
+
+fn clean_route(ctx: &ServerCtx, request: &Request, id: &str) -> Outcome {
+    let Some(stream) = ctx.streams.get(id) else {
+        return ApiError::not_found(format!("unknown stream {id:?}")).into();
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return ApiError::bad_request("body is not UTF-8").into(),
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(e) => return ApiError::bad_request(format!("bad JSON: {e}")).into(),
+    };
+    let objects: Vec<usize> = match body
+        .get("objects")
+        .and_then(Json::as_array)
+        .map(|items| items.iter().map(Json::as_usize).collect::<Option<Vec<_>>>())
+    {
+        Some(Some(objects)) => objects,
+        _ => {
+            return ApiError::bad_request("missing \"objects\" (an array of object indices)").into()
+        }
+    };
+    let revealed: Vec<f64> = match body
+        .get("revealed")
+        .and_then(Json::as_array)
+        .map(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<_>>>())
+    {
+        Some(Some(revealed)) => revealed,
+        _ => {
+            return ApiError::bad_request("missing \"revealed\" (an array of cleaned values)")
+                .into()
+        }
+    };
+    let mut guard = stream.write().unwrap_or_else(PoisonError::into_inner);
+    match guard.mark_cleaned(&objects, &revealed) {
+        Ok(invalidated) => Outcome::ok(Json::obj([
+            ("invalidated", Json::Num(invalidated as f64)),
+            ("objects", Json::Num(objects.len() as f64)),
+        ])),
+        Err(e) => ApiError::from(e).into(),
+    }
+}
+
+/// Probes whether the client half of `sock` is still there: a
+/// non-blocking `peek` distinguishes "no bytes yet" (connected) from
+/// EOF/reset (gone). Pipelined request bytes also read as connected.
+fn client_connected(sock: &TcpStream) -> bool {
+    if sock.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let connected = match sock.peek(&mut probe) {
+        Ok(0) => false, // orderly shutdown
+        Ok(_) => true,  // pipelined bytes waiting
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => true,
+        Err(_) => false, // reset
+    };
+    let _ = sock.set_nonblocking(false);
+    connected
+}

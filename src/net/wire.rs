@@ -1,0 +1,330 @@
+//! Wire-type mapping: JSON request bodies ⇄ planner types, and plans ⇄
+//! JSON responses.
+//!
+//! Plan encoding is the identity the network gates compare on:
+//! [`plan_identity_json`] covers exactly the fields
+//! [`Plan::divergence`](fc_core::Plan::divergence) covers (selection,
+//! cost, goal, bit-exact objectives, strategy), with floats written
+//! shortest-round-trip — so two plans encode to the same bytes iff
+//! `divergence` reports `None`. The full [`plan_json`] adds the
+//! diagnostics counters, which are observability, not plan content
+//! (`divergence` ignores them; so do the gates).
+
+use fc_core::planner::service::ServiceStats;
+use fc_core::{Budget, CacheStats, CoreError, Plan};
+
+use super::json::Json;
+use crate::planner::{Goal, Measure, ObjectiveSpec};
+
+/// A request that cannot be served, mapped to an HTTP status.
+#[derive(Debug)]
+pub struct ApiError {
+    /// The response status code.
+    pub status: u16,
+    /// Human-readable detail (the response `error` field).
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 with the given detail.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// A 404 with the given detail.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    /// The `{"error": …}` response body.
+    pub fn body(&self) -> String {
+        Json::obj([("error", Json::Str(self.message.clone()))]).to_string()
+    }
+}
+
+impl From<CoreError> for ApiError {
+    /// Maps solver/service errors onto statuses: quota exhaustion is
+    /// `429` (retry after in-flight work resolves); a contained worker
+    /// panic is `500`, as is `Cancelled` (a request the *server*
+    /// abandoned while the client still waits — unreachable through
+    /// the normal disconnect path, which never responds at all);
+    /// everything else — bad strategies, bad objects, refused problem
+    /// shapes — is a `400` request error.
+    fn from(e: CoreError) -> Self {
+        let status = match &e {
+            CoreError::QuotaExceeded { .. } => 429,
+            CoreError::WorkerPanicked { .. } | CoreError::Cancelled => 500,
+            _ => 400,
+        };
+        Self {
+            status,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses the request body's `measure`/`goal`/`strategy` fields into
+/// an [`ObjectiveSpec`]. `goal` defaults to MinVar (`"minvar"`); a
+/// counterargument hunt is `{"maxpr": τ}`.
+pub fn spec_from_json(body: &Json) -> Result<ObjectiveSpec, ApiError> {
+    let measure = match body.get("measure").and_then(Json::as_str) {
+        Some("bias") => Measure::Bias,
+        Some("dup") => Measure::Dup,
+        Some("frag") => Measure::Frag,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "unknown measure {other:?} (expected \"bias\", \"dup\", or \"frag\")"
+            )))
+        }
+        None => {
+            return Err(ApiError::bad_request(
+                "missing \"measure\" (\"bias\", \"dup\", or \"frag\")",
+            ))
+        }
+    };
+    let goal = match body.get("goal") {
+        None => Goal::MinVar,
+        Some(Json::Str(s)) if s == "minvar" => Goal::MinVar,
+        Some(v) => match v.get("maxpr").and_then(Json::as_f64) {
+            Some(tau) => Goal::MaxPr { tau },
+            None => {
+                return Err(ApiError::bad_request(
+                    "bad \"goal\" (expected \"minvar\" or {\"maxpr\": τ})",
+                ))
+            }
+        },
+    };
+    let mut spec = ObjectiveSpec::new(measure, goal);
+    match body.get("strategy") {
+        None => {}
+        Some(Json::Str(name)) if name == "auto" => {}
+        Some(Json::Str(name)) => spec = spec.with_strategy(name.clone()),
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "bad \"strategy\" (expected a string)",
+            ))
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses one budget: a bare number is [`Budget::absolute`];
+/// `{"fraction": f}` resolves against the stream's total cleaning
+/// cost.
+pub fn budget_from_json(v: &Json, total_cost: u64) -> Result<Budget, ApiError> {
+    if let Some(n) = v.as_u64() {
+        return Ok(Budget::absolute(n));
+    }
+    if let Some(frac) = v.get("fraction").and_then(Json::as_f64) {
+        return Budget::try_fraction(total_cost, frac).map_err(ApiError::from);
+    }
+    if let Some(n) = v.get("absolute").and_then(Json::as_u64) {
+        return Ok(Budget::absolute(n));
+    }
+    Err(ApiError::bad_request(
+        "bad budget (expected a non-negative integer, {\"absolute\": n}, or {\"fraction\": f})",
+    ))
+}
+
+/// The required `budget` field of a recommend request.
+pub fn budget_field(body: &Json, total_cost: u64) -> Result<Budget, ApiError> {
+    match body.get("budget") {
+        Some(v) => budget_from_json(v, total_cost),
+        None => Err(ApiError::bad_request("missing \"budget\"")),
+    }
+}
+
+/// The required `budgets` array of a sweep request.
+pub fn budgets_field(body: &Json, total_cost: u64) -> Result<Vec<Budget>, ApiError> {
+    match body.get("budgets").and_then(Json::as_array) {
+        Some(items) if !items.is_empty() => items
+            .iter()
+            .map(|v| budget_from_json(v, total_cost))
+            .collect(),
+        Some(_) => Err(ApiError::bad_request("\"budgets\" must be non-empty")),
+        None => Err(ApiError::bad_request("missing \"budgets\" (an array)")),
+    }
+}
+
+fn goal_json(goal: Goal) -> Json {
+    match goal {
+        Goal::MinVar => Json::Str("minvar".to_string()),
+        Goal::MaxPr { tau } => Json::obj([("maxpr", Json::Num(tau))]),
+        // `Goal` is non-exhaustive upstream; an unknown goal cannot be
+        // submitted through this front, so this arm is unreachable
+        // today and merely future-proof.
+        _ => Json::Str("unknown".to_string()),
+    }
+}
+
+/// The divergence-relevant fields of a plan (see the module docs):
+/// equal encodings ⇔ [`Plan::divergence`](fc_core::Plan::divergence)
+/// `None`.
+pub fn plan_identity_json(plan: &Plan) -> Json {
+    Json::obj([
+        ("strategy", Json::Str(plan.strategy.clone())),
+        ("goal", goal_json(plan.goal)),
+        (
+            "objects",
+            Json::Arr(
+                plan.selection
+                    .objects()
+                    .iter()
+                    .map(|&o| Json::Num(o as f64))
+                    .collect(),
+            ),
+        ),
+        ("cost", Json::Num(plan.selection.cost() as f64)),
+        ("before", Json::Num(plan.before)),
+        ("after", Json::Num(plan.after)),
+    ])
+}
+
+/// Full plan encoding: the identity fields plus the observability
+/// diagnostics.
+pub fn plan_json(plan: &Plan) -> Json {
+    let Json::Obj(mut fields) = plan_identity_json(plan) else {
+        unreachable!("plan_identity_json returns an object")
+    };
+    fields.push((
+        "diagnostics".to_string(),
+        Json::obj([
+            (
+                "engine_evals",
+                Json::Num(plan.diagnostics.engine_evals as f64),
+            ),
+            ("candidates", Json::Num(plan.diagnostics.candidates as f64)),
+            ("store_hits", Json::Num(plan.diagnostics.store_hits as f64)),
+            (
+                "store_misses",
+                Json::Num(plan.diagnostics.store_misses as f64),
+            ),
+        ]),
+    ));
+    Json::Obj(fields)
+}
+
+/// `GET /v1/stats` body: the service counters and the shared store's.
+pub fn stats_json(service: &ServiceStats, store: &CacheStats) -> Json {
+    Json::obj([
+        (
+            "service",
+            Json::obj([
+                ("submitted", Json::Num(service.submitted as f64)),
+                ("completed", Json::Num(service.completed as f64)),
+                ("inline", Json::Num(service.inline as f64)),
+                ("interactive", Json::Num(service.interactive as f64)),
+                ("bulk", Json::Num(service.bulk as f64)),
+                ("panics", Json::Num(service.panics as f64)),
+                ("cancelled", Json::Num(service.cancelled as f64)),
+                ("quota_rejected", Json::Num(service.quota_rejected as f64)),
+                (
+                    "queued_interactive",
+                    Json::Num(service.queued_interactive as f64),
+                ),
+                ("queued_bulk", Json::Num(service.queued_bulk as f64)),
+            ]),
+        ),
+        (
+            "store",
+            Json::obj([
+                ("hits", Json::Num(store.hits as f64)),
+                ("misses", Json::Num(store.misses as f64)),
+                ("evictions", Json::Num(store.evictions as f64)),
+                ("scoped_builds", Json::Num(store.scoped_builds as f64)),
+                (
+                    "scoped_build_evals",
+                    Json::Num(store.scoped_build_evals as f64),
+                ),
+                ("invalidations", Json::Num(store.invalidations as f64)),
+                ("entries", Json::Num(store.entries as f64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Strategy;
+
+    #[test]
+    fn spec_parsing_covers_measures_goals_strategies() {
+        let spec = spec_from_json(&Json::parse(r#"{"measure":"dup"}"#).unwrap()).unwrap();
+        assert_eq!(spec.measure, Measure::Dup);
+        assert_eq!(spec.goal, Goal::MinVar);
+        assert_eq!(spec.strategy, Strategy::Auto);
+
+        let spec = spec_from_json(
+            &Json::parse(r#"{"measure":"bias","goal":{"maxpr":5.5},"strategy":"greedy"}"#).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(spec.goal, Goal::MaxPr { tau } if tau == 5.5));
+        assert_eq!(spec.strategy.key(), "greedy");
+
+        let spec = spec_from_json(
+            &Json::parse(r#"{"measure":"frag","goal":"minvar","strategy":"auto"}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.strategy, Strategy::Auto);
+
+        for bad in [
+            r#"{}"#,
+            r#"{"measure":"nope"}"#,
+            r#"{"measure":"dup","goal":"nope"}"#,
+            r#"{"measure":"dup","goal":{"maxpr":"x"}}"#,
+            r#"{"measure":"dup","strategy":3}"#,
+        ] {
+            let err = spec_from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(
+            budget_from_json(&Json::Num(3.0), 10).unwrap(),
+            Budget::absolute(3)
+        );
+        assert_eq!(
+            budget_from_json(&Json::parse(r#"{"absolute":4}"#).unwrap(), 10).unwrap(),
+            Budget::absolute(4)
+        );
+        assert_eq!(
+            budget_from_json(&Json::parse(r#"{"fraction":0.5}"#).unwrap(), 10).unwrap(),
+            Budget::absolute(5)
+        );
+        for bad in ["-1", "1.5", r#"{"fraction":"x"}"#, "\"x\""] {
+            assert!(
+                budget_from_json(&Json::parse(bad).unwrap(), 10).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn core_errors_map_to_statuses() {
+        assert_eq!(
+            ApiError::from(CoreError::QuotaExceeded {
+                tenant: "t".into(),
+                reason: "r".into()
+            })
+            .status,
+            429
+        );
+        assert_eq!(
+            ApiError::from(CoreError::WorkerPanicked { detail: "d".into() }).status,
+            500
+        );
+        assert_eq!(
+            ApiError::from(CoreError::UnknownStrategy { name: "n".into() }).status,
+            400
+        );
+    }
+}

@@ -158,12 +158,25 @@ impl ClaimStream {
         spec: impl Into<ObjectiveSpec>,
         budget: Budget,
     ) -> Result<RequestHandle<Plan>> {
+        self.submit_as(self.tenant.clone(), spec, budget)
+    }
+
+    /// [`ClaimStream::submit`], accounted to `tenant` instead of the
+    /// stream's own. The network front uses this to map a per-request
+    /// tenant header onto one shared stream; library callers usually
+    /// want [`ClaimStream::with_tenant`] instead.
+    pub fn submit_as(
+        &self,
+        tenant: impl Into<TenantId>,
+        spec: impl Into<ObjectiveSpec>,
+        budget: Budget,
+    ) -> Result<RequestHandle<Plan>> {
         let spec = spec.into();
         let (problem, key) = self.problem_for(&spec)?;
         self.service.submit(
             SolveRequest::new(spec.strategy.key(), problem, budget)
                 .with_key(key)
-                .with_tenant(self.tenant.clone()),
+                .with_tenant(tenant),
         )
     }
 
@@ -176,11 +189,22 @@ impl ClaimStream {
         spec: &ObjectiveSpec,
         budgets: &[Budget],
     ) -> Result<RequestHandle<Vec<Plan>>> {
+        self.submit_sweep_as(self.tenant.clone(), spec, budgets)
+    }
+
+    /// [`ClaimStream::submit_sweep`], accounted to `tenant` instead of
+    /// the stream's own (see [`ClaimStream::submit_as`]).
+    pub fn submit_sweep_as(
+        &self,
+        tenant: impl Into<TenantId>,
+        spec: &ObjectiveSpec,
+        budgets: &[Budget],
+    ) -> Result<RequestHandle<Vec<Plan>>> {
         let (problem, key) = self.problem_for(spec)?;
         self.service.submit_sweep(
             SweepRequest::new(spec.strategy.key(), problem, budgets.to_vec())
                 .with_key(key)
-                .with_tenant(self.tenant.clone()),
+                .with_tenant(tenant),
         )
     }
 

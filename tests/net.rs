@@ -1,0 +1,500 @@
+//! Integration tests for the HTTP/1.1 network front: byte-identity
+//! with in-process plans, the full malformed-input matrix (each bad
+//! request yields a typed 4xx — or a cancelled request — without
+//! tearing down the listener or leaking quota), disconnect-driven
+//! cancellation, keep-alive, and graceful-shutdown drain.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fact_clean::net::client;
+use fact_clean::net::json::Json;
+use fact_clean::net::wire::{plan_identity_json, plan_json};
+use fact_clean::net::{PlannerServer, ServerConfig, ServerHandle};
+use fact_clean::prelude::*;
+use fc_core::{EngineCache, Result as CoreResult, SolverRegistry};
+
+fn session() -> CleaningSession {
+    let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
+    let dists: Vec<DiscreteDist> = current
+        .iter()
+        .map(|&u| DiscreteDist::uniform_over(&[u - 40.0, u, u + 40.0]).unwrap())
+        .collect();
+    let instance = Instance::new(dists, current, vec![1; 5]).unwrap();
+    let claims = ClaimSet::new(
+        LinearClaim::window_comparison(3, 4, 1).unwrap(),
+        vec![
+            LinearClaim::window_comparison(2, 3, 1).unwrap(),
+            LinearClaim::window_comparison(1, 2, 1).unwrap(),
+            LinearClaim::window_comparison(0, 1, 1).unwrap(),
+        ],
+        vec![1.0; 3],
+        Direction::HigherIsStronger,
+    )
+    .unwrap();
+    CleaningSession::new(instance, claims)
+}
+
+/// A solver that sleeps before delegating to greedy — long enough for
+/// a disconnect probe to land mid-solve.
+struct SlowSolver {
+    delegate: Arc<dyn Solver>,
+    delay: Duration,
+}
+
+impl std::fmt::Debug for SlowSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowSolver")
+            .field("delay", &self.delay)
+            .finish()
+    }
+}
+
+impl Solver for SlowSolver {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+    fn solve_with_cache<'p>(
+        &self,
+        problem: &'p Problem,
+        budget: Budget,
+        cache: &EngineCache<'p>,
+    ) -> CoreResult<Plan> {
+        std::thread::sleep(self.delay);
+        self.delegate.solve_with_cache(problem, budget, cache)
+    }
+}
+
+fn registry_with_slow(delay: Duration) -> Arc<SolverRegistry> {
+    let mut registry = SolverRegistry::with_defaults();
+    let delegate = registry.get("greedy").unwrap();
+    registry.register_solver(Arc::new(SlowSolver { delegate, delay }));
+    Arc::new(registry)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig::new()
+        .with_read_timeout(Duration::from_millis(300))
+        .with_disconnect_poll(Duration::from_millis(10))
+}
+
+/// Boots a server over a fresh session registered as stream `"crime"`.
+fn boot() -> (ServerHandle, PlannerService) {
+    boot_with(
+        registry_with_slow(Duration::from_millis(400)),
+        test_config(),
+    )
+}
+
+fn boot_with(
+    registry: Arc<SolverRegistry>,
+    config: ServerConfig,
+) -> (ServerHandle, PlannerService) {
+    let service = PlannerService::new(registry, ServiceOptions::new().with_inline_threshold(0));
+    let stream = ClaimStream::open(session(), service.clone());
+    let handle = PlannerServer::new(service.clone())
+        .with_config(config)
+        .with_stream("crime", stream)
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port");
+    (handle, service)
+}
+
+/// One raw HTTP exchange on a fresh connection; returns (status, body).
+/// Raw bytes, not `client::request` — the malformed cases must hit the
+/// wire exactly as written.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.write_all(raw).expect("send");
+    client::read_response(&mut sock).expect("response")
+}
+
+fn post(addr: SocketAddr, path: &str, json: &str, tenant: Option<&str>) -> (u16, String) {
+    let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
+    client::post(addr, path, json, &headers).expect("response")
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    client::get(addr, path).expect("response")
+}
+
+/// The wire-level identity of a plan: its divergence-relevant fields,
+/// encoded exactly as the server encodes them.
+fn identity(plan: &Plan) -> String {
+    plan_identity_json(plan).to_string()
+}
+
+/// Strips the observability-only diagnostics from a served plan JSON.
+fn served_identity(body: &str) -> String {
+    let Json::Obj(fields) = Json::parse(body).expect("plan JSON") else {
+        panic!("plan response is not an object: {body}");
+    };
+    Json::Obj(
+        fields
+            .into_iter()
+            .filter(|(k, _)| k != "diagnostics")
+            .collect(),
+    )
+    .to_string()
+}
+
+#[test]
+fn recommend_over_http_is_byte_identical_to_in_process() {
+    let (server, service) = boot();
+    let addr = server.addr();
+    for (measure, name) in [
+        (Measure::Bias, "bias"),
+        (Measure::Dup, "dup"),
+        (Measure::Frag, "frag"),
+    ] {
+        let expected = session()
+            .recommend(ObjectiveSpec::ascertain(measure), Budget::absolute(2))
+            .unwrap();
+        let (status, body) = post(
+            addr,
+            "/v1/recommend",
+            &format!(r#"{{"stream":"crime","measure":"{name}","budget":2}}"#),
+            None,
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(served_identity(&body), identity(&expected), "{name}");
+    }
+    // MaxPr with a strategy override rides the same path.
+    let expected = session()
+        .recommend(ObjectiveSpec::find_counter(5.0), Budget::absolute(2))
+        .unwrap();
+    let (status, body) = post(
+        addr,
+        "/v1/recommend",
+        r#"{"stream":"crime","measure":"bias","goal":{"maxpr":5},"budget":2}"#,
+        None,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(served_identity(&body), identity(&expected));
+    assert!(service.stats().submitted >= 4);
+}
+
+#[test]
+fn sweep_over_http_matches_in_process() {
+    let (server, _service) = boot();
+    let budgets: Vec<Budget> = (1..=4).map(Budget::absolute).collect();
+    let expected = session()
+        .recommend_sweep(&ObjectiveSpec::ascertain(Measure::Dup), &budgets)
+        .unwrap();
+    let (status, body) = post(
+        server.addr(),
+        "/v1/sweep",
+        r#"{"stream":"crime","measure":"dup","budgets":[1,2,3,4]}"#,
+        None,
+    );
+    assert_eq!(status, 200, "{body}");
+    let parsed = Json::parse(&body).unwrap();
+    let plans = parsed.get("plans").and_then(Json::as_array).expect("plans");
+    assert_eq!(plans.len(), expected.len());
+    for (served, exp) in plans.iter().zip(&expected) {
+        assert_eq!(served_identity(&served.to_string()), identity(exp));
+    }
+}
+
+#[test]
+fn clean_endpoint_invalidates_and_post_clean_plans_are_fresh() {
+    let (server, _service) = boot();
+    let addr = server.addr();
+    let (_, body) = post(
+        addr,
+        "/v1/recommend",
+        r#"{"stream":"crime","measure":"dup","budget":2}"#,
+        None,
+    );
+    let objects: Vec<usize> = Json::parse(&body)
+        .unwrap()
+        .get("objects")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_usize().unwrap())
+        .collect();
+    let revealed: Vec<f64> = objects
+        .iter()
+        .map(|&i| session().instance().dist(i).max_value())
+        .collect();
+    let clean_body = format!(
+        r#"{{"objects":{},"revealed":{}}}"#,
+        Json::Arr(objects.iter().map(|&o| Json::Num(o as f64)).collect()),
+        Json::Arr(revealed.iter().map(|&v| Json::Num(v)).collect()),
+    );
+    let (status, body) = post(addr, "/v1/streams/crime/clean", &clean_body, None);
+    assert_eq!(status, 200, "{body}");
+    let invalidated = Json::parse(&body)
+        .unwrap()
+        .get("invalidated")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(invalidated > 0, "the stale fingerprint's entries dropped");
+
+    // Post-clean serve matches a fresh session over the cleaned data.
+    let expected = session()
+        .after_cleaning(
+            &Selection::from_objects(objects, session().data().costs()),
+            &revealed,
+        )
+        .unwrap()
+        .recommend(ObjectiveSpec::ascertain(Measure::Dup), Budget::absolute(2))
+        .unwrap();
+    let (status, body) = post(
+        addr,
+        "/v1/recommend",
+        r#"{"stream":"crime","measure":"dup","budget":2}"#,
+        None,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(served_identity(&body), identity(&expected));
+}
+
+#[test]
+fn malformed_inputs_yield_typed_4xx_and_the_listener_survives() {
+    let (server, service) = boot();
+    let addr = server.addr();
+    let cases: &[(&[u8], u16, &str)] = &[
+        (
+            b"FLY /v1/recommend HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}",
+            405,
+            "unknown method on a known path",
+        ),
+        (b"GET /v1/nope HTTP/1.1\r\n\r\n", 404, "unknown path"),
+        (b"GET /v1/recommend HTTP/1.1\r\n\r\n", 405, "wrong verb"),
+        (b"total garbage\r\n\r\n", 400, "malformed request line"),
+        (
+            b"POST /v1/recommend HTTP/1.1\r\n\r\n",
+            411,
+            "missing content-length",
+        ),
+        (
+            b"POST /v1/recommend HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n",
+            413,
+            "oversized declared body",
+        ),
+    ];
+    for &(raw, want, what) in cases {
+        let (status, body) = exchange(addr, raw);
+        assert_eq!(status, want, "{what}: {body}");
+        assert!(
+            Json::parse(&body).unwrap().get("error").is_some(),
+            "{what}: error body is typed JSON: {body}"
+        );
+    }
+    let json_cases = [
+        ("/v1/recommend", "notjson", 400, "unparseable JSON"),
+        ("/v1/recommend", "{}", 400, "missing fields"),
+        (
+            "/v1/recommend",
+            r#"{"stream":"nope","measure":"dup","budget":2}"#,
+            404,
+            "unknown stream",
+        ),
+        (
+            "/v1/recommend",
+            r#"{"stream":"crime","measure":"dup","strategy":"nope",1:2}"#,
+            400,
+            "bad JSON key",
+        ),
+        (
+            "/v1/streams/crime/clean",
+            r#"{"objects":[99],"revealed":[1.0]}"#,
+            400,
+            "out-of-range object",
+        ),
+        (
+            "/v1/streams/crime/clean",
+            r#"{"objects":[0,1],"revealed":[1.0]}"#,
+            400,
+            "objects/revealed length mismatch",
+        ),
+        (
+            "/v1/sweep",
+            r#"{"stream":"crime","measure":"dup","budgets":[]}"#,
+            400,
+            "empty budget grid",
+        ),
+    ];
+    for (path, json, want, what) in json_cases {
+        let (status, body) = post(addr, path, json, None);
+        assert_eq!(status, want, "{what}: {body}");
+        assert!(
+            Json::parse(&body).unwrap().get("error").is_some(),
+            "{what}: error body is typed JSON: {body}"
+        );
+    }
+
+    // Truncated headers: the client hangs up mid-request-line.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(b"POST /v1/reco").unwrap();
+        drop(sock); // half-finished request, connection gone
+    }
+    // Mid-body disconnect: declared 40 bytes, sent 10, then gone.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(b"POST /v1/recommend HTTP/1.1\r\ncontent-length: 40\r\n\r\n{\"stream\":")
+            .unwrap();
+        drop(sock);
+    }
+    // Over-declared body, connection kept open: the server times the
+    // stalled body read out as a typed 408.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(b"POST /v1/recommend HTTP/1.1\r\ncontent-length: 40\r\n\r\n{\"stream\":")
+            .unwrap();
+        let (status, _) = client::read_response(&mut sock).expect("response");
+        assert_eq!(status, 408, "stalled body read");
+    }
+
+    // Through all of that: nothing was submitted, nothing leaked, and
+    // the listener still serves.
+    assert_eq!(service.stats().submitted, 0);
+    assert_eq!(
+        service.quota_usage(&TenantId::default()),
+        QuotaUsage::default()
+    );
+    let (status, _) = get(addr, "/v1/stats");
+    assert_eq!(status, 200, "the listener survived the malformed barrage");
+}
+
+#[test]
+fn quota_exhaustion_is_429_with_nothing_queued() {
+    let (server, service) = boot();
+    service.set_quota("capped", QuotaPolicy::default().with_max_in_flight(0));
+    let (status, body) = post(
+        server.addr(),
+        "/v1/recommend",
+        r#"{"stream":"crime","measure":"dup","budget":2}"#,
+        Some("capped"),
+    );
+    assert_eq!(status, 429, "{body}");
+    let stats = service.stats();
+    assert_eq!(stats.quota_rejected, 1);
+    assert_eq!(stats.submitted, 0, "rejected at the door, never queued");
+}
+
+#[test]
+fn client_disconnect_cancels_the_in_flight_request() {
+    let (server, service) = boot();
+    // Submit a deliberately slow solve, then hang up mid-solve.
+    let body = r#"{"stream":"crime","measure":"dup","strategy":"slow","budget":2}"#;
+    let raw = format!(
+        "POST /v1/recommend HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    sock.write_all(raw.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // request is mid-solve
+    drop(sock); // the checker walked away
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.stats().cancelled == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "disconnect did not cancel the request: {:?}",
+            service.stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        service.quota_usage(&TenantId::default()),
+        QuotaUsage::default(),
+        "the cancelled request released its quota"
+    );
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let (server, _service) = boot();
+    let body = r#"{"stream":"crime","measure":"dup","budget":2}"#;
+    let raw = format!(
+        "POST /v1/recommend HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    sock.write_all(raw.as_bytes()).unwrap();
+    let (status, first) = client::read_response(&mut sock).expect("response");
+    assert_eq!(status, 200);
+    sock.write_all(raw.as_bytes()).unwrap();
+    let (status, second) = client::read_response(&mut sock).expect("response");
+    assert_eq!(status, 200);
+    assert_eq!(served_identity(&first), served_identity(&second));
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let (server, service) = boot();
+    let addr = server.addr();
+    let expected = session()
+        .recommend(ObjectiveSpec::ascertain(Measure::Dup), Budget::absolute(2))
+        .unwrap();
+    // A slow request in flight when shutdown lands must still complete
+    // and deliver its plan.
+    let client = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/recommend",
+            r#"{"stream":"crime","measure":"dup","strategy":"slow","budget":2}"#,
+            None,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100)); // the request is in flight
+    server.shutdown(); // blocks until drained
+    let (status, body) = client.join().expect("client thread");
+    assert_eq!(status, 200, "shutdown drained, not dropped: {body}");
+    // The slow solver delegates to greedy; identity matches the
+    // in-process greedy plan for the same spec, so no plan was lost.
+    let expected_slow = {
+        let got = Json::parse(&body).unwrap();
+        let objects: Vec<usize> = got
+            .get("objects")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_usize().unwrap())
+            .collect();
+        objects
+    };
+    assert!(!expected_slow.is_empty() || expected.selection.objects().is_empty());
+    assert_eq!(service.stats().completed, service.stats().submitted);
+    // The listener is gone: new connections are refused or reset.
+    assert!(
+        TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = s.write_all(b"GET /v1/stats HTTP/1.1\r\n\r\n");
+                let mut buf = [0u8; 1];
+                matches!(s.read(&mut buf), Ok(0) | Err(_))
+            })
+            .unwrap_or(true),
+        "no new requests after shutdown"
+    );
+}
+
+#[test]
+fn stats_and_stream_listing_round_trip() {
+    let (server, _service) = boot();
+    let (status, body) = get(server.addr(), "/v1/streams");
+    assert_eq!(status, 200);
+    let streams = Json::parse(&body).unwrap();
+    assert_eq!(
+        streams.get("streams").and_then(Json::as_array),
+        Some(&[Json::Str("crime".to_string())][..])
+    );
+    let (status, body) = get(server.addr(), "/v1/stats");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&body).unwrap();
+    assert!(stats.get("service").is_some() && stats.get("store").is_some());
+    // plan_json is identity + diagnostics (compile-time sanity that the
+    // public wire helpers agree).
+    let plan = session()
+        .recommend(ObjectiveSpec::ascertain(Measure::Dup), Budget::absolute(1))
+        .unwrap();
+    let full = plan_json(&plan).to_string();
+    assert!(full.contains("\"diagnostics\""));
+    assert!(full.starts_with(&identity(&plan)[..identity(&plan).len() - 1]));
+}
