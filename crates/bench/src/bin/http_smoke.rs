@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fact_clean::net::client;
+use fact_clean::net::client::{self, ClientPool};
 use fact_clean::net::json::Json;
 use fact_clean::net::wire::plan_identity_json;
 use fact_clean::net::{PlannerServer, ServerConfig};
@@ -104,11 +104,14 @@ impl Solver for SlowSolver {
 
 // ------------------------------------------------------------- client
 
-/// `client::post` with an optional tenant header, panicking on I/O
-/// failure (this gate treats transport errors as test failures).
-fn post(addr: SocketAddr, path: &str, json: &str, tenant: Option<&str>) -> (u16, String) {
+/// [`ClientPool::post`] with an optional tenant header, panicking on
+/// I/O failure (this gate treats transport errors as test failures).
+/// Riding the pool keeps the keep-alive reuse path itself under test —
+/// the server's 500ms read timeout reaps parked connections between
+/// phases, so the pool's stale-retry fires for real here.
+fn post(pool: &ClientPool, path: &str, json: &str, tenant: Option<&str>) -> (u16, String) {
     let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
-    client::post(addr, path, json, &headers).expect("response")
+    pool.post(path, json, &headers).expect("response")
 }
 
 /// Sends a request and abandons the socket without reading the
@@ -191,6 +194,7 @@ fn main() -> ExitCode {
         .serve("127.0.0.1:0")
         .expect("bind ephemeral port");
     let addr = server.addr();
+    let pool = Arc::new(ClientPool::new(addr).expect("pool over bound address"));
 
     let failed = AtomicBool::new(false);
     let fail = |what: &str| {
@@ -226,10 +230,11 @@ fn main() -> ExitCode {
         let failed = &failed;
         let expected_many = &expected_many;
         let expected_sweep = &expected_sweep;
+        let pool = &pool;
         // One sweep rides along with the interactive submitters.
         s.spawn(move || {
             let body = r#"{"stream":"a","measure":"dup","budgets":[{"fraction":0.05},{"fraction":0.1},{"fraction":0.15},{"fraction":0.2}]}"#;
-            let (status, text) = post(addr, "/v1/sweep", body, None);
+            let (status, text) = post(pool, "/v1/sweep", body, None);
             if status != 200 {
                 eprintln!("FAIL sweep: status {status}: {text}");
                 failed.store(true, Ordering::Relaxed);
@@ -254,7 +259,7 @@ fn main() -> ExitCode {
             s.spawn(move || {
                 for ((_, fields), expected) in specs().iter().zip(expected_many) {
                     let body = format!(r#"{{"stream":"a",{fields},"budget":{budget_json}}}"#);
-                    let (status, text) = post(addr, "/v1/recommend", &body, None);
+                    let (status, text) = post(pool, "/v1/recommend", &body, None);
                     if status != 200 {
                         eprintln!("FAIL recommend: status {status}: {text}");
                         failed.store(true, Ordering::Relaxed);
@@ -283,7 +288,7 @@ fn main() -> ExitCode {
 
     // --- 2. cleaning over the wire: surgical invalidation ------------
     let (status, warm_b_text) = post(
-        addr,
+        &pool,
         "/v1/recommend",
         &format!(r#"{{"stream":"b","measure":"dup","budget":{budget_json}}}"#),
         None,
@@ -312,7 +317,7 @@ fn main() -> ExitCode {
         ),
         Json::Arr(revealed.iter().map(|&v| Json::Num(v)).collect()),
     );
-    let (status, text) = post(addr, "/v1/streams/a/clean", &clean_body, None);
+    let (status, text) = post(&pool, "/v1/streams/a/clean", &clean_body, None);
     let invalidated = Json::parse(&text)
         .ok()
         .and_then(|v| v.get("invalidated").and_then(Json::as_u64))
@@ -331,7 +336,7 @@ fn main() -> ExitCode {
     for (spec, fields) in &specs() {
         let expected = identity(&fresh.recommend(spec.clone(), budget).expect("fresh twin"));
         let body = format!(r#"{{"stream":"a",{fields},"budget":{budget_json}}}"#);
-        let (status, text) = post(addr, "/v1/recommend", &body, None);
+        let (status, text) = post(&pool, "/v1/recommend", &body, None);
         let served = Json::parse(&text).expect("post-clean JSON");
         if status != 200 || served_identity(&served) != expected {
             fail(&format!(
@@ -344,7 +349,7 @@ fn main() -> ExitCode {
     // Stream B must still be warm: identical plan, zero store misses
     // reported in its own response diagnostics.
     let (status, again_b_text) = post(
-        addr,
+        &pool,
         "/v1/recommend",
         &format!(r#"{{"stream":"b","measure":"dup","budget":{budget_json}}}"#),
         None,
@@ -394,6 +399,7 @@ fn main() -> ExitCode {
         let rejected = &rejected;
         let failed = &failed;
         let fresh = &fresh;
+        let pool = &pool;
         for thread in 0..3usize {
             s.spawn(move || {
                 for i in 0..6usize {
@@ -411,7 +417,7 @@ fn main() -> ExitCode {
                             Duration::ZERO,
                         );
                     } else {
-                        let (status, text) = post(addr, "/v1/recommend", &body, Some("storm"));
+                        let (status, text) = post(pool, "/v1/recommend", &body, Some("storm"));
                         match status {
                             200 => {
                                 let served = Json::parse(&text).expect("storm JSON");
@@ -481,9 +487,10 @@ fn main() -> ExitCode {
             )
             .expect("greedy twin"),
     );
+    let shutdown_pool = Arc::clone(&pool);
     let in_flight = std::thread::spawn(move || {
         post(
-            addr,
+            &shutdown_pool,
             "/v1/recommend",
             r#"{"stream":"a","measure":"dup","strategy":"slow","budget":2}"#,
             None,

@@ -1,0 +1,400 @@
+//! `load_replay` — the trace-driven load harness: boots the HTTP/1.1
+//! front over three real streams, replays a seeded multi-tenant trace
+//! through it (mixed recommend/sweep/clean ops, per-request deadlines,
+//! a mid-flight abandonment mix), and records the run as
+//! `BENCH_serve.json`.
+//!
+//! The binary **fails (exit 1)** if
+//!
+//! * trace generation is not a pure function of (spec, seed), or the
+//!   `--smoke` trace at the default seed diverges from the checked-in
+//!   fixture `crates/load/fixtures/smoke.trace` (byte identity — the
+//!   workload the recorded trajectory describes must be pinned), or
+//! * the post-drain invariants drift: every submitted request must
+//!   resolve (completed + cancelled = submitted), every gauge
+//!   (`in_flight`, running/queued per lane) must read zero, every
+//!   tenant ledger must read zero, and client-observed outcomes must
+//!   not exceed the server's counters, or
+//! * a `BENCH_budget.json` is present and the run exceeds its latency
+//!   ceilings (deliberately loose — the gate catches order-of-magnitude
+//!   regressions, not jitter).
+//!
+//! Run `--smoke` for the CI-sized trace; `--write-fixture` regenerates
+//! the checked-in smoke fixture after a deliberate workload change.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fact_clean::net::client;
+use fact_clean::net::json::Json;
+use fact_clean::net::{PlannerServer, ServerConfig};
+use fact_clean::prelude::*;
+use fc_claims::window_sum_family;
+use fc_core::{EngineCache, Result as CoreResult, SolverRegistry};
+use fc_datasets::adoptions::adoptions_gaussian;
+use fc_datasets::cdc::cdc_firearms_gaussian;
+use fc_datasets::synthetic::urx;
+use fc_datasets::workloads::LAMBDA;
+use fc_load::gen::{generate, Arrival, OpTemplate, TenantProfile, TraceSpec};
+use fc_load::replay::{fnv64, replay, ReplayConfig, StreamTarget};
+use fc_load::report::{bench_json, budget_violations, invariant_violations, RunFingerprint};
+use fc_load::trace::Op;
+
+/// The checked-in smoke trace (regenerate with `--write-fixture`).
+const SMOKE_FIXTURE: &str = include_str!("../../../load/fixtures/smoke.trace");
+const SMOKE_FIXTURE_PATH: &str = "crates/load/fixtures/smoke.trace";
+const DEFAULT_SEED: u64 = 42;
+
+// ---------------------------------------------------------------- args
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    bench_out: PathBuf,
+    budget: PathBuf,
+    write_fixture: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut parsed = Self {
+            smoke: false,
+            seed: DEFAULT_SEED,
+            bench_out: PathBuf::from("BENCH_serve.json"),
+            budget: PathBuf::from("BENCH_budget.json"),
+            write_fixture: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // `--quick` is the other smoke binaries' spelling.
+                "--smoke" | "--quick" => parsed.smoke = true,
+                "--write-fixture" => parsed.write_fixture = true,
+                "--seed" => {
+                    if let Some(v) = args.next() {
+                        parsed.seed = v.parse().unwrap_or(parsed.seed);
+                    }
+                }
+                "--bench-out" => {
+                    if let Some(v) = args.next() {
+                        parsed.bench_out = PathBuf::from(v);
+                    }
+                }
+                "--budget" => {
+                    if let Some(v) = args.next() {
+                        parsed.budget = PathBuf::from(v);
+                    }
+                }
+                other => {
+                    eprintln!("load_replay: unknown argument {other:?}");
+                }
+            }
+        }
+        parsed
+    }
+}
+
+/// Sleeps before delegating to greedy, so abandoned requests are still
+/// mid-solve when the server's disconnect probe fires — without it
+/// every solve finishes inside the probe interval and the recorded
+/// cancellation rate reads zero.
+struct SlowSolver {
+    delegate: Arc<dyn Solver>,
+    delay: Duration,
+}
+
+impl std::fmt::Debug for SlowSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowSolver").finish()
+    }
+}
+
+impl Solver for SlowSolver {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+    fn solve_with_cache<'p>(
+        &self,
+        problem: &'p Problem,
+        budget: Budget,
+        cache: &EngineCache<'p>,
+    ) -> CoreResult<Plan> {
+        std::thread::sleep(self.delay);
+        self.delegate.solve_with_cache(problem, budget, cache)
+    }
+}
+
+// ------------------------------------------------------------ workload
+
+/// The replayed workload: three tenants with distinct arrival shapes
+/// over the shared op vocabulary (every op template must be valid on
+/// every stream — stream assignment hashes tenant and event index).
+fn trace_spec(smoke: bool) -> TraceSpec {
+    TraceSpec {
+        duration_ms: if smoke { 1_500 } else { 4_000 },
+        tenants: vec![
+            TenantProfile {
+                tenant: "newsroom".to_string(),
+                arrival: Arrival::Poisson { rate_per_sec: 24.0 },
+                mix: vec![
+                    OpTemplate::new(3, Op::Recommend, "dup", "f0.2"),
+                    OpTemplate::new(2, Op::Recommend, "bias", "f0.15"),
+                    OpTemplate::new(1, Op::Recommend, "bias@maxpr5", "a3"),
+                    OpTemplate::new(2, Op::Recommend, "dup~slow", "a3"),
+                ],
+            },
+            TenantProfile {
+                tenant: "api".to_string(),
+                arrival: Arrival::Bursty {
+                    on_rate_per_sec: 60.0,
+                    p_exit_on: 0.02,
+                    p_enter_on: 0.01,
+                },
+                mix: vec![
+                    OpTemplate::new(3, Op::Recommend, "frag", "f0.1"),
+                    OpTemplate::new(1, Op::Sweep, "dup", "f0.05,f0.1,f0.15"),
+                    OpTemplate::new(1, Op::Recommend, "frag~slow", "a3"),
+                ],
+            },
+            TenantProfile {
+                tenant: "batch".to_string(),
+                arrival: Arrival::Diurnal {
+                    trough_per_sec: 4.0,
+                    peak_per_sec: 30.0,
+                    period_ms: 1_000,
+                },
+                mix: vec![
+                    OpTemplate::new(2, Op::Recommend, "dup", "a4"),
+                    OpTemplate::new(1, Op::Clean, "-", "k2"),
+                ],
+            },
+        ],
+    }
+}
+
+/// A serving session over `instance` with a window-sum claim family
+/// (the one family all three measures and `maxpr` solve quickly on).
+fn stream_session(instance: &Instance, window: usize) -> CleaningSession {
+    let n = instance.len();
+    let claims = window_sum_family(n, window, n - window, Direction::LowerIsStronger, LAMBDA)
+        .expect("window fits the instance");
+    SessionBuilder::new()
+        .discrete(instance.clone())
+        .claims(claims)
+        .parallelism(Parallelism::Sequential)
+        .build()
+        .expect("data and claims are set")
+}
+
+/// Instance → replay target: cleans reveal the distribution means.
+fn target(id: &str, instance: &Instance) -> StreamTarget {
+    StreamTarget {
+        id: id.to_string(),
+        revealed: (0..instance.len())
+            .map(|i| instance.dist(i).mean())
+            .collect(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let spec = trace_spec(args.smoke);
+
+    // --- determinism gates ------------------------------------------
+    let trace = generate(&spec, args.seed);
+    if generate(&spec, args.seed).to_string() != trace.to_string() {
+        eprintln!(
+            "FAIL generation is not deterministic for seed {}",
+            args.seed
+        );
+        return ExitCode::FAILURE;
+    }
+    let trace_text = trace.to_string();
+    if args.write_fixture {
+        let smoke_text = generate(&trace_spec(true), DEFAULT_SEED).to_string();
+        std::fs::write(SMOKE_FIXTURE_PATH, &smoke_text).expect("write fixture");
+        println!(
+            "wrote {SMOKE_FIXTURE_PATH} ({} events, fnv64 {:016x})",
+            generate(&trace_spec(true), DEFAULT_SEED).len(),
+            fnv64(smoke_text.as_bytes())
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.smoke && args.seed == DEFAULT_SEED && trace_text != SMOKE_FIXTURE {
+        eprintln!(
+            "FAIL smoke trace diverged from {SMOKE_FIXTURE_PATH} \
+             (fnv64 {:016x}, fixture {:016x}); if the workload change is \
+             deliberate, regenerate with --write-fixture",
+            fnv64(trace_text.as_bytes()),
+            fnv64(SMOKE_FIXTURE.as_bytes())
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace: {} events over {}ms, fnv64 {:016x}",
+        trace.len(),
+        spec.duration_ms,
+        fnv64(trace_text.as_bytes())
+    );
+
+    // --- server over three real streams -----------------------------
+    let cdc = cdc_firearms_gaussian(args.seed)
+        .and_then(|g| g.discretize(6))
+        .expect("cdc instance");
+    let adoptions = adoptions_gaussian(args.seed)
+        .and_then(|g| g.discretize(6))
+        .expect("adoptions instance");
+    let synthetic = urx(if args.smoke { 60 } else { 120 }, args.seed ^ 0xA).expect("urx instance");
+
+    let mut registry = SolverRegistry::with_defaults();
+    registry.register_solver(Arc::new(SlowSolver {
+        delegate: registry.get("greedy").expect("greedy exists"),
+        delay: Duration::from_millis(150),
+    }));
+    let service = PlannerService::new(
+        Arc::new(registry),
+        ServiceOptions::new().with_inline_threshold(0),
+    );
+    // A tight cap on the bursty tenant so the run exercises 429s.
+    service.set_quota(
+        TenantId::new("api"),
+        QuotaPolicy::default().with_max_in_flight(3),
+    );
+    let server = PlannerServer::new(service.clone())
+        .with_config(
+            ServerConfig::new()
+                .with_disconnect_poll(Duration::from_millis(25))
+                .with_read_timeout(Duration::from_millis(2_000)),
+        )
+        .with_stream(
+            "cdc",
+            ClaimStream::open(stream_session(&cdc, 2), service.clone()),
+        )
+        .with_stream(
+            "adoptions",
+            ClaimStream::open(stream_session(&adoptions, 2), service.clone()),
+        )
+        .with_stream(
+            "urx",
+            ClaimStream::open(stream_session(&synthetic, 4), service.clone()),
+        )
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port");
+    let addr = server.addr();
+    let targets = [
+        target("cdc", &cdc),
+        target("adoptions", &adoptions),
+        target("urx", &synthetic),
+    ];
+
+    // --- replay ------------------------------------------------------
+    let config = ReplayConfig {
+        addr,
+        client_threads: 4,
+        // Smoke runs closed-loop (as fast as the server answers); the
+        // full run paces arrivals at half the modeled rate.
+        time_scale: if args.smoke { 0.0 } else { 0.5 },
+        abandon_permille: 120,
+        request_timeout: Duration::from_secs(30),
+        seed: args.seed,
+    };
+    let report = match replay(&config, &trace, &targets) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("FAIL replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replay: {} issued ({} ok, {} rejected, {} abandoned, {} transport errors) in {}ms",
+        report.issued(),
+        report.ok(),
+        report.rejected(),
+        report.abandoned(),
+        report.transport_errors(),
+        report.wall_ms
+    );
+
+    // --- drain: abandoned requests must resolve via cancellation -----
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = service.stats();
+        if stats.completed + stats.cancelled == stats.submitted && stats.in_flight == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "FAIL drain: {} submitted but {} resolved after 60s",
+                stats.submitted,
+                stats.completed + stats.cancelled
+            );
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // --- scrape, record, validate ------------------------------------
+    let stats_body = match client::get(addr, "/v1/stats") {
+        Ok((200, body)) => body,
+        Ok((status, body)) => {
+            eprintln!("FAIL stats scrape: status {status}: {body}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("FAIL stats scrape: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server_stats = Json::parse(&stats_body).expect("stats JSON");
+    server.shutdown();
+
+    let fingerprint = RunFingerprint {
+        seed: args.seed,
+        events: trace.len(),
+        trace_fnv64: fnv64(trace_text.as_bytes()),
+        client_threads: config.client_threads,
+        abandon_permille: config.abandon_permille,
+        smoke: args.smoke,
+    };
+    let bench = bench_json(&fingerprint, &report, &server_stats);
+    std::fs::write(&args.bench_out, format!("{bench}\n")).expect("write bench output");
+    println!("wrote {}", args.bench_out.display());
+
+    let mut failed = false;
+    for violation in invariant_violations(&report, &server_stats) {
+        eprintln!("FAIL invariant {violation}");
+        failed = true;
+    }
+    match std::fs::read_to_string(&args.budget) {
+        Ok(text) => {
+            let budget = Json::parse(&text).expect("budget JSON");
+            for violation in budget_violations(&bench, &budget) {
+                eprintln!("FAIL {violation}");
+                failed = true;
+            }
+        }
+        Err(_) => {
+            eprintln!(
+                "note: no {} — skipping the latency-budget gate",
+                args.budget.display()
+            );
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        for (op, m) in &report.per_op {
+            println!(
+                "  {op}: {} issued, p50 {:.1}ms p99 {:.1}ms",
+                m.issued(),
+                m.latency_us.quantile(0.50) as f64 / 1000.0,
+                m.latency_us.quantile(0.99) as f64 / 1000.0
+            );
+        }
+        println!("OK: trace pinned; invariants hold; run recorded");
+        ExitCode::SUCCESS
+    }
+}

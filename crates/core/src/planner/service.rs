@@ -407,6 +407,15 @@ pub struct ServiceStats {
     pub queued_interactive: usize,
     /// Tasks waiting on the bulk lane right now.
     pub queued_bulk: usize,
+    /// Requests currently unresolved (submitted − completed −
+    /// cancelled): queued *or* running. The saturation gauge a load
+    /// harness records alongside the queue depths.
+    pub in_flight: u64,
+    /// Interactive-lane tasks executing on a worker right now
+    /// (sweeps count once per in-flight budget point).
+    pub running_interactive: usize,
+    /// Bulk-lane tasks executing on a worker right now.
+    pub running_bulk: usize,
 }
 
 /// The outcome of a non-consuming wait ([`RequestHandle::try_wait`] /
@@ -797,6 +806,41 @@ struct Counters {
     panics: AtomicU64,
     cancelled: AtomicU64,
     quota_rejected: AtomicU64,
+    /// Lane-occupancy gauges: tasks executing on a worker right now.
+    running_interactive: AtomicUsize,
+    running_bulk: AtomicUsize,
+}
+
+impl Counters {
+    fn running_gauge(&self, lane: Lane) -> &AtomicUsize {
+        match lane {
+            Lane::Interactive => &self.running_interactive,
+            // Inline work never reaches a worker; charging it to the
+            // bulk gauge would misreport occupancy, and no caller
+            // passes Inline here.
+            Lane::Bulk | Lane::Inline => &self.running_bulk,
+        }
+    }
+}
+
+/// RAII occupancy marker: increments a lane's running gauge for the
+/// lifetime of one executing task, decrementing even when the solver
+/// panics (the panic is contained by [`solve_contained`], but the
+/// guard's `Drop` makes the gauge robust to any unwind path).
+struct RunningGuard<'c>(&'c AtomicUsize);
+
+impl<'c> RunningGuard<'c> {
+    fn enter(counters: &'c Counters, lane: Lane) -> Self {
+        let gauge = counters.running_gauge(lane);
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Self(gauge)
+    }
+}
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 struct ServiceInner {
@@ -1060,18 +1104,41 @@ impl PlannerService {
     pub fn stats(&self) -> ServiceStats {
         let (queued_interactive, queued_bulk) = self.inner.queue.depths();
         let c = &self.inner.stats;
+        let submitted = c.submitted.load(Ordering::Relaxed);
+        let completed = c.completed.load(Ordering::Relaxed);
+        let cancelled = c.cancelled.load(Ordering::Relaxed);
         ServiceStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
+            submitted,
+            completed,
             inline: c.inline.load(Ordering::Relaxed),
             interactive: c.interactive.load(Ordering::Relaxed),
             bulk: c.bulk.load(Ordering::Relaxed),
             panics: c.panics.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
+            cancelled,
             quota_rejected: c.quota_rejected.load(Ordering::Relaxed),
             queued_interactive,
             queued_bulk,
+            // Gauge from independently-racing counters: saturate
+            // rather than wrap when a completion lands between loads.
+            in_flight: submitted.saturating_sub(completed.saturating_add(cancelled)),
+            running_interactive: c.running_interactive.load(Ordering::Relaxed),
+            running_bulk: c.running_bulk.load(Ordering::Relaxed),
         }
+    }
+
+    /// Live per-tenant accounting, sorted by tenant name: every tenant
+    /// with in-flight work or an explicit [`QuotaPolicy`]. The load
+    /// harness scrapes this (via `GET /v1/stats`) to record per-tenant
+    /// saturation; idle default-policy tenants are evicted on release,
+    /// so the listing stays bounded.
+    pub fn tenant_usages(&self) -> Vec<(TenantId, QuotaUsage)> {
+        let tenants = lock_recover(&self.inner.tenants);
+        let mut usages: Vec<(TenantId, QuotaUsage)> = tenants
+            .iter()
+            .map(|(tenant, state)| (tenant.clone(), state.usage))
+            .collect();
+        usages.sort_by(|a, b| a.0.name().cmp(b.0.name()));
+        usages
     }
 
     /// Installs (or replaces) `tenant`'s [`QuotaPolicy`]. In-flight
@@ -1159,6 +1226,7 @@ impl PlannerService {
                     if task_cancel.is_cancelled() {
                         return;
                     }
+                    let _running = RunningGuard::enter(&task_inner.stats, lane);
                     let result = solve_contained(
                         &task_inner.stats,
                         &task_inner.store,
@@ -1268,6 +1336,7 @@ impl PlannerService {
                     state.skip_point();
                     return;
                 }
+                let _running = RunningGuard::enter(&task_inner.stats, lane);
                 let result = solve_contained(
                     &task_inner.stats,
                     &store,

@@ -1,0 +1,233 @@
+//! Log-bucketed latency histogram, HDR style: power-of-two value
+//! ranges, each split into `2⁵ = 32` linear sub-buckets, giving a
+//! bounded ~3% relative error at every scale from 1µs to hours while
+//! storing only a few hundred `u64` counters. Values are recorded in
+//! integer units (the harness records microseconds) and reported back
+//! as bucket upper bounds — percentile estimates are therefore
+//! *conservative* (never under-report a latency).
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BITS` linear buckets (relative error ≤ `2^-SUB_BITS`).
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// A fixed-size log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for `value`: values below `SUB` get exact buckets;
+/// above, `SUB_BITS` linear sub-buckets per power of two.
+fn index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = (value >> (exp - SUB_BITS)) - SUB;
+    ((exp - SUB_BITS + 1) as u64 * SUB + sub) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the reported representative).
+fn upper_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let exp = (i / SUB - 1) + SUB_BITS as u64;
+    let sub = i % SUB + SUB;
+    // u128 intermediate: the topmost bucket's bound would wrap u64.
+    let bound = (u128::from(sub + 1) << (exp - SUB_BITS as u64)) - 1;
+    bound.min(u128::from(u64::MAX)) as u64
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // 64 powers of two × SUB sub-buckets bounds every u64.
+        Self {
+            counts: vec![0; ((64 - SUB_BITS as usize) + 1) * SUB as usize],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[index(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Recorded value count.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` ∈ [0, 1]: the upper bound of the
+    /// first bucket whose cumulative count reaches `⌈q·total⌉`
+    /// (conservative — never smaller than the true quantile's bucket).
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The max is exact; don't report past it.
+                return upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self` (thread-local histograms → global).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_monotone_and_in_bounds() {
+        let hist = LogHistogram::new();
+        let mut values: Vec<u64> = (0..64)
+            .flat_map(|shift| [0u64, 1, 3].map(|offset| (1u64 << shift).saturating_add(offset)))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let i = index(v);
+            assert!(i < hist.counts.len(), "index {i} out of bounds for {v}");
+            assert!(i >= last, "index must not decrease ({v})");
+            last = i;
+            assert!(
+                upper_bound(i) >= v,
+                "upper bound {} below value {v}",
+                upper_bound(i)
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        for v in 0..SUB {
+            assert_eq!(upper_bound(index(v)), v);
+        }
+        assert_eq!(h.count(), SUB);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 12_345, 1_000_000, 987_654_321] {
+            let bound = upper_bound(index(v));
+            assert!(bound >= v);
+            let err = (bound - v) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB as f64 + 1e-9, "error {err} at {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_conservative_and_ordered() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!((500..=520).contains(&p50), "p50 = {p50}");
+        assert!((950..=990).contains(&p95), "p95 = {p95}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_directly() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 1..=500u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 1..=500u64 {
+            b.record(v * 7);
+            whole.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The replayer: drives a [`Trace`] through a live `PlannerServer`
+//! over real sockets via `fact_clean::net::client`, recording latency
+//! histograms and outcome counters per op and per tenant.
+//!
+//! Requests ride a shared keep-alive [`ClientPool`] across N worker
+//! threads (events are dealt round-robin, so the *request sequence* —
+//! which requests exist, their bodies, which are abandoned — is a pure
+//! function of (trace, config); only timings vary run to run). A
+//! configurable millage of solve requests is *abandoned*: the request
+//! is written and the socket dropped without reading the response,
+//! exercising the server's disconnect-driven `wait_or_cancel` path
+//! under load. Clean ops interleave with solves so cache invalidation
+//! happens while the store is hot.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fact_clean::net::client::{self, ClientPool};
+use fact_clean::net::json::Json;
+
+use crate::gen::SplitMix64;
+use crate::hist::LogHistogram;
+use crate::trace::{Op, Trace, TraceEvent};
+
+/// How the replayer drives a trace.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// The server to drive.
+    pub addr: SocketAddr,
+    /// Worker threads issuing requests (events dealt round-robin).
+    pub client_threads: usize,
+    /// Wall-clock milliseconds per modeled trace millisecond: `1.0`
+    /// replays in real time (open loop), `0.0` fires each thread's
+    /// events back-to-back (closed loop).
+    pub time_scale: f64,
+    /// Per-mille of solve requests abandoned mid-flight (socket
+    /// dropped without reading the response) to exercise
+    /// disconnect-driven cancellation. Clean ops are never abandoned.
+    pub abandon_permille: u32,
+    /// Per-request client-side deadline (transport error past it).
+    pub request_timeout: Duration,
+    /// Seed for the abandonment choice (independent of the trace's).
+    pub seed: u64,
+}
+
+/// What a replayed trace is aimed at: the server's registered streams.
+/// `revealed` supplies a valid cleaned value per object index, so the
+/// replayer can issue well-formed `clean` bodies without knowing the
+/// datasets (the binary derives them from instance means).
+#[derive(Debug, Clone)]
+pub struct StreamTarget {
+    /// Stream id as registered on the server.
+    pub id: String,
+    /// Cleaned value per object (length = object count).
+    pub revealed: Vec<f64>,
+}
+
+/// Outcome counters plus a latency histogram (microseconds).
+#[derive(Debug, Clone, Default)]
+pub struct OpMetrics {
+    /// Latencies of requests that got *any* response, in µs.
+    pub latency_us: LogHistogram,
+    /// `200` responses.
+    pub ok: u64,
+    /// `429` quota rejections.
+    pub rejected: u64,
+    /// Other `4xx` responses.
+    pub client_errors: u64,
+    /// `5xx` responses.
+    pub server_errors: u64,
+    /// I/O failures (timeout, refused, reset).
+    pub transport_errors: u64,
+    /// Requests written and deliberately not awaited.
+    pub abandoned: u64,
+}
+
+impl OpMetrics {
+    fn absorb(&mut self, other: &OpMetrics) {
+        self.latency_us.merge(&other.latency_us);
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.client_errors += other.client_errors;
+        self.server_errors += other.server_errors;
+        self.transport_errors += other.transport_errors;
+        self.abandoned += other.abandoned;
+    }
+
+    fn record_status(&mut self, status: u16, elapsed_us: u64) {
+        self.latency_us.record(elapsed_us);
+        match status {
+            200..=299 => self.ok += 1,
+            429 => self.rejected += 1,
+            400..=499 => self.client_errors += 1,
+            _ => self.server_errors += 1,
+        }
+    }
+
+    /// Total requests issued under this key.
+    pub fn issued(&self) -> u64 {
+        self.ok
+            + self.rejected
+            + self.client_errors
+            + self.server_errors
+            + self.transport_errors
+            + self.abandoned
+    }
+}
+
+/// The merged result of a replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Wall-clock duration of the replay, in ms.
+    pub wall_ms: u64,
+    /// Metrics keyed by op token (`recommend`/`sweep`/`clean`).
+    pub per_op: BTreeMap<String, OpMetrics>,
+    /// Metrics keyed by tenant.
+    pub per_tenant: BTreeMap<String, OpMetrics>,
+}
+
+impl ReplayReport {
+    /// Requests issued across all ops.
+    pub fn issued(&self) -> u64 {
+        self.per_op.values().map(OpMetrics::issued).sum()
+    }
+
+    /// `200`s observed across all ops.
+    pub fn ok(&self) -> u64 {
+        self.per_op.values().map(|m| m.ok).sum()
+    }
+
+    /// `429`s observed across all ops.
+    pub fn rejected(&self) -> u64 {
+        self.per_op.values().map(|m| m.rejected).sum()
+    }
+
+    /// Abandoned requests across all ops.
+    pub fn abandoned(&self) -> u64 {
+        self.per_op.values().map(|m| m.abandoned).sum()
+    }
+
+    /// Transport errors across all ops.
+    pub fn transport_errors(&self) -> u64 {
+        self.per_op.values().map(|m| m.transport_errors).sum()
+    }
+}
+
+/// FNV-1a over `bytes` — the trace fingerprint in `BENCH_serve.json`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A malformed spec/budget token (trace and targets disagree with the
+/// wire vocabulary).
+fn bad_token(what: &str, token: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("bad {what} token {token:?}"),
+    )
+}
+
+/// `f0.2` → `{"fraction":0.2}`; `a5` → `5`.
+fn budget_json(token: &str) -> io::Result<Json> {
+    if let Some(frac) = token.strip_prefix('f') {
+        let f: f64 = frac.parse().map_err(|_| bad_token("budget", token))?;
+        return Ok(Json::obj([("fraction", Json::Num(f))]));
+    }
+    if let Some(abs) = token.strip_prefix('a') {
+        let n: u64 = abs.parse().map_err(|_| bad_token("budget", token))?;
+        return Ok(Json::Num(n as f64));
+    }
+    Err(bad_token("budget", token))
+}
+
+/// `dup` → measure fields; `bias@maxpr5` → measure + goal; a
+/// `~strategy` suffix (e.g. `dup~slow`) pins the solver strategy —
+/// the harness registers a deliberately slow solver so abandoned
+/// requests are still mid-solve when the disconnect probe fires.
+fn spec_fields(token: &str) -> io::Result<Vec<(String, Json)>> {
+    let (token, strategy) = match token.split_once('~') {
+        None => (token, None),
+        Some((head, strategy)) if !strategy.is_empty() => (head, Some(strategy)),
+        Some(_) => return Err(bad_token("spec", token)),
+    };
+    let (measure, goal) = match token.split_once('@') {
+        None => (token, None),
+        Some((measure, goal)) => {
+            let tau: f64 = goal
+                .strip_prefix("maxpr")
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad_token("spec", token))?;
+            (measure, Some(tau))
+        }
+    };
+    if !matches!(measure, "bias" | "dup" | "frag") {
+        return Err(bad_token("spec", token));
+    }
+    let mut fields = vec![("measure".to_string(), Json::Str(measure.to_string()))];
+    if let Some(tau) = goal {
+        fields.push(("goal".to_string(), Json::obj([("maxpr", Json::Num(tau))])));
+    }
+    if let Some(strategy) = strategy {
+        fields.push(("strategy".to_string(), Json::Str(strategy.to_string())));
+    }
+    Ok(fields)
+}
+
+/// The (path, body) a trace event puts on the wire. Pure function of
+/// (event, its global index, targets, seed) — the determinism the
+/// acceptance gate relies on.
+fn request_for(
+    event: &TraceEvent,
+    index: usize,
+    targets: &[StreamTarget],
+    seed: u64,
+) -> io::Result<(String, String)> {
+    let target = &targets[(fnv64(event.tenant.as_bytes()) as usize ^ index) % targets.len()];
+    match event.op {
+        Op::Recommend => {
+            let mut fields = vec![("stream".to_string(), Json::Str(target.id.clone()))];
+            fields.extend(spec_fields(&event.spec)?);
+            fields.push(("budget".to_string(), budget_json(&event.budget)?));
+            Ok(("/v1/recommend".to_string(), Json::Obj(fields).to_string()))
+        }
+        Op::Sweep => {
+            let mut fields = vec![("stream".to_string(), Json::Str(target.id.clone()))];
+            fields.extend(spec_fields(&event.spec)?);
+            let budgets: io::Result<Vec<Json>> = event.budget.split(',').map(budget_json).collect();
+            fields.push(("budgets".to_string(), Json::Arr(budgets?)));
+            Ok(("/v1/sweep".to_string(), Json::Obj(fields).to_string()))
+        }
+        Op::Clean => {
+            let k: usize = event
+                .budget
+                .strip_prefix('k')
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad_token("clean budget", &event.budget))?;
+            let objects_total = target.revealed.len();
+            let mut rng = SplitMix64::new(seed ^ (index as u64).wrapping_mul(0x9E37));
+            let mut objects: Vec<usize> = (0..k.min(objects_total))
+                .map(|_| (rng.next_u64() as usize) % objects_total)
+                .collect();
+            objects.sort_unstable();
+            objects.dedup();
+            let revealed: Vec<Json> = objects
+                .iter()
+                .map(|&o| Json::Num(target.revealed[o]))
+                .collect();
+            let body = Json::obj([
+                (
+                    "objects",
+                    Json::Arr(objects.iter().map(|&o| Json::Num(o as f64)).collect()),
+                ),
+                ("revealed", Json::Arr(revealed)),
+            ]);
+            Ok((format!("/v1/streams/{}/clean", target.id), body.to_string()))
+        }
+    }
+}
+
+/// Writes the request and drops the socket without reading the
+/// response: the client walked away mid-flight.
+fn abandon(addr: SocketAddr, path: &str, tenant: &str, body: &str) {
+    let Ok(mut sock) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = client::write_request(&mut sock, "POST", path, &[("x-tenant", tenant)], body);
+    // Drop: the server's disconnect probe cancels the in-flight solve.
+}
+
+/// Replays `trace` against `config.addr`. Fails fast on a malformed
+/// trace token; transport errors during the run are *counted*, not
+/// fatal (a saturated server refusing connections is data).
+pub fn replay(
+    config: &ReplayConfig,
+    trace: &Trace,
+    targets: &[StreamTarget],
+) -> io::Result<ReplayReport> {
+    if targets.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "replay needs at least one stream target",
+        ));
+    }
+    // Pre-build every request up front: token errors surface before a
+    // single byte hits the wire, and the issuing loop stays hot.
+    struct Prepared {
+        timestamp_ms: u64,
+        tenant: String,
+        op: Op,
+        path: String,
+        body: String,
+        abandon: bool,
+    }
+    let abandon_threshold = u64::MAX / 1000 * u64::from(config.abandon_permille.min(1000));
+    let mut abandon_rng = SplitMix64::new(config.seed);
+    let prepared: Vec<Prepared> = trace
+        .events()
+        .iter()
+        .enumerate()
+        .map(|(index, event)| {
+            let (path, body) = request_for(event, index, targets, config.seed)?;
+            let abandon = event.op != Op::Clean && abandon_rng.next_u64() < abandon_threshold;
+            Ok(Prepared {
+                timestamp_ms: event.timestamp_ms,
+                tenant: event.tenant.clone(),
+                op: event.op,
+                path,
+                body,
+                abandon,
+            })
+        })
+        .collect::<io::Result<_>>()?;
+
+    let threads = config.client_threads.max(1);
+    let pool = ClientPool::new(config.addr)?
+        .with_timeout(config.request_timeout)
+        .with_max_idle(threads);
+    let merged: Mutex<ReplayReport> = Mutex::new(ReplayReport::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let prepared = &prepared;
+            let pool = &pool;
+            let merged = &merged;
+            scope.spawn(move || {
+                let mut per_op: BTreeMap<String, OpMetrics> = BTreeMap::new();
+                let mut per_tenant: BTreeMap<String, OpMetrics> = BTreeMap::new();
+                for request in prepared.iter().skip(worker).step_by(threads) {
+                    if config.time_scale > 0.0 {
+                        let due = started
+                            + Duration::from_secs_f64(
+                                request.timestamp_ms as f64 * config.time_scale / 1000.0,
+                            );
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    let op = per_op.entry(request.op.token().to_string()).or_default();
+                    let tenant = per_tenant.entry(request.tenant.clone()).or_default();
+                    if request.abandon {
+                        abandon(config.addr, &request.path, &request.tenant, &request.body);
+                        op.abandoned += 1;
+                        tenant.abandoned += 1;
+                        continue;
+                    }
+                    let headers = [("x-tenant", request.tenant.as_str())];
+                    let sent = Instant::now();
+                    match pool.post(&request.path, &request.body, &headers) {
+                        Ok((status, _body)) => {
+                            let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                            op.record_status(status, us);
+                            tenant.record_status(status, us);
+                        }
+                        Err(_) => {
+                            op.transport_errors += 1;
+                            tenant.transport_errors += 1;
+                        }
+                    }
+                }
+                let mut all = merged.lock().unwrap_or_else(|e| e.into_inner());
+                for (key, metrics) in per_op {
+                    all.per_op.entry(key).or_default().absorb(&metrics);
+                }
+                for (key, metrics) in per_tenant {
+                    all.per_tenant.entry(key).or_default().absorb(&metrics);
+                }
+            });
+        }
+    });
+    let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
+    report.wall_ms = started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn targets() -> Vec<StreamTarget> {
+        vec![
+            StreamTarget {
+                id: "a".into(),
+                revealed: vec![1.0, 2.0, 3.0, 4.0],
+            },
+            StreamTarget {
+                id: "b".into(),
+                revealed: vec![5.0, 6.0],
+            },
+        ]
+    }
+
+    fn event(op: Op, spec: &str, budget: &str) -> TraceEvent {
+        TraceEvent {
+            timestamp_ms: 0,
+            tenant: "t".into(),
+            op,
+            spec: spec.into(),
+            budget: budget.into(),
+        }
+    }
+
+    #[test]
+    fn request_building_is_deterministic_and_well_formed() {
+        let targets = targets();
+        let cases = [
+            event(Op::Recommend, "dup", "f0.2"),
+            event(Op::Recommend, "bias@maxpr5", "a3"),
+            event(Op::Recommend, "dup~slow", "a3"),
+            event(Op::Sweep, "frag", "f0.05,f0.1"),
+            event(Op::Clean, "-", "k3"),
+        ];
+        for (i, e) in cases.iter().enumerate() {
+            let (path_a, body_a) = request_for(e, i, &targets, 42).unwrap();
+            let (path_b, body_b) = request_for(e, i, &targets, 42).unwrap();
+            assert_eq!((path_a.clone(), body_a.clone()), (path_b, body_b));
+            assert!(Json::parse(&body_a).is_ok(), "{body_a}");
+            assert!(path_a.starts_with("/v1/"), "{path_a}");
+        }
+        // The stream assignment depends on the event index.
+        let (p0, _) = request_for(&cases[4], 0, &targets, 42).unwrap();
+        let (p1, _) = request_for(&cases[4], 1, &targets, 42).unwrap();
+        assert_ne!(p0, p1, "consecutive cleans should spread across streams");
+    }
+
+    #[test]
+    fn clean_bodies_reference_valid_objects() {
+        let targets = targets();
+        let (_, body) = request_for(&event(Op::Clean, "-", "k10"), 5, &targets, 7).unwrap();
+        let parsed = Json::parse(&body).unwrap();
+        let objects = parsed.get("objects").and_then(Json::as_array).unwrap();
+        let revealed = parsed.get("revealed").and_then(Json::as_array).unwrap();
+        assert_eq!(objects.len(), revealed.len());
+        assert!(!objects.is_empty());
+        for o in objects {
+            let o = o.as_usize().unwrap();
+            assert!(o < 4, "object {o} out of range for the larger target");
+        }
+    }
+
+    #[test]
+    fn bad_tokens_are_rejected_before_the_wire() {
+        let targets = targets();
+        for e in [
+            event(Op::Recommend, "nope", "f0.2"),
+            event(Op::Recommend, "dup", "x1"),
+            event(Op::Recommend, "bias@maxprX", "f0.1"),
+            event(Op::Recommend, "dup~", "f0.1"),
+            event(Op::Clean, "-", "f0.1"),
+        ] {
+            assert!(request_for(&e, 0, &targets, 42).is_err(), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,12 +1,21 @@
-//! A minimal blocking HTTP/1.1 client for the front — one connection,
+//! A minimal blocking HTTP/1.1 client for the front —
 //! `Content-Length` framing, no redirects, no TLS. This is the
-//! counterpart the examples, integration tests, and CI gates drive the
-//! server with (the environment has no `curl` guarantee and no
-//! registry client crates); it is deliberately small, not a general
-//! HTTP client.
+//! counterpart the examples, integration tests, CI gates, and the load
+//! harness drive the server with (the environment has no `curl`
+//! guarantee and no registry client crates); it is deliberately small,
+//! not a general HTTP client.
+//!
+//! Two tiers: the free functions ([`post`], [`get`], [`request`]) open
+//! a fresh connection per request — fine for one-shot smoke checks;
+//! [`Conn`] holds one keep-alive connection across requests, and
+//! [`ClientPool`] parks idle [`Conn`]s for reuse across calls (and
+//! threads), which is what a replayer issuing thousands of requests
+//! needs to avoid paying connect latency — and burning ephemeral
+//! ports — per request.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// Read timeout applied by [`read_response`] when the socket has none.
@@ -31,22 +40,25 @@ pub fn write_request(
     sock.write_all(body.as_bytes())
 }
 
-/// Reads one response from `sock`: returns (status, body). Applies a
-/// generous read timeout when the caller has not set one.
-pub fn read_response(sock: &mut TcpStream) -> io::Result<(u16, String)> {
-    if sock.read_timeout()?.is_none() {
-        sock.set_read_timeout(Some(DEFAULT_RESPONSE_TIMEOUT))?;
-    }
+/// Reads one framed response off `reader`: (status, body, close) where
+/// `close` reports a `connection: close` header — the server will not
+/// serve another request on this connection.
+fn read_framed_response(reader: &mut impl BufRead) -> io::Result<(u16, String, bool)> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
-    let mut reader = BufReader::new(sock.try_clone()?);
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
     let status: u16 = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length = 0usize;
+    let mut close = false;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -54,15 +66,191 @@ pub fn read_response(sock: &mut TcpStream) -> io::Result<(u16, String)> {
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
             content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+        } else if let Some(v) = lower.strip_prefix("connection:") {
+            close = v.trim() == "close";
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|body| (status, body))
+        .map(|body| (status, body, close))
         .map_err(|_| bad("non-UTF-8 body"))
+}
+
+/// Reads one response from `sock`: returns (status, body). Applies a
+/// generous read timeout when the caller has not set one.
+///
+/// The internal read buffer is discarded afterwards, so this is for
+/// one-response-then-close use; a connection serving *multiple*
+/// responses must hold its buffer across reads — use [`Conn`].
+pub fn read_response(sock: &mut TcpStream) -> io::Result<(u16, String)> {
+    if sock.read_timeout()?.is_none() {
+        sock.set_read_timeout(Some(DEFAULT_RESPONSE_TIMEOUT))?;
+    }
+    let mut reader = BufReader::new(sock.try_clone()?);
+    let (status, body, _close) = read_framed_response(&mut reader)?;
+    Ok((status, body))
+}
+
+/// One keep-alive connection: request/response exchanges in lockstep,
+/// with the read buffer held across responses so framing never loses
+/// bytes between exchanges.
+#[derive(Debug)]
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    close: bool,
+}
+
+impl Conn {
+    /// Connects to `addr`. `timeout` bounds every read and write on
+    /// the connection (default: a generous 120s on reads, unbounded
+    /// writes).
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> io::Result<Self> {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_read_timeout(timeout.or(Some(DEFAULT_RESPONSE_TIMEOUT)))?;
+        sock.set_write_timeout(timeout)?;
+        sock.set_nodelay(true)?;
+        let reader = BufReader::new(sock.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: sock,
+            close: false,
+        })
+    }
+
+    /// One request/response exchange; returns (status, body).
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<(u16, String)> {
+        write_request(&mut self.writer, method, path, headers, body)?;
+        let (status, body, close) = read_framed_response(&mut self.reader)?;
+        self.close = close;
+        Ok((status, body))
+    }
+
+    /// Whether the server will accept another request on this
+    /// connection (no `connection: close` seen yet).
+    pub fn reusable(&self) -> bool {
+        !self.close
+    }
+}
+
+/// A keep-alive connection pool over one server address: requests
+/// reuse a parked [`Conn`] when one is idle, connect otherwise, and
+/// park the connection back afterwards. Shareable across threads
+/// (each in-flight request holds its connection exclusively; the lock
+/// guards only the idle list, never I/O).
+///
+/// A request that fails on a *reused* connection is retried once on a
+/// fresh one — the server reaps idle keep-alive connections at its
+/// read timeout, so a stale-connection error is expected, not
+/// exceptional. Caveat: if the server executed the request but died
+/// mid-response, the retry re-executes it; acceptable for this
+/// bench/test client, whose requests are safe to repeat.
+#[derive(Debug)]
+pub struct ClientPool {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    max_idle: usize,
+    idle: Mutex<Vec<Conn>>,
+}
+
+impl ClientPool {
+    /// A pool over `addr` (resolved once, up front).
+    pub fn new(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        Ok(Self {
+            addr,
+            timeout: None,
+            max_idle: 16,
+            idle: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Bounds every read and write on pooled connections.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Caps parked idle connections (default 16); beyond it, finished
+    /// connections are closed instead of parked.
+    pub fn with_max_idle(mut self, max_idle: usize) -> Self {
+        self.max_idle = max_idle;
+        self
+    }
+
+    /// Connections currently parked idle.
+    pub fn idle_connections(&self) -> usize {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// One request on a pooled connection; returns (status, body).
+    /// See the type docs for the stale-keep-alive retry semantics.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<(u16, String)> {
+        let reused = self
+            .idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        if let Some(mut conn) = reused {
+            if let Ok(response) = conn.send(method, path, headers, body) {
+                self.park(conn);
+                return Ok(response);
+            }
+            // Stale keep-alive (server reaped it while parked): fall
+            // through to a fresh connection.
+        }
+        let mut conn = Conn::connect(self.addr, self.timeout)?;
+        let response = conn.send(method, path, headers, body)?;
+        self.park(conn);
+        Ok(response)
+    }
+
+    /// `POST` a JSON body on a pooled connection.
+    pub fn post(
+        &self,
+        path: &str,
+        json: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<(u16, String)> {
+        self.request("POST", path, headers, json)
+    }
+
+    /// `GET` on a pooled connection.
+    pub fn get(&self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, &[], "")
+    }
+
+    fn park(&self, conn: Conn) {
+        if !conn.reusable() {
+            return;
+        }
+        let mut idle = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
+        if idle.len() < self.max_idle {
+            idle.push(conn);
+        }
+    }
 }
 
 /// One request on a fresh connection; returns (status, body).

@@ -170,7 +170,7 @@ struct ServerCtx {
 /// | `POST /v1/sweep` | [`ClaimStream::submit_sweep`] → [`PlannerService::submit_sweep`] |
 /// | `POST /v1/streams/{id}/clean` | [`ClaimStream::mark_cleaned`] |
 /// | `GET /v1/streams` | the registered stream ids |
-/// | `GET /v1/stats` | service + store counter snapshot |
+/// | `GET /v1/stats` | service counters + saturation gauges, store counters, per-tenant usage |
 ///
 /// See the [module docs](self) for the threading model and the
 /// on-the-wire request lifecycle.
@@ -301,39 +301,70 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
+/// RAII claim on a [`LiveConnections`] slot: released on drop, so a
+/// panicking handler (or a failed thread spawn, which drops the
+/// closure unrun) still frees its slot. Leaking one would wedge
+/// [`LiveConnections::wait_drained`] — and, once `max_connections`
+/// leaks accumulate, turn the server into a permanent `503`.
+struct ConnSlot(Arc<ServerCtx>);
+
+impl ConnSlot {
+    /// Claims a slot, or `None` at the connection cap.
+    fn try_claim(ctx: &Arc<ServerCtx>) -> Option<Self> {
+        ctx.live
+            .try_enter(ctx.config.max_connections)
+            .then(|| Self(Arc::clone(ctx)))
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.live.exit();
+    }
+}
+
 fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
     for stream in listener.incoming() {
         if ctx.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(sock) = stream else { continue };
-        if !ctx.live.try_enter(ctx.config.max_connections) {
-            // Saturated: refuse politely without a handler thread.
-            let mut sock = sock;
-            let _ = sock.set_write_timeout(Some(ctx.config.read_timeout));
-            let _ = write_response(
-                &mut sock,
-                503,
-                &ApiError {
-                    status: 503,
-                    message: "connection limit reached".into(),
-                }
-                .body(),
-                true,
-            );
+        let Some(slot) = ConnSlot::try_claim(&ctx) else {
+            refuse_saturated(sock, &ctx.config);
             continue;
-        }
+        };
         let conn_ctx = Arc::clone(&ctx);
-        let spawned = std::thread::Builder::new()
+        let _ = std::thread::Builder::new()
             .name("fc-net-conn".into())
             .spawn(move || {
+                let _slot = slot;
                 handle_connection(sock, &conn_ctx);
-                conn_ctx.live.exit();
             });
-        if spawned.is_err() {
-            ctx.live.exit();
-        }
     }
+}
+
+/// Writes the saturation `503` on a short-lived detached thread, with
+/// a write timeout much shorter than a handler's: a refused client
+/// that never reads must stall only its refusal thread. Writing the
+/// refusal synchronously on the accept thread would let one slow
+/// client block *every* accept for up to the full write timeout —
+/// under a sustained 503 storm, a self-inflicted outage.
+fn refuse_saturated(mut sock: TcpStream, config: &ServerConfig) {
+    const REFUSAL_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+    let timeout = config.read_timeout.min(REFUSAL_WRITE_TIMEOUT);
+    let body = ApiError {
+        status: 503,
+        message: "connection limit reached".into(),
+    }
+    .body();
+    // Spawn failure (thread exhaustion) still refuses — dropping the
+    // socket just skips the courtesy body.
+    let _ = std::thread::Builder::new()
+        .name("fc-net-refuse".into())
+        .spawn(move || {
+            let _ = sock.set_write_timeout(Some(timeout));
+            let _ = write_response(&mut sock, 503, &body, true);
+        });
 }
 
 /// Serves one connection: a keep-alive loop of read → dispatch →
@@ -416,6 +447,7 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
         ("GET", ["v1", "stats"]) => Outcome::ok(stats_json(
             &ctx.service.stats(),
             &ctx.service.store().stats(),
+            &ctx.service.tenant_usages(),
         )),
         ("GET", ["v1", "streams"]) => {
             let mut ids: Vec<&String> = ctx.streams.keys().collect();
@@ -591,4 +623,60 @@ fn client_connected(sock: &TcpStream) -> bool {
     };
     let _ = sock.set_nonblocking(false);
     connected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_core::planner::service::ServiceOptions;
+    use fc_core::SolverRegistry;
+
+    fn test_ctx(max_connections: usize) -> Arc<ServerCtx> {
+        let service = PlannerService::new(
+            Arc::new(SolverRegistry::with_defaults()),
+            ServiceOptions::new(),
+        );
+        Arc::new(ServerCtx {
+            service,
+            streams: HashMap::new(),
+            config: ServerConfig::new().with_max_connections(max_connections),
+            shutdown: AtomicBool::new(false),
+            live: LiveConnections::default(),
+        })
+    }
+
+    /// Regression for the handler-thread slot leak: a panicking
+    /// handler must still release its connection slot (via
+    /// [`ConnSlot`]'s drop), or `wait_drained` wedges shutdown and
+    /// repeated leaks turn the cap into a permanent `503`.
+    #[test]
+    fn conn_slot_released_even_when_the_holder_panics() {
+        let ctx = test_ctx(1);
+        let slot = ConnSlot::try_claim(&ctx).expect("cap of one, nothing live");
+        assert!(
+            ConnSlot::try_claim(&ctx).is_none(),
+            "second claim must be refused at the cap"
+        );
+        let handler = std::thread::spawn(move || {
+            let _slot = slot;
+            panic!("handler blew up mid-connection");
+        });
+        assert!(handler.join().is_err(), "the handler must have panicked");
+        let reclaimed =
+            ConnSlot::try_claim(&ctx).expect("the panicked handler's slot must have been released");
+        drop(reclaimed);
+        // With every slot released, the drain returns immediately.
+        ctx.live.wait_drained();
+    }
+
+    #[test]
+    fn conn_slot_released_when_spawn_never_runs_the_closure() {
+        let ctx = test_ctx(2);
+        let slot = ConnSlot::try_claim(&ctx).expect("slot");
+        // A failed `Builder::spawn` drops the unrun closure — and with
+        // it the captured slot. Model that by dropping directly.
+        drop(slot);
+        ctx.live.wait_drained();
+        assert!(ConnSlot::try_claim(&ctx).is_some());
+    }
 }

@@ -10,7 +10,7 @@
 //! diagnostics counters, which are observability, not plan content
 //! (`divergence` ignores them; so do the gates).
 
-use fc_core::planner::service::ServiceStats;
+use fc_core::planner::service::{QuotaUsage, ServiceStats, TenantId};
 use fc_core::{Budget, CacheStats, CoreError, Plan};
 
 use super::json::Json;
@@ -210,8 +210,14 @@ pub fn plan_json(plan: &Plan) -> Json {
     Json::Obj(fields)
 }
 
-/// `GET /v1/stats` body: the service counters and the shared store's.
-pub fn stats_json(service: &ServiceStats, store: &CacheStats) -> Json {
+/// `GET /v1/stats` body: the service counters and gauges, the shared
+/// store's counters, and per-tenant saturation (every tenant with
+/// in-flight work or an explicit quota policy).
+pub fn stats_json(
+    service: &ServiceStats,
+    store: &CacheStats,
+    tenants: &[(TenantId, QuotaUsage)],
+) -> Json {
     Json::obj([
         (
             "service",
@@ -229,7 +235,33 @@ pub fn stats_json(service: &ServiceStats, store: &CacheStats) -> Json {
                     Json::Num(service.queued_interactive as f64),
                 ),
                 ("queued_bulk", Json::Num(service.queued_bulk as f64)),
+                ("in_flight", Json::Num(service.in_flight as f64)),
+                (
+                    "running_interactive",
+                    Json::Num(service.running_interactive as f64),
+                ),
+                ("running_bulk", Json::Num(service.running_bulk as f64)),
             ]),
+        ),
+        (
+            "tenants",
+            Json::Obj(
+                tenants
+                    .iter()
+                    .map(|(tenant, usage)| {
+                        (
+                            tenant.name().to_string(),
+                            Json::obj([
+                                ("in_flight", Json::Num(usage.in_flight as f64)),
+                                (
+                                    "outstanding_evals",
+                                    Json::Num(usage.outstanding_evals as f64),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
         ),
         (
             "store",

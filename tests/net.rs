@@ -489,6 +489,23 @@ fn stats_and_stream_listing_round_trip() {
     assert_eq!(status, 200);
     let stats = Json::parse(&body).unwrap();
     assert!(stats.get("service").is_some() && stats.get("store").is_some());
+    let service_obj = stats.get("service").unwrap();
+    for gauge in [
+        "queued_interactive",
+        "queued_bulk",
+        "in_flight",
+        "running_interactive",
+        "running_bulk",
+    ] {
+        assert!(
+            service_obj.get(gauge).and_then(Json::as_u64).is_some(),
+            "stats missing saturation gauge {gauge:?}: {body}"
+        );
+    }
+    assert!(
+        stats.get("tenants").is_some(),
+        "stats missing tenants: {body}"
+    );
     // plan_json is identity + diagnostics (compile-time sanity that the
     // public wire helpers agree).
     let plan = session()
@@ -497,4 +514,100 @@ fn stats_and_stream_listing_round_trip() {
     let full = plan_json(&plan).to_string();
     assert!(full.contains("\"diagnostics\""));
     assert!(full.starts_with(&identity(&plan)[..identity(&plan).len() - 1]));
+}
+
+#[test]
+fn explicit_quota_tenants_appear_in_wire_stats() {
+    let (server, service) = boot();
+    service.set_quota(
+        TenantId::new("alice"),
+        QuotaPolicy::default().with_max_in_flight(3),
+    );
+    let (status, body) = get(server.addr(), "/v1/stats");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&body).unwrap();
+    let alice = stats
+        .get("tenants")
+        .and_then(|t| t.get("alice"))
+        .unwrap_or_else(|| panic!("tenant alice missing from stats: {body}"));
+    assert_eq!(alice.get("in_flight").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        alice.get("outstanding_evals").and_then(Json::as_u64),
+        Some(0)
+    );
+}
+
+/// Regression for the saturation path: at `max_connections`, refused
+/// clients get a prompt `503` — written off the accept thread, so a
+/// refused client that never reads cannot stall later accepts — and
+/// once the in-flight request finishes the slot is free again (no
+/// leak: shutdown drains instead of hanging).
+#[test]
+fn saturated_server_refuses_promptly_and_recovers() {
+    let (server, service) = boot_with(
+        registry_with_slow(Duration::from_millis(1500)),
+        test_config().with_max_connections(1),
+    );
+    let addr = server.addr();
+    // Occupy the single slot with a slow in-flight solve.
+    let holder = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/recommend",
+            r#"{"stream":"crime","measure":"dup","strategy":"slow","budget":2}"#,
+            None,
+        )
+    });
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while service.stats().submitted == 0 {
+        assert!(Instant::now() < deadline, "slow request never arrived");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Refused clients that never read their 503 linger while further
+    // refusals happen — the 503 storm case.
+    let silent: Vec<TcpStream> = (0..3)
+        .filter_map(|_| TcpStream::connect(addr).ok())
+        .collect();
+    for i in 0..3 {
+        let started = Instant::now();
+        let mut sock = TcpStream::connect(addr).expect("connect while saturated");
+        sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let (status, body) = client::read_response(&mut sock).expect("refusal response");
+        assert_eq!(status, 503, "refusal {i}: {body}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "refusal {i} was not prompt: {:?}",
+            started.elapsed()
+        );
+    }
+    drop(silent);
+
+    // The in-flight request is unaffected by the storm…
+    let (status, body) = holder.join().expect("holder thread");
+    assert_eq!(status, 200, "in-flight request failed: {body}");
+    // …and its slot is free again for new work. The holder's 200 only
+    // proves its response was written; the server frees the slot when
+    // it notices the closed connection, so retry through that window
+    // (refusals or resets while it closes are expected — a *leaked*
+    // slot keeps this failing until the deadline).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let (status, body) = loop {
+        let attempt = client::post(
+            addr,
+            "/v1/recommend",
+            r#"{"stream":"crime","measure":"dup","budget":2}"#,
+            &[],
+        );
+        match attempt {
+            Ok((503, _)) | Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(response) => break response,
+            Err(e) => panic!("post-recovery request kept failing: {e}"),
+        }
+    };
+    assert_eq!(status, 200, "post-recovery request failed: {body}");
+    // A leaked slot would wedge the drain here.
+    server.shutdown();
 }
