@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use fact_clean::net::client;
 use fact_clean::net::json::Json;
-use fact_clean::net::{PlannerServer, ServerConfig};
+use fact_clean::net::{PlannerServer, RouterConfig, RouterServer, ServerConfig, ServerHandle};
 use fact_clean::prelude::*;
 use fc_claims::window_sum_family;
 use fc_core::{EngineCache, Result as CoreResult, SolverRegistry};
@@ -52,9 +52,10 @@ const DEFAULT_SEED: u64 = 42;
 struct Args {
     smoke: bool,
     seed: u64,
-    bench_out: PathBuf,
+    bench_out: Option<PathBuf>,
     budget: PathBuf,
     write_fixture: bool,
+    router: bool,
 }
 
 impl Args {
@@ -62,9 +63,10 @@ impl Args {
         let mut parsed = Self {
             smoke: false,
             seed: DEFAULT_SEED,
-            bench_out: PathBuf::from("BENCH_serve.json"),
+            bench_out: None,
             budget: PathBuf::from("BENCH_budget.json"),
             write_fixture: false,
+            router: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -72,6 +74,7 @@ impl Args {
                 // `--quick` is the other smoke binaries' spelling.
                 "--smoke" | "--quick" => parsed.smoke = true,
                 "--write-fixture" => parsed.write_fixture = true,
+                "--router" => parsed.router = true,
                 "--seed" => {
                     if let Some(v) = args.next() {
                         parsed.seed = v.parse().unwrap_or(parsed.seed);
@@ -79,7 +82,7 @@ impl Args {
                 }
                 "--bench-out" => {
                     if let Some(v) = args.next() {
-                        parsed.bench_out = PathBuf::from(v);
+                        parsed.bench_out = Some(PathBuf::from(v));
                     }
                 }
                 "--budget" => {
@@ -239,7 +242,7 @@ fn main() -> ExitCode {
         fnv64(trace_text.as_bytes())
     );
 
-    // --- server over three real streams -----------------------------
+    // --- server(s) over three real streams ---------------------------
     let cdc = cdc_firearms_gaussian(args.seed)
         .and_then(|g| g.discretize(6))
         .expect("cdc instance");
@@ -248,41 +251,77 @@ fn main() -> ExitCode {
         .expect("adoptions instance");
     let synthetic = urx(if args.smoke { 60 } else { 120 }, args.seed ^ 0xA).expect("urx instance");
 
-    let mut registry = SolverRegistry::with_defaults();
-    registry.register_solver(Arc::new(SlowSolver {
-        delegate: registry.get("greedy").expect("greedy exists"),
-        delay: Duration::from_millis(150),
-    }));
-    let service = PlannerService::new(
-        Arc::new(registry),
-        ServiceOptions::new().with_inline_threshold(0),
-    );
-    // A tight cap on the bursty tenant so the run exercises 429s.
-    service.set_quota(
-        TenantId::new("api"),
-        QuotaPolicy::default().with_max_in_flight(3),
-    );
-    let server = PlannerServer::new(service.clone())
-        .with_config(
-            ServerConfig::new()
-                .with_disconnect_poll(Duration::from_millis(25))
-                .with_read_timeout(Duration::from_millis(2_000)),
-        )
-        .with_stream(
-            "cdc",
-            ClaimStream::open(stream_session(&cdc, 2), service.clone()),
-        )
-        .with_stream(
-            "adoptions",
-            ClaimStream::open(stream_session(&adoptions, 2), service.clone()),
-        )
-        .with_stream(
-            "urx",
-            ClaimStream::open(stream_session(&synthetic, 4), service.clone()),
-        )
-        .serve("127.0.0.1:0")
-        .expect("bind ephemeral port");
-    let addr = server.addr();
+    // One backend: its own service + registry over the shared session
+    // definitions, so every replica computes byte-identical plans.
+    let boot_backend = || -> (PlannerService, ServerHandle) {
+        let mut registry = SolverRegistry::with_defaults();
+        registry.register_solver(Arc::new(SlowSolver {
+            delegate: registry.get("greedy").expect("greedy exists"),
+            delay: Duration::from_millis(150),
+        }));
+        let service = PlannerService::new(
+            Arc::new(registry),
+            ServiceOptions::new().with_inline_threshold(0),
+        );
+        // A tight cap on the bursty tenant so the run exercises 429s.
+        service.set_quota(
+            TenantId::new("api"),
+            QuotaPolicy::default().with_max_in_flight(3),
+        );
+        let server = PlannerServer::new(service.clone())
+            .with_config(
+                ServerConfig::new()
+                    .with_disconnect_poll(Duration::from_millis(25))
+                    .with_read_timeout(Duration::from_millis(2_000)),
+            )
+            .with_stream(
+                "cdc",
+                ClaimStream::open(stream_session(&cdc, 2), service.clone()),
+            )
+            .with_stream(
+                "adoptions",
+                ClaimStream::open(stream_session(&adoptions, 2), service.clone()),
+            )
+            .with_stream(
+                "urx",
+                ClaimStream::open(stream_session(&synthetic, 4), service.clone()),
+            )
+            .serve("127.0.0.1:0")
+            .expect("bind ephemeral port");
+        (service, server)
+    };
+
+    let mut services = Vec::new();
+    let mut backends = Vec::new();
+    let mut router = None;
+    let addr;
+    if args.router {
+        // Two replicas behind the consistent-hash front: the replay
+        // drives the router, cleans broadcast, stats aggregate.
+        let (service_a, server_a) = boot_backend();
+        let (service_b, server_b) = boot_backend();
+        let front = RouterServer::new()
+            .with_backend("a", server_a.addr().to_string())
+            .with_backend("b", server_b.addr().to_string())
+            .with_config(
+                RouterConfig::new()
+                    .with_disconnect_poll(Duration::from_millis(25))
+                    .with_probe_interval(Duration::from_millis(100))
+                    .with_read_timeout(Duration::from_millis(2_000)),
+            )
+            .serve("127.0.0.1:0")
+            .expect("bind router port");
+        addr = front.addr();
+        services.extend([service_a, service_b]);
+        backends.extend([server_a, server_b]);
+        router = Some(front);
+        println!("router: fronting 2 backends at {addr}");
+    } else {
+        let (service, server) = boot_backend();
+        addr = server.addr();
+        services.push(service);
+        backends.push(server);
+    }
     let targets = [
         target("cdc", &cdc),
         target("adoptions", &adoptions),
@@ -320,16 +359,22 @@ fn main() -> ExitCode {
     // --- drain: abandoned requests must resolve via cancellation -----
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
-        let stats = service.stats();
-        if stats.completed + stats.cancelled == stats.submitted && stats.in_flight == 0 {
+        let drained = services.iter().all(|service| {
+            let stats = service.stats();
+            stats.completed + stats.cancelled == stats.submitted && stats.in_flight == 0
+        });
+        if drained {
             break;
         }
         if Instant::now() >= deadline {
-            eprintln!(
-                "FAIL drain: {} submitted but {} resolved after 60s",
-                stats.submitted,
-                stats.completed + stats.cancelled
-            );
+            for (i, service) in services.iter().enumerate() {
+                let stats = service.stats();
+                eprintln!(
+                    "FAIL drain: backend {i}: {} submitted but {} resolved after 60s",
+                    stats.submitted,
+                    stats.completed + stats.cancelled
+                );
+            }
             return ExitCode::FAILURE;
         }
         std::thread::sleep(Duration::from_millis(20));
@@ -348,7 +393,13 @@ fn main() -> ExitCode {
         }
     };
     let server_stats = Json::parse(&stats_body).expect("stats JSON");
-    server.shutdown();
+    // Front first (it holds pooled connections into the backends).
+    if let Some(front) = router.take() {
+        front.shutdown();
+    }
+    for server in backends {
+        server.shutdown();
+    }
 
     let fingerprint = RunFingerprint {
         seed: args.seed,
@@ -359,8 +410,15 @@ fn main() -> ExitCode {
         smoke: args.smoke,
     };
     let bench = bench_json(&fingerprint, &report, &server_stats);
-    std::fs::write(&args.bench_out, format!("{bench}\n")).expect("write bench output");
-    println!("wrote {}", args.bench_out.display());
+    let bench_out = args.bench_out.unwrap_or_else(|| {
+        PathBuf::from(if args.router {
+            "BENCH_serve_router.json"
+        } else {
+            "BENCH_serve.json"
+        })
+    });
+    std::fs::write(&bench_out, format!("{bench}\n")).expect("write bench output");
+    println!("wrote {}", bench_out.display());
 
     let mut failed = false;
     for violation in invariant_violations(&report, &server_stats) {

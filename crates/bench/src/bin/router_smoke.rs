@@ -1,0 +1,345 @@
+//! `router_smoke` — the scale-out CI gate: boots two `PlannerServer`
+//! backends behind the consistent-hash `RouterServer` front and proves
+//! the topology changes nothing the paper's workload can observe.
+//!
+//! The binary **fails (exit 1)** if
+//!
+//! * any plan served through the router diverges byte-wise (on the
+//!   wire encoding of exactly the fields [`Plan::divergence`] covers)
+//!   from the same request against a single box, or
+//! * a backend restarted from its `CacheStore` snapshot does not serve
+//!   its first repeat request fully warm (`store_misses == 0` in the
+//!   response diagnostics, plan bytes unchanged), or
+//! * draining a backend on the router fails to rehash new work away
+//!   from it (its `submitted` counter must not move) or perturbs plan
+//!   bytes, or
+//! * killing one of the two backends mid-run fails **any** idempotent
+//!   request — every recommend/sweep must complete on the surviving
+//!   replica with plan bytes identical to single-box, or
+//! * a clean broadcast through the router leaves the fleet diverged
+//!   from a single box that applied the same clean, or
+//! * the router's aggregated `/v1/stats` disagrees with the sum of the
+//!   per-backend services, or `/v1/topology` misreports the fleet.
+//!
+//! Run `--quick` for the CI-sized instances.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fact_clean::net::api::{BudgetSpec, CleanRequest, RecommendRequest, SweepRequest};
+use fact_clean::net::client::ApiClient;
+use fact_clean::net::json::Json;
+use fact_clean::net::{
+    client, PlannerServer, RouterConfig, RouterServer, ServerConfig, ServerHandle,
+};
+use fact_clean::prelude::*;
+use fc_claims::window_sum_family;
+use fc_core::SolverRegistry;
+use fc_datasets::synthetic::urx;
+use fc_datasets::workloads::LAMBDA;
+
+// ---------------------------------------------------------------- fleet
+
+/// The shared stream definitions: every backend (and the single-box
+/// reference) registers identical sessions, so equal requests must
+/// produce byte-identical plans anywhere in the fleet.
+fn instances(quick: bool) -> Vec<(String, Instance)> {
+    let n = if quick { 36 } else { 72 };
+    (0..6)
+        .map(|i| {
+            let id = format!("s{i}");
+            let instance = urx(n, 0xC0FFEE ^ i).expect("synthetic instance");
+            (id, instance)
+        })
+        .collect()
+}
+
+fn session(instance: &Instance) -> CleaningSession {
+    let n = instance.len();
+    let claims = window_sum_family(n, 4, n - 4, Direction::LowerIsStronger, LAMBDA)
+        .expect("window fits the instance");
+    SessionBuilder::new()
+        .discrete(instance.clone())
+        .claims(claims)
+        .parallelism(Parallelism::Sequential)
+        .build()
+        .expect("data and claims are set")
+}
+
+/// Boots one backend over the shared streams. A short read timeout
+/// keeps graceful shutdown snappy (idle keep-alive connections from
+/// router pools are reaped fast) and exercises the client's
+/// stale-keep-alive retry.
+fn boot(
+    streams: &[(String, Instance)],
+    snapshot: Option<PathBuf>,
+) -> (PlannerService, ServerHandle) {
+    let service = PlannerService::new(
+        Arc::new(SolverRegistry::with_defaults()),
+        ServiceOptions::new(),
+    );
+    let mut config = ServerConfig::new().with_read_timeout(Duration::from_millis(400));
+    if let Some(path) = snapshot {
+        config = config.with_snapshot_path(path);
+    }
+    let mut server = PlannerServer::new(service.clone()).with_config(config);
+    for (id, instance) in streams {
+        server = server.with_stream(
+            id.clone(),
+            ClaimStream::open(session(instance), service.clone()),
+        );
+    }
+    let handle = server.serve("127.0.0.1:0").expect("bind ephemeral port");
+    (service, handle)
+}
+
+// ------------------------------------------------------------- workload
+
+fn recommend_dup(id: &str) -> RecommendRequest {
+    RecommendRequest {
+        stream: id.to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Fraction(0.25),
+    }
+}
+
+/// The per-stream mixed workload: (label, identity bytes) per plan.
+fn stream_requests(client: &ApiClient, id: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let plan = client
+        .recommend(&recommend_dup(id), None)
+        .map_err(|e| format!("recommend dup on {id}: {e}"))?;
+    out.push((format!("{id}/dup"), plan.identity_json().to_string()));
+    let bias = RecommendRequest {
+        stream: id.to_string(),
+        spec: ObjectiveSpec::find_counter(5.0),
+        budget: BudgetSpec::Absolute(3),
+    };
+    let plan = client
+        .recommend(&bias, None)
+        .map_err(|e| format!("recommend maxpr on {id}: {e}"))?;
+    out.push((format!("{id}/maxpr"), plan.identity_json().to_string()));
+    let sweep = SweepRequest {
+        stream: id.to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Frag),
+        budgets: vec![BudgetSpec::Absolute(2), BudgetSpec::Absolute(4)],
+    };
+    let plans = client
+        .sweep(&sweep, None)
+        .map_err(|e| format!("sweep on {id}: {e}"))?;
+    for (i, plan) in plans.iter().enumerate() {
+        out.push((format!("{id}/frag/{i}"), plan.identity_json().to_string()));
+    }
+    Ok(out)
+}
+
+fn run_workload(client: &ApiClient, ids: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for id in ids {
+        out.extend(stream_requests(client, id)?);
+    }
+    Ok(out)
+}
+
+fn diff(label: &str, got: &[(String, String)], want: &[(String, String)]) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{label}: {} plans, expected {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    for ((key, bytes), (want_key, want_bytes)) in got.iter().zip(want) {
+        if key != want_key || bytes != want_bytes {
+            return Err(format!(
+                "{label}: plan {key} diverged from single-box {want_key}:\n  got  {bytes}\n  want {want_bytes}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- main
+
+fn run(quick: bool) -> Result<(), String> {
+    let streams = instances(quick);
+    let ids: Vec<String> = streams.iter().map(|(id, _)| id.clone()).collect();
+
+    // --- phase 1: single-box baseline -------------------------------
+    let (_box_service, box_server) = boot(&streams, None);
+    let box_client =
+        ApiClient::connect(box_server.addr()).map_err(|e| format!("connect single box: {e}"))?;
+    let baseline = run_workload(&box_client, &ids)?;
+    println!("baseline: {} plans on a single box", baseline.len());
+
+    // --- phase 2: snapshot → warm restart (before any cleans) -------
+    let snapdir = std::env::temp_dir().join(format!("fc-router-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&snapdir).map_err(|e| format!("mkdir {}: {e}", snapdir.display()))?;
+    let snapshot = snapdir.join("backend.fcsnap");
+    {
+        let (_service, server) = boot(&streams, Some(snapshot.clone()));
+        let warmup =
+            ApiClient::connect(server.addr()).map_err(|e| format!("connect snapshot box: {e}"))?;
+        let first = run_workload(&warmup, &ids)?;
+        diff("snapshot warm-up", &first, &baseline)?;
+        // Graceful shutdown persists the settled store.
+        server.shutdown();
+    }
+    let (_service, warm_server) = boot(&streams, Some(snapshot.clone()));
+    let (status, health) = client::get(warm_server.addr(), "/v1/health")
+        .map_err(|e| format!("health on warm restart: {e}"))?;
+    let restored = Json::parse(&health)
+        .ok()
+        .and_then(|j| j.get("restored_entries").and_then(Json::as_u64))
+        .filter(|_| status == 200)
+        .ok_or_else(|| format!("warm restart health unreadable: {status} {health}"))?;
+    if restored == 0 {
+        return Err("warm restart reports zero restored entries".to_string());
+    }
+    let warm_client =
+        ApiClient::connect(warm_server.addr()).map_err(|e| format!("connect warm restart: {e}"))?;
+    let plan = warm_client
+        .recommend(&recommend_dup(&ids[0]), None)
+        .map_err(|e| format!("first warm request: {e}"))?;
+    if plan.diagnostics.store_misses != 0 {
+        return Err(format!(
+            "first request after warm restart paid {} store misses",
+            plan.diagnostics.store_misses
+        ));
+    }
+    if plan.identity_json().to_string() != baseline[0].1 {
+        return Err("warm-restart plan diverged from single-box bytes".to_string());
+    }
+    warm_server.shutdown();
+    let _ = std::fs::remove_dir_all(&snapdir);
+    println!("snapshot: restart restored {restored} entries, first request fully warm");
+
+    // --- phase 3: router byte-identity, aggregation, drain ----------
+    let (service_a, server_a) = boot(&streams, None);
+    let (service_b, server_b) = boot(&streams, None);
+    let router = RouterServer::new()
+        .with_backend("a", server_a.addr().to_string())
+        .with_backend("b", server_b.addr().to_string())
+        .with_config(RouterConfig::new().with_probe_interval(Duration::from_millis(50)))
+        .serve("127.0.0.1:0")
+        .map_err(|e| format!("bind router: {e}"))?;
+    let routed_client =
+        ApiClient::connect(router.addr()).map_err(|e| format!("connect router: {e}"))?;
+    let routed = run_workload(&routed_client, &ids)?;
+    diff("router", &routed, &baseline)?;
+    println!(
+        "router: {} plans byte-identical across 2 backends (split {}/{})",
+        routed.len(),
+        service_a.stats().submitted,
+        service_b.stats().submitted
+    );
+
+    let aggregated = routed_client
+        .stats()
+        .map_err(|e| format!("aggregated stats: {e}"))?;
+    let sum = service_a.stats().submitted + service_b.stats().submitted;
+    if aggregated.service.submitted != sum {
+        return Err(format!(
+            "aggregated stats report {} submitted, backends sum to {sum}",
+            aggregated.service.submitted
+        ));
+    }
+    let (status, topo) =
+        client::get(router.addr(), "/v1/topology").map_err(|e| format!("topology: {e}"))?;
+    let backends_listed = Json::parse(&topo)
+        .ok()
+        .and_then(|j| {
+            j.get("backends")
+                .and_then(|b| b.as_array().map(<[Json]>::len))
+        })
+        .filter(|_| status == 200)
+        .ok_or_else(|| format!("topology unreadable: {status} {topo}"))?;
+    if backends_listed != 2 {
+        return Err(format!(
+            "topology lists {backends_listed} backends, expected 2"
+        ));
+    }
+
+    // Drain backend a: new work must rehash to b, bytes unchanged.
+    let submitted_before_drain = service_a.stats().submitted;
+    let (status, _) = client::post(router.addr(), "/v1/admin/backends/a/drain", "", &[])
+        .map_err(|e| format!("drain admin: {e}"))?;
+    if status != 200 {
+        return Err(format!("drain admin returned {status}"));
+    }
+    let drained = run_workload(&routed_client, &ids)?;
+    diff("drained fleet", &drained, &baseline)?;
+    if service_a.stats().submitted != submitted_before_drain {
+        return Err("drained backend still received new work".to_string());
+    }
+    let (status, _) = client::post(router.addr(), "/v1/admin/backends/a/undrain", "", &[])
+        .map_err(|e| format!("undrain admin: {e}"))?;
+    if status != 200 {
+        return Err(format!("undrain admin returned {status}"));
+    }
+    println!("drain: rotated all new work off backend a and back");
+
+    // --- phase 4: kill backend b mid-run ----------------------------
+    let mut server_b = Some(server_b);
+    let mut survived = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        if i == ids.len() / 2 {
+            // "Power failure" on b: stop serving. In-pool router
+            // connections go stale; the next request over them must
+            // fail over to a with zero client-visible errors.
+            server_b.take().expect("b still running").shutdown();
+        }
+        survived.extend(stream_requests(&routed_client, id)?);
+    }
+    diff("one-backend fleet", &survived, &baseline)?;
+    println!(
+        "failover: backend b killed mid-run, {} idempotent requests all served",
+        survived.len()
+    );
+
+    // --- phase 5: broadcast clean, post-clean identity --------------
+    let target = &streams[0];
+    let clean = CleanRequest {
+        objects: vec![0, 1],
+        revealed: vec![target.1.dist(0).mean(), target.1.dist(1).mean()],
+    };
+    routed_client
+        .clean(&ids[0], &clean, None)
+        .map_err(|e| format!("clean through router: {e}"))?;
+    box_client
+        .clean(&ids[0], &clean, None)
+        .map_err(|e| format!("clean on single box: {e}"))?;
+    let routed_plan = routed_client
+        .recommend(&recommend_dup(&ids[0]), None)
+        .map_err(|e| format!("post-clean recommend through router: {e}"))?;
+    let box_plan = box_client
+        .recommend(&recommend_dup(&ids[0]), None)
+        .map_err(|e| format!("post-clean recommend on single box: {e}"))?;
+    if routed_plan.identity_json().to_string() != box_plan.identity_json().to_string() {
+        return Err("post-clean plans diverged between fleet and single box".to_string());
+    }
+    println!("clean: broadcast applied, post-clean plans byte-identical");
+
+    router.shutdown();
+    server_a.shutdown();
+    box_server.shutdown();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "--smoke");
+    match run(quick) {
+        Ok(()) => {
+            println!("OK: topology is invisible to the workload");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("FAIL {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,8 +34,8 @@ pub use instance::{GaussianInstance, Instance};
 pub use planner::{
     BatchJob, CacheKey, CacheStats, CacheStore, CancelToken, EngineCache, ExecOptions, Goal, Lane,
     Parallelism, Plan, PlanDiagnostics, PlannerService, Problem, QuotaPolicy, QuotaUsage,
-    RequestHandle, ServiceOptions, ServiceStats, SolveRequest, Solver, SolverRegistry,
-    SweepRequest, TenantId, WaitOutcome, WorkerPool,
+    RequestHandle, ServiceOptions, ServiceStats, SnapshotError, SnapshotStats, SolveRequest,
+    Solver, SolverRegistry, SweepRequest, TenantId, WaitOutcome, WorkerPool,
 };
 pub use selection::Selection;
 

@@ -38,6 +38,7 @@ pub mod exec;
 pub mod pool;
 pub mod service;
 
+pub use cache::snapshot::{SnapshotError, SnapshotStats};
 pub use cache::{CacheKey, CacheStats, CacheStore, Fnv1a};
 pub use exec::{BatchJob, CancelToken, ExecOptions, Parallelism};
 pub use pool::WorkerPool;

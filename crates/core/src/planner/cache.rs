@@ -42,6 +42,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::ev::scoped::ScopedTables;
 use crate::instance::{GaussianInstance, Instance};
 
+pub mod snapshot;
+
 /// Incremental FNV-1a hasher over 64 bits — tiny, dependency-free, and
 /// stable across platforms and runs (unlike `std`'s randomized
 /// `DefaultHasher`), which is what a persistent cache key needs.

@@ -1,0 +1,585 @@
+//! Versioned on-disk persistence for a [`CacheStore`].
+//!
+//! A restarted (or freshly spawned) replica normally boots cold: every
+//! stream's first request pays the full scoped-table build. This module
+//! makes the prefix work survive the process — [`write_snapshot`]
+//! serializes the resident entries (scoped Theorem 3.8 tables and
+//! Lemma 3.1 modular benefits, keyed by their [`CacheKey`]
+//! fingerprints) into a single checksummed file, and
+//! [`restore_snapshot`] rehydrates them into a store so the first
+//! lookup of each restored key is a **hit** with zero rebuild
+//! evaluations.
+//!
+//! ## Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic    8 bytes   b"FCSNAPSH"
+//! version  u32       1
+//! scope    u64       caller-supplied topology fingerprint
+//! count    u64       number of entries
+//! entry*             instance u64 · query u64 · flags u8 ·
+//!                    [scoped-tables payload] · [benefits len u64 + f64 bits]
+//! checksum u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! `flags` bit 0 marks a tables payload; bits 1–2 encode the benefits
+//! state (0 = never built, 1 = affine vector follows, 2 = non-affine
+//! `None`). The scoped-tables payload is the self-describing encoding
+//! from [`ScopedTables::encode_into`].
+//!
+//! ## Safety contract
+//!
+//! The snapshot trusts the same 64-bit fingerprint contract as the live
+//! store: a restored entry is served for a key only when both
+//! fingerprint halves match, exactly as a warm in-process entry would
+//! be. Two guards keep a *wrong* warm hit out:
+//!
+//! * the `scope` header field is checked against the caller's expected
+//!   topology fingerprint, so a snapshot from a server registered with
+//!   different streams is rejected wholesale ([`SnapshotError::ScopeMismatch`]);
+//! * the trailing checksum plus bounded decoding reject torn, truncated
+//!   or bit-flipped files with a typed error — corruption can cost a
+//!   cold start, never a panic and never a silently-wrong table.
+//!
+//! Restore never displaces live work: keys already resident in the
+//! target store keep their entries, and the capacity cap is honored
+//! (overflow entries are counted in [`SnapshotStats::skipped`], not
+//! force-inserted).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::ev::scoped::ScopedTables;
+
+use super::{CacheKey, CacheSlot, CacheStore, Fnv1a};
+
+/// File magic — first eight bytes of every snapshot.
+const MAGIC: [u8; 8] = *b"FCSNAPSH";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Bytes before the first entry: magic + version + scope + count.
+const HEADER_BYTES: usize = 8 + 4 + 8 + 8;
+/// Trailing checksum width.
+const CHECKSUM_BYTES: usize = 8;
+/// Smallest possible entry: key (16 bytes) + flags (1 byte).
+const MIN_ENTRY_BYTES: usize = 17;
+
+/// Why a snapshot could not be written or restored. Every variant is a
+/// recoverable "boot cold instead" signal — none of the restore paths
+/// panic, and a failed restore leaves the target store untouched.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Reading or writing the file failed (missing file, permissions…).
+    Io(std::io::Error),
+    /// The file is too short to hold even the fixed-size envelope.
+    Truncated,
+    /// The file does not start with the snapshot magic — not a
+    /// snapshot at all.
+    BadMagic,
+    /// The file's format version is one this build cannot read.
+    UnsupportedVersion(u32),
+    /// The trailing FNV-1a checksum does not match the contents — a
+    /// torn write or bit rot.
+    ChecksumMismatch,
+    /// The snapshot was taken under a different topology fingerprint
+    /// than the caller expects — its entries belong to other streams.
+    ScopeMismatch {
+        /// The scope the caller expected.
+        expected: u64,
+        /// The scope recorded in the file.
+        found: u64,
+    },
+    /// The envelope checks passed but an entry payload is malformed
+    /// (only reachable on a 64-bit checksum collision or a bug).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            Self::Truncated => f.write_str("snapshot file truncated"),
+            Self::BadMagic => f.write_str("not a cache snapshot (bad magic)"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            Self::ChecksumMismatch => f.write_str("snapshot checksum mismatch"),
+            Self::ScopeMismatch { expected, found } => write!(
+                f,
+                "snapshot scope mismatch (expected {expected:#018x}, found {found:#018x})"
+            ),
+            Self::Corrupt(what) => write!(f, "snapshot payload corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// What a snapshot or restore actually moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Entries written to, or inserted from, the snapshot.
+    pub entries: usize,
+    /// Total encoded size in bytes.
+    pub bytes: usize,
+    /// Restore only: entries present in the file but not inserted —
+    /// their key was already resident, or the shard was at capacity.
+    pub skipped: usize,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes every *built* entry of `store` (slots where neither
+/// engine has finished building are dropped — there is nothing to keep
+/// warm) into the version-1 snapshot format, under the caller's
+/// topology fingerprint `scope`. Entry order follows each shard's
+/// FIFO insertion order, so identical stores encode identical bytes.
+pub fn snapshot_bytes(store: &CacheStore, scope: u64) -> (Vec<u8>, usize) {
+    // Collect slot handles under the shard locks, encode outside them.
+    let mut entries: Vec<(CacheKey, Arc<CacheSlot>)> = Vec::new();
+    for shard in &store.shards {
+        let s = shard.lock().expect("cache shard poisoned");
+        for key in &s.order {
+            if let Some(slot) = s.map.get(key) {
+                if slot.tables.get().is_some() || slot.benefits.get().is_some() {
+                    entries.push((*key, Arc::clone(slot)));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    put_u64(&mut out, scope);
+    put_u64(&mut out, entries.len() as u64);
+    for (key, slot) in &entries {
+        put_u64(&mut out, key.instance);
+        put_u64(&mut out, key.query);
+        let tables = slot.tables.get();
+        let benefits = slot.benefits.get();
+        let mut flags = 0u8;
+        if tables.is_some() {
+            flags |= 1;
+        }
+        flags |= match benefits {
+            None => 0,
+            Some(Some(_)) => 1 << 1,
+            Some(None) => 2 << 1,
+        };
+        out.push(flags);
+        if let Some(tables) = tables {
+            tables.encode_into(&mut out);
+        }
+        if let Some(Some(vs)) = benefits {
+            put_u64(&mut out, vs.len() as u64);
+            for &v in vs.iter() {
+                put_u64(&mut out, v.to_bits());
+            }
+        }
+    }
+    let mut h = Fnv1a::new();
+    h.write_bytes(&out);
+    let digest = h.finish();
+    put_u64(&mut out, digest);
+    (out, entries.len())
+}
+
+/// Writes a snapshot of `store` to `path` atomically: the bytes land
+/// in a `.tmp` sibling first and are renamed into place, so a crash
+/// mid-write leaves either the old snapshot or none — never a torn
+/// file under the real name.
+pub fn write_snapshot(
+    store: &CacheStore,
+    path: &Path,
+    scope: u64,
+) -> Result<SnapshotStats, SnapshotError> {
+    let (bytes, entries) = snapshot_bytes(store, scope);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(SnapshotStats {
+        entries,
+        bytes: bytes.len(),
+        skipped: 0,
+    })
+}
+
+/// Bounded little-endian reader over the entry region.
+struct SnapReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(SnapshotError::Corrupt("entry truncated"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(SnapshotError::Corrupt("entry truncated"))?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(buf))
+    }
+}
+
+/// Decodes `bytes` and inserts every entry whose key is not already
+/// resident into `store`, pre-seeding the slot `OnceLock`s so the
+/// first lookup of a restored key is a warm hit. `expected_scope` must
+/// match the scope recorded in the file.
+///
+/// On any error the store is left exactly as it was — entries are
+/// fully decoded and validated before the first insertion.
+pub fn restore_bytes(
+    store: &CacheStore,
+    bytes: &[u8],
+    expected_scope: u64,
+) -> Result<SnapshotStats, SnapshotError> {
+    if bytes.len() < HEADER_BYTES + CHECKSUM_BYTES {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let body_end = bytes.len() - CHECKSUM_BYTES;
+    let mut h = Fnv1a::new();
+    h.write_bytes(&bytes[..body_end]);
+    let recorded = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    if h.finish() != recorded {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let scope = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if scope != expected_scope {
+        return Err(SnapshotError::ScopeMismatch {
+            expected: expected_scope,
+            found: scope,
+        });
+    }
+    let count = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+
+    let mut r = SnapReader {
+        bytes: &bytes[..body_end],
+        pos: HEADER_BYTES,
+    };
+    if count as usize > r.remaining() / MIN_ENTRY_BYTES {
+        return Err(SnapshotError::Corrupt("entry count exceeds input"));
+    }
+
+    // Decode everything before touching the store, so a corrupt tail
+    // (possible only past a checksum collision) cannot leave a
+    // half-restored store.
+    let mut decoded: Vec<(CacheKey, CacheSlot)> = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let key = CacheKey::new(r.u64()?, r.u64()?);
+        let flags = r.u8()?;
+        if flags & !0b111 != 0 || flags >> 1 > 2 {
+            return Err(SnapshotError::Corrupt("unknown entry flags"));
+        }
+        let slot = CacheSlot::default();
+        if flags & 1 != 0 {
+            let (tables, consumed) =
+                ScopedTables::decode_from(&r.bytes[r.pos..]).map_err(SnapshotError::Corrupt)?;
+            r.pos += consumed;
+            slot.tables
+                .set(Arc::new(tables))
+                .unwrap_or_else(|_| unreachable!("fresh slot"));
+        }
+        match flags >> 1 {
+            0 => {}
+            1 => {
+                let len = r.u64()? as usize;
+                if len > r.remaining() / 8 {
+                    return Err(SnapshotError::Corrupt("benefits length exceeds input"));
+                }
+                let mut vs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    vs.push(f64::from_bits(r.u64()?));
+                }
+                slot.benefits
+                    .set(Some(Arc::new(vs)))
+                    .unwrap_or_else(|_| unreachable!("fresh slot"));
+            }
+            _ => {
+                slot.benefits
+                    .set(None)
+                    .unwrap_or_else(|_| unreachable!("fresh slot"));
+            }
+        }
+        decoded.push((key, slot));
+    }
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Corrupt("trailing bytes after entries"));
+    }
+
+    let mut inserted = 0usize;
+    let mut skipped = 0usize;
+    for (key, slot) in decoded {
+        let mut shard = store.shard_of(key).lock().expect("cache shard poisoned");
+        // Never displace live work: existing keys win, and the
+        // capacity cap is honored instead of evicting residents.
+        if shard.map.contains_key(&key) || shard.map.len() >= store.shard_capacity {
+            skipped += 1;
+            continue;
+        }
+        shard.map.insert(key, Arc::new(slot));
+        shard.order.push_back(key);
+        inserted += 1;
+    }
+    Ok(SnapshotStats {
+        entries: inserted,
+        bytes: bytes.len(),
+        skipped,
+    })
+}
+
+/// [`restore_bytes`] over a file. A missing or unreadable file surfaces
+/// as [`SnapshotError::Io`] — callers treat every error as "boot cold".
+pub fn restore_snapshot(
+    store: &CacheStore,
+    path: &Path,
+    expected_scope: u64,
+) -> Result<SnapshotStats, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    restore_bytes(store, &bytes, expected_scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{fingerprint_instance, CacheStore};
+    use super::*;
+    use crate::instance::Instance;
+    use fc_claims::{ClaimSet, Direction, DupQuery, LinearClaim};
+    use fc_uncertain::DiscreteDist;
+
+    fn instance() -> Instance {
+        Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[0.0, 4.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0, 3.0]).unwrap(),
+                DiscreteDist::uniform_over(&[0.0, 6.0]).unwrap(),
+            ],
+            vec![2.0, 2.0, 3.0],
+            vec![1, 1, 2],
+        )
+        .unwrap()
+    }
+
+    fn query() -> DupQuery {
+        DupQuery::new(
+            ClaimSet::new(
+                LinearClaim::window_sum(0, 2).unwrap(),
+                vec![
+                    LinearClaim::window_sum(0, 2).unwrap(),
+                    LinearClaim::window_sum(1, 2).unwrap(),
+                ],
+                vec![0.5, 0.5],
+                Direction::HigherIsStronger,
+            )
+            .unwrap(),
+            5.0,
+        )
+    }
+
+    /// A store with one fully-built entry (tables + affine benefits)
+    /// and one benefits-only non-affine entry.
+    fn warm_store() -> (CacheStore, CacheKey, CacheKey) {
+        // One shard: both keys are guaranteed resident together and
+        // encode in strict FIFO order.
+        let store = CacheStore::with_shards(8, 1);
+        let inst = instance();
+        let q = query();
+        let k1 = CacheKey::new(fingerprint_instance(&inst), 11);
+        let k2 = CacheKey::new(fingerprint_instance(&inst), 22);
+        store.tables(k1, || ScopedTables::build(&inst, &q));
+        store.benefits(k1, || Some(vec![1.5, -2.25, 0.0]));
+        store.benefits(k2, || None);
+        (store, k1, k2)
+    }
+
+    #[test]
+    fn snapshot_round_trip_boots_warm() {
+        let (store, k1, k2) = warm_store();
+        let (bytes, entries) = snapshot_bytes(&store, 0xABCD);
+        assert_eq!(entries, 2);
+
+        let fresh = CacheStore::with_shards(8, 1);
+        let stats = restore_bytes(&fresh, &bytes, 0xABCD).expect("restore");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.bytes, bytes.len());
+
+        // Every restored lookup is a warm hit: the builders must never run.
+        let tables = fresh.tables(k1, || panic!("restored tables must be warm"));
+        let benefits = fresh.benefits(k1, || panic!("restored benefits must be warm"));
+        assert_eq!(
+            benefits.as_deref().map(|v| v.as_slice()),
+            Some(&[1.5, -2.25, 0.0][..])
+        );
+        assert!(fresh
+            .benefits(k2, || panic!("restored None must be warm"))
+            .is_none());
+        let s = fresh.stats();
+        assert_eq!(s.misses, 0, "a restored store serves with zero misses");
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.scoped_builds, 0);
+
+        // The restored tables are byte-identical to the originals.
+        let mut original = Vec::new();
+        store
+            .tables(k1, || panic!("source must stay warm"))
+            .encode_into(&mut original);
+        let mut restored = Vec::new();
+        tables.encode_into(&mut restored);
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn snapshot_file_round_trip_is_atomic() {
+        let (store, k1, _) = warm_store();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fc-snapshot-test-{}.fcsnap", std::process::id()));
+        let written = write_snapshot(&store, &path, 7).expect("write");
+        assert!(written.entries == 2 && written.bytes > 0);
+        assert!(
+            !path.with_extension("fcsnap.tmp").exists(),
+            "tmp file renamed away"
+        );
+
+        let fresh = CacheStore::with_shards(8, 1);
+        let stats = restore_snapshot(&fresh, &path, 7).expect("restore");
+        assert_eq!(stats.entries, 2);
+        fresh.tables(k1, || panic!("file-restored tables must be warm"));
+        std::fs::remove_file(&path).ok();
+
+        // A missing file is a typed Io error, not a panic.
+        assert!(matches!(
+            restore_snapshot(&fresh, &path, 7),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_corruption_with_typed_errors() {
+        let (store, _, _) = warm_store();
+        let (bytes, _) = snapshot_bytes(&store, 99);
+
+        let check = |mangled: Vec<u8>, expect: fn(&SnapshotError) -> bool, what: &str| {
+            let fresh = CacheStore::with_shards(8, 1);
+            let err = restore_bytes(&fresh, &mangled, 99).expect_err(what);
+            assert!(expect(&err), "{what}: got {err:?}");
+            assert!(fresh.is_empty(), "{what}: failed restore must not insert");
+        };
+
+        check(
+            bytes[..HEADER_BYTES].to_vec(),
+            |e| matches!(e, SnapshotError::Truncated),
+            "header-only file",
+        );
+        check(
+            Vec::new(),
+            |e| matches!(e, SnapshotError::Truncated),
+            "empty file",
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        check(
+            bad_magic,
+            |e| matches!(e, SnapshotError::BadMagic),
+            "bad magic",
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 0xEE;
+        check(
+            bad_version,
+            |e| matches!(e, SnapshotError::UnsupportedVersion(_)),
+            "future version",
+        );
+        let mut flipped = bytes.clone();
+        flipped[HEADER_BYTES + 3] ^= 0x40;
+        check(
+            flipped,
+            |e| matches!(e, SnapshotError::ChecksumMismatch),
+            "bit flip in entries",
+        );
+        let mut dropped_tail = bytes.clone();
+        dropped_tail.pop();
+        check(
+            dropped_tail,
+            |e| matches!(e, SnapshotError::ChecksumMismatch),
+            "last byte lost",
+        );
+
+        // Scope mismatch: intact file, wrong topology.
+        let fresh = CacheStore::with_shards(8, 1);
+        assert!(matches!(
+            restore_bytes(&fresh, &bytes, 98),
+            Err(SnapshotError::ScopeMismatch {
+                expected: 98,
+                found: 99
+            })
+        ));
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn restore_never_displaces_live_entries() {
+        let (store, k1, _) = warm_store();
+        let (bytes, _) = snapshot_bytes(&store, 5);
+
+        // k1 already resident in the target: the live slot wins.
+        let target = CacheStore::with_shards(8, 1);
+        let inst = instance();
+        let q = query();
+        let live = target.tables(k1, || ScopedTables::build(&inst, &q));
+        let stats = restore_bytes(&target, &bytes, 5).expect("restore");
+        assert_eq!(stats.entries, 1, "only the non-resident key lands");
+        assert_eq!(stats.skipped, 1);
+        let after = target.tables(k1, || panic!("live entry must survive restore"));
+        assert!(Arc::ptr_eq(&live, &after), "resident slot untouched");
+
+        // Capacity cap honored: a one-entry store takes one entry.
+        let tiny = CacheStore::with_shards(1, 1);
+        let stats = restore_bytes(&tiny, &bytes, 5).expect("restore");
+        assert_eq!(stats.entries + stats.skipped, 2);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(tiny.len(), 1);
+    }
+}

@@ -18,8 +18,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use fact_clean::net::api::{BudgetSpec, CleanRequest, RecommendRequest, SweepRequest};
 use fact_clean::net::client::{self, ClientPool};
-use fact_clean::net::json::Json;
+use fact_clean::planner::{Goal, Measure, ObjectiveSpec};
 
 use crate::gen::SplitMix64;
 use crate::hist::LogHistogram;
@@ -166,55 +167,58 @@ fn bad_token(what: &str, token: &str) -> io::Error {
     )
 }
 
-/// `f0.2` → `{"fraction":0.2}`; `a5` → `5`.
-fn budget_json(token: &str) -> io::Result<Json> {
+/// `f0.2` → [`BudgetSpec::Fraction`]; `a5` → [`BudgetSpec::Absolute`].
+fn budget_spec(token: &str) -> io::Result<BudgetSpec> {
     if let Some(frac) = token.strip_prefix('f') {
         let f: f64 = frac.parse().map_err(|_| bad_token("budget", token))?;
-        return Ok(Json::obj([("fraction", Json::Num(f))]));
+        return Ok(BudgetSpec::Fraction(f));
     }
     if let Some(abs) = token.strip_prefix('a') {
         let n: u64 = abs.parse().map_err(|_| bad_token("budget", token))?;
-        return Ok(Json::Num(n as f64));
+        return Ok(BudgetSpec::Absolute(n));
     }
     Err(bad_token("budget", token))
 }
 
-/// `dup` → measure fields; `bias@maxpr5` → measure + goal; a
-/// `~strategy` suffix (e.g. `dup~slow`) pins the solver strategy —
-/// the harness registers a deliberately slow solver so abandoned
-/// requests are still mid-solve when the disconnect probe fires.
-fn spec_fields(token: &str) -> io::Result<Vec<(String, Json)>> {
+/// `dup` → a measure; `bias@maxpr5` → measure + goal; a `~strategy`
+/// suffix (e.g. `dup~slow`) pins the solver strategy — the harness
+/// registers a deliberately slow solver so abandoned requests are
+/// still mid-solve when the disconnect probe fires.
+fn objective_spec(token: &str) -> io::Result<ObjectiveSpec> {
     let (token, strategy) = match token.split_once('~') {
         None => (token, None),
         Some((head, strategy)) if !strategy.is_empty() => (head, Some(strategy)),
         Some(_) => return Err(bad_token("spec", token)),
     };
     let (measure, goal) = match token.split_once('@') {
-        None => (token, None),
+        None => (token, Goal::MinVar),
         Some((measure, goal)) => {
             let tau: f64 = goal
                 .strip_prefix("maxpr")
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| bad_token("spec", token))?;
-            (measure, Some(tau))
+            (measure, Goal::MaxPr { tau })
         }
     };
-    if !matches!(measure, "bias" | "dup" | "frag") {
-        return Err(bad_token("spec", token));
-    }
-    let mut fields = vec![("measure".to_string(), Json::Str(measure.to_string()))];
-    if let Some(tau) = goal {
-        fields.push(("goal".to_string(), Json::obj([("maxpr", Json::Num(tau))])));
-    }
+    let measure = match measure {
+        "bias" => Measure::Bias,
+        "dup" => Measure::Dup,
+        "frag" => Measure::Frag,
+        _ => return Err(bad_token("spec", token)),
+    };
+    let mut spec = ObjectiveSpec::new(measure, goal);
     if let Some(strategy) = strategy {
-        fields.push(("strategy".to_string(), Json::Str(strategy.to_string())));
+        spec = spec.with_strategy(strategy);
     }
-    Ok(fields)
+    Ok(spec)
 }
 
-/// The (path, body) a trace event puts on the wire. Pure function of
-/// (event, its global index, targets, seed) — the determinism the
-/// acceptance gate relies on.
+/// The (path, body) a trace event puts on the wire, built through the
+/// typed [`api`](fact_clean::net::api) structs — the replayer speaks
+/// the same vocabulary as the server routes, so a renamed field breaks
+/// at the definition, not silently here. Pure function of (event, its
+/// global index, targets, seed) — the determinism the acceptance gate
+/// relies on.
 fn request_for(
     event: &TraceEvent,
     index: usize,
@@ -224,17 +228,24 @@ fn request_for(
     let target = &targets[(fnv64(event.tenant.as_bytes()) as usize ^ index) % targets.len()];
     match event.op {
         Op::Recommend => {
-            let mut fields = vec![("stream".to_string(), Json::Str(target.id.clone()))];
-            fields.extend(spec_fields(&event.spec)?);
-            fields.push(("budget".to_string(), budget_json(&event.budget)?));
-            Ok(("/v1/recommend".to_string(), Json::Obj(fields).to_string()))
+            let request = RecommendRequest {
+                stream: target.id.clone(),
+                spec: objective_spec(&event.spec)?,
+                budget: budget_spec(&event.budget)?,
+            };
+            Ok(("/v1/recommend".to_string(), request.encode()))
         }
         Op::Sweep => {
-            let mut fields = vec![("stream".to_string(), Json::Str(target.id.clone()))];
-            fields.extend(spec_fields(&event.spec)?);
-            let budgets: io::Result<Vec<Json>> = event.budget.split(',').map(budget_json).collect();
-            fields.push(("budgets".to_string(), Json::Arr(budgets?)));
-            Ok(("/v1/sweep".to_string(), Json::Obj(fields).to_string()))
+            let request = SweepRequest {
+                stream: target.id.clone(),
+                spec: objective_spec(&event.spec)?,
+                budgets: event
+                    .budget
+                    .split(',')
+                    .map(budget_spec)
+                    .collect::<io::Result<_>>()?,
+            };
+            Ok(("/v1/sweep".to_string(), request.encode()))
         }
         Op::Clean => {
             let k: usize = event
@@ -249,18 +260,11 @@ fn request_for(
                 .collect();
             objects.sort_unstable();
             objects.dedup();
-            let revealed: Vec<Json> = objects
-                .iter()
-                .map(|&o| Json::Num(target.revealed[o]))
-                .collect();
-            let body = Json::obj([
-                (
-                    "objects",
-                    Json::Arr(objects.iter().map(|&o| Json::Num(o as f64)).collect()),
-                ),
-                ("revealed", Json::Arr(revealed)),
-            ]);
-            Ok((format!("/v1/streams/{}/clean", target.id), body.to_string()))
+            let request = CleanRequest {
+                revealed: objects.iter().map(|&o| target.revealed[o]).collect(),
+                objects,
+            };
+            Ok((format!("/v1/streams/{}/clean", target.id), request.encode()))
         }
     }
 }
@@ -384,6 +388,7 @@ pub fn replay(
 mod tests {
     use super::*;
     use crate::trace::TraceEvent;
+    use fact_clean::net::json::Json;
 
     fn targets() -> Vec<StreamTarget> {
         vec![

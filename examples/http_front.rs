@@ -1,38 +1,21 @@
 //! The network front, end to end: boot the HTTP server over the
 //! crime-counts stream, then run the `serve_stream` loop — submit →
-//! clean → resubmit — as a wire protocol instead of library calls.
+//! clean → resubmit — through the typed [`ApiClient`] instead of
+//! library calls.
 //!
-//! The client below is a plain `TcpStream` speaking HTTP/1.1 (the
-//! transcript mirrors what `curl` would send; see the README's
-//! "Network front" section for the curl version).
+//! The typed layer (`fact_clean::net::api`) owns the wire field names;
+//! requests are built as structs and responses come back decoded. The
+//! final exchange drops to the raw `client::post` helper to show what
+//! actually crosses the socket — and what a malformed body gets back.
 //!
 //! Run with: `cargo run --release --example http_front`
 
-use std::net::TcpStream;
 use std::sync::Arc;
 
-use fact_clean::net::client;
+use fact_clean::net::api::{BudgetSpec, CleanRequest, RecommendRequest, SweepRequest};
+use fact_clean::net::client::{self, ApiClient};
 use fact_clean::prelude::*;
 use fc_core::SolverRegistry;
-
-/// One keep-alive exchange via `fc::net::client`, printed transcript-
-/// style; returns the response body.
-fn request(sock: &mut TcpStream, method: &str, path: &str, json: &str) -> String {
-    client::write_request(sock, method, path, &[("x-tenant", "demo")], json).expect("send request");
-    let (status, body) = client::read_response(sock).expect("response");
-    println!("< HTTP/1.1 {status}\n< {body}\n");
-    body
-}
-
-fn post(sock: &mut TcpStream, path: &str, json: &str) -> String {
-    println!("> POST {path}\n> {json}");
-    request(sock, "POST", path, json)
-}
-
-fn get(sock: &mut TcpStream, path: &str) -> String {
-    println!("> GET {path}");
-    request(sock, "GET", path, "")
-}
 
 fn main() {
     // The Example-2 crime-counts data, exactly as in `serve_stream`.
@@ -70,61 +53,70 @@ fn main() {
         .expect("bind an ephemeral port");
     println!("planner server listening on http://{}\n", server.addr());
 
-    let mut sock = TcpStream::connect(server.addr()).expect("connect");
+    let api = ApiClient::connect(server.addr()).expect("connect");
 
     // 1. Ascertain the uniqueness claim under a budget of 2.
-    let cold = post(
-        &mut sock,
-        "/v1/recommend",
-        r#"{"stream":"crime","measure":"dup","budget":2}"#,
+    let ask = RecommendRequest {
+        stream: "crime".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Absolute(2),
+    };
+    println!("> POST /v1/recommend {}", ask.encode());
+    let cold = api.recommend(&ask, Some("demo")).expect("plan");
+    println!(
+        "< clean {:?} (cost {}, {} engine evals)\n",
+        cold.objects, cold.cost, cold.diagnostics.engine_evals
     );
 
     // 2. Clean the recommended objects at their revealed values (here:
     //    the distributions' max), invalidating exactly the stale cache
     //    entries server-side.
-    let objects: Vec<usize> = fact_clean::net::json::Json::parse(&cold)
-        .expect("plan JSON")
-        .get("objects")
-        .and_then(fact_clean::net::json::Json::as_array)
-        .expect("objects")
-        .iter()
-        .filter_map(fact_clean::net::json::Json::as_usize)
-        .collect();
-    let revealed: Vec<String> = objects
-        .iter()
-        .map(|&i| format!("{}", current[i] + 40.0))
-        .collect();
-    post(
-        &mut sock,
-        "/v1/streams/crime/clean",
-        &format!(
-            r#"{{"objects":[{}],"revealed":[{}]}}"#,
-            objects
-                .iter()
-                .map(usize::to_string)
-                .collect::<Vec<_>>()
-                .join(","),
-            revealed.join(",")
-        ),
+    let clean = CleanRequest {
+        objects: cold.objects.clone(),
+        revealed: cold.objects.iter().map(|&i| current[i] + 40.0).collect(),
+    };
+    println!("> POST /v1/streams/crime/clean {}", clean.encode());
+    let applied = api.clean("crime", &clean, Some("demo")).expect("clean");
+    println!(
+        "< cleaned {} objects, invalidated {} cached plans\n",
+        applied.objects, applied.invalidated
     );
 
     // 3. Resubmit: fresh fingerprint, fresh answer — plus a budget
     //    sweep to show the grid endpoint.
-    post(
-        &mut sock,
+    let warm = api.recommend(&ask, Some("demo")).expect("plan");
+    println!(
+        "< after cleaning: clean {:?} (cost {})\n",
+        warm.objects, warm.cost
+    );
+    let sweep = SweepRequest {
+        stream: "crime".to_string(),
+        spec: ObjectiveSpec::find_counter(5.0),
+        budgets: [1, 2, 3].iter().map(|&k| BudgetSpec::Absolute(k)).collect(),
+    };
+    println!("> POST /v1/sweep {}", sweep.encode());
+    for plan in api.sweep(&sweep, Some("demo")).expect("sweep") {
+        println!("< budget sweep: {} for {}", plan.goal, plan.identity_json());
+    }
+
+    // 4. Counters over the wire, typed.
+    let stats = api.stats().expect("stats");
+    println!(
+        "\nstats: {} submitted, {} completed, {} store hits\n",
+        stats.service.submitted, stats.service.completed, stats.store.hits
+    );
+
+    // 5. The raw wire, for contrast: `client::post` speaks HTTP/1.1
+    //    directly, which is also how a malformed body is rejected.
+    let (status, body) = client::post(
+        server.addr(),
         "/v1/recommend",
-        r#"{"stream":"crime","measure":"dup","budget":2}"#,
-    );
-    post(
-        &mut sock,
-        "/v1/sweep",
-        r#"{"stream":"crime","measure":"bias","goal":{"maxpr":5},"budgets":[1,2,3]}"#,
-    );
+        r#"{"stream":"crime","measure":"dup"}"#,
+        &[],
+    )
+    .expect("raw exchange");
+    println!("raw POST without a budget -> HTTP {status} {body}");
 
-    // 4. Counters over the wire.
-    get(&mut sock, "/v1/stats");
-
-    drop(sock);
     server.shutdown();
     println!("server drained and shut down");
 }

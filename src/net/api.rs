@@ -1,0 +1,788 @@
+//! The typed API surface of the HTTP front: request and response
+//! structs with explicit [`Json`] codecs.
+//!
+//! Everything that crosses the wire has a struct here —
+//! [`RecommendRequest`], [`SweepRequest`], [`CleanRequest`] /
+//! [`CleanResponse`], [`PlanView`], [`StatsResponse`] — with
+//! `from_json`/`to_json` (and `encode`/`decode` string conveniences)
+//! that are the **single** source of truth for field names and
+//! validation messages. The server routes decode requests through
+//! these types, the [`ApiClient`](super::client::ApiClient) and the
+//! load replayer encode through them, and the shard router decodes
+//! responses through them to aggregate and compare — so a renamed
+//! field breaks loudly at one definition instead of silently at N
+//! hand-built call sites. The raw [`post`](super::client::post) /
+//! [`get`](super::client::get) helpers stay public precisely so tests
+//! can still send malformed bodies past the typed layer.
+
+use fc_core::planner::service::{QuotaUsage, ServiceStats, TenantId};
+use fc_core::{Budget, CacheStats, CoreError};
+
+use super::json::Json;
+use crate::planner::{Goal, Measure, ObjectiveSpec, Strategy};
+
+/// A request that cannot be served, mapped to an HTTP status.
+#[derive(Debug)]
+pub struct ApiError {
+    /// The response status code.
+    pub status: u16,
+    /// Human-readable detail (the response `error` field).
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 with the given detail.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// A 404 with the given detail.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    /// A 502 with the given detail (a routing front could not get an
+    /// answer from any upstream backend).
+    pub fn bad_gateway(message: impl Into<String>) -> Self {
+        Self {
+            status: 502,
+            message: message.into(),
+        }
+    }
+
+    /// A 503 with the given detail (nothing available to serve the
+    /// request right now — retrying later may succeed).
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        Self {
+            status: 503,
+            message: message.into(),
+        }
+    }
+
+    /// The `{"error": …}` response body.
+    pub fn body(&self) -> String {
+        Json::obj([("error", Json::Str(self.message.clone()))]).to_string()
+    }
+}
+
+impl From<CoreError> for ApiError {
+    /// Maps solver/service errors onto statuses: quota exhaustion is
+    /// `429` (retry after in-flight work resolves); a contained worker
+    /// panic is `500`, as is `Cancelled` (a request the *server*
+    /// abandoned while the client still waits — unreachable through
+    /// the normal disconnect path, which never responds at all);
+    /// everything else — bad strategies, bad objects, refused problem
+    /// shapes — is a `400` request error.
+    fn from(e: CoreError) -> Self {
+        let status = match &e {
+            CoreError::QuotaExceeded { .. } => 429,
+            CoreError::WorkerPanicked { .. } | CoreError::Cancelled => 500,
+            _ => 400,
+        };
+        Self {
+            status,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Encodes a [`Goal`] the way every route writes it: `"minvar"` or
+/// `{"maxpr": τ}`.
+pub fn goal_json(goal: Goal) -> Json {
+    match goal {
+        Goal::MinVar => Json::Str("minvar".to_string()),
+        Goal::MaxPr { tau } => Json::obj([("maxpr", Json::Num(tau))]),
+        // `Goal` is non-exhaustive upstream; an unknown goal cannot be
+        // submitted through this front, so this arm is unreachable
+        // today and merely future-proof.
+        _ => Json::Str("unknown".to_string()),
+    }
+}
+
+fn goal_from_json(v: Option<&Json>) -> Result<Goal, ApiError> {
+    match v {
+        None => Ok(Goal::MinVar),
+        Some(Json::Str(s)) if s == "minvar" => Ok(Goal::MinVar),
+        Some(v) => match v.get("maxpr").and_then(Json::as_f64) {
+            Some(tau) => Ok(Goal::MaxPr { tau }),
+            None => Err(ApiError::bad_request(
+                "bad \"goal\" (expected \"minvar\" or {\"maxpr\": τ})",
+            )),
+        },
+    }
+}
+
+/// Parses the request body's `measure`/`goal`/`strategy` fields into
+/// an [`ObjectiveSpec`]. `goal` defaults to MinVar (`"minvar"`); a
+/// counterargument hunt is `{"maxpr": τ}`.
+pub fn spec_from_json(body: &Json) -> Result<ObjectiveSpec, ApiError> {
+    let measure = match body.get("measure").and_then(Json::as_str) {
+        Some("bias") => Measure::Bias,
+        Some("dup") => Measure::Dup,
+        Some("frag") => Measure::Frag,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "unknown measure {other:?} (expected \"bias\", \"dup\", or \"frag\")"
+            )))
+        }
+        None => {
+            return Err(ApiError::bad_request(
+                "missing \"measure\" (\"bias\", \"dup\", or \"frag\")",
+            ))
+        }
+    };
+    let goal = goal_from_json(body.get("goal"))?;
+    let mut spec = ObjectiveSpec::new(measure, goal);
+    match body.get("strategy") {
+        None => {}
+        Some(Json::Str(name)) if name == "auto" => {}
+        Some(Json::Str(name)) => spec = spec.with_strategy(name.clone()),
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "bad \"strategy\" (expected a string)",
+            ))
+        }
+    }
+    Ok(spec)
+}
+
+/// Writes a spec's `measure`/`goal`/`strategy` fields into `fields`
+/// (the shared half of recommend and sweep bodies).
+fn push_spec_fields(fields: &mut Vec<(String, Json)>, spec: &ObjectiveSpec) {
+    fields.push((
+        "measure".to_string(),
+        Json::Str(spec.measure.name().to_string()),
+    ));
+    fields.push(("goal".to_string(), goal_json(spec.goal)));
+    if let Strategy::Named(name) = &spec.strategy {
+        fields.push(("strategy".to_string(), Json::Str(name.clone())));
+    }
+}
+
+/// A budget as it appears on the wire — possibly relative to a
+/// stream's total cleaning cost, which only the server knows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetSpec {
+    /// An absolute cleaning-cost budget.
+    Absolute(u64),
+    /// A fraction of the stream's total cleaning cost.
+    Fraction(f64),
+}
+
+impl BudgetSpec {
+    /// Parses one budget: a bare number, `{"absolute": n}`, or
+    /// `{"fraction": f}`.
+    pub fn from_json(v: &Json) -> Result<Self, ApiError> {
+        if let Some(n) = v.as_u64() {
+            return Ok(Self::Absolute(n));
+        }
+        if let Some(frac) = v.get("fraction").and_then(Json::as_f64) {
+            return Ok(Self::Fraction(frac));
+        }
+        if let Some(n) = v.get("absolute").and_then(Json::as_u64) {
+            return Ok(Self::Absolute(n));
+        }
+        Err(ApiError::bad_request(
+            "bad budget (expected a non-negative integer, {\"absolute\": n}, or {\"fraction\": f})",
+        ))
+    }
+
+    /// The wire encoding (inverse of [`BudgetSpec::from_json`]).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            Self::Absolute(n) => Json::Num(n as f64),
+            Self::Fraction(f) => Json::obj([("fraction", Json::Num(f))]),
+        }
+    }
+
+    /// Resolves against a stream's total cleaning cost.
+    pub fn resolve(&self, total_cost: u64) -> Result<Budget, ApiError> {
+        match *self {
+            Self::Absolute(n) => Ok(Budget::absolute(n)),
+            Self::Fraction(f) => Budget::try_fraction(total_cost, f).map_err(ApiError::from),
+        }
+    }
+}
+
+/// Parses one budget value and resolves it against `total_cost`.
+pub fn budget_from_json(v: &Json, total_cost: u64) -> Result<Budget, ApiError> {
+    BudgetSpec::from_json(v)?.resolve(total_cost)
+}
+
+/// The required `budget` field of a recommend request, resolved.
+pub fn budget_field(body: &Json, total_cost: u64) -> Result<Budget, ApiError> {
+    match body.get("budget") {
+        Some(v) => budget_from_json(v, total_cost),
+        None => Err(ApiError::bad_request("missing \"budget\"")),
+    }
+}
+
+/// The required `budgets` array of a sweep request, resolved.
+pub fn budgets_field(body: &Json, total_cost: u64) -> Result<Vec<Budget>, ApiError> {
+    match body.get("budgets").and_then(Json::as_array) {
+        Some(items) if !items.is_empty() => items
+            .iter()
+            .map(|v| budget_from_json(v, total_cost))
+            .collect(),
+        Some(_) => Err(ApiError::bad_request("\"budgets\" must be non-empty")),
+        None => Err(ApiError::bad_request("missing \"budgets\" (an array)")),
+    }
+}
+
+fn stream_field(body: &Json) -> Result<String, ApiError> {
+    body.get("stream")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ApiError::bad_request("missing \"stream\" (a stream id)"))
+}
+
+/// `POST /v1/recommend`: one budget point on one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendRequest {
+    /// The target stream id.
+    pub stream: String,
+    /// Measure, goal, and strategy.
+    pub spec: ObjectiveSpec,
+    /// The cleaning budget.
+    pub budget: BudgetSpec,
+}
+
+impl RecommendRequest {
+    /// The wire body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("stream".to_string(), Json::Str(self.stream.clone()))];
+        push_spec_fields(&mut fields, &self.spec);
+        fields.push(("budget".to_string(), self.budget.to_json()));
+        Json::Obj(fields)
+    }
+
+    /// Parses and validates a request body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let stream = stream_field(body)?;
+        let spec = spec_from_json(body)?;
+        let budget = match body.get("budget") {
+            Some(v) => BudgetSpec::from_json(v)?,
+            None => return Err(ApiError::bad_request("missing \"budget\"")),
+        };
+        Ok(Self {
+            stream,
+            spec,
+            budget,
+        })
+    }
+
+    /// The serialized body string.
+    pub fn encode(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// `POST /v1/sweep`: a budget sweep on one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// The target stream id.
+    pub stream: String,
+    /// Measure, goal, and strategy.
+    pub spec: ObjectiveSpec,
+    /// The budget points (non-empty).
+    pub budgets: Vec<BudgetSpec>,
+}
+
+impl SweepRequest {
+    /// The wire body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("stream".to_string(), Json::Str(self.stream.clone()))];
+        push_spec_fields(&mut fields, &self.spec);
+        fields.push((
+            "budgets".to_string(),
+            Json::Arr(self.budgets.iter().map(BudgetSpec::to_json).collect()),
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Parses and validates a request body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let stream = stream_field(body)?;
+        let spec = spec_from_json(body)?;
+        let budgets = match body.get("budgets").and_then(Json::as_array) {
+            Some(items) if !items.is_empty() => items
+                .iter()
+                .map(BudgetSpec::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(ApiError::bad_request("\"budgets\" must be non-empty")),
+            None => return Err(ApiError::bad_request("missing \"budgets\" (an array)")),
+        };
+        Ok(Self {
+            stream,
+            spec,
+            budgets,
+        })
+    }
+
+    /// The serialized body string.
+    pub fn encode(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// `POST /v1/streams/{id}/clean`: reveal cleaned values (the stream id
+/// rides in the path, not the body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanRequest {
+    /// The cleaned object indices.
+    pub objects: Vec<usize>,
+    /// The revealed true values, parallel to `objects`.
+    pub revealed: Vec<f64>,
+}
+
+impl CleanRequest {
+    /// The wire body.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "objects",
+                Json::Arr(self.objects.iter().map(|&o| Json::Num(o as f64)).collect()),
+            ),
+            (
+                "revealed",
+                Json::Arr(self.revealed.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+        ])
+    }
+
+    /// Parses and validates a request body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let objects: Vec<usize> = match body
+            .get("objects")
+            .and_then(Json::as_array)
+            .map(|items| items.iter().map(Json::as_usize).collect::<Option<Vec<_>>>())
+        {
+            Some(Some(objects)) => objects,
+            _ => {
+                return Err(ApiError::bad_request(
+                    "missing \"objects\" (an array of object indices)",
+                ))
+            }
+        };
+        let revealed: Vec<f64> = match body
+            .get("revealed")
+            .and_then(Json::as_array)
+            .map(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<_>>>())
+        {
+            Some(Some(revealed)) => revealed,
+            _ => {
+                return Err(ApiError::bad_request(
+                    "missing \"revealed\" (an array of cleaned values)",
+                ))
+            }
+        };
+        Ok(Self { objects, revealed })
+    }
+
+    /// The serialized body string.
+    pub fn encode(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// The `200` body of a clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleanResponse {
+    /// Store entries invalidated by the re-fingerprinting.
+    pub invalidated: usize,
+    /// Objects marked cleaned.
+    pub objects: usize,
+}
+
+impl CleanResponse {
+    /// The wire body.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("invalidated", Json::Num(self.invalidated as f64)),
+            ("objects", Json::Num(self.objects as f64)),
+        ])
+    }
+
+    /// Parses a clean response body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let field = |name: &str| {
+            body.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ApiError::bad_request(format!("clean response missing {name:?}")))
+        };
+        Ok(Self {
+            invalidated: field("invalidated")?,
+            objects: field("objects")?,
+        })
+    }
+}
+
+/// The observability half of a plan response — *excluded* from plan
+/// identity (two byte-identical plans may differ here, e.g. a warm
+/// replica reports `store_misses == 0` where a cold one rebuilt).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanDiagnosticsView {
+    /// Query-term evaluations spent solving.
+    pub engine_evals: u64,
+    /// Candidate selections examined.
+    pub candidates: u64,
+    /// Engine lookups served warm by the shared store.
+    pub store_hits: u64,
+    /// Engine lookups that had to build.
+    pub store_misses: u64,
+}
+
+/// A decoded plan response: the divergence-relevant identity fields
+/// plus diagnostics. [`PlanView::identity_json`] re-encodes exactly
+/// the fields [`Plan::divergence`](fc_core::Plan::divergence) covers,
+/// so two plans are byte-identical there iff `divergence` is `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanView {
+    /// The strategy that produced the plan.
+    pub strategy: String,
+    /// The goal solved.
+    pub goal: Goal,
+    /// The selected object indices.
+    pub objects: Vec<usize>,
+    /// The selection's cleaning cost.
+    pub cost: u64,
+    /// Objective value before cleaning.
+    pub before: f64,
+    /// Objective value after cleaning the selection.
+    pub after: f64,
+    /// Observability counters (not identity).
+    pub diagnostics: PlanDiagnosticsView,
+}
+
+impl PlanView {
+    /// Parses a plan object from a recommend response (or one element
+    /// of a sweep response's `plans`).
+    pub fn from_json(v: &Json) -> Result<Self, ApiError> {
+        let missing = |name: &str| ApiError::bad_request(format!("plan missing {name:?}"));
+        let strategy = v
+            .get("strategy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("strategy"))?
+            .to_string();
+        let goal = goal_from_json(v.get("goal"))?;
+        let objects = v
+            .get("objects")
+            .and_then(Json::as_array)
+            .map(|items| items.iter().map(Json::as_usize).collect::<Option<Vec<_>>>())
+            .ok_or_else(|| missing("objects"))?
+            .ok_or_else(|| ApiError::bad_request("plan \"objects\" must be indices"))?;
+        let cost = v
+            .get("cost")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("cost"))?;
+        let before = v
+            .get("before")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| missing("before"))?;
+        let after = v
+            .get("after")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| missing("after"))?;
+        let d = v.get("diagnostics").ok_or_else(|| missing("diagnostics"))?;
+        let counter = |name: &str| {
+            d.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::bad_request(format!("diagnostics missing {name:?}")))
+        };
+        Ok(Self {
+            strategy,
+            goal,
+            objects,
+            cost,
+            before,
+            after,
+            diagnostics: PlanDiagnosticsView {
+                engine_evals: counter("engine_evals")?,
+                candidates: counter("candidates")?,
+                store_hits: counter("store_hits")?,
+                store_misses: counter("store_misses")?,
+            },
+        })
+    }
+
+    /// Re-encodes the identity fields in the server's canonical order
+    /// and float formatting — the byte string the determinism gates
+    /// compare. Diagnostics are deliberately absent.
+    pub fn identity_json(&self) -> Json {
+        Json::obj([
+            ("strategy", Json::Str(self.strategy.clone())),
+            ("goal", goal_json(self.goal)),
+            (
+                "objects",
+                Json::Arr(self.objects.iter().map(|&o| Json::Num(o as f64)).collect()),
+            ),
+            ("cost", Json::Num(self.cost as f64)),
+            ("before", Json::Num(self.before)),
+            ("after", Json::Num(self.after)),
+        ])
+    }
+}
+
+/// A decoded `GET /v1/stats` body: service counters, store counters,
+/// and per-tenant saturation. The shard router aggregates these across
+/// backends into one body of the same shape, so every invariant a
+/// load harness checks against a single box holds against a topology.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsResponse {
+    /// The serving-layer counters and gauges.
+    pub service: ServiceStats,
+    /// The shared engine store's counters.
+    pub store: CacheStats,
+    /// Per-tenant usage, keyed by tenant name.
+    pub tenants: Vec<(String, QuotaUsage)>,
+}
+
+impl StatsResponse {
+    /// The wire body (the exact shape `GET /v1/stats` serves).
+    pub fn to_json(&self) -> Json {
+        let tenants: Vec<(TenantId, QuotaUsage)> = self
+            .tenants
+            .iter()
+            .map(|(name, usage)| (TenantId::from(name.as_str()), *usage))
+            .collect();
+        super::wire::stats_json(&self.service, &self.store, &tenants)
+    }
+
+    /// Parses a stats body.
+    // `ServiceStats`/`CacheStats`/`QuotaUsage` are `#[non_exhaustive]`
+    // upstream, so field-by-field assignment over `Default` is the only
+    // way to construct them here.
+    #[allow(clippy::field_reassign_with_default)]
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let section = |name: &str| {
+            body.get(name)
+                .ok_or_else(|| ApiError::bad_request(format!("stats missing {name:?}")))
+        };
+        let u64_field = |obj: &Json, name: &str| {
+            obj.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::bad_request(format!("stats missing counter {name:?}")))
+        };
+        let usize_field = |obj: &Json, name: &str| u64_field(obj, name).map(|v| v as usize);
+
+        let svc = section("service")?;
+        let mut service = ServiceStats::default();
+        service.submitted = u64_field(svc, "submitted")?;
+        service.completed = u64_field(svc, "completed")?;
+        service.inline = u64_field(svc, "inline")?;
+        service.interactive = u64_field(svc, "interactive")?;
+        service.bulk = u64_field(svc, "bulk")?;
+        service.panics = u64_field(svc, "panics")?;
+        service.cancelled = u64_field(svc, "cancelled")?;
+        service.quota_rejected = u64_field(svc, "quota_rejected")?;
+        service.queued_interactive = usize_field(svc, "queued_interactive")?;
+        service.queued_bulk = usize_field(svc, "queued_bulk")?;
+        service.in_flight = u64_field(svc, "in_flight")?;
+        service.running_interactive = usize_field(svc, "running_interactive")?;
+        service.running_bulk = usize_field(svc, "running_bulk")?;
+
+        let st = section("store")?;
+        let mut store = CacheStats::default();
+        store.hits = u64_field(st, "hits")?;
+        store.misses = u64_field(st, "misses")?;
+        store.evictions = u64_field(st, "evictions")?;
+        store.scoped_builds = u64_field(st, "scoped_builds")?;
+        store.scoped_build_evals = u64_field(st, "scoped_build_evals")?;
+        store.invalidations = u64_field(st, "invalidations")?;
+        store.entries = usize_field(st, "entries")?;
+
+        let mut tenants = Vec::new();
+        if let Some(Json::Obj(fields)) = body.get("tenants") {
+            for (name, usage) in fields {
+                let mut u = QuotaUsage::default();
+                u.in_flight = usize_field(usage, "in_flight")?;
+                u.outstanding_evals = u64_field(usage, "outstanding_evals")?;
+                tenants.push((name.clone(), u));
+            }
+        }
+        Ok(Self {
+            service,
+            store,
+            tenants,
+        })
+    }
+
+    /// Merges another stats body into this one by summing every
+    /// counter and gauge (tenants merge by name). This is how the
+    /// router aggregates backends: sums preserve the serving-layer
+    /// invariants (`completed + cancelled == submitted`, zero gauges
+    /// at drain) because each holds per backend.
+    pub fn absorb(&mut self, other: &StatsResponse) {
+        let s = &mut self.service;
+        let o = &other.service;
+        s.submitted += o.submitted;
+        s.completed += o.completed;
+        s.inline += o.inline;
+        s.interactive += o.interactive;
+        s.bulk += o.bulk;
+        s.panics += o.panics;
+        s.cancelled += o.cancelled;
+        s.quota_rejected += o.quota_rejected;
+        s.queued_interactive += o.queued_interactive;
+        s.queued_bulk += o.queued_bulk;
+        s.in_flight += o.in_flight;
+        s.running_interactive += o.running_interactive;
+        s.running_bulk += o.running_bulk;
+        let t = &mut self.store;
+        let u = &other.store;
+        t.hits += u.hits;
+        t.misses += u.misses;
+        t.evictions += u.evictions;
+        t.scoped_builds += u.scoped_builds;
+        t.scoped_build_evals += u.scoped_build_evals;
+        t.invalidations += u.invalidations;
+        t.entries += u.entries;
+        for (name, usage) in &other.tenants {
+            match self.tenants.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => {
+                    mine.in_flight += usage.in_flight;
+                    mine.outstanding_evals += usage.outstanding_evals;
+                }
+                None => self.tenants.push((name.clone(), *usage)),
+            }
+        }
+    }
+}
+
+/// Parses a body string and decodes it with `decode` — the shared
+/// "UTF-8 → JSON → typed" prologue of every typed route and client.
+pub fn decode_body<T>(
+    text: &str,
+    decode: impl FnOnce(&Json) -> Result<T, ApiError>,
+) -> Result<T, ApiError> {
+    let body = Json::parse(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))?;
+    decode(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommend_round_trips() {
+        let req = RecommendRequest {
+            stream: "cdc".into(),
+            spec: ObjectiveSpec::new(Measure::Dup, Goal::MaxPr { tau: 5.5 })
+                .with_strategy("greedy"),
+            budget: BudgetSpec::Fraction(0.25),
+        };
+        let decoded = decode_body(&req.encode(), RecommendRequest::from_json).unwrap();
+        assert_eq!(decoded, req);
+
+        // Auto strategy and absolute budgets omit/append fields.
+        let req = RecommendRequest {
+            stream: "s".into(),
+            spec: ObjectiveSpec::new(Measure::Bias, Goal::MinVar),
+            budget: BudgetSpec::Absolute(4),
+        };
+        let body = req.encode();
+        assert!(!body.contains("strategy"), "{body}");
+        assert_eq!(
+            decode_body(&body, RecommendRequest::from_json).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn sweep_round_trips_and_validates() {
+        let req = SweepRequest {
+            stream: "cdc".into(),
+            spec: ObjectiveSpec::new(Measure::Frag, Goal::MinVar),
+            budgets: vec![BudgetSpec::Absolute(1), BudgetSpec::Fraction(0.5)],
+        };
+        let decoded = decode_body(&req.encode(), SweepRequest::from_json).unwrap();
+        assert_eq!(decoded, req);
+        for bad in [
+            r#"{"stream":"s","measure":"dup","budgets":[]}"#,
+            r#"{"stream":"s","measure":"dup"}"#,
+            r#"{"measure":"dup","budgets":[1]}"#,
+        ] {
+            assert!(decode_body(bad, SweepRequest::from_json).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn clean_round_trips() {
+        let req = CleanRequest {
+            objects: vec![3, 1],
+            revealed: vec![0.5, -2.0],
+        };
+        let decoded = decode_body(&req.encode(), CleanRequest::from_json).unwrap();
+        assert_eq!(decoded, req);
+        let resp = CleanResponse {
+            invalidated: 2,
+            objects: 2,
+        };
+        assert_eq!(
+            CleanResponse::from_json(&Json::parse(&resp.to_json().to_string()).unwrap()).unwrap(),
+            resp
+        );
+    }
+
+    #[test]
+    fn plan_view_identity_excludes_diagnostics() {
+        let body = r#"{"strategy":"greedy","goal":"minvar","objects":[2,0],"cost":3,
+            "before":1.5,"after":0.25,
+            "diagnostics":{"engine_evals":10,"candidates":4,"store_hits":2,"store_misses":1}}"#;
+        let plan = decode_body(body, PlanView::from_json).unwrap();
+        assert_eq!(plan.objects, vec![2, 0]);
+        assert_eq!(plan.diagnostics.store_misses, 1);
+        let identity = plan.identity_json().to_string();
+        assert!(!identity.contains("diagnostics"));
+        // A warm twin (different diagnostics) has identical identity bytes.
+        let warm = PlanView {
+            diagnostics: PlanDiagnosticsView::default(),
+            ..plan.clone()
+        };
+        assert_eq!(identity, warm.identity_json().to_string());
+    }
+
+    #[allow(clippy::field_reassign_with_default)]
+    fn usage(in_flight: usize, outstanding_evals: u64) -> QuotaUsage {
+        // `QuotaUsage` is `#[non_exhaustive]` upstream: no literals.
+        let mut u = QuotaUsage::default();
+        u.in_flight = in_flight;
+        u.outstanding_evals = outstanding_evals;
+        u
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn stats_round_trip_and_absorb() {
+        let mut a = StatsResponse::default();
+        a.service.submitted = 5;
+        a.service.completed = 4;
+        a.service.cancelled = 1;
+        a.store.hits = 7;
+        a.store.entries = 2;
+        a.tenants.push(("newsroom".into(), usage(1, 10)));
+        let decoded =
+            StatsResponse::from_json(&Json::parse(&a.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(decoded, a);
+
+        let mut b = StatsResponse::default();
+        b.service.submitted = 2;
+        b.service.completed = 2;
+        b.store.misses = 3;
+        b.tenants.push(("newsroom".into(), usage(2, 1)));
+        b.tenants.push(("api".into(), QuotaUsage::default()));
+        a.absorb(&b);
+        assert_eq!(a.service.submitted, 7);
+        assert_eq!(a.service.completed, 6);
+        assert_eq!(a.store.misses, 3);
+        assert_eq!(a.tenants.len(), 2);
+        assert_eq!(a.tenants[0].1.in_flight, 3);
+        assert_eq!(a.tenants[0].1.outstanding_evals, 11);
+    }
+}

@@ -13,10 +13,16 @@
 //! needs to avoid paying connect latency — and burning ephemeral
 //! ports — per request.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::{Mutex, PoisonError};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use super::api::{
+    ApiError, CleanRequest, CleanResponse, PlanView, RecommendRequest, StatsResponse, SweepRequest,
+};
+use super::json::Json;
 
 /// Read timeout applied by [`read_response`] when the socket has none.
 const DEFAULT_RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
@@ -141,6 +147,123 @@ impl Conn {
     pub fn reusable(&self) -> bool {
         !self.close
     }
+
+    /// Like [`Conn::send`], but while waiting for the response the
+    /// socket is polled every `poll` and `alive` is consulted; when it
+    /// reports `false` the exchange is abandoned and `Ok(None)` is
+    /// returned. The connection must then be **dropped**, not reused:
+    /// the response is still in flight, and — more importantly —
+    /// closing the socket is the signal that propagates a downstream
+    /// hangup to the server, whose own disconnect probe cancels the
+    /// request. This is how a routing front relays
+    /// cancellation-on-disconnect instead of absorbing it.
+    pub fn send_with_probe(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+        poll: Duration,
+        alive: &mut dyn FnMut() -> bool,
+    ) -> io::Result<Option<(u16, String)>> {
+        write_request(&mut self.writer, method, path, headers, body)?;
+        let overall = self
+            .writer
+            .read_timeout()?
+            .unwrap_or(DEFAULT_RESPONSE_TIMEOUT);
+        let deadline = Instant::now() + overall;
+        // Short read timeouts turn the blocking read into a poll loop;
+        // the original timeout is restored before returning the
+        // connection to normal use.
+        self.writer.set_read_timeout(Some(poll))?;
+        let result = self.read_response_probing(deadline, alive);
+        let restore = self.writer.set_read_timeout(Some(overall));
+        if let Some((_, _, close)) = result.as_ref().ok().and_then(|r| r.as_ref()) {
+            self.close = *close || restore.is_err();
+        }
+        result.map(|r| r.map(|(status, body, _)| (status, body)))
+    }
+
+    /// Accumulates raw bytes until a full framed response parses,
+    /// probing `alive` on every read timeout.
+    fn read_response_probing(
+        &mut self,
+        deadline: Instant,
+        alive: &mut dyn FnMut() -> bool,
+    ) -> io::Result<Option<(u16, String, bool)>> {
+        let mut raw: Vec<u8> = Vec::new();
+        loop {
+            if let Some(response) = parse_framed_response(&raw)? {
+                return Ok(Some(response));
+            }
+            match self.reader.fill_buf() {
+                Ok([]) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before response",
+                    ))
+                }
+                Ok(chunk) => {
+                    raw.extend_from_slice(chunk);
+                    let n = chunk.len();
+                    self.reader.consume(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !alive() {
+                        return Ok(None);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "response timed out",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Attempts to parse one complete framed response from `raw`:
+/// `Ok(None)` when more bytes are needed, `Ok(Some((status, body,
+/// close)))` on success, and the same typed errors as the blocking
+/// reader on malformed framing.
+fn parse_framed_response(raw: &[u8]) -> io::Result<Option<(u16, String, bool)>> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("malformed status line"))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+        } else if let Some(v) = lower.strip_prefix("connection:") {
+            close = v.trim() == "close";
+        }
+    }
+    let body_start = head_end + 4;
+    if raw.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = std::str::from_utf8(&raw[body_start..body_start + content_length])
+        .map_err(|_| bad("non-UTF-8 body"))?;
+    Ok(Some((status, body.to_string(), close)))
 }
 
 /// A keep-alive connection pool over one server address: requests
@@ -189,6 +312,11 @@ impl ClientPool {
     pub fn with_max_idle(mut self, max_idle: usize) -> Self {
         self.max_idle = max_idle;
         self
+    }
+
+    /// The resolved address this pool connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// Connections currently parked idle.
@@ -242,6 +370,49 @@ impl ClientPool {
         self.request("GET", path, &[], "")
     }
 
+    /// [`ClientPool::request`] with downstream-liveness probing
+    /// ([`Conn::send_with_probe`]): `Ok(None)` means `alive` reported
+    /// the downstream client gone — the upstream connection is dropped
+    /// (not parked), closing the socket so the server's disconnect
+    /// probe cancels the request. Only safe for requests that may
+    /// re-execute (the stale-keep-alive retry applies here too).
+    pub fn request_with_probe(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+        poll: Duration,
+        alive: &mut dyn FnMut() -> bool,
+    ) -> io::Result<Option<(u16, String)>> {
+        let reused = self
+            .idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        if let Some(mut conn) = reused {
+            match conn.send_with_probe(method, path, headers, body, poll, alive) {
+                Ok(Some(response)) => {
+                    self.park(conn);
+                    return Ok(Some(response));
+                }
+                // Downstream gone mid-exchange: drop the connection to
+                // propagate the hangup upstream.
+                Ok(None) => return Ok(None),
+                // Stale keep-alive: fall through to a fresh connection.
+                Err(_) => {}
+            }
+        }
+        let mut conn = Conn::connect(self.addr, self.timeout)?;
+        match conn.send_with_probe(method, path, headers, body, poll, alive)? {
+            Some(response) => {
+                self.park(conn);
+                Ok(Some(response))
+            }
+            None => Ok(None),
+        }
+    }
+
     fn park(&self, conn: Conn) {
         if !conn.reusable() {
             return;
@@ -250,6 +421,223 @@ impl ClientPool {
         if idle.len() < self.max_idle {
             idle.push(conn);
         }
+    }
+}
+
+/// A registry of [`ClientPool`]s keyed by **resolved** socket address,
+/// so spellings of the same backend (`localhost:p`, `127.0.0.1:p`) map
+/// to one pool instead of holding duplicate idle sockets. An address
+/// resolving to several socket addresses claims all of them: whichever
+/// spelling arrives first wins, and later spellings that share any
+/// resolved address reuse its pool.
+#[derive(Debug, Default)]
+pub struct ClientPools {
+    timeout: Option<Duration>,
+    pools: Mutex<HashMap<SocketAddr, Arc<ClientPool>>>,
+}
+
+impl ClientPools {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds reads and writes on every pool created by this registry.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The pool for `addr`, created on first use. Two addresses that
+    /// share any resolved [`SocketAddr`] get the same pool.
+    pub fn pool(&self, addr: impl ToSocketAddrs) -> io::Result<Arc<ClientPool>> {
+        let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if resolved.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved empty",
+            ));
+        }
+        let mut pools = self.pools.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(pool) = resolved.iter().find_map(|a| pools.get(a)) {
+            return Ok(Arc::clone(pool));
+        }
+        let mut pool = ClientPool::new(resolved[0])?;
+        if let Some(timeout) = self.timeout {
+            pool = pool.with_timeout(timeout);
+        }
+        let pool = Arc::new(pool);
+        for a in resolved {
+            pools.insert(a, Arc::clone(&pool));
+        }
+        Ok(pool)
+    }
+
+    /// Pools currently registered (distinct pools, not distinct keys).
+    pub fn len(&self) -> usize {
+        let pools = self.pools.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut seen: Vec<*const ClientPool> = pools.values().map(Arc::as_ptr).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Whether no pool has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.pools
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+}
+
+/// What a typed [`ApiClient`] call can fail with: transport trouble,
+/// a structured error response from the service, or a `200` whose body
+/// did not decode as the expected type (a contract violation, not a
+/// user error).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing, or reading failed.
+    Io(io::Error),
+    /// The service answered with a non-2xx structured error.
+    Api(ApiError),
+    /// The response body did not match the expected shape.
+    Decode(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Api(e) => write!(f, "service error ({}): {}", e.status, e.message),
+            ClientError::Decode(what) => write!(f, "undecodable response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The typed client over the [`api`](super::api) surface: requests are
+/// built from the typed structs and responses decoded back into them,
+/// so callers never assemble JSON by hand (the raw [`post`]/[`get`]
+/// tier stays public for malformed-input tests). Runs over a shared
+/// [`ClientPool`], so clones and threads reuse keep-alive connections.
+#[derive(Debug, Clone)]
+pub struct ApiClient {
+    pool: Arc<ClientPool>,
+}
+
+impl ApiClient {
+    /// A client over its own pool to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self::over(Arc::new(ClientPool::new(addr)?)))
+    }
+
+    /// A client over an existing (possibly shared) pool.
+    pub fn over(pool: Arc<ClientPool>) -> Self {
+        Self { pool }
+    }
+
+    /// The underlying pool (e.g. to inspect idle connections).
+    pub fn pool(&self) -> &Arc<ClientPool> {
+        &self.pool
+    }
+
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        tenant: Option<&str>,
+        body: &str,
+    ) -> Result<Json, ClientError> {
+        let headers: &[(&str, &str)] = match tenant {
+            Some(tenant) => &[("x-tenant", tenant)],
+            None => &[],
+        };
+        let (status, text) = self.pool.request(method, path, headers, body)?;
+        let json = Json::parse(&text)
+            .map_err(|e| ClientError::Decode(format!("{status} body is not JSON: {e}")))?;
+        if !(200..300).contains(&status) {
+            let message = json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unexplained error")
+                .to_string();
+            return Err(ClientError::Api(ApiError { status, message }));
+        }
+        Ok(json)
+    }
+
+    /// `POST /v1/recommend` — one plan at one budget (the target
+    /// stream rides in the body).
+    pub fn recommend(
+        &self,
+        request: &RecommendRequest,
+        tenant: Option<&str>,
+    ) -> Result<PlanView, ClientError> {
+        let json = self.exchange("POST", "/v1/recommend", tenant, &request.encode())?;
+        PlanView::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+    }
+
+    /// `POST /v1/sweep` — one plan per budget.
+    pub fn sweep(
+        &self,
+        request: &SweepRequest,
+        tenant: Option<&str>,
+    ) -> Result<Vec<PlanView>, ClientError> {
+        let json = self.exchange("POST", "/v1/sweep", tenant, &request.encode())?;
+        json.get("plans")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Decode("sweep response missing plans".to_string()))?
+            .iter()
+            .map(|p| PlanView::from_json(p).map_err(|e| ClientError::Decode(e.message)))
+            .collect()
+    }
+
+    /// `POST /v1/streams/{stream}/clean` — reveal cleaned values.
+    pub fn clean(
+        &self,
+        stream: &str,
+        request: &CleanRequest,
+        tenant: Option<&str>,
+    ) -> Result<CleanResponse, ClientError> {
+        let path = format!("/v1/streams/{stream}/clean");
+        let json = self.exchange("POST", &path, tenant, &request.encode())?;
+        CleanResponse::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+    }
+
+    /// `GET /v1/stats` — service, store, and tenant counters.
+    pub fn stats(&self) -> Result<StatsResponse, ClientError> {
+        let json = self.exchange("GET", "/v1/stats", None, "")?;
+        StatsResponse::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+    }
+
+    /// `GET /v1/streams` — registered stream names.
+    pub fn streams(&self) -> Result<Vec<String>, ClientError> {
+        let json = self.exchange("GET", "/v1/streams", None, "")?;
+        json.get("streams")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Decode("streams response missing streams".to_string()))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ClientError::Decode("non-string stream name".to_string()))
+            })
+            .collect()
     }
 }
 
@@ -279,4 +667,71 @@ pub fn post(
 /// `GET` on a fresh connection.
 pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<(u16, String)> {
     request(addr, "GET", path, &[], "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_normalize_address_spellings() {
+        let pools = ClientPools::new();
+        // Port 9 (discard) — never connected to, only resolved.
+        let a = pools.pool(("127.0.0.1", 9)).unwrap();
+        let b = pools.pool("127.0.0.1:9").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same resolved addr must share a pool");
+        assert_eq!(pools.len(), 1);
+
+        // `localhost` shares the pool iff it resolves to 127.0.0.1
+        // (dual-stack resolvers may add ::1 — still the same pool, now
+        // keyed under both).
+        let localhost: Vec<SocketAddr> = match ("localhost", 9u16).to_socket_addrs() {
+            Ok(addrs) => addrs.collect(),
+            Err(_) => return, // no resolver in this environment
+        };
+        if localhost.iter().any(|a| a.ip().is_loopback()) {
+            let c = pools.pool(("localhost", 9)).unwrap();
+            if localhost.contains(&a.addr()) {
+                assert!(
+                    Arc::ptr_eq(&a, &c),
+                    "localhost must reuse the 127.0.0.1 pool"
+                );
+                assert_eq!(pools.len(), 1);
+            }
+        }
+
+        let other = pools.pool("127.0.0.1:10").unwrap();
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(pools.len(), 2);
+    }
+
+    #[test]
+    fn parse_framed_response_is_incremental() {
+        let full = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\nconnection: close\r\n\r\nhello";
+        for cut in 0..full.len() {
+            assert!(
+                parse_framed_response(&full[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        let (status, body, close) = parse_framed_response(full).unwrap().unwrap();
+        assert_eq!((status, body.as_str(), close), (200, "hello", true));
+
+        // Trailing bytes from a pipelined next response don't confuse it.
+        let mut extra = full.to_vec();
+        extra.extend_from_slice(b"HTTP/1.1 2");
+        let (status, body, _) = parse_framed_response(&extra).unwrap().unwrap();
+        assert_eq!((status, body.as_str()), (200, "hello"));
+
+        for bad in [
+            &b"BROKEN\r\n\r\n"[..],
+            &b"HTTP/1.1 abc OK\r\n\r\n"[..],
+            &b"HTTP/1.1 200 OK\r\ncontent-length: x\r\n\r\n"[..],
+        ] {
+            assert_eq!(
+                parse_framed_response(bad).unwrap_err().kind(),
+                io::ErrorKind::InvalidData
+            );
+        }
+    }
 }

@@ -12,15 +12,21 @@
 //!
 //! * [`json`] — a minimal JSON codec (value tree, strict bounded
 //!   parser, deterministic writer);
+//! * [`api`] — the typed request/response structs every route, client,
+//!   and replayer encodes and decodes through;
 //! * [`client`] — the matching minimal blocking client (examples,
-//!   tests, and CI gates drive the server with it);
+//!   tests, and CI gates drive the server with it), including the
+//!   typed [`ApiClient`];
 //! * [`http`] — HTTP/1.1 framing: `Content-Length` bodies, keep-alive,
 //!   hard header/body limits, typed 4xx mapping for malformed input;
-//! * [`wire`] — JSON ⇄ planner types, including the plan encoding
-//!   whose bytes are the determinism gate;
+//! * [`wire`] — plan and stats response encoders, including the plan
+//!   encoding whose bytes are the determinism gate;
 //! * [`PlannerServer`] — the accept loop, route table, per-request
-//!   tenancy (`x-tenant` header), disconnect-driven cancellation, and
-//!   graceful drain.
+//!   tenancy (`x-tenant` header), disconnect-driven cancellation,
+//!   graceful drain, and warm-boot snapshot restore;
+//! * [`router`] — the consistent-hash shard front that spreads streams
+//!   across N `PlannerServer` backends with health probes, drain, and
+//!   bounded retry.
 //!
 //! Everything the serving layer guarantees in-process holds over the
 //! wire: plans are byte-identical to in-process
@@ -29,10 +35,15 @@
 //! the request it was waiting on, and shutdown never drops a completed
 //! plan.
 
+pub mod api;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod router;
 pub mod server;
 pub mod wire;
 
+pub use api::ApiError;
+pub use client::{ApiClient, ClientError, ClientPool, ClientPools};
+pub use router::{RouterConfig, RouterHandle, RouterServer};
 pub use server::{PlannerServer, ServerConfig, ServerHandle};

@@ -1,0 +1,903 @@
+//! `fc::net::router` — the consistent-hash shard front.
+//!
+//! One [`PlannerServer`](super::PlannerServer) scales until one box
+//! saturates; past that, the paper's interactive workload shards
+//! naturally *by stream* — every recommend/sweep/clean names the
+//! claim stream it operates on, and streams share nothing but the
+//! cache store. [`RouterServer`] exploits that: it speaks the same
+//! HTTP surface as a backend and consistent-hashes each request's
+//! stream id onto one of N backends, so a fact-checker's session
+//! sticks to one replica (warm scoped tables, warm benefits) while
+//! the fleet shares the load.
+//!
+//! ## Routing and failure semantics
+//!
+//! * **Consistent hashing with virtual nodes** — each backend owns
+//!   [`VNODES`] points on a 64-bit FNV-1a ring; a stream maps to the
+//!   first point at or after its own hash. Adding or removing one
+//!   backend moves only the streams that hashed to it.
+//! * **Health probes** — a prober thread `GET`s `/v1/health` on every
+//!   backend each [`RouterConfig::probe_interval`] (falling back to
+//!   `/v1/stats` for backends without the health route). A probe
+//!   failure marks the backend unhealthy; a later success restores it.
+//! * **Drain / rotate** — a backend is *draining* when the operator
+//!   flags it on the router (`POST /v1/admin/backends/{name}/drain`)
+//!   or the backend advertises it (`draining: true` in its health
+//!   body). Draining backends receive no new streams — requests
+//!   rehash to the next live replica — but keep finishing whatever is
+//!   in flight on them, and cleans still broadcast to them so their
+//!   state stays byte-identical for an undrain.
+//! * **Bounded retry for idempotent reads** — recommend, sweep, and
+//!   the `GET` routes are safe to re-execute, so a transport error
+//!   marks the backend unhealthy and retries the next distinct
+//!   replica on the ring, each backend at most once. Cleans are
+//!   mutations: they are **broadcast** to every healthy backend (so
+//!   replicas stay byte-identical) and never retried; divergent
+//!   outcomes surface as `502`.
+//! * **Cancellation relays** — while a solve is in flight upstream the
+//!   router probes its own client socket; a hangup drops the upstream
+//!   connection, which the backend's disconnect probe turns into a
+//!   cancel. The router never absorbs a disconnect.
+//!
+//! Aggregate observability: `GET /v1/stats` sums the per-backend
+//! stats into the single-box shape (sums preserve the invariants the
+//! load harness checks), and `GET /v1/topology` reports the ring.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fc_core::planner::Fnv1a;
+
+use super::api::{ApiError, StatsResponse};
+use super::client::{ClientPool, ClientPools, Conn};
+use super::http::{read_request, write_response, HttpError, Request};
+use super::json::Json;
+use super::server::{client_connected, LiveConnections};
+
+/// Virtual nodes per backend on the hash ring: enough that removing
+/// one backend spreads its streams across the survivors instead of
+/// dumping them on one neighbour.
+pub const VNODES: usize = 64;
+
+/// Tuning knobs for a [`RouterServer`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RouterConfig {
+    /// Cap on a request body's declared `Content-Length` (`413` past
+    /// it). Default: 256 KiB.
+    pub max_body_bytes: usize,
+    /// Cap on concurrently served client connections (`503` past it).
+    /// Default: 64.
+    pub max_connections: usize,
+    /// Client-side socket read/write timeout (doubles as the
+    /// keep-alive idle timeout, as on the backend). Default: 5s.
+    pub read_timeout: Duration,
+    /// Bounds reads and writes on upstream (backend) connections —
+    /// effectively the longest solve the router will wait out.
+    /// Default: 120s.
+    pub upstream_timeout: Duration,
+    /// How often an in-flight upstream wait probes the *client* socket
+    /// for disconnect. Default: 50ms.
+    pub disconnect_poll: Duration,
+    /// Health-probe cadence (and the worst-case latency for noticing a
+    /// dead or drained backend without traffic). Default: 250ms.
+    pub probe_interval: Duration,
+}
+
+impl RouterConfig {
+    /// The default configuration (see the field docs).
+    pub fn new() -> Self {
+        Self {
+            max_body_bytes: 256 * 1024,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            upstream_timeout: Duration::from_secs(120),
+            disconnect_poll: Duration::from_millis(50),
+            probe_interval: Duration::from_millis(250),
+        }
+    }
+
+    /// Sets the body-size cap.
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Sets the concurrent-connection cap.
+    pub fn with_max_connections(mut self, connections: usize) -> Self {
+        self.max_connections = connections;
+        self
+    }
+
+    /// Sets the client-side socket timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the upstream socket timeout.
+    pub fn with_upstream_timeout(mut self, timeout: Duration) -> Self {
+        self.upstream_timeout = timeout;
+        self
+    }
+
+    /// Sets the client disconnect-probe cadence.
+    pub fn with_disconnect_poll(mut self, poll: Duration) -> Self {
+        self.disconnect_poll = poll;
+        self
+    }
+
+    /// Sets the health-probe cadence.
+    pub fn with_probe_interval(mut self, interval: Duration) -> Self {
+        self.probe_interval = interval;
+        self
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One upstream backend: its keep-alive pool plus live health state.
+struct Backend {
+    name: String,
+    addr: SocketAddr,
+    pool: Arc<ClientPool>,
+    /// Cleared by a transport failure or failed probe, restored by the
+    /// next successful probe. Starts optimistic.
+    healthy: AtomicBool,
+    /// Operator-set on the router (`/v1/admin/backends/{name}/drain`).
+    draining: AtomicBool,
+    /// The backend's own advisory drain flag, read off its health
+    /// probe.
+    advertised_draining: AtomicBool,
+}
+
+impl Backend {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || self.advertised_draining.load(Ordering::Relaxed)
+    }
+
+    /// Eligible for *new* streams: healthy and not draining.
+    fn available(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed) && !self.draining()
+    }
+}
+
+/// Shared state of a running router.
+struct RouterCtx {
+    backends: Vec<Backend>,
+    /// ring point → backend index.
+    ring: BTreeMap<u64, usize>,
+    config: RouterConfig,
+    shutdown: AtomicBool,
+    live: LiveConnections,
+    /// Wakes the prober early on shutdown.
+    prober_bed: (Mutex<bool>, Condvar),
+}
+
+impl RouterCtx {
+    /// Backend indices in ring order starting at `key`'s hash point —
+    /// the try order for idempotent requests. Every backend appears
+    /// exactly once; availability is checked at *try* time, not here,
+    /// so health flips between routing and forwarding still land on
+    /// the next replica.
+    fn route_order(&self, key: &str) -> Vec<usize> {
+        let mut h = Fnv1a::new();
+        h.write_str(key);
+        let point = mix64(h.finish());
+        let mut order = Vec::with_capacity(self.backends.len());
+        for &idx in self
+            .ring
+            .range(point..)
+            .chain(self.ring.range(..point))
+            .map(|(_, idx)| idx)
+        {
+            if !order.contains(&idx) {
+                order.push(idx);
+                if order.len() == self.backends.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// FNV-1a has weak avalanche on short inputs — a backend's 64 vnode
+/// points would cluster on the ring. A splitmix64-style finalizer over
+/// the digest spreads them; both ring points and stream keys go
+/// through it, so placement stays consistent.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Ring points for one backend's virtual nodes.
+fn vnode_points(name: &str) -> impl Iterator<Item = u64> + '_ {
+    (0..VNODES as u64).map(move |v| {
+        let mut h = Fnv1a::new();
+        h.write_str(name);
+        h.write_u64(v);
+        mix64(h.finish())
+    })
+}
+
+/// The routing front: builder for a running [`RouterHandle`]. Register
+/// backends by name and address, then [`RouterServer::serve`].
+///
+/// | route | behaviour |
+/// |---|---|
+/// | `POST /v1/recommend`, `/v1/sweep` | hash the body's stream id → forward, retrying the next replica on transport error |
+/// | `POST /v1/streams/{id}/clean` | broadcast to every healthy backend; `502` on divergent outcomes |
+/// | `GET /v1/stats` | per-backend stats summed into the single-box shape |
+/// | `GET /v1/streams` | relayed from the first live backend |
+/// | `GET /v1/topology` | the ring: backends, health, drain flags |
+/// | `GET /v1/health` | router liveness + live-backend count |
+/// | `POST /v1/admin/backends/{name}/drain` (`/undrain`) | flip the router-side drain flag |
+///
+/// See the [module docs](self) for routing and failure semantics.
+pub struct RouterServer {
+    backends: Vec<(String, String)>,
+    config: RouterConfig,
+}
+
+impl RouterServer {
+    /// A router with no backends yet (serve requires at least one).
+    pub fn new() -> Self {
+        Self {
+            backends: Vec::new(),
+            config: RouterConfig::new(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: RouterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers a backend under `name` (the ring identity — keep it
+    /// stable across that backend's restarts so its streams rehash
+    /// back to it) at `addr`.
+    pub fn with_backend(mut self, name: impl Into<String>, addr: impl Into<String>) -> Self {
+        self.backends.push((name.into(), addr.into()));
+        self
+    }
+
+    /// Binds `addr` and starts the accept loop and the health prober
+    /// on background threads.
+    pub fn serve(self, addr: impl ToSocketAddrs) -> io::Result<RouterHandle> {
+        if self.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let pools = ClientPools::new().with_timeout(self.config.upstream_timeout);
+        let mut backends = Vec::with_capacity(self.backends.len());
+        let mut ring = BTreeMap::new();
+        for (idx, (name, addr)) in self.backends.into_iter().enumerate() {
+            if backends.iter().any(|b: &Backend| b.name == name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate backend name {name:?}"),
+                ));
+            }
+            let pool = pools.pool(addr.as_str())?;
+            for point in vnode_points(&name) {
+                // Collisions across backends are astronomically rare
+                // with 64-bit points; first insertion wins.
+                ring.entry(point).or_insert(idx);
+            }
+            backends.push(Backend {
+                name,
+                addr: pool.addr(),
+                pool,
+                healthy: AtomicBool::new(true),
+                draining: AtomicBool::new(false),
+                advertised_draining: AtomicBool::new(false),
+            });
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(RouterCtx {
+            backends,
+            ring,
+            config: self.config,
+            shutdown: AtomicBool::new(false),
+            live: LiveConnections::default(),
+            prober_bed: (Mutex::new(false), Condvar::new()),
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept = std::thread::Builder::new()
+            .name("fc-router-accept".into())
+            .spawn(move || accept_loop(listener, accept_ctx))?;
+        let probe_ctx = Arc::clone(&ctx);
+        let prober = std::thread::Builder::new()
+            .name("fc-router-probe".into())
+            .spawn(move || prober_loop(&probe_ctx))?;
+        Ok(RouterHandle {
+            addr,
+            ctx,
+            accept: Some(accept),
+            prober: Some(prober),
+        })
+    }
+}
+
+impl Default for RouterServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for RouterServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterServer")
+            .field("backends", &self.backends)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A running router: its bound address plus graceful shutdown.
+/// Dropping the handle shuts it down (draining in-flight relays).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    ctx: Arc<RouterCtx>,
+    accept: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flips the router-side drain flag for `name`; `false` if no such
+    /// backend. (The HTTP admin route does the same over the wire.)
+    pub fn set_draining(&self, name: &str, draining: bool) -> bool {
+        match self.ctx.backends.iter().find(|b| b.name == name) {
+            Some(backend) => {
+                backend.draining.store(draining, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight relays, stop
+    /// the prober.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        self.ctx.live.wait_drained();
+        let (bed, alarm) = &self.ctx.prober_bed;
+        *bed.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        alarm.notify_all();
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for RouterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterHandle")
+            .field("addr", &self.addr)
+            .field("live_connections", &*self.ctx.live.lock())
+            .finish()
+    }
+}
+
+/// Probes every backend, sleeps, repeats; exits on shutdown. Probes
+/// run on fresh short-timeout connections, never the relay pools, so a
+/// wedged pool connection cannot blind the prober.
+fn prober_loop(ctx: &RouterCtx) {
+    loop {
+        for backend in &ctx.backends {
+            probe_backend(backend, ctx.config.read_timeout);
+        }
+        let (bed, alarm) = &ctx.prober_bed;
+        let mut asleep = bed.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*asleep {
+            let (next, timed_out) = alarm
+                .wait_timeout(asleep, ctx.config.probe_interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            asleep = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        if *asleep || ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// One health probe: `GET /v1/health`, falling back to `/v1/stats` on
+/// backends without the health route. A `200` marks healthy and
+/// updates the advertised drain flag; anything else marks unhealthy.
+fn probe_backend(backend: &Backend, timeout: Duration) {
+    let exchange = Conn::connect(backend.addr, Some(timeout)).and_then(|mut conn| {
+        match conn.send("GET", "/v1/health", &[], "")? {
+            (404, _) => conn
+                .send("GET", "/v1/stats", &[], "")
+                .map(|(s, b)| (s, b, false)),
+            (status, body) => Ok((status, body, true)),
+        }
+    });
+    match exchange {
+        Ok((200, body, has_health)) => {
+            let advertised = has_health
+                && Json::parse(&body)
+                    .ok()
+                    .and_then(|j| j.get("draining").and_then(Json::as_bool))
+                    .unwrap_or(false);
+            backend
+                .advertised_draining
+                .store(advertised, Ordering::Relaxed);
+            backend.healthy.store(true, Ordering::Relaxed);
+        }
+        _ => backend.healthy.store(false, Ordering::Relaxed),
+    }
+}
+
+/// RAII claim on a connection slot (see the server's twin): released
+/// on drop so panicking handlers cannot wedge the drain.
+struct ConnSlot(Arc<RouterCtx>);
+
+impl ConnSlot {
+    fn try_claim(ctx: &Arc<RouterCtx>) -> Option<Self> {
+        ctx.live
+            .try_enter(ctx.config.max_connections)
+            .then(|| Self(Arc::clone(ctx)))
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.live.exit();
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<RouterCtx>) {
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(sock) = stream else { continue };
+        let Some(slot) = ConnSlot::try_claim(&ctx) else {
+            let body = ApiError {
+                status: 503,
+                message: "connection limit reached".into(),
+            }
+            .body();
+            let mut sock = sock;
+            let _ = sock.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = write_response(&mut sock, 503, &body, true);
+            continue;
+        };
+        let conn_ctx = Arc::clone(&ctx);
+        let _ = std::thread::Builder::new()
+            .name("fc-router-conn".into())
+            .spawn(move || {
+                let _slot = slot;
+                handle_connection(sock, &conn_ctx);
+            });
+    }
+}
+
+fn handle_connection(sock: TcpStream, ctx: &RouterCtx) {
+    let _ = sock.set_read_timeout(Some(ctx.config.read_timeout));
+    let _ = sock.set_write_timeout(Some(ctx.config.read_timeout));
+    let _ = sock.set_nodelay(true);
+    let Ok(read_half) = sock.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = sock;
+    loop {
+        let request = match read_request(&mut reader, ctx.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) | Err(HttpError::IdleTimeout) => return,
+            Err(HttpError::Malformed { status, reason }) => {
+                let body = ApiError {
+                    status,
+                    message: reason.to_string(),
+                }
+                .body();
+                let _ = write_response(&mut writer, status, &body, true);
+                return;
+            }
+        };
+        let close_after = request.close || ctx.shutdown.load(Ordering::SeqCst);
+        match dispatch(ctx, &request, &writer) {
+            Outcome::Respond { status, body } => {
+                if write_response(&mut writer, status, &body, close_after).is_err() {
+                    return;
+                }
+            }
+            Outcome::ClientGone => return,
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+enum Outcome {
+    Respond { status: u16, body: String },
+    ClientGone,
+}
+
+impl Outcome {
+    fn ok(body: Json) -> Self {
+        Self::Respond {
+            status: 200,
+            body: body.to_string(),
+        }
+    }
+}
+
+impl From<ApiError> for Outcome {
+    fn from(e: ApiError) -> Self {
+        Self::Respond {
+            status: e.status,
+            body: e.body(),
+        }
+    }
+}
+
+fn dispatch(ctx: &RouterCtx, request: &Request, sock: &TcpStream) -> Outcome {
+    let path = request.path().to_string();
+    let segments: Vec<&str> = path.strip_prefix('/').unwrap_or(&path).split('/').collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["v1", "stats"]) => relay_stats(ctx),
+        ("GET", ["v1", "streams"]) => relay_get(ctx, "/v1/streams"),
+        ("GET", ["v1", "topology"]) => topology(ctx),
+        ("GET", ["v1", "health"]) => Outcome::ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "backends_live",
+                Json::Num(ctx.backends.iter().filter(|b| b.available()).count() as f64),
+            ),
+            ("backends", Json::Num(ctx.backends.len() as f64)),
+        ])),
+        ("POST", ["v1", "recommend" | "sweep"]) => relay_solve(ctx, request, &path, sock),
+        ("POST", ["v1", "streams", _, "clean"]) => relay_clean(ctx, request, &path),
+        ("POST", ["v1", "admin", "backends", name, "drain"]) => set_drain(ctx, name, true),
+        ("POST", ["v1", "admin", "backends", name, "undrain"]) => set_drain(ctx, name, false),
+        (_, ["v1", "stats" | "streams" | "recommend" | "sweep" | "health" | "topology"])
+        | (_, ["v1", "streams", _, "clean"])
+        | (_, ["v1", "admin", "backends", _, "drain" | "undrain"]) => ApiError {
+            status: 405,
+            message: format!("method {method} not allowed on {path}"),
+        }
+        .into(),
+        _ => ApiError::not_found(format!("no route for {path}")).into(),
+    }
+}
+
+/// `GET /v1/topology`: the ring as the operator sees it.
+fn topology(ctx: &RouterCtx) -> Outcome {
+    Outcome::ok(Json::obj([
+        ("vnodes_per_backend", Json::Num(VNODES as f64)),
+        (
+            "backends",
+            Json::Arr(
+                ctx.backends
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("name", Json::Str(b.name.clone())),
+                            ("addr", Json::Str(b.addr.to_string())),
+                            ("healthy", Json::Bool(b.healthy.load(Ordering::Relaxed))),
+                            ("draining", Json::Bool(b.draining())),
+                            (
+                                "drained_by_operator",
+                                Json::Bool(b.draining.load(Ordering::Relaxed)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+fn set_drain(ctx: &RouterCtx, name: &str, draining: bool) -> Outcome {
+    match ctx.backends.iter().find(|b| b.name == name) {
+        Some(backend) => {
+            backend.draining.store(draining, Ordering::Relaxed);
+            Outcome::ok(Json::obj([
+                ("name", Json::Str(backend.name.clone())),
+                ("draining", Json::Bool(draining)),
+            ]))
+        }
+        None => ApiError::not_found(format!("no backend named {name:?}")).into(),
+    }
+}
+
+/// The stream id a solve body names (the ring key). A body the router
+/// cannot read keys as `""` — it still forwards, and the backend
+/// produces the canonical `400`/`404`, byte-identical to single-box.
+fn stream_key(body: &[u8]) -> String {
+    std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|json| {
+            json.get("stream")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        })
+        .unwrap_or_default()
+}
+
+/// Forwards an idempotent request along `order`, trying each live
+/// backend at most once; a transport error marks the backend unhealthy
+/// and moves on. The fallback pass admits draining (but healthy)
+/// backends rather than failing the request — drain is a preference,
+/// not a partition.
+fn forward_idempotent(
+    ctx: &RouterCtx,
+    order: &[usize],
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+    alive: &mut dyn FnMut() -> bool,
+) -> Result<Option<(u16, String)>, ApiError> {
+    for admit_draining in [false, true] {
+        for &idx in order {
+            let backend = &ctx.backends[idx];
+            let eligible = if admit_draining {
+                backend.healthy.load(Ordering::Relaxed) && backend.draining()
+            } else {
+                backend.available()
+            };
+            if !eligible {
+                continue;
+            }
+            match backend.pool.request_with_probe(
+                method,
+                path,
+                headers,
+                body,
+                ctx.config.disconnect_poll,
+                alive,
+            ) {
+                Ok(response) => return Ok(response),
+                Err(_) => backend.healthy.store(false, Ordering::Relaxed),
+            }
+        }
+    }
+    Err(ApiError::unavailable("no live backend"))
+}
+
+fn relay_solve(ctx: &RouterCtx, request: &Request, path: &str, sock: &TcpStream) -> Outcome {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return ApiError::bad_request("body is not UTF-8").into();
+    };
+    let key = stream_key(&request.body);
+    let order = ctx.route_order(&key);
+    let tenant = request.header("x-tenant");
+    let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
+    let mut alive = || client_connected(sock);
+    match forward_idempotent(ctx, &order, "POST", path, &headers, body, &mut alive) {
+        Ok(Some((status, body))) => Outcome::Respond { status, body },
+        Ok(None) => Outcome::ClientGone,
+        Err(e) => e.into(),
+    }
+}
+
+/// Relays a `GET` from the first live backend (ring order from the
+/// path, so repeated calls stick while the fleet is stable).
+fn relay_get(ctx: &RouterCtx, path: &str) -> Outcome {
+    let order = ctx.route_order(path);
+    let mut alive = || true;
+    match forward_idempotent(ctx, &order, "GET", path, &[], "", &mut alive) {
+        Ok(Some((status, body))) => Outcome::Respond { status, body },
+        Ok(None) => unreachable!("alive() is constant true"),
+        Err(e) => e.into(),
+    }
+}
+
+/// Broadcasts a clean to every healthy backend — draining included,
+/// so a drained backend stays byte-identical for its undrain. The
+/// request is a mutation: never retried, and divergent replica
+/// outcomes are a `502`, not a guess.
+fn relay_clean(ctx: &RouterCtx, request: &Request, path: &str) -> Outcome {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return ApiError::bad_request("body is not UTF-8").into();
+    };
+    let tenant = request.header("x-tenant");
+    let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
+    let mut responses: Vec<(u16, String)> = Vec::new();
+    for backend in &ctx.backends {
+        if !backend.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        match backend.pool.request("POST", path, &headers, body) {
+            Ok(response) => responses.push(response),
+            Err(_) => backend.healthy.store(false, Ordering::Relaxed),
+        }
+    }
+    let Some((first_status, first_body)) = responses.first().cloned() else {
+        return ApiError::unavailable("no live backend").into();
+    };
+    if responses.iter().all(|(status, _)| *status == first_status) {
+        // Unanimous — success or the same canonical rejection.
+        Outcome::Respond {
+            status: first_status,
+            body: first_body,
+        }
+    } else {
+        ApiError::bad_gateway("replicas diverged applying the clean").into()
+    }
+}
+
+/// `GET /v1/stats`: sums every live backend's stats into one
+/// single-box-shaped body. Sums preserve the per-backend invariants
+/// (e.g. `completed + cancelled + panics ≤ submitted`), so harness
+/// checks written against one server hold against the fleet.
+fn relay_stats(ctx: &RouterCtx) -> Outcome {
+    let mut aggregate: Option<StatsResponse> = None;
+    for backend in &ctx.backends {
+        if !backend.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        let (status, body) = match backend.pool.get("/v1/stats") {
+            Ok(response) => response,
+            Err(_) => {
+                backend.healthy.store(false, Ordering::Relaxed);
+                continue;
+            }
+        };
+        if status != 200 {
+            continue;
+        }
+        let stats = Json::parse(&body)
+            .ok()
+            .and_then(|json| StatsResponse::from_json(&json).ok());
+        let Some(stats) = stats else {
+            return ApiError::bad_gateway(format!(
+                "backend {} returned undecodable stats",
+                backend.name
+            ))
+            .into();
+        };
+        match aggregate.as_mut() {
+            Some(total) => total.absorb(&stats),
+            None => aggregate = Some(stats),
+        }
+    }
+    match aggregate {
+        Some(total) => Outcome::ok(total.to_json()),
+        None => ApiError::unavailable("no live backend").into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ctx(names: &[&str]) -> RouterCtx {
+        let pools = ClientPools::new();
+        let mut backends = Vec::new();
+        let mut ring = BTreeMap::new();
+        for (idx, name) in names.iter().enumerate() {
+            // Port 9 (discard): resolved, never connected to.
+            let pool = pools.pool(("127.0.0.1", 9)).unwrap();
+            for point in vnode_points(name) {
+                ring.entry(point).or_insert(idx);
+            }
+            backends.push(Backend {
+                name: name.to_string(),
+                addr: pool.addr(),
+                pool,
+                healthy: AtomicBool::new(true),
+                draining: AtomicBool::new(false),
+                advertised_draining: AtomicBool::new(false),
+            });
+        }
+        RouterCtx {
+            backends,
+            ring,
+            config: RouterConfig::new(),
+            shutdown: AtomicBool::new(false),
+            live: LiveConnections::default(),
+            prober_bed: (Mutex::new(false), Condvar::new()),
+        }
+    }
+
+    #[test]
+    fn route_order_is_stable_and_covers_every_backend() {
+        let ctx = test_ctx(&["a", "b", "c"]);
+        for key in ["s0", "s1", "claims", ""] {
+            let order = ctx.route_order(key);
+            assert_eq!(order.len(), 3, "{key}: every backend appears");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "{key}: each exactly once");
+            assert_eq!(order, ctx.route_order(key), "{key}: deterministic");
+        }
+    }
+
+    #[test]
+    fn streams_spread_across_backends() {
+        let ctx = test_ctx(&["a", "b", "c"]);
+        let mut first_choice = [0usize; 3];
+        for i in 0..200 {
+            first_choice[ctx.route_order(&format!("stream-{i}"))[0]] += 1;
+        }
+        for (idx, count) in first_choice.iter().enumerate() {
+            assert!(
+                *count > 0,
+                "backend {idx} never first across 200 streams: {first_choice:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_moves_its_own_streams() {
+        let full = test_ctx(&["a", "b", "c"]);
+        let reduced = test_ctx(&["a", "b"]);
+        for i in 0..100 {
+            let key = format!("stream-{i}");
+            let before = full.route_order(&key)[0];
+            let after = reduced.route_order(&key)[0];
+            if before != 2 {
+                assert_eq!(
+                    before, after,
+                    "{key}: removing c must not move streams off a/b"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drain_flags_gate_availability_not_membership() {
+        let ctx = test_ctx(&["a", "b"]);
+        assert!(ctx.backends[0].available());
+        ctx.backends[0].draining.store(true, Ordering::Relaxed);
+        assert!(!ctx.backends[0].available());
+        assert!(ctx.backends[0].healthy.load(Ordering::Relaxed));
+        ctx.backends[0].draining.store(false, Ordering::Relaxed);
+        ctx.backends[0]
+            .advertised_draining
+            .store(true, Ordering::Relaxed);
+        assert!(!ctx.backends[0].available(), "advertised drain also gates");
+        // Ring membership is unchanged: the stream still *hashes* to
+        // it; skipping happens at try time.
+        assert_eq!(ctx.route_order("x").len(), 2);
+    }
+}

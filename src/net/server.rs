@@ -33,17 +33,23 @@
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use fc_core::planner::cache::snapshot::{restore_snapshot, write_snapshot};
 use fc_core::planner::service::{PlannerService, RequestHandle, TenantId, WaitOutcome};
+use fc_core::planner::Fnv1a;
 use fc_core::{CoreError, Plan};
 
+use super::api::{
+    decode_body, ApiError, CleanRequest, CleanResponse, RecommendRequest, SweepRequest,
+};
 use super::http::{read_request, write_response, HttpError, Request};
 use super::json::Json;
-use super::wire::{budget_field, budgets_field, plan_json, spec_from_json, stats_json, ApiError};
+use super::wire::{plan_json, stats_json};
 use crate::serve::ClaimStream;
 
 /// Tuning knobs for a [`PlannerServer`].
@@ -68,6 +74,13 @@ pub struct ServerConfig {
     /// How often an in-flight wait probes the client socket for
     /// disconnect (the cancel-on-hangup latency). Default: 50ms.
     pub disconnect_poll: Duration,
+    /// Where this server persists its [`CacheStore`](fc_core::CacheStore)
+    /// snapshot. When set: [`PlannerServer::serve`] restores from the
+    /// file if present (warm boot — corruption or a topology mismatch
+    /// falls back to a cold start), `POST /v1/admin/snapshot` writes
+    /// it on demand, and graceful shutdown writes it so a successor
+    /// process boots warm. Default: none (no persistence).
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -78,6 +91,7 @@ impl ServerConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(5),
             disconnect_poll: Duration::from_millis(50),
+            snapshot_path: None,
         }
     }
 
@@ -104,6 +118,12 @@ impl ServerConfig {
         self.disconnect_poll = poll;
         self
     }
+
+    /// Sets the snapshot file (see [`ServerConfig::snapshot_path`]).
+    pub fn with_snapshot_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_path = Some(path.into());
+        self
+    }
 }
 
 impl Default for ServerConfig {
@@ -113,19 +133,21 @@ impl Default for ServerConfig {
 }
 
 /// Tracks live connection handlers so shutdown can drain them.
+/// Shared with the [`router`](super::router) front, whose accept loop
+/// has the same drain obligation.
 #[derive(Default)]
-struct LiveConnections {
+pub(crate) struct LiveConnections {
     count: Mutex<usize>,
     drained: Condvar,
 }
 
 impl LiveConnections {
-    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
         self.count.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Claims a slot, or reports saturation.
-    fn try_enter(&self, cap: usize) -> bool {
+    pub(crate) fn try_enter(&self, cap: usize) -> bool {
         let mut count = self.lock();
         if *count >= cap {
             false
@@ -135,12 +157,12 @@ impl LiveConnections {
         }
     }
 
-    fn exit(&self) {
+    pub(crate) fn exit(&self) {
         *self.lock() -= 1;
         self.drained.notify_all();
     }
 
-    fn wait_drained(&self) {
+    pub(crate) fn wait_drained(&self) {
         let mut count = self.lock();
         while *count > 0 {
             count = self
@@ -158,6 +180,28 @@ struct ServerCtx {
     config: ServerConfig,
     shutdown: AtomicBool,
     live: LiveConnections,
+    /// Operator-set drain flag, reported through `GET /v1/health` so a
+    /// routing front rehashes new work away while in-flight finishes.
+    draining: AtomicBool,
+    /// Fingerprint of the registered stream ids — the snapshot scope
+    /// gate (a snapshot from a server with different streams is
+    /// rejected at restore).
+    scope: u64,
+    /// Entries rehydrated from the snapshot at boot (0 on cold start).
+    restored: usize,
+}
+
+/// FNV-1a over the sorted stream ids: stable across restarts and
+/// insertion order, changed by any topology change.
+fn scope_fingerprint(streams: &HashMap<String, Arc<RwLock<ClaimStream>>>) -> u64 {
+    let mut ids: Vec<&str> = streams.keys().map(String::as_str).collect();
+    ids.sort_unstable();
+    let mut h = Fnv1a::new();
+    h.write_usize(ids.len());
+    for id in ids {
+        h.write_str(id);
+    }
+    h.finish()
 }
 
 /// The dependency-free HTTP/1.1 front over a [`PlannerService`] and its
@@ -216,12 +260,26 @@ impl PlannerServer {
     pub fn serve(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let scope = scope_fingerprint(&self.streams);
+        // Warm boot: rehydrate the store from the snapshot when one is
+        // configured and valid. Every failure (missing file, torn
+        // write, different topology) is a cold start, never an error —
+        // the snapshot is an optimization, not state of record.
+        let restored = match &self.config.snapshot_path {
+            Some(path) => restore_snapshot(self.service.store(), path, scope)
+                .map(|stats| stats.entries)
+                .unwrap_or(0),
+            None => 0,
+        };
         let ctx = Arc::new(ServerCtx {
             service: self.service,
             streams: self.streams,
             config: self.config,
             shutdown: AtomicBool::new(false),
             live: LiveConnections::default(),
+            draining: AtomicBool::new(false),
+            scope,
+            restored,
         });
         let accept_ctx = Arc::clone(&ctx);
         let accept = std::thread::Builder::new()
@@ -283,6 +341,12 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
         self.ctx.live.wait_drained();
+        // Every in-flight request has resolved: the store is settled,
+        // so persist it for a warm successor. Best-effort — a failed
+        // write costs the successor a cold start, nothing more.
+        if let Some(path) = &self.ctx.config.snapshot_path {
+            let _ = write_snapshot(self.ctx.service.store(), path, self.ctx.scope);
+        }
     }
 }
 
@@ -457,12 +521,21 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
                 Json::Arr(ids.into_iter().map(|id| Json::Str(id.clone())).collect()),
             )]))
         }
+        ("GET", ["v1", "health"]) => Outcome::ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("draining", Json::Bool(ctx.draining.load(Ordering::Relaxed))),
+            ("restored_entries", Json::Num(ctx.restored as f64)),
+        ])),
         ("POST", ["v1", "recommend"]) => solve_route(ctx, request, sock, false),
         ("POST", ["v1", "sweep"]) => solve_route(ctx, request, sock, true),
         ("POST", ["v1", "streams", id, "clean"]) => clean_route(ctx, request, id),
+        ("POST", ["v1", "admin", "drain"]) => set_draining(ctx, true),
+        ("POST", ["v1", "admin", "undrain"]) => set_draining(ctx, false),
+        ("POST", ["v1", "admin", "snapshot"]) => snapshot_route(ctx),
         // Known paths with the wrong verb are 405, not 404.
-        (_, ["v1", "stats" | "streams" | "recommend" | "sweep"])
-        | (_, ["v1", "streams", _, "clean"]) => ApiError {
+        (_, ["v1", "stats" | "streams" | "recommend" | "sweep" | "health"])
+        | (_, ["v1", "streams", _, "clean"])
+        | (_, ["v1", "admin", "drain" | "undrain" | "snapshot"]) => ApiError {
             status: 405,
             message: format!("method {method} not allowed on {path}"),
         }
@@ -471,17 +544,42 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
     }
 }
 
-/// The shared parts of a parsed recommend/sweep request.
-struct SolveParts<'c> {
-    body: Json,
-    stream: &'c RwLock<ClaimStream>,
-    spec: crate::planner::ObjectiveSpec,
-    tenant: Option<TenantId>,
+/// `POST /v1/admin/drain` / `undrain`: flips the advisory drain flag.
+/// The server keeps serving whatever arrives — the flag's consumer is
+/// a routing front's health probe, which rehashes *new* work away
+/// while in-flight requests finish here.
+fn set_draining(ctx: &ServerCtx, draining: bool) -> Outcome {
+    ctx.draining.store(draining, Ordering::Relaxed);
+    Outcome::ok(Json::obj([("draining", Json::Bool(draining))]))
 }
 
-/// Parses the shared parts of recommend/sweep requests: body JSON, the
-/// target stream, the spec, and the tenant.
-fn solve_prologue<'c>(ctx: &'c ServerCtx, request: &Request) -> Result<SolveParts<'c>, ApiError> {
+/// `POST /v1/admin/snapshot`: persists the store now (rotate hook — a
+/// successor process pointed at the same path boots warm).
+fn snapshot_route(ctx: &ServerCtx) -> Outcome {
+    let Some(path) = &ctx.config.snapshot_path else {
+        return ApiError::bad_request("no snapshot path configured").into();
+    };
+    match write_snapshot(ctx.service.store(), path, ctx.scope) {
+        Ok(stats) => Outcome::ok(Json::obj([
+            ("entries", Json::Num(stats.entries as f64)),
+            ("bytes", Json::Num(stats.bytes as f64)),
+        ])),
+        Err(e) => ApiError {
+            status: 500,
+            message: format!("snapshot failed: {e}"),
+        }
+        .into(),
+    }
+}
+
+/// Parses the body as JSON and resolves the target stream first (an
+/// unknown stream is a `404` even when the rest of the body is also
+/// bad), then decodes the typed request with `decode`.
+fn typed_request<'c, T>(
+    ctx: &'c ServerCtx,
+    request: &Request,
+    decode: impl FnOnce(&Json) -> Result<T, ApiError>,
+) -> Result<(T, &'c RwLock<ClaimStream>), ApiError> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
     let body = Json::parse(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))?;
@@ -493,38 +591,32 @@ fn solve_prologue<'c>(ctx: &'c ServerCtx, request: &Request) -> Result<SolvePart
         .streams
         .get(stream_id)
         .ok_or_else(|| ApiError::not_found(format!("unknown stream {stream_id:?}")))?;
-    let spec = spec_from_json(&body)?;
-    let tenant = request.header("x-tenant").map(TenantId::from);
-    Ok(SolveParts {
-        body,
-        stream,
-        spec,
-        tenant,
-    })
+    Ok((decode(&body)?, stream))
 }
 
 fn solve_route(ctx: &ServerCtx, request: &Request, sock: &TcpStream, sweep: bool) -> Outcome {
-    let SolveParts {
-        body,
-        stream,
-        spec,
-        tenant,
-    } = match solve_prologue(ctx, request) {
-        Ok(parts) => parts,
-        Err(e) => return e.into(),
-    };
+    let tenant = request.header("x-tenant").map(TenantId::from);
     // Hold the stream lock only to *submit* (lowering is memoized and
     // fast); a concurrent `clean` therefore waits behind submissions,
     // never behind solves.
-    let guard = stream.read().unwrap_or_else(PoisonError::into_inner);
-    let total_cost = guard.session().data().total_cost();
-    let tenant = tenant.unwrap_or_else(|| guard.tenant().clone());
     if sweep {
-        let budgets = match budgets_field(&body, total_cost) {
+        let (req, stream) = match typed_request(ctx, request, SweepRequest::from_json) {
+            Ok(parts) => parts,
+            Err(e) => return e.into(),
+        };
+        let guard = stream.read().unwrap_or_else(PoisonError::into_inner);
+        let total_cost = guard.session().data().total_cost();
+        let tenant = tenant.unwrap_or_else(|| guard.tenant().clone());
+        let budgets = match req
+            .budgets
+            .iter()
+            .map(|b| b.resolve(total_cost))
+            .collect::<Result<Vec<_>, _>>()
+        {
             Ok(budgets) => budgets,
             Err(e) => return e.into(),
         };
-        let handle = guard.submit_sweep_as(tenant, &spec, &budgets);
+        let handle = guard.submit_sweep_as(tenant, &req.spec, &budgets);
         drop(guard);
         match handle {
             Ok(handle) => await_handle(ctx, sock, handle, |plans| {
@@ -533,11 +625,18 @@ fn solve_route(ctx: &ServerCtx, request: &Request, sock: &TcpStream, sweep: bool
             Err(e) => ApiError::from(e).into(),
         }
     } else {
-        let budget = match budget_field(&body, total_cost) {
+        let (req, stream) = match typed_request(ctx, request, RecommendRequest::from_json) {
+            Ok(parts) => parts,
+            Err(e) => return e.into(),
+        };
+        let guard = stream.read().unwrap_or_else(PoisonError::into_inner);
+        let total_cost = guard.session().data().total_cost();
+        let tenant = tenant.unwrap_or_else(|| guard.tenant().clone());
+        let budget = match req.budget.resolve(total_cost) {
             Ok(budget) => budget,
             Err(e) => return e.into(),
         };
-        let handle = guard.submit_as(tenant, spec, budget);
+        let handle = guard.submit_as(tenant, req.spec, budget);
         drop(guard);
         match handle {
             Ok(handle) => await_handle(ctx, sock, handle, |plan: &Plan| plan_json(plan)),
@@ -572,37 +671,19 @@ fn clean_route(ctx: &ServerCtx, request: &Request, id: &str) -> Outcome {
         Ok(text) => text,
         Err(_) => return ApiError::bad_request("body is not UTF-8").into(),
     };
-    let body = match Json::parse(text) {
-        Ok(body) => body,
-        Err(e) => return ApiError::bad_request(format!("bad JSON: {e}")).into(),
-    };
-    let objects: Vec<usize> = match body
-        .get("objects")
-        .and_then(Json::as_array)
-        .map(|items| items.iter().map(Json::as_usize).collect::<Option<Vec<_>>>())
-    {
-        Some(Some(objects)) => objects,
-        _ => {
-            return ApiError::bad_request("missing \"objects\" (an array of object indices)").into()
-        }
-    };
-    let revealed: Vec<f64> = match body
-        .get("revealed")
-        .and_then(Json::as_array)
-        .map(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<_>>>())
-    {
-        Some(Some(revealed)) => revealed,
-        _ => {
-            return ApiError::bad_request("missing \"revealed\" (an array of cleaned values)")
-                .into()
-        }
+    let req = match decode_body(text, CleanRequest::from_json) {
+        Ok(req) => req,
+        Err(e) => return e.into(),
     };
     let mut guard = stream.write().unwrap_or_else(PoisonError::into_inner);
-    match guard.mark_cleaned(&objects, &revealed) {
-        Ok(invalidated) => Outcome::ok(Json::obj([
-            ("invalidated", Json::Num(invalidated as f64)),
-            ("objects", Json::Num(objects.len() as f64)),
-        ])),
+    match guard.mark_cleaned(&req.objects, &req.revealed) {
+        Ok(invalidated) => Outcome::ok(
+            CleanResponse {
+                invalidated,
+                objects: req.objects.len(),
+            }
+            .to_json(),
+        ),
         Err(e) => ApiError::from(e).into(),
     }
 }
@@ -610,7 +691,9 @@ fn clean_route(ctx: &ServerCtx, request: &Request, id: &str) -> Outcome {
 /// Probes whether the client half of `sock` is still there: a
 /// non-blocking `peek` distinguishes "no bytes yet" (connected) from
 /// EOF/reset (gone). Pipelined request bytes also read as connected.
-fn client_connected(sock: &TcpStream) -> bool {
+/// Shared with the [`router`](super::router), which probes its client
+/// the same way while relaying upstream.
+pub(crate) fn client_connected(sock: &TcpStream) -> bool {
     if sock.set_nonblocking(true).is_err() {
         return false;
     }
@@ -642,6 +725,9 @@ mod tests {
             config: ServerConfig::new().with_max_connections(max_connections),
             shutdown: AtomicBool::new(false),
             live: LiveConnections::default(),
+            draining: AtomicBool::new(false),
+            scope: 0,
+            restored: 0,
         })
     }
 

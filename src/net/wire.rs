@@ -1,5 +1,8 @@
-//! Wire-type mapping: JSON request bodies ⇄ planner types, and plans ⇄
-//! JSON responses.
+//! Wire-type mapping: plans and stats ⇄ JSON responses.
+//!
+//! Request parsing and the typed request/response structs live in
+//! [`api`](super::api) (re-exported here for compatibility); this
+//! module keeps the response encoders whose *bytes* are contracts.
 //!
 //! Plan encoding is the identity the network gates compare on:
 //! [`plan_identity_json`] covers exactly the fields
@@ -11,157 +14,12 @@
 //! (`divergence` ignores them; so do the gates).
 
 use fc_core::planner::service::{QuotaUsage, ServiceStats, TenantId};
-use fc_core::{Budget, CacheStats, CoreError, Plan};
+use fc_core::{CacheStats, Plan};
 
+pub use super::api::{
+    budget_field, budget_from_json, budgets_field, goal_json, spec_from_json, ApiError,
+};
 use super::json::Json;
-use crate::planner::{Goal, Measure, ObjectiveSpec};
-
-/// A request that cannot be served, mapped to an HTTP status.
-#[derive(Debug)]
-pub struct ApiError {
-    /// The response status code.
-    pub status: u16,
-    /// Human-readable detail (the response `error` field).
-    pub message: String,
-}
-
-impl ApiError {
-    /// A 400 with the given detail.
-    pub fn bad_request(message: impl Into<String>) -> Self {
-        Self {
-            status: 400,
-            message: message.into(),
-        }
-    }
-
-    /// A 404 with the given detail.
-    pub fn not_found(message: impl Into<String>) -> Self {
-        Self {
-            status: 404,
-            message: message.into(),
-        }
-    }
-
-    /// The `{"error": …}` response body.
-    pub fn body(&self) -> String {
-        Json::obj([("error", Json::Str(self.message.clone()))]).to_string()
-    }
-}
-
-impl From<CoreError> for ApiError {
-    /// Maps solver/service errors onto statuses: quota exhaustion is
-    /// `429` (retry after in-flight work resolves); a contained worker
-    /// panic is `500`, as is `Cancelled` (a request the *server*
-    /// abandoned while the client still waits — unreachable through
-    /// the normal disconnect path, which never responds at all);
-    /// everything else — bad strategies, bad objects, refused problem
-    /// shapes — is a `400` request error.
-    fn from(e: CoreError) -> Self {
-        let status = match &e {
-            CoreError::QuotaExceeded { .. } => 429,
-            CoreError::WorkerPanicked { .. } | CoreError::Cancelled => 500,
-            _ => 400,
-        };
-        Self {
-            status,
-            message: e.to_string(),
-        }
-    }
-}
-
-/// Parses the request body's `measure`/`goal`/`strategy` fields into
-/// an [`ObjectiveSpec`]. `goal` defaults to MinVar (`"minvar"`); a
-/// counterargument hunt is `{"maxpr": τ}`.
-pub fn spec_from_json(body: &Json) -> Result<ObjectiveSpec, ApiError> {
-    let measure = match body.get("measure").and_then(Json::as_str) {
-        Some("bias") => Measure::Bias,
-        Some("dup") => Measure::Dup,
-        Some("frag") => Measure::Frag,
-        Some(other) => {
-            return Err(ApiError::bad_request(format!(
-                "unknown measure {other:?} (expected \"bias\", \"dup\", or \"frag\")"
-            )))
-        }
-        None => {
-            return Err(ApiError::bad_request(
-                "missing \"measure\" (\"bias\", \"dup\", or \"frag\")",
-            ))
-        }
-    };
-    let goal = match body.get("goal") {
-        None => Goal::MinVar,
-        Some(Json::Str(s)) if s == "minvar" => Goal::MinVar,
-        Some(v) => match v.get("maxpr").and_then(Json::as_f64) {
-            Some(tau) => Goal::MaxPr { tau },
-            None => {
-                return Err(ApiError::bad_request(
-                    "bad \"goal\" (expected \"minvar\" or {\"maxpr\": τ})",
-                ))
-            }
-        },
-    };
-    let mut spec = ObjectiveSpec::new(measure, goal);
-    match body.get("strategy") {
-        None => {}
-        Some(Json::Str(name)) if name == "auto" => {}
-        Some(Json::Str(name)) => spec = spec.with_strategy(name.clone()),
-        Some(_) => {
-            return Err(ApiError::bad_request(
-                "bad \"strategy\" (expected a string)",
-            ))
-        }
-    }
-    Ok(spec)
-}
-
-/// Parses one budget: a bare number is [`Budget::absolute`];
-/// `{"fraction": f}` resolves against the stream's total cleaning
-/// cost.
-pub fn budget_from_json(v: &Json, total_cost: u64) -> Result<Budget, ApiError> {
-    if let Some(n) = v.as_u64() {
-        return Ok(Budget::absolute(n));
-    }
-    if let Some(frac) = v.get("fraction").and_then(Json::as_f64) {
-        return Budget::try_fraction(total_cost, frac).map_err(ApiError::from);
-    }
-    if let Some(n) = v.get("absolute").and_then(Json::as_u64) {
-        return Ok(Budget::absolute(n));
-    }
-    Err(ApiError::bad_request(
-        "bad budget (expected a non-negative integer, {\"absolute\": n}, or {\"fraction\": f})",
-    ))
-}
-
-/// The required `budget` field of a recommend request.
-pub fn budget_field(body: &Json, total_cost: u64) -> Result<Budget, ApiError> {
-    match body.get("budget") {
-        Some(v) => budget_from_json(v, total_cost),
-        None => Err(ApiError::bad_request("missing \"budget\"")),
-    }
-}
-
-/// The required `budgets` array of a sweep request.
-pub fn budgets_field(body: &Json, total_cost: u64) -> Result<Vec<Budget>, ApiError> {
-    match body.get("budgets").and_then(Json::as_array) {
-        Some(items) if !items.is_empty() => items
-            .iter()
-            .map(|v| budget_from_json(v, total_cost))
-            .collect(),
-        Some(_) => Err(ApiError::bad_request("\"budgets\" must be non-empty")),
-        None => Err(ApiError::bad_request("missing \"budgets\" (an array)")),
-    }
-}
-
-fn goal_json(goal: Goal) -> Json {
-    match goal {
-        Goal::MinVar => Json::Str("minvar".to_string()),
-        Goal::MaxPr { tau } => Json::obj([("maxpr", Json::Num(tau))]),
-        // `Goal` is non-exhaustive upstream; an unknown goal cannot be
-        // submitted through this front, so this arm is unreachable
-        // today and merely future-proof.
-        _ => Json::Str("unknown".to_string()),
-    }
-}
 
 /// The divergence-relevant fields of a plan (see the module docs):
 /// equal encodings ⇔ [`Plan::divergence`](fc_core::Plan::divergence)
@@ -284,7 +142,8 @@ pub fn stats_json(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::planner::Strategy;
+    use crate::planner::{Goal, Measure, Strategy};
+    use fc_core::{Budget, CoreError};
 
     #[test]
     fn spec_parsing_covers_measures_goals_strategies() {

@@ -1,0 +1,360 @@
+//! Integration tests for the consistent-hash routing front: topology
+//! and health reporting, canonical error relay (the router never
+//! rewrites a backend's 4xx bytes), operator and backend-advertised
+//! drain, failover to the surviving replica, fleet-wide 503 when no
+//! backend is reachable, clean broadcast (unanimous and divergent),
+//! and aggregated stats.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fact_clean::net::api::{BudgetSpec, CleanRequest, RecommendRequest};
+use fact_clean::net::client::{self, ApiClient, ClientError};
+use fact_clean::net::json::Json;
+use fact_clean::net::{PlannerServer, RouterConfig, RouterHandle, RouterServer, ServerHandle};
+use fact_clean::prelude::*;
+use fc_core::SolverRegistry;
+
+fn session() -> CleaningSession {
+    let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
+    let dists: Vec<DiscreteDist> = current
+        .iter()
+        .map(|&u| DiscreteDist::uniform_over(&[u - 40.0, u, u + 40.0]).unwrap())
+        .collect();
+    let instance = Instance::new(dists, current, vec![1; 5]).unwrap();
+    let claims = ClaimSet::new(
+        LinearClaim::window_comparison(3, 4, 1).unwrap(),
+        vec![
+            LinearClaim::window_comparison(2, 3, 1).unwrap(),
+            LinearClaim::window_comparison(1, 2, 1).unwrap(),
+            LinearClaim::window_comparison(0, 1, 1).unwrap(),
+        ],
+        vec![1.0; 3],
+        Direction::HigherIsStronger,
+    )
+    .unwrap();
+    CleaningSession::new(instance, claims)
+}
+
+/// Boots one backend registering `session()` under each given stream
+/// id; the short read timeout keeps drains (and the test suite) fast.
+fn boot_backend(streams: &[&str]) -> (PlannerService, ServerHandle) {
+    let service = PlannerService::new(
+        Arc::new(SolverRegistry::with_defaults()),
+        ServiceOptions::new(),
+    );
+    let mut server = PlannerServer::new(service.clone()).with_config(
+        fact_clean::net::ServerConfig::new().with_read_timeout(Duration::from_millis(200)),
+    );
+    for id in streams {
+        server = server.with_stream(*id, ClaimStream::open(session(), service.clone()));
+    }
+    let handle = server.serve("127.0.0.1:0").expect("bind backend");
+    (service, handle)
+}
+
+fn boot_router(backends: &[(&str, SocketAddr)]) -> RouterHandle {
+    let mut router = RouterServer::new().with_config(
+        RouterConfig::new()
+            .with_probe_interval(Duration::from_millis(25))
+            .with_read_timeout(Duration::from_millis(500)),
+    );
+    for (name, addr) in backends {
+        router = router.with_backend(*name, addr.to_string());
+    }
+    router.serve("127.0.0.1:0").expect("bind router")
+}
+
+/// An address that was live long enough to resolve but refuses
+/// connections now — a crashed backend as the router sees it.
+fn dead_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.local_addr().expect("addr")
+}
+
+fn crime_request() -> RecommendRequest {
+    RecommendRequest {
+        stream: "crime".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Absolute(2),
+    }
+}
+
+/// Polls `/v1/topology` until `predicate` holds for the named backend.
+fn wait_for_backend(router: &RouterHandle, name: &str, predicate: impl Fn(&Json) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, body) = client::get(router.addr(), "/v1/topology").expect("topology");
+        assert_eq!(status, 200, "topology errored: {body}");
+        let json = Json::parse(&body).expect("topology JSON");
+        let found = json
+            .get("backends")
+            .and_then(Json::as_array)
+            .and_then(|backends| {
+                backends
+                    .iter()
+                    .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+            })
+            .is_some_and(&predicate);
+        if found {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend {name} never reached the expected state"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn topology_and_health_report_the_fleet() {
+    let (_service_a, backend_a) = boot_backend(&["crime"]);
+    let (_service_b, backend_b) = boot_backend(&["crime"]);
+    let router = boot_router(&[("a", backend_a.addr()), ("b", backend_b.addr())]);
+
+    let (status, body) = client::get(router.addr(), "/v1/topology").expect("topology");
+    assert_eq!(status, 200);
+    let json = Json::parse(&body).expect("topology JSON");
+    assert!(
+        json.get("vnodes_per_backend")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    let backends = json.get("backends").and_then(Json::as_array).expect("list");
+    assert_eq!(backends.len(), 2);
+    for backend in backends {
+        assert_eq!(backend.get("healthy").and_then(Json::as_bool), Some(true));
+        assert_eq!(backend.get("draining").and_then(Json::as_bool), Some(false));
+    }
+
+    let (status, body) = client::get(router.addr(), "/v1/health").expect("health");
+    assert_eq!(status, 200);
+    let json = Json::parse(&body).expect("health JSON");
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(json.get("backends").and_then(Json::as_u64), Some(2));
+    assert_eq!(json.get("backends_live").and_then(Json::as_u64), Some(2));
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
+fn relays_canonical_errors_and_identical_plans() {
+    let (_service_a, backend_a) = boot_backend(&["crime"]);
+    let (_service_b, backend_b) = boot_backend(&["crime"]);
+    let router = boot_router(&[("a", backend_a.addr()), ("b", backend_b.addr())]);
+
+    // The canonical 404 and 400 come from the backend, byte-for-byte.
+    let unknown = r#"{"stream":"nope","measure":"dup","budget":2}"#;
+    let (via_router, body_router) =
+        client::post(router.addr(), "/v1/recommend", unknown, &[]).expect("post");
+    let (direct, body_direct) =
+        client::post(backend_a.addr(), "/v1/recommend", unknown, &[]).expect("post");
+    assert_eq!((via_router, &body_router), (direct, &body_direct));
+    assert_eq!(via_router, 404);
+
+    let malformed = r#"{"stream":"crime","measure":"dup"}"#;
+    let (via_router, body_router) =
+        client::post(router.addr(), "/v1/recommend", malformed, &[]).expect("post");
+    let (direct, body_direct) =
+        client::post(backend_a.addr(), "/v1/recommend", malformed, &[]).expect("post");
+    assert_eq!((via_router, &body_router), (direct, &body_direct));
+    assert_eq!(via_router, 400);
+
+    // A well-formed request through the router matches a cold solve on
+    // a backend the router did not pick (identical sessions).
+    let routed = ApiClient::connect(router.addr())
+        .expect("connect router")
+        .recommend(&crime_request(), None)
+        .expect("routed plan");
+    let direct = ApiClient::connect(backend_b.addr())
+        .expect("connect backend")
+        .recommend(&crime_request(), None)
+        .expect("direct plan");
+    assert_eq!(
+        routed.identity_json().to_string(),
+        direct.identity_json().to_string()
+    );
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
+fn operator_drain_is_immediate_and_unknown_backend_is_404() {
+    let (_service_a, backend_a) = boot_backend(&["crime"]);
+    let (_service_b, backend_b) = boot_backend(&["crime"]);
+    let router = boot_router(&[("a", backend_a.addr()), ("b", backend_b.addr())]);
+
+    let (status, _) =
+        client::post(router.addr(), "/v1/admin/backends/zz/drain", "", &[]).expect("post");
+    assert_eq!(status, 404);
+
+    let (status, body) =
+        client::post(router.addr(), "/v1/admin/backends/a/drain", "", &[]).expect("post");
+    assert_eq!(status, 200, "drain failed: {body}");
+    wait_for_backend(&router, "a", |b| {
+        b.get("draining").and_then(Json::as_bool) == Some(true)
+            && b.get("drained_by_operator").and_then(Json::as_bool) == Some(true)
+    });
+
+    // Draining is a preference, not a partition: with b also present
+    // the request lands on b, but a lone draining backend still serves.
+    let api = ApiClient::connect(router.addr()).expect("connect");
+    api.recommend(&crime_request(), None).expect("routed plan");
+
+    let (status, _) =
+        client::post(router.addr(), "/v1/admin/backends/a/undrain", "", &[]).expect("post");
+    assert_eq!(status, 200);
+    wait_for_backend(&router, "a", |b| {
+        b.get("draining").and_then(Json::as_bool) == Some(false)
+    });
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
+fn backend_advertised_drain_reaches_the_ring() {
+    let (_service_a, backend_a) = boot_backend(&["crime"]);
+    let (_service_b, backend_b) = boot_backend(&["crime"]);
+    let router = boot_router(&[("a", backend_a.addr()), ("b", backend_b.addr())]);
+
+    // Drain a on the backend itself; the router's prober picks the
+    // advertised flag up without any operator action on the router.
+    let (status, _) = client::post(backend_a.addr(), "/v1/admin/drain", "", &[]).expect("post");
+    assert_eq!(status, 200);
+    wait_for_backend(&router, "a", |b| {
+        b.get("draining").and_then(Json::as_bool) == Some(true)
+            && b.get("drained_by_operator").and_then(Json::as_bool) == Some(false)
+    });
+
+    let (status, _) = client::post(backend_a.addr(), "/v1/admin/undrain", "", &[]).expect("post");
+    assert_eq!(status, 200);
+    wait_for_backend(&router, "a", |b| {
+        b.get("draining").and_then(Json::as_bool) == Some(false)
+    });
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
+fn fails_over_to_the_surviving_replica() {
+    let (_service, backend) = boot_backend(&["crime"]);
+    let router = boot_router(&[("live", backend.addr()), ("dead", dead_addr())]);
+
+    // Every stream id must succeed — including ones whose ring walk
+    // starts at the dead replica.
+    let api = ApiClient::connect(router.addr()).expect("connect");
+    for i in 0..8u64 {
+        let request = RecommendRequest {
+            stream: "crime".to_string(),
+            spec: ObjectiveSpec::ascertain(Measure::Dup),
+            budget: BudgetSpec::Absolute(1 + i % 3),
+        };
+        api.recommend(&request, None)
+            .unwrap_or_else(|e| panic!("request {i} failed over a dead replica: {e}"));
+    }
+    wait_for_backend(&router, "dead", |b| {
+        b.get("healthy").and_then(Json::as_bool) == Some(false)
+    });
+
+    router.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn no_reachable_backend_is_503() {
+    let router = boot_router(&[("dead", dead_addr())]);
+    let (status, body) =
+        client::post(router.addr(), "/v1/recommend", r#"{"stream":"crime"}"#, &[]).expect("post");
+    assert_eq!(status, 503, "expected fleet-wide 503, got {status} {body}");
+    assert!(body.contains("no live backend"), "unexpected body: {body}");
+    router.shutdown();
+}
+
+#[test]
+fn clean_broadcast_requires_unanimity() {
+    let (service_a, backend_a) = boot_backend(&["crime"]);
+    let (service_b, backend_b) = boot_backend(&["crime"]);
+    let router = boot_router(&[("a", backend_a.addr()), ("b", backend_b.addr())]);
+    let api = ApiClient::connect(router.addr()).expect("connect");
+
+    // Warm both replicas so the clean has cached plans to invalidate.
+    for backend in [backend_a.addr(), backend_b.addr()] {
+        ApiClient::connect(backend)
+            .expect("connect backend")
+            .recommend(&crime_request(), None)
+            .expect("warm plan");
+    }
+
+    let clean = CleanRequest {
+        objects: vec![0],
+        revealed: vec![9_050.0],
+    };
+    let applied = api.clean("crime", &clean, None).expect("broadcast clean");
+    assert_eq!(applied.objects, 1);
+    // Both replicas saw the clean, not just the routed one: each had a
+    // cached plan for the stream and each dropped it.
+    assert!(service_a.store().stats().invalidations >= 1);
+    assert!(service_b.store().stats().invalidations >= 1);
+
+    // A clean the replicas answer differently (one lacks the stream)
+    // is a divergence, surfaced as 502 rather than half-applied.
+    let (_service_c, backend_c) = boot_backend(&["crime"]);
+    let (_service_d, backend_d) = boot_backend(&["other"]);
+    let skewed = boot_router(&[("c", backend_c.addr()), ("d", backend_d.addr())]);
+    let err = ApiClient::connect(skewed.addr())
+        .expect("connect")
+        .clean("crime", &clean, None)
+        .expect_err("divergent clean must not claim success");
+    match err {
+        ClientError::Api(e) => assert_eq!(e.status, 502, "expected divergence: {}", e.message),
+        other => panic!("expected an API error, got {other}"),
+    }
+
+    skewed.shutdown();
+    backend_c.shutdown();
+    backend_d.shutdown();
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
+fn stats_aggregate_sums_the_fleet() {
+    let (service_a, backend_a) = boot_backend(&["crime"]);
+    let (service_b, backend_b) = boot_backend(&["crime"]);
+    let router = boot_router(&[("a", backend_a.addr()), ("b", backend_b.addr())]);
+
+    // Load both replicas directly so the aggregate provably spans more
+    // than whichever one the ring favours.
+    for backend in [backend_a.addr(), backend_b.addr()] {
+        ApiClient::connect(backend)
+            .expect("connect backend")
+            .recommend(&crime_request(), None)
+            .expect("plan");
+    }
+
+    let stats = ApiClient::connect(router.addr())
+        .expect("connect router")
+        .stats()
+        .expect("aggregated stats");
+    let submitted = service_a.stats().submitted + service_b.stats().submitted;
+    let completed = service_a.stats().completed + service_b.stats().completed;
+    assert_eq!(stats.service.submitted, submitted);
+    assert_eq!(stats.service.completed, completed);
+    assert_eq!(submitted, 2);
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
