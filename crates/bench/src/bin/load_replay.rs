@@ -19,8 +19,15 @@
 //!   ceilings (deliberately loose — the gate catches order-of-magnitude
 //!   regressions, not jitter).
 //!
+//! The recorded document also carries a `sweep_resume` section: an
+//! in-process budget-ladder benchmark of independent per-point solves
+//! vs the sweep-delta resume chain (byte-identity checked per point;
+//! the run fails on any divergence).
+//!
 //! Run `--smoke` for the CI-sized trace; `--write-fixture` regenerates
-//! the checked-in smoke fixture after a deliberate workload change.
+//! the checked-in smoke fixture after a deliberate workload change;
+//! `--compare <baseline.json>` prints a per-op p50/p95/p99 delta table
+//! against a previously recorded bench document.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -56,6 +63,7 @@ struct Args {
     budget: PathBuf,
     write_fixture: bool,
     router: bool,
+    compare: Option<PathBuf>,
 }
 
 impl Args {
@@ -67,6 +75,7 @@ impl Args {
             budget: PathBuf::from("BENCH_budget.json"),
             write_fixture: false,
             router: false,
+            compare: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -88,6 +97,11 @@ impl Args {
                 "--budget" => {
                     if let Some(v) = args.next() {
                         parsed.budget = PathBuf::from(v);
+                    }
+                }
+                "--compare" => {
+                    if let Some(v) = args.next() {
+                        parsed.compare = Some(PathBuf::from(v));
                     }
                 }
                 other => {
@@ -198,6 +212,106 @@ fn target(id: &str, instance: &Instance) -> StreamTarget {
         revealed: (0..instance.len())
             .map(|i| instance.dist(i).mean())
             .collect(),
+    }
+}
+
+/// In-process ladder benchmark: one dup/MinVar problem swept over
+/// `points` budget points with independent per-point solves vs the
+/// sweep-delta resume chain, byte-identity checked per point. Returns
+/// the `sweep_resume` section of the bench document, or an error
+/// string if any point diverges.
+fn sweep_resume_bench(instance: &Instance, smoke: bool) -> Result<Json, String> {
+    use fc_core::planner::exec::{self, ExecOptions, SweepMode};
+
+    let session = stream_session(instance, 4);
+    let spec = ObjectiveSpec::ascertain(Measure::Dup);
+    let problem = session
+        .build_problem(&spec)
+        .map_err(|e| format!("sweep_resume: lowering failed: {e}"))?;
+    let points = if smoke { 8 } else { 12 };
+    let total = instance.total_cost();
+    let budgets: Vec<Budget> = (1..=points)
+        .map(|i| Budget::fraction(total, i as f64 / (2 * points) as f64))
+        .collect();
+    let reps = if smoke { 1 } else { 3 };
+    // Both modes run sequentially on a private ephemeral store, so the
+    // timing difference is exactly the greedy-resumption saving — the
+    // scoped-table prefix build is paid once by each side.
+    let time_mode = |mode: SweepMode| -> Result<(Vec<Plan>, f64), String> {
+        let opts = ExecOptions::new(Parallelism::Sequential).with_sweep_mode(mode);
+        let mut best_ms = f64::INFINITY;
+        let mut plans = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let run = exec::sweep(
+                session.registry(),
+                spec.strategy.key(),
+                &problem,
+                &budgets,
+                &opts,
+                None,
+            )
+            .map_err(|e| format!("sweep_resume: {mode:?} sweep failed: {e}"))?;
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1000.0);
+            plans = Some(run);
+        }
+        Ok((plans.expect("reps >= 1"), best_ms))
+    };
+    let (independent, independent_ms) = time_mode(SweepMode::Independent)?;
+    let (resumed, resume_ms) = time_mode(SweepMode::ResumeChain)?;
+    for (i, (a, b)) in independent.iter().zip(&resumed).enumerate() {
+        if let Some(why) = a.divergence(b) {
+            return Err(format!("sweep_resume: point {i} diverges: {why}"));
+        }
+    }
+    let speedup = independent_ms / resume_ms.max(1e-9);
+    println!(
+        "sweep_resume: {points} points, independent {independent_ms:.1}ms vs \
+         resume-chain {resume_ms:.1}ms ({speedup:.2}x), plans byte-identical"
+    );
+    Ok(Json::obj([
+        ("points", Json::Num(points as f64)),
+        ("independent_ms", Json::Num(independent_ms)),
+        ("resume_ms", Json::Num(resume_ms)),
+        ("speedup", Json::Num(speedup)),
+    ]))
+}
+
+/// Numeric field at `path` inside a bench document.
+fn bench_stat(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = doc;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_f64()
+}
+
+/// Prints the before/after per-op latency delta table against a
+/// baseline bench document (`--compare <path>`).
+fn print_compare(baseline: &Json, bench: &Json, path: &std::path::Path) {
+    println!("compare: per-op latency vs {} (ms)", path.display());
+    println!("  {:<10} {:>24} {:>24} {:>24}", "op", "p50", "p95", "p99");
+    let Some(Json::Obj(ops)) = bench.get("per_op") else {
+        return;
+    };
+    for (op, _) in ops {
+        let cell = |q: &str| {
+            let before = bench_stat(baseline, &["per_op", op, "latency", q]);
+            let now = bench_stat(bench, &["per_op", op, "latency", q]);
+            match (before, now) {
+                (Some(b), Some(n)) if b > 0.0 => {
+                    format!("{b:.1} -> {n:.1} ({:+.0}%)", (n - b) / b * 100.0)
+                }
+                (_, Some(n)) => format!("-> {n:.1}"),
+                _ => "-".to_string(),
+            }
+        };
+        println!(
+            "  {op:<10} {:>24} {:>24} {:>24}",
+            cell("p50_ms"),
+            cell("p95_ms"),
+            cell("p99_ms")
+        );
     }
 }
 
@@ -409,7 +523,21 @@ fn main() -> ExitCode {
         abandon_permille: config.abandon_permille,
         smoke: args.smoke,
     };
-    let bench = bench_json(&fingerprint, &report, &server_stats);
+    let mut failed = false;
+    let mut bench = bench_json(&fingerprint, &report, &server_stats);
+    // In-process ladder benchmark: runs after the servers shut down so
+    // the two timed sweeps have the machine to themselves.
+    match sweep_resume_bench(&synthetic, args.smoke) {
+        Ok(section) => {
+            if let Json::Obj(fields) = &mut bench {
+                fields.push(("sweep_resume".to_string(), section));
+            }
+        }
+        Err(why) => {
+            eprintln!("FAIL {why}");
+            failed = true;
+        }
+    }
     let bench_out = args.bench_out.unwrap_or_else(|| {
         PathBuf::from(if args.router {
             "BENCH_serve_router.json"
@@ -417,10 +545,16 @@ fn main() -> ExitCode {
             "BENCH_serve.json"
         })
     });
+    // Read the --compare baseline before writing: pointing both flags
+    // at the recorded file ("how does this run compare to the last
+    // committed one?") is the primary use.
+    let baseline = args
+        .compare
+        .as_ref()
+        .map(|path| (path.clone(), std::fs::read_to_string(path)));
     std::fs::write(&bench_out, format!("{bench}\n")).expect("write bench output");
     println!("wrote {}", bench_out.display());
 
-    let mut failed = false;
     for violation in invariant_violations(&report, &server_stats) {
         eprintln!("FAIL invariant {violation}");
         failed = true;
@@ -438,6 +572,15 @@ fn main() -> ExitCode {
                 "note: no {} — skipping the latency-budget gate",
                 args.budget.display()
             );
+        }
+    }
+    if let Some((path, read)) = baseline {
+        match read {
+            Ok(text) => match Json::parse(&text) {
+                Ok(baseline) => print_compare(&baseline, &bench, &path),
+                Err(e) => eprintln!("note: compare baseline {} is not JSON: {e}", path.display()),
+            },
+            Err(e) => eprintln!("note: cannot read compare baseline {}: {e}", path.display()),
         }
     }
 

@@ -241,6 +241,70 @@ fn main() -> ExitCode {
         failed.store(true, Ordering::Relaxed);
     }
 
+    // --- 2b. delta-resolve: out-of-scope cleaning rekeys, not rebuilds ---
+    // A stream whose claim family leaves the last four objects
+    // unreferenced: cleaning one of them re-fingerprints the instance
+    // but changes no cached table value, so the store entries must be
+    // *carried* to the new key — zero invalidations, zero scoped
+    // rebuilds, zero store misses on the resubmit.
+    let instance_d = urx(n, cfg.seed ^ 0xD).expect("synthetic instance");
+    let claims_d = window_sum_family(n - 4, 4, n - 8, Direction::LowerIsStronger, LAMBDA)
+        .expect("truncated claim family");
+    let mut stream_d =
+        ClaimStream::open(sequential_session(&instance_d, &claims_d), service.clone());
+    let delta_spec = ObjectiveSpec::ascertain(Measure::Dup);
+    stream_d
+        .submit(delta_spec.clone(), budget)
+        .expect("submission")
+        .wait()
+        .expect("delta stream warm-up");
+    let before_delta = store.stats();
+    let out_of_scope = n - 1;
+    let delta_invalidated = stream_d
+        .mark_cleaned(&[out_of_scope], &[instance_d.dist(out_of_scope).mean()])
+        .expect("out-of-scope cleaning step");
+    let fresh_d = stream_d
+        .session()
+        .recommend(delta_spec.clone(), budget)
+        .expect("fresh post-delta twin");
+    let after_d = stream_d
+        .submit(delta_spec, budget)
+        .expect("submission")
+        .wait()
+        .expect("post-delta claim");
+    check(
+        "delta-resolve stream",
+        std::slice::from_ref(&fresh_d),
+        std::slice::from_ref(&after_d),
+    );
+    let after_delta = store.stats();
+    println!(
+        "delta-resolve: {delta_invalidated} invalidated, {} rekeyed, scoped builds {} -> {} \
+         (store misses: {})",
+        after_delta.rekeys - before_delta.rekeys,
+        before_delta.scoped_builds,
+        after_delta.scoped_builds,
+        after_d.diagnostics.store_misses,
+    );
+    if delta_invalidated != 0 || after_delta.rekeys == before_delta.rekeys {
+        eprintln!(
+            "FAIL delta-resolve gate: out-of-scope cleaning invalidated {delta_invalidated} \
+             entries ({} rekeyed) instead of carrying them",
+            after_delta.rekeys - before_delta.rekeys,
+        );
+        failed.store(true, Ordering::Relaxed);
+    }
+    if after_d.diagnostics.store_misses != 0
+        || after_delta.scoped_builds != before_delta.scoped_builds
+    {
+        eprintln!(
+            "FAIL delta-resolve gate: resubmit after an out-of-scope clean rebuilt \
+             (scoped builds {} -> {}, store misses {})",
+            before_delta.scoped_builds, after_delta.scoped_builds, after_d.diagnostics.store_misses,
+        );
+        failed.store(true, Ordering::Relaxed);
+    }
+
     // --- 3. cancellation storm: submit/cancel churn under quota -------
     // A third stream over stream A's *cleaned* data, quota-capped, is
     // hammered by concurrent submitters that cancel roughly a third of

@@ -32,7 +32,7 @@
 use crate::budget::Budget;
 use crate::selection::Selection;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Knobs for the greedy drivers.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +67,114 @@ pub trait IncrementalOracle {
     /// Candidates whose benefit may have changed after committing `obj`
     /// (excluding `obj` itself).
     fn affected(&self, obj: usize) -> Vec<usize>;
+    /// A benefit that [`greedy_incremental_resumed`] served from a
+    /// [`SweepEngine`] memo instead of calling [`Self::benefit`].
+    /// Oracles that count evaluations for diagnostics should count the
+    /// memo hit too, so resumed runs report the same evaluation totals
+    /// as from-scratch ones (the byte-identity contract covers the
+    /// diagnostic counters). The default is a no-op.
+    fn note_memoized_benefit(&mut self) {}
+}
+
+/// Carried greedy state for budget sweeps: the commit trajectory of the
+/// previous run plus every benefit the oracle produced along it, keyed
+/// by (commit-prefix length, candidate).
+///
+/// [`greedy_incremental_resumed`] replays the exact
+/// [`greedy_incremental`] loop but serves benefit queries from this
+/// memo while the current run's commit sequence still matches the
+/// recorded trajectory. The benefit of a candidate depends only on the
+/// committed *set*, and the loop's commit sequence is a deterministic
+/// function of the benefit values it sees — so every memo hit is
+/// bit-identical to the evaluation it replaces, and resumed runs
+/// produce byte-identical selections (including the stop/fix-up
+/// decisions) at any budget, larger or smaller. When a budget change
+/// makes the trajectory diverge (e.g. a smaller budget drops an item
+/// the recorded run committed), the trajectory and memo are truncated
+/// at the divergence point and re-recorded live from there — a rewind,
+/// not an error.
+///
+/// The win: a sweep point re-pays cheap heap maintenance and one
+/// `commit` per selected object, but skips the `O(candidates)` initial
+/// scoring and the per-commit affected-set re-scoring — the oracle
+/// evaluations that dominate scoped MinVar solves.
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    /// Commit sequence of the most recent run.
+    trajectory: Vec<usize>,
+    /// `memo[j][obj]` = benefit of `obj` with `trajectory[..j]`
+    /// committed. Always `trajectory.len() + 1` maps once seeded.
+    memo: Vec<HashMap<usize, f64>>,
+    /// Benefit queries served from the memo (across all runs).
+    memo_hits: u64,
+    /// Benefit queries that fell through to the oracle.
+    live_evals: u64,
+}
+
+impl SweepEngine {
+    /// A fresh engine with no recorded trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length of the recorded commit trajectory.
+    pub fn recorded_commits(&self) -> usize {
+        self.trajectory.len()
+    }
+
+    /// Benefit queries served from the memo so far.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Benefit queries that went to the live oracle so far.
+    pub fn live_evals(&self) -> u64 {
+        self.live_evals
+    }
+
+    /// Drops all recorded state (e.g. after the underlying problem
+    /// changes).
+    pub fn clear(&mut self) {
+        self.trajectory.clear();
+        self.memo.clear();
+    }
+
+    fn seed(&mut self) {
+        if self.memo.is_empty() {
+            self.memo.push(HashMap::new());
+        }
+        debug_assert_eq!(self.memo.len(), self.trajectory.len() + 1);
+    }
+
+    /// The benefit of `obj` with `committed` commits replayed, served
+    /// from the memo when this run is still on the recorded trajectory.
+    fn benefit<O: IncrementalOracle>(
+        &mut self,
+        oracle: &mut O,
+        committed: usize,
+        obj: usize,
+    ) -> f64 {
+        if let Some(&b) = self.memo.get(committed).and_then(|m| m.get(&obj)) {
+            self.memo_hits += 1;
+            oracle.note_memoized_benefit();
+            return b;
+        }
+        let b = oracle.benefit(obj);
+        self.live_evals += 1;
+        self.memo[committed].insert(obj, b);
+        b
+    }
+
+    /// Records the `committed`-th commit of this run, truncating the
+    /// trajectory and memo at the first divergence from the recording.
+    fn commit(&mut self, committed: usize, obj: usize) {
+        if self.trajectory.get(committed) != Some(&obj) {
+            self.trajectory.truncate(committed);
+            self.memo.truncate(committed + 1);
+            self.trajectory.push(obj);
+            self.memo.push(HashMap::new());
+        }
+    }
 }
 
 #[derive(PartialEq)]
@@ -189,6 +297,89 @@ pub fn greedy_incremental<O: IncrementalOracle>(
         for a in oracle.affected(top.obj) {
             if a < n_max && is_candidate[a] && !sel.contains(a) {
                 let b = oracle.benefit(a);
+                cur_version[a] += 1;
+                heap.push(HeapItem {
+                    ratio: b / costs[a] as f64,
+                    benefit: b,
+                    obj: a,
+                    version: cur_version[a],
+                });
+            }
+        }
+    }
+    if cfg.fixup {
+        let best = initial_benefit
+            .iter()
+            .copied()
+            .filter(|&(i, _)| !sel.contains(i) && costs[i] <= budget.get())
+            .max_by(|a, b| (a.1 / costs[a.0] as f64).total_cmp(&(b.1 / costs[b.0] as f64)));
+        if let Some((i, b)) = best {
+            if b > chosen_benefit {
+                let mut only = Selection::empty();
+                only.insert(i, costs[i]);
+                return only;
+            }
+        }
+    }
+    sel
+}
+
+/// [`greedy_incremental`] with sweep-to-sweep state reuse: identical
+/// loop, identical selections, but benefit queries are served from
+/// `engine`'s memo while the commit sequence matches the recorded
+/// trajectory (see [`SweepEngine`]). Call with the *same* oracle
+/// construction per budget point (fresh oracle at `T = ∅`) and any
+/// budget sequence — ascending sweeps replay almost everything,
+/// descending or shuffled ones rewind by truncation and still match
+/// from-scratch runs byte for byte.
+pub fn greedy_incremental_resumed<O: IncrementalOracle>(
+    candidates: &[usize],
+    costs: &[u64],
+    budget: Budget,
+    oracle: &mut O,
+    cfg: GreedyConfig,
+    engine: &mut SweepEngine,
+) -> Selection {
+    engine.seed();
+    let n_max = candidates.iter().copied().max().map_or(0, |m| m + 1);
+    let mut cur_version: Vec<u64> = vec![0; n_max];
+    let mut is_candidate = vec![false; n_max];
+    let mut committed = 0usize;
+    let mut initial_benefit: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+    let mut heap: BinaryHeap<HeapItem> = candidates
+        .iter()
+        .map(|&i| {
+            let b = engine.benefit(oracle, committed, i);
+            initial_benefit.push((i, b));
+            is_candidate[i] = true;
+            HeapItem {
+                ratio: b / costs[i] as f64,
+                benefit: b,
+                obj: i,
+                version: 0,
+            }
+        })
+        .collect();
+    let mut sel = Selection::empty();
+    let mut chosen_benefit = 0.0;
+    while let Some(top) = heap.pop() {
+        if sel.contains(top.obj) || top.version != cur_version[top.obj] {
+            continue; // superseded entry
+        }
+        if !budget.fits(sel.cost(), costs[top.obj]) {
+            continue; // infeasible now and forever — drop permanently
+        }
+        if cfg.stop_when_nonpositive && top.benefit <= 0.0 {
+            break;
+        }
+        oracle.commit(top.obj);
+        engine.commit(committed, top.obj);
+        committed += 1;
+        sel.insert(top.obj, costs[top.obj]);
+        chosen_benefit += top.benefit;
+        for a in oracle.affected(top.obj) {
+            if a < n_max && is_candidate[a] && !sel.contains(a) {
+                let b = engine.benefit(oracle, committed, a);
                 cur_version[a] += 1;
                 heap.push(HeapItem {
                     ratio: b / costs[a] as f64,
@@ -443,6 +634,96 @@ mod tests {
         // Pick order: 2 (ratio 4), then 3 (boosted to 6, ratio 1.5 >
         // 5/4), then 0 (ratio 1.25) — budget exhausted at 9.
         assert_eq!(sel.objects(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn resumed_sweep_matches_independent_solves() {
+        // The sweep engine must be invisible in the output: for every
+        // budget in a ladder — ascending, descending, or arbitrary
+        // jumps (which force trajectory rewinds) — the resumed solve
+        // returns the exact selection of an independent solve, and the
+        // memo replay actually fires on the shared prefixes.
+        let base = vec![8.0, 3.5, 6.0, 2.0, 4.5, 1.0, 7.0, 0.5];
+        let costs = vec![3u64, 2, 4, 1, 2, 1, 5, 1];
+        let candidates: Vec<usize> = (0..base.len()).collect();
+        let ladders: [&[u64]; 3] = [
+            &[0, 2, 4, 6, 8, 10, 12, 19],
+            &[19, 12, 10, 8, 6, 4, 2, 0],
+            &[7, 0, 13, 4, 19, 2, 9, 5],
+        ];
+        for factor in [0.5, 1.5] {
+            for ladder in ladders {
+                let mut engine = SweepEngine::new();
+                for &b in ladder {
+                    let budget = Budget::absolute(b);
+                    let mut plain_oracle = ScalingOracle {
+                        base: base.clone(),
+                        factor,
+                        committed: 0,
+                    };
+                    let plain = greedy_incremental(
+                        &candidates,
+                        &costs,
+                        budget,
+                        &mut plain_oracle,
+                        GreedyConfig::default(),
+                    );
+                    let mut oracle = ScalingOracle {
+                        base: base.clone(),
+                        factor,
+                        committed: 0,
+                    };
+                    let resumed = greedy_incremental_resumed(
+                        &candidates,
+                        &costs,
+                        budget,
+                        &mut oracle,
+                        GreedyConfig::default(),
+                        &mut engine,
+                    );
+                    assert_eq!(plain, resumed, "factor {factor}, budget {b}");
+                }
+                assert!(engine.memo_hits() > 0, "memo replay never fired");
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_sweep_handles_local_updates_and_rewinds() {
+        // Local (neighbour-boost) benefit updates with a ladder that
+        // repeats and rewinds budgets; repeated budgets must replay
+        // entirely from the memo.
+        let base = vec![5.0, 1.0, 4.0, 3.0, 2.5, 0.5];
+        let costs = vec![4u64, 4, 1, 4, 2, 1];
+        let candidates: Vec<usize> = (0..base.len()).collect();
+        let cfg = GreedyConfig {
+            fixup: false,
+            ..Default::default()
+        };
+        let mut engine = SweepEngine::new();
+        for &b in &[9u64, 3, 16, 0, 12, 5, 9, 16] {
+            let budget = Budget::absolute(b);
+            let mut plain_oracle = LocalOracle {
+                boosted: vec![false; base.len()],
+                base: base.clone(),
+            };
+            let plain = greedy_incremental(&candidates, &costs, budget, &mut plain_oracle, cfg);
+            let mut oracle = LocalOracle {
+                boosted: vec![false; base.len()],
+                base: base.clone(),
+            };
+            let resumed = greedy_incremental_resumed(
+                &candidates,
+                &costs,
+                budget,
+                &mut oracle,
+                cfg,
+                &mut engine,
+            );
+            assert_eq!(plain, resumed, "budget {b}");
+        }
+        assert!(engine.recorded_commits() > 0);
+        assert!(engine.live_evals() > 0);
     }
 
     #[test]

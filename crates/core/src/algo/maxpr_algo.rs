@@ -28,14 +28,26 @@ pub fn greedy_max_pr(
     semantics: MvnSemantics,
 ) -> Selection {
     let candidates: Vec<usize> = (0..instance.len()).filter(|&i| weights[i] != 0.0).collect();
+    // The base probability depends only on the committed selection, so
+    // within one greedy round it is identical for every candidate:
+    // memoize it per selection size and halve the probability evals.
+    let mut base_memo: Option<(usize, f64)> = None;
     greedy_exhaustive(
         &candidates,
         instance.costs(),
         budget,
         |sel, i| {
+            let base = match base_memo {
+                Some((len, p)) if len == sel.len() => p,
+                _ => {
+                    let p =
+                        surprise_prob_gaussian(instance, weights, sel.objects(), tau, semantics)
+                            .unwrap_or(0.0);
+                    base_memo = Some((sel.len(), p));
+                    p
+                }
+            };
             let mut with: Vec<usize> = sel.objects().to_vec();
-            let base =
-                surprise_prob_gaussian(instance, weights, &with, tau, semantics).unwrap_or(0.0);
             with.push(i);
             let after =
                 surprise_prob_gaussian(instance, weights, &with, tau, semantics).unwrap_or(0.0);
@@ -62,14 +74,24 @@ pub fn greedy_max_pr_discrete(
         .as_affine(instance.len())
         .ok_or(CoreError::NotAffine)?;
     let candidates: Vec<usize> = (0..instance.len()).filter(|&i| weights[i] != 0.0).collect();
+    // As in `greedy_max_pr`: the base probability is per-round
+    // constant, so memoizing it halves the convolution calls.
+    let mut base_memo: Option<(usize, f64)> = None;
     Ok(greedy_exhaustive(
         &candidates,
         instance.costs(),
         budget,
         |sel, i| {
+            let base = match base_memo {
+                Some((len, p)) if len == sel.len() => p,
+                _ => {
+                    let p = surprise_prob_convolution(instance, query, sel.objects(), tau, bins)
+                        .expect("affinity validated");
+                    base_memo = Some((sel.len(), p));
+                    p
+                }
+            };
             let mut with: Vec<usize> = sel.objects().to_vec();
-            let base = surprise_prob_convolution(instance, query, &with, tau, bins)
-                .expect("affinity validated");
             with.push(i);
             let after = surprise_prob_convolution(instance, query, &with, tau, bins)
                 .expect("affinity validated");

@@ -1,7 +1,8 @@
 //! `GreedyMinVar` and the knapsack `Optimum` for MinVar.
 
 use crate::algo::greedy::{
-    greedy_exhaustive, greedy_incremental, greedy_static, GreedyConfig, IncrementalOracle,
+    greedy_exhaustive, greedy_incremental, greedy_incremental_resumed, greedy_static, GreedyConfig,
+    IncrementalOracle, SweepEngine,
 };
 use crate::algo::knapsack::max_knapsack_dp;
 use crate::budget::Budget;
@@ -30,6 +31,11 @@ impl<Q: DecomposableQuery + ?Sized> IncrementalOracle for ScopedOracle<'_, '_, Q
     }
     fn affected(&self, obj: usize) -> Vec<usize> {
         self.eng.affected_by(obj)
+    }
+    fn note_memoized_benefit(&mut self) {
+        // A memo hit replaces exactly one `delta` evaluation; count it
+        // so resumed plans report identical diagnostics.
+        self.eng.count_cached_eval();
     }
 }
 
@@ -73,6 +79,33 @@ pub fn greedy_min_var_with_engine<Q: DecomposableQuery + ?Sized>(
         budget,
         &mut oracle,
         GreedyConfig::default(),
+    )
+}
+
+/// [`greedy_min_var_with_engine`] with sweep-to-sweep resumption: the
+/// [`SweepEngine`] carries the previous budget point's commit
+/// trajectory and benefit memo, so adjacent points replay heap
+/// maintenance instead of re-evaluating the scoped engine. Selections
+/// (and evaluation diagnostics) are byte-identical to independent
+/// solves at every budget, in any sweep order.
+pub fn greedy_min_var_resumed<Q: DecomposableQuery + ?Sized>(
+    instance: &Instance,
+    eng: &ScopedEv<'_, Q>,
+    budget: Budget,
+    sweep: &mut SweepEngine,
+) -> Selection {
+    let candidates = eng.relevant_objects();
+    let mut oracle = ScopedOracle {
+        eng,
+        st: eng.initial_state(),
+    };
+    greedy_incremental_resumed(
+        &candidates,
+        instance.costs(),
+        budget,
+        &mut oracle,
+        GreedyConfig::default(),
+        sweep,
     )
 }
 

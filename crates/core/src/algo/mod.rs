@@ -43,13 +43,15 @@ pub use brute::brute_force_best;
 pub use dep::{greedy_dep, opt_gaussian};
 pub use fptas::{fptas_max_knapsack, fptas_min_knapsack_cover};
 pub use greedy::{
-    greedy_exhaustive, greedy_incremental, greedy_static, GreedyConfig, IncrementalOracle,
+    greedy_exhaustive, greedy_incremental, greedy_incremental_resumed, greedy_static, GreedyConfig,
+    IncrementalOracle, SweepEngine,
 };
 pub use knapsack::{greedy_knapsack, max_knapsack_dp, min_knapsack_cover_dp};
 pub use maxpr_algo::{greedy_max_pr, greedy_max_pr_discrete, max_pr_optimum_centered};
 pub use minvar::{
     gaussian_ev_conditional, greedy_min_var, greedy_min_var_from_scratch, greedy_min_var_gaussian,
-    greedy_min_var_with_engine, knapsack_optimum_min_var, knapsack_optimum_min_var_gaussian,
+    greedy_min_var_resumed, greedy_min_var_with_engine, knapsack_optimum_min_var,
+    knapsack_optimum_min_var_gaussian,
 };
 pub use partial::{
     greedy_min_var_partial, optimum_min_var_partial, partial_modular_benefits, shrink_cleaned,

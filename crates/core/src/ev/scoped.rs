@@ -37,23 +37,33 @@ use fc_uncertain::DiscreteDist;
 use std::sync::Arc;
 
 /// Iterates the outcome space of `dists` (last axis fastest), passing
-/// per-axis positions, values, and the product probability.
-fn for_each_pos_outcome(dists: &[&DiscreteDist], mut f: impl FnMut(&[usize], &[f64], f64)) {
+/// per-axis positions, values, and the product probability. Odometer
+/// buffers are the caller's so hot paths can reuse them across calls.
+fn for_each_pos_outcome_with(
+    dists: &[&DiscreteDist],
+    pos: &mut Vec<usize>,
+    values: &mut Vec<f64>,
+    prefix: &mut Vec<f64>,
+    mut f: impl FnMut(&[usize], &[f64], f64),
+) {
     let k = dists.len();
     if k == 0 {
         f(&[], &[], 1.0);
         return;
     }
-    let mut pos = vec![0usize; k];
-    let mut values = vec![0.0f64; k];
-    let mut prefix = vec![0.0f64; k + 1];
+    pos.clear();
+    pos.resize(k, 0);
+    values.clear();
+    values.resize(k, 0.0);
+    prefix.clear();
+    prefix.resize(k + 1, 0.0);
     prefix[0] = 1.0;
     for j in 0..k {
         values[j] = dists[j].values()[0];
         prefix[j + 1] = prefix[j] * dists[j].probs()[0];
     }
     loop {
-        f(&pos, &values, prefix[k]);
+        f(pos, values, prefix[k]);
         let mut j = k;
         loop {
             if j == 0 {
@@ -70,6 +80,53 @@ fn for_each_pos_outcome(dists: &[&DiscreteDist], mut f: impl FnMut(&[usize], &[f
             values[t] = dists[t].values()[pos[t]];
             prefix[t + 1] = prefix[t] * dists[t].probs()[pos[t]];
         }
+    }
+}
+
+/// Arena-style scratch for the scoped engine's per-call allocations.
+///
+/// [`ScopedEv::delta`] / [`ScopedEv::apply`] call [`term_second`] and
+/// [`pair_second`] thousands of times per greedy solve, and each call
+/// needs half a dozen small buffers; [`ScopedTables::build`] needs the
+/// same odometer and accumulator buffers per term and pair. A
+/// `ScopedScratch` owns all of them, is recycled through a thread-local
+/// pool ([`ScopedScratch::take`] / [`ScopedScratch::recycle`]), and is
+/// held by every engine for its lifetime — so a warm worker's repeated
+/// builds and solves allocate approximately nothing.
+///
+/// Reuse is invisible in the output: every user zeroes exactly the
+/// range it reads (`clear` + `resize`) and iterates in the same order
+/// as a fresh allocation would.
+#[derive(Debug, Default)]
+pub struct ScopedScratch {
+    keep: Vec<bool>,
+    kept_axes: Vec<usize>,
+    num: Vec<f64>,
+    den: Vec<f64>,
+    ared: Vec<f64>,
+    bred: Vec<f64>,
+    pkept: Vec<f64>,
+    pos: Vec<usize>,
+    values: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH_POOL: std::cell::RefCell<Vec<ScopedScratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl ScopedScratch {
+    /// Takes a scratch from this thread's pool (fresh if empty).
+    pub fn take() -> Self {
+        SCRATCH_POOL
+            .with(|p| p.borrow_mut().pop())
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch to this thread's pool for the next taker.
+    pub fn recycle(self) {
+        SCRATCH_POOL.with(|p| p.borrow_mut().push(self));
     }
 }
 
@@ -146,12 +203,27 @@ pub struct ScopedTables {
 
 impl ScopedTables {
     /// Precomputes the T-independent quantities. Cost is
-    /// `O(Σ_k V^{|S_k|} + Σ_{sharing pairs} V^{|S_k|})`.
+    /// `O(Σ_k V^{|S_k|} + Σ_{sharing pairs} V^{|S_k|})`. Temp buffers
+    /// come from the thread-local [`ScopedScratch`] pool, so repeated
+    /// builds on a warm worker allocate only the escaping tables.
     pub fn build<Q: DecomposableQuery + ?Sized>(instance: &Instance, query: &Q) -> Self {
+        let mut scratch = ScopedScratch::take();
+        let tables = Self::build_with_scratch(instance, query, &mut scratch);
+        scratch.recycle();
+        tables
+    }
+
+    /// [`ScopedTables::build`] with caller-supplied scratch buffers.
+    pub fn build_with_scratch<Q: DecomposableQuery + ?Sized>(
+        instance: &Instance,
+        query: &Q,
+        scratch: &mut ScopedScratch,
+    ) -> Self {
         let n = instance.len();
         let m = query.num_terms();
         let joint = instance.joint();
         let mut build_evals = 0u64;
+        let mut dists: Vec<&DiscreteDist> = Vec::new();
 
         // --- per-term: E[g²] ---
         let mut terms = Vec::with_capacity(m);
@@ -161,13 +233,20 @@ impl ScopedTables {
             for &o in &scope {
                 term_of_obj[o].push(k as u32);
             }
-            let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
+            dists.clear();
+            dists.extend(scope.iter().map(|&i| joint.dist(i)));
             let mut e_g2 = 0.0;
-            for_each_pos_outcome(&dists, |_, vals, p| {
-                let g = query.eval_term(k, vals);
-                build_evals += 1;
-                e_g2 += p * g * g;
-            });
+            for_each_pos_outcome_with(
+                &dists,
+                &mut scratch.pos,
+                &mut scratch.values,
+                &mut scratch.prefix,
+                |_, vals, p| {
+                    let g = query.eval_term(k, vals);
+                    build_evals += 1;
+                    e_g2 += p * g * g;
+                },
+            );
             terms.push(TermInfo { scope, e_g2 });
         }
 
@@ -213,6 +292,7 @@ impl ScopedTables {
                 &terms[k1].scope,
                 &shared,
                 &mut build_evals,
+                scratch,
             );
             let b = conditional_expectation_table(
                 instance,
@@ -221,6 +301,7 @@ impl ScopedTables {
                 &terms[k2].scope,
                 &shared,
                 &mut build_evals,
+                scratch,
             );
             let mut first = 0.0;
             let flat = flat_probs(&shared_sizes, &shared_probs);
@@ -507,6 +588,17 @@ pub struct ScopedEv<'a, Q: DecomposableQuery + ?Sized> {
     /// Objective-evaluation counter (full `EV` computations and
     /// incremental deltas), surfaced as planner diagnostics.
     evals: std::cell::Cell<u64>,
+    /// Pooled scratch for [`term_second`](Self::term_second) /
+    /// [`pair_second`](Self::pair_second); recycled on drop.
+    scratch: std::cell::RefCell<ScopedScratch>,
+    /// Scope-dist buffer (lifetime-bound, so per-engine not pooled).
+    dist_buf: std::cell::RefCell<Vec<&'a DiscreteDist>>,
+}
+
+impl<Q: DecomposableQuery + ?Sized> Drop for ScopedEv<'_, Q> {
+    fn drop(&mut self) {
+        std::mem::take(&mut *self.scratch.get_mut()).recycle();
+    }
 }
 
 impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
@@ -545,6 +637,8 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
             query,
             tables,
             evals: std::cell::Cell::new(0),
+            scratch: std::cell::RefCell::new(ScopedScratch::take()),
+            dist_buf: std::cell::RefCell::new(Vec::new()),
         }
     }
 
@@ -571,6 +665,15 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
         self.evals.set(self.evals.get() + 1);
     }
 
+    /// Counts an evaluation that was served from a memo (sweep
+    /// resumption) instead of computed here. Keeping the counter in
+    /// lockstep with from-scratch runs is part of the plan
+    /// byte-identity contract — diagnostics compare equal either way.
+    #[inline]
+    pub fn count_cached_eval(&self) {
+        self.count_eval();
+    }
+
     /// Number of decomposed terms.
     pub fn num_terms(&self) -> usize {
         self.tables.terms.len()
@@ -586,29 +689,44 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
     fn term_second(&self, k: usize, cleaned: &[bool], flip: Option<(usize, bool)>) -> f64 {
         let scope = &self.tables.terms[k].scope;
         let joint = self.instance.joint();
-        let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
-        let keep: Vec<bool> = scope
-            .iter()
-            .map(|&o| match flip {
-                Some((fo, fv)) if fo == o => fv,
-                _ => cleaned[o],
-            })
-            .collect();
-        let kept_axes: Vec<usize> = (0..scope.len()).filter(|&a| keep[a]).collect();
+        let mut dist_buf = self.dist_buf.borrow_mut();
+        dist_buf.clear();
+        dist_buf.extend(scope.iter().map(|&i| joint.dist(i)));
+        let dists: &[&DiscreteDist] = &dist_buf;
+        let mut scratch = self.scratch.borrow_mut();
+        let ScopedScratch {
+            keep,
+            kept_axes,
+            num,
+            den,
+            pos,
+            values,
+            prefix,
+            ..
+        } = &mut *scratch;
+        keep.clear();
+        keep.extend(scope.iter().map(|&o| match flip {
+            Some((fo, fv)) if fo == o => fv,
+            _ => cleaned[o],
+        }));
+        kept_axes.clear();
+        kept_axes.extend((0..scope.len()).filter(|&a| keep[a]));
         let out_len: usize = kept_axes.iter().map(|&a| dists[a].support_size()).product();
-        let mut num = vec![0.0f64; out_len]; // Σ p_total · g   per bucket
-        let mut den = vec![0.0f64; out_len]; // Σ p_total       per bucket (= P_kept)
+        num.clear();
+        num.resize(out_len, 0.0); // Σ p_total · g   per bucket
+        den.clear();
+        den.resize(out_len, 0.0); // Σ p_total       per bucket (= P_kept)
         let q = self.query;
-        for_each_pos_outcome(&dists, |pos, vals, p| {
+        for_each_pos_outcome_with(dists, pos, values, prefix, |pos, vals, p| {
             let mut oi = 0usize;
-            for &a in &kept_axes {
+            for &a in kept_axes.iter() {
                 oi = oi * dists[a].support_size() + pos[a];
             }
             num[oi] += p * q.eval_term(k, vals);
             den[oi] += p;
         });
         let mut acc = 0.0;
-        for (nv, dv) in num.iter().zip(&den) {
+        for (nv, dv) in num.iter().zip(den.iter()) {
             if *dv > 0.0 {
                 acc += nv * nv / dv; // P_kept · E[g|kept]²
             }
@@ -622,21 +740,37 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
     fn pair_second(&self, p: usize, cleaned: &[bool], flip: Option<(usize, bool)>) -> f64 {
         let info = &self.tables.pairs[p].2;
         let axes = info.shared.len();
-        let keep: Vec<bool> = info
-            .shared
-            .iter()
-            .map(|&o| match flip {
-                Some((fo, fv)) if fo == o => fv,
-                _ => cleaned[o],
-            })
-            .collect();
-        let kept_axes: Vec<usize> = (0..axes).filter(|&a| keep[a]).collect();
+        let mut scratch = self.scratch.borrow_mut();
+        let ScopedScratch {
+            keep,
+            kept_axes,
+            ared,
+            bred,
+            pkept,
+            pos,
+            ..
+        } = &mut *scratch;
+        keep.clear();
+        keep.extend(info.shared.iter().map(|&o| match flip {
+            Some((fo, fv)) if fo == o => fv,
+            _ => cleaned[o],
+        }));
+        kept_axes.clear();
+        for a in 0..axes {
+            if keep[a] {
+                kept_axes.push(a);
+            }
+        }
         let out_len: usize = kept_axes.iter().map(|&a| info.shared_sizes[a]).product();
-        let mut ared = vec![0.0f64; out_len];
-        let mut bred = vec![0.0f64; out_len];
-        let mut pkept = vec![0.0f64; out_len];
+        ared.clear();
+        ared.resize(out_len, 0.0);
+        bred.clear();
+        bred.resize(out_len, 0.0);
+        pkept.clear();
+        pkept.resize(out_len, 0.0);
         // Odometer over the shared axes.
-        let mut pos = vec![0usize; axes];
+        pos.clear();
+        pos.resize(axes, 0);
         let mut idx = 0usize;
         loop {
             let mut oi = 0usize;
@@ -644,7 +778,7 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
             for a in 0..axes {
                 p_all *= info.shared_probs[a][pos[a]];
             }
-            for &a in &kept_axes {
+            for &a in kept_axes.iter() {
                 oi = oi * info.shared_sizes[a] + pos[a];
             }
             ared[oi] += p_all * info.a[idx];
@@ -820,6 +954,9 @@ impl<'a, Q: DecomposableQuery + ?Sized> ScopedEv<'a, Q> {
 }
 
 /// `E[g_k | shared = s]` flat over the shared axes (in shared order).
+/// Only the returned table is allocated; all temporaries live in
+/// `scratch`.
+#[allow(clippy::too_many_arguments)] // internal builder helper
 fn conditional_expectation_table<Q: DecomposableQuery + ?Sized>(
     instance: &Instance,
     query: &Q,
@@ -827,30 +964,42 @@ fn conditional_expectation_table<Q: DecomposableQuery + ?Sized>(
     scope: &[usize],
     shared: &[usize],
     evals: &mut u64,
+    scratch: &mut ScopedScratch,
 ) -> Vec<f64> {
     let joint = instance.joint();
+    let ScopedScratch {
+        kept_axes: shared_axes,
+        den,
+        pos,
+        values,
+        prefix,
+        ..
+    } = scratch;
     let dists: Vec<&DiscreteDist> = scope.iter().map(|&i| joint.dist(i)).collect();
     // Axis index within the scope for each shared object.
-    let shared_axes: Vec<usize> = shared
-        .iter()
-        .map(|o| scope.binary_search(o).expect("shared ⊆ scope"))
-        .collect();
+    shared_axes.clear();
+    shared_axes.extend(
+        shared
+            .iter()
+            .map(|o| scope.binary_search(o).expect("shared ⊆ scope")),
+    );
     let out_len: usize = shared_axes
         .iter()
         .map(|&a| dists[a].support_size())
         .product();
     let mut num = vec![0.0f64; out_len];
-    let mut den = vec![0.0f64; out_len];
-    for_each_pos_outcome(&dists, |pos, vals, p| {
+    den.clear();
+    den.resize(out_len, 0.0);
+    for_each_pos_outcome_with(&dists, pos, values, prefix, |pos, vals, p| {
         let mut oi = 0usize;
-        for &a in &shared_axes {
+        for &a in shared_axes.iter() {
             oi = oi * dists[a].support_size() + pos[a];
         }
         num[oi] += p * query.eval_term(k, vals);
         *evals += 1;
         den[oi] += p;
     });
-    for (nv, dv) in num.iter_mut().zip(&den) {
+    for (nv, dv) in num.iter_mut().zip(den.iter()) {
         if *dv > 0.0 {
             *nv /= dv;
         }

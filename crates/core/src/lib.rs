@@ -35,7 +35,7 @@ pub use planner::{
     BatchJob, CacheKey, CacheStats, CacheStore, CancelToken, EngineCache, ExecOptions, Goal, Lane,
     Parallelism, Plan, PlanDiagnostics, PlannerService, Problem, QuotaPolicy, QuotaUsage,
     RequestHandle, ServiceOptions, ServiceStats, SnapshotError, SnapshotStats, SolveRequest,
-    Solver, SolverRegistry, SweepRequest, TenantId, WaitOutcome, WorkerPool,
+    Solver, SolverRegistry, SweepMode, SweepRequest, TenantId, WaitOutcome, WorkerPool,
 };
 pub use selection::Selection;
 

@@ -9,12 +9,42 @@
 //! and — unlike Monte Carlo — the result is deterministic, which keeps
 //! `GreedyMaxPr` runs reproducible.
 
+use std::cell::RefCell;
+
 use crate::instance::Instance;
 use crate::{CoreError, Result};
 use fc_claims::QueryFunction;
 
 /// Default number of grid bins.
 pub const DEFAULT_BINS: usize = 1 << 14;
+
+/// Bins per cache block in the convolution inner loop: 4096 × 8 B =
+/// 32 KiB, sized so one source block stays L1-resident while every
+/// outcome of the current variable streams over it.
+const BLOCK_BINS: usize = 4096;
+
+thread_local! {
+    /// Ping-pong grid buffers recycled across calls on this thread.
+    /// `GreedyMaxPr` calls the convolution O(candidates × rounds)
+    /// times per solve; reusing the two `bins`-sized buffers replaces
+    /// that many allocation pairs with two `memset`s per call.
+    static SCRATCH: RefCell<Option<(Vec<f64>, Vec<f64>)>> = const { RefCell::new(None) };
+}
+
+/// Takes the thread-local ping-pong buffers, zeroed and sized to
+/// `bins`. Pair with [`recycle_scratch`].
+fn take_scratch(bins: usize) -> (Vec<f64>, Vec<f64>) {
+    let (mut pmf, mut next) = SCRATCH.with(|s| s.borrow_mut().take()).unwrap_or_default();
+    pmf.clear();
+    pmf.resize(bins, 0.0);
+    next.clear();
+    next.resize(bins, 0.0);
+    (pmf, next)
+}
+
+fn recycle_scratch(bufs: (Vec<f64>, Vec<f64>)) {
+    SCRATCH.with(|s| *s.borrow_mut() = Some(bufs));
+}
 
 /// `Pr[f(X) < f(u) − τ | X_{O\T} = u_{O\T}]` for an affine query over a
 /// discrete instance, via grid convolution with `bins` cells.
@@ -54,34 +84,65 @@ pub fn surprise_prob_convolution(
         return Ok(if lo < -tau { 1.0 } else { 0.0 });
     }
     let width = (hi - lo) / (bins - 1) as f64;
-    let mut pmf = vec![0.0f64; bins];
-    // Start with the point mass at D = 0.
-    deposit(&mut pmf, (0.0 - lo) / width, 1.0);
-    let mut next = vec![0.0f64; bins];
+    let top = (bins - 1) as f64;
+    let (mut pmf, mut next) = take_scratch(bins);
+    // Start with the point mass at D = 0, and track the live support
+    // `[live.0, live.1]` (inclusive): bins outside it are exactly zero,
+    // so the per-variable passes never have to scan the full grid — the
+    // support grows only by each variable's shift span.
+    let x0 = ((0.0 - lo) / width).clamp(0.0, top);
+    deposit(&mut pmf, x0, 1.0);
+    let mut live = (x0.floor() as usize, (x0.floor() as usize + 1).min(bins - 1));
+    let mut shifts: Vec<(f64, f64)> = Vec::with_capacity(4);
     for &i in &active {
         let d = instance.dist(i);
         let w = weights[i];
-        next.iter_mut().for_each(|x| *x = 0.0);
+        shifts.clear();
+        let mut min_shift = f64::INFINITY;
+        let mut max_shift = f64::NEG_INFINITY;
         for (v, p) in d.iter() {
             let shift = w * (v - u[i]) / width;
-            for (bin, &mass) in pmf.iter().enumerate() {
-                if mass > 0.0 {
-                    deposit(&mut next, bin as f64 + shift, mass * p);
+            min_shift = min_shift.min(shift);
+            max_shift = max_shift.max(shift);
+            shifts.push((shift, p));
+        }
+        // Every deposit this pass lands in [new_lo, new_hi] (deposits
+        // are monotone in bin + shift, and `deposit` clamps to the
+        // grid), so that is the only range of `next` that needs
+        // zeroing — stale mass elsewhere is never read.
+        let new_lo = (live.0 as f64 + min_shift).clamp(0.0, top).floor() as usize;
+        let new_hi =
+            ((live.1 as f64 + max_shift).clamp(0.0, top).floor() as usize + 1).min(bins - 1);
+        next[new_lo..=new_hi].iter_mut().for_each(|x| *x = 0.0);
+        // Blocked convolution: walk the live support in L1-sized
+        // blocks, replaying every outcome against the resident block
+        // instead of streaming the whole grid once per outcome.
+        let mut start = live.0;
+        while start <= live.1 {
+            let end = (start + BLOCK_BINS - 1).min(live.1);
+            for &(shift, p) in &shifts {
+                for (bin, &mass) in pmf.iter().enumerate().take(end + 1).skip(start) {
+                    if mass > 0.0 {
+                        deposit(&mut next, bin as f64 + shift, mass * p);
+                    }
                 }
             }
+            start = end + 1;
         }
         std::mem::swap(&mut pmf, &mut next);
+        live = (new_lo, new_hi);
     }
     // Pr[D < −τ]: sum full bins below the threshold coordinate, and take
     // the boundary bin's mass as a point mass at its grid coordinate
     // (consistent with how `deposit` splits mass between neighbours).
     let target = (-tau - lo) / width;
     let mut p = 0.0;
-    for (bin, &mass) in pmf.iter().enumerate() {
+    for (bin, &mass) in pmf.iter().enumerate().take(live.1 + 1).skip(live.0) {
         if (bin as f64) < target {
             p += mass;
         }
     }
+    recycle_scratch((pmf, next));
     Ok(p.clamp(0.0, 1.0))
 }
 

@@ -40,7 +40,7 @@ pub mod service;
 
 pub use cache::snapshot::{SnapshotError, SnapshotStats};
 pub use cache::{CacheKey, CacheStats, CacheStore, Fnv1a};
-pub use exec::{BatchJob, CancelToken, ExecOptions, Parallelism};
+pub use exec::{BatchJob, CancelToken, ExecOptions, Parallelism, SweepMode};
 pub use pool::WorkerPool;
 pub use service::{
     Lane, PlannerService, QuotaPolicy, QuotaUsage, RequestHandle, ServiceOptions, ServiceStats,
@@ -434,6 +434,13 @@ pub struct EngineCache<'p> {
     /// [`PlanDiagnostics::store_hits`] / `store_misses`).
     store_hits: std::cell::Cell<u64>,
     store_misses: std::cell::Cell<u64>,
+    /// Sweep-resumption state (`Some` once enabled): carries the
+    /// greedy's commit trajectory and benefit memo between budget
+    /// points solved through this cache, so a budget sweep replays heap
+    /// maintenance instead of re-scoring candidates. Plans stay
+    /// byte-identical to independent solves — see
+    /// [`algo::greedy::SweepEngine`].
+    sweep: std::cell::RefCell<Option<algo::SweepEngine>>,
 }
 
 impl<'p> EngineCache<'p> {
@@ -541,6 +548,25 @@ impl<'p> EngineCache<'p> {
     /// when the scoped engine was never built).
     pub fn scoped_evals(&self) -> u64 {
         self.scoped.get().map_or(0, |e| e.eval_count())
+    }
+
+    /// Enables sweep-to-sweep greedy resumption for solves through this
+    /// cache: budget points share a [`algo::SweepEngine`], so each
+    /// point after the first replays the previous trajectory instead of
+    /// re-scoring every candidate. Plans are byte-identical to
+    /// independent solves (the executor's and service's divergence
+    /// gates run over this path), so the only observable difference is
+    /// speed. Idempotent.
+    pub fn enable_sweep_resume(&self) {
+        let mut slot = self.sweep.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(algo::SweepEngine::new());
+        }
+    }
+
+    /// The sweep-resumption engine, when enabled.
+    fn sweep_engine(&self) -> Option<std::cell::RefMut<'_, algo::SweepEngine>> {
+        std::cell::RefMut::filter_map(self.sweep.borrow_mut(), Option::as_mut).ok()
     }
 }
 
@@ -823,7 +849,12 @@ impl Solver for GreedySolver {
                 } else {
                     let eng = cache.scoped(problem)?;
                     let evals0 = eng.eval_count();
-                    let sel = algo::greedy_min_var_with_engine(instance, eng, budget);
+                    let sel = match cache.sweep_engine() {
+                        Some(mut sweep) => {
+                            algo::greedy_min_var_resumed(instance, eng, budget, &mut sweep)
+                        }
+                        None => algo::greedy_min_var_with_engine(instance, eng, budget),
+                    };
                     let evals = eng.eval_count() - evals0;
                     let candidates = eng.relevant_objects().len();
                     finish_plan(

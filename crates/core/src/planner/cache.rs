@@ -208,6 +208,9 @@ pub struct CacheStats {
     /// Entries dropped by [`CacheStore::invalidate_instance`] (a
     /// cleaning step re-fingerprinting an instance).
     pub invalidations: u64,
+    /// Entries moved intact by [`CacheStore::rekey`] (a cleaning step
+    /// whose touched objects were provably out of every claim scope).
+    pub rekeys: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -228,6 +231,7 @@ pub struct CacheStore {
     scoped_builds: AtomicU64,
     scoped_build_evals: AtomicU64,
     invalidations: AtomicU64,
+    rekeys: AtomicU64,
 }
 
 impl CacheStore {
@@ -259,6 +263,7 @@ impl CacheStore {
             scoped_builds: AtomicU64::new(0),
             scoped_build_evals: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            rekeys: AtomicU64::new(0),
         }
     }
 
@@ -310,6 +315,53 @@ impl CacheStore {
         dropped
     }
 
+    /// Moves the entry under `old` to `new` without touching its built
+    /// engines, returning how many entries moved (0 or 1).
+    ///
+    /// This is the *delta-resolve* hook: when a cleaning step touches
+    /// only objects outside every claim scope, the instance fingerprint
+    /// changes but every scoped table and benefit vector stays
+    /// value-identical (tables depend only on the dists of their scope
+    /// objects; benefits are zero off-scope), so the warm entry can be
+    /// carried to the new key instead of rebuilt from scratch.
+    ///
+    /// The caller owns the safety argument — `rekey` just moves the
+    /// slot. If an entry already lives under `new`, the stale slot is
+    /// dropped in its favor.
+    pub fn rekey(&self, old: CacheKey, new: CacheKey) -> usize {
+        if old == new {
+            return 0;
+        }
+        // Never hold both shard locks: remove under the old key's lock,
+        // then insert under the new key's.
+        let slot = {
+            let mut shard = self.shard_of(old).lock().expect("cache shard poisoned");
+            match shard.map.remove(&old) {
+                Some(slot) => {
+                    shard.order.retain(|key| *key != old);
+                    slot
+                }
+                None => return 0,
+            }
+        };
+        let mut shard = self.shard_of(new).lock().expect("cache shard poisoned");
+        if shard.map.contains_key(&new) {
+            return 0;
+        }
+        while shard.map.len() >= self.shard_capacity {
+            if let Some(evicted) = shard.order.pop_front() {
+                shard.map.remove(&evicted);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+        shard.map.insert(new, slot);
+        shard.order.push_back(new);
+        self.rekeys.fetch_add(1, Ordering::Relaxed);
+        1
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -319,6 +371,7 @@ impl CacheStore {
             scoped_builds: self.scoped_builds.load(Ordering::Relaxed),
             scoped_build_evals: self.scoped_build_evals.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            rekeys: self.rekeys.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -570,6 +623,34 @@ mod tests {
         assert_eq!(store.len(), 2);
         // Invalidating an absent fingerprint is a no-op.
         assert_eq!(store.invalidate_instance(0xDEAD), 0);
+    }
+
+    #[test]
+    fn rekey_carries_built_engines_without_rebuild() {
+        let store = CacheStore::new(16);
+        let inst = instance(0.0);
+        let q = query();
+        let fp_old = fingerprint_instance(&inst);
+        let fp_new = fp_old ^ 0xBEEF;
+        let old = CacheKey::new(fp_old, 1);
+        let new = CacheKey::new(fp_new, 1);
+        let built = store.tables(old, || ScopedTables::build(&inst, &q));
+        assert_eq!(store.rekey(old, new), 1);
+        assert_eq!(store.stats().rekeys, 1);
+        // The moved entry serves the new key warm, and the old key is gone.
+        let carried = store.tables(new, || panic!("rekeyed entry must stay warm"));
+        assert!(Arc::ptr_eq(&built, &carried));
+        assert_eq!(store.len(), 1);
+        store.tables(old, || ScopedTables::build(&inst, &q));
+        assert_eq!(store.stats().scoped_builds, 2, "old key went cold");
+        // Absent source and identity moves are no-ops.
+        assert_eq!(store.rekey(CacheKey::new(0xDEAD, 9), new), 0);
+        assert_eq!(store.rekey(new, new), 0);
+        // Occupied target: the stale source entry is dropped, not swapped.
+        assert_eq!(store.rekey(old, new), 0);
+        let kept = store.tables(new, || panic!("occupied target must be kept"));
+        assert!(Arc::ptr_eq(&built, &kept));
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

@@ -110,6 +110,30 @@ impl Parallelism {
     }
 }
 
+/// How [`sweep`] decomposes a budget grid into solver calls.
+///
+/// Both modes produce byte-identical plans (`Plan::divergence == None`
+/// point-for-point): resume chains replay the greedy trajectory through
+/// a [`crate::algo::SweepEngine`] memo, so every benefit number a
+/// resumed solve consumes is the exact `f64` a from-scratch solve would
+/// have computed, and memoized lookups still tick the engine eval
+/// counter so diagnostics match too. The difference is purely
+/// wall-clock: a chain re-uses the shared greedy prefix between
+/// adjacent budget points instead of rediscovering it per point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SweepMode {
+    /// Each budget point is an independent solve (the legacy
+    /// decomposition). Keep this for A/B timing or paranoia runs.
+    Independent,
+    /// Budget points dealt to a runner are solved on one
+    /// [`crate::algo::SweepEngine`] that carries the greedy trajectory
+    /// and benefit memo from point to point — the default, and the fast
+    /// path for budget ladders.
+    #[default]
+    ResumeChain,
+}
+
 /// Knobs for [`solve_batch`] / [`sweep`].
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -132,6 +156,9 @@ pub struct ExecOptions {
     /// the call returns [`CoreError::Cancelled`] instead of finishing
     /// the remaining work. `None` (the default) runs to completion.
     pub cancel: Option<CancelToken>,
+    /// Budget-sweep decomposition (see [`SweepMode`]); ignored by
+    /// [`solve_batch`].
+    pub sweep_mode: SweepMode,
 }
 
 impl ExecOptions {
@@ -148,6 +175,7 @@ impl ExecOptions {
             store: None,
             pool: None,
             cancel: None,
+            sweep_mode: SweepMode::default(),
         }
     }
 
@@ -173,6 +201,12 @@ impl ExecOptions {
     /// Attaches a cancellation token (see [`ExecOptions::cancel`]).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the budget-sweep decomposition (see [`SweepMode`]).
+    pub fn with_sweep_mode(mut self, mode: SweepMode) -> Self {
+        self.sweep_mode = mode;
         self
     }
 
@@ -377,6 +411,9 @@ pub fn sweep(
 
     if workers <= 1 || WorkerPool::on_worker_thread() {
         let cache = EngineCache::with_store(store, key);
+        if opts.sweep_mode == SweepMode::ResumeChain {
+            cache.enable_sweep_resume();
+        }
         return budgets
             .iter()
             .map(|&b| {
@@ -398,6 +435,11 @@ pub fn sweep(
     // sweep finishes even when the shared pool is saturated.
     let drain_budgets = || {
         let cache = EngineCache::with_store(Arc::clone(&store), key);
+        if opts.sweep_mode == SweepMode::ResumeChain {
+            // Each runner carries its own resume chain across the
+            // budget points it is dealt.
+            cache.enable_sweep_resume();
+        }
         loop {
             if opts.is_cancelled() {
                 break;
@@ -536,6 +578,62 @@ mod tests {
         )
         .unwrap();
         assert_identical(&seq, &par);
+    }
+
+    #[test]
+    fn resume_chain_matches_independent_bytes() {
+        // Resume chains must be invisible in the output: every plan in
+        // a chained sweep is byte-identical to its independent solve,
+        // across ladder shapes that exercise rewind (descending) and
+        // arbitrary jumps (shuffled).
+        let inst = random_instance(18, 21);
+        let p =
+            Problem::discrete_min_var(inst, std::sync::Arc::new(BiasQuery::new(claims(18), 9.0)))
+                .unwrap();
+        let registry = SolverRegistry::with_defaults();
+        let mut ladders: Vec<Vec<Budget>> = vec![
+            (0..12).map(Budget::absolute).collect(),
+            (0..12).rev().map(Budget::absolute).collect(),
+            [7u64, 0, 11, 3, 9, 1, 10, 4, 2, 8, 5, 6]
+                .into_iter()
+                .map(Budget::absolute)
+                .collect(),
+        ];
+        let mut rng = rng_from_seed(77);
+        for _ in 0..2 {
+            ladders.push(
+                (0..10)
+                    .map(|_| Budget::absolute(rng.gen_range(0..14)))
+                    .collect(),
+            );
+        }
+        for budgets in &ladders {
+            for parallelism in [Parallelism::Sequential, Parallelism::Fixed(3)] {
+                let independent = sweep(
+                    &registry,
+                    "greedy",
+                    &p,
+                    budgets,
+                    &ExecOptions::new(parallelism)
+                        .with_inline_threshold(0)
+                        .with_sweep_mode(SweepMode::Independent),
+                    None,
+                )
+                .unwrap();
+                let chained = sweep(
+                    &registry,
+                    "greedy",
+                    &p,
+                    budgets,
+                    &ExecOptions::new(parallelism)
+                        .with_inline_threshold(0)
+                        .with_sweep_mode(SweepMode::ResumeChain),
+                    None,
+                )
+                .unwrap();
+                assert_identical(&independent, &chained);
+            }
+        }
     }
 
     #[test]

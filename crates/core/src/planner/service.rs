@@ -1293,6 +1293,9 @@ impl PlannerService {
             // One shared cache, sequential — the sequential sweep path.
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let cache = EngineCache::with_store(store, key);
+                // A single sequential chain: carry the greedy
+                // trajectory memo from budget point to budget point.
+                cache.enable_sweep_resume();
                 request
                     .budgets
                     .iter()
@@ -1322,30 +1325,59 @@ impl PlannerService {
             lease: Arc::clone(&setup.lease),
             cancel: setup.cancel.clone(),
         });
-        for (index, &budget) in request.budgets.iter().enumerate() {
+        // Resume-chain decomposition: instead of one pool task per
+        // budget point, deal the points round-robin to at most
+        // `pool.threads()` chain tasks. Each chain solves its points
+        // sequentially on one sweep-resuming [`EngineCache`], so the
+        // greedy trajectory memo carries from point to point. Plans
+        // stay byte-identical to independent per-point solves (see
+        // [`super::exec::SweepMode`]).
+        let budgets: Arc<[Budget]> = request.budgets.clone().into();
+        let chains = inner.pool.threads().min(budgets.len()).max(1);
+        for chain in 0..chains {
             let state = Arc::clone(&state);
             let solver = Arc::clone(&solver);
             let problem = Arc::clone(&request.problem);
             let store = Arc::clone(&store);
+            let budgets = Arc::clone(&budgets);
             let task_inner = Arc::clone(inner);
             inner.enqueue(lane, setup.cancel.clone(), move || {
-                // Cancellation between budget points: a flipped token
-                // means the remaining points are skipped, so abandoning
-                // a 50-point sweep stops after the current point.
-                if state.cancel.is_cancelled() {
-                    state.skip_point();
-                    return;
+                let mut running = None;
+                let mut cache = None;
+                for index in (chain..budgets.len()).step_by(chains) {
+                    // Cancellation between budget points: a flipped
+                    // token means the remaining points are skipped, so
+                    // abandoning a 50-point sweep stops after the
+                    // point currently being solved.
+                    if state.cancel.is_cancelled() {
+                        state.skip_point();
+                        continue;
+                    }
+                    running.get_or_insert_with(|| RunningGuard::enter(&task_inner.stats, lane));
+                    let budget = budgets[index];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let cache = cache.get_or_insert_with(|| {
+                            let cache = EngineCache::with_store(Arc::clone(&store), key);
+                            cache.enable_sweep_resume();
+                            cache
+                        });
+                        solver.solve_with_cache(&problem, budget, cache)
+                    }));
+                    let result = match outcome {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            task_inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                            // The panic may have torn the resume chain
+                            // mid-update; discard it so the next point
+                            // starts from a fresh cache.
+                            cache = None;
+                            Err(CoreError::WorkerPanicked {
+                                detail: panic_detail(payload.as_ref()),
+                            })
+                        }
+                    };
+                    state.finish_point(index, result);
                 }
-                let _running = RunningGuard::enter(&task_inner.stats, lane);
-                let result = solve_contained(
-                    &task_inner.stats,
-                    &store,
-                    Some(key),
-                    &solver,
-                    &problem,
-                    budget,
-                );
-                state.finish_point(index, result);
             });
         }
         Ok(setup.handle(lane))

@@ -121,6 +121,50 @@ impl LogHistogram {
         self.max
     }
 
+    /// The values at each quantile of `qs`, in one pass over the
+    /// buckets regardless of how many quantiles are asked for —
+    /// report generation reads p50/p95/p99 per op, and scanning the
+    /// few-hundred-bucket array once instead of once per quantile
+    /// keeps that read linear in the histogram, not in the quantile
+    /// count. Each entry equals `quantile(q)` exactly; `qs` need not
+    /// be sorted. Returns zeros on an empty histogram.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<u64> {
+        let mut out = vec![0u64; qs.len()];
+        if self.total == 0 {
+            return out;
+        }
+        // Sort the requests by rank so one cumulative sweep resolves
+        // them all, then scatter results back to the caller's order.
+        let mut by_rank: Vec<(u64, usize)> = qs
+            .iter()
+            .enumerate()
+            .map(|(slot, &q)| {
+                let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+                (rank, slot)
+            })
+            .collect();
+        by_rank.sort_unstable();
+        let mut pending = by_rank.into_iter().peekable();
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            while let Some(&(rank, slot)) = pending.peek() {
+                if seen < rank {
+                    break;
+                }
+                out[slot] = upper_bound(i).min(self.max);
+                pending.next();
+            }
+            if pending.peek().is_none() {
+                break;
+            }
+        }
+        for (_, slot) in pending {
+            out[slot] = self.max;
+        }
+        out
+    }
+
     /// Merges `other` into `self` (thread-local histograms → global).
     pub fn merge(&mut self, other: &LogHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
@@ -197,6 +241,21 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99);
         assert_eq!(h.quantile(1.0), 1000);
         assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_quantiles_match_single_reads() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v.wrapping_mul(2_654_435_761) % 100_000);
+        }
+        // Unsorted, with duplicates and edge quantiles.
+        let qs = [0.99, 0.5, 0.0, 1.0, 0.95, 0.5, 0.999];
+        let batch = h.quantiles(&qs);
+        for (&q, &got) in qs.iter().zip(&batch) {
+            assert_eq!(got, h.quantile(q), "q = {q}");
+        }
+        assert_eq!(LogHistogram::new().quantiles(&qs), vec![0; qs.len()]);
     }
 
     #[test]

@@ -28,11 +28,13 @@ pub struct RunFingerprint {
 
 fn hist_summary(m: &OpMetrics) -> Json {
     let us_to_ms = |us: u64| Json::Num(us as f64 / 1000.0);
+    // One bucket sweep for all three percentiles, not one per read.
+    let qs = m.latency_us.quantiles(&[0.50, 0.95, 0.99]);
     Json::obj([
         ("count", Json::Num(m.latency_us.count() as f64)),
-        ("p50_ms", us_to_ms(m.latency_us.quantile(0.50))),
-        ("p95_ms", us_to_ms(m.latency_us.quantile(0.95))),
-        ("p99_ms", us_to_ms(m.latency_us.quantile(0.99))),
+        ("p50_ms", us_to_ms(qs[0])),
+        ("p95_ms", us_to_ms(qs[1])),
+        ("p99_ms", us_to_ms(qs[2])),
         ("mean_ms", Json::Num(m.latency_us.mean() / 1000.0)),
         ("max_ms", us_to_ms(m.latency_us.max())),
     ])
@@ -209,12 +211,21 @@ pub fn invariant_violations(report: &ReplayReport, server_stats: &Json) -> Vec<S
 }
 
 /// Checks a bench document against `BENCH_budget.json` ceilings:
-/// `max_p99_ms` per op, `max_transport_error_ratio`, `min_ok`.
-/// Budgets are deliberately loose (10× headroom) — the gate exists to
-/// catch order-of-magnitude regressions, not jitter.
+/// `max_p99_ms` and `max_p95_ms` per op, `max_transport_error_ratio`,
+/// `min_ok`. The p99 budgets are deliberately loose (10× headroom,
+/// catching order-of-magnitude regressions); the p95 budgets are the
+/// tighter perf-regression guard — pinned ~1.2× above the measured
+/// smoke-run tail so a >20% p95 regression on a solver hot path fails
+/// CI instead of landing silently.
 pub fn budget_violations(bench: &Json, budget: &Json) -> Vec<String> {
     let mut violations = Vec::new();
-    if let Some(Json::Obj(ceilings)) = budget.get("max_p99_ms") {
+    for (budget_key, latency_key, label) in [
+        ("max_p99_ms", "p99_ms", "p99"),
+        ("max_p95_ms", "p95_ms", "p95"),
+    ] {
+        let Some(Json::Obj(ceilings)) = budget.get(budget_key) else {
+            continue;
+        };
         for (op, ceiling) in ceilings {
             let Some(ceiling) = ceiling.as_f64() else {
                 continue;
@@ -224,10 +235,10 @@ pub fn budget_violations(bench: &Json, budget: &Json) -> Vec<String> {
                 violations.push(format!("budget: op {op} has a ceiling but no samples"));
                 continue;
             }
-            let p99 = stat(bench, &["per_op", op, "latency", "p99_ms"]).unwrap_or(f64::MAX);
-            if p99 > ceiling {
+            let measured = stat(bench, &["per_op", op, "latency", latency_key]).unwrap_or(f64::MAX);
+            if measured > ceiling {
                 violations.push(format!(
-                    "budget: {op} p99 {p99}ms exceeds ceiling {ceiling}ms"
+                    "budget: {op} {label} {measured}ms exceeds ceiling {ceiling}ms"
                 ));
             }
         }
@@ -383,5 +394,13 @@ mod tests {
         assert!(budget_violations(&bench, &missing)[0].contains("no samples"));
         let starved = Json::parse(r#"{"min_ok":100}"#).unwrap();
         assert!(budget_violations(&bench, &starved)[0].contains("need 100"));
+        // p95 ceilings are enforced independently of p99's.
+        let p95_loose = Json::parse(r#"{"max_p95_ms":{"recommend":60000}}"#).unwrap();
+        assert_eq!(budget_violations(&bench, &p95_loose), Vec::<String>::new());
+        let p95_tight = Json::parse(r#"{"max_p95_ms":{"recommend":1}}"#).unwrap();
+        let violations = budget_violations(&bench, &p95_tight);
+        assert!(violations[0].contains("p95") && violations[0].contains("exceeds ceiling"));
+        let p95_missing = Json::parse(r#"{"max_p95_ms":{"sweep":1}}"#).unwrap();
+        assert!(budget_violations(&bench, &p95_missing)[0].contains("no samples"));
     }
 }

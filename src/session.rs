@@ -390,6 +390,40 @@ impl CleaningSession {
         fps
     }
 
+    /// The measure-indexed cache keys actually derived so far — the
+    /// candidate entries for a [`CacheStore::rekey`] carry after a
+    /// data update whose touched objects sit outside every claim
+    /// scope (see [`ClaimStream::mark_cleaned`](crate::serve::ClaimStream::mark_cleaned)).
+    pub(crate) fn derived_cache_keys(&self) -> Vec<(usize, CacheKey)> {
+        self.cache_keys
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| slot.get().map(|&key| (index, key)))
+            .collect()
+    }
+
+    /// Derives (and memoizes) the cache key for measure index `index`
+    /// directly from this session's discrete instance, without
+    /// lowering a [`Problem`]. Matches [`CleaningSession::cache_key`]
+    /// exactly: discrete problems clone the session instance, so the
+    /// fingerprint of the session data *is* the lowered problem's
+    /// instance fingerprint. Returns `None` for Gaussian sessions
+    /// (bias problems fingerprint the Gaussian instance there, and
+    /// dup/frag fingerprint a derived discretization).
+    pub(crate) fn prederive_cache_key(&self, index: usize) -> Option<CacheKey> {
+        let DataModel::Discrete(instance) = &self.data else {
+            return None;
+        };
+        let measure = [Measure::Bias, Measure::Dup, Measure::Frag][index];
+        Some(*self.cache_keys[index].get_or_init(|| {
+            let query = *self.query_digests[index].get_or_init(|| self.query_digest(measure));
+            CacheKey::new(
+                fc_core::planner::cache::fingerprint_instance(instance),
+                query,
+            )
+        }))
+    }
+
     /// The non-instance half of a [`CacheKey`] (see
     /// [`CleaningSession::cache_key`]).
     fn query_digest(&self, measure: Measure) -> u64 {
