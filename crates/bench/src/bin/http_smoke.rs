@@ -18,7 +18,14 @@
 //!   cap, some abandoning their sockets) drifts: client-observed 429s
 //!   must equal `quota_rejected`, every submitted request must resolve
 //!   (completed + cancelled), and the tenant ledger must read zero, or
-//! * graceful shutdown drops an in-flight request's completed plan.
+//! * graceful shutdown drops an in-flight request's completed plan, or
+//! * a streamed sweep (`POST /v1/sweep?stream=1`) misbehaves: the
+//!   concatenated chunk bodies must reproduce the buffered `/v1/sweep`
+//!   response byte-for-byte (cold-for-cold — fresh servers per
+//!   comparison, since diagnostics count store traffic), the first
+//!   budget point must arrive while later points are still solving
+//!   (single slow worker, `completed == 0` at first yield), and
+//!   hanging up mid-stream must cancel the remaining points.
 //!
 //! Run `--quick` for the CI-sized instance.
 
@@ -28,14 +35,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fact_clean::net::client::{self, ClientPool};
+use fact_clean::net::api::{plan_identity_json, BudgetSpec, SweepRequest};
+use fact_clean::net::client::{self, ClientPool, SweepStream};
 use fact_clean::net::json::Json;
-use fact_clean::net::wire::plan_identity_json;
-use fact_clean::net::{PlannerServer, ServerConfig};
+use fact_clean::net::{PlannerServer, ServerConfig, ServerHandle};
 use fact_clean::prelude::*;
 use fc_bench::HarnessCfg;
 use fc_claims::window_sum_family;
-use fc_core::{EngineCache, Result as CoreResult, SolverRegistry};
+use fc_core::{EngineCache, Result as CoreResult, SolverRegistry, WorkerPool};
 use fc_datasets::synthetic::urx;
 use fc_datasets::workloads::LAMBDA;
 
@@ -55,6 +62,25 @@ fn sequential_session(instance: &Instance, claims: &ClaimSet) -> CleaningSession
         .parallelism(Parallelism::Sequential)
         .build()
         .expect("data and claims are set")
+}
+
+/// Boots a throwaway server over `instance` with default solvers —
+/// the cold-for-cold twin used by the streamed-vs-buffered byte gate
+/// (plan diagnostics count store traffic, so the two responses only
+/// match when each request is its server's first).
+fn boot_fresh(instance: &Instance, claims: &ClaimSet) -> ServerHandle {
+    let service = PlannerService::new(
+        Arc::new(SolverRegistry::with_defaults()),
+        ServiceOptions::new(),
+    );
+    PlannerServer::new(service.clone())
+        .with_config(ServerConfig::new().with_read_timeout(Duration::from_millis(200)))
+        .with_stream(
+            "a",
+            ClaimStream::open(sequential_session(instance, claims), service),
+        )
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port")
 }
 
 fn specs() -> Vec<(ObjectiveSpec, &'static str)> {
@@ -134,7 +160,7 @@ fn send_and_hang_up(
 
 // -------------------------------------------------------------- gates
 
-/// In-process identity encoding (see `fc::net::wire`).
+/// In-process identity encoding (see `fc::net::api`).
 fn identity(plan: &Plan) -> String {
     plan_identity_json(plan).to_string()
 }
@@ -523,11 +549,124 @@ fn main() -> ExitCode {
         ));
     }
 
+    // --- 6. streamed sweeps: byte identity, cold-for-cold ------------
+    for body in [
+        r#"{"stream":"a","measure":"dup","budgets":[{"fraction":0.05},{"fraction":0.1},{"fraction":0.15}]}"#,
+        r#"{"stream":"a","measure":"bias","goal":{"maxpr":5},"budgets":[1,3]}"#,
+    ] {
+        let buffered_server = boot_fresh(&instance_a, &claims_a);
+        let streamed_server = boot_fresh(&instance_a, &claims_a);
+        let (buffered_status, buffered) =
+            client::post(buffered_server.addr(), "/v1/sweep", body, &[]).expect("buffered sweep");
+        let (streamed_status, streamed) =
+            client::post(streamed_server.addr(), "/v1/sweep?stream=1", body, &[])
+                .expect("streamed sweep");
+        if buffered_status != 200 || streamed_status != 200 || buffered != streamed {
+            fail(&format!(
+                "streamed sweep bytes diverged from buffered \
+                 ({buffered_status}/{streamed_status}) for {body}"
+            ));
+        }
+        buffered_server.shutdown();
+        streamed_server.shutdown();
+    }
+
+    // --- 7. streamed sweeps: progressive delivery + hangup -----------
+    // A single slow worker makes "later points still solving"
+    // deterministic: the first chunk must land while the sweep's final
+    // fold — the only thing that bumps `completed` — is three solves
+    // away.
+    let slow_service = {
+        let mut registry = SolverRegistry::with_defaults();
+        let delegate = registry.get("greedy").expect("greedy exists");
+        registry.register_solver(Arc::new(SlowSolver {
+            delegate,
+            delay: Duration::from_millis(250),
+        }));
+        PlannerService::new(
+            Arc::new(registry),
+            ServiceOptions::new()
+                .with_inline_threshold(0)
+                .with_pool(Arc::new(WorkerPool::new(1))),
+        )
+    };
+    let slow_server = PlannerServer::new(slow_service.clone())
+        .with_config(
+            ServerConfig::new()
+                .with_disconnect_poll(Duration::from_millis(25))
+                .with_read_timeout(Duration::from_millis(500)),
+        )
+        .with_stream(
+            "a",
+            ClaimStream::open(
+                sequential_session(&instance_a, &claims_a),
+                slow_service.clone(),
+            ),
+        )
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port");
+    let sweep = SweepRequest {
+        stream: "a".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup).with_strategy("slow"),
+        budgets: (1..=4).map(BudgetSpec::Absolute).collect(),
+    };
+    let t = Instant::now();
+    let mut stream =
+        SweepStream::open(slow_server.addr(), None, &sweep, None).expect("open streamed sweep");
+    match stream.next() {
+        Some(Ok(_)) => {
+            let first_point = t.elapsed();
+            if slow_service.stats().completed != 0 {
+                fail("first chunk only arrived after the whole sweep had completed");
+            }
+            let rest = 1 + stream.by_ref().filter(|item| item.is_ok()).count();
+            if rest != sweep.budgets.len() {
+                fail(&format!(
+                    "streamed sweep yielded {rest} points, expected {}",
+                    sweep.budgets.len()
+                ));
+            }
+            if slow_service.stats().completed != 1 {
+                fail("a fully drained streamed sweep did not count as completed");
+            }
+            println!(
+                "streamed sweep: first point after {:.3}s, all {rest} drained in {:.3}s",
+                first_point.as_secs_f64(),
+                t.elapsed().as_secs_f64()
+            );
+        }
+        other => fail(&format!("streamed sweep yielded no first point: {other:?}")),
+    }
+
+    // Hang up after the first point: the disconnect probe must cancel
+    // the three points still queued behind the slow worker. Fresh
+    // budgets keep every point a cold (slow) solve.
+    let cancelled_before = slow_service.stats().cancelled;
+    let abandoned_sweep = SweepRequest {
+        budgets: (5..=8).map(BudgetSpec::Absolute).collect(),
+        ..sweep
+    };
+    let mut abandoned = SweepStream::open(slow_server.addr(), None, &abandoned_sweep, None)
+        .expect("open abandoned sweep");
+    if !matches!(abandoned.next(), Some(Ok(_))) {
+        fail("abandoned sweep never yielded its first point");
+    }
+    drop(abandoned);
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while slow_service.stats().cancelled == cancelled_before {
+        if Instant::now() >= deadline {
+            fail("mid-stream hangup did not cancel the remaining points");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    slow_server.shutdown();
+
     if failed.load(Ordering::Relaxed) {
         ExitCode::FAILURE
     } else {
         println!(
-            "OK: wire plans byte-identical to in-process; disconnect cancels; quota/counters clean; shutdown drains"
+            "OK: wire plans byte-identical to in-process; disconnect cancels; quota/counters clean; shutdown drains; streamed sweeps progressive and byte-identical"
         );
         ExitCode::SUCCESS
     }

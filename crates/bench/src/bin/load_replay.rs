@@ -1,8 +1,9 @@
 //! `load_replay` — the trace-driven load harness: boots the HTTP/1.1
 //! front over three real streams, replays a seeded multi-tenant trace
-//! through it (mixed recommend/sweep/clean ops, per-request deadlines,
-//! a mid-flight abandonment mix), and records the run as
-//! `BENCH_serve.json`.
+//! through it (mixed recommend/sweep/clean ops plus a deterministic
+//! streamed-sweep tail, per-request deadlines, a mid-flight
+//! abandonment mix), and records the run as `BENCH_serve.json` —
+//! including a `time_to_first_point` section for the streamed op.
 //!
 //! The binary **fails (exit 1)** if
 //!
@@ -47,7 +48,7 @@ use fc_datasets::workloads::LAMBDA;
 use fc_load::gen::{generate, Arrival, OpTemplate, TenantProfile, TraceSpec};
 use fc_load::replay::{fnv64, replay, ReplayConfig, StreamTarget};
 use fc_load::report::{bench_json, budget_violations, invariant_violations, RunFingerprint};
-use fc_load::trace::Op;
+use fc_load::trace::{Op, Trace, TraceEvent};
 
 /// The checked-in smoke trace (regenerate with `--write-fixture`).
 const SMOKE_FIXTURE: &str = include_str!("../../../load/fixtures/smoke.trace");
@@ -349,10 +350,42 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Streamed sweeps ride a deterministic tail appended *after* the
+    // fixture gate: the committed fixture stays byte-stable while every
+    // replay still covers the chunked `?stream=1` path (and so records
+    // a `time_to_first_point` section for the budget gate to check).
+    // Smoke packs the tail into a 10ms-spaced burst so the CI gate
+    // exercises queue-stacked streaming; the full trace ends with a
+    // ~2s-deep backlog of abandoned slow solves and closed-loop workers
+    // running seconds behind schedule, so its tail starts after a drain
+    // gap wide enough (post time_scale) for both to clear and spreads
+    // out — otherwise time-to-first-point would measure backlog depth,
+    // not streaming.
+    let trace = {
+        let mut events = trace.events().to_vec();
+        let start = events.last().map_or(0, |e| e.timestamp_ms);
+        let (count, gap_ms, spacing_ms) = if args.smoke {
+            (12, 0, 10)
+        } else {
+            (24, 12_000, 200)
+        };
+        for i in 0..count {
+            events.push(TraceEvent {
+                timestamp_ms: start + gap_ms + spacing_ms * (i + 1),
+                tenant: "api".to_string(),
+                op: Op::SweepStream,
+                spec: if i % 3 == 0 { "bias@maxpr5" } else { "dup" }.to_string(),
+                budget: "f0.05,f0.1,f0.15".to_string(),
+            });
+        }
+        Trace::new(events).expect("the tail keeps timestamps non-decreasing")
+    };
+    let trace_text = trace.to_string();
     println!(
-        "trace: {} events over {}ms, fnv64 {:016x}",
+        "trace: {} events over {}ms ({} streamed-sweep tail), fnv64 {:016x}",
         trace.len(),
         spec.duration_ms,
+        if args.smoke { 12 } else { 24 },
         fnv64(trace_text.as_bytes())
     );
 
@@ -471,11 +504,19 @@ fn main() -> ExitCode {
     );
 
     // --- drain: abandoned requests must resolve via cancellation -----
+    // The lane gauges must also settle: cancelling a sweep resolves its
+    // aggregate immediately, but the budget point being solved at that
+    // moment runs to completion first — its RunningGuard is still held
+    // for up to one solve after `cancelled` ticks. A genuine gauge leak
+    // never settles and trips the deadline.
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
         let drained = services.iter().all(|service| {
             let stats = service.stats();
-            stats.completed + stats.cancelled == stats.submitted && stats.in_flight == 0
+            stats.completed + stats.cancelled == stats.submitted
+                && stats.in_flight == 0
+                && stats.running_interactive == 0
+                && stats.running_bulk == 0
         });
         if drained {
             break;
@@ -594,6 +635,13 @@ fn main() -> ExitCode {
                 m.latency_us.quantile(0.50) as f64 / 1000.0,
                 m.latency_us.quantile(0.99) as f64 / 1000.0
             );
+            if m.first_point_us.count() > 0 {
+                println!(
+                    "  {op}: time-to-first-point p50 {:.1}ms p95 {:.1}ms",
+                    m.first_point_us.quantile(0.50) as f64 / 1000.0,
+                    m.first_point_us.quantile(0.95) as f64 / 1000.0
+                );
+            }
         }
         println!("OK: trace pinned; invariants hold; run recorded");
         ExitCode::SUCCESS

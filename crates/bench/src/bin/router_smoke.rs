@@ -19,20 +19,29 @@
 //! * a clean broadcast through the router leaves the fleet diverged
 //!   from a single box that applied the same clean, or
 //! * the router's aggregated `/v1/stats` disagrees with the sum of the
-//!   per-backend services, or `/v1/topology` misreports the fleet.
+//!   per-backend services, or `/v1/topology` misreports the fleet, or
+//! * a streamed sweep relayed through the router (`/v1/sweep?stream=1`)
+//!   is not byte-identical to the buffered single-box response
+//!   (cold-for-cold: fresh servers, each body on its own stream), or
+//! * the wire-native stream lifecycle breaks under failover: a stream
+//!   created over `POST /v1/streams` must land on exactly one replica,
+//!   solve there, answer 404 once its host dies, and recreate on the
+//!   next replica with plan bytes unchanged.
 //!
 //! Run `--quick` for the CI-sized instances.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use fact_clean::net::api::{BudgetSpec, CleanRequest, RecommendRequest, SweepRequest};
-use fact_clean::net::client::ApiClient;
+use fact_clean::net::api::{
+    BudgetSpec, CleanRequest, CreateStreamRequest, RecommendRequest, SweepRequest,
+};
+use fact_clean::net::client::{ApiClient, ClientError};
 use fact_clean::net::json::Json;
 use fact_clean::net::{
-    client, PlannerServer, RouterConfig, RouterServer, ServerConfig, ServerHandle,
+    client, PlannerServer, RouterConfig, RouterHandle, RouterServer, ServerConfig, ServerHandle,
 };
 use fact_clean::prelude::*;
 use fc_claims::window_sum_family;
@@ -141,6 +150,35 @@ fn run_workload(client: &ApiClient, ids: &[String]) -> Result<Vec<(String, Strin
         out.extend(stream_requests(client, id)?);
     }
     Ok(out)
+}
+
+/// Polls the router's `/v1/topology` until `name` reports unhealthy.
+fn wait_unhealthy(router: &RouterHandle, name: &str) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = client::get(router.addr(), "/v1/topology")
+            .map_err(|e| format!("topology while waiting on {name}: {e}"))?;
+        let down = Json::parse(&body)
+            .ok()
+            .and_then(|json| {
+                json.get("backends")
+                    .and_then(Json::as_array)
+                    .and_then(|backends| {
+                        backends
+                            .iter()
+                            .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+                    })
+                    .and_then(|b| b.get("healthy").and_then(Json::as_bool))
+            })
+            .is_some_and(|healthy| !healthy);
+        if status == 200 && down {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("backend {name} never went unhealthy"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
 }
 
 fn diff(label: &str, got: &[(String, String)], want: &[(String, String)]) -> Result<(), String> {
@@ -325,6 +363,111 @@ fn run(quick: bool) -> Result<(), String> {
     router.shutdown();
     server_a.shutdown();
     box_server.shutdown();
+
+    // --- phase 6: streamed sweeps relay byte-identically ------------
+    // Cold-for-cold: plan diagnostics count store traffic, so the
+    // streamed and buffered bodies only match when each request is the
+    // first its server has seen. A fresh reference box and a fresh
+    // fleet, with each body targeting its own stream, keep every
+    // request cold on both sides.
+    let (_ref_service, reference) = boot(&streams, None);
+    let (_service_c, server_c) = boot(&streams, None);
+    let (_service_d, server_d) = boot(&streams, None);
+    let stream_router = RouterServer::new()
+        .with_backend("c", server_c.addr().to_string())
+        .with_backend("d", server_d.addr().to_string())
+        .with_config(RouterConfig::new().with_probe_interval(Duration::from_millis(50)))
+        .serve("127.0.0.1:0")
+        .map_err(|e| format!("bind streaming router: {e}"))?;
+    for body in [
+        r#"{"stream":"s0","measure":"dup","budgets":[{"fraction":0.1},{"fraction":0.2},{"fraction":0.3}]}"#,
+        r#"{"stream":"s1","measure":"bias","goal":{"maxpr":5},"budgets":[2,4]}"#,
+    ] {
+        let (buffered_status, buffered) = client::post(reference.addr(), "/v1/sweep", body, &[])
+            .map_err(|e| format!("buffered sweep on the reference box: {e}"))?;
+        let (streamed_status, streamed) =
+            client::post(stream_router.addr(), "/v1/sweep?stream=1", body, &[])
+                .map_err(|e| format!("streamed sweep through the router: {e}"))?;
+        if buffered_status != 200 || streamed_status != 200 || buffered != streamed {
+            return Err(format!(
+                "streamed sweep through the router diverged from single-box buffered \
+                 ({buffered_status}/{streamed_status}) for {body}"
+            ));
+        }
+    }
+    reference.shutdown();
+    println!("streaming: chunked sweeps through the router byte-identical to single-box buffered");
+
+    // --- phase 7: wire-native lifecycle under failover --------------
+    let lifecycle_client = ApiClient::connect(stream_router.addr())
+        .map_err(|e| format!("connect streaming router: {e}"))?;
+    let base = session(&streams[0].1);
+    let create = CreateStreamRequest {
+        id: "wire".to_string(),
+        tenant: None,
+        theta: None,
+        discretize_support: None,
+        data: base.data().clone(),
+        claims: base.claims().clone(),
+    };
+    lifecycle_client
+        .create_stream(&create)
+        .map_err(|e| format!("create stream over the wire: {e}"))?;
+    let on_c = client::get(server_c.addr(), "/v1/streams")
+        .map_err(|e| format!("list backend c: {e}"))?
+        .1
+        .contains("wire");
+    let on_d = client::get(server_d.addr(), "/v1/streams")
+        .map_err(|e| format!("list backend d: {e}"))?
+        .1
+        .contains("wire");
+    if !(on_c ^ on_d) {
+        return Err("a wire-created stream must live on exactly one replica".to_string());
+    }
+    let wire_request = recommend_dup("wire");
+    let before = lifecycle_client
+        .recommend(&wire_request, None)
+        .map_err(|e| format!("solve on the wire-created stream: {e}"))?
+        .identity_json()
+        .to_string();
+
+    // Kill the host: its stream dies with it, the ring fails the solve
+    // over to the survivor, and the survivor answers the canonical 404
+    // until the checker recreates the stream there.
+    let (host, host_name, survivor) = if on_c {
+        (server_c, "c", server_d)
+    } else {
+        (server_d, "d", server_c)
+    };
+    host.shutdown();
+    wait_unhealthy(&stream_router, host_name)?;
+    match lifecycle_client.recommend(&wire_request, None) {
+        Err(ClientError::Api(e)) if e.status == 404 => {}
+        Ok(_) => return Err("solve succeeded although the stream died with its host".to_string()),
+        Err(e) => return Err(format!("expected a 404 after the host died, got {e}")),
+    }
+    lifecycle_client
+        .create_stream(&create)
+        .map_err(|e| format!("recreate after failover: {e}"))?;
+    let (_, listing) = client::get(survivor.addr(), "/v1/streams")
+        .map_err(|e| format!("list the survivor: {e}"))?;
+    if !listing.contains("wire") {
+        return Err(format!(
+            "the survivor does not host the recreated stream: {listing}"
+        ));
+    }
+    let after = lifecycle_client
+        .recommend(&wire_request, None)
+        .map_err(|e| format!("solve after the recreate: {e}"))?
+        .identity_json()
+        .to_string();
+    if after != before {
+        return Err("plans diverged across the lifecycle failover".to_string());
+    }
+    println!("lifecycle: stream created over the wire, host killed, recreated on the next replica");
+
+    stream_router.shutdown();
+    survivor.shutdown();
     Ok(())
 }
 

@@ -85,8 +85,8 @@ fn for_each_pos_outcome_with(
 
 /// Arena-style scratch for the scoped engine's per-call allocations.
 ///
-/// [`ScopedEv::delta`] / [`ScopedEv::apply`] call [`term_second`] and
-/// [`pair_second`] thousands of times per greedy solve, and each call
+/// [`ScopedEv::delta`] / [`ScopedEv::apply`] call `term_second` and
+/// `pair_second` thousands of times per greedy solve, and each call
 /// needs half a dozen small buffers; [`ScopedTables::build`] needs the
 /// same odometer and accumulator buffers per term and pair. A
 /// `ScopedScratch` owns all of them, is recycled through a thread-local

@@ -33,9 +33,10 @@ pub use budget::Budget;
 pub use instance::{GaussianInstance, Instance};
 pub use planner::{
     BatchJob, CacheKey, CacheStats, CacheStore, CancelToken, EngineCache, ExecOptions, Goal, Lane,
-    Parallelism, Plan, PlanDiagnostics, PlannerService, Problem, QuotaPolicy, QuotaUsage,
-    RequestHandle, ServiceOptions, ServiceStats, SnapshotError, SnapshotStats, SolveRequest,
-    Solver, SolverRegistry, SweepMode, SweepRequest, TenantId, WaitOutcome, WorkerPool,
+    Parallelism, Plan, PlanDiagnostics, PlannerService, PointOutcome, Problem, QuotaPolicy,
+    QuotaUsage, RequestHandle, ServiceOptions, ServiceStats, SnapshotError, SnapshotStats,
+    SolveRequest, Solver, SolverRegistry, SweepHandle, SweepMode, SweepRequest, TenantId,
+    WaitOutcome, WorkerPool,
 };
 pub use selection::Selection;
 

@@ -43,8 +43,8 @@ pub use cache::{CacheKey, CacheStats, CacheStore, Fnv1a};
 pub use exec::{BatchJob, CancelToken, ExecOptions, Parallelism, SweepMode};
 pub use pool::WorkerPool;
 pub use service::{
-    Lane, PlannerService, QuotaPolicy, QuotaUsage, RequestHandle, ServiceOptions, ServiceStats,
-    SolveRequest, SweepRequest, TenantId, WaitOutcome,
+    Lane, PlannerService, PointOutcome, QuotaPolicy, QuotaUsage, RequestHandle, ServiceOptions,
+    ServiceStats, SolveRequest, SweepHandle, SweepRequest, TenantId, WaitOutcome,
 };
 
 use std::cell::OnceCell;

@@ -11,7 +11,12 @@
 //! [`PlannerService::submit_sweep`], getting back a [`RequestHandle`] —
 //! a hand-rolled future: poll with [`RequestHandle::is_ready`], take
 //! with [`RequestHandle::try_wait`], or block on
-//! [`RequestHandle::wait`].
+//! [`RequestHandle::wait`]. Sweeps return a [`SweepHandle`], which
+//! adds incremental consumption on top: because the sweep is
+//! decomposed into one task per budget point,
+//! [`SweepHandle::wait_next_point`] yields each [`Plan`] the moment its
+//! point completes (ascending budget order), while later points are
+//! still solving.
 //!
 //! ## Admission control and fair scheduling
 //!
@@ -521,6 +526,17 @@ impl<T> HandleShared<T> {
         }
     }
 
+    /// Blocks until the slot leaves `Pending`, without consuming it.
+    fn await_resolution(&self) {
+        let mut slot = lock_recover(&self.slot);
+        while matches!(*slot, Slot::Pending) {
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
     /// Flips a still-pending slot to `Cancelled`, waking waiters.
     /// Returns whether this call performed the transition (a resolved
     /// or already-cancelled slot is left untouched).
@@ -796,6 +812,307 @@ impl<T> std::fmt::Debug for RequestHandle<T> {
     }
 }
 
+/// Outcome of polling a [`SweepHandle`] for its next budget point.
+#[derive(Debug)]
+pub enum PointOutcome {
+    /// The next budget point (ascending budget order) resolved with
+    /// this per-point result.
+    Point(Result<Plan>),
+    /// Every budget point has already been yielded.
+    Done,
+    /// The next point is still solving (nothing was consumed).
+    TimedOut,
+    /// The sweep was cancelled; remaining points will never resolve.
+    Cancelled,
+}
+
+impl PointOutcome {
+    /// The per-point result, if this outcome carried one.
+    pub fn point(self) -> Option<Result<Plan>> {
+        match self {
+            Self::Point(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether all points have been yielded.
+    pub fn is_done(&self) -> bool {
+        matches!(self, Self::Done)
+    }
+
+    /// Whether the wait timed out (next point still solving).
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, Self::TimedOut)
+    }
+
+    /// Whether the sweep was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, Self::Cancelled)
+    }
+}
+
+/// A hand-rolled future for an in-flight budget sweep. Wraps the
+/// sweep's aggregate `RequestHandle<Vec<Plan>>` (all of whose waits are
+/// available here) and adds **incremental consumption**: the sweep
+/// decomposition already runs one task per budget point, so
+/// [`SweepHandle::try_next_point`] / [`SweepHandle::wait_next_point`]
+/// yield each [`Plan`] as its point completes, in ascending budget
+/// order, while later points are still solving. Each streamed plan is
+/// byte-identical ([`Plan::divergence`]) to its slot in the aggregate
+/// [`SweepHandle::wait`] result — streaming changes delivery, never
+/// bytes.
+///
+/// Dropping the handle cancels the sweep (remaining points are skipped
+/// after the one currently solving), exactly like dropping the
+/// underlying [`RequestHandle`].
+#[must_use = "dropping a SweepHandle cancels the sweep"]
+pub struct SweepHandle {
+    handle: RequestHandle<Vec<Plan>>,
+    /// Per-point state for queued sweeps; `None` when the request
+    /// resolved at submit time (inline lane, empty grid, or a submit
+    /// error), in which case points are replayed out of `buffered`.
+    state: Option<Arc<SweepState>>,
+    total: usize,
+    next: usize,
+    buffered: Option<Result<Vec<Plan>>>,
+}
+
+impl SweepHandle {
+    /// A handle over a queued sweep whose points resolve through
+    /// `state`.
+    fn streamed(handle: RequestHandle<Vec<Plan>>, state: Arc<SweepState>, total: usize) -> Self {
+        Self {
+            handle,
+            state: Some(state),
+            total,
+            next: 0,
+            buffered: None,
+        }
+    }
+
+    /// A handle over a sweep that resolved at submit time.
+    fn resolved(handle: RequestHandle<Vec<Plan>>, total: usize) -> Self {
+        Self {
+            handle,
+            state: None,
+            total,
+            next: 0,
+            buffered: None,
+        }
+    }
+
+    /// Which lane the sweep was routed to.
+    pub fn lane(&self) -> Lane {
+        self.handle.lane()
+    }
+
+    /// The admission-control estimate (points × per-point evals).
+    pub fn estimate(&self) -> u64 {
+        self.handle.estimate()
+    }
+
+    /// The tenant the sweep is accounted to.
+    pub fn tenant(&self) -> &TenantId {
+        self.handle.tenant()
+    }
+
+    /// Number of budget points in the sweep grid.
+    pub fn points(&self) -> usize {
+        self.total
+    }
+
+    /// Number of points already yielded through the streaming API.
+    pub fn points_yielded(&self) -> usize {
+        self.next
+    }
+
+    /// Whether the aggregate result has resolved (see
+    /// [`RequestHandle::is_ready`]); individual points may be ready
+    /// much earlier.
+    pub fn is_ready(&self) -> bool {
+        self.handle.is_ready()
+    }
+
+    /// Whether the sweep was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.handle.is_cancelled()
+    }
+
+    /// Cancels the sweep (see [`RequestHandle::cancel`]): remaining
+    /// budget points are skipped after the one currently solving, and
+    /// any point waiter wakes with [`PointOutcome::Cancelled`].
+    pub fn cancel(&self) -> bool {
+        let cancelled = self.handle.cancel();
+        if let Some(state) = &self.state {
+            state.wake_point_waiters();
+        }
+        cancelled
+    }
+
+    /// Yields the next budget point if it already resolved
+    /// ([`PointOutcome::Point`]); otherwise reports — without consuming
+    /// anything — that it is still solving ([`PointOutcome::TimedOut`]),
+    /// that all points were yielded, or that the sweep was cancelled.
+    pub fn try_next_point(&mut self) -> PointOutcome {
+        self.next_point(WaitLimit::Poll)
+    }
+
+    /// Blocks until the next budget point resolves and yields it;
+    /// returns [`PointOutcome::Done`] once all points were yielded and
+    /// [`PointOutcome::Cancelled`] if the sweep was cancelled.
+    pub fn wait_next_point(&mut self) -> PointOutcome {
+        self.next_point(WaitLimit::Forever)
+    }
+
+    /// Like [`SweepHandle::wait_next_point`], waiting at most
+    /// `timeout`. [`PointOutcome::TimedOut`] does not consume the
+    /// point; a later wait still yields it.
+    pub fn wait_next_point_timeout(&mut self, timeout: Duration) -> PointOutcome {
+        match std::time::Instant::now().checked_add(timeout) {
+            Some(deadline) => self.next_point(WaitLimit::Until(deadline)),
+            None => self.next_point(WaitLimit::Forever),
+        }
+    }
+
+    /// Like [`SweepHandle::wait_next_point`], but re-checks `alive()`
+    /// every `poll` interval and cancels the sweep the moment it
+    /// returns `false` — the per-point analogue of
+    /// [`RequestHandle::wait_or_cancel`], so a client that hangs up
+    /// mid-stream stops the remaining budget points.
+    pub fn wait_next_point_or_cancel(
+        &mut self,
+        poll: Duration,
+        mut alive: impl FnMut() -> bool,
+    ) -> PointOutcome {
+        loop {
+            match self.wait_next_point_timeout(poll) {
+                PointOutcome::TimedOut => {
+                    if !alive() {
+                        self.cancel();
+                        return PointOutcome::Cancelled;
+                    }
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    fn next_point(&mut self, limit: WaitLimit) -> PointOutcome {
+        match &self.state {
+            Some(state) => {
+                if self.next >= self.total {
+                    // The final point's slot is published before the
+                    // fold resolves the aggregate, so without this
+                    // wait a consumer could observe `Done`, drop the
+                    // handle, and have the drop-cancel race the fold
+                    // into counting a fully-streamed sweep as
+                    // cancelled. Resolution is imminent here — the
+                    // finisher that wrote the last slot folds next —
+                    // so the wait is bounded and usually a no-op.
+                    self.handle.shared.await_resolution();
+                    return PointOutcome::Done;
+                }
+                match state.wait_point(self.next, limit) {
+                    PointWait::Ready(result) => {
+                        self.next += 1;
+                        PointOutcome::Point(result)
+                    }
+                    PointWait::TimedOut => PointOutcome::TimedOut,
+                    PointWait::Cancelled => PointOutcome::Cancelled,
+                }
+            }
+            None => {
+                if self.buffered.is_none() {
+                    // Submit-time-resolved sweeps hold the whole result
+                    // in the aggregate slot; take it once and replay.
+                    match self.handle.try_wait() {
+                        WaitOutcome::Ready(result) => self.buffered = Some(result),
+                        WaitOutcome::Cancelled => return PointOutcome::Cancelled,
+                        // `wait()` already consumed the aggregate (or a
+                        // still-pending slot, which cannot happen for a
+                        // submit-time-resolved sweep): nothing to
+                        // stream.
+                        WaitOutcome::Taken => return PointOutcome::Done,
+                        WaitOutcome::TimedOut => return PointOutcome::TimedOut,
+                    }
+                }
+                match self.buffered.as_ref().expect("buffered result just set") {
+                    Ok(plans) => {
+                        if self.next >= plans.len() {
+                            return PointOutcome::Done;
+                        }
+                        let plan = plans[self.next].clone();
+                        self.next += 1;
+                        PointOutcome::Point(Ok(plan))
+                    }
+                    Err(e) => {
+                        // A sweep that failed wholesale at submit
+                        // surfaces its error as the first (and only)
+                        // streamed point.
+                        if self.next > 0 {
+                            return PointOutcome::Done;
+                        }
+                        let err = e.clone();
+                        self.next = self.total.max(1);
+                        PointOutcome::Point(Err(err))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes the aggregate result if ready (see
+    /// [`RequestHandle::try_wait`]).
+    pub fn try_wait(&self) -> WaitOutcome<Vec<Plan>> {
+        self.handle.try_wait()
+    }
+
+    /// Blocks for the aggregate result at most `timeout` (see
+    /// [`RequestHandle::wait_timeout`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> WaitOutcome<Vec<Plan>> {
+        self.handle.wait_timeout(timeout)
+    }
+
+    /// Disconnect-driven aggregate wait (see
+    /// [`RequestHandle::wait_or_cancel`]).
+    pub fn wait_or_cancel(
+        &self,
+        poll: Duration,
+        alive: impl FnMut() -> bool,
+    ) -> WaitOutcome<Vec<Plan>> {
+        self.handle.wait_or_cancel(poll, alive)
+    }
+
+    /// Blocks until the sweep resolves and returns every plan in budget
+    /// order; works after (and regardless of) streaming consumption.
+    ///
+    /// # Panics
+    /// Like [`RequestHandle::wait`], if the aggregate result was
+    /// already taken via [`SweepHandle::try_wait`] /
+    /// [`SweepHandle::wait_timeout`].
+    pub fn wait(self) -> Result<Vec<Plan>> {
+        let Self {
+            handle, buffered, ..
+        } = self;
+        match buffered {
+            // Streaming already took the aggregate slot; hand back the
+            // stashed result (dropping the resolved handle is a no-op).
+            Some(result) => result,
+            None => handle.wait(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SweepHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepHandle")
+            .field("points", &self.total)
+            .field("yielded", &self.next)
+            .field("handle", &self.handle)
+            .finish()
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -996,10 +1313,23 @@ fn solve_contained(
 struct SweepState {
     slots: Vec<Mutex<Option<Result<Plan>>>>,
     remaining: AtomicUsize,
+    /// Resolved-point count plus the wake channel for streaming
+    /// waiters ([`SweepHandle::wait_next_point`]). Bumped *after* the
+    /// slot write (or skip), under its own lock, so a waiter blocked on
+    /// the next index wakes exactly when it can make progress.
+    progress: Mutex<usize>,
+    point_ready: Condvar,
     shared: Arc<HandleShared<Vec<Plan>>>,
     inner: Arc<ServiceInner>,
     lease: Arc<QuotaLease>,
     cancel: CancelToken,
+}
+
+/// What [`SweepState::wait_point`] observed for one budget point.
+enum PointWait {
+    Ready(Result<Plan>),
+    TimedOut,
+    Cancelled,
 }
 
 impl SweepState {
@@ -1014,6 +1344,11 @@ impl SweepState {
     }
 
     fn point_done(&self) {
+        {
+            let mut progress = lock_recover(&self.progress);
+            *progress += 1;
+            self.point_ready.notify_all();
+        }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             if self.cancel.is_cancelled() {
                 // The cancel path already resolved the handle and
@@ -1025,8 +1360,11 @@ impl SweepState {
             let mut plans = Vec::with_capacity(self.slots.len());
             let mut first_err: Option<Result<Vec<Plan>>> = None;
             for slot in &self.slots {
+                // Clone, don't take: a streaming consumer that lags
+                // behind the fold still reads its remaining points out
+                // of the slots afterwards.
                 match lock_recover(slot)
-                    .take()
+                    .clone()
                     .expect("every budget point completed")
                 {
                     Ok(plan) => plans.push(plan),
@@ -1042,6 +1380,49 @@ impl SweepState {
             self.shared
                 .complete_counted(first_err.unwrap_or(Ok(plans)), &self.inner.stats.completed);
         }
+    }
+
+    /// Blocks until budget point `index` resolves (its slot is
+    /// written), the sweep is cancelled, or `limit` elapses. Lock
+    /// order: `progress` is held across the slot peek; finishers take a
+    /// slot and `progress` strictly in sequence (never both), so the
+    /// pair cannot deadlock, and because finishers need `progress` to
+    /// notify, a wakeup can never be lost between the peek and the
+    /// wait.
+    fn wait_point(&self, index: usize, limit: WaitLimit) -> PointWait {
+        let mut progress = lock_recover(&self.progress);
+        loop {
+            if self.cancel.is_cancelled() {
+                return PointWait::Cancelled;
+            }
+            if let Some(result) = lock_recover(&self.slots[index]).clone() {
+                return PointWait::Ready(result);
+            }
+            progress = match limit {
+                WaitLimit::Poll => return PointWait::TimedOut,
+                WaitLimit::Until(deadline) => {
+                    let now = std::time::Instant::now();
+                    if deadline <= now {
+                        return PointWait::TimedOut;
+                    }
+                    self.point_ready
+                        .wait_timeout(progress, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+                WaitLimit::Forever => self
+                    .point_ready
+                    .wait(progress)
+                    .unwrap_or_else(PoisonError::into_inner),
+            };
+        }
+    }
+
+    /// Wakes any [`SweepState::wait_point`] waiter so it can observe a
+    /// cancellation that did not pass through a finishing point.
+    fn wake_point_waiters(&self) {
+        let _progress = lock_recover(&self.progress);
+        self.point_ready.notify_all();
     }
 }
 
@@ -1251,8 +1632,10 @@ impl PlannerService {
     /// Prefix work is shared across points through the service store
     /// when a key is supplied, or a request-private store otherwise —
     /// plans are byte-identical to [`SolverRegistry::sweep`] either
-    /// way.
-    pub fn submit_sweep(&self, request: SweepRequest) -> Result<RequestHandle<Vec<Plan>>> {
+    /// way. The returned [`SweepHandle`] yields each plan as its point
+    /// completes ([`SweepHandle::wait_next_point`]) or the whole grid
+    /// at once ([`SweepHandle::wait`]).
+    pub fn submit_sweep(&self, request: SweepRequest) -> Result<SweepHandle> {
         let inner = &self.inner;
         let estimate = request
             .problem
@@ -1273,12 +1656,13 @@ impl PlannerService {
             setup.handle(lane)
         };
 
+        let points = request.budgets.len();
         let solver = match inner.registry.get(&request.strategy) {
             Ok(solver) => solver,
-            Err(e) => return Ok(done(Err(e), Lane::Inline)),
+            Err(e) => return Ok(SweepHandle::resolved(done(Err(e), Lane::Inline), points)),
         };
         if request.budgets.is_empty() {
-            return Ok(done(Ok(Vec::new()), Lane::Inline));
+            return Ok(SweepHandle::resolved(done(Ok(Vec::new()), Lane::Inline), 0));
         }
 
         // Without a trustworthy identity, share prefix work through a
@@ -1308,7 +1692,7 @@ impl PlannerService {
                     detail: panic_detail(payload.as_ref()),
                 })
             });
-            return Ok(done(result, Lane::Inline));
+            return Ok(SweepHandle::resolved(done(result, Lane::Inline), points));
         }
 
         let counter = if lane == Lane::Interactive {
@@ -1320,11 +1704,14 @@ impl PlannerService {
         let state = Arc::new(SweepState {
             slots: request.budgets.iter().map(|_| Mutex::new(None)).collect(),
             remaining: AtomicUsize::new(request.budgets.len()),
+            progress: Mutex::new(0),
+            point_ready: Condvar::new(),
             shared: Arc::clone(&setup.shared),
             inner: Arc::clone(inner),
             lease: Arc::clone(&setup.lease),
             cancel: setup.cancel.clone(),
         });
+        let handle_state = Arc::clone(&state);
         // Resume-chain decomposition: instead of one pool task per
         // budget point, deal the points round-robin to at most
         // `pool.threads()` chain tasks. Each chain solves its points
@@ -1380,7 +1767,11 @@ impl PlannerService {
                 }
             });
         }
-        Ok(setup.handle(lane))
+        Ok(SweepHandle::streamed(
+            setup.handle(lane),
+            handle_state,
+            points,
+        ))
     }
 }
 
@@ -1512,6 +1903,300 @@ mod tests {
         for (i, (a, b)) in plans.iter().zip(&expected).enumerate() {
             assert_eq!(a.divergence(b), None, "budget point {i}");
         }
+    }
+
+    #[test]
+    fn streamed_sweep_yields_points_in_budget_order_with_identical_bytes() {
+        let svc = service(ServiceOptions::new().with_inline_threshold(0));
+        let problem = dup_problem(12, 31);
+        let budgets: Vec<Budget> = (0..8).map(Budget::absolute).collect();
+        let expected = svc.registry().sweep("greedy", &problem, &budgets).unwrap();
+        let mut handle = svc
+            .submit_sweep(SweepRequest::new(
+                "greedy",
+                Arc::clone(&problem),
+                budgets.clone(),
+            ))
+            .unwrap();
+        assert_eq!(handle.points(), budgets.len());
+        let mut streamed = Vec::new();
+        loop {
+            match handle.wait_next_point() {
+                PointOutcome::Point(r) => streamed.push(r.unwrap()),
+                PointOutcome::Done => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(handle.points_yielded(), budgets.len());
+        assert!(
+            handle.wait_next_point().is_done(),
+            "a drained stream stays Done"
+        );
+        assert_eq!(streamed.len(), expected.len());
+        for (i, (a, b)) in streamed.iter().zip(&expected).enumerate() {
+            assert_eq!(a.divergence(b), None, "streamed budget point {i}");
+        }
+        // Streaming never consumes the aggregate: wait() still returns
+        // the full grid, byte-identical to the streamed points.
+        let plans = handle.wait().unwrap();
+        for (i, (a, b)) in plans.iter().zip(&streamed).enumerate() {
+            assert_eq!(a.divergence(b), None, "aggregate vs streamed point {i}");
+        }
+    }
+
+    #[test]
+    fn inline_sweep_streams_its_buffered_points() {
+        // Inline-lane sweeps resolve at submit; streaming replays the
+        // buffered result point by point.
+        let svc = service(ServiceOptions::new());
+        let problem = dup_problem(6, 32);
+        let budgets: Vec<Budget> = (1..=3).map(Budget::absolute).collect();
+        let expected = svc.registry().sweep("greedy", &problem, &budgets).unwrap();
+        let mut handle = svc
+            .submit_sweep(SweepRequest::new(
+                "greedy",
+                Arc::clone(&problem),
+                budgets.clone(),
+            ))
+            .unwrap();
+        assert_eq!(handle.lane(), Lane::Inline);
+        for (i, want) in expected.iter().enumerate() {
+            let got = handle
+                .try_next_point()
+                .point()
+                .unwrap_or_else(|| panic!("inline point {i} is ready at submit"))
+                .unwrap();
+            assert_eq!(got.divergence(want), None, "inline streamed point {i}");
+        }
+        assert!(handle.try_next_point().is_done());
+        // The aggregate slot was taken by streaming, but wait() hands
+        // back the stashed result instead of panicking.
+        assert_eq!(handle.wait().unwrap().len(), expected.len());
+    }
+
+    #[test]
+    fn empty_and_error_sweeps_stream_deterministically() {
+        let svc = service(ServiceOptions::new());
+        let problem = dup_problem(6, 33);
+        let mut empty = svc
+            .submit_sweep(SweepRequest::new("greedy", Arc::clone(&problem), vec![]))
+            .unwrap();
+        assert_eq!(empty.points(), 0);
+        assert!(empty.try_next_point().is_done());
+        empty.wait().unwrap();
+
+        let mut unknown = svc
+            .submit_sweep(SweepRequest::new(
+                "no-such-strategy",
+                Arc::clone(&problem),
+                vec![Budget::absolute(1), Budget::absolute(2)],
+            ))
+            .unwrap();
+        let err = unknown
+            .wait_next_point()
+            .point()
+            .expect("a failed sweep streams its error as the first point")
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::UnknownStrategy { .. }),
+            "got {err}"
+        );
+        assert!(
+            unknown.wait_next_point().is_done(),
+            "the error is yielded exactly once"
+        );
+    }
+
+    /// Parks every solve after the first `free` until the gate opens;
+    /// delegates to `greedy`. With a single-threaded pool the sweep
+    /// chain solves points in index order, so "first point done, second
+    /// point parked mid-solve" is a deterministic state.
+    #[derive(Debug)]
+    struct StepSolver {
+        gate: Arc<Gate>,
+        free: usize,
+        calls: AtomicUsize,
+    }
+
+    impl Solver for StepSolver {
+        fn name(&self) -> &'static str {
+            "step"
+        }
+        fn solve_with_cache<'p>(
+            &self,
+            problem: &'p Problem,
+            budget: Budget,
+            cache: &EngineCache<'p>,
+        ) -> Result<Plan> {
+            if self.calls.fetch_add(1, Ordering::SeqCst) >= self.free {
+                {
+                    let mut entered = self.gate.entered.lock().unwrap();
+                    *entered += 1;
+                    self.gate.entered_cv.notify_all();
+                }
+                let mut open = self.gate.open.lock().unwrap();
+                while !*open {
+                    open = self.gate.opened.wait(open).unwrap();
+                }
+            }
+            crate::planner::GreedySolver.solve_with_cache(problem, budget, cache)
+        }
+    }
+
+    fn stepped_service(free: usize) -> (PlannerService, Arc<Gate>) {
+        let gate = Arc::new(Gate::default());
+        let mut registry = SolverRegistry::with_defaults();
+        registry.register_solver(Arc::new(StepSolver {
+            gate: Arc::clone(&gate),
+            free,
+            calls: AtomicUsize::new(0),
+        }));
+        let svc = PlannerService::new(
+            Arc::new(registry),
+            ServiceOptions::new()
+                .with_inline_threshold(0)
+                .with_interactive_threshold(0)
+                .with_pool(Arc::new(WorkerPool::new(1))),
+        );
+        (svc, gate)
+    }
+
+    #[test]
+    fn first_point_streams_while_later_points_still_solve() {
+        let (svc, gate) = stepped_service(1);
+        let problem = dup_problem(10, 34);
+        let budgets: Vec<Budget> = (1..=4).map(Budget::absolute).collect();
+        let expected = svc.registry().sweep("greedy", &problem, &budgets).unwrap();
+        let mut handle = svc
+            .submit_sweep(SweepRequest::new("step", Arc::clone(&problem), budgets))
+            .unwrap();
+        // Point 0 solves freely; point 1 parks on the gate.
+        let first = handle
+            .wait_next_point()
+            .point()
+            .expect("first point streams before the sweep resolves")
+            .unwrap();
+        assert_eq!(first.divergence(&expected[0]), None);
+        gate.wait_entered(1); // point 1 is deterministically mid-solve
+        assert!(!handle.is_ready(), "the aggregate has not resolved");
+        assert_eq!(
+            svc.stats().completed,
+            0,
+            "the sweep counts as completed only at the final fold"
+        );
+        assert!(
+            handle.try_next_point().is_timed_out(),
+            "the parked point is not ready"
+        );
+        gate.open_up();
+        let mut streamed = vec![first];
+        loop {
+            match handle.wait_next_point() {
+                PointOutcome::Point(r) => streamed.push(r.unwrap()),
+                PointOutcome::Done => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        for (i, (a, b)) in streamed.iter().zip(&expected).enumerate() {
+            assert_eq!(a.divergence(b), None, "budget point {i}");
+        }
+        // `Done` synchronizes with the final fold, so the sweep is
+        // already counted; the aggregate wait still works afterwards.
+        assert_eq!(svc.stats().completed, 1);
+        handle.wait().unwrap();
+    }
+
+    #[test]
+    fn draining_to_done_then_dropping_counts_completed_not_cancelled() {
+        // Regression: the last point's slot is published before the
+        // final fold resolves the aggregate. `Done` must synchronize
+        // with the fold — a consumer that drains the stream and
+        // immediately drops the handle must never race the drop-cancel
+        // into flipping a fully-delivered sweep to cancelled.
+        let svc = PlannerService::new(
+            Arc::new(SolverRegistry::with_defaults()),
+            ServiceOptions::new()
+                .with_inline_threshold(0)
+                .with_pool(Arc::new(WorkerPool::new(2))),
+        );
+        let rounds = 20;
+        for round in 0..rounds {
+            let problem = dup_problem(10, 50 + round);
+            let budgets: Vec<Budget> = (1..=3).map(Budget::absolute).collect();
+            let mut handle = svc
+                .submit_sweep(SweepRequest::new("greedy", problem, budgets))
+                .unwrap();
+            loop {
+                match handle.wait_next_point() {
+                    PointOutcome::Point(r) => {
+                        r.unwrap();
+                    }
+                    PointOutcome::Done => break,
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+            drop(handle);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.cancelled, 0, "drop after Done must never cancel");
+        assert_eq!(stats.completed, rounds);
+    }
+
+    #[test]
+    fn cancelling_mid_stream_skips_the_remaining_points() {
+        let (svc, gate) = stepped_service(1);
+        let problem = dup_problem(10, 35);
+        let budgets: Vec<Budget> = (1..=6).map(Budget::absolute).collect();
+        let mut handle = svc
+            .submit_sweep(SweepRequest::new("step", Arc::clone(&problem), budgets))
+            .unwrap();
+        handle
+            .wait_next_point()
+            .point()
+            .expect("first point streams")
+            .unwrap();
+        gate.wait_entered(1); // point 1 mid-solve
+        assert!(handle.cancel());
+        assert!(handle.wait_next_point().is_cancelled());
+        gate.open_up();
+        // Drain the single worker past the skipped points.
+        svc.submit(SolveRequest::new(
+            "greedy",
+            dup_problem(8, 36),
+            Budget::absolute(1),
+        ))
+        .unwrap()
+        .wait()
+        .unwrap();
+        assert_eq!(
+            *gate.entered.lock().unwrap(),
+            1,
+            "only the mid-solve point ran to completion; the rest were skipped"
+        );
+        assert_eq!(svc.stats().cancelled, 1);
+        assert_eq!(svc.quota_usage(&TenantId::default()), QuotaUsage::default());
+    }
+
+    #[test]
+    fn stream_disconnect_cancels_via_wait_next_point_or_cancel() {
+        let (svc, gate) = stepped_service(1);
+        let problem = dup_problem(10, 37);
+        let budgets: Vec<Budget> = (1..=4).map(Budget::absolute).collect();
+        let mut handle = svc
+            .submit_sweep(SweepRequest::new("step", Arc::clone(&problem), budgets))
+            .unwrap();
+        handle
+            .wait_next_point_or_cancel(Duration::from_millis(5), || true)
+            .point()
+            .expect("a live client streams the first point")
+            .unwrap();
+        gate.wait_entered(1);
+        // The "client" hangs up: the next wait observes it and cancels.
+        let outcome = handle.wait_next_point_or_cancel(Duration::from_millis(5), || false);
+        assert!(outcome.is_cancelled());
+        assert!(handle.is_cancelled());
+        gate.open_up();
+        assert_eq!(svc.stats().cancelled, 1);
     }
 
     #[test]

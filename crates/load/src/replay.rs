@@ -5,7 +5,11 @@
 //! Requests ride a shared keep-alive [`ClientPool`] across N worker
 //! threads (events are dealt round-robin, so the *request sequence* —
 //! which requests exist, their bodies, which are abandoned — is a pure
-//! function of (trace, config); only timings vary run to run). A
+//! function of (trace, config); only timings vary run to run).
+//! `sweepstream` ops open a dedicated [`SweepStream`] connection
+//! instead (chunked responses never pool), draining the point
+//! iterator and recording time-to-first-point alongside total
+//! latency. A
 //! configurable millage of solve requests is *abandoned*: the request
 //! is written and the socket dropped without reading the response,
 //! exercising the server's disconnect-driven `wait_or_cancel` path
@@ -19,7 +23,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use fact_clean::net::api::{BudgetSpec, CleanRequest, RecommendRequest, SweepRequest};
-use fact_clean::net::client::{self, ClientPool};
+use fact_clean::net::client::{self, ClientError, ClientPool, SweepStream};
 use fact_clean::planner::{Goal, Measure, ObjectiveSpec};
 
 use crate::gen::SplitMix64;
@@ -64,6 +68,9 @@ pub struct StreamTarget {
 pub struct OpMetrics {
     /// Latencies of requests that got *any* response, in µs.
     pub latency_us: LogHistogram,
+    /// For streamed sweeps: time from request start to the first
+    /// decoded budget point, in µs (empty for buffered ops).
+    pub first_point_us: LogHistogram,
     /// `200` responses.
     pub ok: u64,
     /// `429` quota rejections.
@@ -81,6 +88,7 @@ pub struct OpMetrics {
 impl OpMetrics {
     fn absorb(&mut self, other: &OpMetrics) {
         self.latency_us.merge(&other.latency_us);
+        self.first_point_us.merge(&other.first_point_us);
         self.ok += other.ok;
         self.rejected += other.rejected;
         self.client_errors += other.client_errors;
@@ -225,7 +233,7 @@ fn request_for(
     targets: &[StreamTarget],
     seed: u64,
 ) -> io::Result<(String, String)> {
-    let target = &targets[(fnv64(event.tenant.as_bytes()) as usize ^ index) % targets.len()];
+    let target = pick_target(event, index, targets);
     match event.op {
         Op::Recommend => {
             let request = RecommendRequest {
@@ -235,18 +243,14 @@ fn request_for(
             };
             Ok(("/v1/recommend".to_string(), request.encode()))
         }
-        Op::Sweep => {
-            let request = SweepRequest {
-                stream: target.id.clone(),
-                spec: objective_spec(&event.spec)?,
-                budgets: event
-                    .budget
-                    .split(',')
-                    .map(budget_spec)
-                    .collect::<io::Result<_>>()?,
-            };
-            Ok(("/v1/sweep".to_string(), request.encode()))
-        }
+        Op::Sweep => Ok((
+            "/v1/sweep".to_string(),
+            sweep_request(event, target)?.encode(),
+        )),
+        Op::SweepStream => Ok((
+            "/v1/sweep?stream=1".to_string(),
+            sweep_request(event, target)?.encode(),
+        )),
         Op::Clean => {
             let k: usize = event
                 .budget
@@ -269,6 +273,30 @@ fn request_for(
     }
 }
 
+/// The stream a trace event hits: a pure hash of (tenant, index).
+fn pick_target<'t>(
+    event: &TraceEvent,
+    index: usize,
+    targets: &'t [StreamTarget],
+) -> &'t StreamTarget {
+    &targets[(fnv64(event.tenant.as_bytes()) as usize ^ index) % targets.len()]
+}
+
+/// The typed sweep body shared by the buffered and streamed ops — a
+/// `sweepstream` event puts the exact bytes of its `sweep` twin on the
+/// wire, differing only in the `?stream=1` query.
+fn sweep_request(event: &TraceEvent, target: &StreamTarget) -> io::Result<SweepRequest> {
+    Ok(SweepRequest {
+        stream: target.id.clone(),
+        spec: objective_spec(&event.spec)?,
+        budgets: event
+            .budget
+            .split(',')
+            .map(budget_spec)
+            .collect::<io::Result<_>>()?,
+    })
+}
+
 /// Writes the request and drops the socket without reading the
 /// response: the client walked away mid-flight.
 fn abandon(addr: SocketAddr, path: &str, tenant: &str, body: &str) {
@@ -277,6 +305,73 @@ fn abandon(addr: SocketAddr, path: &str, tenant: &str, body: &str) {
     };
     let _ = client::write_request(&mut sock, "POST", path, &[("x-tenant", tenant)], body);
     // Drop: the server's disconnect probe cancels the in-flight solve.
+}
+
+/// Microseconds since `sent`, saturating.
+fn elapsed_us(sent: Instant) -> u64 {
+    sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Issues one streamed sweep on a dedicated connection, draining the
+/// point iterator and recording time-to-first-point alongside total
+/// latency. A refusal or a mid-stream error trailer records under its
+/// decoded status; transport failures count as such.
+fn stream_sweep(
+    config: &ReplayConfig,
+    request: &SweepRequest,
+    tenant_name: &str,
+    op: &mut OpMetrics,
+    tenant: &mut OpMetrics,
+) {
+    let sent = Instant::now();
+    let stream = match SweepStream::open(
+        config.addr,
+        Some(config.request_timeout),
+        request,
+        Some(tenant_name),
+    ) {
+        Ok(stream) => stream,
+        Err(ClientError::Api(e)) => {
+            let us = elapsed_us(sent);
+            op.record_status(e.status, us);
+            tenant.record_status(e.status, us);
+            return;
+        }
+        Err(_) => {
+            op.transport_errors += 1;
+            tenant.transport_errors += 1;
+            return;
+        }
+    };
+    let mut first_us = None;
+    let mut failure = None;
+    for point in stream {
+        if first_us.is_none() {
+            first_us = Some(elapsed_us(sent));
+        }
+        if let Err(e) = point {
+            failure = Some(e);
+            break;
+        }
+    }
+    let us = elapsed_us(sent);
+    match failure {
+        None => {
+            op.record_status(200, us);
+            tenant.record_status(200, us);
+            let first = first_us.unwrap_or(us);
+            op.first_point_us.record(first);
+            tenant.first_point_us.record(first);
+        }
+        Some(ClientError::Api(e)) => {
+            op.record_status(e.status, us);
+            tenant.record_status(e.status, us);
+        }
+        Some(_) => {
+            op.transport_errors += 1;
+            tenant.transport_errors += 1;
+        }
+    }
 }
 
 /// Replays `trace` against `config.addr`. Fails fast on a malformed
@@ -301,6 +396,9 @@ pub fn replay(
         op: Op,
         path: String,
         body: String,
+        /// The typed request a streamed sweep opens its dedicated
+        /// connection with (`None` for buffered ops).
+        sweep: Option<SweepRequest>,
         abandon: bool,
     }
     let abandon_threshold = u64::MAX / 1000 * u64::from(config.abandon_permille.min(1000));
@@ -311,6 +409,10 @@ pub fn replay(
         .enumerate()
         .map(|(index, event)| {
             let (path, body) = request_for(event, index, targets, config.seed)?;
+            let sweep = match event.op {
+                Op::SweepStream => Some(sweep_request(event, pick_target(event, index, targets))?),
+                _ => None,
+            };
             let abandon = event.op != Op::Clean && abandon_rng.next_u64() < abandon_threshold;
             Ok(Prepared {
                 timestamp_ms: event.timestamp_ms,
@@ -318,6 +420,7 @@ pub fn replay(
                 op: event.op,
                 path,
                 body,
+                sweep,
                 abandon,
             })
         })
@@ -355,11 +458,15 @@ pub fn replay(
                         tenant.abandoned += 1;
                         continue;
                     }
+                    if let Some(sweep) = &request.sweep {
+                        stream_sweep(config, sweep, &request.tenant, op, tenant);
+                        continue;
+                    }
                     let headers = [("x-tenant", request.tenant.as_str())];
                     let sent = Instant::now();
                     match pool.post(&request.path, &request.body, &headers) {
                         Ok((status, _body)) => {
-                            let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                            let us = elapsed_us(sent);
                             op.record_status(status, us);
                             tenant.record_status(status, us);
                         }
@@ -421,6 +528,7 @@ mod tests {
             event(Op::Recommend, "bias@maxpr5", "a3"),
             event(Op::Recommend, "dup~slow", "a3"),
             event(Op::Sweep, "frag", "f0.05,f0.1"),
+            event(Op::SweepStream, "dup", "f0.05,f0.1"),
             event(Op::Clean, "-", "k3"),
         ];
         for (i, e) in cases.iter().enumerate() {
@@ -430,9 +538,23 @@ mod tests {
             assert!(Json::parse(&body_a).is_ok(), "{body_a}");
             assert!(path_a.starts_with("/v1/"), "{path_a}");
         }
+        // A sweepstream event differs from its buffered twin only in
+        // the query string — the body bytes are identical.
+        let (sweep_path, sweep_body) =
+            request_for(&event(Op::Sweep, "dup", "f0.05,f0.1"), 3, &targets, 42).unwrap();
+        let (stream_path, stream_body) = request_for(
+            &event(Op::SweepStream, "dup", "f0.05,f0.1"),
+            3,
+            &targets,
+            42,
+        )
+        .unwrap();
+        assert_eq!(sweep_path, "/v1/sweep");
+        assert_eq!(stream_path, "/v1/sweep?stream=1");
+        assert_eq!(sweep_body, stream_body);
         // The stream assignment depends on the event index.
-        let (p0, _) = request_for(&cases[4], 0, &targets, 42).unwrap();
-        let (p1, _) = request_for(&cases[4], 1, &targets, 42).unwrap();
+        let (p0, _) = request_for(&cases[5], 0, &targets, 42).unwrap();
+        let (p1, _) = request_for(&cases[5], 1, &targets, 42).unwrap();
         assert_ne!(p0, p1, "consecutive cleans should spread across streams");
     }
 

@@ -26,31 +26,49 @@ pub struct RunFingerprint {
     pub smoke: bool,
 }
 
-fn hist_summary(m: &OpMetrics) -> Json {
+fn hist_summary(hist: &crate::hist::LogHistogram) -> Json {
     let us_to_ms = |us: u64| Json::Num(us as f64 / 1000.0);
     // One bucket sweep for all three percentiles, not one per read.
-    let qs = m.latency_us.quantiles(&[0.50, 0.95, 0.99]);
+    let qs = hist.quantiles(&[0.50, 0.95, 0.99]);
     Json::obj([
-        ("count", Json::Num(m.latency_us.count() as f64)),
+        ("count", Json::Num(hist.count() as f64)),
         ("p50_ms", us_to_ms(qs[0])),
         ("p95_ms", us_to_ms(qs[1])),
         ("p99_ms", us_to_ms(qs[2])),
-        ("mean_ms", Json::Num(m.latency_us.mean() / 1000.0)),
-        ("max_ms", us_to_ms(m.latency_us.max())),
+        ("mean_ms", Json::Num(hist.mean() / 1000.0)),
+        ("max_ms", us_to_ms(hist.max())),
     ])
 }
 
 fn metrics_json(m: &OpMetrics) -> Json {
-    Json::obj([
-        ("issued", Json::Num(m.issued() as f64)),
-        ("ok", Json::Num(m.ok as f64)),
-        ("rejected_429", Json::Num(m.rejected as f64)),
-        ("client_errors", Json::Num(m.client_errors as f64)),
-        ("server_errors", Json::Num(m.server_errors as f64)),
-        ("transport_errors", Json::Num(m.transport_errors as f64)),
-        ("abandoned", Json::Num(m.abandoned as f64)),
-        ("latency", hist_summary(m)),
-    ])
+    let mut fields = vec![
+        ("issued".to_string(), Json::Num(m.issued() as f64)),
+        ("ok".to_string(), Json::Num(m.ok as f64)),
+        ("rejected_429".to_string(), Json::Num(m.rejected as f64)),
+        (
+            "client_errors".to_string(),
+            Json::Num(m.client_errors as f64),
+        ),
+        (
+            "server_errors".to_string(),
+            Json::Num(m.server_errors as f64),
+        ),
+        (
+            "transport_errors".to_string(),
+            Json::Num(m.transport_errors as f64),
+        ),
+        ("abandoned".to_string(), Json::Num(m.abandoned as f64)),
+        ("latency".to_string(), hist_summary(&m.latency_us)),
+    ];
+    // Only streamed ops carry a first-point histogram; buffered ops
+    // omit the key rather than reporting an all-zero summary.
+    if m.first_point_us.count() > 0 {
+        fields.push((
+            "time_to_first_point".to_string(),
+            hist_summary(&m.first_point_us),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 fn keyed<'m>(entries: impl Iterator<Item = (&'m String, &'m OpMetrics)>) -> Json {
@@ -211,17 +229,24 @@ pub fn invariant_violations(report: &ReplayReport, server_stats: &Json) -> Vec<S
 }
 
 /// Checks a bench document against `BENCH_budget.json` ceilings:
-/// `max_p99_ms` and `max_p95_ms` per op, `max_transport_error_ratio`,
-/// `min_ok`. The p99 budgets are deliberately loose (10× headroom,
+/// `max_p99_ms` and `max_p95_ms` per op (total latency),
+/// `max_first_point_p95_ms` per streamed op (time to first point),
+/// `max_transport_error_ratio`, `min_ok`. The p99 budgets are deliberately loose (10× headroom,
 /// catching order-of-magnitude regressions); the p95 budgets are the
 /// tighter perf-regression guard — pinned ~1.2× above the measured
 /// smoke-run tail so a >20% p95 regression on a solver hot path fails
 /// CI instead of landing silently.
 pub fn budget_violations(bench: &Json, budget: &Json) -> Vec<String> {
     let mut violations = Vec::new();
-    for (budget_key, latency_key, label) in [
-        ("max_p99_ms", "p99_ms", "p99"),
-        ("max_p95_ms", "p95_ms", "p95"),
+    for (budget_key, section, latency_key, label) in [
+        ("max_p99_ms", "latency", "p99_ms", "p99"),
+        ("max_p95_ms", "latency", "p95_ms", "p95"),
+        (
+            "max_first_point_p95_ms",
+            "time_to_first_point",
+            "p95_ms",
+            "first-point p95",
+        ),
     ] {
         let Some(Json::Obj(ceilings)) = budget.get(budget_key) else {
             continue;
@@ -230,12 +255,14 @@ pub fn budget_violations(bench: &Json, budget: &Json) -> Vec<String> {
             let Some(ceiling) = ceiling.as_f64() else {
                 continue;
             };
-            let count = stat(bench, &["per_op", op, "latency", "count"]).unwrap_or(0.0);
+            let count = stat(bench, &["per_op", op, section, "count"]).unwrap_or(0.0);
             if count == 0.0 {
-                violations.push(format!("budget: op {op} has a ceiling but no samples"));
+                violations.push(format!(
+                    "budget: op {op} has a {label} ceiling but no samples"
+                ));
                 continue;
             }
-            let measured = stat(bench, &["per_op", op, "latency", latency_key]).unwrap_or(f64::MAX);
+            let measured = stat(bench, &["per_op", op, section, latency_key]).unwrap_or(f64::MAX);
             if measured > ceiling {
                 violations.push(format!(
                     "budget: {op} {label} {measured}ms exceeds ceiling {ceiling}ms"
@@ -290,6 +317,13 @@ mod tests {
         m.ok = 2;
         m.rejected = 1;
         per_op.insert("recommend".to_string(), m);
+        let mut streamed = OpMetrics::default();
+        for (total, first) in [(40_000u64, 5_000u64), (60_000, 8_000)] {
+            streamed.latency_us.record(total);
+            streamed.first_point_us.record(first);
+        }
+        streamed.ok = 2;
+        per_op.insert("sweepstream".to_string(), streamed);
         ReplayReport {
             wall_ms: 1_000,
             per_op,
@@ -299,7 +333,7 @@ mod tests {
 
     fn clean_stats() -> Json {
         Json::parse(
-            r#"{"service":{"submitted":3,"completed":2,"cancelled":1,"quota_rejected":1,
+            r#"{"service":{"submitted":5,"completed":4,"cancelled":1,"quota_rejected":1,
                 "in_flight":0,"running_interactive":0,"running_bulk":0,
                 "queued_interactive":0,"queued_bulk":0},
                 "store":{"hits":8,"misses":2},
@@ -328,6 +362,7 @@ mod tests {
             vec!["throughput_rps"],
             vec!["per_op", "recommend", "latency", "p99_ms"],
             vec!["per_op", "recommend", "rejected_429"],
+            vec!["per_op", "sweepstream", "time_to_first_point", "p95_ms"],
             vec!["derived", "cache_hit_ratio"],
             vec!["derived", "cancellation_rate"],
             vec!["server", "service", "submitted"],
@@ -342,6 +377,15 @@ mod tests {
         assert_eq!(
             stat(&doc, &["derived", "cache_hit_ratio"]),
             Some(0.8),
+            "{doc}"
+        );
+        // Buffered ops omit the first-point section entirely.
+        assert!(
+            stat(
+                &doc,
+                &["per_op", "recommend", "time_to_first_point", "count"]
+            )
+            .is_none(),
             "{doc}"
         );
         // The document must survive its own serialization.
@@ -402,5 +446,15 @@ mod tests {
         assert!(violations[0].contains("p95") && violations[0].contains("exceeds ceiling"));
         let p95_missing = Json::parse(r#"{"max_p95_ms":{"sweep":1}}"#).unwrap();
         assert!(budget_violations(&bench, &p95_missing)[0].contains("no samples"));
+        // First-point ceilings read the time_to_first_point section.
+        let fp_loose = Json::parse(r#"{"max_first_point_p95_ms":{"sweepstream":60000}}"#).unwrap();
+        assert_eq!(budget_violations(&bench, &fp_loose), Vec::<String>::new());
+        let fp_tight = Json::parse(r#"{"max_first_point_p95_ms":{"sweepstream":1}}"#).unwrap();
+        let violations = budget_violations(&bench, &fp_tight);
+        assert!(violations[0].contains("first-point p95") && violations[0].contains("exceeds"));
+        // A first-point ceiling on a buffered op (no streamed samples)
+        // is flagged, not silently skipped.
+        let fp_missing = Json::parse(r#"{"max_first_point_p95_ms":{"recommend":100}}"#).unwrap();
+        assert!(budget_violations(&bench, &fp_missing)[0].contains("no samples"));
     }
 }

@@ -11,7 +11,8 @@
 //!
 //! * `timestamp_ms` — event offset from trace start, non-decreasing.
 //! * `tenant` — the `x-tenant` the request is issued under.
-//! * `op` — `recommend`, `sweep`, or `clean`.
+//! * `op` — `recommend`, `sweep`, `sweepstream` (the same sweep
+//!   issued with `?stream=1` and consumed point-by-point), or `clean`.
 //! * `spec` — objective token for solve ops (`bias`, `dup`, `frag`,
 //!   or `measure@maxprτ` e.g. `bias@maxpr5`; an optional `~strategy`
 //!   suffix pins the solver, e.g. `dup~slow`); `-` for `clean`.
@@ -28,6 +29,10 @@ pub enum Op {
     Recommend,
     /// `POST /v1/sweep` — one plan per budget point.
     Sweep,
+    /// `POST /v1/sweep?stream=1` — the same sweep consumed as a
+    /// chunked stream, one point at a time (records time to first
+    /// point alongside total latency).
+    SweepStream,
     /// `POST /v1/streams/{id}/clean` — reveal objects, invalidating
     /// affected cache entries.
     Clean,
@@ -39,6 +44,7 @@ impl Op {
         match self {
             Op::Recommend => "recommend",
             Op::Sweep => "sweep",
+            Op::SweepStream => "sweepstream",
             Op::Clean => "clean",
         }
     }
@@ -47,6 +53,7 @@ impl Op {
         match token {
             "recommend" => Some(Op::Recommend),
             "sweep" => Some(Op::Sweep),
+            "sweepstream" => Some(Op::SweepStream),
             "clean" => Some(Op::Clean),
             _ => None,
         }
@@ -173,7 +180,9 @@ impl Trace {
             })?;
             let op = Op::parse(op).ok_or_else(|| TraceError {
                 line,
-                reason: format!("unknown op {op:?} (expected recommend, sweep, or clean)"),
+                reason: format!(
+                    "unknown op {op:?} (expected recommend, sweep, sweepstream, or clean)"
+                ),
             })?;
             events.push(TraceEvent {
                 timestamp_ms,
@@ -224,6 +233,7 @@ mod tests {
         let trace = Trace::new(vec![
             event(0, "newsroom", Op::Recommend, "dup", "f0.2"),
             event(3, "api", Op::Sweep, "bias@maxpr5", "f0.05,f0.1,f0.15"),
+            event(3, "api", Op::SweepStream, "dup", "f0.05,f0.1"),
             event(3, "batch", Op::Clean, "-", "k3"),
             event(17, "newsroom", Op::Recommend, "frag", "a2"),
         ])

@@ -3,23 +3,36 @@
 //!
 //! Everything that crosses the wire has a struct here —
 //! [`RecommendRequest`], [`SweepRequest`], [`CleanRequest`] /
-//! [`CleanResponse`], [`PlanView`], [`StatsResponse`] — with
-//! `from_json`/`to_json` (and `encode`/`decode` string conveniences)
-//! that are the **single** source of truth for field names and
-//! validation messages. The server routes decode requests through
-//! these types, the [`ApiClient`](super::client::ApiClient) and the
-//! load replayer encode through them, and the shard router decodes
-//! responses through them to aggregate and compare — so a renamed
-//! field breaks loudly at one definition instead of silently at N
-//! hand-built call sites. The raw [`post`](super::client::post) /
+//! [`CleanResponse`], [`CreateStreamRequest`] / [`StreamInfo`],
+//! [`PlanView`], [`StatsResponse`] — with `from_json`/`to_json` (and
+//! `encode`/`decode` string conveniences) that are the **single**
+//! source of truth for field names and validation messages. The
+//! server routes decode requests through these types, the
+//! [`ApiClient`](super::client::ApiClient) and the load replayer
+//! encode through them, and the shard router decodes responses
+//! through them to aggregate and compare — so a renamed field breaks
+//! loudly at one definition instead of silently at N hand-built call
+//! sites. The raw [`post`](super::client::post) /
 //! [`get`](super::client::get) helpers stay public precisely so tests
 //! can still send malformed bodies past the typed layer.
+//!
+//! The response encoders whose *bytes* are contracts also live here:
+//! [`plan_identity_json`] covers exactly the fields
+//! [`Plan::divergence`](fc_core::Plan::divergence) covers (selection,
+//! cost, goal, bit-exact objectives, strategy), with floats written
+//! shortest-round-trip — so two plans encode to the same bytes iff
+//! `divergence` reports `None`. The full [`plan_json`] adds the
+//! diagnostics counters, which are observability, not plan content
+//! (`divergence` ignores them; so do the gates).
 
+use fc_claims::{ClaimSet, Direction, LinearClaim};
 use fc_core::planner::service::{QuotaUsage, ServiceStats, TenantId};
-use fc_core::{Budget, CacheStats, CoreError};
+use fc_core::{Budget, CacheStats, CoreError, GaussianInstance, Instance, Plan};
+use fc_uncertain::DiscreteDist;
 
 use super::json::Json;
 use crate::planner::{Goal, Measure, ObjectiveSpec, Strategy};
+use crate::session::DataModel;
 
 /// A request that cannot be served, mapped to an HTTP status.
 #[derive(Debug)]
@@ -529,6 +542,124 @@ impl PlanView {
     }
 }
 
+/// The divergence-relevant fields of a plan (see the module docs):
+/// equal encodings ⇔ [`Plan::divergence`](fc_core::Plan::divergence)
+/// `None`.
+pub fn plan_identity_json(plan: &Plan) -> Json {
+    Json::obj([
+        ("strategy", Json::Str(plan.strategy.clone())),
+        ("goal", goal_json(plan.goal)),
+        (
+            "objects",
+            Json::Arr(
+                plan.selection
+                    .objects()
+                    .iter()
+                    .map(|&o| Json::Num(o as f64))
+                    .collect(),
+            ),
+        ),
+        ("cost", Json::Num(plan.selection.cost() as f64)),
+        ("before", Json::Num(plan.before)),
+        ("after", Json::Num(plan.after)),
+    ])
+}
+
+/// Full plan encoding: the identity fields plus the observability
+/// diagnostics.
+pub fn plan_json(plan: &Plan) -> Json {
+    let Json::Obj(mut fields) = plan_identity_json(plan) else {
+        unreachable!("plan_identity_json returns an object")
+    };
+    fields.push((
+        "diagnostics".to_string(),
+        Json::obj([
+            (
+                "engine_evals",
+                Json::Num(plan.diagnostics.engine_evals as f64),
+            ),
+            ("candidates", Json::Num(plan.diagnostics.candidates as f64)),
+            ("store_hits", Json::Num(plan.diagnostics.store_hits as f64)),
+            (
+                "store_misses",
+                Json::Num(plan.diagnostics.store_misses as f64),
+            ),
+        ]),
+    ));
+    Json::Obj(fields)
+}
+
+/// `GET /v1/stats` body: the service counters and gauges, the shared
+/// store's counters, and per-tenant saturation (every tenant with
+/// in-flight work or an explicit quota policy).
+pub fn stats_json(
+    service: &ServiceStats,
+    store: &CacheStats,
+    tenants: &[(TenantId, QuotaUsage)],
+) -> Json {
+    Json::obj([
+        (
+            "service",
+            Json::obj([
+                ("submitted", Json::Num(service.submitted as f64)),
+                ("completed", Json::Num(service.completed as f64)),
+                ("inline", Json::Num(service.inline as f64)),
+                ("interactive", Json::Num(service.interactive as f64)),
+                ("bulk", Json::Num(service.bulk as f64)),
+                ("panics", Json::Num(service.panics as f64)),
+                ("cancelled", Json::Num(service.cancelled as f64)),
+                ("quota_rejected", Json::Num(service.quota_rejected as f64)),
+                (
+                    "queued_interactive",
+                    Json::Num(service.queued_interactive as f64),
+                ),
+                ("queued_bulk", Json::Num(service.queued_bulk as f64)),
+                ("in_flight", Json::Num(service.in_flight as f64)),
+                (
+                    "running_interactive",
+                    Json::Num(service.running_interactive as f64),
+                ),
+                ("running_bulk", Json::Num(service.running_bulk as f64)),
+            ]),
+        ),
+        (
+            "tenants",
+            Json::Obj(
+                tenants
+                    .iter()
+                    .map(|(tenant, usage)| {
+                        (
+                            tenant.name().to_string(),
+                            Json::obj([
+                                ("in_flight", Json::Num(usage.in_flight as f64)),
+                                (
+                                    "outstanding_evals",
+                                    Json::Num(usage.outstanding_evals as f64),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "store",
+            Json::obj([
+                ("hits", Json::Num(store.hits as f64)),
+                ("misses", Json::Num(store.misses as f64)),
+                ("evictions", Json::Num(store.evictions as f64)),
+                ("scoped_builds", Json::Num(store.scoped_builds as f64)),
+                (
+                    "scoped_build_evals",
+                    Json::Num(store.scoped_build_evals as f64),
+                ),
+                ("invalidations", Json::Num(store.invalidations as f64)),
+                ("entries", Json::Num(store.entries as f64)),
+            ]),
+        ),
+    ])
+}
+
 /// A decoded `GET /v1/stats` body: service counters, store counters,
 /// and per-tenant saturation. The shard router aggregates these across
 /// backends into one body of the same shape, so every invariant a
@@ -551,7 +682,7 @@ impl StatsResponse {
             .iter()
             .map(|(name, usage)| (TenantId::from(name.as_str()), *usage))
             .collect();
-        super::wire::stats_json(&self.service, &self.store, &tenants)
+        stats_json(&self.service, &self.store, &tenants)
     }
 
     /// Parses a stats body.
@@ -665,9 +796,523 @@ pub fn decode_body<T>(
     decode(&body)
 }
 
+fn f64_array(v: Option<&Json>, what: &str) -> Result<Vec<f64>, ApiError> {
+    v.and_then(Json::as_array)
+        .and_then(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<_>>>())
+        .ok_or_else(|| ApiError::bad_request(format!("missing {what:?} (an array of numbers)")))
+}
+
+fn u64_array(v: Option<&Json>, what: &str) -> Result<Vec<u64>, ApiError> {
+    v.and_then(Json::as_array)
+        .and_then(|items| items.iter().map(Json::as_u64).collect::<Option<Vec<_>>>())
+        .ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "missing {what:?} (an array of non-negative integers)"
+            ))
+        })
+}
+
+fn claim_json(claim: &LinearClaim) -> Json {
+    Json::obj([
+        (
+            "terms",
+            Json::Arr(
+                claim
+                    .terms()
+                    .iter()
+                    .map(|&(i, w)| Json::Arr(vec![Json::Num(i as f64), Json::Num(w)]))
+                    .collect(),
+            ),
+        ),
+        ("bias", Json::Num(claim.bias_term())),
+    ])
+}
+
+fn claim_from_json(v: &Json) -> Result<LinearClaim, ApiError> {
+    let terms = v
+        .get("terms")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad_request("claim missing \"terms\" (an array of pairs)"))?
+        .iter()
+        .map(|pair| {
+            let items = pair.as_array()?;
+            match items {
+                [object, weight] => Some((object.as_usize()?, weight.as_f64()?)),
+                _ => None,
+            }
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| {
+            ApiError::bad_request("claim \"terms\" must be [object index, weight] pairs")
+        })?;
+    let bias = match v.get("bias") {
+        None => 0.0,
+        Some(b) => b
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request("claim \"bias\" must be a number"))?,
+    };
+    LinearClaim::new(terms, bias).map_err(|e| ApiError::bad_request(e.to_string()))
+}
+
+/// Encodes a [`ClaimSet`] for the wire: the original claim, the
+/// perturbation family, the (normalized) sensibilities, and the
+/// strength direction. Inverse of [`claims_from_json`].
+pub fn claims_json(claims: &ClaimSet) -> Json {
+    Json::obj([
+        ("original", claim_json(claims.original())),
+        (
+            "perturbations",
+            Json::Arr(claims.perturbations().iter().map(claim_json).collect()),
+        ),
+        (
+            "sensibilities",
+            Json::Arr(
+                claims
+                    .sensibilities()
+                    .iter()
+                    .map(|&s| Json::Num(s))
+                    .collect(),
+            ),
+        ),
+        (
+            "direction",
+            Json::Str(
+                match claims.direction() {
+                    Direction::HigherIsStronger => "higher",
+                    Direction::LowerIsStronger => "lower",
+                }
+                .to_string(),
+            ),
+        ),
+    ])
+}
+
+/// Parses and validates a wire [`ClaimSet`]: perturbations and
+/// sensibilities must be parallel, sensibilities non-negative with a
+/// positive total (they are re-normalized to sum to 1, so a round
+/// trip is stable).
+pub fn claims_from_json(v: &Json) -> Result<ClaimSet, ApiError> {
+    let original = claim_from_json(
+        v.get("original")
+            .ok_or_else(|| ApiError::bad_request("claims missing \"original\""))?,
+    )?;
+    let perturbations = v
+        .get("perturbations")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad_request("claims missing \"perturbations\" (an array)"))?
+        .iter()
+        .map(claim_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let sensibilities = f64_array(v.get("sensibilities"), "sensibilities")?;
+    let direction = match v.get("direction").and_then(Json::as_str) {
+        Some("higher") => Direction::HigherIsStronger,
+        Some("lower") => Direction::LowerIsStronger,
+        _ => {
+            return Err(ApiError::bad_request(
+                "claims missing \"direction\" (\"higher\" or \"lower\")",
+            ))
+        }
+    };
+    ClaimSet::new(original, perturbations, sensibilities, direction)
+        .map_err(|e| ApiError::bad_request(e.to_string()))
+}
+
+/// Encodes a [`DataModel`] for the wire: discrete marginals as
+/// `{"discrete": {dists, current, costs}}`, independent Gaussians as
+/// `{"gaussian": {means, sds, current, costs}}`. Correlated Gaussian
+/// models have no wire encoding (covariance never crosses this front)
+/// and are refused.
+pub fn data_model_json(data: &DataModel) -> Result<Json, ApiError> {
+    match data {
+        DataModel::Discrete(instance) => Ok(Json::obj([(
+            "discrete",
+            Json::obj([
+                (
+                    "dists",
+                    Json::Arr(
+                        (0..instance.len())
+                            .map(|i| {
+                                let dist = instance.dist(i);
+                                Json::obj([
+                                    (
+                                        "values",
+                                        Json::Arr(
+                                            dist.values().iter().map(|&v| Json::Num(v)).collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "probs",
+                                        Json::Arr(
+                                            dist.probs().iter().map(|&p| Json::Num(p)).collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "current",
+                    Json::Arr(instance.current().iter().map(|&v| Json::Num(v)).collect()),
+                ),
+                (
+                    "costs",
+                    Json::Arr(
+                        instance
+                            .costs()
+                            .iter()
+                            .map(|&c| Json::Num(c as f64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )])),
+        DataModel::Gaussian(instance) => {
+            if !instance.is_independent() {
+                return Err(ApiError::bad_request(
+                    "correlated Gaussian models have no wire encoding",
+                ));
+            }
+            Ok(Json::obj([(
+                "gaussian",
+                Json::obj([
+                    (
+                        "means",
+                        Json::Arr(
+                            (0..instance.len())
+                                .map(|i| Json::Num(instance.mean(i)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "sds",
+                        Json::Arr(
+                            (0..instance.len())
+                                .map(|i| Json::Num(instance.sd(i)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "current",
+                        Json::Arr(instance.current().iter().map(|&v| Json::Num(v)).collect()),
+                    ),
+                    (
+                        "costs",
+                        Json::Arr(
+                            instance
+                                .costs()
+                                .iter()
+                                .map(|&c| Json::Num(c as f64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            )]))
+        }
+    }
+}
+
+/// Parses and validates a wire [`DataModel`]. All the instance
+/// invariants (parallel lengths, positive costs, valid probability
+/// tables) are enforced here, so a decoded model is ready to build a
+/// session from; violations map to typed 400s.
+pub fn data_model_from_json(v: &Json) -> Result<DataModel, ApiError> {
+    if let Some(d) = v.get("discrete") {
+        let dists = d
+            .get("dists")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ApiError::bad_request("discrete data missing \"dists\" (an array)"))?
+            .iter()
+            .map(|dist| {
+                let values = f64_array(dist.get("values"), "values")?;
+                let probs = f64_array(dist.get("probs"), "probs")?;
+                DiscreteDist::from_parts(&values, &probs)
+                    .map_err(|e| ApiError::from(CoreError::from(e)))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let current = f64_array(d.get("current"), "current")?;
+        let costs = u64_array(d.get("costs"), "costs")?;
+        return Instance::new(dists, current, costs)
+            .map(DataModel::Discrete)
+            .map_err(ApiError::from);
+    }
+    if let Some(g) = v.get("gaussian") {
+        let means = f64_array(g.get("means"), "means")?;
+        let sds = f64_array(g.get("sds"), "sds")?;
+        let current = f64_array(g.get("current"), "current")?;
+        let costs = u64_array(g.get("costs"), "costs")?;
+        if sds.len() != means.len() {
+            return Err(ApiError::from(CoreError::LengthMismatch {
+                what: "sds",
+                expected: means.len(),
+                got: sds.len(),
+            }));
+        }
+        return GaussianInstance::independent(means, &sds, current, costs)
+            .map(DataModel::Gaussian)
+            .map_err(ApiError::from);
+    }
+    Err(ApiError::bad_request(
+        "data must be {\"discrete\": …} or {\"gaussian\": …}",
+    ))
+}
+
+/// `POST /v1/streams`: create a stream from an uploaded dataset. The
+/// decoded payload is fully validated — the server only has to build a
+/// session around it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateStreamRequest {
+    /// The new stream's id.
+    pub id: String,
+    /// Default tenant for the stream's submissions (optional).
+    pub tenant: Option<String>,
+    /// Reference value `θ` override (default: the original claim's
+    /// value on the current data).
+    pub theta: Option<f64>,
+    /// Support size for Gaussian discretization under non-affine
+    /// measures (optional).
+    pub discretize_support: Option<usize>,
+    /// The uncertain data.
+    pub data: DataModel,
+    /// The claim family under check.
+    pub claims: ClaimSet,
+}
+
+impl CreateStreamRequest {
+    /// The wire body. Fails only for data with no wire encoding
+    /// (a correlated Gaussian model).
+    pub fn to_json(&self) -> Result<Json, ApiError> {
+        let mut fields = vec![("id".to_string(), Json::Str(self.id.clone()))];
+        if let Some(tenant) = &self.tenant {
+            fields.push(("tenant".to_string(), Json::Str(tenant.clone())));
+        }
+        if let Some(theta) = self.theta {
+            fields.push(("theta".to_string(), Json::Num(theta)));
+        }
+        if let Some(k) = self.discretize_support {
+            fields.push(("discretize_support".to_string(), Json::Num(k as f64)));
+        }
+        fields.push(("data".to_string(), data_model_json(&self.data)?));
+        fields.push(("claims".to_string(), claims_json(&self.claims)));
+        Ok(Json::Obj(fields))
+    }
+
+    /// Parses and validates a request body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let id = body
+            .get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ApiError::bad_request("missing \"id\" (the new stream's id)"))?;
+        if id.is_empty() {
+            return Err(ApiError::bad_request("\"id\" must be non-empty"));
+        }
+        let tenant = match body.get("tenant") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| ApiError::bad_request("\"tenant\" must be a string"))?
+                    .to_string(),
+            ),
+        };
+        let theta = match body.get("theta") {
+            None => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| ApiError::bad_request("\"theta\" must be a number"))?,
+            ),
+        };
+        let discretize_support = match body.get("discretize_support") {
+            None => None,
+            Some(v) => Some(v.as_usize().ok_or_else(|| {
+                ApiError::bad_request("\"discretize_support\" must be a non-negative integer")
+            })?),
+        };
+        let data = data_model_from_json(
+            body.get("data")
+                .ok_or_else(|| ApiError::bad_request("missing \"data\""))?,
+        )?;
+        let claims = claims_from_json(
+            body.get("claims")
+                .ok_or_else(|| ApiError::bad_request("missing \"claims\""))?,
+        )?;
+        if let Some(&object) = claims
+            .original()
+            .objects()
+            .iter()
+            .chain(claims.perturbations().iter().flat_map(|p| {
+                // Indices live in sorted sparse terms; borrow-friendly
+                // iteration over each perturbation's objects.
+                p.terms().iter().map(|(i, _)| i)
+            }))
+            .find(|&&i| i >= data.len())
+        {
+            return Err(ApiError::from(CoreError::BadObject {
+                object,
+                len: data.len(),
+            }));
+        }
+        Ok(Self {
+            id,
+            tenant,
+            theta,
+            discretize_support,
+            data,
+            claims,
+        })
+    }
+
+    /// The serialized body string (fallible like
+    /// [`CreateStreamRequest::to_json`]).
+    pub fn encode(&self) -> Result<String, ApiError> {
+        Ok(self.to_json()?.to_string())
+    }
+}
+
+/// The `GET /v1/streams/{id}` body (and the `201` body of a create):
+/// a summary of one live stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamInfo {
+    /// The stream id.
+    pub id: String,
+    /// The default tenant its submissions are accounted to.
+    pub tenant: String,
+    /// `"discrete"` or `"gaussian"`.
+    pub model: String,
+    /// Number of objects in the dataset.
+    pub objects: usize,
+    /// Total cost of cleaning everything.
+    pub total_cost: u64,
+    /// The original claim's reference value `θ`.
+    pub theta: f64,
+    /// Number of perturbations in the claim family.
+    pub perturbations: usize,
+}
+
+impl StreamInfo {
+    /// The wire body.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("tenant", Json::Str(self.tenant.clone())),
+            ("model", Json::Str(self.model.clone())),
+            ("objects", Json::Num(self.objects as f64)),
+            ("total_cost", Json::Num(self.total_cost as f64)),
+            ("theta", Json::Num(self.theta)),
+            ("perturbations", Json::Num(self.perturbations as f64)),
+        ])
+    }
+
+    /// Parses a stream summary body.
+    pub fn from_json(v: &Json) -> Result<Self, ApiError> {
+        let missing = |name: &str| ApiError::bad_request(format!("stream info missing {name:?}"));
+        let str_field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| missing(name))
+        };
+        Ok(Self {
+            id: str_field("id")?,
+            tenant: str_field("tenant")?,
+            model: str_field("model")?,
+            objects: v
+                .get("objects")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("objects"))?,
+            total_cost: v
+                .get("total_cost")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("total_cost"))?,
+            theta: v
+                .get("theta")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing("theta"))?,
+            perturbations: v
+                .get("perturbations")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| missing("perturbations"))?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_parsing_covers_measures_goals_strategies() {
+        let spec = spec_from_json(&Json::parse(r#"{"measure":"dup"}"#).unwrap()).unwrap();
+        assert_eq!(spec.measure, Measure::Dup);
+        assert_eq!(spec.goal, Goal::MinVar);
+        assert_eq!(spec.strategy, Strategy::Auto);
+
+        let spec = spec_from_json(
+            &Json::parse(r#"{"measure":"bias","goal":{"maxpr":5.5},"strategy":"greedy"}"#).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(spec.goal, Goal::MaxPr { tau } if tau == 5.5));
+        assert_eq!(spec.strategy.key(), "greedy");
+
+        let spec = spec_from_json(
+            &Json::parse(r#"{"measure":"frag","goal":"minvar","strategy":"auto"}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.strategy, Strategy::Auto);
+
+        for bad in [
+            r#"{}"#,
+            r#"{"measure":"nope"}"#,
+            r#"{"measure":"dup","goal":"nope"}"#,
+            r#"{"measure":"dup","goal":{"maxpr":"x"}}"#,
+            r#"{"measure":"dup","strategy":3}"#,
+        ] {
+            let err = spec_from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(
+            budget_from_json(&Json::Num(3.0), 10).unwrap(),
+            Budget::absolute(3)
+        );
+        assert_eq!(
+            budget_from_json(&Json::parse(r#"{"absolute":4}"#).unwrap(), 10).unwrap(),
+            Budget::absolute(4)
+        );
+        assert_eq!(
+            budget_from_json(&Json::parse(r#"{"fraction":0.5}"#).unwrap(), 10).unwrap(),
+            Budget::absolute(5)
+        );
+        for bad in ["-1", "1.5", r#"{"fraction":"x"}"#, "\"x\""] {
+            assert!(
+                budget_from_json(&Json::parse(bad).unwrap(), 10).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn core_errors_map_to_statuses() {
+        assert_eq!(
+            ApiError::from(CoreError::QuotaExceeded {
+                tenant: "t".into(),
+                reason: "r".into()
+            })
+            .status,
+            429
+        );
+        assert_eq!(
+            ApiError::from(CoreError::WorkerPanicked { detail: "d".into() }).status,
+            500
+        );
+        assert_eq!(
+            ApiError::from(CoreError::UnknownStrategy { name: "n".into() }).status,
+            400
+        );
+    }
 
     #[test]
     fn recommend_round_trips() {
@@ -746,6 +1391,173 @@ mod tests {
             ..plan.clone()
         };
         assert_eq!(identity, warm.identity_json().to_string());
+    }
+
+    fn discrete_model() -> DataModel {
+        DataModel::Discrete(
+            Instance::new(
+                vec![
+                    DiscreteDist::from_parts(&[9.0, 10.0, 11.0], &[0.25, 0.5, 0.25]).unwrap(),
+                    DiscreteDist::from_parts(&[19.0, 21.0], &[0.5, 0.5]).unwrap(),
+                ],
+                vec![10.0, 20.0],
+                vec![1, 2],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn two_object_claims() -> ClaimSet {
+        ClaimSet::new(
+            LinearClaim::new([(0, 1.0), (1, 1.0)], 0.0).unwrap(),
+            vec![
+                LinearClaim::new([(0, 1.0)], 2.5).unwrap(),
+                LinearClaim::new([(1, -1.0)], 0.0).unwrap(),
+            ],
+            vec![3.0, 1.0],
+            Direction::HigherIsStronger,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_stream_round_trips_both_models() {
+        let req = CreateStreamRequest {
+            id: "cdc".into(),
+            tenant: Some("newsroom".into()),
+            theta: Some(30.0),
+            discretize_support: Some(4),
+            data: discrete_model(),
+            claims: two_object_claims(),
+        };
+        let body = req.encode().unwrap();
+        let decoded = decode_body(&body, CreateStreamRequest::from_json).unwrap();
+        assert_eq!(decoded, req);
+        // Re-encoding the decoded request is byte-stable (sensibilities
+        // land normalized, term lists sorted).
+        assert_eq!(decoded.encode().unwrap(), body);
+
+        let req = CreateStreamRequest {
+            id: "gauss".into(),
+            tenant: None,
+            theta: None,
+            discretize_support: None,
+            data: DataModel::Gaussian(
+                GaussianInstance::independent(
+                    vec![10.0, 20.0],
+                    &[1.0, 0.5],
+                    vec![10.5, 19.5],
+                    vec![2, 3],
+                )
+                .unwrap(),
+            ),
+            claims: two_object_claims(),
+        };
+        let body = req.encode().unwrap();
+        assert!(!body.contains("tenant"), "{body}");
+        let decoded = decode_body(&body, CreateStreamRequest::from_json).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn create_stream_rejections_are_typed_400s() {
+        let good = CreateStreamRequest {
+            id: "s".into(),
+            tenant: None,
+            theta: None,
+            discretize_support: None,
+            data: discrete_model(),
+            claims: two_object_claims(),
+        };
+        let Json::Obj(fields) = good.to_json().unwrap() else {
+            unreachable!()
+        };
+        let without = |name: &str| {
+            Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k != name)
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            )
+            .to_string()
+        };
+        for (body, needle) in [
+            (without("id"), "\"id\""),
+            (without("data"), "\"data\""),
+            (without("claims"), "\"claims\""),
+        ] {
+            let err = decode_body(&body, CreateStreamRequest::from_json).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains(needle), "{}", err.message);
+        }
+
+        // Instance invariants surface as 400s: mismatched lengths, zero
+        // costs, bad probability tables, out-of-range claim objects.
+        for bad in [
+            r#"{"discrete":{"dists":[{"values":[1],"probs":[1]}],"current":[1,2],"costs":[1]}}"#,
+            r#"{"discrete":{"dists":[{"values":[1],"probs":[1]}],"current":[1],"costs":[0]}}"#,
+            r#"{"discrete":{"dists":[{"values":[1],"probs":[0.4]}],"current":[1],"costs":[1]}}"#,
+            r#"{"gaussian":{"means":[1,2],"sds":[1],"current":[1,2],"costs":[1,1]}}"#,
+            r#"{"nope":{}}"#,
+        ] {
+            let err = data_model_from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{bad}");
+        }
+        let wide_claim = Json::parse(
+            r#"{"id":"s","data":{"discrete":{"dists":[{"values":[1],"probs":[1]}],
+                "current":[1],"costs":[1]}},
+                "claims":{"original":{"terms":[[7,1]],"bias":0},
+                "perturbations":[],"sensibilities":[],"direction":"higher"}}"#,
+        )
+        .unwrap();
+        // An empty perturbation family is also invalid, but the
+        // out-of-range object is checked against a 1-object dataset
+        // only after the claims parse, so give it one perturbation.
+        let wide_claim = Json::parse(
+            &wide_claim
+                .to_string()
+                .replace(
+                    "\"perturbations\":[]",
+                    "\"perturbations\":[{\"terms\":[[0,1]]}]",
+                )
+                .replace("\"sensibilities\":[]", "\"sensibilities\":[1]"),
+        )
+        .unwrap();
+        let err = CreateStreamRequest::from_json(&wide_claim).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("out of range"), "{}", err.message);
+    }
+
+    #[test]
+    fn correlated_gaussian_has_no_wire_encoding() {
+        let mvn = fc_uncertain::MultivariateNormal::new(
+            vec![0.0, 0.0],
+            fc_uncertain::SymMatrix::from_rows(2, &[1.0, 0.5, 0.5, 1.0]).unwrap(),
+        )
+        .unwrap();
+        let data = DataModel::Gaussian(
+            GaussianInstance::with_mvn(mvn, vec![0.0, 0.0], vec![1, 1]).unwrap(),
+        );
+        let err = data_model_json(&data).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn stream_info_round_trips() {
+        let info = StreamInfo {
+            id: "cdc".into(),
+            tenant: "newsroom".into(),
+            model: "discrete".into(),
+            objects: 5,
+            total_cost: 9,
+            theta: 30.5,
+            perturbations: 3,
+        };
+        let decoded =
+            StreamInfo::from_json(&Json::parse(&info.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(decoded, info);
+        assert!(StreamInfo::from_json(&Json::parse("{}").unwrap()).is_err());
     }
 
     #[allow(clippy::field_reassign_with_default)]

@@ -1,9 +1,9 @@
 //! A minimal blocking HTTP/1.1 client for the front —
-//! `Content-Length` framing, no redirects, no TLS. This is the
-//! counterpart the examples, integration tests, CI gates, and the load
-//! harness drive the server with (the environment has no `curl`
-//! guarantee and no registry client crates); it is deliberately small,
-//! not a general HTTP client.
+//! `Content-Length` and chunked response framing, no redirects, no
+//! TLS. This is the counterpart the examples, integration tests, CI
+//! gates, and the load harness drive the server with (the environment
+//! has no `curl` guarantee and no registry client crates); it is
+//! deliberately small, not a general HTTP client.
 //!
 //! Two tiers: the free functions ([`post`], [`get`], [`request`]) open
 //! a fresh connection per request — fine for one-shot smoke checks;
@@ -12,6 +12,14 @@
 //! threads), which is what a replayer issuing thousands of requests
 //! needs to avoid paying connect latency — and burning ephemeral
 //! ports — per request.
+//!
+//! Streamed sweeps have a third shape: [`SweepStream`] holds a
+//! dedicated (never pooled) connection to `POST /v1/sweep?stream=1`
+//! and yields each plan as its chunk arrives, so a caller can act on
+//! the first budget point while later ones are still solving. The
+//! buffered readers also decode chunked responses — by concatenating
+//! every chunk — which is exactly the byte-identity gate: a streamed
+//! sweep read through [`post`] must equal the buffered response.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -20,12 +28,26 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use super::api::{
-    ApiError, CleanRequest, CleanResponse, PlanView, RecommendRequest, StatsResponse, SweepRequest,
+    ApiError, CleanRequest, CleanResponse, CreateStreamRequest, PlanView, RecommendRequest,
+    StatsResponse, StreamInfo, SweepRequest,
 };
+use super::http::ERROR_TRAILER;
 use super::json::Json;
 
 /// Read timeout applied by [`read_response`] when the socket has none.
 const DEFAULT_RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Longest acceptable chunk-size line (hex digits); a `usize` is at
+/// most 16 nibbles, so anything longer is garbage, not a big chunk.
+const MAX_CHUNK_SIZE_LINE: usize = 16;
+
+/// Largest single chunk payload accepted (matches the order of the
+/// server's own body cap; a hostile size line must not make the client
+/// allocate unboundedly).
+const MAX_CHUNK_SIZE: usize = 1 << 26;
+
+/// Longest acceptable trailer line after the terminal chunk.
+const MAX_TRAILER_LINE: usize = 1024;
 
 /// Writes one request on `sock` (keep-alive framing: the connection
 /// stays usable for [`read_response`] and further requests). `headers`
@@ -48,42 +70,56 @@ pub fn write_request(
 
 /// Reads one framed response off `reader`: (status, body, close) where
 /// `close` reports a `connection: close` header — the server will not
-/// serve another request on this connection.
+/// serve another request on this connection. Chunked responses are
+/// decoded by concatenating every chunk (and always report `close`:
+/// the server ends the connection after a stream); a mid-stream error
+/// trailer surfaces as an [`io::ErrorKind::InvalidData`] error, since
+/// the body it interrupted is incomplete.
 fn read_framed_response(reader: &mut impl BufRead) -> io::Result<(u16, String, bool)> {
-    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
-    let mut status_line = String::new();
-    if reader.read_line(&mut status_line)? == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed before response",
-        ));
-    }
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("malformed status line"))?;
-    let mut content_length = 0usize;
-    let mut close = false;
+    let mut raw: Vec<u8> = Vec::new();
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
+        if let Some(response) = parse_framed_response(&raw)? {
+            return Ok(response);
         }
-        let lower = line.to_ascii_lowercase();
-        if let Some(v) = lower.strip_prefix("content-length:") {
-            content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
-        } else if let Some(v) = lower.strip_prefix("connection:") {
-            close = v.trim() == "close";
+        // The server answers in lockstep (no pipelining), so consuming
+        // everything buffered never eats into a next response.
+        let eof = raw_eof_error(&raw);
+        fill(reader, &mut raw, eof)?;
+    }
+}
+
+/// One blocking read appended onto `raw`; EOF maps to `eof` (callers
+/// phrase it for their framing position).
+fn fill(reader: &mut impl BufRead, raw: &mut Vec<u8>, eof: &str) -> io::Result<()> {
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    eof.to_string(),
+                ))
+            }
+            Ok(chunk) => {
+                raw.extend_from_slice(chunk);
+                let n = chunk.len();
+                reader.consume(n);
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    String::from_utf8(body)
-        .map(|body| (status, body, close))
-        .map_err(|_| bad("non-UTF-8 body"))
+}
+
+/// EOF phrasing for the buffered reader: a close before any bytes is
+/// the stale-keep-alive signal pools retry on; a close mid-response is
+/// a harder failure.
+fn raw_eof_error(raw: &[u8]) -> &'static str {
+    if raw.is_empty() {
+        "connection closed before response"
+    } else {
+        "connection closed mid-response"
+    }
 }
 
 /// Reads one response from `sock`: returns (status, body). Applies a
@@ -231,12 +267,25 @@ impl Conn {
     }
 }
 
-/// Attempts to parse one complete framed response from `raw`:
-/// `Ok(None)` when more bytes are needed, `Ok(Some((status, body,
-/// close)))` on success, and the same typed errors as the blocking
-/// reader on malformed framing.
-fn parse_framed_response(raw: &[u8]) -> io::Result<Option<(u16, String, bool)>> {
-    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// A parsed response head: everything before the body bytes. Shared
+/// with the router, which relays response framing it did not author.
+#[derive(Debug)]
+pub(crate) struct Head {
+    pub(crate) status: u16,
+    pub(crate) content_length: usize,
+    pub(crate) chunked: bool,
+    pub(crate) close: bool,
+    /// Offset of the first body byte in the raw buffer.
+    pub(crate) body_start: usize,
+}
+
+/// Attempts to parse a response head from `raw`: `Ok(None)` when the
+/// blank line has not arrived yet.
+pub(crate) fn parse_head(raw: &[u8]) -> io::Result<Option<Head>> {
     let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") else {
         return Ok(None);
     };
@@ -248,22 +297,341 @@ fn parse_framed_response(raw: &[u8]) -> io::Result<Option<(u16, String, bool)>> 
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length = 0usize;
+    let mut chunked = false;
     let mut close = false;
     for line in lines {
         let lower = line.to_ascii_lowercase();
         if let Some(v) = lower.strip_prefix("content-length:") {
             content_length = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+        } else if let Some(v) = lower.strip_prefix("transfer-encoding:") {
+            chunked = v.trim() == "chunked";
         } else if let Some(v) = lower.strip_prefix("connection:") {
             close = v.trim() == "close";
         }
     }
-    let body_start = head_end + 4;
-    if raw.len() < body_start + content_length {
+    Ok(Some(Head {
+        status,
+        content_length,
+        chunked,
+        close,
+        body_start: head_end + 4,
+    }))
+}
+
+/// Attempts to parse one complete framed response from `raw`:
+/// `Ok(None)` when more bytes are needed, `Ok(Some((status, body,
+/// close)))` on success, and the same typed errors as the blocking
+/// reader on malformed framing. A chunked body is concatenated whole
+/// (and forces `close` — the server ends the connection after a
+/// stream); its error trailer, if any, becomes an
+/// [`io::ErrorKind::InvalidData`] error.
+fn parse_framed_response(raw: &[u8]) -> io::Result<Option<(u16, String, bool)>> {
+    let Some(head) = parse_head(raw)? else {
+        return Ok(None);
+    };
+    if head.chunked {
+        return match parse_chunked_body(&raw[head.body_start..])? {
+            None => Ok(None),
+            Some((_, Some(error))) => Err(bad(&format!("mid-stream error: {error}"))),
+            Some((body, None)) => Ok(Some((head.status, body, true))),
+        };
+    }
+    if raw.len() < head.body_start + head.content_length {
         return Ok(None);
     }
-    let body = std::str::from_utf8(&raw[body_start..body_start + content_length])
+    let body = std::str::from_utf8(&raw[head.body_start..head.body_start + head.content_length])
         .map_err(|_| bad("non-UTF-8 body"))?;
-    Ok(Some((status, body.to_string(), close)))
+    Ok(Some((head.status, body.to_string(), head.close)))
+}
+
+/// One frame of a chunked response body.
+#[derive(Debug, PartialEq)]
+pub(crate) enum ChunkFrame {
+    /// A data chunk's payload.
+    Data(Vec<u8>),
+    /// The zero-length terminal chunk, with the error trailer when the
+    /// server aborted the stream mid-way.
+    End { error: Option<String> },
+}
+
+/// Attempts to parse one chunk frame from `raw`: `Ok(None)` when more
+/// bytes are needed, otherwise the frame plus how many bytes it
+/// consumed. Rejects garbage or oversized size lines *before* the
+/// line terminator arrives, so a hostile peer cannot stall or balloon
+/// the client.
+pub(crate) fn parse_chunk_frame(raw: &[u8]) -> io::Result<Option<(ChunkFrame, usize)>> {
+    let Some(line_end) = find_crlf(raw) else {
+        if raw.len() > MAX_CHUNK_SIZE_LINE {
+            return Err(bad("chunk size line too long"));
+        }
+        return Ok(None);
+    };
+    if line_end > MAX_CHUNK_SIZE_LINE {
+        return Err(bad("chunk size line too long"));
+    }
+    let line = std::str::from_utf8(&raw[..line_end]).map_err(|_| bad("bad chunk size"))?;
+    if line.is_empty() || !line.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(bad("bad chunk size"));
+    }
+    let size = usize::from_str_radix(line, 16).map_err(|_| bad("bad chunk size"))?;
+    if size > MAX_CHUNK_SIZE {
+        return Err(bad("chunk too large"));
+    }
+    let data_start = line_end + 2;
+    if size == 0 {
+        return parse_trailers(raw, data_start);
+    }
+    let end = data_start + size;
+    if raw.len() < end + 2 {
+        return Ok(None);
+    }
+    if &raw[end..end + 2] != b"\r\n" {
+        return Err(bad("chunk missing terminator"));
+    }
+    Ok(Some((
+        ChunkFrame::Data(raw[data_start..end].to_vec()),
+        end + 2,
+    )))
+}
+
+/// Parses the trailer section after a terminal chunk (zero or more
+/// header lines, then a blank line), capturing the error trailer.
+fn parse_trailers(raw: &[u8], mut at: usize) -> io::Result<Option<(ChunkFrame, usize)>> {
+    let mut error = None;
+    loop {
+        let Some(line_end) = find_crlf(&raw[at..]) else {
+            if raw.len() - at > MAX_TRAILER_LINE {
+                return Err(bad("trailer line too long"));
+            }
+            return Ok(None);
+        };
+        if line_end > MAX_TRAILER_LINE {
+            return Err(bad("trailer line too long"));
+        }
+        let line =
+            std::str::from_utf8(&raw[at..at + line_end]).map_err(|_| bad("non-UTF-8 trailer"))?;
+        at += line_end + 2;
+        if line.is_empty() {
+            return Ok(Some((ChunkFrame::End { error }, at)));
+        }
+        let prefix = format!("{ERROR_TRAILER}:");
+        if line.to_ascii_lowercase().starts_with(&prefix) {
+            error = Some(line[prefix.len()..].trim().to_string());
+        }
+    }
+}
+
+/// Position of the first `\r\n` in `raw`.
+fn find_crlf(raw: &[u8]) -> Option<usize> {
+    raw.windows(2).position(|w| w == b"\r\n")
+}
+
+/// Attempts to parse a whole chunked body from `raw`: `Ok(None)` when
+/// more bytes are needed, otherwise the concatenated payload and the
+/// error trailer (if the stream was aborted).
+fn parse_chunked_body(raw: &[u8]) -> io::Result<Option<(String, Option<String>)>> {
+    let mut at = 0;
+    let mut body: Vec<u8> = Vec::new();
+    loop {
+        match parse_chunk_frame(&raw[at..])? {
+            None => return Ok(None),
+            Some((ChunkFrame::Data(data), used)) => {
+                body.extend_from_slice(&data);
+                at += used;
+            }
+            Some((ChunkFrame::End { error }, _)) => {
+                let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+                return Ok(Some((body, error)));
+            }
+        }
+    }
+}
+
+/// An in-flight streamed sweep (`POST /v1/sweep?stream=1`): iterate to
+/// receive each budget point's plan as its chunk arrives — ascending
+/// budget order, first point available while later ones are still
+/// solving. Runs on a dedicated connection (never pooled: the server
+/// closes it after the stream), and dropping the iterator mid-stream
+/// closes that connection, which the server's disconnect probe turns
+/// into cancellation of the remaining points.
+///
+/// A mid-stream server failure arrives as the error trailer and is
+/// yielded as one final `Err`; after any `Err` (or the clean end) the
+/// iterator is fused.
+#[derive(Debug)]
+pub struct SweepStream {
+    reader: BufReader<TcpStream>,
+    raw: Vec<u8>,
+    prologue_seen: bool,
+    epilogue_seen: bool,
+    done: bool,
+}
+
+impl SweepStream {
+    /// Opens a dedicated connection to `addr` and submits `request`
+    /// with `stream=1`. A refusal (non-2xx, delivered buffered) is
+    /// decoded and returned here, so a constructed stream is live.
+    pub fn open(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+        request: &SweepRequest,
+        tenant: Option<&str>,
+    ) -> Result<Self, ClientError> {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_read_timeout(timeout.or(Some(DEFAULT_RESPONSE_TIMEOUT)))?;
+        sock.set_write_timeout(timeout)?;
+        sock.set_nodelay(true)?;
+        let mut writer = sock.try_clone()?;
+        let headers: &[(&str, &str)] = match tenant {
+            Some(tenant) => &[("x-tenant", tenant)],
+            None => &[],
+        };
+        write_request(
+            &mut writer,
+            "POST",
+            "/v1/sweep?stream=1",
+            headers,
+            &request.encode(),
+        )?;
+        let mut reader = BufReader::new(sock);
+        let mut raw: Vec<u8> = Vec::new();
+        let head = loop {
+            if let Some(head) = parse_head(&raw)? {
+                break head;
+            }
+            fill(&mut reader, &mut raw, "connection closed before response")?;
+        };
+        if !(200..300).contains(&head.status) {
+            // Refusals are sent up front with an ordinary buffered body.
+            loop {
+                if let Some((status, body, _)) = parse_framed_response(&raw)? {
+                    let message = Json::parse(&body)
+                        .ok()
+                        .as_ref()
+                        .and_then(|json| json.get("error"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("unexplained error")
+                        .to_string();
+                    return Err(ClientError::Api(ApiError { status, message }));
+                }
+                fill(&mut reader, &mut raw, "connection closed mid-response")?;
+            }
+        }
+        if !head.chunked {
+            return Err(ClientError::Decode(
+                "streamed sweep response is not chunked".to_string(),
+            ));
+        }
+        raw.drain(..head.body_start);
+        Ok(Self {
+            reader,
+            raw,
+            prologue_seen: false,
+            epilogue_seen: false,
+            done: false,
+        })
+    }
+}
+
+/// Decodes the error trailer's `"{status} {message}"` payload into the
+/// typed service error.
+fn trailer_error(trailer: &str) -> ClientError {
+    if let Some((status, message)) = trailer.split_once(' ') {
+        if let Ok(status) = status.parse::<u16>() {
+            return ClientError::Api(ApiError {
+                status,
+                message: message.to_string(),
+            });
+        }
+    }
+    ClientError::Decode(format!("stream aborted: {trailer}"))
+}
+
+impl Iterator for SweepStream {
+    type Item = Result<PlanView, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let frame = match parse_chunk_frame(&self.raw) {
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Ok(None) => {
+                    let filled = fill(
+                        &mut self.reader,
+                        &mut self.raw,
+                        "connection closed mid-stream",
+                    );
+                    if let Err(e) = filled {
+                        self.done = true;
+                        return Some(Err(e.into()));
+                    }
+                    continue;
+                }
+                Ok(Some((frame, used))) => {
+                    self.raw.drain(..used);
+                    frame
+                }
+            };
+            match frame {
+                ChunkFrame::End {
+                    error: Some(trailer),
+                } => {
+                    self.done = true;
+                    return Some(Err(trailer_error(&trailer)));
+                }
+                ChunkFrame::End { error: None } => {
+                    self.done = true;
+                    if !self.epilogue_seen {
+                        return Some(Err(ClientError::Decode(
+                            "stream ended before its epilogue".to_string(),
+                        )));
+                    }
+                    return None;
+                }
+                ChunkFrame::Data(data) => {
+                    let Ok(text) = String::from_utf8(data) else {
+                        self.done = true;
+                        return Some(Err(ClientError::Decode("non-UTF-8 chunk".to_string())));
+                    };
+                    if !self.prologue_seen {
+                        if text != "{\"plans\":[" {
+                            self.done = true;
+                            return Some(Err(ClientError::Decode(format!(
+                                "unexpected stream prologue: {text}"
+                            ))));
+                        }
+                        self.prologue_seen = true;
+                        continue;
+                    }
+                    if text == "]}" {
+                        self.epilogue_seen = true;
+                        continue;
+                    }
+                    if self.epilogue_seen {
+                        self.done = true;
+                        return Some(Err(ClientError::Decode(
+                            "data chunk after the epilogue".to_string(),
+                        )));
+                    }
+                    let point = text.strip_prefix(',').unwrap_or(&text);
+                    let result = Json::parse(point)
+                        .map_err(|e| ClientError::Decode(format!("undecodable plan chunk: {e}")))
+                        .and_then(|json| {
+                            PlanView::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+                        });
+                    if result.is_err() {
+                        self.done = true;
+                    }
+                    return Some(result);
+                }
+            }
+        }
+    }
 }
 
 /// A keep-alive connection pool over one server address: requests
@@ -607,6 +975,40 @@ impl ApiClient {
             .collect()
     }
 
+    /// `POST /v1/sweep?stream=1` — the same sweep, streamed: yields
+    /// each budget point's plan as it completes (ascending budget) on
+    /// a dedicated connection. Dropping the iterator early cancels the
+    /// points still solving server-side.
+    pub fn sweep_streaming(
+        &self,
+        request: &SweepRequest,
+        tenant: Option<&str>,
+    ) -> Result<SweepStream, ClientError> {
+        SweepStream::open(self.pool.addr(), self.pool.timeout, request, tenant)
+    }
+
+    /// `POST /v1/streams` — create a stream from an uploaded dataset;
+    /// answers the created stream's description.
+    pub fn create_stream(&self, request: &CreateStreamRequest) -> Result<StreamInfo, ClientError> {
+        let body = request.encode().map_err(ClientError::Api)?;
+        let json = self.exchange("POST", "/v1/streams", None, &body)?;
+        StreamInfo::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+    }
+
+    /// `GET /v1/streams/{id}` — describe one registered stream.
+    pub fn stream_info(&self, id: &str) -> Result<StreamInfo, ClientError> {
+        let json = self.exchange("GET", &format!("/v1/streams/{id}"), None, "")?;
+        StreamInfo::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+    }
+
+    /// `DELETE /v1/streams/{id}` — drop a stream from the registry
+    /// (in-flight solves finish; cached results stay warm for a
+    /// re-created identical dataset).
+    pub fn delete_stream(&self, id: &str) -> Result<(), ClientError> {
+        self.exchange("DELETE", &format!("/v1/streams/{id}"), None, "")?;
+        Ok(())
+    }
+
     /// `POST /v1/streams/{stream}/clean` — reveal cleaned values.
     pub fn clean(
         &self,
@@ -733,5 +1135,115 @@ mod tests {
                 io::ErrorKind::InvalidData
             );
         }
+    }
+
+    /// A full chunked response as the server writes it.
+    fn chunked_response(chunks: &[&str], trailer: Option<&str>) -> Vec<u8> {
+        let mut raw = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\
+            trailer: x-fc-error\r\nconnection: close\r\n\r\n"
+            .to_vec();
+        for chunk in chunks {
+            raw.extend_from_slice(format!("{:x}\r\n{chunk}\r\n", chunk.len()).as_bytes());
+        }
+        raw.extend_from_slice(b"0\r\n");
+        if let Some(error) = trailer {
+            raw.extend_from_slice(format!("x-fc-error: {error}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        raw
+    }
+
+    #[test]
+    fn chunked_response_concatenates_and_forces_close() {
+        let raw = chunked_response(&["{\"plans\":[", "{\"x\":1}", ",{\"x\":2}", "]}"], None);
+        // Every strict prefix asks for more — a truncated chunk body
+        // or missing terminal chunk never parses as complete.
+        for cut in 0..raw.len() {
+            assert!(
+                parse_framed_response(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        let (status, body, close) = parse_framed_response(&raw).unwrap().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"plans\":[{\"x\":1},{\"x\":2}]}");
+        assert!(close, "chunked responses always close the connection");
+    }
+
+    #[test]
+    fn chunked_error_trailer_surfaces_as_typed_failure() {
+        let raw = chunked_response(&["{\"plans\":[", "{\"x\":1}"], Some("500 solver exploded"));
+        let err = parse_framed_response(&raw).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("500 solver exploded"));
+
+        // The trailer decoder recovers the structured service error.
+        match trailer_error("429 tenant over quota") {
+            ClientError::Api(e) => {
+                assert_eq!((e.status, e.message.as_str()), (429, "tenant over quota"));
+            }
+            other => panic!("expected Api error, got {other}"),
+        }
+        assert!(matches!(
+            trailer_error("not a status"),
+            ClientError::Decode(_)
+        ));
+    }
+
+    #[test]
+    fn chunk_size_line_abuse_is_rejected() {
+        // Garbage size line.
+        assert_eq!(
+            parse_chunk_frame(b"zz\r\nhi\r\n").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Empty size line.
+        assert_eq!(
+            parse_chunk_frame(b"\r\n").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Oversized size line is rejected even before its CRLF arrives,
+        // so a hostile peer cannot stall the reader with an endless line.
+        let long = vec![b'f'; MAX_CHUNK_SIZE_LINE + 1];
+        assert_eq!(
+            parse_chunk_frame(&long).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A syntactically valid but enormous chunk size is refused.
+        assert_eq!(
+            parse_chunk_frame(b"ffffffffffff\r\n").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Chunk data must end with CRLF.
+        assert_eq!(
+            parse_chunk_frame(b"2\r\nhiXX").unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn terminal_chunk_parses_with_and_without_trailer() {
+        let (frame, used) = parse_chunk_frame(b"0\r\n\r\n").unwrap().unwrap();
+        assert_eq!((frame, used), (ChunkFrame::End { error: None }, 5));
+
+        let raw = b"0\r\nx-fc-error: 503 backend drained\r\n\r\n";
+        let (frame, used) = parse_chunk_frame(raw).unwrap().unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(
+            frame,
+            ChunkFrame::End {
+                error: Some("503 backend drained".to_string())
+            }
+        );
+
+        // Unknown trailers are tolerated and skipped.
+        let raw = b"0\r\nx-other: 1\r\n\r\n";
+        let (frame, _) = parse_chunk_frame(raw).unwrap().unwrap();
+        assert_eq!(frame, ChunkFrame::End { error: None });
+
+        // An unterminated trailer section keeps asking for more bytes.
+        assert!(parse_chunk_frame(b"0\r\nx-fc-error: 500 x")
+            .unwrap()
+            .is_none());
     }
 }

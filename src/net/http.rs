@@ -14,6 +14,21 @@
 //! * truncated requests (client hangs up mid-headers or mid-body) are
 //!   typed `400`s, so the connection handler can answer what is
 //!   answerable and close — never tear down the listener.
+//!
+//! ## Streamed responses
+//!
+//! *Responses* may additionally be written with `Transfer-Encoding:
+//! chunked` framing ([`write_chunked_head`] / [`write_chunk`] /
+//! [`finish_chunked`]) — the server uses this to stream sweep budget
+//! points as they complete. Connection-reuse discipline is explicit: a
+//! chunked response **always** carries `Connection: close` and the
+//! connection is torn down after the terminal chunk. Keep-alive after a
+//! stream would make the next response's framing depend on the client
+//! having parsed every chunk boundary correctly; closing makes the
+//! boundary unmistakable (and lets an abandoned stream double as the
+//! cancellation signal). Mid-stream errors — after the status line is
+//! long gone — are reported in the terminating trailer section as an
+//! `x-fc-error` trailer; [`finish_chunked`] writes it.
 
 use std::io::{self, BufRead, Write};
 
@@ -49,6 +64,18 @@ impl Request {
     /// The target's path component (query stripped).
     pub fn path(&self) -> &str {
         self.target.split(['?', '#']).next().unwrap_or("")
+    }
+
+    /// The value of query parameter `name` (`""` for a bare flag like
+    /// `?stream`); `None` when absent. No percent-decoding — the
+    /// parameters this front defines are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.target.split('#').next().unwrap_or("");
+        let (_, query) = query.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -238,9 +265,11 @@ fn read_head(reader: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
@@ -266,6 +295,59 @@ pub fn write_response(w: &mut impl Write, status: u16, body: &str, close: bool) 
         if close { "connection: close\r\n" } else { "" },
     )?;
     w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Name of the trailer carrying a mid-stream error (see
+/// [`finish_chunked`]).
+pub const ERROR_TRAILER: &str = "x-fc-error";
+
+/// Starts a `Transfer-Encoding: chunked` response. Always closes the
+/// connection after the stream (see the [module docs](self) for the
+/// keep-alive discipline) and declares the [`ERROR_TRAILER`] so clients
+/// know to look for it. Flushed immediately: the client sees the status
+/// line before the first chunk's data exists.
+pub fn write_chunked_head(w: &mut impl Write, status: u16) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\n\
+         transfer-encoding: chunked\r\ntrailer: {ERROR_TRAILER}\r\nconnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+    )?;
+    w.flush()
+}
+
+/// Writes one chunk (hex size line, data, CRLF) and flushes, so each
+/// budget point is on the wire the moment it completes. Empty data is
+/// skipped — a zero-length chunk would terminate the stream; that is
+/// [`finish_chunked`]'s job.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked response: the zero-length chunk, then the
+/// trailer section. A mid-stream failure — the status line already said
+/// `200` — is conveyed as an [`ERROR_TRAILER`] trailer (newlines
+/// stripped: a trailer value must stay on its line). A client that
+/// concatenates chunk bodies without reading trailers still never sees
+/// a half-valid document silently: the stream ends mid-JSON.
+pub fn finish_chunked(w: &mut impl Write, error: Option<&str>) -> io::Result<()> {
+    w.write_all(b"0\r\n")?;
+    if let Some(message) = error {
+        let clean: String = message
+            .chars()
+            .map(|c| if c == '\r' || c == '\n' { ' ' } else { c })
+            .collect();
+        write!(w, "{ERROR_TRAILER}: {clean}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.flush()
 }
 
@@ -347,6 +429,52 @@ mod tests {
             parse(b"GET / HT"),
             Err(HttpError::Malformed { status: 400, .. })
         ));
+    }
+
+    #[test]
+    fn query_params_parse_without_disturbing_the_path() {
+        let req = parse(b"POST /v1/sweep?stream=1&x=a%20b HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+            .unwrap();
+        assert_eq!(req.path(), "/v1/sweep");
+        assert_eq!(req.query_param("stream"), Some("1"));
+        assert_eq!(req.query_param("x"), Some("a%20b"), "no percent-decoding");
+        assert_eq!(req.query_param("missing"), None);
+        let req = parse(b"GET /v1/stats?stream HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("stream"), Some(""), "bare flag");
+        let req = parse(b"GET /v1/stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("stream"), None);
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_always_closes() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200).unwrap();
+        write_chunk(&mut out, b"{\"plans\":[").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not terminal
+        write_chunk(&mut out, b"]}").unwrap();
+        finish_chunked(&mut out, None).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(
+            text.contains("connection: close\r\n"),
+            "chunked responses must close: {text}"
+        );
+        assert!(text.contains(&format!("trailer: {ERROR_TRAILER}\r\n")));
+        let (_, body) = text.split_once("\r\n\r\n").unwrap();
+        assert_eq!(body, "a\r\n{\"plans\":[\r\n2\r\n]}\r\n0\r\n\r\n");
+    }
+
+    #[test]
+    fn chunked_error_trailer_is_newline_safe() {
+        let mut out = Vec::new();
+        finish_chunked(&mut out, Some("solver failed\r\nx-sneaky: yes")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            format!("0\r\n{ERROR_TRAILER}: solver failed  x-sneaky: yes\r\n\r\n"),
+            "newlines in the message cannot forge extra trailers"
+        );
     }
 
     #[test]

@@ -13,17 +13,18 @@
 //! * [`json`] — a minimal JSON codec (value tree, strict bounded
 //!   parser, deterministic writer);
 //! * [`api`] — the typed request/response structs every route, client,
-//!   and replayer encodes and decodes through;
+//!   and replayer encodes and decodes through, plus the plan and stats
+//!   response encoders whose bytes are the determinism gate;
 //! * [`client`] — the matching minimal blocking client (examples,
 //!   tests, and CI gates drive the server with it), including the
 //!   typed [`ApiClient`];
 //! * [`http`] — HTTP/1.1 framing: `Content-Length` bodies, keep-alive,
-//!   hard header/body limits, typed 4xx mapping for malformed input;
-//! * [`wire`] — plan and stats response encoders, including the plan
-//!   encoding whose bytes are the determinism gate;
+//!   chunked streamed responses, hard header/body limits, typed 4xx
+//!   mapping for malformed input;
 //! * [`PlannerServer`] — the accept loop, route table, per-request
-//!   tenancy (`x-tenant` header), disconnect-driven cancellation,
-//!   graceful drain, and warm-boot snapshot restore;
+//!   tenancy (`x-tenant` header), wire-native stream creation,
+//!   disconnect-driven cancellation, graceful drain, and warm-boot
+//!   snapshot restore;
 //! * [`router`] — the consistent-hash shard front that spreads streams
 //!   across N `PlannerServer` backends with health probes, drain, and
 //!   bounded retry.
@@ -41,7 +42,6 @@ pub mod http;
 pub mod json;
 pub mod router;
 pub mod server;
-pub mod wire;
 
 pub use api::ApiError;
 pub use client::{ApiClient, ClientError, ClientPool, ClientPools};

@@ -38,24 +38,45 @@
 //!   router probes its own client socket; a hangup drops the upstream
 //!   connection, which the backend's disconnect probe turns into a
 //!   cancel. The router never absorbs a disconnect.
+//! * **Streamed sweeps pass through unbuffered** — `POST
+//!   /v1/sweep?stream=1` is relayed chunk by chunk on a dedicated
+//!   upstream connection: each budget point's chunk is forwarded (and
+//!   flushed) the moment it arrives, so time-to-first-point through
+//!   the router tracks the backend's, not the whole sweep. Failover
+//!   happens only *before* response bytes reach the client; once the
+//!   stream has started, an upstream failure is surfaced on the error
+//!   trailer, and a client hangup mid-stream drops the upstream
+//!   connection so the backend cancels the points still solving.
+//! * **Stream lifecycle is ring-routed** — `POST /v1/streams` hashes
+//!   the uploaded dataset's `id` onto the ring, so a created stream
+//!   lands exactly where later solves for it will route; if that
+//!   replica dies, re-creating the stream lands on the next one — the
+//!   same replica the solves now route to. `GET`/`DELETE
+//!   /v1/streams/{id}` follow the same order (deletes broadcast, since
+//!   failovers may have left copies on several replicas).
 //!
 //! Aggregate observability: `GET /v1/stats` sums the per-backend
 //! stats into the single-box shape (sums preserve the invariants the
 //! load harness checks), and `GET /v1/topology` reports the ring.
 
 use std::collections::BTreeMap;
-use std::io::{self, BufReader};
+use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fc_core::planner::Fnv1a;
 
 use super::api::{ApiError, StatsResponse};
-use super::client::{ClientPool, ClientPools, Conn};
-use super::http::{read_request, write_response, HttpError, Request};
+use super::client::{
+    parse_chunk_frame, parse_head, write_request, ChunkFrame, ClientPool, ClientPools, Conn,
+};
+use super::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, HttpError,
+    Request,
+};
 use super::json::Json;
 use super::server::{client_connected, LiveConnections};
 
@@ -240,6 +261,10 @@ fn vnode_points(name: &str) -> impl Iterator<Item = u64> + '_ {
 /// | route | behaviour |
 /// |---|---|
 /// | `POST /v1/recommend`, `/v1/sweep` | hash the body's stream id → forward, retrying the next replica on transport error |
+/// | `POST /v1/sweep?stream=1` | same routing, relayed chunk-by-chunk as points complete upstream |
+/// | `POST /v1/streams` | hash the body's `id` → create on that replica (next one if it is down) |
+/// | `GET /v1/streams/{id}` | relayed from the stream's replica (ring order) |
+/// | `DELETE /v1/streams/{id}` | broadcast to every healthy backend (`404`s from non-hosts tolerated) |
 /// | `POST /v1/streams/{id}/clean` | broadcast to every healthy backend; `502` on divergent outcomes |
 /// | `GET /v1/stats` | per-backend stats summed into the single-box shape |
 /// | `GET /v1/streams` | relayed from the first live backend |
@@ -545,6 +570,9 @@ fn handle_connection(sock: TcpStream, ctx: &RouterCtx) {
                     return;
                 }
             }
+            // A relayed chunked response declared `connection: close`;
+            // the exchange owns the connection to its end.
+            Outcome::Streamed => return,
             Outcome::ClientGone => return,
         }
         if close_after {
@@ -554,7 +582,13 @@ fn handle_connection(sock: TcpStream, ctx: &RouterCtx) {
 }
 
 enum Outcome {
-    Respond { status: u16, body: String },
+    Respond {
+        status: u16,
+        body: String,
+    },
+    /// The route relayed a chunked response itself; the connection
+    /// closes with the stream.
+    Streamed,
     ClientGone,
 }
 
@@ -593,10 +627,14 @@ fn dispatch(ctx: &RouterCtx, request: &Request, sock: &TcpStream) -> Outcome {
             ("backends", Json::Num(ctx.backends.len() as f64)),
         ])),
         ("POST", ["v1", "recommend" | "sweep"]) => relay_solve(ctx, request, &path, sock),
+        ("POST", ["v1", "streams"]) => relay_create_stream(ctx, request),
+        ("GET", ["v1", "streams", id]) => relay_stream_scoped(ctx, "GET", id, &path),
+        ("DELETE", ["v1", "streams", id]) => relay_delete_stream(ctx, request, id, &path),
         ("POST", ["v1", "streams", _, "clean"]) => relay_clean(ctx, request, &path),
         ("POST", ["v1", "admin", "backends", name, "drain"]) => set_drain(ctx, name, true),
         ("POST", ["v1", "admin", "backends", name, "undrain"]) => set_drain(ctx, name, false),
         (_, ["v1", "stats" | "streams" | "recommend" | "sweep" | "health" | "topology"])
+        | (_, ["v1", "streams", _])
         | (_, ["v1", "streams", _, "clean"])
         | (_, ["v1", "admin", "backends", _, "drain" | "undrain"]) => ApiError {
             status: 405,
@@ -647,18 +685,17 @@ fn set_drain(ctx: &RouterCtx, name: &str, draining: bool) -> Outcome {
     }
 }
 
-/// The stream id a solve body names (the ring key). A body the router
-/// cannot read keys as `""` — it still forwards, and the backend
-/// produces the canonical `400`/`404`, byte-identical to single-box.
-fn stream_key(body: &[u8]) -> String {
+/// The stream id a request body names in `field` (the ring key):
+/// `"stream"` on solves, `"id"` on stream creation — the same value,
+/// so a created stream lands on the replica its solves route to. A
+/// body the router cannot read keys as `""` — it still forwards, and
+/// the backend produces the canonical `400`/`404`, byte-identical to
+/// single-box.
+fn stream_key(body: &[u8], field: &str) -> String {
     std::str::from_utf8(body)
         .ok()
         .and_then(|text| Json::parse(text).ok())
-        .and_then(|json| {
-            json.get("stream")
-                .and_then(Json::as_str)
-                .map(str::to_string)
-        })
+        .and_then(|json| json.get(field).and_then(Json::as_str).map(str::to_string))
         .unwrap_or_default()
 }
 
@@ -707,16 +744,253 @@ fn relay_solve(ctx: &RouterCtx, request: &Request, path: &str, sock: &TcpStream)
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return ApiError::bad_request("body is not UTF-8").into();
     };
-    let key = stream_key(&request.body);
+    let key = stream_key(&request.body, "stream");
     let order = ctx.route_order(&key);
     let tenant = request.header("x-tenant");
     let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
+    if request.query_param("stream").is_some() {
+        return relay_solve_streamed(ctx, &order, path, &headers, body, sock);
+    }
     let mut alive = || client_connected(sock);
     match forward_idempotent(ctx, &order, "POST", path, &headers, body, &mut alive) {
         Ok(Some((status, body))) => Outcome::Respond { status, body },
         Ok(None) => Outcome::ClientGone,
         Err(e) => e.into(),
     }
+}
+
+/// What one backend attempt of a streamed relay produced.
+enum StreamRelay {
+    /// The exchange ran to a decision — possibly after response bytes
+    /// already reached the client, so no other replica may be tried.
+    Done(Outcome),
+    /// Transport trouble before any downstream bytes: safe to mark the
+    /// backend unhealthy and try the next replica.
+    Retry,
+}
+
+/// Relays `POST {path}?stream=1` chunk by chunk: the backend's chunks
+/// are forwarded (and flushed) as they arrive, so the client holds the
+/// first budget point while later ones are still solving upstream.
+/// Replica failover stops the moment response bytes go downstream;
+/// from then on an upstream failure becomes an error trailer, and a
+/// client hangup drops the upstream connection (the cancellation
+/// relay).
+fn relay_solve_streamed(
+    ctx: &RouterCtx,
+    order: &[usize],
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+    sock: &TcpStream,
+) -> Outcome {
+    let target = format!("{path}?stream=1");
+    for admit_draining in [false, true] {
+        for &idx in order {
+            let backend = &ctx.backends[idx];
+            let eligible = if admit_draining {
+                backend.healthy.load(Ordering::Relaxed) && backend.draining()
+            } else {
+                backend.available()
+            };
+            if !eligible {
+                continue;
+            }
+            match stream_from_backend(ctx, backend, &target, headers, body, sock) {
+                StreamRelay::Done(outcome) => return outcome,
+                StreamRelay::Retry => backend.healthy.store(false, Ordering::Relaxed),
+            }
+        }
+    }
+    ApiError::unavailable("no live backend").into()
+}
+
+/// One streamed-relay attempt against `backend`, on a fresh dedicated
+/// connection (never pooled: the backend closes it after the stream,
+/// and dropping it mid-way is how cancellation propagates).
+fn stream_from_backend(
+    ctx: &RouterCtx,
+    backend: &Backend,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+    sock: &TcpStream,
+) -> StreamRelay {
+    let prepared = TcpStream::connect(backend.addr).and_then(|upstream| {
+        // The short read timeout turns reads into a poll loop so the
+        // client socket is probed for disconnect between chunks.
+        upstream.set_read_timeout(Some(ctx.config.disconnect_poll))?;
+        upstream.set_write_timeout(Some(ctx.config.read_timeout))?;
+        upstream.set_nodelay(true)?;
+        let mut writer = upstream.try_clone()?;
+        write_request(&mut writer, "POST", target, headers, body)?;
+        Ok(upstream)
+    });
+    let Ok(upstream) = prepared else {
+        return StreamRelay::Retry;
+    };
+    let deadline = Instant::now() + ctx.config.upstream_timeout;
+    let mut reader = BufReader::new(upstream);
+    let mut raw: Vec<u8> = Vec::new();
+    let head = loop {
+        match parse_head(&raw) {
+            Ok(Some(head)) => break head,
+            Ok(None) => {}
+            Err(_) => return StreamRelay::Retry,
+        }
+        match fill_probing(&mut reader, &mut raw, sock, deadline) {
+            Ok(true) => {}
+            Ok(false) => return StreamRelay::Done(Outcome::ClientGone),
+            Err(_) => return StreamRelay::Retry,
+        }
+    };
+    raw.drain(..head.body_start);
+    if !head.chunked {
+        // A refusal (quota, bad request, …) arrives buffered; relay it
+        // as such — the keep-alive loop stays usable.
+        while raw.len() < head.content_length {
+            match fill_probing(&mut reader, &mut raw, sock, deadline) {
+                Ok(true) => {}
+                Ok(false) => return StreamRelay::Done(Outcome::ClientGone),
+                Err(_) => return StreamRelay::Retry,
+            }
+        }
+        raw.truncate(head.content_length);
+        let Ok(body) = String::from_utf8(raw) else {
+            return StreamRelay::Retry;
+        };
+        return StreamRelay::Done(Outcome::Respond {
+            status: head.status,
+            body,
+        });
+    }
+    let mut w = sock;
+    if write_chunked_head(&mut w, head.status).is_err() {
+        return StreamRelay::Done(Outcome::ClientGone);
+    }
+    loop {
+        let frame = match parse_chunk_frame(&raw) {
+            // Upstream framing broke mid-stream; the head is already
+            // downstream, so surface the abort on the trailer.
+            Err(_) => {
+                let _ = finish_chunked(&mut w, Some("502 upstream stream broke"));
+                return StreamRelay::Done(Outcome::Streamed);
+            }
+            Ok(None) => {
+                match fill_probing(&mut reader, &mut raw, sock, deadline) {
+                    Ok(true) => {}
+                    Ok(false) => return StreamRelay::Done(Outcome::ClientGone),
+                    Err(_) => {
+                        let _ = finish_chunked(&mut w, Some("502 upstream failed mid-stream"));
+                        return StreamRelay::Done(Outcome::Streamed);
+                    }
+                }
+                continue;
+            }
+            Ok(Some((frame, used))) => {
+                raw.drain(..used);
+                frame
+            }
+        };
+        match frame {
+            ChunkFrame::Data(data) => {
+                if write_chunk(&mut w, &data).is_err() {
+                    // Client gone mid-stream: dropping the upstream
+                    // connection cancels the points still solving.
+                    return StreamRelay::Done(Outcome::ClientGone);
+                }
+            }
+            ChunkFrame::End { error } => {
+                let _ = finish_chunked(&mut w, error.as_deref());
+                return StreamRelay::Done(Outcome::Streamed);
+            }
+        }
+    }
+}
+
+/// One read appended onto `raw`, probing the client socket on every
+/// read timeout: `Ok(true)` got bytes, `Ok(false)` client gone,
+/// `Err` upstream EOF/transport failure or overall deadline.
+fn fill_probing(
+    reader: &mut BufReader<TcpStream>,
+    raw: &mut Vec<u8>,
+    sock: &TcpStream,
+    deadline: Instant,
+) -> io::Result<bool> {
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "upstream closed mid-stream",
+                ))
+            }
+            Ok(chunk) => {
+                raw.extend_from_slice(chunk);
+                let n = chunk.len();
+                reader.consume(n);
+                return Ok(true);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !client_connected(sock) {
+                    return Ok(false);
+                }
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "upstream response timed out",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `POST /v1/streams`: create the uploaded stream on the replica its
+/// `id` hashes to — the same replica later solves route to — falling
+/// over to the next one when it is down (which is also where the
+/// solves will have moved).
+fn relay_create_stream(ctx: &RouterCtx, request: &Request) -> Outcome {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return ApiError::bad_request("body is not UTF-8").into();
+    };
+    let key = stream_key(&request.body, "id");
+    let order = ctx.route_order(&key);
+    let mut alive = || true;
+    match forward_idempotent(ctx, &order, "POST", "/v1/streams", &[], body, &mut alive) {
+        Ok(Some((status, body))) => Outcome::Respond { status, body },
+        Ok(None) => unreachable!("alive() is constant true"),
+        Err(e) => e.into(),
+    }
+}
+
+/// Scoped `GET /v1/streams/{id}`: relayed along the stream's ring
+/// order, so it lands on the replica that hosts it.
+fn relay_stream_scoped(ctx: &RouterCtx, method: &str, id: &str, path: &str) -> Outcome {
+    let order = ctx.route_order(id);
+    let mut alive = || true;
+    match forward_idempotent(ctx, &order, method, path, &[], "", &mut alive) {
+        Ok(Some((status, body))) => Outcome::Respond { status, body },
+        Ok(None) => unreachable!("alive() is constant true"),
+        Err(e) => e.into(),
+    }
+}
+
+/// `DELETE /v1/streams/{id}`: broadcast — failovers may have left the
+/// stream on several replicas, so every healthy backend is asked and
+/// `404`s from non-hosts are tolerated.
+fn relay_delete_stream(ctx: &RouterCtx, request: &Request, _id: &str, path: &str) -> Outcome {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return ApiError::bad_request("body is not UTF-8").into();
+    };
+    broadcast(ctx, "DELETE", path, &[], body, true)
 }
 
 /// Relays a `GET` from the first live backend (ring order from the
@@ -741,12 +1015,30 @@ fn relay_clean(ctx: &RouterCtx, request: &Request, path: &str) -> Outcome {
     };
     let tenant = request.header("x-tenant");
     let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
+    broadcast(ctx, "POST", path, &headers, body, false)
+}
+
+/// Broadcasts a mutation to every healthy backend, never retrying. A
+/// unanimous answer (success or the same canonical rejection) is
+/// relayed as-is; anything else is a `502` — except that, with
+/// `tolerate_not_found`, `404`s from replicas that simply don't host
+/// the target are ignored as long as every replica that *does* host
+/// it agreed (deletes hit a fleet where wire-created streams live on
+/// one ring replica only).
+fn broadcast(
+    ctx: &RouterCtx,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+    tolerate_not_found: bool,
+) -> Outcome {
     let mut responses: Vec<(u16, String)> = Vec::new();
     for backend in &ctx.backends {
         if !backend.healthy.load(Ordering::Relaxed) {
             continue;
         }
-        match backend.pool.request("POST", path, &headers, body) {
+        match backend.pool.request(method, path, headers, body) {
             Ok(response) => responses.push(response),
             Err(_) => backend.healthy.store(false, Ordering::Relaxed),
         }
@@ -756,13 +1048,26 @@ fn relay_clean(ctx: &RouterCtx, request: &Request, path: &str) -> Outcome {
     };
     if responses.iter().all(|(status, _)| *status == first_status) {
         // Unanimous — success or the same canonical rejection.
-        Outcome::Respond {
+        return Outcome::Respond {
             status: first_status,
             body: first_body,
-        }
-    } else {
-        ApiError::bad_gateway("replicas diverged applying the clean").into()
+        };
     }
+    if tolerate_not_found {
+        let hosts: Vec<&(u16, String)> = responses
+            .iter()
+            .filter(|(status, _)| *status != 404)
+            .collect();
+        if let Some(((status, body), rest)) = hosts.split_first() {
+            if rest.iter().all(|(s, _)| s == status) {
+                return Outcome::Respond {
+                    status: *status,
+                    body: body.clone(),
+                };
+            }
+        }
+    }
+    ApiError::bad_gateway("replicas diverged applying the mutation").into()
 }
 
 /// `GET /v1/stats`: sums every live backend's stats into one

@@ -29,6 +29,26 @@
 //! * [`ServerHandle::shutdown`] is graceful: stop accepting, then
 //!   drain — every in-flight request completes and its response is
 //!   written before the handler exits.
+//!
+//! ## Streaming and the wire-native stream lifecycle
+//!
+//! `POST /v1/sweep?stream=1` answers with `Transfer-Encoding: chunked`
+//! and emits one JSON object per budget point *as each point
+//! completes* ([`SweepHandle::wait_next_point_or_cancel`]), so a
+//! client sees the cheap early points while the expensive tail is
+//! still solving. Concatenating the chunk bodies reproduces the
+//! buffered `/v1/sweep` response byte-for-byte. A client hangup
+//! between chunks cancels the remaining points; a mid-stream solver
+//! error arrives as an `x-fc-error` trailer (the status line already
+//! said `200`).
+//!
+//! Streams themselves are wire-native too: `POST /v1/streams` creates
+//! one from an uploaded dataset (decoded and validated by
+//! [`CreateStreamRequest`]), `GET /v1/streams/{id}` summarizes it,
+//! `DELETE /v1/streams/{id}` removes it. The snapshot scope
+//! fingerprint is computed from the *live* stream set at write time,
+//! so a snapshot taken after dynamic creates only restores into a
+//! server with the same topology.
 
 use std::collections::HashMap;
 use std::io::{self, BufReader};
@@ -40,17 +60,24 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use fc_core::planner::cache::snapshot::{restore_snapshot, write_snapshot};
-use fc_core::planner::service::{PlannerService, RequestHandle, TenantId, WaitOutcome};
+use fc_core::planner::service::{
+    PlannerService, PointOutcome, RequestHandle, SweepHandle, TenantId, WaitOutcome,
+};
 use fc_core::planner::Fnv1a;
 use fc_core::{CoreError, Plan};
 
 use super::api::{
-    decode_body, ApiError, CleanRequest, CleanResponse, RecommendRequest, SweepRequest,
+    decode_body, plan_json, stats_json, ApiError, CleanRequest, CleanResponse, CreateStreamRequest,
+    RecommendRequest, StreamInfo, SweepRequest,
 };
-use super::http::{read_request, write_response, HttpError, Request};
+use super::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, HttpError,
+    Request,
+};
 use super::json::Json;
-use super::wire::{plan_json, stats_json};
+use crate::builder::SessionBuilder;
 use crate::serve::ClaimStream;
+use crate::session::DataModel;
 
 /// Tuning knobs for a [`PlannerServer`].
 #[derive(Debug, Clone)]
@@ -176,19 +203,32 @@ impl LiveConnections {
 /// Shared state of a running server.
 struct ServerCtx {
     service: PlannerService,
-    streams: HashMap<String, Arc<RwLock<ClaimStream>>>,
+    /// The live stream registry. Behind a lock because `POST
+    /// /v1/streams` and `DELETE /v1/streams/{id}` mutate it at runtime;
+    /// request routes take the read side and clone the `Arc` out, so
+    /// the registry lock is never held across a solve.
+    streams: RwLock<HashMap<String, Arc<RwLock<ClaimStream>>>>,
     config: ServerConfig,
     shutdown: AtomicBool,
     live: LiveConnections,
     /// Operator-set drain flag, reported through `GET /v1/health` so a
     /// routing front rehashes new work away while in-flight finishes.
     draining: AtomicBool,
-    /// Fingerprint of the registered stream ids — the snapshot scope
-    /// gate (a snapshot from a server with different streams is
-    /// rejected at restore).
-    scope: u64,
     /// Entries rehydrated from the snapshot at boot (0 on cold start).
     restored: usize,
+}
+
+impl ServerCtx {
+    fn streams(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<RwLock<ClaimStream>>>> {
+        self.streams.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The snapshot scope of the *current* stream set. Dynamically
+    /// created or deleted streams change it, so a snapshot written
+    /// after a topology change only restores into a matching topology.
+    fn live_scope(&self) -> u64 {
+        scope_fingerprint(&self.streams())
+    }
 }
 
 /// FNV-1a over the sorted stream ids: stable across restarts and
@@ -211,7 +251,10 @@ fn scope_fingerprint(streams: &HashMap<String, Arc<RwLock<ClaimStream>>>) -> u64
 /// | route | maps to |
 /// |---|---|
 /// | `POST /v1/recommend` | [`ClaimStream::submit`] → [`PlannerService::submit`] |
-/// | `POST /v1/sweep` | [`ClaimStream::submit_sweep`] → [`PlannerService::submit_sweep`] |
+/// | `POST /v1/sweep` | [`ClaimStream::submit_sweep`] → [`PlannerService::submit_sweep`] (`?stream=1` streams each budget point as a chunk) |
+/// | `POST /v1/streams` | create a stream from an uploaded dataset ([`CreateStreamRequest`]) |
+/// | `GET /v1/streams/{id}` | one stream's summary ([`StreamInfo`]) |
+/// | `DELETE /v1/streams/{id}` | remove a stream |
 /// | `POST /v1/streams/{id}/clean` | [`ClaimStream::mark_cleaned`] |
 /// | `GET /v1/streams` | the registered stream ids |
 /// | `GET /v1/stats` | service counters + saturation gauges, store counters, per-tenant usage |
@@ -273,12 +316,11 @@ impl PlannerServer {
         };
         let ctx = Arc::new(ServerCtx {
             service: self.service,
-            streams: self.streams,
+            streams: RwLock::new(self.streams),
             config: self.config,
             shutdown: AtomicBool::new(false),
             live: LiveConnections::default(),
             draining: AtomicBool::new(false),
-            scope,
             restored,
         });
         let accept_ctx = Arc::clone(&ctx);
@@ -343,9 +385,10 @@ impl ServerHandle {
         self.ctx.live.wait_drained();
         // Every in-flight request has resolved: the store is settled,
         // so persist it for a warm successor. Best-effort — a failed
-        // write costs the successor a cold start, nothing more.
+        // write costs the successor a cold start, nothing more. The
+        // scope reflects streams created or deleted over the wire.
         if let Some(path) = &self.ctx.config.snapshot_path {
-            let _ = write_snapshot(self.ctx.service.store(), path, self.ctx.scope);
+            let _ = write_snapshot(self.ctx.service.store(), path, self.ctx.live_scope());
         }
     }
 }
@@ -470,6 +513,10 @@ fn handle_connection(sock: TcpStream, ctx: &ServerCtx) {
                     return;
                 }
             }
+            // A chunked response went out with `connection: close`;
+            // the keep-alive loop must honor it regardless of how the
+            // stream ended.
+            Outcome::Streamed => return,
             // The client is gone; there is nobody to answer.
             Outcome::ClientGone => return,
         }
@@ -481,7 +528,13 @@ fn handle_connection(sock: TcpStream, ctx: &ServerCtx) {
 
 /// What a route handler decided.
 enum Outcome {
-    Respond { status: u16, body: String },
+    Respond {
+        status: u16,
+        body: String,
+    },
+    /// The route wrote a chunked response directly to the socket
+    /// (complete or aborted); the connection closes either way.
+    Streamed,
     ClientGone,
 }
 
@@ -514,13 +567,15 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
             &ctx.service.tenant_usages(),
         )),
         ("GET", ["v1", "streams"]) => {
-            let mut ids: Vec<&String> = ctx.streams.keys().collect();
+            let streams = ctx.streams();
+            let mut ids: Vec<&String> = streams.keys().collect();
             ids.sort_unstable();
             Outcome::ok(Json::obj([(
                 "streams",
-                Json::Arr(ids.into_iter().map(|id| Json::Str(id.clone())).collect()),
+                Json::Arr(ids.iter().map(|id| Json::Str((*id).clone())).collect()),
             )]))
         }
+        ("GET", ["v1", "streams", id]) => stream_info_route(ctx, id),
         ("GET", ["v1", "health"]) => Outcome::ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("draining", Json::Bool(ctx.draining.load(Ordering::Relaxed))),
@@ -528,12 +583,15 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
         ])),
         ("POST", ["v1", "recommend"]) => solve_route(ctx, request, sock, false),
         ("POST", ["v1", "sweep"]) => solve_route(ctx, request, sock, true),
+        ("POST", ["v1", "streams"]) => create_stream_route(ctx, request),
+        ("DELETE", ["v1", "streams", id]) => delete_stream_route(ctx, id),
         ("POST", ["v1", "streams", id, "clean"]) => clean_route(ctx, request, id),
         ("POST", ["v1", "admin", "drain"]) => set_draining(ctx, true),
         ("POST", ["v1", "admin", "undrain"]) => set_draining(ctx, false),
         ("POST", ["v1", "admin", "snapshot"]) => snapshot_route(ctx),
         // Known paths with the wrong verb are 405, not 404.
         (_, ["v1", "stats" | "streams" | "recommend" | "sweep" | "health"])
+        | (_, ["v1", "streams", _])
         | (_, ["v1", "streams", _, "clean"])
         | (_, ["v1", "admin", "drain" | "undrain" | "snapshot"]) => ApiError {
             status: 405,
@@ -541,6 +599,94 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
         }
         .into(),
         _ => ApiError::not_found(format!("no route for {path}")).into(),
+    }
+}
+
+/// `POST /v1/streams`: builds a session from the uploaded dataset and
+/// registers it as a live stream. The payload arrives fully validated
+/// from [`CreateStreamRequest::from_json`]; a duplicate id is `409`
+/// (creation is not idempotent — two uploads under one id could carry
+/// different data). The new session shares the service's engine store,
+/// so repeated datasets boot warm.
+fn create_stream_route(ctx: &ServerCtx, request: &Request) -> Outcome {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return ApiError::bad_request("body is not UTF-8").into(),
+    };
+    let req = match decode_body(text, CreateStreamRequest::from_json) {
+        Ok(req) => req,
+        Err(e) => return e.into(),
+    };
+    let mut builder = SessionBuilder::new()
+        .data(req.data)
+        .claims(req.claims)
+        .cache_store(Arc::clone(ctx.service.store()));
+    if let Some(theta) = req.theta {
+        builder = builder.theta(theta);
+    }
+    if let Some(k) = req.discretize_support {
+        builder = builder.discretize_support(k);
+    }
+    let session = match builder.build() {
+        Ok(session) => session,
+        Err(e) => return ApiError::from(e).into(),
+    };
+    let mut stream = ClaimStream::open(session, ctx.service.clone());
+    if let Some(tenant) = &req.tenant {
+        stream = stream.with_tenant(tenant.as_str());
+    }
+    let info = stream_info(&req.id, &stream);
+    let mut streams = ctx.streams.write().unwrap_or_else(PoisonError::into_inner);
+    if streams.contains_key(&req.id) {
+        return ApiError {
+            status: 409,
+            message: format!("stream {:?} already exists", req.id),
+        }
+        .into();
+    }
+    streams.insert(req.id, Arc::new(RwLock::new(stream)));
+    drop(streams);
+    Outcome::Respond {
+        status: 201,
+        body: info.to_json().to_string(),
+    }
+}
+
+/// `GET /v1/streams/{id}`: one stream's summary.
+fn stream_info_route(ctx: &ServerCtx, id: &str) -> Outcome {
+    let Some(stream) = ctx.streams().get(id).cloned() else {
+        return ApiError::not_found(format!("unknown stream {id:?}")).into();
+    };
+    let guard = stream.read().unwrap_or_else(PoisonError::into_inner);
+    Outcome::ok(stream_info(id, &guard).to_json())
+}
+
+/// `DELETE /v1/streams/{id}`: drops the stream from the registry.
+/// In-flight solves on it complete (they hold their own `Arc`); the
+/// engine store keeps its entries — they are keyed on the dataset
+/// fingerprint, so re-creating the same dataset boots warm.
+fn delete_stream_route(ctx: &ServerCtx, id: &str) -> Outcome {
+    let mut streams = ctx.streams.write().unwrap_or_else(PoisonError::into_inner);
+    if streams.remove(id).is_none() {
+        return ApiError::not_found(format!("unknown stream {id:?}")).into();
+    }
+    drop(streams);
+    Outcome::ok(Json::obj([("deleted", Json::Str(id.to_string()))]))
+}
+
+fn stream_info(id: &str, stream: &ClaimStream) -> StreamInfo {
+    let session = stream.session();
+    StreamInfo {
+        id: id.to_string(),
+        tenant: stream.tenant().name().to_string(),
+        model: match session.data() {
+            DataModel::Discrete(_) => "discrete".to_string(),
+            DataModel::Gaussian(_) => "gaussian".to_string(),
+        },
+        objects: session.data().len(),
+        total_cost: session.data().total_cost(),
+        theta: session.original_value(),
+        perturbations: session.claims().len(),
     }
 }
 
@@ -559,7 +705,7 @@ fn snapshot_route(ctx: &ServerCtx) -> Outcome {
     let Some(path) = &ctx.config.snapshot_path else {
         return ApiError::bad_request("no snapshot path configured").into();
     };
-    match write_snapshot(ctx.service.store(), path, ctx.scope) {
+    match write_snapshot(ctx.service.store(), path, ctx.live_scope()) {
         Ok(stats) => Outcome::ok(Json::obj([
             ("entries", Json::Num(stats.entries as f64)),
             ("bytes", Json::Num(stats.bytes as f64)),
@@ -575,11 +721,11 @@ fn snapshot_route(ctx: &ServerCtx) -> Outcome {
 /// Parses the body as JSON and resolves the target stream first (an
 /// unknown stream is a `404` even when the rest of the body is also
 /// bad), then decodes the typed request with `decode`.
-fn typed_request<'c, T>(
-    ctx: &'c ServerCtx,
+fn typed_request<T>(
+    ctx: &ServerCtx,
     request: &Request,
     decode: impl FnOnce(&Json) -> Result<T, ApiError>,
-) -> Result<(T, &'c RwLock<ClaimStream>), ApiError> {
+) -> Result<(T, Arc<RwLock<ClaimStream>>), ApiError> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
     let body = Json::parse(text).map_err(|e| ApiError::bad_request(format!("bad JSON: {e}")))?;
@@ -587,9 +733,12 @@ fn typed_request<'c, T>(
         .get("stream")
         .and_then(Json::as_str)
         .ok_or_else(|| ApiError::bad_request("missing \"stream\" (a stream id)"))?;
+    // Clone the `Arc` out so the registry lock drops before any solve
+    // (and a concurrent create/delete never waits on a request).
     let stream = ctx
-        .streams
+        .streams()
         .get(stream_id)
+        .cloned()
         .ok_or_else(|| ApiError::not_found(format!("unknown stream {stream_id:?}")))?;
     Ok((decode(&body)?, stream))
 }
@@ -619,9 +768,10 @@ fn solve_route(ctx: &ServerCtx, request: &Request, sock: &TcpStream, sweep: bool
         let handle = guard.submit_sweep_as(tenant, &req.spec, &budgets);
         drop(guard);
         match handle {
-            Ok(handle) => await_handle(ctx, sock, handle, |plans| {
-                Json::obj([("plans", Json::Arr(plans.iter().map(plan_json).collect()))])
-            }),
+            Ok(handle) if request.query_param("stream").is_some() => {
+                stream_sweep_response(ctx, sock, handle)
+            }
+            Ok(handle) => await_sweep(ctx, sock, handle),
             Err(e) => ApiError::from(e).into(),
         }
     } else {
@@ -663,8 +813,77 @@ fn await_handle<T>(
     }
 }
 
+/// The buffered sweep wait: like [`await_handle`], over the
+/// aggregate side of a [`SweepHandle`].
+fn await_sweep(ctx: &ServerCtx, sock: &TcpStream, handle: SweepHandle) -> Outcome {
+    match handle.wait_or_cancel(ctx.config.disconnect_poll, || client_connected(sock)) {
+        WaitOutcome::Ready(Ok(plans)) => Outcome::ok(Json::obj([(
+            "plans",
+            Json::Arr(plans.iter().map(plan_json).collect()),
+        )])),
+        WaitOutcome::Ready(Err(e)) => ApiError::from(e).into(),
+        WaitOutcome::Cancelled => Outcome::ClientGone,
+        WaitOutcome::TimedOut | WaitOutcome::Taken => ApiError::from(CoreError::Cancelled).into(),
+    }
+}
+
+/// `POST /v1/sweep?stream=1`: writes the response incrementally, one
+/// chunk per budget point, as each point completes. The chunk bodies
+/// concatenate to exactly the buffered response (`{"plans":[` …
+/// `,plan` … `]}`), so a streamed sweep is byte-identical to a
+/// buffered one — the determinism gate holds per point.
+///
+/// The client socket is probed between points: a hangup cancels the
+/// remaining budget points ([`SweepHandle::wait_next_point_or_cancel`]),
+/// as does a failed chunk write. A solver error on a later point —
+/// the `200` status line is long gone — terminates the stream with an
+/// `x-fc-error` trailer and an unclosed JSON document, so no client
+/// mistakes the truncation for success.
+fn stream_sweep_response(ctx: &ServerCtx, sock: &TcpStream, mut handle: SweepHandle) -> Outcome {
+    let mut w = sock;
+    if write_chunked_head(&mut w, 200).is_err() || write_chunk(&mut w, b"{\"plans\":[").is_err() {
+        handle.cancel();
+        return Outcome::ClientGone;
+    }
+    let mut yielded = 0usize;
+    loop {
+        match handle
+            .wait_next_point_or_cancel(ctx.config.disconnect_poll, || client_connected(sock))
+        {
+            PointOutcome::Point(Ok(plan)) => {
+                let mut body = String::new();
+                if yielded > 0 {
+                    body.push(',');
+                }
+                body.push_str(&plan_json(&plan).to_string());
+                yielded += 1;
+                if write_chunk(&mut w, body.as_bytes()).is_err() {
+                    handle.cancel();
+                    return Outcome::ClientGone;
+                }
+            }
+            PointOutcome::Point(Err(e)) => {
+                handle.cancel();
+                let e = ApiError::from(e);
+                let _ = finish_chunked(&mut w, Some(&format!("{} {}", e.status, e.message)));
+                return Outcome::Streamed;
+            }
+            PointOutcome::Done => {
+                if write_chunk(&mut w, b"]}").is_err() {
+                    return Outcome::ClientGone;
+                }
+                let _ = finish_chunked(&mut w, None);
+                return Outcome::Streamed;
+            }
+            PointOutcome::Cancelled => return Outcome::ClientGone,
+            // `wait_next_point_or_cancel` retries timeouts internally.
+            PointOutcome::TimedOut => {}
+        }
+    }
+}
+
 fn clean_route(ctx: &ServerCtx, request: &Request, id: &str) -> Outcome {
-    let Some(stream) = ctx.streams.get(id) else {
+    let Some(stream) = ctx.streams().get(id).cloned() else {
         return ApiError::not_found(format!("unknown stream {id:?}")).into();
     };
     let text = match std::str::from_utf8(&request.body) {
@@ -721,12 +940,11 @@ mod tests {
         );
         Arc::new(ServerCtx {
             service,
-            streams: HashMap::new(),
+            streams: RwLock::new(HashMap::new()),
             config: ServerConfig::new().with_max_connections(max_connections),
             shutdown: AtomicBool::new(false),
             live: LiveConnections::default(),
             draining: AtomicBool::new(false),
-            scope: 0,
             restored: 0,
         })
     }

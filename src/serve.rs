@@ -41,7 +41,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use fc_core::planner::service::{
-    PlannerService, RequestHandle, SolveRequest, SweepRequest, TenantId,
+    PlannerService, RequestHandle, SolveRequest, SweepHandle, SweepRequest, TenantId,
 };
 use fc_core::{Budget, CacheKey, Plan, Problem, Result, Selection};
 
@@ -183,12 +183,11 @@ impl ClaimStream {
     /// Submits one objective across a budget sweep (decomposed by the
     /// service into per-point tasks, so interactive claims interleave —
     /// and so cancelling the returned handle stops the sweep after the
-    /// point currently being solved).
-    pub fn submit_sweep(
-        &self,
-        spec: &ObjectiveSpec,
-        budgets: &[Budget],
-    ) -> Result<RequestHandle<Vec<Plan>>> {
+    /// point currently being solved). The returned [`SweepHandle`]
+    /// streams each plan as its budget point completes
+    /// ([`SweepHandle::wait_next_point`], ascending budget order) or
+    /// resolves the whole grid at once ([`SweepHandle::wait`]).
+    pub fn submit_sweep(&self, spec: &ObjectiveSpec, budgets: &[Budget]) -> Result<SweepHandle> {
         self.submit_sweep_as(self.tenant.clone(), spec, budgets)
     }
 
@@ -199,7 +198,7 @@ impl ClaimStream {
         tenant: impl Into<TenantId>,
         spec: &ObjectiveSpec,
         budgets: &[Budget],
-    ) -> Result<RequestHandle<Vec<Plan>>> {
+    ) -> Result<SweepHandle> {
         let (problem, key) = self.problem_for(spec)?;
         self.service.submit_sweep(
             SweepRequest::new(spec.strategy.key(), problem, budgets.to_vec())

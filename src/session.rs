@@ -43,7 +43,7 @@ use crate::planner::{Goal, Measure, ObjectiveSpec};
 
 /// The uncertain data underlying a session: the paper's discrete
 /// marginals, or a (multivariate) normal error model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DataModel {
     /// Discrete, mutually independent marginals (§2.1).
     Discrete(Instance),

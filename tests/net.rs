@@ -9,12 +9,14 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fact_clean::net::client;
+use fact_clean::net::api::{
+    plan_identity_json, plan_json, BudgetSpec, CreateStreamRequest, SweepRequest,
+};
+use fact_clean::net::client::{self, ApiClient, ClientError};
 use fact_clean::net::json::Json;
-use fact_clean::net::wire::{plan_identity_json, plan_json};
 use fact_clean::net::{PlannerServer, ServerConfig, ServerHandle};
 use fact_clean::prelude::*;
-use fc_core::{EngineCache, Result as CoreResult, SolverRegistry};
+use fc_core::{EngineCache, Result as CoreResult, SolverRegistry, WorkerPool};
 
 fn session() -> CleaningSession {
     let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
@@ -93,6 +95,23 @@ fn boot_with(
     config: ServerConfig,
 ) -> (ServerHandle, PlannerService) {
     let service = PlannerService::new(registry, ServiceOptions::new().with_inline_threshold(0));
+    boot_service(service, config)
+}
+
+/// Like [`boot`], but the service solves on a single worker, so sweep
+/// points complete strictly one after another — the deterministic
+/// setup the streaming tests observe mid-sweep.
+fn boot_sequential(delay: Duration) -> (ServerHandle, PlannerService) {
+    let service = PlannerService::new(
+        registry_with_slow(delay),
+        ServiceOptions::new()
+            .with_inline_threshold(0)
+            .with_pool(Arc::new(WorkerPool::new(1))),
+    );
+    boot_service(service, test_config())
+}
+
+fn boot_service(service: PlannerService, config: ServerConfig) -> (ServerHandle, PlannerService) {
     let stream = ClaimStream::open(session(), service.clone());
     let handle = PlannerServer::new(service.clone())
         .with_config(config)
@@ -535,6 +554,168 @@ fn explicit_quota_tenants_appear_in_wire_stats() {
         alice.get("outstanding_evals").and_then(Json::as_u64),
         Some(0)
     );
+}
+
+#[test]
+fn streamed_sweep_chunks_concatenate_to_the_buffered_body() {
+    for body in [
+        r#"{"stream":"crime","measure":"dup","budgets":[1,2,3,4]}"#,
+        r#"{"stream":"crime","measure":"bias","goal":{"maxpr":5},"budgets":[1,3]}"#,
+    ] {
+        // Two fresh servers so both runs see a cold cache — the gate is
+        // exact byte equality, diagnostics (store hits) included.
+        let (buffered_server, _s1) = boot();
+        let (streamed_server, _s2) = boot();
+        let (status, buffered) = post(buffered_server.addr(), "/v1/sweep", body, None);
+        assert_eq!(status, 200, "{buffered}");
+        // `client::post` decodes the chunked response by concatenating
+        // every chunk.
+        let (status, streamed) = post(streamed_server.addr(), "/v1/sweep?stream=1", body, None);
+        assert_eq!(status, 200, "{streamed}");
+        assert_eq!(
+            streamed, buffered,
+            "concatenated chunks must reproduce the buffered response"
+        );
+    }
+    // Refusals on the streamed path stay ordinary buffered typed 4xx.
+    let (server, _service) = boot();
+    let (status, body) = post(
+        server.addr(),
+        "/v1/sweep?stream=1",
+        r#"{"stream":"nope","measure":"dup","budgets":[1]}"#,
+        None,
+    );
+    assert_eq!(status, 404, "{body}");
+    assert!(Json::parse(&body).unwrap().get("error").is_some());
+}
+
+#[test]
+fn streamed_sweep_delivers_the_first_point_while_later_points_solve() {
+    let (server, service) = boot_sequential(Duration::from_millis(300));
+    let api = ApiClient::connect(server.addr()).expect("connect");
+    let request = SweepRequest {
+        stream: "crime".into(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup).with_strategy("slow"),
+        budgets: (1..=3).map(BudgetSpec::Absolute).collect(),
+    };
+    let mut stream = api.sweep_streaming(&request, None).expect("open stream");
+    let first = stream
+        .next()
+        .expect("a first point")
+        .expect("first point decodes");
+    // One worker, 300ms per point: when the first plan is in hand the
+    // sweep has not folded — its later points are still solving.
+    assert_eq!(
+        service.stats().completed,
+        0,
+        "first point arrived before the sweep resolved"
+    );
+    let rest: Vec<_> = stream.map(|p| p.expect("streamed point")).collect();
+    assert_eq!(rest.len(), 2, "remaining budget points all arrive");
+    // Budgets ascend; spent cost is monotone across the grid.
+    let mut costs = vec![first.cost];
+    costs.extend(rest.iter().map(|p| p.cost));
+    assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+}
+
+#[test]
+fn mid_stream_disconnect_cancels_the_remaining_points() {
+    let (server, service) = boot_sequential(Duration::from_millis(300));
+    let body = r#"{"stream":"crime","measure":"dup","strategy":"slow","budgets":[1,2,3,4]}"#;
+    let raw = format!(
+        "POST /v1/sweep?stream=1 HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    sock.write_all(raw.as_bytes()).unwrap();
+    // Read the response head (proof the stream started), then walk away
+    // mid-stream.
+    let mut buf = [0u8; 32];
+    let n = sock.read(&mut buf).unwrap();
+    assert!(n > 0, "stream head arrived");
+    drop(sock);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.stats().cancelled == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "mid-stream disconnect did not cancel the sweep: {:?}",
+            service.stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn wire_created_streams_solve_describe_and_delete() {
+    let (server, _service) = boot();
+    let addr = server.addr();
+    let api = ApiClient::connect(addr).expect("connect");
+    let base = session();
+    let request = CreateStreamRequest {
+        id: "wire".into(),
+        tenant: Some("newsroom".into()),
+        theta: None,
+        discretize_support: None,
+        data: base.data().clone(),
+        claims: base.claims().clone(),
+    };
+    let info = api.create_stream(&request).expect("create stream");
+    assert_eq!(
+        (info.id.as_str(), info.model.as_str(), info.objects),
+        ("wire", "discrete", 5)
+    );
+    assert_eq!(info.tenant, "newsroom");
+
+    // Duplicate ids conflict instead of silently replacing state.
+    match api.create_stream(&request) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 409, "{}", e.message),
+        other => panic!("duplicate create must 409, got {other:?}"),
+    }
+
+    // The created stream serves plans byte-identical to the boot-time
+    // stream over the same dataset.
+    let (status, on_crime) = post(
+        addr,
+        "/v1/recommend",
+        r#"{"stream":"crime","measure":"dup","budget":2}"#,
+        None,
+    );
+    assert_eq!(status, 200, "{on_crime}");
+    let (status, on_wire) = post(
+        addr,
+        "/v1/recommend",
+        r#"{"stream":"wire","measure":"dup","budget":2}"#,
+        None,
+    );
+    assert_eq!(status, 200, "{on_wire}");
+    assert_eq!(served_identity(&on_wire), served_identity(&on_crime));
+
+    // Listed, describable, and the description round-trips the 201 body.
+    let mut streams = api.streams().expect("list");
+    streams.sort();
+    assert_eq!(streams, vec!["crime".to_string(), "wire".to_string()]);
+    assert_eq!(api.stream_info("wire").expect("describe"), info);
+
+    // Delete: gone for describes and solves alike; a second delete 404s.
+    api.delete_stream("wire").expect("delete");
+    match api.stream_info("wire") {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404),
+        other => panic!("deleted stream must 404, got {other:?}"),
+    }
+    let (status, body) = post(
+        addr,
+        "/v1/recommend",
+        r#"{"stream":"wire","measure":"dup","budget":2}"#,
+        None,
+    );
+    assert_eq!(status, 404, "{body}");
+    match api.delete_stream("wire") {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404),
+        other => panic!("double delete must 404, got {other:?}"),
+    }
+
+    // Re-creating after delete works (the id is free again).
+    api.create_stream(&request).expect("recreate after delete");
 }
 
 /// Regression for the saturation path: at `max_connections`, refused

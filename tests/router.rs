@@ -3,18 +3,22 @@
 //! rewrites a backend's 4xx bytes), operator and backend-advertised
 //! drain, failover to the surviving replica, fleet-wide 503 when no
 //! backend is reachable, clean broadcast (unanimous and divergent),
-//! and aggregated stats.
+//! aggregated stats, streamed-sweep passthrough (chunk relay is
+//! byte-preserving and client hangup cancels upstream), and the
+//! wire-native stream lifecycle (create routes onto the ring, deletes
+//! broadcast, and a dead host's streams recreate on the next replica).
 
-use std::net::{SocketAddr, TcpListener};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fact_clean::net::api::{BudgetSpec, CleanRequest, RecommendRequest};
+use fact_clean::net::api::{BudgetSpec, CleanRequest, CreateStreamRequest, RecommendRequest};
 use fact_clean::net::client::{self, ApiClient, ClientError};
 use fact_clean::net::json::Json;
 use fact_clean::net::{PlannerServer, RouterConfig, RouterHandle, RouterServer, ServerHandle};
 use fact_clean::prelude::*;
-use fc_core::SolverRegistry;
+use fc_core::{EngineCache, Result as CoreResult, SolverRegistry, WorkerPool};
 
 fn session() -> CleaningSession {
     let current = vec![9_010.0, 9_275.0, 9_300.0, 9_125.0, 9_430.0];
@@ -50,6 +54,60 @@ fn boot_backend(streams: &[&str]) -> (PlannerService, ServerHandle) {
     for id in streams {
         server = server.with_stream(*id, ClaimStream::open(session(), service.clone()));
     }
+    let handle = server.serve("127.0.0.1:0").expect("bind backend");
+    (service, handle)
+}
+
+/// A solver that sleeps before delegating to greedy — long enough for
+/// the router's disconnect probe to land between budget points.
+struct SlowSolver {
+    delegate: Arc<dyn Solver>,
+    delay: Duration,
+}
+
+impl std::fmt::Debug for SlowSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowSolver")
+            .field("delay", &self.delay)
+            .finish()
+    }
+}
+
+impl Solver for SlowSolver {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+    fn solve_with_cache<'p>(
+        &self,
+        problem: &'p Problem,
+        budget: Budget,
+        cache: &EngineCache<'p>,
+    ) -> CoreResult<Plan> {
+        std::thread::sleep(self.delay);
+        self.delegate.solve_with_cache(problem, budget, cache)
+    }
+}
+
+/// Boots a backend whose `"slow"` strategy sleeps per point on a
+/// single worker, so a relayed sweep is provably mid-flight when the
+/// client walks away.
+fn boot_slow_backend(delay: Duration) -> (PlannerService, ServerHandle) {
+    let mut registry = SolverRegistry::with_defaults();
+    let delegate = registry.get("greedy").unwrap();
+    registry.register_solver(Arc::new(SlowSolver { delegate, delay }));
+    let service = PlannerService::new(
+        Arc::new(registry),
+        ServiceOptions::new()
+            .with_inline_threshold(0)
+            .with_pool(Arc::new(WorkerPool::new(1))),
+    );
+    let server = PlannerServer::new(service.clone())
+        .with_config(
+            fact_clean::net::ServerConfig::new()
+                .with_read_timeout(Duration::from_millis(200))
+                .with_disconnect_poll(Duration::from_millis(10)),
+        )
+        .with_stream("crime", ClaimStream::open(session(), service.clone()));
     let handle = server.serve("127.0.0.1:0").expect("bind backend");
     (service, handle)
 }
@@ -357,4 +415,169 @@ fn stats_aggregate_sums_the_fleet() {
     router.shutdown();
     backend_a.shutdown();
     backend_b.shutdown();
+}
+
+#[test]
+fn streamed_sweeps_relay_through_the_router_unchanged() {
+    for body in [
+        r#"{"stream":"crime","measure":"dup","budgets":[1,2,3]}"#,
+        r#"{"stream":"crime","measure":"bias","goal":{"maxpr":5},"budgets":[1,3]}"#,
+    ] {
+        // Fresh backends per body: cold caches on both sides, so the
+        // diagnostics (and therefore every byte) must line up.
+        let (_service, backend) = boot_backend(&["crime"]);
+        let (_reference_service, reference) = boot_backend(&["crime"]);
+        let router = boot_router(&[("a", backend.addr())]);
+
+        let (status, buffered) =
+            client::post(reference.addr(), "/v1/sweep", body, &[]).expect("buffered sweep");
+        assert_eq!(status, 200, "{buffered}");
+        let (status, streamed) =
+            client::post(router.addr(), "/v1/sweep?stream=1", body, &[]).expect("streamed sweep");
+        assert_eq!(status, 200, "{streamed}");
+        assert_eq!(
+            streamed, buffered,
+            "chunks relayed through the router concatenate to the buffered body"
+        );
+
+        router.shutdown();
+        backend.shutdown();
+        reference.shutdown();
+    }
+
+    // A refusal never starts a chunked stream: the backend's buffered
+    // 404 passes through the streamed relay byte-for-byte.
+    let (_service, backend) = boot_backend(&["crime"]);
+    let router = boot_router(&[("a", backend.addr())]);
+    let unknown = r#"{"stream":"nope","measure":"dup","budgets":[1]}"#;
+    let (via_router, body_router) =
+        client::post(router.addr(), "/v1/sweep?stream=1", unknown, &[]).expect("post");
+    let (direct, body_direct) =
+        client::post(backend.addr(), "/v1/sweep?stream=1", unknown, &[]).expect("post");
+    assert_eq!((via_router, &body_router), (direct, &body_direct));
+    assert_eq!(via_router, 404);
+    router.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn client_hangup_mid_stream_cancels_upstream_points() {
+    let (service, backend) = boot_slow_backend(Duration::from_millis(300));
+    let router = boot_router(&[("a", backend.addr())]);
+
+    let body = r#"{"stream":"crime","measure":"dup","strategy":"slow","budgets":[1,2,3,4]}"#;
+    let raw = format!(
+        "POST /v1/sweep?stream=1 HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut sock = TcpStream::connect(router.addr()).unwrap();
+    sock.write_all(raw.as_bytes()).unwrap();
+    // Read the relayed head (proof the stream reached us through the
+    // router), then walk away mid-stream.
+    let mut buf = [0u8; 32];
+    let n = sock.read(&mut buf).unwrap();
+    assert!(n > 0, "stream head arrived through the router");
+    drop(sock);
+
+    // The router notices the hangup, drops its upstream connection,
+    // and the backend's own disconnect probe cancels the sweep.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if service.stats().cancelled > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend never cancelled the abandoned sweep: {:?}",
+            service.stats()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    router.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn wire_created_streams_fail_over_to_the_next_replica() {
+    let (_service_a, backend_a) = boot_backend(&[]);
+    let (_service_b, backend_b) = boot_backend(&[]);
+    let router = boot_router(&[("a", backend_a.addr()), ("b", backend_b.addr())]);
+    let api = ApiClient::connect(router.addr()).expect("connect router");
+
+    let base = session();
+    let create = CreateStreamRequest {
+        id: "wire".to_string(),
+        tenant: None,
+        theta: None,
+        discretize_support: None,
+        data: base.data().clone(),
+        claims: base.claims().clone(),
+    };
+    let info = api.create_stream(&create).expect("create via router");
+    assert_eq!(info.id, "wire");
+
+    // The create landed on exactly one replica — the same one the ring
+    // sends solves to.
+    let on_a = {
+        let (_, body) = client::get(backend_a.addr(), "/v1/streams").expect("list a");
+        body.contains("wire")
+    };
+    let on_b = {
+        let (_, body) = client::get(backend_b.addr(), "/v1/streams").expect("list b");
+        body.contains("wire")
+    };
+    assert!(on_a ^ on_b, "stream must live on exactly one replica");
+    let request = RecommendRequest {
+        stream: "wire".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Absolute(2),
+    };
+    let plan = api
+        .recommend(&request, None)
+        .expect("solve on created stream");
+
+    // Kill the host. Its wire-created stream dies with it; the ring
+    // fails solves over to the survivor, which answers the canonical
+    // 404 until the stream is recreated there.
+    let (host, host_name, survivor) = if on_a {
+        (backend_a, "a", backend_b)
+    } else {
+        (backend_b, "b", backend_a)
+    };
+    host.shutdown();
+    wait_for_backend(&router, host_name, |b| {
+        b.get("healthy").and_then(Json::as_bool) == Some(false)
+    });
+    match api.recommend(&request, None) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404, "{}", e.message),
+        other => panic!("expected 404 after the host died, got {other:?}"),
+    }
+
+    // Recreate over the wire: the ring walk now lands on the survivor.
+    let recreated = api.create_stream(&create).expect("recreate after failover");
+    assert_eq!(recreated, info);
+    let (_, body) = client::get(survivor.addr(), "/v1/streams").expect("list survivor");
+    assert!(
+        body.contains("wire"),
+        "survivor hosts the recreated stream: {body}"
+    );
+    let again = api.recommend(&request, None).expect("solve after recreate");
+    assert_eq!(
+        plan.identity_json().to_string(),
+        again.identity_json().to_string(),
+        "identical session, identical plan either side of the failover"
+    );
+
+    // Deletes broadcast; with the host dead only the survivor answers,
+    // and the id is free for yet another create afterwards.
+    api.delete_stream("wire").expect("delete via router");
+    match api.recommend(&request, None) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404, "{}", e.message),
+        other => panic!("expected 404 after delete, got {other:?}"),
+    }
+    api.create_stream(&create).expect("recreate after delete");
+
+    router.shutdown();
+    survivor.shutdown();
 }

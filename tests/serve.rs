@@ -14,11 +14,11 @@
 //!   reports zero scoped-EV rebuilds on resubmit after an unrelated
 //!   stream is invalidated.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use fact_clean::prelude::*;
 use fc_core::planner::cache::fingerprint_instance;
-use fc_core::SolverRegistry;
+use fc_core::{EngineCache, Result as CoreResult, SolverRegistry};
 use fc_uncertain::rng_from_seed;
 use rand::Rng;
 
@@ -323,6 +323,40 @@ fn lanes_route_by_estimate() {
     handle.wait().unwrap();
 }
 
+/// A solver that parks every solve until the shared flag is raised,
+/// then delegates to greedy — pins submissions provably in flight so
+/// quota assertions are race-free.
+struct GateSolver {
+    delegate: Arc<dyn Solver>,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl std::fmt::Debug for GateSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateSolver").finish()
+    }
+}
+
+impl Solver for GateSolver {
+    fn name(&self) -> &'static str {
+        "gate"
+    }
+    fn solve_with_cache<'p>(
+        &self,
+        problem: &'p Problem,
+        budget: Budget,
+        cache: &EngineCache<'p>,
+    ) -> CoreResult<Plan> {
+        let (open, released) = &*self.gate;
+        let mut open = open.lock().unwrap();
+        while !*open {
+            open = released.wait(open).unwrap();
+        }
+        drop(open);
+        self.delegate.solve_with_cache(problem, budget, cache)
+    }
+}
+
 /// Two tenant streams over one service: tenant A exhausting its quota
 /// is rejected at submit (typed), never delaying tenant B's
 /// interactive lane; the ledgers return to zero after a mixed
@@ -330,28 +364,51 @@ fn lanes_route_by_estimate() {
 #[test]
 fn tenant_streams_are_quota_isolated() {
     let (instance, claims) = workload(40, 7);
-    let service = queued_service();
+    // A's sweeps ride the "gate" strategy, which blocks until released
+    // — without it, a fast pool could complete a sweep (freeing its
+    // quota slot) before the third submit arrives, and the rejection
+    // assertion would race.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut registry = SolverRegistry::with_defaults();
+    registry.register_solver(Arc::new(GateSolver {
+        delegate: registry.get("greedy").unwrap(),
+        gate: Arc::clone(&gate),
+    }));
+    let service = PlannerService::new(
+        Arc::new(registry),
+        ServiceOptions::new().with_inline_threshold(0),
+    );
     service.set_quota("analyst-a", QuotaPolicy::default().with_max_in_flight(2));
     let stream_a = session_of(&instance, &claims).into_stream_as(service.clone(), "analyst-a");
     let stream_b = session_of(&instance, &claims).into_stream(service.clone());
     assert_eq!(stream_a.tenant().name(), "analyst-a");
 
     let spec = ObjectiveSpec::ascertain(Measure::Dup);
+    let gated_spec = spec.clone().with_strategy("gate");
     let budgets: Vec<Budget> = (1..=4).map(Budget::absolute).collect();
     let expected = stream_b
         .session()
         .recommend(spec.clone(), Budget::absolute(3))
         .unwrap();
 
-    // A fills its two in-flight slots with sweeps...
-    let a1 = stream_a.submit_sweep(&spec, &budgets).unwrap();
-    let a2 = stream_a.submit_sweep(&spec, &budgets).unwrap();
+    // A fills its two in-flight slots with sweeps held open by the
+    // gate...
+    let a1 = stream_a.submit_sweep(&gated_spec, &budgets).unwrap();
+    let a2 = stream_a.submit_sweep(&gated_spec, &budgets).unwrap();
     // ...and the third submit bounces with a typed error, pre-queue.
-    let err = stream_a.submit_sweep(&spec, &budgets).unwrap_err();
+    let err = stream_a.submit_sweep(&gated_spec, &budgets).unwrap_err();
     assert!(
         matches!(&err, fc_core::CoreError::QuotaExceeded { tenant, .. } if tenant == "analyst-a"),
         "got {err}"
     );
+
+    // Release the gate so A's sweeps (and everything queued behind
+    // them) can proceed.
+    {
+        let (open, released) = &*gate;
+        *open.lock().unwrap() = true;
+        released.notify_all();
+    }
 
     // B is a different tenant: never rejected, answers byte-identical.
     let plan_b = stream_b
