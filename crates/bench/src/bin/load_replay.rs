@@ -25,6 +25,14 @@
 //! vs the sweep-delta resume chain (byte-identity checked per point;
 //! the run fails on any divergence).
 //!
+//! `--router` replays through a two-backend replicated front
+//! (`replication_factor(2)`) and appends a post-drain `failover`
+//! section: a repair pass syncs warm residency, one backend is killed,
+//! and the document records how long until every stream answers again
+//! through the survivor (gated by the budget's
+//! `max_failover_recovery_ms`; the run fails if any stream stays
+//! unserved for 10s).
+//!
 //! Run `--smoke` for the CI-sized trace; `--write-fixture` regenerates
 //! the checked-in smoke fixture after a deliberate workload change;
 //! `--compare <baseline.json>` prints a per-op p50/p95/p99 delta table
@@ -35,6 +43,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fact_clean::net::api::{BudgetSpec, RecommendRequest};
 use fact_clean::net::client;
 use fact_clean::net::json::Json;
 use fact_clean::net::{PlannerServer, RouterConfig, RouterServer, ServerConfig, ServerHandle};
@@ -419,7 +428,10 @@ fn main() -> ExitCode {
             .with_config(
                 ServerConfig::new()
                     .with_disconnect_poll(Duration::from_millis(25))
-                    .with_read_timeout(Duration::from_millis(2_000)),
+                    .with_read_timeout(Duration::from_millis(2_000))
+                    // Repair-pass snapshot transfers carry a stream's
+                    // dataset plus its warm cache slice in one body.
+                    .with_max_body_bytes(8 * 1024 * 1024),
             )
             .with_stream(
                 "cdc",
@@ -444,7 +456,10 @@ fn main() -> ExitCode {
     let addr;
     if args.router {
         // Two replicas behind the consistent-hash front: the replay
-        // drives the router, cleans broadcast, stats aggregate.
+        // drives the router, cleans broadcast, stats aggregate. With
+        // R=2 both backends are every stream's replica set, so the
+        // post-drain failover phase can kill either one and time how
+        // long the front takes to serve the next read warm.
         let (service_a, server_a) = boot_backend();
         let (service_b, server_b) = boot_backend();
         let front = RouterServer::new()
@@ -454,7 +469,11 @@ fn main() -> ExitCode {
                 RouterConfig::new()
                     .with_disconnect_poll(Duration::from_millis(25))
                     .with_probe_interval(Duration::from_millis(100))
-                    .with_read_timeout(Duration::from_millis(2_000)),
+                    .with_read_timeout(Duration::from_millis(2_000))
+                    .with_replication_factor(2)
+                    // Repairs run on demand (RouterHandle::repair) so
+                    // the replay's latency tails stay deterministic.
+                    .with_repair_interval(Duration::from_secs(600)),
             )
             .serve("127.0.0.1:0")
             .expect("bind router port");
@@ -548,6 +567,71 @@ fn main() -> ExitCode {
         }
     };
     let server_stats = Json::parse(&stats_body).expect("stats JSON");
+
+    // --- failover: kill a replica, time recovery through the front ---
+    // Router runs measure the tentpole's promise: with R=2 and warm
+    // residency synced by a repair pass, losing a backend must be
+    // invisible beyond a transient — the survivors serve the next read
+    // of *every* stream with no recreate round-trip. Recovery is the
+    // time from the kill until all three streams have answered again
+    // (so the measurement covers ring positions fronted by the victim,
+    // wherever it hashed).
+    let mut failover_section = None;
+    let mut failover_failed = false;
+    if let Some(front) = &router {
+        let transfers = front
+            .repair()
+            .get("transfers")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        let victim = backends.pop().expect("router mode boots two backends");
+        victim.shutdown();
+        let killed_at = Instant::now();
+        let deadline = killed_at + Duration::from_secs(10);
+        let mut attempts = 0u64;
+        let mut recovery_ms = None;
+        'streams: for stream in ["cdc", "adoptions", "urx"] {
+            let probe = RecommendRequest {
+                stream: stream.to_string(),
+                spec: ObjectiveSpec::ascertain(Measure::Dup),
+                budget: BudgetSpec::Fraction(0.2),
+            }
+            .encode();
+            loop {
+                attempts += 1;
+                match client::post(addr, "/v1/recommend", &probe, &[]) {
+                    Ok((200, _)) => {
+                        recovery_ms = Some(killed_at.elapsed().as_secs_f64() * 1000.0);
+                        break;
+                    }
+                    _ if Instant::now() >= deadline => {
+                        recovery_ms = None;
+                        break 'streams;
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        }
+        match recovery_ms {
+            Some(ms) => {
+                println!(
+                    "failover: backend b killed, all streams answering after {ms:.1}ms \
+                     ({attempts} reads, {transfers} repair transfers beforehand)"
+                );
+                failover_section = Some(Json::obj([
+                    ("killed_backend", Json::Str("b".to_string())),
+                    ("recovery_ms", Json::Num(ms)),
+                    ("attempts", Json::Num(attempts as f64)),
+                    ("repair_transfers", Json::Num(transfers as f64)),
+                ]));
+            }
+            None => {
+                eprintln!("FAIL failover: a stream stayed unserved for 10s after the kill");
+                failover_failed = true;
+            }
+        }
+    }
+
     // Front first (it holds pooled connections into the backends).
     if let Some(front) = router.take() {
         front.shutdown();
@@ -563,9 +647,15 @@ fn main() -> ExitCode {
         client_threads: config.client_threads,
         abandon_permille: config.abandon_permille,
         smoke: args.smoke,
+        router: args.router,
     };
-    let mut failed = false;
+    let mut failed = failover_failed;
     let mut bench = bench_json(&fingerprint, &report, &server_stats);
+    if let Some(section) = failover_section {
+        if let Json::Obj(fields) = &mut bench {
+            fields.push(("failover".to_string(), section));
+        }
+    }
     // In-process ladder benchmark: runs after the servers shut down so
     // the two timed sweeps have the machine to themselves.
     match sweep_resume_bench(&synthetic, args.smoke) {

@@ -26,7 +26,15 @@
 //! * the wire-native stream lifecycle breaks under failover: a stream
 //!   created over `POST /v1/streams` must land on exactly one replica,
 //!   solve there, answer 404 once its host dies, and recreate on the
-//!   next replica with plan bytes unchanged.
+//!   next replica with plan bytes unchanged, or
+//! * the replication gate fails: with `replication_factor(2)` a
+//!   created stream must land on both replica-set members, the repair
+//!   pass must warm the secondary via snapshot transfer (and converge
+//!   — a second pass moves nothing), and killing the primary mid-run
+//!   must leave every subsequent read served by the secondary with
+//!   identical plan bytes, `store_misses == 0`, and **zero** recreate
+//!   round-trips, after which a repair restores two-replica residency
+//!   on the survivors.
 //!
 //! Run `--quick` for the CI-sized instances.
 
@@ -89,7 +97,11 @@ fn boot(
         Arc::new(SolverRegistry::with_defaults()),
         ServiceOptions::new(),
     );
-    let mut config = ServerConfig::new().with_read_timeout(Duration::from_millis(400));
+    // Snapshot-transfer bodies carry a stream's dataset plus its warm
+    // cache slice — size the body cap for them, not just for requests.
+    let mut config = ServerConfig::new()
+        .with_read_timeout(Duration::from_millis(400))
+        .with_max_body_bytes(8 * 1024 * 1024);
     if let Some(path) = snapshot {
         config = config.with_snapshot_path(path);
     }
@@ -468,6 +480,164 @@ fn run(quick: bool) -> Result<(), String> {
 
     stream_router.shutdown();
     survivor.shutdown();
+
+    // --- phase 8: replication gate ----------------------------------
+    // Three empty backends, replication_factor(2): the stream lives on
+    // two ring replicas at once, the repair pass keeps the secondary
+    // warm, and losing the primary is invisible to reads — no recreate
+    // round-trip, no cold solve.
+    let no_streams: [(String, Instance); 0] = [];
+    let fleet: Vec<(PlannerService, ServerHandle)> =
+        (0..3).map(|_| boot(&no_streams, None)).collect();
+    let names = ["e", "f", "g"];
+    let mut builder = RouterServer::new().with_config(
+        RouterConfig::new()
+            .with_probe_interval(Duration::from_millis(50))
+            .with_replication_factor(2)
+            // Passes run on demand through the admin route, so the
+            // gate's assertions are deterministic.
+            .with_repair_interval(Duration::from_secs(600)),
+    );
+    for (name, (_, handle)) in names.iter().zip(&fleet) {
+        builder = builder.with_backend(*name, handle.addr().to_string());
+    }
+    let repl_router = builder
+        .serve("127.0.0.1:0")
+        .map_err(|e| format!("bind replication router: {e}"))?;
+    let repl_client = ApiClient::connect(repl_router.addr())
+        .map_err(|e| format!("connect replication router: {e}"))?;
+    repl_client
+        .create_stream(&create)
+        .map_err(|e| format!("replicated create: {e}"))?;
+    let hosting = |fleet: &[(PlannerService, ServerHandle)]| -> Result<Vec<usize>, String> {
+        let mut hosts = Vec::new();
+        for (i, (_, handle)) in fleet.iter().enumerate() {
+            let (_, listing) = client::get(handle.addr(), "/v1/streams")
+                .map_err(|e| format!("list replica {i}: {e}"))?;
+            if listing.contains("wire") {
+                hosts.push(i);
+            }
+        }
+        Ok(hosts)
+    };
+    let hosts = hosting(&fleet)?;
+    if hosts.len() != 2 {
+        return Err(format!(
+            "a replicated create must land on both set members, found {hosts:?}"
+        ));
+    }
+    let before = repl_client
+        .recommend(&wire_request, None)
+        .map_err(|e| format!("solve on the replicated stream: {e}"))?
+        .identity_json()
+        .to_string();
+    let primary = *hosts
+        .iter()
+        .find(|&&i| fleet[i].0.stats().submitted > 0)
+        .ok_or("no replica-set member served the solve")?;
+
+    // Repair over the wire: the first pass warms the cold secondary
+    // via snapshot transfer; a second finds the fleet converged.
+    let repair = |label: &str| -> Result<(usize, String), String> {
+        let (status, body) = client::post(repl_router.addr(), "/v1/admin/repair", "", &[])
+            .map_err(|e| format!("{label}: {e}"))?;
+        if status != 200 {
+            return Err(format!("{label} returned {status}: {body}"));
+        }
+        Json::parse(&body)
+            .ok()
+            .and_then(|j| {
+                j.get("transfers")
+                    .and_then(|t| t.as_array().map(<[Json]>::len))
+            })
+            .map(|n| (n, body.clone()))
+            .ok_or_else(|| format!("{label} report unreadable: {body}"))
+    };
+    let (warmed, report) = repair("warming repair")?;
+    if warmed == 0 {
+        return Err(format!(
+            "the repair pass moved nothing onto the cold secondary; report: {report}"
+        ));
+    }
+    let (converged, report) = repair("converged repair")?;
+    if converged != 0 {
+        return Err(format!(
+            "a converged fleet must repair nothing; report: {report}"
+        ));
+    }
+
+    // Kill the primary mid-run. The survivor host count pins "zero
+    // recreate round-trips": no new stream installs happen after the
+    // failover, reads are simply served by the secondary.
+    let streams_before: usize = hosting(&fleet)?.len();
+    let mut fleet: Vec<(PlannerService, Option<ServerHandle>)> = fleet
+        .into_iter()
+        .map(|(service, handle)| (service, Some(handle)))
+        .collect();
+    fleet[primary].1.take().expect("primary running").shutdown();
+    wait_unhealthy(&repl_router, names[primary])?;
+    for attempt in 0..3 {
+        let plan = repl_client
+            .recommend(&wire_request, None)
+            .map_err(|e| format!("read {attempt} after primary loss: {e}"))?;
+        if plan.identity_json().to_string() != before {
+            return Err(format!("failover read {attempt} changed plan bytes"));
+        }
+        if plan.diagnostics.store_misses != 0 {
+            return Err(format!(
+                "failover read {attempt} paid {} store misses on the secondary",
+                plan.diagnostics.store_misses
+            ));
+        }
+    }
+    let survivors_hosting = fleet
+        .iter()
+        .filter(|(_, handle)| {
+            handle.as_ref().is_some_and(|h| {
+                client::get(h.addr(), "/v1/streams")
+                    .map(|(_, listing)| listing.contains("wire"))
+                    .unwrap_or(false)
+            })
+        })
+        .count();
+    if survivors_hosting != streams_before - 1 {
+        return Err(format!(
+            "a recreate round-trip happened: {survivors_hosting} survivors host the stream"
+        ));
+    }
+
+    // Repair restores two-replica residency on the survivor fleet.
+    let (rereplicated, report) = repair("re-replication repair")?;
+    if rereplicated == 0 {
+        return Err(format!(
+            "repair did not re-replicate onto the ring successor; report: {report}"
+        ));
+    }
+    let rehosted = fleet
+        .iter()
+        .filter(|(_, handle)| {
+            handle.as_ref().is_some_and(|h| {
+                client::get(h.addr(), "/v1/streams")
+                    .map(|(_, listing)| listing.contains("wire"))
+                    .unwrap_or(false)
+            })
+        })
+        .count();
+    if rehosted != 2 {
+        return Err(format!(
+            "repair must restore R=2 residency, found {rehosted} hosts"
+        ));
+    }
+    println!(
+        "replication: primary killed, secondary served warm byte-identical plans, R=2 restored"
+    );
+
+    repl_router.shutdown();
+    for (_, handle) in fleet {
+        if let Some(handle) = handle {
+            handle.shutdown();
+        }
+    }
     Ok(())
 }
 

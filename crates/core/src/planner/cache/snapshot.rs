@@ -93,6 +93,13 @@ pub enum SnapshotError {
     /// The envelope checks passed but an entry payload is malformed
     /// (only reachable on a 64-bit checksum collision or a bug).
     Corrupt(&'static str),
+    /// A per-stream slice carries an entry whose instance fingerprint
+    /// does not belong to the target stream — the slice was cut from a
+    /// different stream's working set and must not be installed.
+    ForeignEntry {
+        /// The instance fingerprint found in the slice.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -108,6 +115,10 @@ impl std::fmt::Display for SnapshotError {
                 "snapshot scope mismatch (expected {expected:#018x}, found {found:#018x})"
             ),
             Self::Corrupt(what) => write!(f, "snapshot payload corrupt: {what}"),
+            Self::ForeignEntry { found } => write!(
+                f,
+                "snapshot slice carries a foreign entry (instance {found:#018x})"
+            ),
         }
     }
 }
@@ -143,17 +154,22 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Serializes every *built* entry of `store` (slots where neither
-/// engine has finished building are dropped — there is nothing to keep
-/// warm) into the version-1 snapshot format, under the caller's
-/// topology fingerprint `scope`. Entry order follows each shard's
-/// FIFO insertion order, so identical stores encode identical bytes.
-pub fn snapshot_bytes(store: &CacheStore, scope: u64) -> (Vec<u8>, usize) {
-    // Collect slot handles under the shard locks, encode outside them.
+/// Collects the *built* slots of `store` (slots where neither engine
+/// has finished building are dropped — there is nothing to keep warm)
+/// whose keys satisfy `keep`, in each shard's FIFO insertion order.
+/// Slot handles are cloned under the shard locks; encoding happens
+/// outside them.
+fn collect_built(
+    store: &CacheStore,
+    mut keep: impl FnMut(&CacheKey) -> bool,
+) -> Vec<(CacheKey, Arc<CacheSlot>)> {
     let mut entries: Vec<(CacheKey, Arc<CacheSlot>)> = Vec::new();
     for shard in &store.shards {
         let s = shard.lock().expect("cache shard poisoned");
         for key in &s.order {
+            if !keep(key) {
+                continue;
+            }
             if let Some(slot) = s.map.get(key) {
                 if slot.tables.get().is_some() || slot.benefits.get().is_some() {
                     entries.push((*key, Arc::clone(slot)));
@@ -161,13 +177,18 @@ pub fn snapshot_bytes(store: &CacheStore, scope: u64) -> (Vec<u8>, usize) {
             }
         }
     }
+    entries
+}
 
+/// Encodes already-collected entries into the version-1 snapshot
+/// format under the caller's fingerprint `scope`.
+fn encode_entries(entries: &[(CacheKey, Arc<CacheSlot>)], scope: u64) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     put_u64(&mut out, scope);
     put_u64(&mut out, entries.len() as u64);
-    for (key, slot) in &entries {
+    for (key, slot) in entries {
         put_u64(&mut out, key.instance);
         put_u64(&mut out, key.query);
         let tables = slot.tables.get();
@@ -196,7 +217,38 @@ pub fn snapshot_bytes(store: &CacheStore, scope: u64) -> (Vec<u8>, usize) {
     h.write_bytes(&out);
     let digest = h.finish();
     put_u64(&mut out, digest);
-    (out, entries.len())
+    out
+}
+
+/// Serializes every built entry of `store` into the version-1 snapshot
+/// format, under the caller's topology fingerprint `scope`. Entry
+/// order follows each shard's FIFO insertion order, so identical
+/// stores encode identical bytes.
+pub fn snapshot_bytes(store: &CacheStore, scope: u64) -> (Vec<u8>, usize) {
+    let entries = collect_built(store, |_| true);
+    (encode_entries(&entries, scope), entries.len())
+}
+
+/// Serializes only the built entries that belong to one stream: those
+/// whose `CacheKey` instance fingerprint is a member of
+/// `fingerprints` (a session's active instance fingerprints — a
+/// handful of values, scanned linearly). The slice rides the same
+/// version-1 format as a full snapshot; callers distinguish it by the
+/// per-stream `scope` they choose.
+pub fn snapshot_stream_bytes(
+    store: &CacheStore,
+    scope: u64,
+    fingerprints: &[u64],
+) -> (Vec<u8>, usize) {
+    let entries = collect_built(store, |key| fingerprints.contains(&key.instance));
+    (encode_entries(&entries, scope), entries.len())
+}
+
+/// Number of built entries in `store` whose instance fingerprint is a
+/// member of `fingerprints` — the warm-entry count a health report
+/// attributes to one stream, without encoding anything.
+pub fn stream_entry_count(store: &CacheStore, fingerprints: &[u64]) -> usize {
+    collect_built(store, |key| fingerprints.contains(&key.instance)).len()
 }
 
 /// Writes a snapshot of `store` to `path` atomically: the bytes land
@@ -257,18 +309,13 @@ impl<'a> SnapReader<'a> {
     }
 }
 
-/// Decodes `bytes` and inserts every entry whose key is not already
-/// resident into `store`, pre-seeding the slot `OnceLock`s so the
-/// first lookup of a restored key is a warm hit. `expected_scope` must
-/// match the scope recorded in the file.
-///
-/// On any error the store is left exactly as it was — entries are
-/// fully decoded and validated before the first insertion.
-pub fn restore_bytes(
-    store: &CacheStore,
+/// Validates the envelope of `bytes` (length, magic, version,
+/// checksum, scope) and decodes every entry into a fresh slot, without
+/// touching any store.
+fn decode_all(
     bytes: &[u8],
     expected_scope: u64,
-) -> Result<SnapshotStats, SnapshotError> {
+) -> Result<Vec<(CacheKey, CacheSlot)>, SnapshotError> {
     if bytes.len() < HEADER_BYTES + CHECKSUM_BYTES {
         return Err(SnapshotError::Truncated);
     }
@@ -348,13 +395,17 @@ pub fn restore_bytes(
     if r.remaining() != 0 {
         return Err(SnapshotError::Corrupt("trailing bytes after entries"));
     }
+    Ok(decoded)
+}
 
+/// Inserts fully-decoded entries into `store`, never displacing live
+/// work: existing keys win, and the capacity cap is honored instead of
+/// evicting residents. Returns `(inserted, skipped)`.
+fn install(store: &CacheStore, decoded: Vec<(CacheKey, CacheSlot)>) -> (usize, usize) {
     let mut inserted = 0usize;
     let mut skipped = 0usize;
     for (key, slot) in decoded {
         let mut shard = store.shard_of(key).lock().expect("cache shard poisoned");
-        // Never displace live work: existing keys win, and the
-        // capacity cap is honored instead of evicting residents.
         if shard.map.contains_key(&key) || shard.map.len() >= store.shard_capacity {
             skipped += 1;
             continue;
@@ -363,6 +414,51 @@ pub fn restore_bytes(
         shard.order.push_back(key);
         inserted += 1;
     }
+    (inserted, skipped)
+}
+
+/// Decodes `bytes` and inserts every entry whose key is not already
+/// resident into `store`, pre-seeding the slot `OnceLock`s so the
+/// first lookup of a restored key is a warm hit. `expected_scope` must
+/// match the scope recorded in the file.
+///
+/// On any error the store is left exactly as it was — entries are
+/// fully decoded and validated before the first insertion.
+pub fn restore_bytes(
+    store: &CacheStore,
+    bytes: &[u8],
+    expected_scope: u64,
+) -> Result<SnapshotStats, SnapshotError> {
+    let decoded = decode_all(bytes, expected_scope)?;
+    let (inserted, skipped) = install(store, decoded);
+    Ok(SnapshotStats {
+        entries: inserted,
+        bytes: bytes.len(),
+        skipped,
+    })
+}
+
+/// [`restore_bytes`] for a per-stream slice: additionally refuses any
+/// entry whose instance fingerprint is not a member of `fingerprints`
+/// ([`SnapshotError::ForeignEntry`]) — a slice cut from a different
+/// stream must never seed this stream's warm set, even when the scope
+/// fingerprints happen to collide. All-or-nothing like the full
+/// restore: the foreign check runs before the first insertion.
+pub fn restore_stream_bytes(
+    store: &CacheStore,
+    bytes: &[u8],
+    expected_scope: u64,
+    fingerprints: &[u64],
+) -> Result<SnapshotStats, SnapshotError> {
+    let decoded = decode_all(bytes, expected_scope)?;
+    for (key, _) in &decoded {
+        if !fingerprints.contains(&key.instance) {
+            return Err(SnapshotError::ForeignEntry {
+                found: key.instance,
+            });
+        }
+    }
+    let (inserted, skipped) = install(store, decoded);
     Ok(SnapshotStats {
         entries: inserted,
         bytes: bytes.len(),
@@ -557,6 +653,125 @@ mod tests {
             })
         ));
         assert!(fresh.is_empty());
+    }
+
+    /// The per-stream scope the slice tests cut and restore under.
+    const SLICE_SCOPE: u64 = 0x517C_E5C0;
+
+    /// A second dataset with a distinct instance fingerprint, standing
+    /// in for "some other stream" in the slice tests.
+    fn other_instance() -> Instance {
+        Instance::new(
+            vec![
+                DiscreteDist::uniform_over(&[2.0, 8.0]).unwrap(),
+                DiscreteDist::uniform_over(&[1.0, 9.0]).unwrap(),
+                DiscreteDist::uniform_over(&[3.0, 5.0]).unwrap(),
+            ],
+            vec![5.0, 5.0, 4.0],
+            vec![2, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_slice_round_trips_only_the_streams_entries() {
+        let (store, k1, k2) = warm_store();
+        // A foreign stream's entry shares the store but not the slice.
+        let other = other_instance();
+        let foreign = CacheKey::new(fingerprint_instance(&other), 33);
+        store.benefits(foreign, || Some(vec![9.0]));
+        assert_ne!(k1.instance, foreign.instance, "fixtures must differ");
+
+        let (slice, entries) = snapshot_stream_bytes(&store, SLICE_SCOPE, &[k1.instance]);
+        assert_eq!(entries, 2, "only the stream's two entries are cut");
+
+        let fresh = CacheStore::with_shards(8, 1);
+        let stats =
+            restore_stream_bytes(&fresh, &slice, SLICE_SCOPE, &[k1.instance]).expect("restore");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.skipped, 0);
+        // Every restored lookup is warm; the foreign key never landed.
+        fresh.tables(k1, || panic!("sliced tables must be warm"));
+        let benefits = fresh.benefits(k1, || panic!("sliced benefits must be warm"));
+        assert_eq!(
+            benefits.as_deref().map(|v| v.as_slice()),
+            Some(&[1.5, -2.25, 0.0][..])
+        );
+        assert!(fresh
+            .benefits(k2, || panic!("sliced None must be warm"))
+            .is_none());
+        assert_eq!(fresh.len(), 2, "the foreign entry was not exported");
+        assert_eq!(fresh.stats().misses, 0);
+
+        // The slice's tables are byte-identical to the source's.
+        let mut original = Vec::new();
+        store
+            .tables(k1, || panic!("source must stay warm"))
+            .encode_into(&mut original);
+        let mut restored = Vec::new();
+        fresh
+            .tables(k1, || panic!("restored must stay warm"))
+            .encode_into(&mut restored);
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn stream_slice_of_a_foreign_stream_is_refused() {
+        let (store, k1, _) = warm_store();
+        let (slice, _) = snapshot_stream_bytes(&store, SLICE_SCOPE, &[k1.instance]);
+
+        // Same scope, wrong stream: the fingerprint gate fires before
+        // anything is installed.
+        let other = fingerprint_instance(&other_instance());
+        let fresh = CacheStore::with_shards(8, 1);
+        let err = restore_stream_bytes(&fresh, &slice, SLICE_SCOPE, &[other])
+            .expect_err("foreign slice must be refused");
+        assert!(
+            matches!(err, SnapshotError::ForeignEntry { found } if found == k1.instance),
+            "got {err:?}"
+        );
+        assert!(fresh.is_empty(), "refused slice must not insert anything");
+
+        // Different per-stream scope: refused even earlier, wholesale.
+        let fresh = CacheStore::with_shards(8, 1);
+        assert!(matches!(
+            restore_stream_bytes(&fresh, &slice, 0xBEEF, &[k1.instance]),
+            Err(SnapshotError::ScopeMismatch { .. })
+        ));
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn stream_slice_rejects_corruption_with_zero_partial_installs() {
+        let (store, k1, _) = warm_store();
+        let (slice, _) = snapshot_stream_bytes(&store, 77, &[k1.instance]);
+
+        let check = |mangled: Vec<u8>, expect: fn(&SnapshotError) -> bool, what: &str| {
+            let fresh = CacheStore::with_shards(8, 1);
+            let err = restore_stream_bytes(&fresh, &mangled, 77, &[k1.instance]).expect_err(what);
+            assert!(expect(&err), "{what}: got {err:?}");
+            assert!(fresh.is_empty(), "{what}: failed restore must not insert");
+        };
+
+        let mut flipped = slice.clone();
+        flipped[HEADER_BYTES + 5] ^= 0x08;
+        check(
+            flipped,
+            |e| matches!(e, SnapshotError::ChecksumMismatch),
+            "bit flip",
+        );
+        let mut truncated = slice.clone();
+        truncated.truncate(slice.len() - 3);
+        check(
+            truncated,
+            |e| matches!(e, SnapshotError::ChecksumMismatch),
+            "truncation",
+        );
+        check(
+            slice[..HEADER_BYTES - 2].to_vec(),
+            |e| matches!(e, SnapshotError::Truncated),
+            "header torn",
+        );
     }
 
     #[test]

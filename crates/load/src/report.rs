@@ -24,6 +24,10 @@ pub struct RunFingerprint {
     pub abandon_permille: u32,
     /// Whether this was the CI-sized `--smoke` run.
     pub smoke: bool,
+    /// Whether the replay drove a replicated router front (`--router`).
+    /// Router documents must carry a `failover` section when the
+    /// budget sets a recovery ceiling; single-box documents are exempt.
+    pub router: bool,
 }
 
 fn hist_summary(hist: &crate::hist::LogHistogram) -> Json {
@@ -112,6 +116,7 @@ pub fn bench_json(
                     Json::Num(f64::from(fingerprint.abandon_permille)),
                 ),
                 ("smoke", Json::Bool(fingerprint.smoke)),
+                ("router", Json::Bool(fingerprint.router)),
             ]),
         ),
         ("wall_ms", Json::Num(report.wall_ms as f64)),
@@ -231,6 +236,8 @@ pub fn invariant_violations(report: &ReplayReport, server_stats: &Json) -> Vec<S
 /// Checks a bench document against `BENCH_budget.json` ceilings:
 /// `max_p99_ms` and `max_p95_ms` per op (total latency),
 /// `max_first_point_p95_ms` per streamed op (time to first point),
+/// `max_failover_recovery_ms` (router runs only — time from a replica
+/// kill to the next served read),
 /// `max_transport_error_ratio`, `min_ok`. The p99 budgets are deliberately loose (10× headroom,
 /// catching order-of-magnitude regressions); the p95 budgets are the
 /// tighter perf-regression guard — pinned ~1.2× above the measured
@@ -267,6 +274,32 @@ pub fn budget_violations(bench: &Json, budget: &Json) -> Vec<String> {
                 violations.push(format!(
                     "budget: {op} {label} {measured}ms exceeds ceiling {ceiling}ms"
                 ));
+            }
+        }
+    }
+    // Failover recovery: how long after a replica is killed until the
+    // router serves the next read. Only router runs stage a kill, so a
+    // single-box document is exempt — but a router run that recorded
+    // no measurement is a broken harness, not a pass.
+    if let Some(ceiling) = stat(budget, &["max_failover_recovery_ms"]) {
+        match stat(bench, &["failover", "recovery_ms"]) {
+            Some(measured) if measured > ceiling => violations.push(format!(
+                "budget: failover recovery {measured}ms exceeds ceiling {ceiling}ms"
+            )),
+            Some(_) => {}
+            None => {
+                if bench
+                    .get("config")
+                    .and_then(|c| c.get("router"))
+                    .and_then(Json::as_bool)
+                    == Some(true)
+                {
+                    violations.push(
+                        "budget: a failover recovery ceiling is set but the router run \
+                         recorded no failover section"
+                            .to_string(),
+                    );
+                }
             }
         }
     }
@@ -350,6 +383,7 @@ mod tests {
             client_threads: 2,
             abandon_permille: 50,
             smoke: true,
+            router: false,
         }
     }
 
@@ -456,5 +490,38 @@ mod tests {
         // is flagged, not silently skipped.
         let fp_missing = Json::parse(r#"{"max_first_point_p95_ms":{"recommend":100}}"#).unwrap();
         assert!(budget_violations(&bench, &fp_missing)[0].contains("no samples"));
+    }
+
+    #[test]
+    fn failover_ceiling_applies_to_router_documents() {
+        let budget = Json::parse(r#"{"max_failover_recovery_ms":2000}"#).unwrap();
+        // A single-box document has no failover phase to measure.
+        let single_box = bench_json(&fingerprint(), &report(), &clean_stats());
+        assert_eq!(
+            budget_violations(&single_box, &budget),
+            Vec::<String>::new()
+        );
+        // A router document under the ceiling passes …
+        let mut router_fp = fingerprint();
+        router_fp.router = true;
+        let with_failover = |recovery_ms: f64| {
+            let mut doc = bench_json(&router_fp, &report(), &clean_stats());
+            if let Json::Obj(fields) = &mut doc {
+                fields.push((
+                    "failover".to_string(),
+                    Json::obj([("recovery_ms", Json::Num(recovery_ms))]),
+                ));
+            }
+            doc
+        };
+        assert_eq!(
+            budget_violations(&with_failover(120.0), &budget),
+            Vec::<String>::new()
+        );
+        // … over it fails …
+        assert!(budget_violations(&with_failover(9000.0), &budget)[0].contains("failover recovery"));
+        // … and a router run that never measured is a broken harness.
+        let unmeasured = bench_json(&router_fp, &report(), &clean_stats());
+        assert!(budget_violations(&unmeasured, &budget)[0].contains("no failover section"));
     }
 }

@@ -6,7 +6,7 @@
 //! enumeration of per-object supports is always cheap; the combinatorial
 //! cost lives in the *joint* space, handled by [`crate::joint`].
 
-use crate::{Result, UncertainError, PROB_SUM_TOL};
+use crate::{Result, UncertainError, PROB_RENORM_TOL, PROB_SUM_TOL};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// Invariants (enforced at construction):
 /// * non-empty support;
 /// * all probabilities finite, `>= 0`, summing to 1 within `1e-9`
-///   (the mass is re-normalized exactly after validation);
+///   (a measurably-off mass is re-normalized after validation; an
+///   already-normalized pmf is stored bit-exactly so wire round-trips
+///   are stable);
 /// * support values are finite and strictly increasing (constructors sort
 ///   and merge duplicates, accumulating their mass).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,8 +59,13 @@ impl DiscreteDist {
         if (total - 1.0).abs() > PROB_SUM_TOL {
             return Err(UncertainError::InvalidProbabilities { total });
         }
-        for p in &mut probs {
-            *p /= total;
+        // Rescale only a measurably-off mass: an already-normalized pmf
+        // must re-enter construction bit-exactly, or wire codecs have
+        // no fixed point (see [`PROB_RENORM_TOL`]).
+        if (total - 1.0).abs() > PROB_RENORM_TOL {
+            for p in &mut probs {
+                *p /= total;
+            }
         }
         Ok(Self { values, probs })
     }

@@ -111,3 +111,11 @@ pub type Result<T> = std::result::Result<T, UncertainError>;
 
 /// Tolerance used when validating that probability masses sum to one.
 pub(crate) const PROB_SUM_TOL: f64 = 1e-9;
+
+/// Mass error below which a pmf counts as *already* normalized and is
+/// stored bit-exactly. One rescale leaves `Σp` within a few ulps of 1
+/// (far under this bound), so normalization is idempotent: a pmf that
+/// round-trips through a wire codec re-enters construction unchanged.
+/// Without the cutoff every encode∘decode cycle divides the masses by
+/// a total ≠ 1.0 and perturbs them, so no two trips agree bit-for-bit.
+pub(crate) const PROB_RENORM_TOL: f64 = 1e-12;

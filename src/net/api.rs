@@ -1236,6 +1236,167 @@ impl StreamInfo {
     }
 }
 
+// ------------------------------------------------------------ base64
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard padded base64 — the wire encoding for binary cache-slice
+/// payloads riding inside JSON string fields (`std` has no codec).
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let quads = [
+            b[0] >> 2,
+            ((b[0] & 0b11) << 4) | (b[1] >> 4),
+            ((b[1] & 0b1111) << 2) | (b[2] >> 6),
+            b[2] & 0b11_1111,
+        ];
+        for (i, q) in quads.into_iter().enumerate() {
+            if i <= chunk.len() {
+                out.push(BASE64_ALPHABET[q as usize] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`base64_encode`]. Rejects bad lengths, characters
+/// outside the alphabet, and misplaced padding with a `400`-shaped
+/// [`ApiError`].
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, ApiError> {
+    let bad = || ApiError::bad_request("invalid base64 payload");
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(bad());
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let mut vals = [0u8; 4];
+        let mut pad = 0usize;
+        for (j, &c) in quad.iter().enumerate() {
+            if c == b'=' {
+                // Padding is legal only in the last quad's tail.
+                if !last || j < 2 || quad[j..].iter().any(|&t| t != b'=') {
+                    return Err(bad());
+                }
+                pad = 4 - j;
+                break;
+            }
+            vals[j] = match c {
+                b'A'..=b'Z' => c - b'A',
+                b'a'..=b'z' => c - b'a' + 26,
+                b'0'..=b'9' => c - b'0' + 52,
+                b'+' => 62,
+                b'/' => 63,
+                _ => return Err(bad()),
+            };
+        }
+        let triple = [
+            (vals[0] << 2) | (vals[1] >> 4),
+            (vals[1] << 4) | (vals[2] >> 2),
+            (vals[2] << 6) | vals[3],
+        ];
+        out.extend_from_slice(&triple[..3 - pad.min(2)]);
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------- snapshot transfer
+
+/// The `GET /v1/streams/{id}/snapshot` body: everything a peer needs
+/// to host a byte-identical replica of one stream — the full stream
+/// definition (dataset included, so no re-upload round-trip) plus the
+/// warm per-stream cache slice, one checksummed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotTransfer {
+    /// The stream's complete definition, exactly as a create would
+    /// carry it (id, tenant, θ, discretization width, data, claims).
+    pub definition: CreateStreamRequest,
+    /// The per-stream cache slice (`snapshot_stream_bytes` format:
+    /// versioned, scope-fingerprinted, checksummed). Empty when the
+    /// stream has no warm entries yet.
+    pub cache_slice: Vec<u8>,
+    /// Warm entries carried in the slice (what the exporter counted).
+    pub warm_entries: usize,
+}
+
+impl SnapshotTransfer {
+    /// The wire body. Fails only for data with no wire encoding.
+    pub fn to_json(&self) -> Result<Json, ApiError> {
+        Ok(Json::obj([
+            ("definition", self.definition.to_json()?),
+            ("cache_slice", Json::Str(base64_encode(&self.cache_slice))),
+            ("warm_entries", Json::Num(self.warm_entries as f64)),
+        ]))
+    }
+
+    /// Parses and validates a transfer body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let definition = CreateStreamRequest::from_json(
+            body.get("definition")
+                .ok_or_else(|| ApiError::bad_request("missing \"definition\""))?,
+        )?;
+        let cache_slice = base64_decode(
+            body.get("cache_slice")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ApiError::bad_request("missing \"cache_slice\""))?,
+        )?;
+        let warm_entries = body
+            .get("warm_entries")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ApiError::bad_request("missing \"warm_entries\""))?;
+        Ok(Self {
+            definition,
+            cache_slice,
+            warm_entries,
+        })
+    }
+
+    /// The serialized body string (fallible like
+    /// [`SnapshotTransfer::to_json`]).
+    pub fn encode(&self) -> Result<String, ApiError> {
+        Ok(self.to_json()?.to_string())
+    }
+}
+
+/// `POST /v1/streams/{id}/adopt`: install a replicated stream from a
+/// peer's [`SnapshotTransfer`]. The body is the transfer itself — a
+/// snapshot response can be adopted verbatim — so this type is a
+/// semantic wrapper sharing the codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdoptRequest {
+    /// The peer's snapshot of the stream being adopted.
+    pub transfer: SnapshotTransfer,
+}
+
+impl AdoptRequest {
+    /// The wire body (identical to the transfer's).
+    pub fn to_json(&self) -> Result<Json, ApiError> {
+        self.transfer.to_json()
+    }
+
+    /// Parses an adopt body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        Ok(Self {
+            transfer: SnapshotTransfer::from_json(body)?,
+        })
+    }
+
+    /// The serialized body string.
+    pub fn encode(&self) -> Result<String, ApiError> {
+        self.transfer.encode()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1596,5 +1757,68 @@ mod tests {
         assert_eq!(a.tenants.len(), 2);
         assert_eq!(a.tenants[0].1.in_flight, 3);
         assert_eq!(a.tenants[0].1.outstanding_evals, 11);
+    }
+
+    #[test]
+    fn base64_round_trips_and_matches_reference_vectors() {
+        // RFC 4648 test vectors.
+        for (plain, encoded) in [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(base64_encode(plain.as_bytes()), encoded);
+            assert_eq!(base64_decode(encoded).unwrap(), plain.as_bytes());
+        }
+        // Every byte value survives.
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(base64_decode(&base64_encode(&all)).unwrap(), all);
+        for bad in ["Zg=", "====", "Zg=a", "Z***", "=Zg=", "Zm9v=A=="] {
+            assert_eq!(base64_decode(bad).unwrap_err().status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn snapshot_transfer_round_trips_and_adopts_verbatim() {
+        let transfer = SnapshotTransfer {
+            definition: CreateStreamRequest {
+                id: "cdc".into(),
+                tenant: Some("newsroom".into()),
+                theta: Some(30.0),
+                discretize_support: None,
+                data: discrete_model(),
+                claims: two_object_claims(),
+            },
+            cache_slice: vec![0xFC, 0x00, 0x5A, 0xFF, 0x01],
+            warm_entries: 3,
+        };
+        let body = transfer.encode().unwrap();
+        let decoded = decode_body(&body, SnapshotTransfer::from_json).unwrap();
+        assert_eq!(decoded, transfer);
+        // A snapshot response body IS a valid adopt body.
+        let adopt = decode_body(&body, AdoptRequest::from_json).unwrap();
+        assert_eq!(adopt.transfer, transfer);
+        assert_eq!(adopt.encode().unwrap(), body);
+
+        // Missing fields and a corrupt slice encoding are typed 400s.
+        for mangled in [
+            r#"{"cache_slice":"","warm_entries":0}"#.to_string(),
+            body.replace("cache_slice", "slice"),
+            body.replace("warm_entries", "entries"),
+        ] {
+            let err = decode_body(&mangled, SnapshotTransfer::from_json).unwrap_err();
+            assert_eq!(err.status, 400, "{mangled}");
+        }
+        let bad_b64 = body.replace(&base64_encode(&transfer.cache_slice), "not base64!");
+        assert_eq!(
+            decode_body(&bad_b64, SnapshotTransfer::from_json)
+                .unwrap_err()
+                .status,
+            400
+        );
     }
 }

@@ -28,8 +28,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use super::api::{
-    ApiError, CleanRequest, CleanResponse, CreateStreamRequest, PlanView, RecommendRequest,
-    StatsResponse, StreamInfo, SweepRequest,
+    AdoptRequest, ApiError, CleanRequest, CleanResponse, CreateStreamRequest, PlanView,
+    RecommendRequest, SnapshotTransfer, StatsResponse, StreamInfo, SweepRequest,
 };
 use super::http::ERROR_TRAILER;
 use super::json::Json;
@@ -1019,6 +1019,32 @@ impl ApiClient {
         let path = format!("/v1/streams/{stream}/clean");
         let json = self.exchange("POST", &path, tenant, &request.encode())?;
         CleanResponse::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+    }
+
+    /// `GET /v1/streams/{id}/snapshot` — the stream's definition plus
+    /// its warm per-stream cache slice, ready to [`adopt`] on a peer.
+    ///
+    /// [`adopt`]: ApiClient::adopt
+    pub fn snapshot(&self, id: &str) -> Result<SnapshotTransfer, ClientError> {
+        let json = self.exchange("GET", &format!("/v1/streams/{id}/snapshot"), None, "")?;
+        SnapshotTransfer::from_json(&json).map_err(|e| ClientError::Decode(e.message))
+    }
+
+    /// `POST /v1/streams/{id}/adopt` — install a replicated stream
+    /// from a peer's [`snapshot`](ApiClient::snapshot) without
+    /// re-uploading the dataset. Answers how many warm entries were
+    /// restored; adopting onto an id that already hosts the same
+    /// definition merges the slice idempotently.
+    pub fn adopt(&self, id: &str, transfer: &SnapshotTransfer) -> Result<usize, ClientError> {
+        let body = AdoptRequest {
+            transfer: transfer.clone(),
+        }
+        .encode()
+        .map_err(ClientError::Api)?;
+        let json = self.exchange("POST", &format!("/v1/streams/{id}/adopt"), None, &body)?;
+        json.get("restored_entries")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ClientError::Decode("adopt response missing restored_entries".into()))
     }
 
     /// `GET /v1/stats` — service, store, and tenant counters.

@@ -52,8 +52,25 @@
 //!   lands exactly where later solves for it will route; if that
 //!   replica dies, re-creating the stream lands on the next one — the
 //!   same replica the solves now route to. `GET`/`DELETE
-//!   /v1/streams/{id}` follow the same order (deletes broadcast, since
-//!   failovers may have left copies on several replicas).
+//!   /v1/streams/{id}` follow the same order (without replication,
+//!   deletes broadcast fleet-wide, since failovers may have left
+//!   copies on several replicas).
+//! * **Per-stream replication** — with
+//!   [`RouterConfig::replication_factor`] `>= 2`, each stream's home
+//!   is a *replica set*: the first R distinct, usable backends of its
+//!   ring walk. Creates fan out to the whole set (unanimity required,
+//!   divergence is a `502`), cleans and deletes scope to it, and
+//!   reads prefer the primary but fail over to secondaries that
+//!   already host the stream — same session, byte-identical plans, no
+//!   recreate round-trip. A background repair pass (or `POST
+//!   /v1/admin/repair` for a synchronous one) re-replicates
+//!   under-replicated streams onto the next ring successor and
+//!   re-warms cold secondaries by relaying `GET
+//!   /v1/streams/{id}/snapshot` bodies into `POST
+//!   /v1/streams/{id}/adopt` — so a failover lands on a warm replica
+//!   (`store_misses == 0`). Replication expects ring-governed
+//!   placement: streams enter the fleet through the router, not by
+//!   pre-installing them on arbitrary backends.
 //!
 //! Aggregate observability: `GET /v1/stats` sums the per-backend
 //! stats into the single-box shape (sums preserve the invariants the
@@ -108,6 +125,16 @@ pub struct RouterConfig {
     /// Health-probe cadence (and the worst-case latency for noticing a
     /// dead or drained backend without traffic). Default: 250ms.
     pub probe_interval: Duration,
+    /// How many distinct ring backends host each stream. `1` (the
+    /// default) is the classic one-stream-one-host placement; `2+`
+    /// fans stream creates out to a replica set, scopes mutations to
+    /// it, and arms the background repair pass that re-replicates and
+    /// re-warms under-replicated streams via snapshot transfer.
+    pub replication_factor: usize,
+    /// Background repair-pass cadence (only runs with
+    /// `replication_factor >= 2`; `POST /v1/admin/repair` forces a
+    /// synchronous pass regardless). Default: 1s.
+    pub repair_interval: Duration,
 }
 
 impl RouterConfig {
@@ -120,6 +147,8 @@ impl RouterConfig {
             upstream_timeout: Duration::from_secs(120),
             disconnect_poll: Duration::from_millis(50),
             probe_interval: Duration::from_millis(250),
+            replication_factor: 1,
+            repair_interval: Duration::from_secs(1),
         }
     }
 
@@ -158,6 +187,19 @@ impl RouterConfig {
         self.probe_interval = interval;
         self
     }
+
+    /// Sets the per-stream replication factor (clamped to at least 1;
+    /// values past the fleet size degrade to the fleet size).
+    pub fn with_replication_factor(mut self, replicas: usize) -> Self {
+        self.replication_factor = replicas.max(1);
+        self
+    }
+
+    /// Sets the background repair-pass cadence.
+    pub fn with_repair_interval(mut self, interval: Duration) -> Self {
+        self.repair_interval = interval;
+        self
+    }
 }
 
 impl Default for RouterConfig {
@@ -179,6 +221,11 @@ struct Backend {
     /// The backend's own advisory drain flag, read off its health
     /// probe.
     advertised_draining: AtomicBool,
+    /// Per-stream residency off the last health probe: `(stream id,
+    /// warm entry count)` for every stream the backend hosts. The
+    /// repair pass reads this to spot under-replicated or cold
+    /// replicas; `/v1/topology` surfaces it to operators.
+    residency: Mutex<Vec<(String, u64)>>,
 }
 
 impl Backend {
@@ -202,6 +249,8 @@ struct RouterCtx {
     live: LiveConnections,
     /// Wakes the prober early on shutdown.
     prober_bed: (Mutex<bool>, Condvar),
+    /// Wakes the repair thread early on shutdown.
+    repair_bed: (Mutex<bool>, Condvar),
 }
 
 impl RouterCtx {
@@ -229,6 +278,41 @@ impl RouterCtx {
             }
         }
         order
+    }
+
+    /// The stream's *effective replica set*: the first
+    /// `replication_factor` distinct backends of the ring walk that are
+    /// currently usable — available ones first, then (to keep the set
+    /// full through a drain) draining-but-healthy ones. A dead member
+    /// is skipped, so its slot falls to the next ring successor — the
+    /// same backend the repair pass re-replicates onto.
+    fn replica_set(&self, order: &[usize]) -> Vec<usize> {
+        let want = self.config.replication_factor.min(self.backends.len());
+        let mut set: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&idx| self.backends[idx].available())
+            .take(want)
+            .collect();
+        if set.len() < want {
+            for &idx in order {
+                if set.len() == want {
+                    break;
+                }
+                if !set.contains(&idx) && self.backends[idx].healthy.load(Ordering::Relaxed) {
+                    set.push(idx);
+                }
+            }
+        }
+        set
+    }
+
+    /// Whether per-stream replication is on (`replication_factor >=
+    /// 2`). With it off, mutations keep the legacy fleet-wide
+    /// broadcast: without ring-governed placement, failover recreates
+    /// can strand stream copies on any backend.
+    fn replicated(&self) -> bool {
+        self.config.replication_factor >= 2
     }
 }
 
@@ -262,15 +346,16 @@ fn vnode_points(name: &str) -> impl Iterator<Item = u64> + '_ {
 /// |---|---|
 /// | `POST /v1/recommend`, `/v1/sweep` | hash the body's stream id → forward, retrying the next replica on transport error |
 /// | `POST /v1/sweep?stream=1` | same routing, relayed chunk-by-chunk as points complete upstream |
-/// | `POST /v1/streams` | hash the body's `id` → create on that replica (next one if it is down) |
-/// | `GET /v1/streams/{id}` | relayed from the stream's replica (ring order) |
-/// | `DELETE /v1/streams/{id}` | broadcast to every healthy backend (`404`s from non-hosts tolerated) |
-/// | `POST /v1/streams/{id}/clean` | broadcast to every healthy backend; `502` on divergent outcomes |
+/// | `POST /v1/streams` | hash the body's `id` → create on that replica (next one if it is down); with replication, fan out to the whole replica set |
+/// | `GET /v1/streams/{id}` | relayed from the stream's replica (ring order, failing over to secondaries) |
+/// | `DELETE /v1/streams/{id}` | broadcast to the stream's replica set (fleet-wide without replication); unanimous `404` relays as `404` |
+/// | `POST /v1/streams/{id}/clean` | broadcast to the stream's replica set (fleet-wide without replication); `502` on divergent outcomes |
 /// | `GET /v1/stats` | per-backend stats summed into the single-box shape |
 /// | `GET /v1/streams` | relayed from the first live backend |
-/// | `GET /v1/topology` | the ring: backends, health, drain flags |
-/// | `GET /v1/health` | router liveness + live-backend count |
+/// | `GET /v1/topology` | the ring: backends, health, drain flags, per-stream residency |
+/// | `GET /v1/health` | router liveness + live-backend count + replication factor |
 /// | `POST /v1/admin/backends/{name}/drain` (`/undrain`) | flip the router-side drain flag |
+/// | `POST /v1/admin/repair` | run one synchronous repair pass; answers its transfer report |
 ///
 /// See the [module docs](self) for routing and failure semantics.
 pub struct RouterServer {
@@ -333,6 +418,7 @@ impl RouterServer {
                 healthy: AtomicBool::new(true),
                 draining: AtomicBool::new(false),
                 advertised_draining: AtomicBool::new(false),
+                residency: Mutex::new(Vec::new()),
             });
         }
         let listener = TcpListener::bind(addr)?;
@@ -344,6 +430,7 @@ impl RouterServer {
             shutdown: AtomicBool::new(false),
             live: LiveConnections::default(),
             prober_bed: (Mutex::new(false), Condvar::new()),
+            repair_bed: (Mutex::new(false), Condvar::new()),
         });
         let accept_ctx = Arc::clone(&ctx);
         let accept = std::thread::Builder::new()
@@ -353,11 +440,16 @@ impl RouterServer {
         let prober = std::thread::Builder::new()
             .name("fc-router-probe".into())
             .spawn(move || prober_loop(&probe_ctx))?;
+        let repair_ctx = Arc::clone(&ctx);
+        let repairer = std::thread::Builder::new()
+            .name("fc-router-repair".into())
+            .spawn(move || repairer_loop(&repair_ctx))?;
         Ok(RouterHandle {
             addr,
             ctx,
             accept: Some(accept),
             prober: Some(prober),
+            repairer: Some(repairer),
         })
     }
 }
@@ -384,12 +476,21 @@ pub struct RouterHandle {
     ctx: Arc<RouterCtx>,
     accept: Option<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
+    repairer: Option<JoinHandle<()>>,
 }
 
 impl RouterHandle {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Runs one synchronous repair pass (the same thing `POST
+    /// /v1/admin/repair` does over the wire): re-probes the fleet,
+    /// then re-replicates and re-warms every under-replicated stream
+    /// via snapshot transfer. Answers the pass's report.
+    pub fn repair(&self) -> Json {
+        repair_pass(&self.ctx)
     }
 
     /// Flips the router-side drain flag for `name`; `false` if no such
@@ -418,11 +519,16 @@ impl RouterHandle {
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
         self.ctx.live.wait_drained();
-        let (bed, alarm) = &self.ctx.prober_bed;
-        *bed.lock().unwrap_or_else(PoisonError::into_inner) = true;
-        alarm.notify_all();
+        for bed_pair in [&self.ctx.prober_bed, &self.ctx.repair_bed] {
+            let (bed, alarm) = bed_pair;
+            *bed.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            alarm.notify_all();
+        }
         if let Some(prober) = self.prober.take() {
             let _ = prober.join();
+        }
+        if let Some(repairer) = self.repairer.take() {
+            let _ = repairer.join();
         }
     }
 }
@@ -468,8 +574,9 @@ fn prober_loop(ctx: &RouterCtx) {
 }
 
 /// One health probe: `GET /v1/health`, falling back to `/v1/stats` on
-/// backends without the health route. A `200` marks healthy and
-/// updates the advertised drain flag; anything else marks unhealthy.
+/// backends without the health route. A `200` marks healthy, updates
+/// the advertised drain flag, and refreshes the backend's per-stream
+/// residency; anything else marks unhealthy.
 fn probe_backend(backend: &Backend, timeout: Duration) {
     let exchange = Conn::connect(backend.addr, Some(timeout)).and_then(|mut conn| {
         match conn.send("GET", "/v1/health", &[], "")? {
@@ -481,18 +588,220 @@ fn probe_backend(backend: &Backend, timeout: Duration) {
     });
     match exchange {
         Ok((200, body, has_health)) => {
-            let advertised = has_health
-                && Json::parse(&body)
-                    .ok()
-                    .and_then(|j| j.get("draining").and_then(Json::as_bool))
-                    .unwrap_or(false);
+            let health = has_health.then(|| Json::parse(&body).ok()).flatten();
+            let advertised = health
+                .as_ref()
+                .and_then(|j| j.get("draining").and_then(Json::as_bool))
+                .unwrap_or(false);
             backend
                 .advertised_draining
                 .store(advertised, Ordering::Relaxed);
+            let residency = health
+                .as_ref()
+                .and_then(|j| j.get("streams").and_then(Json::as_array))
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|s| {
+                    let id = s.get("id").and_then(Json::as_str)?;
+                    let warm = s.get("warm_entries").and_then(Json::as_u64)?;
+                    Some((id.to_string(), warm))
+                })
+                .collect();
+            *backend
+                .residency
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = residency;
             backend.healthy.store(true, Ordering::Relaxed);
         }
         _ => backend.healthy.store(false, Ordering::Relaxed),
     }
+}
+
+/// Runs a repair pass each `repair_interval` while replication is on;
+/// exits on shutdown.
+fn repairer_loop(ctx: &RouterCtx) {
+    loop {
+        let (bed, alarm) = &ctx.repair_bed;
+        let mut asleep = bed.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*asleep {
+            let (next, timed_out) = alarm
+                .wait_timeout(asleep, ctx.config.repair_interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            asleep = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        if *asleep || ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        drop(asleep);
+        if ctx.replicated() {
+            let _ = repair_pass(ctx);
+        }
+    }
+}
+
+/// One repair pass: re-probe the fleet for a current health/residency
+/// view, then for every hosted stream bring its effective replica set
+/// up to strength — a member that lacks the stream adopts a snapshot
+/// from the warmest holder (re-replication after a host loss), and a
+/// member that hosts it colder than the donor adopts the same slice as
+/// an idempotent merge (re-warming, so a later failover serves with
+/// `store_misses == 0`). Answers a report of what moved.
+fn repair_pass(ctx: &RouterCtx) -> Json {
+    for backend in &ctx.backends {
+        probe_backend(backend, ctx.config.read_timeout);
+    }
+    // stream id → healthy holders as (backend index, warm entries).
+    let mut hosts: BTreeMap<String, Vec<(usize, u64)>> = BTreeMap::new();
+    for (idx, backend) in ctx.backends.iter().enumerate() {
+        if !backend.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        let residency = backend
+            .residency
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        for (id, warm) in residency {
+            hosts.entry(id).or_default().push((idx, warm));
+        }
+    }
+    let mut transfers: Vec<Json> = Vec::new();
+    let mut conflicts: Vec<Json> = Vec::new();
+    let mut failures: Vec<Json> = Vec::new();
+    let failure = |step: &str, id: &str, backend: &Backend, status: Option<u16>, body: &str| {
+        Json::obj([
+            ("step", Json::Str(step.to_string())),
+            ("stream", Json::Str(id.to_string())),
+            ("backend", Json::Str(backend.name.clone())),
+            (
+                "status",
+                status.map_or(Json::Str("transport".into()), |s| Json::Num(f64::from(s))),
+            ),
+            ("detail", Json::Str(body.chars().take(200).collect())),
+        ])
+    };
+    for (id, holders) in &hosts {
+        if !ctx.replicated() {
+            break;
+        }
+        let order = ctx.route_order(id);
+        let targets = ctx.replica_set(&order);
+        let donor_warm = holders.iter().map(|&(_, warm)| warm).max().unwrap_or(0);
+        // Donor: the warmest holder, ring order breaking ties — so the
+        // primary donates unless a secondary is strictly warmer.
+        let Some(&donor) = order
+            .iter()
+            .filter_map(|idx| holders.iter().find(|(h, _)| h == idx))
+            .find(|(_, warm)| *warm == donor_warm)
+            .map(|(idx, _)| idx)
+        else {
+            continue;
+        };
+        // The snapshot is fetched once, lazily, and adopted verbatim —
+        // the adopt body *is* the snapshot body.
+        let mut snapshot: Option<String> = None;
+        for &target in &targets {
+            let resident_warm = holders.iter().find(|(idx, _)| *idx == target);
+            let needs = match resident_warm {
+                None => true,
+                Some(&(_, warm)) => warm < donor_warm,
+            };
+            if !needs || target == donor {
+                continue;
+            }
+            let body = match &snapshot {
+                Some(body) => body,
+                None => match ctx.backends[donor]
+                    .pool
+                    .get(&format!("/v1/streams/{id}/snapshot"))
+                {
+                    Ok((200, body)) => snapshot.insert(body),
+                    Ok((status, body)) => {
+                        failures.push(failure(
+                            "snapshot",
+                            id.as_str(),
+                            &ctx.backends[donor],
+                            Some(status),
+                            &body,
+                        ));
+                        break;
+                    }
+                    Err(_) => {
+                        ctx.backends[donor].healthy.store(false, Ordering::Relaxed);
+                        failures.push(failure(
+                            "snapshot",
+                            id.as_str(),
+                            &ctx.backends[donor],
+                            None,
+                            "",
+                        ));
+                        break;
+                    }
+                },
+            };
+            match ctx.backends[target].pool.request(
+                "POST",
+                &format!("/v1/streams/{id}/adopt"),
+                &[],
+                body,
+            ) {
+                Ok((status @ (200 | 201), response)) => {
+                    let restored = Json::parse(&response)
+                        .ok()
+                        .and_then(|j| j.get("restored_entries").and_then(Json::as_u64))
+                        .unwrap_or(0);
+                    transfers.push(Json::obj([
+                        ("stream", Json::Str(id.clone())),
+                        ("from", Json::Str(ctx.backends[donor].name.clone())),
+                        ("to", Json::Str(ctx.backends[target].name.clone())),
+                        ("installed", Json::Bool(status == 201)),
+                        ("restored_entries", Json::Num(restored as f64)),
+                    ]));
+                }
+                Ok((409, body)) => {
+                    conflicts.push(failure(
+                        "adopt",
+                        id.as_str(),
+                        &ctx.backends[target],
+                        Some(409),
+                        &body,
+                    ));
+                }
+                Ok((status, body)) => {
+                    failures.push(failure(
+                        "adopt",
+                        id.as_str(),
+                        &ctx.backends[target],
+                        Some(status),
+                        &body,
+                    ));
+                }
+                Err(_) => {
+                    ctx.backends[target].healthy.store(false, Ordering::Relaxed);
+                    failures.push(failure(
+                        "adopt",
+                        id.as_str(),
+                        &ctx.backends[target],
+                        None,
+                        "",
+                    ));
+                }
+            }
+        }
+    }
+    Json::obj([
+        (
+            "replication_factor",
+            Json::Num(ctx.config.replication_factor as f64),
+        ),
+        ("streams_seen", Json::Num(hosts.len() as f64)),
+        ("transfers", Json::Arr(transfers)),
+        ("conflicts", Json::Arr(conflicts)),
+        ("failures", Json::Arr(failures)),
+    ])
 }
 
 /// RAII claim on a connection slot (see the server's twin): released
@@ -625,17 +934,23 @@ fn dispatch(ctx: &RouterCtx, request: &Request, sock: &TcpStream) -> Outcome {
                 Json::Num(ctx.backends.iter().filter(|b| b.available()).count() as f64),
             ),
             ("backends", Json::Num(ctx.backends.len() as f64)),
+            (
+                "replication_factor",
+                Json::Num(ctx.config.replication_factor as f64),
+            ),
         ])),
         ("POST", ["v1", "recommend" | "sweep"]) => relay_solve(ctx, request, &path, sock),
         ("POST", ["v1", "streams"]) => relay_create_stream(ctx, request),
         ("GET", ["v1", "streams", id]) => relay_stream_scoped(ctx, "GET", id, &path),
         ("DELETE", ["v1", "streams", id]) => relay_delete_stream(ctx, request, id, &path),
-        ("POST", ["v1", "streams", _, "clean"]) => relay_clean(ctx, request, &path),
+        ("POST", ["v1", "streams", id, "clean"]) => relay_clean(ctx, request, id, &path),
         ("POST", ["v1", "admin", "backends", name, "drain"]) => set_drain(ctx, name, true),
         ("POST", ["v1", "admin", "backends", name, "undrain"]) => set_drain(ctx, name, false),
+        ("POST", ["v1", "admin", "repair"]) => Outcome::ok(repair_pass(ctx)),
         (_, ["v1", "stats" | "streams" | "recommend" | "sweep" | "health" | "topology"])
         | (_, ["v1", "streams", _])
         | (_, ["v1", "streams", _, "clean"])
+        | (_, ["v1", "admin", "repair"])
         | (_, ["v1", "admin", "backends", _, "drain" | "undrain"]) => ApiError {
             status: 405,
             message: format!("method {method} not allowed on {path}"),
@@ -645,16 +960,35 @@ fn dispatch(ctx: &RouterCtx, request: &Request, sock: &TcpStream) -> Outcome {
     }
 }
 
-/// `GET /v1/topology`: the ring as the operator sees it.
+/// `GET /v1/topology`: the ring as the operator sees it, including
+/// each backend's per-stream residency from its last health probe —
+/// the view the repair pass acts on, so under-replication is visible
+/// where it is fixed.
 fn topology(ctx: &RouterCtx) -> Outcome {
     Outcome::ok(Json::obj([
         ("vnodes_per_backend", Json::Num(VNODES as f64)),
+        (
+            "replication_factor",
+            Json::Num(ctx.config.replication_factor as f64),
+        ),
         (
             "backends",
             Json::Arr(
                 ctx.backends
                     .iter()
                     .map(|b| {
+                        let residency = b
+                            .residency
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .iter()
+                            .map(|(id, warm)| {
+                                Json::obj([
+                                    ("id", Json::Str(id.clone())),
+                                    ("warm_entries", Json::Num(*warm as f64)),
+                                ])
+                            })
+                            .collect();
                         Json::obj([
                             ("name", Json::Str(b.name.clone())),
                             ("addr", Json::Str(b.addr.to_string())),
@@ -664,6 +998,7 @@ fn topology(ctx: &RouterCtx) -> Outcome {
                                 "drained_by_operator",
                                 Json::Bool(b.draining.load(Ordering::Relaxed)),
                             ),
+                            ("streams", Json::Arr(residency)),
                         ])
                     })
                     .collect(),
@@ -956,19 +1291,62 @@ fn fill_probing(
 /// `POST /v1/streams`: create the uploaded stream on the replica its
 /// `id` hashes to — the same replica later solves route to — falling
 /// over to the next one when it is down (which is also where the
-/// solves will have moved).
+/// solves will have moved). With `replication_factor >= 2` the create
+/// fans out to the whole effective replica set: each member installs
+/// the stream, so reads can fail over to a secondary without a
+/// recreate round-trip. Unanimity is required (the canonical `400`/
+/// `409` included); divergent replica answers are a `502`. A member
+/// that drops mid-fan-out is skipped — the create still succeeds on
+/// the survivors, and the repair pass restores full strength.
 fn relay_create_stream(ctx: &RouterCtx, request: &Request) -> Outcome {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return ApiError::bad_request("body is not UTF-8").into();
     };
     let key = stream_key(&request.body, "id");
     let order = ctx.route_order(&key);
-    let mut alive = || true;
-    match forward_idempotent(ctx, &order, "POST", "/v1/streams", &[], body, &mut alive) {
-        Ok(Some((status, body))) => Outcome::Respond { status, body },
-        Ok(None) => unreachable!("alive() is constant true"),
-        Err(e) => e.into(),
+    if !ctx.replicated() {
+        let mut alive = || true;
+        return match forward_idempotent(ctx, &order, "POST", "/v1/streams", &[], body, &mut alive) {
+            Ok(Some((status, body))) => Outcome::Respond { status, body },
+            Ok(None) => unreachable!("alive() is constant true"),
+            Err(e) => e.into(),
+        };
     }
+    let want = ctx.config.replication_factor.min(ctx.backends.len());
+    let mut responses: Vec<(u16, String)> = Vec::new();
+    // Walk the ring past transport failures: a dead member's slot
+    // falls to the next successor, keeping the set at full strength
+    // when enough backends survive.
+    for admit_draining in [false, true] {
+        for &idx in &order {
+            if responses.len() == want {
+                break;
+            }
+            let backend = &ctx.backends[idx];
+            let eligible = if admit_draining {
+                backend.healthy.load(Ordering::Relaxed) && backend.draining()
+            } else {
+                backend.available()
+            };
+            if !eligible {
+                continue;
+            }
+            match backend.pool.request("POST", "/v1/streams", &[], body) {
+                Ok(response) => responses.push(response),
+                Err(_) => backend.healthy.store(false, Ordering::Relaxed),
+            }
+        }
+    }
+    let Some((first_status, first_body)) = responses.first().cloned() else {
+        return ApiError::unavailable("no live backend").into();
+    };
+    if responses.iter().all(|(status, _)| *status == first_status) {
+        return Outcome::Respond {
+            status: first_status,
+            body: first_body,
+        };
+    }
+    ApiError::bad_gateway("replicas diverged creating the stream").into()
 }
 
 /// Scoped `GET /v1/streams/{id}`: relayed along the stream's ring
@@ -983,14 +1361,21 @@ fn relay_stream_scoped(ctx: &RouterCtx, method: &str, id: &str, path: &str) -> O
     }
 }
 
-/// `DELETE /v1/streams/{id}`: broadcast — failovers may have left the
-/// stream on several replicas, so every healthy backend is asked and
-/// `404`s from non-hosts are tolerated.
-fn relay_delete_stream(ctx: &RouterCtx, request: &Request, _id: &str, path: &str) -> Outcome {
+/// `DELETE /v1/streams/{id}`: with replication on, scoped to the
+/// stream's effective replica set — the only backends ring-governed
+/// placement (create fan-out plus repair) puts copies on. Without
+/// replication the legacy fleet-wide broadcast stays, since failover
+/// recreates can strand copies on any backend. Either way, `404`s
+/// from set members that missed the create are tolerated as long as
+/// every hosting member agreed — but when *no* member hosts the
+/// stream the unanimous `404` is relayed as a real `404`, never a
+/// silent success.
+fn relay_delete_stream(ctx: &RouterCtx, request: &Request, id: &str, path: &str) -> Outcome {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return ApiError::bad_request("body is not UTF-8").into();
     };
-    broadcast(ctx, "DELETE", path, &[], body, true)
+    let targets = mutation_targets(ctx, id);
+    broadcast(ctx, &targets, "DELETE", path, &[], body, true)
 }
 
 /// Relays a `GET` from the first live backend (ring order from the
@@ -1005,28 +1390,43 @@ fn relay_get(ctx: &RouterCtx, path: &str) -> Outcome {
     }
 }
 
-/// Broadcasts a clean to every healthy backend — draining included,
-/// so a drained backend stays byte-identical for its undrain. The
-/// request is a mutation: never retried, and divergent replica
-/// outcomes are a `502`, not a guess.
-fn relay_clean(ctx: &RouterCtx, request: &Request, path: &str) -> Outcome {
+/// Cleans are mutations: broadcast to the stream's mutation targets —
+/// the effective replica set with replication on, every healthy
+/// backend (draining included, so a drained backend stays
+/// byte-identical for its undrain) without. Never retried; divergent
+/// replica outcomes are a `502`, not a guess.
+fn relay_clean(ctx: &RouterCtx, request: &Request, id: &str, path: &str) -> Outcome {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return ApiError::bad_request("body is not UTF-8").into();
     };
     let tenant = request.header("x-tenant");
     let headers: Vec<(&str, &str)> = tenant.map(|t| ("x-tenant", t)).into_iter().collect();
-    broadcast(ctx, "POST", path, &headers, body, false)
+    let targets = mutation_targets(ctx, id);
+    broadcast(ctx, &targets, "POST", path, &headers, body, false)
 }
 
-/// Broadcasts a mutation to every healthy backend, never retrying. A
-/// unanimous answer (success or the same canonical rejection) is
-/// relayed as-is; anything else is a `502` — except that, with
-/// `tolerate_not_found`, `404`s from replicas that simply don't host
-/// the target are ignored as long as every replica that *does* host
-/// it agreed (deletes hit a fleet where wire-created streams live on
-/// one ring replica only).
+/// The backends a mutation on `id` must reach: the effective replica
+/// set under ring-governed placement (`replication_factor >= 2`), or
+/// every backend without it (copies may then live anywhere, so only a
+/// fleet-wide broadcast keeps replicas byte-identical).
+fn mutation_targets(ctx: &RouterCtx, id: &str) -> Vec<usize> {
+    if ctx.replicated() {
+        ctx.replica_set(&ctx.route_order(id))
+    } else {
+        (0..ctx.backends.len()).collect()
+    }
+}
+
+/// Broadcasts a mutation to the healthy members of `targets`, never
+/// retrying. A unanimous answer (success or the same canonical
+/// rejection) is relayed as-is; anything else is a `502` — except
+/// that, with `tolerate_not_found`, `404`s from replicas that simply
+/// don't host the target are ignored as long as every replica that
+/// *does* host it agreed. A unanimous `404` (nobody hosts it) is
+/// relayed as the `404` it is.
 fn broadcast(
     ctx: &RouterCtx,
+    targets: &[usize],
     method: &str,
     path: &str,
     headers: &[(&str, &str)],
@@ -1034,7 +1434,8 @@ fn broadcast(
     tolerate_not_found: bool,
 ) -> Outcome {
     let mut responses: Vec<(u16, String)> = Vec::new();
-    for backend in &ctx.backends {
+    for &idx in targets {
+        let backend = &ctx.backends[idx];
         if !backend.healthy.load(Ordering::Relaxed) {
             continue;
         }
@@ -1132,6 +1533,7 @@ mod tests {
                 healthy: AtomicBool::new(true),
                 draining: AtomicBool::new(false),
                 advertised_draining: AtomicBool::new(false),
+                residency: Mutex::new(Vec::new()),
             });
         }
         RouterCtx {
@@ -1141,6 +1543,7 @@ mod tests {
             shutdown: AtomicBool::new(false),
             live: LiveConnections::default(),
             prober_bed: (Mutex::new(false), Condvar::new()),
+            repair_bed: (Mutex::new(false), Condvar::new()),
         }
     }
 
@@ -1187,6 +1590,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn replica_set_takes_ring_successors_and_skips_the_dead() {
+        let mut ctx = test_ctx(&["a", "b", "c"]);
+        ctx.config.replication_factor = 2;
+        let order = ctx.route_order("stream-x");
+        let set = ctx.replica_set(&order);
+        assert_eq!(set, order[..2].to_vec(), "first two ring backends");
+
+        // The primary dies: its slot falls to the next ring successor,
+        // exactly where the repair pass re-replicates.
+        ctx.backends[order[0]]
+            .healthy
+            .store(false, Ordering::Relaxed);
+        assert_eq!(ctx.replica_set(&order), order[1..].to_vec());
+
+        // A draining (but healthy) member still fills the set when
+        // nothing better is available.
+        ctx.backends[order[0]]
+            .healthy
+            .store(true, Ordering::Relaxed);
+        ctx.backends[order[1]]
+            .draining
+            .store(true, Ordering::Relaxed);
+        let through_drain = ctx.replica_set(&order);
+        assert_eq!(through_drain[0], order[0]);
+        assert_eq!(through_drain.len(), 2);
+
+        // Factor past the fleet size degrades to the fleet.
+        ctx.config.replication_factor = 9;
+        ctx.backends[order[1]]
+            .draining
+            .store(false, Ordering::Relaxed);
+        assert_eq!(ctx.replica_set(&order).len(), 3);
+    }
+
+    #[test]
+    fn mutation_targets_scope_to_the_set_only_when_replicated() {
+        let mut ctx = test_ctx(&["a", "b", "c"]);
+        assert_eq!(
+            mutation_targets(&ctx, "stream-x"),
+            vec![0, 1, 2],
+            "without replication mutations stay fleet-wide"
+        );
+        ctx.config.replication_factor = 2;
+        let order = ctx.route_order("stream-x");
+        assert_eq!(mutation_targets(&ctx, "stream-x"), order[..2].to_vec());
     }
 
     #[test]

@@ -59,7 +59,10 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use fc_core::planner::cache::snapshot::{restore_snapshot, write_snapshot};
+use fc_core::planner::cache::snapshot::{
+    restore_snapshot, restore_stream_bytes, snapshot_stream_bytes, stream_entry_count,
+    write_snapshot,
+};
 use fc_core::planner::service::{
     PlannerService, PointOutcome, RequestHandle, SweepHandle, TenantId, WaitOutcome,
 };
@@ -67,8 +70,8 @@ use fc_core::planner::Fnv1a;
 use fc_core::{CoreError, Plan};
 
 use super::api::{
-    decode_body, plan_json, stats_json, ApiError, CleanRequest, CleanResponse, CreateStreamRequest,
-    RecommendRequest, StreamInfo, SweepRequest,
+    decode_body, plan_json, stats_json, AdoptRequest, ApiError, CleanRequest, CleanResponse,
+    CreateStreamRequest, RecommendRequest, SnapshotTransfer, StreamInfo, SweepRequest,
 };
 use super::http::{
     finish_chunked, read_request, write_chunk, write_chunked_head, write_response, HttpError,
@@ -241,6 +244,18 @@ fn scope_fingerprint(streams: &HashMap<String, Arc<RwLock<ClaimStream>>>) -> u64
     for id in ids {
         h.write_str(id);
     }
+    h.finish()
+}
+
+/// The scope a *per-stream* snapshot slice is cut and restored under:
+/// FNV-1a over a domain tag plus the one stream id. Both ends of a
+/// snapshot transfer compute it independently, so a slice cut for one
+/// stream can never restore as another's (or as a full-topology
+/// snapshot — the tag keeps the domains apart).
+fn stream_scope_fingerprint(id: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("stream-slice");
+    h.write_str(id);
     h.finish()
 }
 
@@ -576,11 +591,9 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
             )]))
         }
         ("GET", ["v1", "streams", id]) => stream_info_route(ctx, id),
-        ("GET", ["v1", "health"]) => Outcome::ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("draining", Json::Bool(ctx.draining.load(Ordering::Relaxed))),
-            ("restored_entries", Json::Num(ctx.restored as f64)),
-        ])),
+        ("GET", ["v1", "streams", id, "snapshot"]) => stream_snapshot_route(ctx, id),
+        ("POST", ["v1", "streams", id, "adopt"]) => adopt_stream_route(ctx, request, id),
+        ("GET", ["v1", "health"]) => Outcome::ok(health_json(ctx)),
         ("POST", ["v1", "recommend"]) => solve_route(ctx, request, sock, false),
         ("POST", ["v1", "sweep"]) => solve_route(ctx, request, sock, true),
         ("POST", ["v1", "streams"]) => create_stream_route(ctx, request),
@@ -592,7 +605,7 @@ fn dispatch(ctx: &ServerCtx, request: &Request, sock: &TcpStream) -> Outcome {
         // Known paths with the wrong verb are 405, not 404.
         (_, ["v1", "stats" | "streams" | "recommend" | "sweep" | "health"])
         | (_, ["v1", "streams", _])
-        | (_, ["v1", "streams", _, "clean"])
+        | (_, ["v1", "streams", _, "clean" | "snapshot" | "adopt"])
         | (_, ["v1", "admin", "drain" | "undrain" | "snapshot"]) => ApiError {
             status: 405,
             message: format!("method {method} not allowed on {path}"),
@@ -687,6 +700,236 @@ fn stream_info(id: &str, stream: &ClaimStream) -> StreamInfo {
         total_cost: session.data().total_cost(),
         theta: session.original_value(),
         perturbations: session.claims().len(),
+    }
+}
+
+/// Reconstructs the full wire definition of a live stream — the exact
+/// [`CreateStreamRequest`] a peer must replay to derive byte-identical
+/// cache fingerprints. `θ` and the discretization width are pinned
+/// explicitly (not left to defaults), so the replica cannot re-resolve
+/// them differently; comparing two *reconstructed* definitions is
+/// therefore a normalized equality.
+fn stream_definition(id: &str, stream: &ClaimStream) -> CreateStreamRequest {
+    let session = stream.session();
+    CreateStreamRequest {
+        id: id.to_string(),
+        tenant: Some(stream.tenant().name().to_string()),
+        theta: Some(session.original_value()),
+        discretize_support: Some(session.discretize_support()),
+        data: session.data().clone(),
+        claims: session.claims().clone(),
+    }
+}
+
+/// Names the fields on which two reconstructed definitions disagree,
+/// so an adopt conflict's 409 says *what* diverged — a repair operator
+/// staring at "different definition" alone cannot tell a θ drift from
+/// a dataset swap.
+fn definition_diff(a: &CreateStreamRequest, b: &CreateStreamRequest) -> Vec<&'static str> {
+    let mut fields = Vec::new();
+    if a.tenant != b.tenant {
+        fields.push("tenant");
+    }
+    if a.theta != b.theta {
+        fields.push("theta");
+    }
+    if a.discretize_support != b.discretize_support {
+        fields.push("discretize_support");
+    }
+    if a.data != b.data {
+        fields.push("data");
+    }
+    if a.claims != b.claims {
+        fields.push("claims");
+    }
+    fields
+}
+
+/// The `GET /v1/health` body: liveness, drain flag, boot restore
+/// count, and per-stream residency — which streams this replica hosts
+/// and how many warm store entries each currently owns. A routing
+/// front's repair pass reads the residency to spot under-replicated
+/// streams; the warm counts use the fingerprints *derived so far*
+/// (cheap — no problem is lowered on the probe path), so a stream
+/// reads `0` until its first solve or adopt.
+fn health_json(ctx: &ServerCtx) -> Json {
+    let streams = ctx.streams();
+    let mut ids: Vec<&String> = streams.keys().collect();
+    ids.sort_unstable();
+    let residency: Vec<Json> = ids
+        .iter()
+        .map(|id| {
+            let stream = streams.get(*id).expect("listed id is resident");
+            let guard = stream.read().unwrap_or_else(PoisonError::into_inner);
+            let fps = guard.session().active_instance_fingerprints();
+            let warm = stream_entry_count(ctx.service.store(), &fps);
+            Json::obj([
+                ("id", Json::Str((*id).clone())),
+                ("warm_entries", Json::Num(warm as f64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("draining", Json::Bool(ctx.draining.load(Ordering::Relaxed))),
+        ("restored_entries", Json::Num(ctx.restored as f64)),
+        ("streams", Json::Arr(residency)),
+    ])
+}
+
+/// `GET /v1/streams/{id}/snapshot`: the stream's full definition plus
+/// its warm per-stream cache slice — one checksummed body a peer can
+/// `adopt` verbatim, with no dataset re-upload. The slice is cut under
+/// the per-stream scope fingerprint and filtered to the session's
+/// instance fingerprints, so it carries exactly this stream's warm
+/// state.
+fn stream_snapshot_route(ctx: &ServerCtx, id: &str) -> Outcome {
+    let Some(stream) = ctx.streams().get(id).cloned() else {
+        return ApiError::not_found(format!("unknown stream {id:?}")).into();
+    };
+    let guard = stream.read().unwrap_or_else(PoisonError::into_inner);
+    let definition = stream_definition(id, &guard);
+    let fingerprints = guard.session().all_instance_fingerprints();
+    drop(guard);
+    let (cache_slice, warm_entries) = snapshot_stream_bytes(
+        ctx.service.store(),
+        stream_scope_fingerprint(id),
+        &fingerprints,
+    );
+    let transfer = SnapshotTransfer {
+        definition,
+        cache_slice,
+        warm_entries,
+    };
+    match transfer.to_json() {
+        Ok(body) => Outcome::ok(body),
+        // Only data with no wire encoding (a correlated Gaussian
+        // model) lands here — the server's limitation, not the
+        // client's request.
+        Err(e) => ApiError {
+            status: 500,
+            message: format!("stream {id:?} has no wire snapshot: {}", e.message),
+        }
+        .into(),
+    }
+}
+
+/// `POST /v1/streams/{id}/adopt`: installs a replicated stream from a
+/// peer's [`SnapshotTransfer`].
+///
+/// * path id ≠ definition id → `400`;
+/// * occupied id with a **different** definition → `409` (live state
+///   is never silently replaced);
+/// * occupied id with a **matching** definition → idempotent
+///   warm-slice merge, `200` — the repair pass uses this to re-warm a
+///   replica that already hosts the stream;
+/// * free id → install the stream and restore the slice, `201`.
+///
+/// A corrupt, foreign, or wrong-scope slice is refused with a typed
+/// `400` before anything lands — neither the registry nor the store is
+/// touched (the slice restore itself is all-or-nothing).
+fn adopt_stream_route(ctx: &ServerCtx, request: &Request, id: &str) -> Outcome {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return ApiError::bad_request("body is not UTF-8").into(),
+    };
+    let req = match decode_body(text, AdoptRequest::from_json) {
+        Ok(req) => req,
+        Err(e) => return e.into(),
+    };
+    let transfer = req.transfer;
+    if transfer.definition.id != id {
+        return ApiError::bad_request(format!(
+            "adopt id mismatch: path says {id:?}, definition says {:?}",
+            transfer.definition.id
+        ))
+        .into();
+    }
+    let CreateStreamRequest {
+        tenant,
+        theta,
+        discretize_support,
+        data,
+        claims,
+        ..
+    } = transfer.definition;
+    let mut builder = SessionBuilder::new()
+        .data(data)
+        .claims(claims)
+        .cache_store(Arc::clone(ctx.service.store()));
+    if let Some(theta) = theta {
+        builder = builder.theta(theta);
+    }
+    if let Some(k) = discretize_support {
+        builder = builder.discretize_support(k);
+    }
+    let session = match builder.build() {
+        Ok(session) => session,
+        Err(e) => return ApiError::from(e).into(),
+    };
+    // Derive the full fingerprint set up front: it validates the slice
+    // and leaves the adopted session's keys memoized, so the health
+    // report attributes the restored entries to this stream at once.
+    let fingerprints = session.all_instance_fingerprints();
+    let mut stream = ClaimStream::open(session, ctx.service.clone());
+    if let Some(tenant) = &tenant {
+        stream = stream.with_tenant(tenant.as_str());
+    }
+
+    // Hold the registry write lock across conflict check, restore, and
+    // insert so a racing create cannot interleave. The restore only
+    // takes store shard locks — never a solve — so the hold is short.
+    let mut streams = ctx.streams.write().unwrap_or_else(PoisonError::into_inner);
+    let merged = match streams.get(id) {
+        Some(existing) => {
+            let guard = existing.read().unwrap_or_else(PoisonError::into_inner);
+            let resident = stream_definition(id, &guard);
+            let incoming = stream_definition(id, &stream);
+            if resident != incoming {
+                return ApiError {
+                    status: 409,
+                    message: format!(
+                        "stream {id:?} already exists with a different definition (fields: {})",
+                        definition_diff(&resident, &incoming).join(", ")
+                    ),
+                }
+                .into();
+            }
+            // Force the resident session's fingerprints too, so the
+            // health residency attributes the merged entries to it —
+            // otherwise a never-solved replica keeps reporting cold
+            // and the repair pass re-merges forever.
+            let _ = guard.session().all_instance_fingerprints();
+            true
+        }
+        None => false,
+    };
+    let restored = if transfer.cache_slice.is_empty() {
+        0
+    } else {
+        match restore_stream_bytes(
+            ctx.service.store(),
+            &transfer.cache_slice,
+            stream_scope_fingerprint(id),
+            &fingerprints,
+        ) {
+            Ok(stats) => stats.entries,
+            Err(e) => return ApiError::bad_request(format!("cache slice refused: {e}")).into(),
+        }
+    };
+    if !merged {
+        streams.insert(id.to_string(), Arc::new(RwLock::new(stream)));
+    }
+    drop(streams);
+    Outcome::Respond {
+        status: if merged { 200 } else { 201 },
+        body: Json::obj([
+            ("adopted", Json::Str(id.to_string())),
+            ("merged", Json::Bool(merged)),
+            ("restored_entries", Json::Num(restored as f64)),
+            ("slice_entries", Json::Num(transfer.warm_entries as f64)),
+        ])
+        .to_string(),
     }
 }
 

@@ -279,6 +279,14 @@ impl CleaningSession {
         self.theta
     }
 
+    /// The support width a Gaussian session discretizes onto for the
+    /// non-affine measures (§4.2). Part of a stream's full definition:
+    /// a replica must adopt the same width to derive the same cache
+    /// fingerprints.
+    pub fn discretize_support(&self) -> usize {
+        self.discretize_support
+    }
+
     /// Claim-quality measures `(bias, dup, frag)` evaluated on the
     /// current data.
     pub fn current_quality(&self) -> (f64, f64, f64) {
@@ -388,6 +396,30 @@ impl CleaningSession {
         fps.sort_unstable();
         fps.dedup();
         fps
+    }
+
+    /// Derives (and memoizes) the cache keys for **all three**
+    /// measures, then returns the full fingerprint set. Unlike
+    /// [`CleaningSession::active_instance_fingerprints`] — which only
+    /// reports keys derived by earlier solves — this covers every
+    /// store entry the session's data could own, which is what a
+    /// snapshot-slice export or adopt needs to cut/validate a complete
+    /// per-stream slice. Discrete sessions derive without lowering;
+    /// Gaussian sessions lower one problem per measure (bias
+    /// fingerprints the Gaussian instance, dup/frag a derived
+    /// discretization).
+    pub(crate) fn all_instance_fingerprints(&self) -> Vec<u64> {
+        for (index, measure) in [Measure::Bias, Measure::Dup, Measure::Frag]
+            .into_iter()
+            .enumerate()
+        {
+            if self.prederive_cache_key(index).is_none() {
+                if let Ok(problem) = self.build_problem(&ObjectiveSpec::ascertain(measure)) {
+                    let _ = self.cache_key(&problem, measure);
+                }
+            }
+        }
+        self.active_instance_fingerprints()
     }
 
     /// The measure-indexed cache keys actually derived so far — the

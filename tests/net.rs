@@ -718,6 +718,132 @@ fn wire_created_streams_solve_describe_and_delete() {
     api.create_stream(&request).expect("recreate after delete");
 }
 
+/// A peer server with an empty stream registry — the adoption target
+/// in the replication tests.
+fn boot_empty() -> (ServerHandle, PlannerService) {
+    let service = PlannerService::new(
+        registry_with_slow(Duration::from_millis(400)),
+        ServiceOptions::new().with_inline_threshold(0),
+    );
+    let handle = PlannerServer::new(service.clone())
+        .with_config(test_config())
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port");
+    (handle, service)
+}
+
+/// The `store_misses` diagnostic of a served plan body.
+fn served_store_misses(body: &str) -> u64 {
+    Json::parse(body)
+        .expect("plan JSON")
+        .get("diagnostics")
+        .and_then(|d| d.get("store_misses"))
+        .and_then(Json::as_u64)
+        .expect("plan diagnostics carry store_misses")
+}
+
+/// The `warm_entries` residency reported for `id` in a health body.
+fn health_warm_entries(body: &str, id: &str) -> Option<u64> {
+    Json::parse(body)
+        .expect("health JSON")
+        .get("streams")
+        .and_then(Json::as_array)
+        .expect("health reports per-stream residency")
+        .iter()
+        .find(|s| s.get("id").and_then(Json::as_str) == Some(id))
+        .map(|s| {
+            s.get("warm_entries")
+                .and_then(Json::as_u64)
+                .expect("residency carries warm_entries")
+        })
+}
+
+/// The tentpole lifecycle: snapshot a warm stream off one host, adopt
+/// it on a peer that never saw the dataset, and have the peer serve
+/// byte-identical plans fully warm (`store_misses == 0`) — the no
+/// recreate-round-trip path a replica failover takes.
+#[test]
+fn stream_snapshot_adopts_onto_a_peer_and_serves_warm() {
+    let (host_a, _service_a) = boot();
+    let (host_b, _service_b) = boot_empty();
+    let api_a = ApiClient::connect(host_a.addr()).expect("connect a");
+    let api_b = ApiClient::connect(host_b.addr()).expect("connect b");
+
+    // Warm the donor, then check its residency shows up in health.
+    let recommend = r#"{"stream":"crime","measure":"dup","budget":2}"#;
+    let (status, on_a) = post(host_a.addr(), "/v1/recommend", recommend, None);
+    assert_eq!(status, 200, "{on_a}");
+    let (status, health_a) = get(host_a.addr(), "/v1/health");
+    assert_eq!(status, 200, "{health_a}");
+    let warm_a = health_warm_entries(&health_a, "crime").expect("donor hosts crime");
+    assert!(warm_a >= 1, "solved stream must report warm entries");
+
+    // Snapshot: definition plus the stream's warm slice, one body.
+    let transfer = api_a.snapshot("crime").expect("snapshot");
+    assert_eq!(transfer.definition.id, "crime");
+    assert!(
+        transfer.warm_entries >= 1 && !transfer.cache_slice.is_empty(),
+        "snapshot of a solved stream must carry warm entries"
+    );
+    match api_a.snapshot("nope") {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404),
+        other => panic!("unknown stream snapshot must 404, got {other:?}"),
+    }
+
+    // Adopt on the peer: no dataset upload, stream installed + warm.
+    let restored = api_b.adopt("crime", &transfer).expect("adopt");
+    assert_eq!(restored, transfer.warm_entries, "whole slice restores");
+    assert_eq!(api_b.streams().expect("list"), vec!["crime".to_string()]);
+    let (status, health_b) = get(host_b.addr(), "/v1/health");
+    assert_eq!(status, 200, "{health_b}");
+    assert_eq!(
+        health_warm_entries(&health_b, "crime"),
+        Some(restored as u64),
+        "adopted residency must be visible before any solve"
+    );
+
+    // The peer serves the same plan bytes without a single store miss.
+    let (status, on_b) = post(host_b.addr(), "/v1/recommend", recommend, None);
+    assert_eq!(status, 200, "{on_b}");
+    assert_eq!(served_identity(&on_b), served_identity(&on_a));
+    assert_eq!(
+        served_store_misses(&on_b),
+        0,
+        "adopted replica must serve fully warm: {on_b}"
+    );
+
+    // Re-adopting the same definition is an idempotent merge (200),
+    // not a conflict — the repair pass leans on this to re-warm. Every
+    // entry is already resident, so nothing fresh installs.
+    let merged = api_b.adopt("crime", &transfer).expect("idempotent adopt");
+    assert_eq!(merged, 0, "merge onto a warm replica installs nothing new");
+
+    // Occupied id + different definition: refused with 409, and the
+    // resident stream is untouched.
+    let mut altered = transfer.clone();
+    altered.definition.theta = Some(transfer.definition.theta.unwrap() + 25.0);
+    altered.cache_slice.clear();
+    altered.warm_entries = 0;
+    match api_b.adopt("crime", &altered) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 409, "{}", e.message),
+        other => panic!("conflicting adopt must 409, got {other:?}"),
+    }
+    assert_eq!(
+        api_b.stream_info("crime").expect("still resident").id,
+        "crime"
+    );
+
+    // Path/definition id mismatch is a 400 before anything installs.
+    match api_b.adopt("other", &transfer) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 400, "{}", e.message),
+        other => panic!("id mismatch must 400, got {other:?}"),
+    }
+    match api_b.stream_info("other") {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404),
+        other => panic!("mismatched adopt must not install, got {other:?}"),
+    }
+}
+
 /// Regression for the saturation path: at `max_connections`, refused
 /// clients get a prompt `503` — written off the accept thread, so a
 /// refused client that never reads cannot stall later accepts — and

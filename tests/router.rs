@@ -581,3 +581,155 @@ fn wire_created_streams_fail_over_to_the_next_replica() {
     router.shutdown();
     survivor.shutdown();
 }
+
+/// The tentpole end-to-end: with `replication_factor(2)` a created
+/// stream lands on two ring backends, the repair pass warms the
+/// secondary via snapshot transfer, and killing the primary mid-run
+/// leaves every subsequent read served by the secondary — same plan
+/// bytes, `store_misses == 0`, no recreate — while another repair
+/// restores two-replica residency on the survivors.
+#[test]
+fn replicated_streams_survive_primary_loss_with_warm_failover() {
+    let names = ["a", "b", "c"];
+    let mut fleet: Vec<(PlannerService, Option<ServerHandle>)> = names
+        .iter()
+        .map(|_| {
+            let (service, handle) = boot_backend(&[]);
+            (service, Some(handle))
+        })
+        .collect();
+    let mut router = RouterServer::new().with_config(
+        RouterConfig::new()
+            .with_probe_interval(Duration::from_millis(25))
+            .with_read_timeout(Duration::from_millis(500))
+            .with_replication_factor(2)
+            // Long enough that only the explicit `repair()` calls run
+            // passes — the assertions below stay deterministic.
+            .with_repair_interval(Duration::from_secs(120)),
+    );
+    for (name, (_, handle)) in names.iter().zip(&fleet) {
+        router = router.with_backend(*name, handle.as_ref().unwrap().addr().to_string());
+    }
+    let router = router.serve("127.0.0.1:0").expect("bind router");
+    let api = ApiClient::connect(router.addr()).expect("connect router");
+
+    let base = session();
+    let create = CreateStreamRequest {
+        id: "wire".to_string(),
+        tenant: None,
+        theta: None,
+        discretize_support: None,
+        data: base.data().clone(),
+        claims: base.claims().clone(),
+    };
+    api.create_stream(&create).expect("replicated create");
+
+    // The create fanned out to exactly R = 2 of the 3 backends.
+    let hosts: Vec<usize> = (0..names.len())
+        .filter(|&i| {
+            let addr = fleet[i].1.as_ref().unwrap().addr();
+            let (_, body) = client::get(addr, "/v1/streams").expect("list");
+            body.contains("wire")
+        })
+        .collect();
+    assert_eq!(
+        hosts.len(),
+        2,
+        "replica set must host the stream: {hosts:?}"
+    );
+
+    let request = RecommendRequest {
+        stream: "wire".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Absolute(2),
+    };
+    let before = api.recommend(&request, None).expect("solve via router");
+
+    // The solve landed on the primary: the replica-set member that saw
+    // traffic. The other host is the (cold) secondary.
+    let primary = *hosts
+        .iter()
+        .find(|&&i| fleet[i].0.stats().submitted > 0)
+        .expect("one replica served the solve");
+
+    // Repair re-warms the cold secondary over the wire: snapshot off
+    // the warm primary, adopt-merge onto the secondary. A second pass
+    // finds nothing left to move — the pass is idempotent.
+    let report = router.repair();
+    let moved = report
+        .get("transfers")
+        .and_then(Json::as_array)
+        .unwrap()
+        .len();
+    assert!(moved >= 1, "repair must warm the cold secondary: {report}");
+    let report = router.repair();
+    assert_eq!(
+        report
+            .get("transfers")
+            .and_then(Json::as_array)
+            .unwrap()
+            .len(),
+        0,
+        "a converged fleet repairs nothing: {report}"
+    );
+
+    // Kill the primary mid-run.
+    fleet[primary].1.take().unwrap().shutdown();
+    wait_for_backend(&router, names[primary], |b| {
+        b.get("healthy").and_then(Json::as_bool) == Some(false)
+    });
+
+    // Every subsequent read is served by the secondary: same plan
+    // bytes, fully warm, and no recreate round-trip happened — the
+    // stream was simply already there.
+    for _ in 0..3 {
+        let after = api.recommend(&request, None).expect("failover read");
+        assert_eq!(
+            before.identity_json().to_string(),
+            after.identity_json().to_string(),
+            "failover must not change plan bytes"
+        );
+        assert_eq!(
+            after.diagnostics.store_misses, 0,
+            "the secondary must serve fully warm"
+        );
+    }
+
+    // Repair restores two-replica residency on the survivors: the
+    // secondary donates onto the next ring successor.
+    let report = router.repair();
+    let installed = report
+        .get("transfers")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .any(|t| t.get("installed").and_then(Json::as_bool) == Some(true));
+    assert!(
+        installed,
+        "repair must re-replicate onto a survivor: {report}"
+    );
+    let rehosted: Vec<usize> = (0..names.len())
+        .filter(|&i| {
+            fleet[i].1.as_ref().is_some_and(|handle| {
+                let (_, body) = client::get(handle.addr(), "/v1/streams").expect("list");
+                body.contains("wire")
+            })
+        })
+        .collect();
+    assert_eq!(rehosted.len(), 2, "R=2 residency restored: {rehosted:?}");
+
+    // Deletes scope to the replica set; afterwards the id 404s
+    // everywhere (a real 404, not a silent success on retry).
+    api.delete_stream("wire").expect("scoped delete");
+    match api.delete_stream("wire") {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404, "{}", e.message),
+        other => panic!("all-404 delete must surface 404, got {other:?}"),
+    }
+
+    router.shutdown();
+    for (_, handle) in fleet {
+        if let Some(handle) = handle {
+            handle.shutdown();
+        }
+    }
+}
