@@ -58,25 +58,31 @@
 //! * **Per-stream replication** — with
 //!   [`RouterConfig::replication_factor`] `>= 2`, each stream's home
 //!   is a *replica set*: the first R distinct, usable backends of its
-//!   ring walk. Creates fan out to the whole set (unanimity required,
-//!   divergence is a `502`), cleans and deletes scope to it, and
-//!   reads prefer the primary but fail over to secondaries that
-//!   already host the stream — same session, byte-identical plans, no
-//!   recreate round-trip. A background repair pass (or `POST
-//!   /v1/admin/repair` for a synchronous one) re-replicates
-//!   under-replicated streams onto the next ring successor and
-//!   re-warms cold secondaries by relaying `GET
-//!   /v1/streams/{id}/snapshot` bodies into `POST
+//!   ring walk. Creates fan out to the whole set (unanimity required;
+//!   a `409` member holding an identical-definition leftover copy is
+//!   reconciled via an empty-slice adopt, any other divergence is a
+//!   `502`), cleans scope to it, deletes reach the set plus every
+//!   known straggler copy and leave a tombstone, and reads prefer the
+//!   primary but fail over to secondaries that already host the
+//!   stream — same session, byte-identical plans, no recreate
+//!   round-trip. A background repair pass (or `POST /v1/admin/repair`
+//!   for a synchronous one) re-replicates under-replicated streams
+//!   onto the next ring successor and re-warms cold secondaries by
+//!   relaying `GET /v1/streams/{id}/snapshot` bodies into `POST
 //!   /v1/streams/{id}/adopt` — so a failover lands on a warm replica
-//!   (`store_misses == 0`). Replication expects ring-governed
-//!   placement: streams enter the fleet through the router, not by
-//!   pre-installing them on arbitrary backends.
+//!   (`store_misses == 0`). The pass prefers in-set donors, purges
+//!   lingering copies of tombstoned (deleted) streams instead of
+//!   adopting them back, and backs off a re-warm that restored
+//!   nothing (a capacity-bound target) until the donor grows warmer.
+//!   Replication expects ring-governed placement: streams enter the
+//!   fleet through the router, not by pre-installing them on
+//!   arbitrary backends.
 //!
 //! Aggregate observability: `GET /v1/stats` sums the per-backend
 //! stats into the single-box shape (sums preserve the invariants the
 //! load harness checks), and `GET /v1/topology` reports the ring.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -251,6 +257,23 @@ struct RouterCtx {
     prober_bed: (Mutex<bool>, Condvar),
     /// Wakes the repair thread early on shutdown.
     repair_bed: (Mutex<bool>, Condvar),
+    /// Streams deleted while replication is on. The repair pass
+    /// consults these so a copy the delete could not reach (a member
+    /// dead at delete time, revived later; a straggler outside the
+    /// current set) is purged rather than re-replicated — without the
+    /// tombstone the pass would use the leftover copy as a donor and
+    /// silently resurrect the stream. A tombstone is dropped when the
+    /// id is re-created, or once a fully-healthy fleet reports no
+    /// copy left.
+    tombstones: Mutex<BTreeSet<String>>,
+    /// Re-warm attempts that made no progress: `(stream id, target
+    /// backend name)` → the donor's warm count when an adopt-merge
+    /// restored nothing. A target whose store is at capacity can
+    /// never catch up to the donor (restores don't evict), so without
+    /// this memo the pass would re-fetch and re-adopt the full
+    /// snapshot every interval, forever. Retried only once the donor
+    /// has grown warmer than the recorded level.
+    repair_stalls: Mutex<BTreeMap<(String, String), u64>>,
 }
 
 impl RouterCtx {
@@ -348,7 +371,7 @@ fn vnode_points(name: &str) -> impl Iterator<Item = u64> + '_ {
 /// | `POST /v1/sweep?stream=1` | same routing, relayed chunk-by-chunk as points complete upstream |
 /// | `POST /v1/streams` | hash the body's `id` → create on that replica (next one if it is down); with replication, fan out to the whole replica set |
 /// | `GET /v1/streams/{id}` | relayed from the stream's replica (ring order, failing over to secondaries) |
-/// | `DELETE /v1/streams/{id}` | broadcast to the stream's replica set (fleet-wide without replication); unanimous `404` relays as `404` |
+/// | `DELETE /v1/streams/{id}` | broadcast to the stream's replica set plus known straggler copies (fleet-wide without replication); unanimous `404` relays as `404`; tombstoned for the repair pass |
 /// | `POST /v1/streams/{id}/clean` | broadcast to the stream's replica set (fleet-wide without replication); `502` on divergent outcomes |
 /// | `GET /v1/stats` | per-backend stats summed into the single-box shape |
 /// | `GET /v1/streams` | relayed from the first live backend |
@@ -431,6 +454,8 @@ impl RouterServer {
             live: LiveConnections::default(),
             prober_bed: (Mutex::new(false), Condvar::new()),
             repair_bed: (Mutex::new(false), Condvar::new()),
+            tombstones: Mutex::new(BTreeSet::new()),
+            repair_stalls: Mutex::new(BTreeMap::new()),
         });
         let accept_ctx = Arc::clone(&ctx);
         let accept = std::thread::Builder::new()
@@ -613,7 +638,17 @@ fn probe_backend(backend: &Backend, timeout: Duration) {
                 .unwrap_or_else(PoisonError::into_inner) = residency;
             backend.healthy.store(true, Ordering::Relaxed);
         }
-        _ => backend.healthy.store(false, Ordering::Relaxed),
+        _ => {
+            backend.healthy.store(false, Ordering::Relaxed);
+            // Drop the stale residency vector too, so `/v1/topology`
+            // stops reporting streams as resident on a dead backend;
+            // the next successful probe rebuilds it.
+            backend
+                .residency
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+        }
     }
 }
 
@@ -648,7 +683,11 @@ fn repairer_loop(ctx: &RouterCtx) {
 /// from the warmest holder (re-replication after a host loss), and a
 /// member that hosts it colder than the donor adopts the same slice as
 /// an idempotent merge (re-warming, so a later failover serves with
-/// `store_misses == 0`). Answers a report of what moved.
+/// `store_misses == 0`). Copies of *deleted* streams (tombstoned by
+/// the router's `DELETE`) are purged from whoever still holds them
+/// rather than re-replicated, and a re-warm that restored nothing is
+/// not retried until the donor grows warmer. Answers a report of what
+/// moved.
 fn repair_pass(ctx: &RouterCtx) -> Json {
     for backend in &ctx.backends {
         probe_backend(backend, ctx.config.read_timeout);
@@ -668,7 +707,31 @@ fn repair_pass(ctx: &RouterCtx) -> Json {
             hosts.entry(id).or_default().push((idx, warm));
         }
     }
+    // Settle tombstones against the fresh residency view. A tombstone
+    // is forgotten only once *every* backend answered its probe and
+    // none reports a copy — while any member is unreachable it may
+    // still hold one, and forgetting early would let that copy
+    // resurrect the stream on revival.
+    let fleet_healthy = ctx
+        .backends
+        .iter()
+        .all(|b| b.healthy.load(Ordering::Relaxed));
+    let tombstoned: BTreeSet<String> = {
+        let mut tombs = ctx
+            .tombstones
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if fleet_healthy {
+            tombs.retain(|id| hosts.contains_key(id));
+        }
+        tombs.clone()
+    };
+    ctx.repair_stalls
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .retain(|(id, _), _| hosts.contains_key(id) && !tombstoned.contains(id));
     let mut transfers: Vec<Json> = Vec::new();
+    let mut purges: Vec<Json> = Vec::new();
     let mut conflicts: Vec<Json> = Vec::new();
     let mut failures: Vec<Json> = Vec::new();
     let failure = |step: &str, id: &str, backend: &Backend, status: Option<u16>, body: &str| {
@@ -687,14 +750,49 @@ fn repair_pass(ctx: &RouterCtx) -> Json {
         if !ctx.replicated() {
             break;
         }
+        if tombstoned.contains(id) {
+            // The stream was deleted; every surviving copy is a
+            // leftover the delete could not reach. Purge it instead of
+            // using it as a donor.
+            for &(holder, _) in holders {
+                let backend = &ctx.backends[holder];
+                match backend
+                    .pool
+                    .request("DELETE", &format!("/v1/streams/{id}"), &[], "")
+                {
+                    Ok((200 | 404, _)) => purges.push(Json::obj([
+                        ("stream", Json::Str(id.clone())),
+                        ("backend", Json::Str(backend.name.clone())),
+                    ])),
+                    Ok((status, body)) => {
+                        failures.push(failure("purge", id.as_str(), backend, Some(status), &body));
+                    }
+                    Err(_) => {
+                        backend.healthy.store(false, Ordering::Relaxed);
+                        failures.push(failure("purge", id.as_str(), backend, None, ""));
+                    }
+                }
+            }
+            continue;
+        }
         let order = ctx.route_order(id);
         let targets = ctx.replica_set(&order);
-        let donor_warm = holders.iter().map(|&(_, warm)| warm).max().unwrap_or(0);
-        // Donor: the warmest holder, ring order breaking ties — so the
-        // primary donates unless a secondary is strictly warmer.
+        // Donor: the warmest *in-set* holder, ring order breaking ties
+        // — so the primary donates unless a secondary is strictly
+        // warmer, and a straggler copy outside the set (which scoped
+        // mutations no longer reach) never donates over a live member.
+        // Only when no set member hosts the stream at all — the true
+        // host-loss case — does an out-of-set copy donate.
+        let in_set: Vec<(usize, u64)> = holders
+            .iter()
+            .copied()
+            .filter(|(idx, _)| targets.contains(idx))
+            .collect();
+        let candidates: &[(usize, u64)] = if in_set.is_empty() { holders } else { &in_set };
+        let donor_warm = candidates.iter().map(|&(_, warm)| warm).max().unwrap_or(0);
         let Some(&donor) = order
             .iter()
-            .filter_map(|idx| holders.iter().find(|(h, _)| h == idx))
+            .filter_map(|idx| candidates.iter().find(|(h, _)| h == idx))
             .find(|(_, warm)| *warm == donor_warm)
             .map(|(idx, _)| idx)
         else {
@@ -705,9 +803,22 @@ fn repair_pass(ctx: &RouterCtx) -> Json {
         let mut snapshot: Option<String> = None;
         for &target in &targets {
             let resident_warm = holders.iter().find(|(idx, _)| *idx == target);
+            let stall_key = (id.clone(), ctx.backends[target].name.clone());
             let needs = match resident_warm {
                 None => true,
-                Some(&(_, warm)) => warm < donor_warm,
+                // A re-warm recorded as stalled is skipped until the
+                // donor has grown warmer — a target at store capacity
+                // can never catch up, and re-adopting the same
+                // snapshot every interval is unbounded churn.
+                Some(&(_, warm)) => {
+                    warm < donor_warm
+                        && ctx
+                            .repair_stalls
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .get(&stall_key)
+                            .is_none_or(|&at| donor_warm > at)
+                }
             };
             if !needs || target == donor {
                 continue;
@@ -753,6 +864,20 @@ fn repair_pass(ctx: &RouterCtx) -> Json {
                         .ok()
                         .and_then(|j| j.get("restored_entries").and_then(Json::as_u64))
                         .unwrap_or(0);
+                    // An adopt-merge that restored nothing is a
+                    // stalled transfer: note the donor's warm level so
+                    // the pass stops retrying until the donor grows
+                    // past it.
+                    let mut stalls = ctx
+                        .repair_stalls
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if status == 200 && restored == 0 {
+                        stalls.insert(stall_key.clone(), donor_warm);
+                    } else {
+                        stalls.remove(&stall_key);
+                    }
+                    drop(stalls);
                     transfers.push(Json::obj([
                         ("stream", Json::Str(id.clone())),
                         ("from", Json::Str(ctx.backends[donor].name.clone())),
@@ -799,6 +924,7 @@ fn repair_pass(ctx: &RouterCtx) -> Json {
         ),
         ("streams_seen", Json::Num(hosts.len() as f64)),
         ("transfers", Json::Arr(transfers)),
+        ("purges", Json::Arr(purges)),
         ("conflicts", Json::Arr(conflicts)),
         ("failures", Json::Arr(failures)),
     ])
@@ -1297,7 +1423,13 @@ fn fill_probing(
 /// recreate round-trip. Unanimity is required (the canonical `400`/
 /// `409` included); divergent replica answers are a `502`. A member
 /// that drops mid-fan-out is skipped — the create still succeeds on
-/// the survivors, and the repair pass restores full strength.
+/// the survivors, and the repair pass restores full strength. One
+/// divergence self-heals instead of festering: a `409` member amid
+/// `201`s may hold an identical-definition leftover copy (a partial
+/// create, ring churn), so it is probed with an empty-slice adopt —
+/// the backend's definition-equality gate answers `200` for an
+/// identical copy, which counts as success, and `409` for a genuine
+/// conflict, which stays a `502`.
 fn relay_create_stream(ctx: &RouterCtx, request: &Request) -> Outcome {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return ApiError::bad_request("body is not UTF-8").into();
@@ -1313,7 +1445,7 @@ fn relay_create_stream(ctx: &RouterCtx, request: &Request) -> Outcome {
         };
     }
     let want = ctx.config.replication_factor.min(ctx.backends.len());
-    let mut responses: Vec<(u16, String)> = Vec::new();
+    let mut responses: Vec<(usize, u16, String)> = Vec::new();
     // Walk the ring past transport failures: a dead member's slot
     // falls to the next successor, keeping the set at full strength
     // when enough backends survive.
@@ -1332,18 +1464,67 @@ fn relay_create_stream(ctx: &RouterCtx, request: &Request) -> Outcome {
                 continue;
             }
             match backend.pool.request("POST", "/v1/streams", &[], body) {
-                Ok(response) => responses.push(response),
+                Ok((status, response)) => responses.push((idx, status, response)),
                 Err(_) => backend.healthy.store(false, Ordering::Relaxed),
             }
         }
     }
-    let Some((first_status, first_body)) = responses.first().cloned() else {
+    let Some(&(_, first_status, ref first_body)) = responses.first() else {
         return ApiError::unavailable("no live backend").into();
     };
-    if responses.iter().all(|(status, _)| *status == first_status) {
+    let unanimous = responses
+        .iter()
+        .all(|&(_, status, _)| status == first_status);
+    // A mixed 201/409 fan-out need not be a dead end: each 409 member
+    // may hold an identical-definition leftover copy, so probe it with
+    // an empty-slice adopt. A 200 merge proves the copy matches — the
+    // member effectively hosts the created stream, so the create as a
+    // whole converges instead of answering 502 to every retry forever.
+    let reconciled = !unanimous
+        && responses.iter().all(|&(_, s, _)| matches!(s, 201 | 409))
+        && match Json::parse(body).ok() {
+            None => false,
+            Some(definition) => {
+                let adopt_body = Json::obj([
+                    ("definition", definition),
+                    ("cache_slice", Json::Str(String::new())),
+                    ("warm_entries", Json::Num(0.0)),
+                ])
+                .to_string();
+                responses
+                    .iter()
+                    .filter(|&&(_, s, _)| s == 409)
+                    .all(|&(idx, _, _)| {
+                        matches!(
+                            ctx.backends[idx].pool.request(
+                                "POST",
+                                &format!("/v1/streams/{key}/adopt"),
+                                &[],
+                                &adopt_body,
+                            ),
+                            Ok((200, _))
+                        )
+                    })
+            }
+        };
+    if unanimous || reconciled {
+        let (status, response) = responses
+            .iter()
+            .find(|&&(_, s, _)| s == 201)
+            .map_or((first_status, first_body.clone()), |&(_, s, ref b)| {
+                (s, b.clone())
+            });
+        // A live stream and a tombstone cannot coexist — the repair
+        // pass would purge what the client just created.
+        if status == 201 || status == 409 {
+            ctx.tombstones
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&key);
+        }
         return Outcome::Respond {
-            status: first_status,
-            body: first_body,
+            status,
+            body: response,
         };
     }
     ApiError::bad_gateway("replicas diverged creating the stream").into()
@@ -1362,20 +1543,61 @@ fn relay_stream_scoped(ctx: &RouterCtx, method: &str, id: &str, path: &str) -> O
 }
 
 /// `DELETE /v1/streams/{id}`: with replication on, scoped to the
-/// stream's effective replica set — the only backends ring-governed
-/// placement (create fan-out plus repair) puts copies on. Without
-/// replication the legacy fleet-wide broadcast stays, since failover
-/// recreates can strand copies on any backend. Either way, `404`s
-/// from set members that missed the create are tolerated as long as
-/// every hosting member agreed — but when *no* member hosts the
-/// stream the unanimous `404` is relayed as a real `404`, never a
-/// silent success.
+/// stream's effective replica set *plus* any healthy backend whose
+/// last probe reported a copy — ring churn (a create fanned out while
+/// a member was down, a revived host) can strand copies outside the
+/// current set, and a copy the delete misses would be re-replicated
+/// by the repair pass, resurrecting the stream. Without replication
+/// the legacy fleet-wide broadcast stays. Either way, `404`s from set
+/// members that missed the create are tolerated as long as every
+/// hosting member agreed — but when *no* member hosts the stream the
+/// unanimous `404` is relayed as a real `404`, never a silent
+/// success. A successful replicated delete is tombstoned so the
+/// repair pass purges copies on members it could not reach (dead now,
+/// back later) instead of adopting them back.
 fn relay_delete_stream(ctx: &RouterCtx, request: &Request, id: &str, path: &str) -> Outcome {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return ApiError::bad_request("body is not UTF-8").into();
     };
-    let targets = mutation_targets(ctx, id);
-    broadcast(ctx, &targets, "DELETE", path, &[], body, true)
+    let targets = delete_targets(ctx, id);
+    let outcome = broadcast(ctx, &targets, "DELETE", path, &[], body, true);
+    if ctx.replicated() {
+        if let Outcome::Respond {
+            status: 200..=299, ..
+        } = outcome
+        {
+            ctx.tombstones
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(id.to_string());
+        }
+    }
+    outcome
+}
+
+/// The backends a `DELETE` on `id` must reach (see
+/// [`relay_delete_stream`]): the mutation targets, widened — when
+/// replicated — by every healthy backend whose probed residency shows
+/// the stream.
+fn delete_targets(ctx: &RouterCtx, id: &str) -> Vec<usize> {
+    let mut targets = mutation_targets(ctx, id);
+    if ctx.replicated() {
+        for (idx, backend) in ctx.backends.iter().enumerate() {
+            if targets.contains(&idx) || !backend.healthy.load(Ordering::Relaxed) {
+                continue;
+            }
+            let hosts_it = backend
+                .residency
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .any(|(resident, _)| resident == id);
+            if hosts_it {
+                targets.push(idx);
+            }
+        }
+    }
+    targets
 }
 
 /// Relays a `GET` from the first live backend (ring order from the
@@ -1544,6 +1766,8 @@ mod tests {
             live: LiveConnections::default(),
             prober_bed: (Mutex::new(false), Condvar::new()),
             repair_bed: (Mutex::new(false), Condvar::new()),
+            tombstones: Mutex::new(BTreeSet::new()),
+            repair_stalls: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -1638,6 +1862,45 @@ mod tests {
         ctx.config.replication_factor = 2;
         let order = ctx.route_order("stream-x");
         assert_eq!(mutation_targets(&ctx, "stream-x"), order[..2].to_vec());
+    }
+
+    #[test]
+    fn delete_targets_widen_to_known_straggler_copies() {
+        let mut ctx = test_ctx(&["a", "b", "c"]);
+        ctx.config.replication_factor = 2;
+        let order = ctx.route_order("stream-x");
+        let set = ctx.replica_set(&order);
+        let outsider = order[2];
+        assert!(!set.contains(&outsider));
+
+        // No residency anywhere: the delete stays scoped to the set.
+        assert_eq!(delete_targets(&ctx, "stream-x"), set);
+
+        // A healthy out-of-set backend reporting a copy is included —
+        // a copy the delete misses would resurrect via repair.
+        *ctx.backends[outsider]
+            .residency
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = vec![("stream-x".to_string(), 3)];
+        let widened = delete_targets(&ctx, "stream-x");
+        assert!(widened.contains(&outsider), "straggler copy is reached");
+        assert_eq!(widened.len(), set.len() + 1);
+        // ...but only for the stream it actually hosts: another
+        // stream's delete stays scoped to that stream's own set.
+        assert_eq!(
+            delete_targets(&ctx, "stream-y"),
+            ctx.replica_set(&ctx.route_order("stream-y"))
+        );
+
+        // A dead backend is not a target (the tombstone covers it).
+        ctx.backends[outsider]
+            .healthy
+            .store(false, Ordering::Relaxed);
+        assert!(!delete_targets(&ctx, "stream-x").contains(&outsider));
+
+        // Without replication, deletes stay fleet-wide.
+        ctx.config.replication_factor = 1;
+        assert_eq!(delete_targets(&ctx, "stream-x"), vec![0, 1, 2]);
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! aggregated stats, streamed-sweep passthrough (chunk relay is
 //! byte-preserving and client hangup cancels upstream), and the
 //! wire-native stream lifecycle (create routes onto the ring, deletes
-//! broadcast, and a dead host's streams recreate on the next replica).
+//! broadcast, and a dead host's streams recreate on the next replica),
+//! and the replication edge cases: deletes reach straggler copies,
+//! tombstones keep deleted streams deleted across repair passes,
+//! divergent creates reconcile on identical leftover copies, and a
+//! capacity-bound re-warm backs off instead of looping.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -16,8 +20,10 @@ use std::time::{Duration, Instant};
 use fact_clean::net::api::{BudgetSpec, CleanRequest, CreateStreamRequest, RecommendRequest};
 use fact_clean::net::client::{self, ApiClient, ClientError};
 use fact_clean::net::json::Json;
+use fact_clean::net::router::VNODES;
 use fact_clean::net::{PlannerServer, RouterConfig, RouterHandle, RouterServer, ServerHandle};
 use fact_clean::prelude::*;
+use fc_core::planner::Fnv1a;
 use fc_core::{EngineCache, Result as CoreResult, SolverRegistry, WorkerPool};
 
 fn session() -> CleaningSession {
@@ -44,10 +50,13 @@ fn session() -> CleaningSession {
 /// Boots one backend registering `session()` under each given stream
 /// id; the short read timeout keeps drains (and the test suite) fast.
 fn boot_backend(streams: &[&str]) -> (PlannerService, ServerHandle) {
-    let service = PlannerService::new(
-        Arc::new(SolverRegistry::with_defaults()),
-        ServiceOptions::new(),
-    );
+    boot_backend_with(streams, ServiceOptions::new())
+}
+
+/// [`boot_backend`] with explicit service options (e.g. a starved
+/// store capacity for the repair-backoff test).
+fn boot_backend_with(streams: &[&str], options: ServiceOptions) -> (PlannerService, ServerHandle) {
+    let service = PlannerService::new(Arc::new(SolverRegistry::with_defaults()), options);
     let mut server = PlannerServer::new(service.clone()).with_config(
         fact_clean::net::ServerConfig::new().with_read_timeout(Duration::from_millis(200)),
     );
@@ -732,4 +741,340 @@ fn replicated_streams_survive_primary_loss_with_warm_failover() {
             handle.shutdown();
         }
     }
+}
+
+/// Mirrors the router's ring placement (FNV-1a digests spread by a
+/// splitmix64-style finalizer over [`VNODES`] virtual points per
+/// backend) so tests can know a stream's replica set up front.
+fn ring_order(names: &[&str], key: &str) -> Vec<usize> {
+    fn mix64(mut x: u64) -> u64 {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+    let mut ring = std::collections::BTreeMap::new();
+    for (idx, name) in names.iter().enumerate() {
+        for v in 0..VNODES as u64 {
+            let mut h = Fnv1a::new();
+            h.write_str(name);
+            h.write_u64(v);
+            ring.entry(mix64(h.finish())).or_insert(idx);
+        }
+    }
+    let mut h = Fnv1a::new();
+    h.write_str(key);
+    let point = mix64(h.finish());
+    let mut order = Vec::new();
+    for &idx in ring.range(point..).chain(ring.range(..point)).map(|(_, i)| i) {
+        if !order.contains(&idx) {
+            order.push(idx);
+            if order.len() == names.len() {
+                break;
+            }
+        }
+    }
+    order
+}
+
+fn wire_create(id: &str) -> CreateStreamRequest {
+    let base = session();
+    CreateStreamRequest {
+        id: id.to_string(),
+        tenant: None,
+        theta: None,
+        discretize_support: None,
+        data: base.data().clone(),
+        claims: base.claims().clone(),
+    }
+}
+
+fn hosts_stream(addr: SocketAddr, id: &str) -> bool {
+    let (_, body) = client::get(addr, "/v1/streams").expect("list streams");
+    body.contains(id)
+}
+
+/// Boots `names.len()` fresh backends behind an R=2 router whose
+/// background repair pass is parked (only explicit `repair()` calls
+/// run passes, keeping assertions deterministic).
+fn boot_replicated_fleet(names: &[&str]) -> (Vec<(PlannerService, ServerHandle)>, RouterHandle) {
+    let fleet: Vec<(PlannerService, ServerHandle)> =
+        names.iter().map(|_| boot_backend(&[])).collect();
+    let mut router = RouterServer::new().with_config(
+        RouterConfig::new()
+            .with_probe_interval(Duration::from_millis(25))
+            .with_read_timeout(Duration::from_millis(500))
+            .with_replication_factor(2)
+            .with_repair_interval(Duration::from_secs(120)),
+    );
+    for (name, (_, handle)) in names.iter().zip(&fleet) {
+        router = router.with_backend(*name, handle.addr().to_string());
+    }
+    (fleet, router.serve("127.0.0.1:0").expect("bind router"))
+}
+
+/// A straggler copy outside the current replica set — left by ring
+/// churn — dies with the replicated delete: the router widens the
+/// broadcast to every backend whose probed residency shows the
+/// stream, so the repair pass has no donor to resurrect it from.
+#[test]
+fn replicated_delete_reaches_straggler_copies() {
+    let names = ["a", "b", "c"];
+    let order = ring_order(&names, "wire");
+    let outsider = order[2];
+    let (fleet, router) = boot_replicated_fleet(&names);
+    let api = ApiClient::connect(router.addr()).expect("connect router");
+
+    let create = wire_create("wire");
+    api.create_stream(&create).expect("replicated create");
+    assert!(
+        !hosts_stream(fleet[outsider].1.addr(), "wire"),
+        "the third backend is outside the R=2 set"
+    );
+
+    // Strand a copy on the outsider (as a failover-era create would
+    // have) and let the prober notice it.
+    ApiClient::connect(fleet[outsider].1.addr())
+        .expect("connect outsider")
+        .create_stream(&create)
+        .expect("straggler copy");
+    wait_for_backend(&router, names[outsider], |b| {
+        b.get("streams").and_then(Json::as_array).is_some_and(|s| {
+            s.iter()
+                .any(|e| e.get("id").and_then(Json::as_str) == Some("wire"))
+        })
+    });
+
+    api.delete_stream("wire").expect("replicated delete");
+    assert!(
+        !hosts_stream(fleet[outsider].1.addr(), "wire"),
+        "the delete must reach the straggler copy"
+    );
+
+    // Nothing left to resurrect: repair moves no copies, reads 404,
+    // and a second delete is the real 404 it should be.
+    let report = router.repair();
+    assert_eq!(
+        report.get("transfers").and_then(Json::as_array).unwrap().len(),
+        0,
+        "no donor must survive the delete: {report}"
+    );
+    let request = RecommendRequest {
+        stream: "wire".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Absolute(2),
+    };
+    match api.recommend(&request, None) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404, "{}", e.message),
+        other => panic!("expected 404 after delete, got {other:?}"),
+    }
+    match api.delete_stream("wire") {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404, "{}", e.message),
+        other => panic!("all-404 delete must surface 404, got {other:?}"),
+    }
+
+    router.shutdown();
+    for (_, handle) in fleet {
+        handle.shutdown();
+    }
+}
+
+/// A copy that survives the delete unseen (here: installed after the
+/// delete, as a host dead at delete time would reveal on revival) is
+/// purged by the repair pass via the delete tombstone — never adopted
+/// back onto the replica set. Re-creating the id clears the
+/// tombstone and the stream serves again.
+#[test]
+fn repair_purges_deleted_stream_copies_instead_of_resurrecting() {
+    let names = ["a", "b", "c"];
+    let order = ring_order(&names, "wire");
+    let outsider = order[2];
+    let (fleet, router) = boot_replicated_fleet(&names);
+    let api = ApiClient::connect(router.addr()).expect("connect router");
+
+    let create = wire_create("wire");
+    api.create_stream(&create).expect("replicated create");
+    api.delete_stream("wire").expect("replicated delete");
+
+    // The revived copy the delete never saw.
+    ApiClient::connect(fleet[outsider].1.addr())
+        .expect("connect outsider")
+        .create_stream(&create)
+        .expect("revived copy");
+
+    let report = router.repair();
+    assert_eq!(
+        report.get("transfers").and_then(Json::as_array).unwrap().len(),
+        0,
+        "a tombstoned stream must not be re-replicated: {report}"
+    );
+    assert!(
+        !report.get("purges").and_then(Json::as_array).unwrap().is_empty(),
+        "the leftover copy must be purged: {report}"
+    );
+    assert!(
+        !hosts_stream(fleet[outsider].1.addr(), "wire"),
+        "purge must remove the revived copy"
+    );
+    let request = RecommendRequest {
+        stream: "wire".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Absolute(2),
+    };
+    match api.recommend(&request, None) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 404, "{}", e.message),
+        other => panic!("deleted stream must stay deleted, got {other:?}"),
+    }
+
+    // Recreating the id lifts the tombstone: the stream is live again
+    // and repair leaves it alone.
+    api.create_stream(&create).expect("recreate after delete");
+    let report = router.repair();
+    assert!(
+        report.get("purges").and_then(Json::as_array).unwrap().is_empty(),
+        "a recreated stream must not be purged: {report}"
+    );
+    api.recommend(&request, None)
+        .expect("recreated stream serves");
+
+    router.shutdown();
+    for (_, handle) in fleet {
+        handle.shutdown();
+    }
+}
+
+/// A replicated create that finds an identical-definition leftover
+/// copy on one member (409 amid 201s) converges to success — the
+/// router probes the 409 member with an empty-slice adopt and counts
+/// the idempotent merge as created. A *different* definition stays a
+/// genuine divergence: 502.
+#[test]
+fn divergent_create_converges_on_identical_leftover_copies() {
+    let names = ["a", "b", "c"];
+    let order = ring_order(&names, "wire");
+    let (fleet, router) = boot_replicated_fleet(&names);
+    let api = ApiClient::connect(router.addr()).expect("connect router");
+
+    // An identical copy already sits on the first set member.
+    let create = wire_create("wire");
+    ApiClient::connect(fleet[order[0]].1.addr())
+        .expect("connect primary")
+        .create_stream(&create)
+        .expect("leftover copy");
+    let info = api
+        .create_stream(&create)
+        .expect("mixed 201/409 fan-out must reconcile");
+    assert_eq!(info.id, "wire");
+    for &member in &order[..2] {
+        assert!(
+            hosts_stream(fleet[member].1.addr(), "wire"),
+            "both set members host the stream after reconciliation"
+        );
+    }
+    let request = RecommendRequest {
+        stream: "wire".to_string(),
+        spec: ObjectiveSpec::ascertain(Measure::Dup),
+        budget: BudgetSpec::Absolute(2),
+    };
+    api.recommend(&request, None).expect("stream serves");
+
+    // A leftover with a *different* definition is a real conflict.
+    let order2 = ring_order(&names, "wire2");
+    let mut skewed = wire_create("wire2");
+    skewed.tenant = Some("someone-else".to_string());
+    ApiClient::connect(fleet[order2[0]].1.addr())
+        .expect("connect primary")
+        .create_stream(&skewed)
+        .expect("conflicting copy");
+    match api.create_stream(&wire_create("wire2")) {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 502, "{}", e.message),
+        other => panic!("definition conflict must stay a 502, got {other:?}"),
+    }
+
+    router.shutdown();
+    for (_, handle) in fleet {
+        handle.shutdown();
+    }
+}
+
+/// A secondary whose store is at capacity can never absorb the
+/// donor's warm slice; the repair pass must notice the stalled
+/// transfer and stop re-shipping the snapshot every pass instead of
+/// looping forever.
+#[test]
+fn capacity_bound_rewarm_backs_off_instead_of_looping() {
+    let names = ["a", "b"];
+    // Pick a stream id whose primary is the *roomy* backend, so the
+    // starved one is the re-warm target.
+    let id = (0..64)
+        .map(|i| format!("wire-{i}"))
+        .find(|id| ring_order(&names, id)[0] == 0)
+        .expect("some id hashes primary onto backend a");
+    let roomy = boot_backend(&[]);
+    let starved = boot_backend_with(&[], ServiceOptions::new().with_store_capacity(1));
+    let mut router = RouterServer::new().with_config(
+        RouterConfig::new()
+            .with_probe_interval(Duration::from_millis(25))
+            .with_read_timeout(Duration::from_millis(500))
+            .with_replication_factor(2)
+            .with_repair_interval(Duration::from_secs(120)),
+    );
+    router = router.with_backend("a", roomy.1.addr().to_string());
+    router = router.with_backend("b", starved.1.addr().to_string());
+    let router = router.serve("127.0.0.1:0").expect("bind router");
+    let api = ApiClient::connect(router.addr()).expect("connect router");
+
+    api.create_stream(&wire_create(&id)).expect("create");
+    // Two distinct measures warm the primary past anything a
+    // one-entry store can hold (budgets share a resumable sweep
+    // entry; measures do not).
+    for measure in [Measure::Dup, Measure::Frag] {
+        let request = RecommendRequest {
+            stream: id.clone(),
+            spec: ObjectiveSpec::ascertain(measure),
+            budget: BudgetSpec::Absolute(2),
+        };
+        api.recommend(&request, None).expect("warm the primary");
+    }
+    let (_, health) = client::get(roomy.1.addr(), "/v1/health").expect("health");
+    let donor_warm = Json::parse(&health)
+        .ok()
+        .and_then(|j| {
+            j.get("streams").and_then(Json::as_array).and_then(|s| {
+                s.iter()
+                    .find(|e| e.get("id").and_then(Json::as_str) == Some(id.as_str()))
+                    .and_then(|e| e.get("warm_entries").and_then(Json::as_u64))
+            })
+        })
+        .unwrap_or(0);
+    assert!(donor_warm >= 2, "primary must outgrow the starved store");
+
+    // The transfer stalls against the capacity wall within a few
+    // passes — and *stays* quiet, instead of re-shipping the full
+    // snapshot on every pass forever.
+    let mut quiet_at = None;
+    for pass in 0..4 {
+        let report = router.repair();
+        let moved = report.get("transfers").and_then(Json::as_array).unwrap().len();
+        if moved == 0 {
+            quiet_at = Some(pass);
+            break;
+        }
+    }
+    assert!(
+        quiet_at.is_some(),
+        "the stalled transfer must stop being retried"
+    );
+    let report = router.repair();
+    assert_eq!(
+        report.get("transfers").and_then(Json::as_array).unwrap().len(),
+        0,
+        "a stalled transfer must stay parked: {report}"
+    );
+
+    router.shutdown();
+    roomy.1.shutdown();
+    starved.1.shutdown();
 }
